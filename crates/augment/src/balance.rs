@@ -1,0 +1,160 @@
+//! The paper's augmentation protocol (§IV-C): synthesize minority-class
+//! series until the training set is perfectly balanced.
+
+use crate::Augmenter;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tsda_core::{Dataset, Mts, TsdaError};
+
+/// Augment `ds` with `aug` until every class has as many series as the
+/// current majority class. The original series are kept verbatim;
+/// synthetic ones are appended.
+///
+/// If a technique fails on a class (e.g. SMOTE on a singleton class),
+/// the driver falls back to random oversampling with replacement for that
+/// class, mirroring how the reference implementations degrade.
+pub fn augment_to_balance(
+    ds: &Dataset,
+    aug: &dyn Augmenter,
+    rng: &mut StdRng,
+) -> Result<Dataset, TsdaError> {
+    let counts = ds.class_counts();
+    let target = counts.iter().copied().max().unwrap_or(0);
+    let mut out = ds.clone();
+    for (class, &count) in counts.iter().enumerate() {
+        if count == 0 || count >= target {
+            continue;
+        }
+        let need = target - count;
+        let synth = match aug.synthesize(ds, class, need, rng) {
+            Ok(s) => s,
+            Err(_) => random_oversample(ds, class, need, rng)?,
+        };
+        if synth.len() != need {
+            return Err(TsdaError::InvalidParameter(format!(
+                "{} produced {} series for class {class}, expected {need}",
+                aug.name(),
+                synth.len()
+            )));
+        }
+        for s in synth {
+            out.push(s, class);
+        }
+    }
+    Ok(out)
+}
+
+/// Augment `ds` so every class reaches `target_per_class` series (classes
+/// already at or above the target are untouched). Used by the oversized
+/// augmentation ablations.
+pub fn augment_to_target(
+    ds: &Dataset,
+    aug: &dyn Augmenter,
+    target_per_class: usize,
+    rng: &mut StdRng,
+) -> Result<Dataset, TsdaError> {
+    let counts = ds.class_counts();
+    let mut out = ds.clone();
+    for (class, &count) in counts.iter().enumerate() {
+        if count == 0 || count >= target_per_class {
+            continue;
+        }
+        let need = target_per_class - count;
+        let synth = match aug.synthesize(ds, class, need, rng) {
+            Ok(s) => s,
+            Err(_) => random_oversample(ds, class, need, rng)?,
+        };
+        for s in synth {
+            out.push(s, class);
+        }
+    }
+    Ok(out)
+}
+
+/// Duplicate random members of `class` with replacement.
+pub fn random_oversample(
+    ds: &Dataset,
+    class: usize,
+    count: usize,
+    rng: &mut StdRng,
+) -> Result<Vec<Mts>, TsdaError> {
+    let members = ds.indices_of_class(class);
+    if members.is_empty() {
+        return Err(TsdaError::InvalidParameter(format!(
+            "class {class} empty: cannot oversample"
+        )));
+    }
+    Ok((0..count)
+        .map(|_| ds.series()[members[rng.gen_range(0..members.len())]].clone())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::time::NoiseInjection;
+    use tsda_core::rng::seeded;
+
+    fn imbalanced() -> Dataset {
+        let mut ds = Dataset::empty(3);
+        for i in 0..9 {
+            ds.push(Mts::constant(2, 8, i as f64), 0);
+        }
+        for i in 0..4 {
+            ds.push(Mts::constant(2, 8, 100.0 + i as f64), 1);
+        }
+        ds.push(Mts::constant(2, 8, -50.0), 2);
+        ds
+    }
+
+    #[test]
+    fn balancing_equalises_class_counts() {
+        let ds = imbalanced();
+        let out = augment_to_balance(&ds, &NoiseInjection::level(1.0), &mut seeded(1)).unwrap();
+        assert_eq!(out.class_counts(), vec![9, 9, 9]);
+        // Originals preserved at the front.
+        assert_eq!(out.series()[0], ds.series()[0]);
+        assert_eq!(out.len(), 27);
+    }
+
+    #[test]
+    fn already_balanced_dataset_is_unchanged() {
+        let mut ds = Dataset::empty(2);
+        for c in 0..2 {
+            for i in 0..3 {
+                ds.push(Mts::constant(1, 4, (c * 10 + i) as f64), c);
+            }
+        }
+        let out = augment_to_balance(&ds, &NoiseInjection::level(1.0), &mut seeded(2)).unwrap();
+        assert_eq!(out.len(), ds.len());
+    }
+
+    #[test]
+    fn target_overshoot_works() {
+        let ds = imbalanced();
+        let out = augment_to_target(&ds, &NoiseInjection::level(1.0), 12, &mut seeded(3)).unwrap();
+        assert_eq!(out.class_counts(), vec![12, 12, 12]);
+    }
+
+    #[test]
+    fn random_oversample_duplicates_members() {
+        let ds = imbalanced();
+        let picks = random_oversample(&ds, 2, 5, &mut seeded(4)).unwrap();
+        assert_eq!(picks.len(), 5);
+        for p in &picks {
+            assert_eq!(p.value(0, 0), -50.0);
+        }
+    }
+
+    #[test]
+    fn empty_class_is_skipped_not_fatal() {
+        let mut ds = Dataset::empty(2);
+        for i in 0..3 {
+            ds.push(Mts::constant(1, 4, i as f64), 0);
+        }
+        // Class 1 has no members; balancing should leave it empty rather
+        // than erroring (there is nothing to synthesize from).
+        let out = augment_to_balance(&ds, &NoiseInjection::level(1.0), &mut seeded(5)).unwrap();
+        assert_eq!(out.class_counts(), vec![3, 0]);
+    }
+}

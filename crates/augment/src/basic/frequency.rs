@@ -1,0 +1,323 @@
+//! Frequency-domain augmentation: amplitude/phase perturbation of the
+//! Fourier spectrum, SpecAugment-style spectrogram masking, and
+//! EMDA-style spectral mixing.
+//!
+//! All techniques impute missing values first (a spectrum of a series
+//! with holes is undefined) and preserve real-valuedness by perturbing
+//! conjugate-symmetric bin pairs together.
+
+use crate::{Augmenter, SeriesTransform};
+use rand::rngs::StdRng;
+use rand::Rng;
+use tsda_core::preprocess::impute_linear;
+use tsda_core::rng::normal;
+use tsda_core::{Dataset, Label, Mts, TsdaError};
+use tsda_signal::fft::{fft_real, ifft_real, Complex};
+use tsda_signal::stft::{istft, stft};
+use tsda_signal::window::WindowKind;
+
+/// Perturb one dimension's spectrum and resynthesise, keeping conjugate
+/// symmetry so the output stays real.
+fn perturb_spectrum(
+    signal: &[f64],
+    rng: &mut StdRng,
+    mut f: impl FnMut(f64, f64, &mut StdRng) -> (f64, f64),
+) -> Vec<f64> {
+    let n = signal.len();
+    let mut spec = fft_real(signal);
+    let half = n / 2;
+    for k in 1..=half {
+        let mirror = n - k;
+        if mirror <= k {
+            // Nyquist (even n) or centre: keep real.
+            if mirror == k {
+                let (mag, _) = f(spec[k].abs(), 0.0, rng);
+                spec[k] = Complex::real(mag * spec[k].re.signum());
+            }
+            continue;
+        }
+        let (mag, phase) = (spec[k].abs(), spec[k].arg());
+        let (m2, p2) = f(mag, phase, rng);
+        spec[k] = Complex::from_polar(m2, p2);
+        spec[mirror] = spec[k].conj();
+    }
+    ifft_real(&spec)
+}
+
+/// Amplitude perturbation: each frequency bin's magnitude is scaled by
+/// `1 + N(0, σ²)` (clamped at 0), leaving phase untouched.
+#[derive(Debug, Clone, Copy)]
+pub struct AmplitudePerturb {
+    /// Std of the relative magnitude perturbation.
+    pub sigma: f64,
+}
+
+impl Default for AmplitudePerturb {
+    fn default() -> Self {
+        Self { sigma: 0.2 }
+    }
+}
+
+impl SeriesTransform for AmplitudePerturb {
+    fn name(&self) -> &'static str {
+        "amplitude_perturb"
+    }
+
+    fn transform(&self, series: &Mts, rng: &mut StdRng) -> Mts {
+        let imputed = impute_linear(series);
+        let dims: Vec<Vec<f64>> = (0..series.n_dims())
+            .map(|m| {
+                perturb_spectrum(imputed.dim(m), rng, |mag, phase, rng| {
+                    ((mag * (1.0 + normal(rng, 0.0, self.sigma))).max(0.0), phase)
+                })
+            })
+            .collect();
+        Mts::from_dims(dims)
+    }
+}
+
+/// Phase perturbation: adds `N(0, σ²)` radians to every bin's phase,
+/// preserving the magnitude spectrum (and therefore the signal's power
+/// distribution over frequencies).
+#[derive(Debug, Clone, Copy)]
+pub struct PhasePerturb {
+    /// Phase noise std in radians.
+    pub sigma: f64,
+}
+
+impl Default for PhasePerturb {
+    fn default() -> Self {
+        Self { sigma: 0.3 }
+    }
+}
+
+impl SeriesTransform for PhasePerturb {
+    fn name(&self) -> &'static str {
+        "phase_perturb"
+    }
+
+    fn transform(&self, series: &Mts, rng: &mut StdRng) -> Mts {
+        let imputed = impute_linear(series);
+        let dims: Vec<Vec<f64>> = (0..series.n_dims())
+            .map(|m| {
+                perturb_spectrum(imputed.dim(m), rng, |mag, phase, rng| {
+                    (mag, phase + normal(rng, 0.0, self.sigma))
+                })
+            })
+            .collect();
+        Mts::from_dims(dims)
+    }
+}
+
+/// SpecAugment-style masking (Park et al. 2019): compute an STFT, zero a
+/// random frequency band and a random time stripe, resynthesise.
+#[derive(Debug, Clone, Copy)]
+pub struct SpecAugmentMask {
+    /// Fraction of frequency bins masked.
+    pub freq_fraction: f64,
+    /// Fraction of time frames masked.
+    pub time_fraction: f64,
+    /// STFT frame length (clamped to the series length).
+    pub frame_len: usize,
+}
+
+impl Default for SpecAugmentMask {
+    fn default() -> Self {
+        Self { freq_fraction: 0.15, time_fraction: 0.1, frame_len: 32 }
+    }
+}
+
+impl SeriesTransform for SpecAugmentMask {
+    fn name(&self) -> &'static str {
+        "specaugment"
+    }
+
+    fn transform(&self, series: &Mts, rng: &mut StdRng) -> Mts {
+        let imputed = impute_linear(series);
+        let t = series.len();
+        let frame = self.frame_len.min(t.max(4)).max(4);
+        let hop = (frame / 2).max(1);
+        let dims: Vec<Vec<f64>> = (0..series.n_dims())
+            .map(|m| {
+                let mut spec = stft(imputed.dim(m), frame, hop, WindowKind::Hann);
+                let n_frames = spec.n_frames();
+                let half = frame / 2;
+                // Frequency band mask (mirror bins zeroed together).
+                let f_w = ((half as f64 * self.freq_fraction) as usize).max(1);
+                let f_start = rng.gen_range(1..=(half.saturating_sub(f_w)).max(1));
+                // Time stripe mask.
+                let t_w = ((n_frames as f64 * self.time_fraction) as usize).max(1).min(n_frames);
+                let t_start = rng.gen_range(0..=n_frames - t_w);
+                for (fi, frame_spec) in spec.frames.iter_mut().enumerate() {
+                    for k in f_start..(f_start + f_w).min(half + 1) {
+                        frame_spec[k] = Complex::default();
+                        if k != 0 && frame > k {
+                            frame_spec[frame - k] = Complex::default();
+                        }
+                    }
+                    if fi >= t_start && fi < t_start + t_w {
+                        for v in frame_spec.iter_mut() {
+                            *v = Complex::default();
+                        }
+                    }
+                }
+                istft(&spec)
+            })
+            .collect();
+        Mts::from_dims(dims)
+    }
+}
+
+/// EMDA-style spectral mixing (Takahashi et al. 2016): average the
+/// magnitude spectra of two same-class series with a random weight,
+/// keeping the first series' phase. Needs class context, so it is a
+/// direct [`Augmenter`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmdaMix;
+
+impl Augmenter for EmdaMix {
+    fn name(&self) -> &'static str {
+        "emda_mix"
+    }
+
+    fn synthesize(
+        &self,
+        ds: &Dataset,
+        class: Label,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<Mts>, TsdaError> {
+        let members = ds.indices_of_class(class);
+        if members.len() < 2 {
+            return Err(TsdaError::InvalidParameter(format!(
+                "EMDA needs ≥2 members in class {class}"
+            )));
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let a = members[rng.gen_range(0..members.len())];
+            let mut b = members[rng.gen_range(0..members.len())];
+            while b == a && members.len() > 1 {
+                b = members[rng.gen_range(0..members.len())];
+            }
+            let sa = impute_linear(&ds.series()[a]);
+            let sb = impute_linear(&ds.series()[b]);
+            let w: f64 = rng.gen_range(0.3..0.7);
+            let dims: Vec<Vec<f64>> = (0..sa.n_dims())
+                .map(|m| {
+                    let spec_a = fft_real(sa.dim(m));
+                    let spec_b = fft_real(sb.dim(m));
+                    let mixed: Vec<Complex> = spec_a
+                        .iter()
+                        .zip(&spec_b)
+                        .map(|(ca, cb)| {
+                            let mag = w * ca.abs() + (1.0 - w) * cb.abs();
+                            Complex::from_polar(mag, ca.arg())
+                        })
+                        .collect();
+                    ifft_real(&mixed)
+                })
+                .collect();
+            out.push(Mts::from_dims(dims));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsda_core::rng::seeded;
+
+    fn tone() -> Mts {
+        Mts::from_dims(vec![(0..64)
+            .map(|t| (std::f64::consts::TAU * 5.0 * t as f64 / 64.0).sin())
+            .collect()])
+    }
+
+    fn dominant_bin(x: &[f64]) -> usize {
+        let spec = fft_real(x);
+        (1..x.len() / 2)
+            .max_by(|&a, &b| spec[a].abs().partial_cmp(&spec[b].abs()).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn amplitude_perturb_keeps_dominant_frequency() {
+        let s = tone();
+        let out = AmplitudePerturb::default().transform(&s, &mut seeded(1));
+        assert_eq!(dominant_bin(out.dim(0)), 5);
+        assert_ne!(out, s);
+    }
+
+    #[test]
+    fn amplitude_perturb_output_is_real_and_finite() {
+        let s = tone();
+        let out = AmplitudePerturb { sigma: 0.5 }.transform(&s, &mut seeded(2));
+        assert!(out.dim(0).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn phase_perturb_preserves_power_spectrum() {
+        let s = tone();
+        let out = PhasePerturb { sigma: 0.8 }.transform(&s, &mut seeded(3));
+        let pa: Vec<f64> = fft_real(s.dim(0)).iter().map(|c| c.abs()).collect();
+        let pb: Vec<f64> = fft_real(out.dim(0)).iter().map(|c| c.abs()).collect();
+        for (a, b) in pa.iter().zip(&pb) {
+            assert!((a - b).abs() < 1e-6 * (1.0 + a), "{a} vs {b}");
+        }
+        assert_ne!(out, s);
+    }
+
+    #[test]
+    fn specaugment_removes_energy() {
+        let s = tone();
+        let out = SpecAugmentMask::default().transform(&s, &mut seeded(4));
+        let energy = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        assert!(energy(out.dim(0)) < energy(s.dim(0)) + 1e-9);
+        assert_eq!(out.len(), s.len());
+    }
+
+    #[test]
+    fn specaugment_handles_short_series() {
+        let s = Mts::from_dims(vec![vec![1.0, -1.0, 0.5, 0.3, 0.9, -0.4]]);
+        let out = SpecAugmentMask::default().transform(&s, &mut seeded(5));
+        assert_eq!(out.len(), 6);
+        assert!(out.dim(0).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn emda_mixes_spectra_of_two_members() {
+        let mut ds = Dataset::empty(1);
+        ds.push(tone(), 0);
+        // Second member: same tone, different amplitude.
+        let mut s2 = tone();
+        for v in s2.dim_mut(0) {
+            *v *= 3.0;
+        }
+        ds.push(s2, 0);
+        let out = EmdaMix.synthesize(&ds, 0, 2, &mut seeded(6)).unwrap();
+        for s in &out {
+            let amp = s.dim(0).iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            // Mixed amplitude lies strictly between the two parents.
+            assert!(amp > 1.05 && amp < 2.95, "{amp}");
+            assert_eq!(dominant_bin(s.dim(0)), 5);
+        }
+    }
+
+    #[test]
+    fn emda_rejects_singleton_class() {
+        let mut ds = Dataset::empty(1);
+        ds.push(tone(), 0);
+        assert!(EmdaMix.synthesize(&ds, 0, 1, &mut seeded(7)).is_err());
+    }
+
+    #[test]
+    fn frequency_transforms_handle_missing_values() {
+        let mut s = tone();
+        s.set(0, 10, f64::NAN);
+        s.set(0, 11, f64::NAN);
+        let out = AmplitudePerturb::default().transform(&s, &mut seeded(8));
+        assert!(out.dim(0).iter().all(|v| v.is_finite()));
+    }
+}

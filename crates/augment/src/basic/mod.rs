@@ -1,0 +1,6 @@
+//! Basic augmentation techniques: time-domain and frequency-domain
+//! transformations (the left branch of the paper's Figure 1 taxonomy;
+//! oversampling and decomposition live in sibling modules).
+
+pub mod frequency;
+pub mod time;

@@ -1,0 +1,731 @@
+//! Time-domain transformations: noise injection (the paper's evaluated
+//! technique, Eq. 6), scaling, rotation, jitter, slicing, permutation,
+//! masking, dropout, pooling, magnitude/time/window warping and DTW-guided
+//! warping.
+//!
+//! Pointwise transforms preserve missing (`NaN`) positions; resampling
+//! transforms (slicing, warping) impute first, because a warped time axis
+//! has no well-defined missing positions.
+
+use crate::{Augmenter, SeriesTransform};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use tsda_core::preprocess::impute_linear;
+use tsda_core::rng::normal;
+use tsda_core::{Dataset, Label, Mts, TsdaError};
+use tsda_signal::dtw::{dtw_path, DtwOptions};
+use tsda_signal::interp::{lerp_at, resample_linear, CubicSpline};
+
+/// The paper's noise injection (Eq. 6): adds `N(0, (l·std_j)²)` to every
+/// observed value of dimension `j`, where `std_j` is the standard
+/// deviation of that dimension in the *original* series and `l` the noise
+/// level (1, 3, or 5 in the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseInjection {
+    /// The std multiplier `l`.
+    pub level: f64,
+}
+
+impl NoiseInjection {
+    /// Noise at level `l` (the paper evaluates `l ∈ {1, 3, 5}`).
+    pub fn level(level: f64) -> Self {
+        Self { level }
+    }
+}
+
+impl SeriesTransform for NoiseInjection {
+    fn name(&self) -> &'static str {
+        "noise"
+    }
+
+    fn transform(&self, series: &Mts, rng: &mut StdRng) -> Mts {
+        let mut out = series.clone();
+        for m in 0..series.n_dims() {
+            let std = series.dim_std(m);
+            for v in out.dim_mut(m) {
+                if !v.is_nan() {
+                    *v += normal(rng, 0.0, self.level * std);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Global magnitude scaling: every dimension is multiplied by
+/// `1 + N(0, σ²)` (one factor per dimension).
+#[derive(Debug, Clone, Copy)]
+pub struct Scaling {
+    /// Std of the scale perturbation.
+    pub sigma: f64,
+}
+
+impl Default for Scaling {
+    fn default() -> Self {
+        Self { sigma: 0.1 }
+    }
+}
+
+impl SeriesTransform for Scaling {
+    fn name(&self) -> &'static str {
+        "scaling"
+    }
+
+    fn transform(&self, series: &Mts, rng: &mut StdRng) -> Mts {
+        let mut out = series.clone();
+        for m in 0..series.n_dims() {
+            let factor = 1.0 + normal(rng, 0.0, self.sigma);
+            for v in out.dim_mut(m) {
+                if !v.is_nan() {
+                    *v *= factor;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Rotation: mixes the dimensions through a random orthogonal matrix
+/// (random Givens rotations), altering cross-channel dependencies while
+/// keeping the joint energy. For univariate series this reduces to a
+/// random sign flip.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rotation;
+
+impl SeriesTransform for Rotation {
+    fn name(&self) -> &'static str {
+        "rotation"
+    }
+
+    fn transform(&self, series: &Mts, rng: &mut StdRng) -> Mts {
+        let m = series.n_dims();
+        if m == 1 {
+            let mut out = series.clone();
+            if rng.gen::<bool>() {
+                for v in out.dim_mut(0) {
+                    *v = -*v;
+                }
+            }
+            return out;
+        }
+        let mut out = impute_linear(series);
+        // A few random Givens rotations approximate a random orthogonal mix.
+        for _ in 0..m {
+            let i = rng.gen_range(0..m);
+            let mut j = rng.gen_range(0..m - 1);
+            if j >= i {
+                j += 1;
+            }
+            let theta: f64 = rng.gen_range(-0.5..0.5);
+            let (c, s) = (theta.cos(), theta.sin());
+            for t in 0..out.len() {
+                let a = out.value(i, t);
+                let b = out.value(j, t);
+                out.set(i, t, c * a - s * b);
+                out.set(j, t, s * a + c * b);
+            }
+        }
+        out
+    }
+}
+
+/// Absolute additive jitter `N(0, σ²)` independent of the series scale.
+#[derive(Debug, Clone, Copy)]
+pub struct Jitter {
+    /// Noise std in raw units.
+    pub sigma: f64,
+}
+
+impl Default for Jitter {
+    fn default() -> Self {
+        Self { sigma: 0.03 }
+    }
+}
+
+impl SeriesTransform for Jitter {
+    fn name(&self) -> &'static str {
+        "jitter"
+    }
+
+    fn transform(&self, series: &Mts, rng: &mut StdRng) -> Mts {
+        let mut out = series.clone();
+        for m in 0..series.n_dims() {
+            for v in out.dim_mut(m) {
+                if !v.is_nan() {
+                    *v += normal(rng, 0.0, self.sigma);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Slicing (window slicing, Le Guennec et al. 2016): crop a random
+/// window of `ratio·T` and stretch it back to the original length.
+#[derive(Debug, Clone, Copy)]
+pub struct Slicing {
+    /// Fraction of the series the window keeps.
+    pub ratio: f64,
+}
+
+impl Default for Slicing {
+    fn default() -> Self {
+        Self { ratio: 0.9 }
+    }
+}
+
+impl SeriesTransform for Slicing {
+    fn name(&self) -> &'static str {
+        "slicing"
+    }
+
+    fn transform(&self, series: &Mts, rng: &mut StdRng) -> Mts {
+        let t = series.len();
+        let keep = ((t as f64 * self.ratio) as usize).clamp(2, t);
+        let start = rng.gen_range(0..=t - keep);
+        let imputed = impute_linear(series);
+        let dims: Vec<Vec<f64>> = (0..series.n_dims())
+            .map(|m| resample_linear(&imputed.dim(m)[start..start + keep], t))
+            .collect();
+        Mts::from_dims(dims)
+    }
+}
+
+/// Permutation: split the time axis into `segments` equal chunks and
+/// shuffle their order (all dimensions move together).
+#[derive(Debug, Clone, Copy)]
+pub struct Permutation {
+    /// Number of segments to shuffle.
+    pub segments: usize,
+}
+
+impl Default for Permutation {
+    fn default() -> Self {
+        Self { segments: 4 }
+    }
+}
+
+impl SeriesTransform for Permutation {
+    fn name(&self) -> &'static str {
+        "permutation"
+    }
+
+    fn transform(&self, series: &Mts, rng: &mut StdRng) -> Mts {
+        let t = series.len();
+        let k = self.segments.clamp(1, t);
+        let mut order: Vec<usize> = (0..k).collect();
+        order.shuffle(rng);
+        let bounds: Vec<usize> = (0..=k).map(|i| i * t / k).collect();
+        let mut dims = Vec::with_capacity(series.n_dims());
+        for m in 0..series.n_dims() {
+            let src = series.dim(m);
+            let mut d = Vec::with_capacity(t);
+            for &seg in &order {
+                d.extend_from_slice(&src[bounds[seg]..bounds[seg + 1]]);
+            }
+            dims.push(d);
+        }
+        Mts::from_dims(dims)
+    }
+}
+
+/// Masking (cutout): zero a random contiguous window of `ratio·T`.
+#[derive(Debug, Clone, Copy)]
+pub struct Masking {
+    /// Fraction of the series to mask.
+    pub ratio: f64,
+}
+
+impl Default for Masking {
+    fn default() -> Self {
+        Self { ratio: 0.1 }
+    }
+}
+
+impl SeriesTransform for Masking {
+    fn name(&self) -> &'static str {
+        "masking"
+    }
+
+    fn transform(&self, series: &Mts, rng: &mut StdRng) -> Mts {
+        let t = series.len();
+        let w = ((t as f64 * self.ratio) as usize).clamp(1, t);
+        let start = rng.gen_range(0..=t - w);
+        let mut out = series.clone();
+        for m in 0..series.n_dims() {
+            for v in &mut out.dim_mut(m)[start..start + w] {
+                if !v.is_nan() {
+                    *v = 0.0;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Dropout: independently zero each observed value with probability `p`.
+#[derive(Debug, Clone, Copy)]
+pub struct Dropout {
+    /// Per-value drop probability.
+    pub p: f64,
+}
+
+impl Default for Dropout {
+    fn default() -> Self {
+        Self { p: 0.05 }
+    }
+}
+
+impl SeriesTransform for Dropout {
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn transform(&self, series: &Mts, rng: &mut StdRng) -> Mts {
+        let mut out = series.clone();
+        for m in 0..series.n_dims() {
+            for v in out.dim_mut(m) {
+                if !v.is_nan() && rng.gen::<f64>() < self.p {
+                    *v = 0.0;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Pooling (smoothing): replace each value with the average of a centred
+/// window, damping high-frequency detail.
+#[derive(Debug, Clone, Copy)]
+pub struct Pooling {
+    /// Window width (odd).
+    pub window: usize,
+}
+
+impl Default for Pooling {
+    fn default() -> Self {
+        Self { window: 3 }
+    }
+}
+
+impl SeriesTransform for Pooling {
+    fn name(&self) -> &'static str {
+        "pooling"
+    }
+
+    fn transform(&self, series: &Mts, _rng: &mut StdRng) -> Mts {
+        let imputed = impute_linear(series);
+        let dims: Vec<Vec<f64>> = (0..series.n_dims())
+            .map(|m| tsda_signal::decompose::moving_average(imputed.dim(m), self.window.max(1)))
+            .collect();
+        Mts::from_dims(dims)
+    }
+}
+
+/// Smooth random multiplicative envelope through `knots` spline knots:
+/// `x'(t) = x(t) · s(t)` with `s` a cubic spline of `N(1, σ²)` values.
+#[derive(Debug, Clone, Copy)]
+pub struct MagnitudeWarp {
+    /// Number of spline knots.
+    pub knots: usize,
+    /// Std of the knot values around 1.
+    pub sigma: f64,
+}
+
+impl Default for MagnitudeWarp {
+    fn default() -> Self {
+        Self { knots: 4, sigma: 0.2 }
+    }
+}
+
+impl SeriesTransform for MagnitudeWarp {
+    fn name(&self) -> &'static str {
+        "magnitude_warp"
+    }
+
+    fn transform(&self, series: &Mts, rng: &mut StdRng) -> Mts {
+        let t = series.len();
+        let k = self.knots.max(2);
+        let xs: Vec<f64> = (0..k).map(|i| i as f64 * (t - 1) as f64 / (k - 1) as f64).collect();
+        let mut out = series.clone();
+        for m in 0..series.n_dims() {
+            let ys: Vec<f64> = (0..k).map(|_| 1.0 + normal(rng, 0.0, self.sigma)).collect();
+            let spline = CubicSpline::fit(&xs, &ys);
+            for (i, v) in out.dim_mut(m).iter_mut().enumerate() {
+                if !v.is_nan() {
+                    *v *= spline.eval(i as f64);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Smooth monotone time distortion: warp the time axis through a spline
+/// of perturbed knots and resample. All dimensions share one warp.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeWarp {
+    /// Number of interior warp knots.
+    pub knots: usize,
+    /// Relative knot displacement std.
+    pub sigma: f64,
+}
+
+impl Default for TimeWarp {
+    fn default() -> Self {
+        Self { knots: 4, sigma: 0.2 }
+    }
+}
+
+impl SeriesTransform for TimeWarp {
+    fn name(&self) -> &'static str {
+        "time_warp"
+    }
+
+    fn transform(&self, series: &Mts, rng: &mut StdRng) -> Mts {
+        let t = series.len();
+        if t < 3 {
+            return series.clone();
+        }
+        let k = self.knots.max(2);
+        // Monotone warp: k positive increments accumulate into k+1 knot
+        // positions from 0 to 1, rescaled onto [0, T−1]; knot 0 maps to 0
+        // and knot k to T−1, so the endpoints are fixed.
+        let increments: Vec<f64> = (0..k)
+            .map(|_| (1.0 + normal(rng, 0.0, self.sigma)).max(0.1))
+            .collect();
+        let total: f64 = increments.iter().sum();
+        let mut knot_pos = vec![0.0];
+        for v in &increments {
+            knot_pos.push(knot_pos.last().unwrap() + v / total);
+        }
+        let xs: Vec<f64> = (0..=k).map(|i| i as f64 * (t - 1) as f64 / k as f64).collect();
+        let ys: Vec<f64> = knot_pos.iter().map(|p| p * (t - 1) as f64).collect();
+        // Fit a spline mapping output time -> source time; ys is
+        // cumulative so the map is monotone at the knots.
+        let warp = CubicSpline::fit(&xs, &ys);
+        let imputed = impute_linear(series);
+        let dims: Vec<Vec<f64>> = (0..series.n_dims())
+            .map(|m| {
+                let src = imputed.dim(m);
+                (0..t)
+                    .map(|i| lerp_at(src, warp.eval(i as f64).clamp(0.0, (t - 1) as f64)))
+                    .collect()
+            })
+            .collect();
+        Mts::from_dims(dims)
+    }
+}
+
+/// Window warping (Le Guennec et al. 2016): pick a random window and
+/// stretch it by ×2 or compress it by ×½, then resample the whole series
+/// back to the original length.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowWarp {
+    /// Fraction of the series covered by the warped window.
+    pub window_ratio: f64,
+}
+
+impl Default for WindowWarp {
+    fn default() -> Self {
+        Self { window_ratio: 0.2 }
+    }
+}
+
+impl SeriesTransform for WindowWarp {
+    fn name(&self) -> &'static str {
+        "window_warp"
+    }
+
+    fn transform(&self, series: &Mts, rng: &mut StdRng) -> Mts {
+        let t = series.len();
+        let w = ((t as f64 * self.window_ratio) as usize).clamp(2, t);
+        let start = rng.gen_range(0..=t - w);
+        let stretch = rng.gen::<bool>();
+        let new_w = if stretch { w * 2 } else { (w / 2).max(1) };
+        let imputed = impute_linear(series);
+        let dims: Vec<Vec<f64>> = (0..series.n_dims())
+            .map(|m| {
+                let src = imputed.dim(m);
+                let mut composed =
+                    Vec::with_capacity(t - w + new_w);
+                composed.extend_from_slice(&src[..start]);
+                composed.extend(resample_linear(&src[start..start + w], new_w));
+                composed.extend_from_slice(&src[start + w..]);
+                resample_linear(&composed, t)
+            })
+            .collect();
+        Mts::from_dims(dims)
+    }
+}
+
+/// DTW-guided warping (Iwana & Uchida 2020): align the sample to a random
+/// same-class *teacher* with DTW and replay the sample through the
+/// alignment, inheriting the teacher's timing. Needs class context, so it
+/// implements [`Augmenter`] directly rather than [`SeriesTransform`].
+#[derive(Debug, Clone, Copy)]
+pub struct GuidedWarp {
+    /// Optional Sakoe-Chiba band fraction for the alignment.
+    pub band_fraction: Option<f64>,
+}
+
+impl Default for GuidedWarp {
+    fn default() -> Self {
+        Self { band_fraction: Some(0.2) }
+    }
+}
+
+impl Augmenter for GuidedWarp {
+    fn name(&self) -> &'static str {
+        "guided_warp"
+    }
+
+    fn synthesize(
+        &self,
+        ds: &Dataset,
+        class: Label,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<Mts>, TsdaError> {
+        let members = ds.indices_of_class(class);
+        if members.len() < 2 {
+            return Err(TsdaError::InvalidParameter(format!(
+                "guided warp needs ≥2 members in class {class}"
+            )));
+        }
+        let opts = DtwOptions { band_fraction: self.band_fraction };
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let si = members[rng.gen_range(0..members.len())];
+            let mut ti = members[rng.gen_range(0..members.len() - 1)];
+            if ti >= si {
+                ti = members[(members.iter().position(|&x| x == ti).unwrap() + 1) % members.len()];
+            }
+            let sample = impute_linear(&ds.series()[si]);
+            let teacher = impute_linear(&ds.series()[ti]);
+            let (_, path) = dtw_path(&teacher, &sample, opts);
+            // For each teacher step, average the aligned sample values →
+            // the sample replayed with the teacher's timing.
+            let t_len = teacher.len();
+            let mut sums = vec![vec![0.0; t_len]; sample.n_dims()];
+            let mut counts = vec![0usize; t_len];
+            for &(ti_step, si_step) in &path {
+                counts[ti_step] += 1;
+                for m in 0..sample.n_dims() {
+                    sums[m][ti_step] += sample.value(m, si_step);
+                }
+            }
+            let dims: Vec<Vec<f64>> = sums
+                .into_iter()
+                .map(|row| {
+                    row.iter()
+                        .zip(&counts)
+                        .map(|(&s, &c)| s / c.max(1) as f64)
+                        .collect::<Vec<f64>>()
+                })
+                .map(|row| resample_linear(&row, sample.len()))
+                .collect();
+            out.push(Mts::from_dims(dims));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsda_core::rng::seeded;
+
+    fn wavy() -> Mts {
+        Mts::from_dims(vec![
+            (0..32).map(|t| (t as f64 * 0.4).sin()).collect(),
+            (0..32).map(|t| (t as f64 * 0.2).cos() * 2.0).collect(),
+        ])
+    }
+
+    #[test]
+    fn noise_scales_with_dimension_std() {
+        let s = Mts::from_dims(vec![
+            vec![0.0; 64].iter().enumerate().map(|(i, _)| (i % 2) as f64).collect(), // std 0.5
+            vec![0.0; 64].iter().enumerate().map(|(i, _)| 100.0 * (i % 2) as f64).collect(), // std 50
+        ]);
+        let mut rng = seeded(1);
+        let out = NoiseInjection::level(1.0).transform(&s, &mut rng);
+        let d0: f64 = (0..64).map(|t| (out.value(0, t) - s.value(0, t)).abs()).sum::<f64>() / 64.0;
+        let d1: f64 = (0..64).map(|t| (out.value(1, t) - s.value(1, t)).abs()).sum::<f64>() / 64.0;
+        assert!(d1 > 10.0 * d0, "dim noise not proportional: {d0} vs {d1}");
+    }
+
+    #[test]
+    fn noise_preserves_missing_positions() {
+        let s = Mts::from_dims(vec![vec![1.0, f64::NAN, 3.0, 4.0]]);
+        let out = NoiseInjection::level(3.0).transform(&s, &mut seeded(2));
+        assert!(out.value(0, 1).is_nan());
+        assert!(!out.value(0, 0).is_nan());
+    }
+
+    #[test]
+    fn higher_level_adds_more_noise() {
+        let s = wavy();
+        let d = |l: f64| {
+            let out = NoiseInjection::level(l).transform(&s, &mut seeded(3));
+            s.euclidean_distance(&out)
+        };
+        assert!(d(5.0) > 2.0 * d(1.0));
+    }
+
+    #[test]
+    fn scaling_preserves_shape_ratio() {
+        let s = wavy();
+        let out = Scaling { sigma: 0.2 }.transform(&s, &mut seeded(4));
+        // Within one dimension the ratio out/in is constant.
+        let r0 = out.value(0, 1) / s.value(0, 1);
+        let r1 = out.value(0, 5) / s.value(0, 5);
+        assert!((r0 - r1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_preserves_energy() {
+        let s = wavy();
+        let out = Rotation.transform(&s, &mut seeded(5));
+        let energy = |x: &Mts| x.as_flat().iter().map(|v| v * v).sum::<f64>();
+        assert!((energy(&s) - energy(&out)).abs() < 1e-6 * energy(&s));
+        assert_ne!(s, out);
+    }
+
+    #[test]
+    fn univariate_rotation_flips_sign() {
+        let s = Mts::univariate(vec![1.0, 2.0, 3.0]);
+        // Some seed flips, some does not; check both behaviours occur.
+        let mut flipped = false;
+        let mut kept = false;
+        for seed in 0..10 {
+            let out = Rotation.transform(&s, &mut seeded(seed));
+            if out.value(0, 0) == -1.0 {
+                flipped = true;
+            } else {
+                kept = true;
+            }
+        }
+        assert!(flipped && kept);
+    }
+
+    #[test]
+    fn slicing_keeps_length_and_changes_content() {
+        let s = wavy();
+        let out = Slicing { ratio: 0.5 }.transform(&s, &mut seeded(6));
+        assert_eq!(out.shape(), s.shape());
+        assert_ne!(out, s);
+    }
+
+    #[test]
+    fn permutation_preserves_multiset_of_values() {
+        let s = Mts::from_dims(vec![(0..12).map(|v| v as f64).collect()]);
+        let out = Permutation { segments: 4 }.transform(&s, &mut seeded(8));
+        let mut a: Vec<f64> = s.dim(0).to_vec();
+        let mut b: Vec<f64> = out.dim(0).to_vec();
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn masking_zeroes_a_window() {
+        let s = Mts::from_dims(vec![vec![1.0; 20]]);
+        let out = Masking { ratio: 0.25 }.transform(&s, &mut seeded(9));
+        let zeros = out.dim(0).iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(zeros, 5);
+        // Zeros are contiguous.
+        let first = out.dim(0).iter().position(|&v| v == 0.0).unwrap();
+        assert!(out.dim(0)[first..first + 5].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn dropout_rate_is_respected() {
+        let s = Mts::from_dims(vec![vec![1.0; 4000]]);
+        let out = Dropout { p: 0.1 }.transform(&s, &mut seeded(10));
+        let zeros = out.dim(0).iter().filter(|&&v| v == 0.0).count();
+        assert!((zeros as f64 / 4000.0 - 0.1).abs() < 0.03, "{zeros}");
+    }
+
+    #[test]
+    fn pooling_reduces_high_frequency_energy() {
+        let s = Mts::from_dims(vec![(0..64).map(|t| if t % 2 == 0 { 1.0 } else { -1.0 }).collect()]);
+        let out = Pooling { window: 3 }.transform(&s, &mut seeded(11));
+        let energy = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        assert!(energy(out.dim(0)) < 0.3 * energy(s.dim(0)));
+    }
+
+    #[test]
+    fn magnitude_warp_stays_near_original() {
+        let s = wavy();
+        let out = MagnitudeWarp::default().transform(&s, &mut seeded(12));
+        assert_eq!(out.shape(), s.shape());
+        for t in 0..s.len() {
+            let (a, b) = (s.value(0, t), out.value(0, t));
+            assert!((a - b).abs() <= 0.9 * a.abs() + 1e-9, "t={t}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn time_warp_preserves_endpoints_approximately() {
+        let s = Mts::from_dims(vec![(0..40).map(|v| v as f64).collect()]);
+        let out = TimeWarp::default().transform(&s, &mut seeded(13));
+        assert_eq!(out.len(), 40);
+        assert!((out.value(0, 0) - 0.0).abs() < 2.0);
+        assert!((out.value(0, 39) - 39.0).abs() < 2.0);
+        // Monotone input stays monotone under a monotone warp.
+        for t in 1..40 {
+            assert!(out.value(0, t) >= out.value(0, t - 1) - 1e-6);
+        }
+    }
+
+    #[test]
+    fn window_warp_keeps_shape() {
+        let s = wavy();
+        let out = WindowWarp::default().transform(&s, &mut seeded(14));
+        assert_eq!(out.shape(), s.shape());
+        assert_ne!(out, s);
+    }
+
+    #[test]
+    fn guided_warp_needs_two_members() {
+        let mut ds = Dataset::empty(1);
+        ds.push(wavy(), 0);
+        let err = GuidedWarp::default().synthesize(&ds, 0, 1, &mut seeded(15));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn guided_warp_produces_class_shaped_series() {
+        let mut ds = Dataset::empty(1);
+        for k in 0..4 {
+            let shift = k as f64 * 0.3;
+            ds.push(
+                Mts::from_dims(vec![(0..32).map(|t| (t as f64 * 0.4 + shift).sin()).collect()]),
+                0,
+            );
+        }
+        let out = GuidedWarp::default().synthesize(&ds, 0, 3, &mut seeded(16)).unwrap();
+        assert_eq!(out.len(), 3);
+        for s in &out {
+            assert_eq!(s.shape(), (1, 32));
+            // Result stays in the amplitude range of the class.
+            assert!(s.dim(0).iter().all(|v| v.abs() <= 1.2));
+        }
+    }
+
+    #[test]
+    fn transform_augmenter_blanket_impl_synthesizes() {
+        let mut ds = Dataset::empty(2);
+        for i in 0..3 {
+            ds.push(Mts::constant(1, 8, i as f64), 0);
+        }
+        ds.push(Mts::constant(1, 8, 9.0), 1);
+        let out = NoiseInjection::level(1.0).synthesize(&ds, 1, 4, &mut seeded(17)).unwrap();
+        assert_eq!(out.len(), 4);
+        // Constant series has zero std → noise level 1 adds nothing.
+        assert!(out.iter().all(|s| s.value(0, 0) == 9.0));
+    }
+}

@@ -1,0 +1,163 @@
+//! Decomposition-based augmentation: STL-style residual bootstrapping
+//! and EMD component recombination (the taxonomy's decomposition branch).
+
+use crate::SeriesTransform;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tsda_core::preprocess::impute_linear;
+use tsda_core::rng::normal;
+use tsda_core::Mts;
+use tsda_signal::decompose::decompose_additive;
+use tsda_signal::emd::{emd, EmdOptions};
+
+/// STL bootstrap: decompose each dimension into trend + seasonal +
+/// residual, resample the residual with a moving-block bootstrap, and
+/// recombine. Keeps trend and seasonality (the label-bearing structure)
+/// intact while renewing the stochastic component — the RobustTAD recipe.
+#[derive(Debug, Clone, Copy)]
+pub struct StlBootstrap {
+    /// Trend moving-average window as a fraction of the length.
+    pub trend_fraction: f64,
+    /// Seasonal period; `None` disables the seasonal component.
+    pub period: Option<usize>,
+    /// Bootstrap block length.
+    pub block_len: usize,
+}
+
+impl Default for StlBootstrap {
+    fn default() -> Self {
+        Self { trend_fraction: 0.15, period: None, block_len: 8 }
+    }
+}
+
+impl SeriesTransform for StlBootstrap {
+    fn name(&self) -> &'static str {
+        "stl_bootstrap"
+    }
+
+    fn transform(&self, series: &Mts, rng: &mut StdRng) -> Mts {
+        let imputed = impute_linear(series);
+        let t = series.len();
+        let window = ((t as f64 * self.trend_fraction) as usize).max(3) | 1;
+        let block = self.block_len.clamp(1, t);
+        let dims: Vec<Vec<f64>> = (0..series.n_dims())
+            .map(|m| {
+                let d = decompose_additive(imputed.dim(m), window, self.period);
+                // Moving-block bootstrap of the residual.
+                let mut boot = Vec::with_capacity(t);
+                while boot.len() < t {
+                    let start = rng.gen_range(0..=t - block);
+                    boot.extend_from_slice(&d.residual[start..start + block]);
+                }
+                boot.truncate(t);
+                d.trend
+                    .iter()
+                    .zip(&d.seasonal)
+                    .zip(&boot)
+                    .map(|((tr, se), re)| tr + se + re)
+                    .collect()
+            })
+            .collect();
+        Mts::from_dims(dims)
+    }
+}
+
+/// EMD recombination: decompose each dimension into intrinsic mode
+/// functions and rebuild with per-IMF weights drawn from `N(1, σ²)`,
+/// gently re-balancing the oscillatory components (Nam et al. 2020).
+#[derive(Debug, Clone, Copy)]
+pub struct EmdRecombine {
+    /// Std of the per-IMF weight perturbation around 1.
+    pub sigma: f64,
+    /// Maximum IMFs to extract per dimension.
+    pub max_imfs: usize,
+}
+
+impl Default for EmdRecombine {
+    fn default() -> Self {
+        Self { sigma: 0.2, max_imfs: 6 }
+    }
+}
+
+impl SeriesTransform for EmdRecombine {
+    fn name(&self) -> &'static str {
+        "emd_recombine"
+    }
+
+    fn transform(&self, series: &Mts, rng: &mut StdRng) -> Mts {
+        let imputed = impute_linear(series);
+        let opts = EmdOptions { max_imfs: self.max_imfs, ..EmdOptions::default() };
+        let dims: Vec<Vec<f64>> = (0..series.n_dims())
+            .map(|m| {
+                let d = emd(imputed.dim(m), opts);
+                if d.imfs.is_empty() {
+                    return imputed.dim(m).to_vec();
+                }
+                let weights: Vec<f64> = (0..d.imfs.len())
+                    .map(|_| 1.0 + normal(rng, 0.0, self.sigma))
+                    .collect();
+                d.reconstruct_weighted(&weights)
+            })
+            .collect();
+        Mts::from_dims(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsda_core::rng::seeded;
+
+    fn trended() -> Mts {
+        Mts::from_dims(vec![(0..64)
+            .map(|t| 0.2 * t as f64 + (t as f64 * 0.8).sin() * 0.5)
+            .collect()])
+    }
+
+    #[test]
+    fn stl_bootstrap_preserves_trend() {
+        let s = trended();
+        let out = StlBootstrap::default().transform(&s, &mut seeded(1));
+        assert_eq!(out.shape(), s.shape());
+        // The trend dominates: start and end levels must be preserved
+        // approximately.
+        let first_third: f64 = out.dim(0)[..20].iter().sum::<f64>() / 20.0;
+        let last_third: f64 = out.dim(0)[44..].iter().sum::<f64>() / 20.0;
+        assert!(last_third - first_third > 5.0, "trend lost: {first_third} -> {last_third}");
+    }
+
+    #[test]
+    fn stl_bootstrap_changes_the_residual() {
+        let s = trended();
+        let out = StlBootstrap::default().transform(&s, &mut seeded(2));
+        assert_ne!(out, s);
+    }
+
+    #[test]
+    fn emd_recombine_keeps_shape_and_changes_values() {
+        let s = trended();
+        let out = EmdRecombine::default().transform(&s, &mut seeded(3));
+        assert_eq!(out.shape(), s.shape());
+        assert!(out.dim(0).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn emd_recombine_on_monotone_is_identity() {
+        // Monotone series produce no IMFs, so the transform returns the
+        // (imputed) original.
+        let s = Mts::from_dims(vec![(0..32).map(|v| v as f64).collect()]);
+        let out = EmdRecombine::default().transform(&s, &mut seeded(4));
+        for (a, b) in s.dim(0).iter().zip(out.dim(0)) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_sigma_emd_is_near_identity() {
+        let s = trended();
+        let out = EmdRecombine { sigma: 0.0, max_imfs: 6 }.transform(&s, &mut seeded(5));
+        for (a, b) in s.dim(0).iter().zip(out.dim(0)) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Generative augmentation: statistical samplers, probabilistic models
+//! (HMM, autoregressive factorisation, DDPM), and the neural TimeGAN.
+
+pub mod latent;
+pub mod probabilistic;
+pub mod statistical;
+pub mod timegan;
+pub mod vae;

@@ -1,0 +1,443 @@
+//! Statistical generative models: Gaussian kernel density sampling,
+//! autoregressive residual models (Yule-Walker), maximum-entropy
+//! bootstrap (meboot), and the moving-block bootstrap.
+//!
+//! These approximate the minority-class distribution directly from
+//! sample statistics — the taxonomy's "statistical" generative branch.
+
+use crate::Augmenter;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tsda_core::preprocess::impute_linear;
+use tsda_core::rng::normal;
+use tsda_core::{Dataset, Label, Mts, TsdaError};
+
+/// Per-class mean curve `[dim][t]` and the per-member residuals.
+fn class_mean_and_residuals(
+    ds: &Dataset,
+    class: Label,
+) -> Result<(Vec<Vec<f64>>, Vec<Mts>), TsdaError> {
+    let members = ds.indices_of_class(class);
+    if members.is_empty() {
+        return Err(TsdaError::InvalidParameter(format!("class {class} empty")));
+    }
+    let dims = ds.n_dims();
+    let len = ds.series_len();
+    let mut mean = vec![vec![0.0; len]; dims];
+    let imputed: Vec<Mts> = members.iter().map(|&i| impute_linear(&ds.series()[i])).collect();
+    for s in &imputed {
+        for m in 0..dims {
+            for (t, &v) in s.dim(m).iter().enumerate() {
+                mean[m][t] += v;
+            }
+        }
+    }
+    for row in &mut mean {
+        for v in row.iter_mut() {
+            *v /= imputed.len() as f64;
+        }
+    }
+    let residuals: Vec<Mts> = imputed
+        .iter()
+        .map(|s| {
+            let dims_out: Vec<Vec<f64>> = (0..dims)
+                .map(|m| s.dim(m).iter().zip(&mean[m]).map(|(v, mu)| v - mu).collect())
+                .collect();
+            Mts::from_dims(dims_out)
+        })
+        .collect();
+    Ok((mean, residuals))
+}
+
+/// Gaussian kernel density sampler: a new sample is a random class member
+/// plus Gaussian noise with bandwidth `h = factor · n^{-1/5} · std`
+/// (Silverman-style rule per position).
+#[derive(Debug, Clone, Copy)]
+pub struct KernelDensitySampler {
+    /// Multiplier on the rule-of-thumb bandwidth.
+    pub bandwidth_factor: f64,
+}
+
+impl Default for KernelDensitySampler {
+    fn default() -> Self {
+        Self { bandwidth_factor: 1.0 }
+    }
+}
+
+impl Augmenter for KernelDensitySampler {
+    fn name(&self) -> &'static str {
+        "kde"
+    }
+
+    fn synthesize(
+        &self,
+        ds: &Dataset,
+        class: Label,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<Mts>, TsdaError> {
+        let members = ds.indices_of_class(class);
+        if members.is_empty() {
+            return Err(TsdaError::InvalidParameter(format!("class {class} empty")));
+        }
+        let n = members.len() as f64;
+        let imputed: Vec<Mts> = members.iter().map(|&i| impute_linear(&ds.series()[i])).collect();
+        // Per-dimension std across the class (pooled over time).
+        let dims = ds.n_dims();
+        let stds: Vec<f64> = (0..dims)
+            .map(|m| {
+                let vals: Vec<f64> =
+                    imputed.iter().flat_map(|s| s.dim(m).iter().copied()).collect();
+                let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+                (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64)
+                    .sqrt()
+            })
+            .collect();
+        let h = self.bandwidth_factor * n.powf(-0.2);
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let base = &imputed[rng.gen_range(0..imputed.len())];
+            let mut s = base.clone();
+            for m in 0..dims {
+                let bw = h * stds[m];
+                for v in s.dim_mut(m) {
+                    *v += normal(rng, 0.0, bw);
+                }
+            }
+            out.push(s);
+        }
+        Ok(out)
+    }
+}
+
+/// Fit AR(p) coefficients to a sequence with Yule-Walker equations
+/// (Levinson-Durbin recursion). Returns `(coefficients, innovation_var)`.
+pub fn yule_walker(x: &[f64], order: usize) -> (Vec<f64>, f64) {
+    let n = x.len();
+    let order = order.min(n.saturating_sub(1));
+    if order == 0 || n < 2 {
+        let var = if n > 0 {
+            let m = x.iter().sum::<f64>() / n as f64;
+            x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / n as f64
+        } else {
+            0.0
+        };
+        return (Vec::new(), var);
+    }
+    let mean = x.iter().sum::<f64>() / n as f64;
+    let autocov = |lag: usize| -> f64 {
+        (0..n - lag)
+            .map(|t| (x[t] - mean) * (x[t + lag] - mean))
+            .sum::<f64>()
+            / n as f64
+    };
+    let r: Vec<f64> = (0..=order).map(autocov).collect();
+    if r[0] <= 1e-12 {
+        return (vec![0.0; order], 0.0);
+    }
+    // Levinson-Durbin.
+    let mut a = vec![0.0; order];
+    let mut e = r[0];
+    for k in 0..order {
+        let mut acc = r[k + 1];
+        for j in 0..k {
+            acc -= a[j] * r[k - j];
+        }
+        let kappa = acc / e;
+        a[k] = kappa;
+        for j in 0..k / 2 + (k % 2) {
+            let tmp = a[j] - kappa * a[k - 1 - j];
+            a[k - 1 - j] -= kappa * a[j];
+            a[j] = tmp;
+        }
+        e *= 1.0 - kappa * kappa;
+        if e <= 0.0 {
+            e = 1e-12;
+        }
+    }
+    (a, e)
+}
+
+/// AR residual sampler: new sample = class mean curve + AR(p) simulation
+/// whose coefficients are fit on the class's pooled residuals per
+/// dimension (Yule-Walker). Captures the within-class autocorrelation
+/// that white-noise augmentation destroys.
+#[derive(Debug, Clone, Copy)]
+pub struct ArResidualSampler {
+    /// Autoregressive order.
+    pub order: usize,
+}
+
+impl Default for ArResidualSampler {
+    fn default() -> Self {
+        Self { order: 3 }
+    }
+}
+
+impl Augmenter for ArResidualSampler {
+    fn name(&self) -> &'static str {
+        "ar_residual"
+    }
+
+    fn synthesize(
+        &self,
+        ds: &Dataset,
+        class: Label,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<Mts>, TsdaError> {
+        let (mean, residuals) = class_mean_and_residuals(ds, class)?;
+        let dims = ds.n_dims();
+        let len = ds.series_len();
+        // Fit one AR model per dimension on concatenated residuals.
+        let models: Vec<(Vec<f64>, f64)> = (0..dims)
+            .map(|m| {
+                let pooled: Vec<f64> =
+                    residuals.iter().flat_map(|r| r.dim(m).iter().copied()).collect();
+                yule_walker(&pooled, self.order)
+            })
+            .collect();
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let dims_out: Vec<Vec<f64>> = (0..dims)
+                .map(|m| {
+                    let (coef, var) = &models[m];
+                    let std = var.sqrt();
+                    let mut sim = Vec::with_capacity(len);
+                    for t in 0..len {
+                        let mut v = normal(rng, 0.0, std);
+                        for (j, &c) in coef.iter().enumerate() {
+                            if t > j {
+                                v += c * sim[t - 1 - j];
+                            }
+                        }
+                        sim.push(v);
+                    }
+                    sim.iter().zip(&mean[m]).map(|(r, mu)| mu + r).collect()
+                })
+                .collect();
+            out.push(Mts::from_dims(dims_out));
+        }
+        Ok(out)
+    }
+}
+
+/// Maximum-entropy bootstrap (Vinod 2009, meboot): each new series keeps
+/// the original's *rank order over time* but redraws the values from a
+/// smoothed empirical distribution, producing replicates that stay close
+/// to the original trajectory without repeating it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxEntropyBootstrap;
+
+impl crate::SeriesTransform for MaxEntropyBootstrap {
+    fn name(&self) -> &'static str {
+        "meboot"
+    }
+
+    fn transform(&self, series: &Mts, rng: &mut StdRng) -> Mts {
+        let imputed = impute_linear(series);
+        let t = series.len();
+        let dims: Vec<Vec<f64>> = (0..series.n_dims())
+            .map(|m| {
+                let x = imputed.dim(m);
+                // Order statistics and the original ranks.
+                let mut order: Vec<usize> = (0..t).collect();
+                order.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).unwrap());
+                let sorted: Vec<f64> = order.iter().map(|&i| x[i]).collect();
+                // rank[i] = position of x[i] in the sorted sequence.
+                let mut rank = vec![0usize; t];
+                for (pos, &i) in order.iter().enumerate() {
+                    rank[i] = pos;
+                }
+                // Draw t uniform quantiles, sort them, and map through the
+                // (linearly interpolated) empirical quantile function; the
+                // j-th smallest draw replaces the j-th order statistic.
+                let mut us: Vec<f64> = (0..t).map(|_| rng.gen::<f64>()).collect();
+                us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let new_sorted: Vec<f64> = us
+                    .iter()
+                    .map(|&u| {
+                        let pos = u * (t - 1) as f64;
+                        let lo = pos.floor() as usize;
+                        let hi = (lo + 1).min(t - 1);
+                        let frac = pos - lo as f64;
+                        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+                    })
+                    .collect();
+                (0..t).map(|i| new_sorted[rank[i]]).collect()
+            })
+            .collect();
+        Mts::from_dims(dims)
+    }
+}
+
+/// Moving-block bootstrap of the class residuals around the class mean:
+/// preserves short-range dependence inside each block.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockBootstrap {
+    /// Bootstrap block length.
+    pub block_len: usize,
+}
+
+impl Default for BlockBootstrap {
+    fn default() -> Self {
+        Self { block_len: 8 }
+    }
+}
+
+impl Augmenter for BlockBootstrap {
+    fn name(&self) -> &'static str {
+        "block_bootstrap"
+    }
+
+    fn synthesize(
+        &self,
+        ds: &Dataset,
+        class: Label,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<Mts>, TsdaError> {
+        let (mean, residuals) = class_mean_and_residuals(ds, class)?;
+        let dims = ds.n_dims();
+        let len = ds.series_len();
+        let block = self.block_len.clamp(1, len);
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let dims_out: Vec<Vec<f64>> = (0..dims)
+                .map(|m| {
+                    let mut boot = Vec::with_capacity(len);
+                    while boot.len() < len {
+                        let donor = &residuals[rng.gen_range(0..residuals.len())];
+                        let start = rng.gen_range(0..=len - block);
+                        boot.extend_from_slice(&donor.dim(m)[start..start + block]);
+                    }
+                    boot.truncate(len);
+                    boot.iter().zip(&mean[m]).map(|(r, mu)| mu + r).collect()
+                })
+                .collect();
+            out.push(Mts::from_dims(dims_out));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeriesTransform;
+    use tsda_core::rng::seeded;
+
+    fn class_ds() -> Dataset {
+        let mut ds = Dataset::empty(1);
+        let mut rng = seeded(99);
+        for _ in 0..6 {
+            let dims: Vec<Vec<f64>> = (0..2)
+                .map(|d| {
+                    (0..40)
+                        .map(|t| (t as f64 * 0.3 + d as f64).sin() + normal(&mut rng, 0.0, 0.2))
+                        .collect()
+                })
+                .collect();
+            ds.push(Mts::from_dims(dims), 0);
+        }
+        ds
+    }
+
+    #[test]
+    fn kde_samples_stay_near_the_class() {
+        let ds = class_ds();
+        let out = KernelDensitySampler::default()
+            .synthesize(&ds, 0, 5, &mut seeded(1))
+            .unwrap();
+        for s in &out {
+            assert_eq!(s.shape(), (2, 40));
+            // Samples remain within a few stds of the sine band.
+            assert!(s.dim(0).iter().all(|v| v.abs() < 3.0));
+        }
+    }
+
+    #[test]
+    fn yule_walker_recovers_ar1_coefficient() {
+        let phi = 0.7;
+        let mut rng = seeded(2);
+        let mut x = vec![0.0f64];
+        for _ in 0..8000 {
+            let prev = *x.last().unwrap();
+            x.push(phi * prev + normal(&mut rng, 0.0, 1.0));
+        }
+        let (coef, var) = yule_walker(&x, 1);
+        assert!((coef[0] - phi).abs() < 0.05, "{coef:?}");
+        assert!((var - 1.0).abs() < 0.1, "{var}");
+    }
+
+    #[test]
+    fn yule_walker_zero_order_returns_variance() {
+        let (coef, var) = yule_walker(&[1.0, 3.0], 0);
+        assert!(coef.is_empty());
+        assert_eq!(var, 1.0);
+    }
+
+    #[test]
+    fn ar_residual_sampler_matches_class_mean() {
+        let ds = class_ds();
+        let out = ArResidualSampler::default()
+            .synthesize(&ds, 0, 20, &mut seeded(3))
+            .unwrap();
+        // The average of many samples approaches the class mean curve.
+        let mut avg = vec![0.0; 40];
+        for s in &out {
+            for (t, &v) in s.dim(0).iter().enumerate() {
+                avg[t] += v / out.len() as f64;
+            }
+        }
+        let (mean, _) = class_mean_and_residuals(&ds, 0).unwrap();
+        let err: f64 =
+            avg.iter().zip(&mean[0]).map(|(a, b)| (a - b).abs()).sum::<f64>() / 40.0;
+        assert!(err < 0.25, "{err}");
+    }
+
+    #[test]
+    fn meboot_preserves_rank_order() {
+        let s = Mts::from_dims(vec![vec![5.0, 1.0, 3.0, 9.0, 2.0]]);
+        let out = MaxEntropyBootstrap.transform(&s, &mut seeded(4));
+        let rank = |x: &[f64]| {
+            let mut idx: Vec<usize> = (0..x.len()).collect();
+            idx.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).unwrap());
+            idx
+        };
+        assert_eq!(rank(s.dim(0)), rank(out.dim(0)));
+        assert_ne!(s, out);
+    }
+
+    #[test]
+    fn meboot_values_span_original_range() {
+        let s = Mts::from_dims(vec![(0..50).map(|v| v as f64).collect()]);
+        let out = MaxEntropyBootstrap.transform(&s, &mut seeded(5));
+        let max = out.dim(0).iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = out.dim(0).iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(min >= 0.0 && max <= 49.0);
+        assert!(max - min > 30.0, "range collapsed: {min}..{max}");
+    }
+
+    #[test]
+    fn block_bootstrap_keeps_class_level() {
+        let ds = class_ds();
+        let out = BlockBootstrap::default().synthesize(&ds, 0, 5, &mut seeded(6)).unwrap();
+        for s in &out {
+            assert_eq!(s.shape(), (2, 40));
+            let m: f64 = s.dim(0).iter().sum::<f64>() / 40.0;
+            assert!(m.abs() < 1.0, "level drifted: {m}");
+        }
+    }
+
+    #[test]
+    fn samplers_error_on_empty_class() {
+        let ds = Dataset::empty(2); // class 1 declared but empty
+        assert!(ArResidualSampler::default()
+            .synthesize(&ds, 1, 1, &mut seeded(7))
+            .is_err());
+        assert!(BlockBootstrap::default()
+            .synthesize(&ds, 1, 1, &mut seeded(8))
+            .is_err());
+    }
+}

@@ -1,0 +1,503 @@
+//! Oversampling techniques: SMOTE and its relatives.
+//!
+//! These treat each (imputed, flattened) series as a point in `M·T`
+//! space, exactly as the paper applies imbalanced-learn's SMOTE to
+//! multivariate series. The paper's parameterisation — `k = min(5,
+//! class_size − 1)` — is the default.
+
+use crate::Augmenter;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tsda_core::preprocess::impute_linear;
+use tsda_core::{Dataset, Label, Mts, TsdaError};
+
+/// Flatten every member of `class` after imputation; returns the vectors
+/// and the shape to restore.
+fn class_vectors(ds: &Dataset, class: Label) -> (Vec<Vec<f64>>, (usize, usize)) {
+    let shape = (ds.n_dims(), ds.series_len());
+    let vecs = ds
+        .indices_of_class(class)
+        .into_iter()
+        .map(|i| impute_linear(&ds.series()[i]).into_flat())
+        .collect();
+    (vecs, shape)
+}
+
+/// All flattened vectors *not* in `class` (for borderline detection).
+fn enemy_vectors(ds: &Dataset, class: Label) -> Vec<Vec<f64>> {
+    ds.iter()
+        .filter(|&(_, l)| l != class)
+        .map(|(s, _)| impute_linear(s).into_flat())
+        .collect()
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Indices of the `k` nearest neighbours of `vecs[i]` within `vecs`
+/// (excluding `i` itself).
+fn knn_indices(vecs: &[Vec<f64>], i: usize, k: usize) -> Vec<usize> {
+    let mut dists: Vec<(usize, f64)> = vecs
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| j != i)
+        .map(|(j, v)| (j, sq_dist(&vecs[i], v)))
+        .collect();
+    dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    dists.into_iter().take(k).map(|(j, _)| j).collect()
+}
+
+fn interpolate(a: &[f64], b: &[f64], gap: f64) -> Vec<f64> {
+    a.iter().zip(b).map(|(x, y)| x + gap * (y - x)).collect()
+}
+
+fn to_mts(v: Vec<f64>, shape: (usize, usize)) -> Mts {
+    Mts::from_flat(shape.0, shape.1, v)
+}
+
+/// SMOTE (Chawla et al. 2002): each synthetic sample is a random convex
+/// combination of a class member and one of its `k` nearest same-class
+/// neighbours.
+#[derive(Debug, Clone, Copy)]
+pub struct Smote {
+    /// Neighbour count cap; the effective `k` is
+    /// `min(k, class_size − 1)` as in the paper.
+    pub k: usize,
+}
+
+impl Default for Smote {
+    fn default() -> Self {
+        Self { k: 5 }
+    }
+}
+
+impl Augmenter for Smote {
+    fn name(&self) -> &'static str {
+        "smote"
+    }
+
+    fn synthesize(
+        &self,
+        ds: &Dataset,
+        class: Label,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<Mts>, TsdaError> {
+        let (vecs, shape) = class_vectors(ds, class);
+        if vecs.len() < 2 {
+            return Err(TsdaError::InvalidParameter(format!(
+                "SMOTE needs ≥2 members in class {class}, found {}",
+                vecs.len()
+            )));
+        }
+        let k = self.k.min(vecs.len() - 1);
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let i = rng.gen_range(0..vecs.len());
+            let nn = knn_indices(&vecs, i, k);
+            let j = nn[rng.gen_range(0..nn.len())];
+            let gap: f64 = rng.gen_range(0.0..1.0);
+            out.push(to_mts(interpolate(&vecs[i], &vecs[j], gap), shape));
+        }
+        Ok(out)
+    }
+}
+
+/// Borderline-SMOTE (Han et al. 2005): only class members whose
+/// neighbourhood is dominated — but not overwhelmed — by other classes
+/// ("danger" points) seed the interpolation.
+#[derive(Debug, Clone, Copy)]
+pub struct BorderlineSmote {
+    /// Same-class neighbour cap for interpolation.
+    pub k: usize,
+    /// Neighbourhood size for the danger test.
+    pub m_neighbors: usize,
+}
+
+impl Default for BorderlineSmote {
+    fn default() -> Self {
+        Self { k: 5, m_neighbors: 10 }
+    }
+}
+
+impl Augmenter for BorderlineSmote {
+    fn name(&self) -> &'static str {
+        "borderline_smote"
+    }
+
+    fn synthesize(
+        &self,
+        ds: &Dataset,
+        class: Label,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<Mts>, TsdaError> {
+        let (vecs, shape) = class_vectors(ds, class);
+        if vecs.len() < 2 {
+            return Err(TsdaError::InvalidParameter(format!(
+                "Borderline-SMOTE needs ≥2 members in class {class}"
+            )));
+        }
+        let enemies = enemy_vectors(ds, class);
+        // Danger set: more than half (but not all) of the m nearest
+        // points overall are enemies.
+        let m = self.m_neighbors.min(vecs.len() + enemies.len() - 1).max(1);
+        let mut danger: Vec<usize> = Vec::new();
+        for (i, v) in vecs.iter().enumerate() {
+            let mut dists: Vec<(bool, f64)> = Vec::new();
+            for (j, f) in vecs.iter().enumerate() {
+                if j != i {
+                    dists.push((false, sq_dist(v, f)));
+                }
+            }
+            for e in &enemies {
+                dists.push((true, sq_dist(v, e)));
+            }
+            dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let enemy_count = dists.iter().take(m).filter(|(is_enemy, _)| *is_enemy).count();
+            if 2 * enemy_count >= m && enemy_count < m {
+                danger.push(i);
+            }
+        }
+        // No borderline points (well-separated class): plain SMOTE.
+        let seeds: Vec<usize> = if danger.is_empty() {
+            (0..vecs.len()).collect()
+        } else {
+            danger
+        };
+        let k = self.k.min(vecs.len() - 1);
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let i = seeds[rng.gen_range(0..seeds.len())];
+            let nn = knn_indices(&vecs, i, k);
+            let j = nn[rng.gen_range(0..nn.len())];
+            let gap: f64 = rng.gen_range(0.0..1.0);
+            out.push(to_mts(interpolate(&vecs[i], &vecs[j], gap), shape));
+        }
+        Ok(out)
+    }
+}
+
+/// ADASYN (He et al. 2008): like SMOTE, but seeds are drawn proportional
+/// to the fraction of enemy points in each member's neighbourhood, so
+/// harder regions get more synthetic data.
+#[derive(Debug, Clone, Copy)]
+pub struct Adasyn {
+    /// Same-class neighbour cap.
+    pub k: usize,
+}
+
+impl Default for Adasyn {
+    fn default() -> Self {
+        Self { k: 5 }
+    }
+}
+
+impl Augmenter for Adasyn {
+    fn name(&self) -> &'static str {
+        "adasyn"
+    }
+
+    fn synthesize(
+        &self,
+        ds: &Dataset,
+        class: Label,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<Mts>, TsdaError> {
+        let (vecs, shape) = class_vectors(ds, class);
+        if vecs.len() < 2 {
+            return Err(TsdaError::InvalidParameter(format!(
+                "ADASYN needs ≥2 members in class {class}"
+            )));
+        }
+        let enemies = enemy_vectors(ds, class);
+        let k_hard = self.k.min(vecs.len() + enemies.len() - 1).max(1);
+        // Difficulty weight r_i: enemy fraction among the k nearest
+        // points overall.
+        let mut weights: Vec<f64> = vecs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let mut dists: Vec<(bool, f64)> = Vec::new();
+                for (j, f) in vecs.iter().enumerate() {
+                    if j != i {
+                        dists.push((false, sq_dist(v, f)));
+                    }
+                }
+                for e in &enemies {
+                    dists.push((true, sq_dist(v, e)));
+                }
+                dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                dists.iter().take(k_hard).filter(|(e, _)| *e).count() as f64 / k_hard as f64
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            // Perfectly separated class: uniform seeds (plain SMOTE).
+            weights = vec![1.0; vecs.len()];
+        }
+        let cumsum: Vec<f64> = weights
+            .iter()
+            .scan(0.0, |acc, w| {
+                *acc += w;
+                Some(*acc)
+            })
+            .collect();
+        let total: f64 = *cumsum.last().expect("non-empty class");
+        let k = self.k.min(vecs.len() - 1);
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let u: f64 = rng.gen_range(0.0..total);
+            let i = cumsum.partition_point(|&c| c <= u).min(vecs.len() - 1);
+            let nn = knn_indices(&vecs, i, k);
+            let j = nn[rng.gen_range(0..nn.len())];
+            let gap: f64 = rng.gen_range(0.0..1.0);
+            out.push(to_mts(interpolate(&vecs[i], &vecs[j], gap), shape));
+        }
+        Ok(out)
+    }
+}
+
+/// SMOTEFUNA (Tarawneh et al. 2020): interpolates between a member and
+/// its *furthest* same-class neighbour, covering the class's convex hull
+/// more aggressively than nearest-neighbour SMOTE.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SmoteFuna;
+
+impl Augmenter for SmoteFuna {
+    fn name(&self) -> &'static str {
+        "smotefuna"
+    }
+
+    fn synthesize(
+        &self,
+        ds: &Dataset,
+        class: Label,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<Mts>, TsdaError> {
+        let (vecs, shape) = class_vectors(ds, class);
+        if vecs.len() < 2 {
+            return Err(TsdaError::InvalidParameter(format!(
+                "SMOTEFUNA needs ≥2 members in class {class}"
+            )));
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let i = rng.gen_range(0..vecs.len());
+            let j = (0..vecs.len())
+                .filter(|&j| j != i)
+                .max_by(|&a, &b| {
+                    sq_dist(&vecs[i], &vecs[a])
+                        .partial_cmp(&sq_dist(&vecs[i], &vecs[b]))
+                        .unwrap()
+                })
+                .expect("≥2 members");
+            // Uniform sample inside the axis-aligned box spanned by the pair.
+            let v: Vec<f64> = vecs[i]
+                .iter()
+                .zip(&vecs[j])
+                .map(|(&a, &b)| {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    if hi - lo < 1e-12 {
+                        a
+                    } else {
+                        rng.gen_range(lo..hi)
+                    }
+                })
+                .collect();
+            out.push(to_mts(v, shape));
+        }
+        Ok(out)
+    }
+}
+
+/// Plain interpolation with the single nearest neighbour at a fixed
+/// mixing weight — the simplest oversampling in the taxonomy.
+#[derive(Debug, Clone, Copy)]
+pub struct NearestInterpolation {
+    /// Mixing weight toward the neighbour.
+    pub alpha: f64,
+}
+
+impl Default for NearestInterpolation {
+    fn default() -> Self {
+        Self { alpha: 0.5 }
+    }
+}
+
+impl Augmenter for NearestInterpolation {
+    fn name(&self) -> &'static str {
+        "interpolation"
+    }
+
+    fn synthesize(
+        &self,
+        ds: &Dataset,
+        class: Label,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<Mts>, TsdaError> {
+        let (vecs, shape) = class_vectors(ds, class);
+        if vecs.len() < 2 {
+            return Err(TsdaError::InvalidParameter(format!(
+                "interpolation needs ≥2 members in class {class}"
+            )));
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let i = rng.gen_range(0..vecs.len());
+            let nn = knn_indices(&vecs, i, 1);
+            out.push(to_mts(interpolate(&vecs[i], &vecs[nn[0]], self.alpha), shape));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsda_core::rng::seeded;
+
+    /// Two well-separated clusters; class 1 is the minority.
+    fn two_clusters() -> Dataset {
+        let mut ds = Dataset::empty(2);
+        for i in 0..8 {
+            ds.push(Mts::constant(1, 6, 10.0 + (i as f64) * 0.1), 0);
+        }
+        for i in 0..4 {
+            ds.push(Mts::constant(1, 6, -10.0 - (i as f64) * 0.1), 1);
+        }
+        ds
+    }
+
+    fn range_of(ds: &Dataset, class: usize) -> (f64, f64) {
+        let vals: Vec<f64> = ds
+            .iter()
+            .filter(|&(_, l)| l == class)
+            .map(|(s, _)| s.value(0, 0))
+            .collect();
+        (
+            vals.iter().cloned().fold(f64::INFINITY, f64::min),
+            vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        )
+    }
+
+    #[test]
+    fn smote_interpolates_within_class_hull() {
+        let ds = two_clusters();
+        let out = Smote::default().synthesize(&ds, 1, 10, &mut seeded(1)).unwrap();
+        let (lo, hi) = range_of(&ds, 1);
+        for s in &out {
+            let v = s.value(0, 0);
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn smote_rejects_singleton_class() {
+        let mut ds = Dataset::empty(2);
+        ds.push(Mts::constant(1, 4, 0.0), 0);
+        ds.push(Mts::constant(1, 4, 1.0), 0);
+        ds.push(Mts::constant(1, 4, 9.0), 1);
+        assert!(Smote::default().synthesize(&ds, 1, 2, &mut seeded(2)).is_err());
+    }
+
+    #[test]
+    fn smote_k_is_capped_by_class_size() {
+        let mut ds = Dataset::empty(1);
+        ds.push(Mts::constant(1, 4, 0.0), 0);
+        ds.push(Mts::constant(1, 4, 1.0), 0);
+        // k=5 but only 1 neighbour available: must still work.
+        let out = Smote { k: 5 }.synthesize(&ds, 0, 3, &mut seeded(3)).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn smote_handles_missing_values_by_imputation() {
+        let mut ds = Dataset::empty(1);
+        ds.push(Mts::from_dims(vec![vec![0.0, f64::NAN, 2.0]]), 0);
+        ds.push(Mts::from_dims(vec![vec![2.0, 3.0, 4.0]]), 0);
+        let out = Smote::default().synthesize(&ds, 0, 4, &mut seeded(4)).unwrap();
+        for s in &out {
+            assert!(!s.has_missing());
+        }
+    }
+
+    #[test]
+    fn borderline_prefers_danger_points() {
+        // Minority class with a tight safe cluster far from the enemies
+        // and two members at the class border. The border members have
+        // mixed (enemy-majority but not all-enemy) neighbourhoods, so
+        // they are the "danger" seeds; the safe cluster is not.
+        let mut ds = Dataset::empty(2);
+        for i in 0..20 {
+            ds.push(Mts::constant(1, 2, 5.0 + i as f64 * 0.05), 0);
+        }
+        for i in 0..6 {
+            ds.push(Mts::constant(1, 2, -10.0 - i as f64 * 0.1), 1);
+        }
+        ds.push(Mts::constant(1, 2, 4.7), 1);
+        ds.push(Mts::constant(1, 2, 4.9), 1);
+        let out = BorderlineSmote::default()
+            .synthesize(&ds, 1, 30, &mut seeded(5))
+            .unwrap();
+        // Danger-seeded samples interpolate from ~4.8 toward the safe
+        // cluster, so most outputs land between the clusters.
+        let beyond = out.iter().filter(|s| s.value(0, 0) > -9.0).count();
+        assert!(beyond > 15, "{beyond} of 30 samples near the border");
+    }
+
+    #[test]
+    fn adasyn_weights_hard_members() {
+        let ds = two_clusters();
+        let out = Adasyn::default().synthesize(&ds, 1, 12, &mut seeded(6)).unwrap();
+        assert_eq!(out.len(), 12);
+        let (lo, hi) = range_of(&ds, 1);
+        for s in &out {
+            let v = s.value(0, 0);
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn smotefuna_spans_the_class_box() {
+        let ds = two_clusters();
+        let out = SmoteFuna.synthesize(&ds, 0, 50, &mut seeded(7)).unwrap();
+        let (lo, hi) = range_of(&ds, 0);
+        let mut spread = f64::NEG_INFINITY;
+        let mut low = f64::INFINITY;
+        for s in &out {
+            let v = s.value(0, 0);
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            spread = spread.max(v);
+            low = low.min(v);
+        }
+        // Furthest-neighbour interpolation covers most of the box.
+        assert!(spread - low > 0.5 * (hi - lo), "spread {}", spread - low);
+    }
+
+    #[test]
+    fn interpolation_is_midpoint_at_half_alpha() {
+        let mut ds = Dataset::empty(1);
+        ds.push(Mts::constant(1, 2, 0.0), 0);
+        ds.push(Mts::constant(1, 2, 2.0), 0);
+        let out = NearestInterpolation { alpha: 0.5 }
+            .synthesize(&ds, 0, 4, &mut seeded(8))
+            .unwrap();
+        for s in &out {
+            assert_eq!(s.value(0, 0), 1.0);
+        }
+    }
+
+    #[test]
+    fn synthesized_count_matches_request() {
+        let ds = two_clusters();
+        for aug in [&Smote::default() as &dyn Augmenter, &Adasyn::default(), &SmoteFuna] {
+            let out = aug.synthesize(&ds, 1, 7, &mut seeded(9)).unwrap();
+            assert_eq!(out.len(), 7, "{}", aug.name());
+        }
+    }
+}

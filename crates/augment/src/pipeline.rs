@@ -1,0 +1,218 @@
+//! Technique composition — the paper's future-work direction: "a
+//! conjunctive application of multiple time series augmentation methods
+//! could lead to further improvements" (§IV-F), mirroring computer
+//! vision pipelines like CutMix.
+//!
+//! Two composition modes:
+//! * [`Chain`] applies per-series transforms in sequence (e.g. time
+//!   warp, then noise — one sample passes through every stage);
+//! * [`RandomChoice`] draws a different technique from a pool for every
+//!   synthetic sample, mixing taxonomy branches inside a single
+//!   balanced dataset.
+
+use crate::{Augmenter, SeriesTransform};
+use rand::rngs::StdRng;
+use rand::Rng;
+use tsda_core::{Dataset, Label, Mts, TsdaError};
+
+/// Sequential composition of per-series transforms.
+pub struct Chain {
+    stages: Vec<Box<dyn SeriesTransform>>,
+}
+
+impl Chain {
+    /// Compose the given stages (applied front to back).
+    ///
+    /// # Panics
+    /// Panics when `stages` is empty.
+    pub fn new(stages: Vec<Box<dyn SeriesTransform>>) -> Self {
+        assert!(!stages.is_empty(), "empty augmentation chain");
+        Self { stages }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when the chain has no stages (cannot happen post-`new`).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+impl SeriesTransform for Chain {
+    fn name(&self) -> &'static str {
+        "chain"
+    }
+
+    fn transform(&self, series: &Mts, rng: &mut StdRng) -> Mts {
+        let mut cur = series.clone();
+        for stage in &self.stages {
+            cur = stage.transform(&cur, rng);
+        }
+        cur
+    }
+}
+
+/// Per-sample random choice from a pool of augmenters (possibly from
+/// different taxonomy branches), with optional weights.
+pub struct RandomChoice {
+    pool: Vec<(f64, Box<dyn Augmenter>)>,
+}
+
+impl RandomChoice {
+    /// Uniform pool.
+    ///
+    /// # Panics
+    /// Panics when `pool` is empty.
+    pub fn uniform(pool: Vec<Box<dyn Augmenter>>) -> Self {
+        assert!(!pool.is_empty(), "empty augmentation pool");
+        Self { pool: pool.into_iter().map(|a| (1.0, a)).collect() }
+    }
+
+    /// Weighted pool (weights need not be normalised).
+    ///
+    /// # Panics
+    /// Panics when `pool` is empty or any weight is non-positive.
+    pub fn weighted(pool: Vec<(f64, Box<dyn Augmenter>)>) -> Self {
+        assert!(!pool.is_empty(), "empty augmentation pool");
+        assert!(pool.iter().all(|(w, _)| *w > 0.0), "non-positive pool weight");
+        Self { pool }
+    }
+}
+
+impl Augmenter for RandomChoice {
+    fn name(&self) -> &'static str {
+        "random_choice"
+    }
+
+    fn synthesize(
+        &self,
+        ds: &Dataset,
+        class: Label,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<Mts>, TsdaError> {
+        let total: f64 = self.pool.iter().map(|(w, _)| w).sum();
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let mut u: f64 = rng.gen::<f64>() * total;
+            let mut chosen = &self.pool[self.pool.len() - 1].1;
+            for (w, aug) in &self.pool {
+                if u < *w {
+                    chosen = aug;
+                    break;
+                }
+                u -= w;
+            }
+            match chosen.synthesize(ds, class, 1, rng) {
+                Ok(mut s) => out.append(&mut s),
+                Err(e) => {
+                    // A pool member may be infeasible for this class
+                    // (e.g. SMOTE on a singleton); skip it unless every
+                    // member fails.
+                    let feasible = self.pool.iter().any(|(_, a)| {
+                        // Cheap feasibility probe: one attempt each.
+                        a.synthesize(ds, class, 1, rng).is_ok()
+                    });
+                    if !feasible {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::time::{NoiseInjection, Scaling, TimeWarp};
+    use crate::oversample::Smote;
+    use tsda_core::rng::seeded;
+
+    fn toy() -> Dataset {
+        let mut ds = Dataset::empty(2);
+        for i in 0..6 {
+            ds.push(
+                Mts::from_dims(vec![(0..16).map(|t| (t + i) as f64).collect()]),
+                0,
+            );
+        }
+        for i in 0..3 {
+            ds.push(
+                Mts::from_dims(vec![(0..16).map(|t| -((t + i) as f64)).collect()]),
+                1,
+            );
+        }
+        ds
+    }
+
+    #[test]
+    fn chain_applies_all_stages() {
+        let chain = Chain::new(vec![
+            Box::new(TimeWarp::default()),
+            Box::new(NoiseInjection::level(1.0)),
+            Box::new(Scaling::default()),
+        ]);
+        assert_eq!(chain.len(), 3);
+        let ds = toy();
+        let s = &ds.series()[0];
+        let out = chain.transform(s, &mut seeded(1));
+        assert_eq!(out.shape(), s.shape());
+        assert_ne!(&out, s);
+    }
+
+    #[test]
+    fn chain_balances_through_blanket_impl() {
+        let chain = Chain::new(vec![
+            Box::new(NoiseInjection::level(1.0)),
+            Box::new(Scaling::default()),
+        ]);
+        let ds = toy();
+        let out = crate::balance::augment_to_balance(&ds, &chain, &mut seeded(2)).unwrap();
+        assert_eq!(out.class_counts(), vec![6, 6]);
+    }
+
+    #[test]
+    fn random_choice_mixes_branches() {
+        let pool = RandomChoice::uniform(vec![
+            Box::new(NoiseInjection::level(1.0)),
+            Box::new(Smote::default()),
+        ]);
+        let ds = toy();
+        let out = pool.synthesize(&ds, 1, 20, &mut seeded(3)).unwrap();
+        assert_eq!(out.len(), 20);
+        assert!(out.iter().all(|s| s.as_flat().iter().all(|v| v.is_finite())));
+    }
+
+    #[test]
+    fn random_choice_skips_infeasible_members() {
+        // Singleton class: SMOTE is infeasible, noise is not; the pool
+        // must still produce all samples.
+        let mut ds = Dataset::empty(1);
+        ds.push(Mts::constant(1, 8, 1.0), 0);
+        let pool = RandomChoice::weighted(vec![
+            (1.0, Box::new(Smote::default()) as Box<dyn Augmenter>),
+            (1.0, Box::new(NoiseInjection::level(1.0))),
+        ]);
+        let out = pool.synthesize(&ds, 0, 10, &mut seeded(4)).unwrap();
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn random_choice_errors_when_nothing_is_feasible() {
+        let mut ds = Dataset::empty(1);
+        ds.push(Mts::constant(1, 8, 1.0), 0);
+        let pool = RandomChoice::uniform(vec![Box::new(Smote::default()) as Box<dyn Augmenter>]);
+        assert!(pool.synthesize(&ds, 0, 3, &mut seeded(5)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty augmentation chain")]
+    fn empty_chain_is_rejected() {
+        let _ = Chain::new(vec![]);
+    }
+}

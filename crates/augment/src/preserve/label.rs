@@ -1,0 +1,210 @@
+//! Label-preserving augmentation: the "range" technique of the taxonomy
+//! (paper Figure 5, Kim & Jeong 2021).
+//!
+//! Plain noise injection can push a sample across the decision boundary
+//! — a false label. The range technique first estimates, per class, how
+//! much perturbation is *safe*: a fraction of each member's distance to
+//! its nearest enemy (nearest sample of any other class). Noise is then
+//! scaled so the perturbed point stays inside that radius.
+
+use crate::Augmenter;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tsda_core::preprocess::impute_linear;
+use tsda_core::rng::standard_normal;
+use tsda_core::{Dataset, Label, Mts, TsdaError};
+
+/// Range-limited noise injection.
+#[derive(Debug, Clone, Copy)]
+pub struct RangeNoise {
+    /// Fraction of the nearest-enemy distance the noise may consume
+    /// (the safety margin; the source work uses ~1/3).
+    pub margin: f64,
+}
+
+impl Default for RangeNoise {
+    fn default() -> Self {
+        Self { margin: 1.0 / 3.0 }
+    }
+}
+
+impl RangeNoise {
+    /// Distance from each member of `class` to its nearest enemy, in the
+    /// flattened `M·T` space. Returns `None` when no enemies exist.
+    pub fn nearest_enemy_distances(ds: &Dataset, class: Label) -> Option<Vec<f64>> {
+        let members: Vec<Vec<f64>> = ds
+            .indices_of_class(class)
+            .into_iter()
+            .map(|i| impute_linear(&ds.series()[i]).into_flat())
+            .collect();
+        let enemies: Vec<Vec<f64>> = ds
+            .iter()
+            .filter(|&(_, l)| l != class)
+            .map(|(s, _)| impute_linear(s).into_flat())
+            .collect();
+        if enemies.is_empty() || members.is_empty() {
+            return None;
+        }
+        Some(
+            members
+                .iter()
+                .map(|m| {
+                    enemies
+                        .iter()
+                        .map(|e| {
+                            m.iter()
+                                .zip(e)
+                                .map(|(a, b)| (a - b) * (a - b))
+                                .sum::<f64>()
+                                .sqrt()
+                        })
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect(),
+        )
+    }
+}
+
+impl Augmenter for RangeNoise {
+    fn name(&self) -> &'static str {
+        "range_noise"
+    }
+
+    fn synthesize(
+        &self,
+        ds: &Dataset,
+        class: Label,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<Mts>, TsdaError> {
+        let members = ds.indices_of_class(class);
+        if members.is_empty() {
+            return Err(TsdaError::InvalidParameter(format!("class {class} empty")));
+        }
+        let distances = Self::nearest_enemy_distances(ds, class).ok_or_else(|| {
+            TsdaError::InvalidParameter("range noise needs at least one enemy class".into())
+        })?;
+        let dims = ds.n_dims();
+        let len = ds.series_len();
+        let d = (dims * len) as f64;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let pick = rng.gen_range(0..members.len());
+            let base = impute_linear(&ds.series()[members[pick]]);
+            // Safe radius for this member; a Gaussian with per-coordinate
+            // std σ has expected norm ≈ σ√d, so σ = margin·radius/√d keeps
+            // the perturbed point inside the margin in expectation.
+            let radius = distances[pick];
+            let sigma = self.margin * radius / d.sqrt().max(1.0);
+            let mut s = base.clone();
+            // Draw the noise, then hard-clip its norm at margin·radius so
+            // no sample ever transgresses the boundary estimate.
+            let mut noise: Vec<f64> = (0..dims * len).map(|_| sigma * standard_normal(rng)).collect();
+            let norm: f64 = noise.iter().map(|v| v * v).sum::<f64>().sqrt();
+            let cap = self.margin * radius;
+            if norm > cap && norm > 0.0 {
+                let scale = cap / norm;
+                for v in &mut noise {
+                    *v *= scale;
+                }
+            }
+            for (v, nz) in s.as_flat_mut().iter_mut().zip(&noise) {
+                *v += nz;
+            }
+            out.push(s);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsda_core::rng::seeded;
+
+    /// Two classes separated by distance 10 in flattened space.
+    fn two_classes() -> Dataset {
+        let mut ds = Dataset::empty(2);
+        for i in 0..5 {
+            ds.push(Mts::constant(1, 4, i as f64 * 0.1), 0);
+        }
+        for i in 0..5 {
+            ds.push(Mts::constant(1, 4, 5.0 + i as f64 * 0.1), 1);
+        }
+        ds
+    }
+
+    #[test]
+    fn nearest_enemy_distances_are_correct() {
+        let ds = two_classes();
+        let d = RangeNoise::nearest_enemy_distances(&ds, 0).unwrap();
+        // Closest member of class 0 (0.4) to closest enemy (5.0):
+        // per-position gap 4.6 over 4 positions → norm 9.2.
+        let min = d.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((min - 9.2).abs() < 1e-9, "{min}");
+    }
+
+    #[test]
+    fn samples_never_cross_the_margin() {
+        let ds = two_classes();
+        let aug = RangeNoise { margin: 1.0 / 3.0 };
+        let out = aug.synthesize(&ds, 0, 50, &mut seeded(1)).unwrap();
+        let dists = RangeNoise::nearest_enemy_distances(&ds, 0).unwrap();
+        let max_radius = dists.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for s in &out {
+            // Every synthetic point stays within margin · its base radius
+            // of *some* class member; conservatively check against the
+            // largest member radius.
+            let min_dist_to_class: f64 = ds
+                .iter()
+                .filter(|&(_, l)| l == 0)
+                .map(|(m, _)| m.euclidean_distance(s))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                min_dist_to_class <= max_radius / 3.0 + 1e-9,
+                "sample strayed {min_dist_to_class}"
+            );
+        }
+    }
+
+    #[test]
+    fn synthetic_points_keep_their_label_under_1nn() {
+        let ds = two_classes();
+        let out = RangeNoise::default().synthesize(&ds, 0, 30, &mut seeded(2)).unwrap();
+        for s in &out {
+            // 1-NN over the original data must still say class 0.
+            let (label, _) = ds
+                .iter()
+                .map(|(m, l)| (l, m.euclidean_distance(s)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .map(|(l, d)| (l, d))
+                .unwrap();
+            assert_eq!(label, 0);
+        }
+    }
+
+    #[test]
+    fn wider_margin_adds_more_noise() {
+        let ds = two_classes();
+        let spread = |margin: f64| {
+            let aug = RangeNoise { margin };
+            let out = aug.synthesize(&ds, 0, 20, &mut seeded(3)).unwrap();
+            out.iter()
+                .map(|s| {
+                    ds.iter()
+                        .filter(|&(_, l)| l == 0)
+                        .map(|(m, _)| m.euclidean_distance(s))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum::<f64>()
+        };
+        assert!(spread(0.6) > spread(0.1));
+    }
+
+    #[test]
+    fn single_class_dataset_is_rejected() {
+        let mut ds = Dataset::empty(1);
+        ds.push(Mts::constant(1, 4, 0.0), 0);
+        assert!(RangeNoise::default().synthesize(&ds, 0, 1, &mut seeded(4)).is_err());
+    }
+}

@@ -1,0 +1,6 @@
+//! Preserving techniques — the taxonomy branch this paper adds over
+//! earlier surveys: label-preserving range noise and structure-preserving
+//! covariance-faithful oversampling.
+
+pub mod label;
+pub mod structure;

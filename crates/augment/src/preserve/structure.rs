@@ -1,0 +1,408 @@
+//! Structure-preserving oversampling: OHIT and INOS (paper Figure 6).
+//!
+//! These techniques target what SMOTE-style interpolation destroys: the
+//! covariance structure of a (possibly multi-modal) minority class in
+//! high-dimensional series space.
+//!
+//! * [`Ohit`] (Zhu, Lin & Liu 2020): DRSNN — density-based clustering on
+//!   a shared-nearest-neighbour graph — finds the class's modes; each
+//!   mode's covariance is estimated with shrinkage (the class is tiny
+//!   relative to `M·T`), and new samples are drawn from the resulting
+//!   per-mode Gaussians.
+//! * [`Inos`] (Cao et al. 2011/2013): a fraction of samples comes from
+//!   "protected" interpolation, the rest from a regularised estimate of
+//!   the whole-class covariance — the SPO recipe with an interpolation
+//!   guard.
+
+use crate::Augmenter;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tsda_core::preprocess::impute_linear;
+use tsda_core::rng::standard_normal;
+use tsda_core::{Dataset, Label, Mts, TsdaError};
+use tsda_linalg::cholesky::cholesky_jittered;
+use tsda_linalg::cov::shrinkage_covariance;
+use tsda_linalg::matrix::Matrix;
+
+/// Shared-nearest-neighbour similarity: |kNN(a) ∩ kNN(b)| for points
+/// indexed into a distance matrix.
+fn snn_similarity(knn: &[Vec<usize>], a: usize, b: usize) -> usize {
+    knn[a].iter().filter(|i| knn[b].contains(i)).count()
+}
+
+/// DRSNN clustering (Jarvis-Patrick style density clustering on the SNN
+/// graph). Returns cluster assignments; noise points get their own
+/// singleton clusters so every member participates in sampling.
+fn drsnn_cluster(vectors: &[Vec<f64>], k: usize) -> Vec<usize> {
+    let n = vectors.len();
+    if n <= 2 {
+        return (0..n).collect();
+    }
+    let k = k.min(n - 1).max(1);
+    // kNN lists by Euclidean distance.
+    let knn: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            let mut d: Vec<(usize, f64)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| {
+                    (
+                        j,
+                        vectors[i]
+                            .iter()
+                            .zip(&vectors[j])
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum::<f64>(),
+                    )
+                })
+                .collect();
+            d.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            d.into_iter().take(k).map(|(j, _)| j).collect()
+        })
+        .collect();
+    // SNN density: count of neighbours sharing at least k/2 neighbours.
+    let eps = (k / 2).max(1);
+    let density: Vec<usize> = (0..n)
+        .map(|i| {
+            knn[i]
+                .iter()
+                .filter(|&&j| snn_similarity(&knn, i, j) >= eps)
+                .count()
+        })
+        .collect();
+    // Core points seed clusters; members join the densest core they share
+    // enough neighbours with (single-pass union toward cores).
+    let core_threshold = (k / 2).max(1);
+    let mut assign = vec![usize::MAX; n];
+    let mut next_cluster = 0;
+    // Process points by decreasing density.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| density[b].cmp(&density[a]));
+    for &i in &order {
+        if density[i] < core_threshold {
+            continue; // not a core point
+        }
+        // Join an existing cluster through a connected core neighbour.
+        let linked = knn[i]
+            .iter()
+            .find(|&&j| assign[j] != usize::MAX && snn_similarity(&knn, i, j) >= eps);
+        match linked {
+            Some(&j) => assign[i] = assign[j],
+            None => {
+                assign[i] = next_cluster;
+                next_cluster += 1;
+            }
+        }
+    }
+    // Non-core points attach to the cluster of their nearest assigned
+    // neighbour, else become singletons.
+    for i in 0..n {
+        if assign[i] != usize::MAX {
+            continue;
+        }
+        let near = knn[i].iter().find(|&&j| assign[j] != usize::MAX);
+        match near {
+            Some(&j) => assign[i] = assign[j],
+            None => {
+                assign[i] = next_cluster;
+                next_cluster += 1;
+            }
+        }
+    }
+    assign
+}
+
+/// Draw from `N(mean, cov)` using a jittered Cholesky factor.
+fn sample_gaussian(
+    mean: &[f64],
+    chol: &Matrix,
+    rng: &mut StdRng,
+) -> Vec<f64> {
+    let d = mean.len();
+    let z: Vec<f64> = (0..d).map(|_| standard_normal(rng)).collect();
+    let mut out = mean.to_vec();
+    for i in 0..d {
+        let mut acc = 0.0;
+        for j in 0..=i {
+            acc += chol[(i, j)] * z[j];
+        }
+        out[i] += acc;
+    }
+    out
+}
+
+/// OHIT: cluster the minority class with DRSNN, then sample per-cluster
+/// Gaussians with shrinkage covariance.
+#[derive(Debug, Clone, Copy)]
+pub struct Ohit {
+    /// kNN parameter of the SNN graph; clamped to the class size.
+    pub k: usize,
+}
+
+impl Default for Ohit {
+    fn default() -> Self {
+        Self { k: 5 }
+    }
+}
+
+impl Augmenter for Ohit {
+    fn name(&self) -> &'static str {
+        "ohit"
+    }
+
+    fn synthesize(
+        &self,
+        ds: &Dataset,
+        class: Label,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<Mts>, TsdaError> {
+        let members = ds.indices_of_class(class);
+        if members.len() < 2 {
+            return Err(TsdaError::InvalidParameter(format!(
+                "OHIT needs ≥2 members in class {class}"
+            )));
+        }
+        let dims = ds.n_dims();
+        let len = ds.series_len();
+        let vectors: Vec<Vec<f64>> = members
+            .iter()
+            .map(|&i| impute_linear(&ds.series()[i]).into_flat())
+            .collect();
+        let assign = drsnn_cluster(&vectors, self.k);
+        let n_clusters = assign.iter().copied().max().unwrap_or(0) + 1;
+        // Per-cluster Gaussian models (skip singletons: they fall back to
+        // the whole-class model).
+        let build_model = |idx: &[usize]| -> Option<(Vec<f64>, Matrix)> {
+            if idx.len() < 2 {
+                return None;
+            }
+            let d = vectors[0].len();
+            let mat = Matrix::from_rows(
+                &idx.iter().map(|&i| vectors[i].clone()).collect::<Vec<_>>(),
+            );
+            let mean: Vec<f64> = (0..d)
+                .map(|j| idx.iter().map(|&i| vectors[i][j]).sum::<f64>() / idx.len() as f64)
+                .collect();
+            let shrunk = shrinkage_covariance(&mat);
+            let (chol, _) = cholesky_jittered(&shrunk.covariance, 14).ok()?;
+            Some((mean, chol))
+        };
+        let whole: Vec<usize> = (0..vectors.len()).collect();
+        let fallback = build_model(&whole).ok_or_else(|| {
+            TsdaError::Numerical("OHIT could not factor the class covariance".into())
+        })?;
+        let mut models: Vec<Option<(Vec<f64>, Matrix)>> = Vec::with_capacity(n_clusters);
+        let mut weights: Vec<f64> = Vec::with_capacity(n_clusters);
+        for c in 0..n_clusters {
+            let idx: Vec<usize> = (0..vectors.len()).filter(|&i| assign[i] == c).collect();
+            weights.push(idx.len() as f64);
+            models.push(build_model(&idx));
+        }
+        let total: f64 = weights.iter().sum();
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            // Pick a cluster proportional to its size.
+            let u: f64 = rng.gen::<f64>() * total;
+            let mut acc = 0.0;
+            let mut chosen = 0;
+            for (c, w) in weights.iter().enumerate() {
+                acc += w;
+                if u <= acc {
+                    chosen = c;
+                    break;
+                }
+            }
+            let (mean, chol) = models[chosen].as_ref().unwrap_or(&fallback);
+            out.push(Mts::from_flat(dims, len, sample_gaussian(mean, chol, rng)));
+        }
+        Ok(out)
+    }
+}
+
+/// INOS: `interp_fraction` of the samples come from protected
+/// interpolation between class members; the rest are drawn from a
+/// regularised whole-class Gaussian (the SPO component).
+#[derive(Debug, Clone, Copy)]
+pub struct Inos {
+    /// Fraction generated by interpolation (the "protected" samples).
+    pub interp_fraction: f64,
+}
+
+impl Default for Inos {
+    fn default() -> Self {
+        Self { interp_fraction: 0.7 }
+    }
+}
+
+impl Augmenter for Inos {
+    fn name(&self) -> &'static str {
+        "inos"
+    }
+
+    fn synthesize(
+        &self,
+        ds: &Dataset,
+        class: Label,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<Mts>, TsdaError> {
+        let members = ds.indices_of_class(class);
+        if members.len() < 2 {
+            return Err(TsdaError::InvalidParameter(format!(
+                "INOS needs ≥2 members in class {class}"
+            )));
+        }
+        let dims = ds.n_dims();
+        let len = ds.series_len();
+        let vectors: Vec<Vec<f64>> = members
+            .iter()
+            .map(|&i| impute_linear(&ds.series()[i]).into_flat())
+            .collect();
+        let d = vectors[0].len();
+        let mat = Matrix::from_rows(&vectors);
+        let mean: Vec<f64> = (0..d)
+            .map(|j| vectors.iter().map(|v| v[j]).sum::<f64>() / vectors.len() as f64)
+            .collect();
+        let shrunk = shrinkage_covariance(&mat);
+        let (chol, _) = cholesky_jittered(&shrunk.covariance, 14)
+            .map_err(|e| TsdaError::Numerical(format!("INOS covariance: {e}")))?;
+        let n_interp = ((count as f64) * self.interp_fraction).round() as usize;
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            if i < n_interp {
+                let a = rng.gen_range(0..vectors.len());
+                let mut b = rng.gen_range(0..vectors.len());
+                while b == a {
+                    b = rng.gen_range(0..vectors.len());
+                }
+                let gap: f64 = rng.gen_range(0.0..1.0);
+                let v: Vec<f64> = vectors[a]
+                    .iter()
+                    .zip(&vectors[b])
+                    .map(|(x, y)| x + gap * (y - x))
+                    .collect();
+                out.push(Mts::from_flat(dims, len, v));
+            } else {
+                out.push(Mts::from_flat(dims, len, sample_gaussian(&mean, &chol, rng)));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsda_core::rng::{normal, seeded};
+
+    /// A bimodal class: two well-separated modes with distinct internal
+    /// correlation, in 1×8.
+    fn bimodal_class() -> Dataset {
+        let mut ds = Dataset::empty(1);
+        let mut rng = seeded(0);
+        for _ in 0..8 {
+            // Mode A around +5, rising.
+            let base: Vec<f64> = (0..8).map(|t| 5.0 + t as f64 * 0.1).collect();
+            ds.push(
+                Mts::from_dims(vec![base.iter().map(|v| v + normal(&mut rng, 0.0, 0.2)).collect()]),
+                0,
+            );
+        }
+        for _ in 0..8 {
+            // Mode B around −5, falling.
+            let base: Vec<f64> = (0..8).map(|t| -5.0 - t as f64 * 0.1).collect();
+            ds.push(
+                Mts::from_dims(vec![base.iter().map(|v| v + normal(&mut rng, 0.0, 0.2)).collect()]),
+                0,
+            );
+        }
+        ds
+    }
+
+    #[test]
+    fn drsnn_separates_two_modes() {
+        let ds = bimodal_class();
+        let vectors: Vec<Vec<f64>> = ds.series().iter().map(|s| s.as_flat().to_vec()).collect();
+        let assign = drsnn_cluster(&vectors, 4);
+        // Members 0..8 (mode A) and 8..16 (mode B) must not share a cluster.
+        for i in 0..8 {
+            for j in 8..16 {
+                assert_ne!(assign[i], assign[j], "modes merged: {assign:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ohit_samples_respect_the_modes() {
+        let ds = bimodal_class();
+        let out = Ohit::default().synthesize(&ds, 0, 40, &mut seeded(1)).unwrap();
+        let mut near_a = 0;
+        let mut near_b = 0;
+        for s in &out {
+            let m: f64 = s.dim(0).iter().sum::<f64>() / 8.0;
+            if m > 2.0 {
+                near_a += 1;
+            } else if m < -2.0 {
+                near_b += 1;
+            }
+        }
+        // No samples should land in the empty middle (that is what SMOTE
+        // would do); both modes must be populated.
+        assert_eq!(near_a + near_b, 40, "samples fell between modes");
+        assert!(near_a > 5 && near_b > 5, "a mode was ignored: {near_a}/{near_b}");
+    }
+
+    #[test]
+    fn ohit_preserves_within_mode_correlation_sign() {
+        // Mode A rises with t; generated samples assigned to mode A
+        // should rise too (covariance structure, not white noise).
+        let ds = bimodal_class();
+        let out = Ohit::default().synthesize(&ds, 0, 30, &mut seeded(2)).unwrap();
+        for s in &out {
+            let m: f64 = s.dim(0).iter().sum::<f64>() / 8.0;
+            if m > 2.0 {
+                let slope = s.value(0, 7) - s.value(0, 0);
+                assert!(slope > -0.8, "mode-A sample lost its rise: {slope}");
+            }
+        }
+    }
+
+    #[test]
+    fn inos_mixes_interpolation_and_gaussian() {
+        let ds = bimodal_class();
+        let out = Inos { interp_fraction: 0.5 }
+            .synthesize(&ds, 0, 20, &mut seeded(3))
+            .unwrap();
+        assert_eq!(out.len(), 20);
+        for s in &out {
+            assert!(s.dim(0).iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn structure_methods_reject_singleton_class() {
+        let mut ds = Dataset::empty(1);
+        ds.push(Mts::constant(1, 4, 0.0), 0);
+        assert!(Ohit::default().synthesize(&ds, 0, 1, &mut seeded(4)).is_err());
+        assert!(Inos::default().synthesize(&ds, 0, 1, &mut seeded(5)).is_err());
+    }
+
+    #[test]
+    fn ohit_handles_high_dimensional_small_class() {
+        // 4 members in 1×32 space: covariance is singular; shrinkage +
+        // jitter must still produce samples.
+        let mut ds = Dataset::empty(1);
+        let mut rng = seeded(6);
+        for _ in 0..4 {
+            ds.push(
+                Mts::from_dims(vec![(0..32)
+                    .map(|t| (t as f64 * 0.3).sin() + normal(&mut rng, 0.0, 0.1))
+                    .collect()]),
+                0,
+            );
+        }
+        let out = Ohit::default().synthesize(&ds, 0, 6, &mut seeded(7)).unwrap();
+        assert_eq!(out.len(), 6);
+        assert!(out.iter().all(|s| s.as_flat().iter().all(|v| v.is_finite())));
+    }
+}

@@ -1,0 +1,308 @@
+//! The machine-readable taxonomy of Figure 1, plus the registry of the
+//! five techniques the paper evaluates (noise_1/3/5, SMOTE, TimeGAN).
+
+use crate::Augmenter;
+
+/// A node of the taxonomy tree.
+#[derive(Debug, Clone)]
+pub struct TaxonomyNode {
+    /// Branch or leaf name as printed in Figure 1.
+    pub name: &'static str,
+    /// Child branches/leaves (empty for techniques).
+    pub children: Vec<TaxonomyNode>,
+    /// For leaves: the `Augmenter::name` of the implementation in this
+    /// crate, when one exists.
+    pub implementation: Option<&'static str>,
+}
+
+impl TaxonomyNode {
+    fn branch(name: &'static str, children: Vec<TaxonomyNode>) -> Self {
+        Self { name, children, implementation: None }
+    }
+
+    fn leaf(name: &'static str, implementation: &'static str) -> Self {
+        Self { name, children: Vec::new(), implementation: Some(implementation) }
+    }
+
+    /// Count of implemented techniques in this subtree.
+    pub fn implemented_count(&self) -> usize {
+        usize::from(self.implementation.is_some())
+            + self.children.iter().map(Self::implemented_count).sum::<usize>()
+    }
+
+    /// Render the subtree as an ASCII tree (the Figure 1 reproduction).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, "", true);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, prefix: &str, is_last: bool) {
+        if prefix.is_empty() {
+            out.push_str(self.name);
+        } else {
+            out.push_str(prefix);
+            out.push_str(if is_last { "└── " } else { "├── " });
+            out.push_str(self.name);
+        }
+        if let Some(imp) = self.implementation {
+            out.push_str(&format!("  [{imp}]"));
+        }
+        out.push('\n');
+        let child_prefix = if prefix.is_empty() {
+            String::new()
+        } else {
+            format!("{prefix}{}", if is_last { "    " } else { "│   " })
+        };
+        let n = self.children.len();
+        for (i, c) in self.children.iter().enumerate() {
+            let p = if prefix.is_empty() { "  ".to_string() } else { child_prefix.clone() };
+            c.render_into(out, &p, i + 1 == n);
+        }
+    }
+
+    /// Depth-first iterator over all leaf implementation names.
+    pub fn implementations(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        self.collect_impls(&mut out);
+        out
+    }
+
+    fn collect_impls(&self, out: &mut Vec<&'static str>) {
+        if let Some(i) = self.implementation {
+            out.push(i);
+        }
+        for c in &self.children {
+            c.collect_impls(out);
+        }
+    }
+}
+
+/// Build the full taxonomy of the paper's Figure 1, annotated with the
+/// implementations in this crate.
+pub fn taxonomy() -> TaxonomyNode {
+    TaxonomyNode::branch(
+        "Time Series Data Augmentation",
+        vec![
+            TaxonomyNode::branch(
+                "Basic",
+                vec![
+                    TaxonomyNode::branch(
+                        "Time Domain",
+                        vec![
+                            TaxonomyNode::leaf("Noise Injection", "noise"),
+                            TaxonomyNode::leaf("Scaling", "scaling"),
+                            TaxonomyNode::leaf("Rotation", "rotation"),
+                            TaxonomyNode::leaf("Jittering", "jitter"),
+                            TaxonomyNode::leaf("Slicing", "slicing"),
+                            TaxonomyNode::leaf("Permutation", "permutation"),
+                            TaxonomyNode::leaf("Masking / Cropping", "masking"),
+                            TaxonomyNode::leaf("Dropout", "dropout"),
+                            TaxonomyNode::leaf("Pooling", "pooling"),
+                            TaxonomyNode::leaf("Magnitude Warping", "magnitude_warp"),
+                            TaxonomyNode::leaf("Time Warping", "time_warp"),
+                            TaxonomyNode::leaf("Window Warping", "window_warp"),
+                            TaxonomyNode::leaf("Guided (DTW) Warping", "guided_warp"),
+                            TaxonomyNode::leaf("Weighted DBA Averaging", "wdba"),
+                        ],
+                    ),
+                    TaxonomyNode::branch(
+                        "Frequency Domain",
+                        vec![
+                            TaxonomyNode::leaf("Amplitude Perturbation", "amplitude_perturb"),
+                            TaxonomyNode::leaf("Phase Perturbation", "phase_perturb"),
+                            TaxonomyNode::leaf("SpecAugment Masking", "specaugment"),
+                            TaxonomyNode::leaf("EMDA Spectral Mixing", "emda_mix"),
+                        ],
+                    ),
+                    TaxonomyNode::branch(
+                        "Oversampling",
+                        vec![
+                            TaxonomyNode::leaf("Interpolation", "interpolation"),
+                            TaxonomyNode::leaf("SMOTE", "smote"),
+                            TaxonomyNode::leaf("Borderline-SMOTE", "borderline_smote"),
+                            TaxonomyNode::leaf("ADASYN", "adasyn"),
+                            TaxonomyNode::leaf("SMOTEFUNA", "smotefuna"),
+                        ],
+                    ),
+                    TaxonomyNode::branch(
+                        "Decomposition",
+                        vec![
+                            TaxonomyNode::leaf("STL Residual Bootstrap", "stl_bootstrap"),
+                            TaxonomyNode::leaf("EMD Recombination", "emd_recombine"),
+                        ],
+                    ),
+                ],
+            ),
+            TaxonomyNode::branch(
+                "Generative",
+                vec![
+                    TaxonomyNode::branch(
+                        "Statistical",
+                        vec![
+                            TaxonomyNode::leaf("Kernel Density Sampling", "kde"),
+                            TaxonomyNode::leaf("AR Residual Model", "ar_residual"),
+                            TaxonomyNode::leaf("Maximum-Entropy Bootstrap", "meboot"),
+                            TaxonomyNode::leaf("Block Bootstrap", "block_bootstrap"),
+                        ],
+                    ),
+                    TaxonomyNode::branch(
+                        "Neural Network",
+                        vec![
+                            TaxonomyNode::leaf("TimeGAN", "timegan"),
+                            TaxonomyNode::leaf("VAE", "vae"),
+                            TaxonomyNode::leaf("Latent-Space AE", "latent_space"),
+                        ],
+                    ),
+                    TaxonomyNode::branch(
+                        "Probabilistic",
+                        vec![
+                            TaxonomyNode::leaf("Gaussian HMM", "gaussian_hmm"),
+                            TaxonomyNode::leaf("Autoregressive (Eq. 1)", "autoregressive"),
+                            TaxonomyNode::leaf("Diffusion (Eq. 2)", "diffusion"),
+                        ],
+                    ),
+                ],
+            ),
+            TaxonomyNode::branch(
+                "Preserving",
+                vec![
+                    TaxonomyNode::branch(
+                        "Label-Preserving",
+                        vec![TaxonomyNode::leaf("Range Technique", "range_noise")],
+                    ),
+                    TaxonomyNode::branch(
+                        "Structure-Preserving",
+                        vec![
+                            TaxonomyNode::leaf("OHIT", "ohit"),
+                            TaxonomyNode::leaf("INOS / SPO", "inos"),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+    )
+}
+
+/// The five techniques the paper's evaluation uses (§IV-C), in table
+/// column order: `noise_1`, `noise_3`, `noise_5`, `smote`, `timegan`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperTechnique {
+    /// Noise injection at level 1 (Eq. 6).
+    Noise1,
+    /// Noise injection at level 3.
+    Noise3,
+    /// Noise injection at level 5.
+    Noise5,
+    /// SMOTE with `k = min(5, class − 1)`.
+    Smote,
+    /// TimeGAN (§IV-C hyper-parameters at paper scale).
+    TimeGan,
+}
+
+impl PaperTechnique {
+    /// All five, in the paper's table column order.
+    pub const ALL: [PaperTechnique; 5] = [
+        PaperTechnique::Noise1,
+        PaperTechnique::Noise3,
+        PaperTechnique::Noise5,
+        PaperTechnique::Smote,
+        PaperTechnique::TimeGan,
+    ];
+
+    /// Column label as printed in Tables IV/V.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Noise1 => "noise_1.0",
+            Self::Noise3 => "noise_3.0",
+            Self::Noise5 => "noise_5.0",
+            Self::Smote => "smote",
+            Self::TimeGan => "timegan",
+        }
+    }
+
+    /// Instantiate the technique. `paper_scale` selects TimeGAN's §IV-C
+    /// iteration budget instead of the laptop-scale default.
+    pub fn build(self, paper_scale: bool) -> Box<dyn Augmenter> {
+        use crate::basic::time::NoiseInjection;
+        use crate::generative::timegan::{TimeGan, TimeGanConfig};
+        use crate::oversample::Smote;
+        match self {
+            Self::Noise1 => Box::new(NoiseInjection::level(1.0)),
+            Self::Noise3 => Box::new(NoiseInjection::level(3.0)),
+            Self::Noise5 => Box::new(NoiseInjection::level(5.0)),
+            Self::Smote => Box::new(Smote::default()),
+            Self::TimeGan => Box::new(TimeGan::new(if paper_scale {
+                TimeGanConfig::paper()
+            } else {
+                TimeGanConfig::default()
+            })),
+        }
+    }
+
+    /// The grouping used by Table VI (noise levels collapse to "Noise").
+    pub fn table6_group(self) -> &'static str {
+        match self {
+            Self::Noise1 | Self::Noise3 | Self::Noise5 => "Noise",
+            Self::Smote => "SMOTE",
+            Self::TimeGan => "TimeGAN",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_has_three_top_branches() {
+        let t = taxonomy();
+        let names: Vec<&str> = t.children.iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["Basic", "Generative", "Preserving"]);
+    }
+
+    #[test]
+    fn every_leaf_is_implemented() {
+        let t = taxonomy();
+        assert!(t.implemented_count() >= 28, "{}", t.implemented_count());
+        // No empty-leaf branches.
+        fn check(node: &TaxonomyNode) {
+            if node.children.is_empty() {
+                assert!(node.implementation.is_some(), "unimplemented leaf {}", node.name);
+            }
+            for c in &node.children {
+                check(c);
+            }
+        }
+        check(&t);
+    }
+
+    #[test]
+    fn render_produces_a_tree() {
+        let text = taxonomy().render();
+        assert!(text.contains("└──"));
+        assert!(text.contains("TimeGAN"));
+        assert!(text.contains("[smote]"));
+        assert!(text.lines().count() > 30);
+    }
+
+    #[test]
+    fn implementations_are_unique() {
+        let impls = taxonomy().implementations();
+        let mut dedup = impls.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(impls.len(), dedup.len());
+    }
+
+    #[test]
+    fn paper_techniques_build_and_label() {
+        for t in PaperTechnique::ALL {
+            let aug = t.build(false);
+            assert!(!aug.name().is_empty());
+        }
+        assert_eq!(PaperTechnique::Noise3.label(), "noise_3.0");
+        assert_eq!(PaperTechnique::Noise3.table6_group(), "Noise");
+        assert_eq!(PaperTechnique::TimeGan.table6_group(), "TimeGAN");
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of augmentation invariants: shape preservation,
+//! balance, determinism, and technique-specific guarantees under
+//! arbitrary (bounded) datasets.
+
+use proptest::prelude::*;
+use tsda_augment::balance::augment_to_balance;
+use tsda_augment::basic::time::{NoiseInjection, Permutation, Scaling, TimeWarp};
+use tsda_augment::oversample::{Smote, SmoteFuna};
+use tsda_augment::preserve::label::RangeNoise;
+use tsda_augment::{Augmenter, SeriesTransform};
+use tsda_core::rng::seeded;
+use tsda_core::{Dataset, Mts};
+
+/// Strategy: an imbalanced 2-class dataset with bounded values, class 0
+/// around +offset and class 1 around −offset (separated when offset is
+/// large relative to spread).
+fn dataset(
+    n0: std::ops::Range<usize>,
+    n1: std::ops::Range<usize>,
+) -> impl Strategy<Value = Dataset> {
+    (n0, n1, proptest::collection::vec(-1.0f64..1.0, 512)).prop_map(|(a, b, noise)| {
+        let mut ds = Dataset::empty(2);
+        let mut k = 0;
+        let mut next = || {
+            k += 1;
+            noise[k % noise.len()]
+        };
+        for _ in 0..a.max(2) {
+            ds.push(
+                Mts::from_dims(vec![(0..12).map(|t| 5.0 + t as f64 * 0.1 + next()).collect()]),
+                0,
+            );
+        }
+        for _ in 0..b.max(2) {
+            ds.push(
+                Mts::from_dims(vec![(0..12).map(|t| -5.0 - t as f64 * 0.1 + next()).collect()]),
+                1,
+            );
+        }
+        ds
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn transforms_preserve_shape(ds in dataset(2..6, 2..6), seed in 0u64..1000) {
+        let s = &ds.series()[0];
+        for t in [
+            &NoiseInjection::level(1.0) as &dyn SeriesTransform,
+            &Scaling::default(),
+            &Permutation::default(),
+            &TimeWarp::default(),
+        ] {
+            let out = t.transform(s, &mut seeded(seed));
+            prop_assert_eq!(out.shape(), s.shape(), "{}", SeriesTransform::name(t));
+            prop_assert!(out.as_flat().iter().all(|v| v.is_finite() || v.is_nan()));
+        }
+    }
+
+    #[test]
+    fn balance_always_equalises(ds in dataset(3..10, 2..5), seed in 0u64..1000) {
+        let out = augment_to_balance(&ds, &NoiseInjection::level(1.0), &mut seeded(seed)).unwrap();
+        let counts = out.class_counts();
+        prop_assert_eq!(counts[0], counts[1]);
+        // Never removes series.
+        prop_assert!(out.len() >= ds.len());
+        // Prefix equals the original dataset.
+        for i in 0..ds.len() {
+            prop_assert_eq!(&out.series()[i], &ds.series()[i]);
+        }
+    }
+
+    #[test]
+    fn smote_outputs_lie_in_class_bounding_box(ds in dataset(4..8, 3..6), seed in 0u64..1000) {
+        let out = Smote::default().synthesize(&ds, 1, 8, &mut seeded(seed)).unwrap();
+        // Bounding box of class 1, position-wise.
+        let members: Vec<&Mts> = ds.iter().filter(|&(_, l)| l == 1).map(|(s, _)| s).collect();
+        for s in &out {
+            for t in 0..s.len() {
+                let v = s.value(0, t);
+                let lo = members.iter().map(|m| m.value(0, t)).fold(f64::INFINITY, f64::min);
+                let hi = members.iter().map(|m| m.value(0, t)).fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "t={}: {} not in [{}, {}]", t, v, lo, hi);
+            }
+        }
+    }
+
+    #[test]
+    fn smotefuna_outputs_lie_in_class_bounding_box(ds in dataset(4..8, 3..6), seed in 0u64..1000) {
+        let out = SmoteFuna.synthesize(&ds, 1, 8, &mut seeded(seed)).unwrap();
+        let members: Vec<&Mts> = ds.iter().filter(|&(_, l)| l == 1).map(|(s, _)| s).collect();
+        for s in &out {
+            for t in 0..s.len() {
+                let v = s.value(0, t);
+                let lo = members.iter().map(|m| m.value(0, t)).fold(f64::INFINITY, f64::min);
+                let hi = members.iter().map(|m| m.value(0, t)).fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn range_noise_never_flips_1nn_label(ds in dataset(4..8, 3..6), seed in 0u64..1000) {
+        let out = RangeNoise::default().synthesize(&ds, 1, 6, &mut seeded(seed)).unwrap();
+        for s in &out {
+            let (label, _) = ds
+                .iter()
+                .map(|(m, l)| (l, m.euclidean_distance(s)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            prop_assert_eq!(label, 1);
+        }
+    }
+
+    #[test]
+    fn synthesize_count_contract(ds in dataset(3..7, 2..5), count in 1usize..12, seed in 0u64..1000) {
+        for aug in [
+            &NoiseInjection::level(1.0) as &dyn Augmenter,
+            &Smote::default(),
+        ] {
+            let out = aug.synthesize(&ds, 1, count, &mut seeded(seed)).unwrap();
+            prop_assert_eq!(out.len(), count, "{}", aug.name());
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Criterion benchmarks of every augmentation family's throughput on a
+//! fixed synthetic workload (RacketSports-like: 4 classes, 6 dims,
+//! length 30).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsda_augment::basic::frequency::{AmplitudePerturb, SpecAugmentMask};
+use tsda_augment::basic::time::{GuidedWarp, NoiseInjection, TimeWarp};
+use tsda_augment::decompose_aug::StlBootstrap;
+use tsda_augment::generative::probabilistic::GaussianHmm;
+use tsda_augment::generative::statistical::{ArResidualSampler, KernelDensitySampler};
+use tsda_augment::generative::timegan::{TimeGan, TimeGanConfig};
+use tsda_augment::oversample::{Adasyn, Smote};
+use tsda_augment::preserve::label::RangeNoise;
+use tsda_augment::preserve::structure::{Inos, Ohit};
+use tsda_augment::Augmenter;
+use tsda_core::rng::seeded;
+use tsda_datasets::registry::{DatasetId, DatasetMeta};
+use tsda_datasets::synth::{generate, GenOptions};
+
+fn workload() -> tsda_core::Dataset {
+    generate(DatasetMeta::get(DatasetId::RacketSports), &GenOptions::ci(42)).train
+}
+
+fn bench_augmenters(c: &mut Criterion) {
+    let ds = workload();
+    let minority = 3; // the smallest class of the imbalanced profile
+    let count = 10;
+    let mut group = c.benchmark_group("augmenters");
+    group.sample_size(10);
+
+    let cases: Vec<(&str, Box<dyn Augmenter>)> = vec![
+        ("noise_1", Box::new(NoiseInjection::level(1.0))),
+        ("time_warp", Box::new(TimeWarp::default())),
+        ("guided_warp", Box::new(GuidedWarp::default())),
+        ("amplitude_perturb", Box::new(AmplitudePerturb::default())),
+        ("specaugment", Box::new(SpecAugmentMask::default())),
+        ("smote", Box::new(Smote::default())),
+        ("adasyn", Box::new(Adasyn::default())),
+        ("stl_bootstrap", Box::new(StlBootstrap::default())),
+        ("kde", Box::new(KernelDensitySampler::default())),
+        ("ar_residual", Box::new(ArResidualSampler::default())),
+        ("gaussian_hmm", Box::new(GaussianHmm { states: 3, iterations: 5 })),
+        ("range_noise", Box::new(RangeNoise::default())),
+        ("ohit", Box::new(Ohit::default())),
+        ("inos", Box::new(Inos::default())),
+        (
+            "timegan_tiny",
+            Box::new(TimeGan::new(TimeGanConfig {
+                hidden: 6,
+                latent: 4,
+                iters_embedding: 20,
+                iters_supervised: 15,
+                iters_joint: 10,
+                ..TimeGanConfig::default()
+            })),
+        ),
+    ];
+
+    for (name, aug) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = seeded(7);
+                aug.synthesize(&ds, minority, count, &mut rng)
+                    .expect("benchmark workload satisfies every technique")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_augmenters);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the classifiers: ROCKET transform + ridge
+//! fit, InceptionTime forward/backward, and 1-NN DTW prediction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsda_classify::inception::{InceptionTime, InceptionTimeConfig};
+use tsda_classify::knn_dtw::KnnDtw;
+use tsda_classify::rocket::{Rocket, RocketConfig};
+use tsda_classify::traits::Classifier;
+use tsda_core::rng::seeded;
+use tsda_datasets::registry::{DatasetId, DatasetMeta};
+use tsda_datasets::synth::{generate, GenOptions};
+use tsda_neuro::train::TrainConfig;
+
+fn bench_classifiers(c: &mut Criterion) {
+    let data = generate(DatasetMeta::get(DatasetId::RacketSports), &GenOptions::ci(42));
+    let mut group = c.benchmark_group("classifiers");
+    group.sample_size(10);
+
+    group.bench_function("rocket_fit_300_kernels", |b| {
+        b.iter(|| {
+            let mut rocket = Rocket::new(RocketConfig { n_kernels: 300, n_threads: 4, ..RocketConfig::default() });
+            rocket.fit(&data.train, None, &mut seeded(1));
+            rocket
+        })
+    });
+
+    group.bench_function("rocket_predict", |b| {
+        let mut rocket = Rocket::new(RocketConfig { n_kernels: 300, n_threads: 4, ..RocketConfig::default() });
+        rocket.fit(&data.train, None, &mut seeded(2));
+        b.iter(|| rocket.predict(&data.test))
+    });
+
+    group.bench_function("inception_fit_small", |b| {
+        b.iter(|| {
+            let cfg = InceptionTimeConfig {
+                filters: 2,
+                depth: 3,
+                kernel_sizes: [9, 5, 3],
+                ensemble: 1,
+                train: TrainConfig { max_epochs: 3, batch_size: 16, patience: 3, lr: 1e-2 },
+                use_lr_range_test: false,
+                ..InceptionTimeConfig::default()
+            };
+            let mut model = InceptionTime::new(cfg);
+            model.fit(&data.train, None, &mut seeded(3));
+            model
+        })
+    });
+
+    group.bench_function("knn_dtw_predict", |b| {
+        let mut knn = KnnDtw::new(Some(0.1));
+        knn.fit(&data.train, None, &mut seeded(4));
+        b.iter(|| knn.predict(&data.test))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifiers);
+criterion_main!(benches);

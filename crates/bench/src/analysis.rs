@@ -1,0 +1,203 @@
+//! Characteristic–gain correlation analysis.
+//!
+//! §IV-C of the paper: the baseline models run on augmented and
+//! non-augmented datasets "trying to capture some correlations between
+//! G and the aforementioned properties" (the Table III
+//! characteristics). This module computes those correlations — Pearson
+//! and Spearman between each dataset characteristic and the per-dataset
+//! relative gain — which is how the paper supports its "no
+//! one-size-fits-all" conclusion.
+
+use crate::harness::GridResult;
+use tsda_core::characteristics::DatasetCharacteristics;
+
+/// Pearson correlation coefficient; 0 for degenerate inputs.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "correlation length mismatch");
+    let n = x.len() as f64;
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Average ranks with ties sharing the mean rank.
+fn ranks(x: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..x.len()).collect();
+    idx.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).unwrap());
+    let mut out = vec![0.0; x.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && x[idx[j + 1]] == x[idx[i]] {
+            j += 1;
+        }
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation.
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// One row of the correlation report.
+#[derive(Debug, Clone)]
+pub struct CorrelationRow {
+    /// Characteristic name (Table III column).
+    pub characteristic: &'static str,
+    /// Pearson r against relative improvement.
+    pub pearson: f64,
+    /// Spearman ρ against relative improvement.
+    pub spearman: f64,
+}
+
+/// Correlate every Table III characteristic with the per-dataset
+/// best-technique relative improvement of a grid run. `characteristics`
+/// must be keyed by the same dataset names as `rows`.
+pub fn correlate(
+    rows: &[GridResult],
+    characteristics: &[(String, DatasetCharacteristics)],
+) -> Vec<CorrelationRow> {
+    let gains: Vec<f64> = rows.iter().map(|r| r.improvement_pct).collect();
+    let lookup = |f: &dyn Fn(&DatasetCharacteristics) -> f64| -> Vec<f64> {
+        rows.iter()
+            .map(|r| {
+                characteristics
+                    .iter()
+                    .find(|(name, _)| *name == r.dataset)
+                    .map(|(_, c)| f(c))
+                    .expect("characteristics cover every grid dataset")
+            })
+            .collect()
+    };
+    let columns: Vec<(&'static str, Vec<f64>)> = vec![
+        ("n_classes", lookup(&|c| c.n_classes as f64)),
+        ("Train_size", lookup(&|c| c.train_size as f64)),
+        ("Dim", lookup(&|c| c.dim as f64)),
+        ("Length", lookup(&|c| c.length as f64)),
+        ("Var_train", lookup(&|c| c.var_train)),
+        ("Im_ratio", lookup(&|c| c.imbalance_degree)),
+        ("d_train_test", lookup(&|c| c.train_test_distance)),
+        ("prop_miss", lookup(&|c| c.missing_proportion)),
+        ("baseline_acc", rows.iter().map(|r| r.baseline).collect()),
+    ];
+    columns
+        .into_iter()
+        .map(|(name, vals)| CorrelationRow {
+            characteristic: name,
+            pearson: pearson(&vals, &gains),
+            spearman: spearman(&vals, &gains),
+        })
+        .collect()
+}
+
+/// Render the correlation table.
+pub fn correlation_table(rows: &[CorrelationRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Correlation of dataset characteristics with relative gain G_r\n");
+    out.push_str(&format!("{:<14} {:>10} {:>10}\n", "property", "Pearson", "Spearman"));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>10.3} {:>10.3}\n",
+            r.characteristic, r.pearson, r.spearman
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsda_augment::taxonomy::PaperTechnique;
+
+    #[test]
+    fn pearson_detects_perfect_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_is_rank_invariant_to_monotone_transforms() {
+        let x = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn correlate_produces_a_row_per_characteristic() {
+        let mk = |name: &str, gain: f64, size: usize| {
+            (
+                GridResult {
+                    dataset: name.to_string(),
+                    baseline: 80.0,
+                    technique_acc: PaperTechnique::ALL
+                        .iter()
+                        .map(|t| (t.label().to_string(), 80.0 + gain))
+                        .collect(),
+                    improvement_pct: gain,
+                },
+                (
+                    name.to_string(),
+                    DatasetCharacteristics {
+                        n_classes: 2,
+                        train_size: size,
+                        dim: 3,
+                        length: 50,
+                        var_train: 0.2,
+                        var_test: 0.2,
+                        imbalance_degree: 1.0,
+                        train_test_distance: 1.0,
+                        missing_proportion: 0.0,
+                    },
+                ),
+            )
+        };
+        let (rows, chars): (Vec<_>, Vec<_>) = vec![
+            mk("A", 3.0, 50),
+            mk("B", 2.0, 100),
+            mk("C", 1.0, 200),
+        ]
+        .into_iter()
+        .unzip();
+        let corr = correlate(&rows, &chars);
+        assert_eq!(corr.len(), 9);
+        let train_size = corr.iter().find(|r| r.characteristic == "Train_size").unwrap();
+        // Gains fall as size grows in this synthetic setup.
+        assert!(train_size.spearman < -0.9, "{train_size:?}");
+        let table = correlation_table(&corr);
+        assert!(table.contains("Im_ratio"));
+    }
+}

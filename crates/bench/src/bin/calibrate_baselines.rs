@@ -1,0 +1,34 @@
+//! Calibration helper: measure the ROCKET baseline accuracy of every
+//! simulated dataset and print it against the paper's Table IV baseline,
+//! so the simulator knobs (separation / noise / sample_jitter) can be
+//! tuned to land in the right difficulty regime.
+//!
+//! Usage: `calibrate_baselines [--seed N]`
+
+use tsda_bench::scale::{parse_seed_runs, ScaleProfile};
+use tsda_classify::rocket::Rocket;
+use tsda_classify::traits::Classifier;
+use tsda_core::rng::seeded;
+use tsda_datasets::registry::ALL_DATASETS;
+use tsda_datasets::synth::generate;
+
+/// The paper's Table IV ROCKET baselines, in registry order.
+const PAPER: [f64; 13] = [
+    98.52, 89.16, 98.99, 41.29, 52.20, 58.71, 73.76, 63.84, 82.43, 97.87, 90.66, 85.39, 96.20,
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (seed, _) = parse_seed_runs(&args, 1);
+    println!("{:<23} {:>8} {:>9} {:>7}", "dataset", "paper", "measured", "delta");
+    let mut total_abs = 0.0;
+    for (meta, paper) in ALL_DATASETS.iter().zip(PAPER) {
+        let data = generate(meta, &ScaleProfile::Ci.gen_options(seed));
+        let mut model = Rocket::new(ScaleProfile::Ci.rocket());
+        let acc =
+            model.fit_score(&data.train, None, &data.test, &mut seeded(seed ^ 0xAB)) * 100.0;
+        total_abs += (acc - paper).abs();
+        println!("{:<23} {:>8.2} {:>9.2} {:>+7.1}", meta.name, paper, acc, acc - paper);
+    }
+    println!("\nmean |delta|: {:.1}", total_abs / 13.0);
+}

@@ -1,0 +1,56 @@
+//! The paper's §IV-C correlation study: relate each Table III dataset
+//! characteristic to the measured relative gain. Uses saved Table IV/V
+//! results when available, otherwise runs the ROCKET grid.
+//!
+//! Usage: `correlation_analysis [--paper-scale] [--seed N] [--runs N]`
+
+use tsda_bench::analysis::{correlate, correlation_table};
+use tsda_bench::harness::{run_grid, GridConfig, GridResult, ModelKind};
+use tsda_bench::report::load_results;
+use tsda_bench::scale::{parse_seed_runs, ScaleProfile};
+use tsda_core::characteristics::DatasetCharacteristics;
+use tsda_datasets::registry::ALL_DATASETS;
+use tsda_datasets::synth::generate;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = ScaleProfile::from_args(&args);
+    let (seed, runs) = parse_seed_runs(&args, if profile == ScaleProfile::Paper { 5 } else { 2 });
+
+    let characteristics: Vec<(String, DatasetCharacteristics)> = ALL_DATASETS
+        .iter()
+        .map(|meta| {
+            let data = generate(meta, &profile.gen_options(seed));
+            (meta.name.to_string(), DatasetCharacteristics::compute(&data))
+        })
+        .collect();
+
+    for (model, saved) in [
+        (ModelKind::Rocket, "table4_rocket"),
+        (ModelKind::InceptionTime, "table5_inceptiontime"),
+    ] {
+        let rows: Vec<GridResult> = match load_results(saved) {
+            Some(stored) => {
+                eprintln!("using saved results for {saved}");
+                stored.into_iter().map(|r| r.into_grid_result()).collect()
+            }
+            None if model == ModelKind::Rocket => {
+                eprintln!("no saved {saved}; running the ROCKET grid…");
+                let cfg = GridConfig { profile, seed, runs, model, datasets: Vec::new() };
+                let mut log = |m: &str| eprintln!("{m}");
+                run_grid(&cfg, &mut log)
+            }
+            None => {
+                eprintln!("no saved {saved}; skipping (run table5_inceptiontime first)");
+                continue;
+            }
+        };
+        if rows.len() < 3 {
+            eprintln!("not enough rows for correlations ({})", rows.len());
+            continue;
+        }
+        println!("=== {} ===", model.label());
+        print!("{}", correlation_table(&correlate(&rows, &characteristics)));
+        println!();
+    }
+}

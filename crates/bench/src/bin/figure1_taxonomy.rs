@@ -1,0 +1,14 @@
+//! Reproduce Figure 1: the augmentation-technique taxonomy, rendered as
+//! an ASCII tree with each leaf annotated with its implementation name.
+
+use tsda_augment::taxonomy::taxonomy;
+
+fn main() {
+    let t = taxonomy();
+    println!(
+        "Figure 1: taxonomy of time series data augmentation techniques \
+         ({} implemented leaves)\n",
+        t.implemented_count()
+    );
+    print!("{}", t.render());
+}

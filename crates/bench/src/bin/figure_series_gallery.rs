@@ -1,0 +1,50 @@
+//! Bonus figure: per-dataset sample series rendered as ASCII sparklines,
+//! showing the distinct waveform families of the simulated archive.
+//!
+//! Usage: `figure_series_gallery [--seed N]`
+
+use tsda_bench::scale::parse_seed_runs;
+use tsda_datasets::registry::ALL_DATASETS;
+use tsda_datasets::synth::{generate, GenOptions};
+
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+fn sparkline(values: &[f64]) -> String {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return String::new();
+    }
+    let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                '·'
+            } else if hi > lo {
+                BLOCKS[(((v - lo) / (hi - lo)) * 7.0).round() as usize]
+            } else {
+                BLOCKS[0]
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (seed, _) = parse_seed_runs(&args, 1);
+    println!("Simulated UCR/UEA archive — one series per dataset (dim 0, ci scale)\n");
+    for meta in &ALL_DATASETS {
+        let data = generate(meta, &GenOptions::ci(seed));
+        let s = &data.train.series()[0];
+        let take = s.len().min(72);
+        println!(
+            "{:<23} [{} classes, {:>3} train, {:>3} dims] {}",
+            meta.name,
+            meta.n_classes,
+            data.train.len(),
+            data.train.n_dims(),
+            sparkline(&s.dim(0)[..take])
+        );
+    }
+}

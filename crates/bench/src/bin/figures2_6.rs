@@ -1,0 +1,32 @@
+//! Reproduce Figures 2–6: the 2-D two-class illustrations of noise
+//! injection, SMOTE, TimeGAN, the range technique and OHIT. Emits one
+//! CSV per figure plus an ASCII preview.
+//!
+//! Usage: `figures2_6 [--seed N] [--out DIR]` (default `target/figures`).
+
+use std::path::PathBuf;
+use tsda_bench::figures::{all_figures, ascii_scatter, figure_points};
+use tsda_bench::report::save_text_at;
+use tsda_bench::scale::parse_seed_runs;
+use tsda_augment::oversample::Smote;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (seed, _) = parse_seed_runs(&args, 1);
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/figures"));
+    for (name, csv) in all_figures(seed) {
+        let path = out_dir.join(format!("{name}.csv"));
+        match save_text_at(&path, &csv) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {name}: {e}"),
+        }
+    }
+    println!("\nASCII preview of Figure 3 (SMOTE: o=class1, x=class2, *=generated):\n");
+    let pts = figure_points(&Smote::default(), seed, false);
+    print!("{}", ascii_scatter(&pts, 64, 20));
+}

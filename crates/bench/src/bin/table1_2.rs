@@ -1,0 +1,7 @@
+//! Reproduce Tables I and II: baseline-model methodology metadata.
+
+fn main() {
+    print!("{}", tsda_bench::tables::table1());
+    println!();
+    print!("{}", tsda_bench::tables::table2());
+}

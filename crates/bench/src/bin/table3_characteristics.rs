@@ -1,0 +1,24 @@
+//! Reproduce Table III: the nine characteristics of every dataset,
+//! computed on the generated archive.
+//!
+//! Usage: `table3_characteristics [--paper-scale] [--seed N]`
+
+use tsda_bench::scale::{parse_seed_runs, ScaleProfile};
+use tsda_core::characteristics::DatasetCharacteristics;
+use tsda_datasets::registry::ALL_DATASETS;
+use tsda_datasets::synth::generate;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = ScaleProfile::from_args(&args);
+    let (seed, _) = parse_seed_runs(&args, 1);
+    eprintln!("generating archive at {} scale, seed {seed}…", profile.label());
+    let rows: Vec<(String, DatasetCharacteristics)> = ALL_DATASETS
+        .iter()
+        .map(|meta| {
+            let data = generate(meta, &profile.gen_options(seed));
+            (meta.name.to_string(), DatasetCharacteristics::compute(&data))
+        })
+        .collect();
+    print!("{}", tsda_bench::tables::table3(&rows));
+}

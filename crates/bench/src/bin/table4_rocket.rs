@@ -1,0 +1,41 @@
+//! Reproduce Table IV: ROCKET accuracy per dataset × augmentation plus
+//! the best-technique relative improvement.
+//!
+//! Usage:
+//!   `table4_rocket [--paper-scale] [--seed N] [--runs N] [--datasets A,B]`
+
+use tsda_bench::harness::{parse_datasets, run_grid, GridConfig, ModelKind};
+use tsda_bench::report::save_results;
+use tsda_bench::scale::{parse_seed_runs, ScaleProfile};
+use tsda_bench::tables::accuracy_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = ScaleProfile::from_args(&args);
+    let (seed, runs) = parse_seed_runs(&args, if profile == ScaleProfile::Paper { 5 } else { 2 });
+    let cfg = GridConfig {
+        profile,
+        seed,
+        runs,
+        model: ModelKind::Rocket,
+        datasets: parse_datasets(&args),
+    };
+    eprintln!(
+        "Table IV grid: scale={}, seed={seed}, runs={runs}",
+        profile.label()
+    );
+    let mut log = |msg: &str| eprintln!("{msg}");
+    let rows = run_grid(&cfg, &mut log);
+    print!(
+        "{}",
+        accuracy_table(
+            "TABLE IV: Accuracy for ROCKET baseline model, and relative improvement",
+            "ROCKET",
+            &rows
+        )
+    );
+    match save_results("table4_rocket", &rows) {
+        Ok(p) => eprintln!("results saved to {}", p.display()),
+        Err(e) => eprintln!("could not save results: {e}"),
+    }
+}

@@ -1,0 +1,41 @@
+//! Reproduce Table V: InceptionTime accuracy per dataset × augmentation
+//! plus the best-technique relative improvement.
+//!
+//! Usage:
+//!   `table5_inceptiontime [--paper-scale] [--seed N] [--runs N] [--datasets A,B]`
+
+use tsda_bench::harness::{parse_datasets, run_grid, GridConfig, ModelKind};
+use tsda_bench::report::save_results;
+use tsda_bench::scale::{parse_seed_runs, ScaleProfile};
+use tsda_bench::tables::accuracy_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = ScaleProfile::from_args(&args);
+    let (seed, runs) = parse_seed_runs(&args, if profile == ScaleProfile::Paper { 5 } else { 2 });
+    let cfg = GridConfig {
+        profile,
+        seed,
+        runs,
+        model: ModelKind::InceptionTime,
+        datasets: parse_datasets(&args),
+    };
+    eprintln!(
+        "Table V grid: scale={}, seed={seed}, runs={runs}",
+        profile.label()
+    );
+    let mut log = |msg: &str| eprintln!("{msg}");
+    let rows = run_grid(&cfg, &mut log);
+    print!(
+        "{}",
+        accuracy_table(
+            "TABLE V: Accuracy for InceptionTime baseline model, and relative improvement",
+            "InT",
+            &rows
+        )
+    );
+    match save_results("table5_inceptiontime", &rows) {
+        Ok(p) => eprintln!("results saved to {}", p.display()),
+        Err(e) => eprintln!("could not save results: {e}"),
+    }
+}

@@ -1,0 +1,30 @@
+//! Reproduce Table VI: per-technique counts of datasets improved over
+//! baseline, for both models.
+//!
+//! Reads the JSON saved by `table4_rocket` and `table5_inceptiontime`
+//! when available; otherwise runs both grids.
+
+use tsda_bench::harness::{run_grid, GridConfig, GridResult, ModelKind};
+use tsda_bench::report::load_results;
+use tsda_bench::scale::{parse_seed_runs, ScaleProfile};
+use tsda_bench::tables::table6;
+
+fn rows_for(model: ModelKind, name: &str, args: &[String]) -> Vec<GridResult> {
+    if let Some(stored) = load_results(name) {
+        eprintln!("using saved results for {name}");
+        return stored.into_iter().map(|r| r.into_grid_result()).collect();
+    }
+    let profile = ScaleProfile::from_args(args);
+    let (seed, runs) = parse_seed_runs(args, if profile == ScaleProfile::Paper { 5 } else { 2 });
+    eprintln!("no saved results for {name}; running the grid…");
+    let cfg = GridConfig { profile, seed, runs, model, datasets: Vec::new() };
+    let mut log = |msg: &str| eprintln!("{msg}");
+    run_grid(&cfg, &mut log)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rocket = rows_for(ModelKind::Rocket, "table4_rocket", &args);
+    let inception = rows_for(ModelKind::InceptionTime, "table5_inceptiontime", &args);
+    print!("{}", table6(&rocket, &inception));
+}

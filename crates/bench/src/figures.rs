@@ -1,0 +1,195 @@
+//! Figures 2–6: the paper's 2-D illustrations of each taxonomy branch.
+//!
+//! Each figure shows two classes and the points one technique generates:
+//! noise injection (Fig. 2), SMOTE (Fig. 3), TimeGAN (Fig. 4), the
+//! label-preserving range technique (Fig. 5) and OHIT (Fig. 6). The
+//! functions here produce the underlying point sets as CSV so any plotter
+//! can regenerate the figures; the two classes are length-2 univariate
+//! series, i.e. literal 2-D points.
+
+use tsda_augment::basic::time::NoiseInjection;
+use tsda_augment::generative::timegan::{TimeGan, TimeGanConfig};
+use tsda_augment::oversample::Smote;
+use tsda_augment::preserve::label::RangeNoise;
+use tsda_augment::preserve::structure::Ohit;
+use tsda_augment::Augmenter;
+use tsda_core::rng::{normal, seeded};
+use tsda_core::{Dataset, Mts};
+
+/// A labelled 2-D point for the figure CSVs.
+#[derive(Debug, Clone)]
+pub struct FigurePoint {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+    /// `class1`, `class2`, or `generated`.
+    pub kind: &'static str,
+}
+
+/// The two-class 2-D toy dataset all five figures share: class 1 around
+/// (−1.5, −1), class 2 around (+1.5, +1), with class 2 in the minority
+/// (the class the techniques augment). For Figure 6, class 2 is bimodal.
+pub fn toy_dataset(seed: u64, bimodal_minority: bool) -> Dataset {
+    let mut rng = seeded(seed);
+    let mut ds = Dataset::empty(2);
+    for _ in 0..30 {
+        ds.push(
+            Mts::univariate(vec![
+                -1.5 + normal(&mut rng, 0.0, 0.45),
+                -1.0 + normal(&mut rng, 0.0, 0.45),
+            ]),
+            0,
+        );
+    }
+    for i in 0..12 {
+        let (cx, cy) = if bimodal_minority && i % 2 == 0 {
+            (2.4, 0.2)
+        } else {
+            (1.5, 1.0)
+        };
+        ds.push(
+            Mts::univariate(vec![
+                cx + normal(&mut rng, 0.0, 0.3),
+                cy + normal(&mut rng, 0.0, 0.3),
+            ]),
+            1,
+        );
+    }
+    ds
+}
+
+/// Generate the point set for one figure given the augmentation
+/// technique applied to the toy minority class.
+pub fn figure_points(aug: &dyn Augmenter, seed: u64, bimodal: bool) -> Vec<FigurePoint> {
+    let ds = toy_dataset(seed, bimodal);
+    let mut rng = seeded(seed ^ 0xF16);
+    let generated = aug
+        .synthesize(&ds, 1, 18, &mut rng)
+        .expect("toy dataset satisfies every technique's requirements");
+    let mut out = Vec::new();
+    for (s, l) in ds.iter() {
+        out.push(FigurePoint {
+            x: s.value(0, 0),
+            y: s.value(0, 1),
+            kind: if l == 0 { "class1" } else { "class2" },
+        });
+    }
+    for s in &generated {
+        out.push(FigurePoint { x: s.value(0, 0), y: s.value(0, 1), kind: "generated" });
+    }
+    out
+}
+
+/// All five figures: `(figure label, CSV content)`.
+pub fn all_figures(seed: u64) -> Vec<(&'static str, String)> {
+    let quick_gan = TimeGan::new(TimeGanConfig {
+        hidden: 8,
+        latent: 4,
+        iters_embedding: 120,
+        iters_supervised: 80,
+        iters_joint: 60,
+        ..TimeGanConfig::default()
+    });
+    let figures: Vec<(&'static str, Box<dyn Augmenter>, bool)> = vec![
+        ("figure2_noise_injection", Box::new(NoiseInjection::level(1.0)), false),
+        ("figure3_smote", Box::new(Smote::default()), false),
+        ("figure4_timegan", Box::new(quick_gan), false),
+        ("figure5_range_technique", Box::new(RangeNoise::default()), false),
+        ("figure6_ohit", Box::new(Ohit::default()), true),
+    ];
+    figures
+        .into_iter()
+        .map(|(name, aug, bimodal)| (name, to_csv(&figure_points(aug.as_ref(), seed, bimodal))))
+        .collect()
+}
+
+/// Serialise points to CSV (`x,y,kind`).
+pub fn to_csv(points: &[FigurePoint]) -> String {
+    let mut out = String::from("x,y,kind\n");
+    for p in points {
+        out.push_str(&format!("{:.4},{:.4},{}\n", p.x, p.y, p.kind));
+    }
+    out
+}
+
+/// Quick textual scatter (rows of characters) so figures are inspectable
+/// without a plotter. `width × height` character grid.
+pub fn ascii_scatter(points: &[FigurePoint], width: usize, height: usize) -> String {
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in points {
+        min_x = min_x.min(p.x);
+        max_x = max_x.max(p.x);
+        min_y = min_y.min(p.y);
+        max_y = max_y.max(p.y);
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for p in points {
+        let cx = ((p.x - min_x) / (max_x - min_x + 1e-12) * (width - 1) as f64) as usize;
+        let cy = ((p.y - min_y) / (max_y - min_y + 1e-12) * (height - 1) as f64) as usize;
+        let ch = match p.kind {
+            "class1" => 'o',
+            "class2" => 'x',
+            _ => '*',
+        };
+        // Generated points overwrite; originals never overwrite generated.
+        let cell = &mut grid[height - 1 - cy][cx];
+        if *cell == ' ' || ch == '*' {
+            *cell = ch;
+        }
+    }
+    let mut out = String::new();
+    for row in grid {
+        out.push_str(&row.into_iter().collect::<String>());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_dataset_is_imbalanced_two_class() {
+        let ds = toy_dataset(1, false);
+        assert_eq!(ds.class_counts(), vec![30, 12]);
+        assert_eq!(ds.series()[0].shape(), (1, 2));
+    }
+
+    #[test]
+    fn smote_figure_points_lie_between_minority_points() {
+        let pts = figure_points(&Smote::default(), 2, false);
+        let gen: Vec<&FigurePoint> = pts.iter().filter(|p| p.kind == "generated").collect();
+        assert_eq!(gen.len(), 18);
+        for p in gen {
+            assert!(p.x > 0.0, "SMOTE left the minority hull: {p:?}");
+        }
+    }
+
+    #[test]
+    fn range_figure_points_stay_on_minority_side() {
+        let pts = figure_points(&RangeNoise::default(), 3, false);
+        for p in pts.iter().filter(|p| p.kind == "generated") {
+            // The decision boundary of the toy problem is roughly the
+            // anti-diagonal through the origin.
+            assert!(p.x + p.y > -0.4, "crossed the boundary: {p:?}");
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let pts = figure_points(&NoiseInjection::level(1.0), 4, false);
+        let csv = to_csv(&pts);
+        assert!(csv.starts_with("x,y,kind\n"));
+        assert_eq!(csv.lines().count(), pts.len() + 1);
+    }
+
+    #[test]
+    fn ascii_scatter_renders_all_kinds() {
+        let pts = figure_points(&Smote::default(), 5, false);
+        let art = ascii_scatter(&pts, 40, 16);
+        assert!(art.contains('o') && art.contains('x') && art.contains('*'));
+    }
+}

@@ -1,0 +1,28 @@
+//! Experiment harness reproducing every table and figure of the paper.
+//!
+//! Binaries (one per table/figure; see DESIGN.md's experiment index):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1_2` | Tables I & II (methodology metadata) |
+//! | `table3_characteristics` | Table III (dataset characteristics) |
+//! | `table4_rocket` | Table IV (ROCKET accuracies + relative gain) |
+//! | `table5_inceptiontime` | Table V (InceptionTime accuracies) |
+//! | `table6_improvement_counts` | Table VI (improvement counts) |
+//! | `figure1_taxonomy` | Figure 1 (the taxonomy tree) |
+//! | `figures2_6` | Figures 2–6 (technique illustrations, CSV) |
+//! | `correlation_analysis` | §IV-C characteristic–gain correlations |
+//!
+//! All binaries accept `--paper-scale` to switch from the laptop profile
+//! to the paper's full sizes, `--seed <n>`, and `--runs <n>` (the paper
+//! averages 5 runs).
+
+pub mod analysis;
+pub mod figures;
+pub mod harness;
+pub mod report;
+pub mod scale;
+pub mod tables;
+
+pub use harness::{run_grid, GridConfig, GridResult};
+pub use scale::ScaleProfile;

@@ -1,0 +1,197 @@
+//! Formatters that print the paper's tables from grid results.
+
+use crate::harness::GridResult;
+use tsda_augment::taxonomy::PaperTechnique;
+use tsda_core::characteristics::DatasetCharacteristics;
+
+/// Table I: which role each baseline algorithm plays.
+pub fn table1() -> String {
+    let mut out = String::new();
+    out.push_str("TABLE I: Task accomplished by each baseline algorithm\n");
+    out.push_str(&format!("{:<15} {:<18} {:<10}\n", "Algorithm", "Feature-Extractor", "Classifier"));
+    out.push_str(&format!("{:<15} {:<18} {:<10}\n", "ROCKET", "X", ""));
+    out.push_str(&format!("{:<15} {:<18} {:<10}\n", "InceptionTime", "X", "X"));
+    out
+}
+
+/// Table II: methodology family of each baseline.
+pub fn table2() -> String {
+    let mut out = String::new();
+    out.push_str("TABLE II: Methodology of each baseline algorithm\n");
+    out.push_str(&format!(
+        "{:<15} {:<10} {:<15} {:<13}\n",
+        "Algorithm", "DL-based", "Ensemble-based", "Kernel-based"
+    ));
+    out.push_str(&format!("{:<15} {:<10} {:<15} {:<13}\n", "ROCKET + RR", "", "", "X"));
+    out.push_str(&format!("{:<15} {:<10} {:<15} {:<13}\n", "InceptionTime", "X", "X", ""));
+    out
+}
+
+/// Table III: one row per dataset of characteristics.
+pub fn table3(rows: &[(String, DatasetCharacteristics)]) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE III: Characteristics of the multivariate imbalanced datasets\n");
+    out.push_str(&format!(
+        "{:<23} {:>9} {:>10} {:>5} {:>7} {:>10} {:>9} {:>9} {:>13} {:>10}\n",
+        "Dataset",
+        "n_classes",
+        "Train_size",
+        "Dim",
+        "Length",
+        "Var_train",
+        "Var_test",
+        "Im_ratio",
+        "d_train_test",
+        "prop_miss"
+    ));
+    for (name, c) in rows {
+        out.push_str(&format!(
+            "{:<23} {:>9} {:>10} {:>5} {:>7} {:>10.2} {:>9.2} {:>9.2} {:>13.2} {:>10.2}\n",
+            name,
+            c.n_classes,
+            c.train_size,
+            c.dim,
+            c.length,
+            c.var_train,
+            c.var_test,
+            c.imbalance_degree,
+            c.train_test_distance,
+            c.missing_proportion
+        ));
+    }
+    out
+}
+
+/// Tables IV/V: accuracy per dataset × technique plus relative
+/// improvement, with the average improvement footer the paper reports.
+pub fn accuracy_table(title: &str, model_label: &str, rows: &[GridResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!("{:<23} {:>9}", "Dataset", model_label));
+    for t in PaperTechnique::ALL {
+        out.push_str(&format!(" {:>11}", t.label()));
+    }
+    out.push_str(&format!(" {:>14}\n", "Improvement(%)"));
+    for r in rows {
+        out.push_str(&format!("{:<23} {:>9.2}", r.dataset, r.baseline));
+        for (_, acc) in &r.technique_acc {
+            out.push_str(&format!(" {:>11.2}", acc));
+        }
+        out.push_str(&format!(" {:>14.2}\n", r.improvement_pct));
+    }
+    let avg: f64 = rows.iter().map(|r| r.improvement_pct).sum::<f64>() / rows.len().max(1) as f64;
+    out.push_str(&format!("{:<23} {:>9}", "Average Improvement", "-"));
+    for _ in PaperTechnique::ALL {
+        out.push_str(&format!(" {:>11}", "-"));
+    }
+    out.push_str(&format!(" {:>14.2}\n", avg));
+    out
+}
+
+/// Table VI: count of datasets on which each technique group improves
+/// over the baseline, per model. Noise counts if *any* of its three
+/// levels improves.
+pub fn table6(rocket: &[GridResult], inception: &[GridResult]) -> String {
+    let count = |rows: &[GridResult], group: &str| -> usize {
+        rows.iter()
+            .filter(|r| {
+                PaperTechnique::ALL.iter().any(|t| {
+                    t.table6_group() == group
+                        && r.technique_acc
+                            .iter()
+                            .find(|(name, _)| name == t.label())
+                            .is_some_and(|(_, acc)| *acc > r.baseline)
+                })
+            })
+            .count()
+    };
+    let mut out = String::new();
+    out.push_str("TABLE VI: Count of improvement occurrences over baseline\n");
+    out.push_str(&format!(
+        "{:<24} {:>8} {:>15}\n",
+        "Augmentation Technique", "ROCKET", "InceptionTime"
+    ));
+    for group in ["SMOTE", "TimeGAN", "Noise"] {
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>15}\n",
+            group,
+            count(rocket, group),
+            count(inception, group)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_row(name: &str, baseline: f64, accs: [f64; 5]) -> GridResult {
+        GridResult {
+            dataset: name.into(),
+            baseline,
+            technique_acc: PaperTechnique::ALL
+                .iter()
+                .zip(accs)
+                .map(|(t, a)| (t.label().to_string(), a))
+                .collect(),
+            improvement_pct: {
+                let best = accs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                (best - baseline) / baseline * 100.0
+            },
+        }
+    }
+
+    #[test]
+    fn table1_and_2_mention_both_models() {
+        assert!(table1().contains("ROCKET"));
+        assert!(table2().contains("InceptionTime"));
+        assert!(table2().contains("Kernel-based"));
+    }
+
+    #[test]
+    fn accuracy_table_includes_average_footer() {
+        let rows = vec![
+            fake_row("A", 80.0, [81.0, 79.0, 78.0, 82.0, 80.5]),
+            fake_row("B", 90.0, [89.0, 88.0, 87.0, 89.5, 89.9]),
+        ];
+        let text = accuracy_table("TABLE IV", "ROCKET", &rows);
+        assert!(text.contains("Average Improvement"));
+        // A improves by 2.5%, B degrades by −0.11%; average ≈ 1.19.
+        assert!(text.contains("1.19") || text.contains("1.20"), "{text}");
+    }
+
+    #[test]
+    fn table6_counts_noise_as_any_level() {
+        // Only noise_5 improves on A; noise counts once.
+        let rocket = vec![fake_row("A", 80.0, [79.0, 79.5, 80.5, 79.0, 79.0])];
+        let inception = vec![fake_row("A", 80.0, [79.0, 79.0, 79.0, 81.0, 82.0])];
+        let text = table6(&rocket, &inception);
+        let lines: Vec<&str> = text.lines().collect();
+        let noise_line = lines.iter().find(|l| l.starts_with("Noise")).unwrap();
+        assert!(noise_line.contains('1'), "{noise_line}");
+        let smote_line = lines.iter().find(|l| l.starts_with("SMOTE")).unwrap();
+        // SMOTE improves for inception only.
+        let cols: Vec<&str> = smote_line.split_whitespace().collect();
+        assert_eq!(cols[1], "0");
+        assert_eq!(cols[2], "1");
+    }
+
+    #[test]
+    fn table3_formats_all_columns() {
+        let c = DatasetCharacteristics {
+            n_classes: 4,
+            train_size: 100,
+            dim: 3,
+            length: 50,
+            var_train: 0.15,
+            var_test: 0.16,
+            imbalance_degree: 2.0,
+            train_test_distance: 1.5,
+            missing_proportion: 0.0,
+        };
+        let text = table3(&[("Toy".into(), c)]);
+        assert!(text.contains("Toy"));
+        assert!(text.contains("Im_ratio"));
+    }
+}

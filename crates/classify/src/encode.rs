@@ -1,0 +1,56 @@
+//! Dataset → tensor/feature encoding shared by the classifiers.
+
+use tsda_core::preprocess::{impute_linear, znormalize_series};
+use tsda_core::Dataset;
+use tsda_neuro::tensor::Tensor;
+
+/// Convert a dataset to a `[n, channels, time]` `f32` tensor after
+/// imputation and per-series z-normalisation — the standard archive
+/// preprocessing both baselines assume.
+pub fn dataset_to_tensor3(ds: &Dataset) -> Tensor {
+    let n = ds.len();
+    let c = ds.n_dims();
+    let t = ds.series_len();
+    let mut data = Vec::with_capacity(n * c * t);
+    for (s, _) in ds.iter() {
+        let clean = znormalize_series(&impute_linear(s));
+        for v in clean.as_flat() {
+            data.push(*v as f32);
+        }
+    }
+    Tensor::from_flat(&[n, c, t], data)
+}
+
+/// Preprocess one dataset into per-series cleaned `f64` series (imputed,
+/// z-normalised) for the non-neural classifiers.
+pub fn preprocess_dataset(ds: &Dataset) -> Dataset {
+    let mut out = Dataset::empty(ds.n_classes());
+    for (s, l) in ds.iter() {
+        out.push(znormalize_series(&impute_linear(s)), l);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsda_core::Mts;
+
+    #[test]
+    fn tensor_shape_and_normalisation() {
+        let mut ds = Dataset::empty(1);
+        ds.push(Mts::from_dims(vec![vec![1.0, 2.0, 3.0, 4.0]]), 0);
+        let t = dataset_to_tensor3(&ds);
+        assert_eq!(t.shape(), &[1, 1, 4]);
+        let mean: f32 = t.data().iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+    }
+
+    #[test]
+    fn missing_values_are_gone_after_preprocess() {
+        let mut ds = Dataset::empty(1);
+        ds.push(Mts::from_dims(vec![vec![1.0, f64::NAN, 3.0]]), 0);
+        let clean = preprocess_dataset(&ds);
+        assert!(!clean.series()[0].has_missing());
+    }
+}

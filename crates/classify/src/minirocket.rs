@@ -1,0 +1,252 @@
+//! MiniRocket (Dempster, Schmidt & Webb, KDD 2021) — the (almost)
+//! deterministic successor of ROCKET the paper's related work points to.
+//!
+//! Differences from ROCKET: a *fixed* kernel set (length 9, weights in
+//! {−1, 2} with exactly three 2s → 84 kernels), dilations spread on a
+//! log scale to cover the series, biases drawn from the empirical
+//! quantiles of the convolution output on training samples, and PPV-only
+//! features. The only randomness left is which training sample supplies
+//! each bias (and the channel subset per kernel in the multivariate
+//! case).
+
+use crate::encode::preprocess_dataset;
+use crate::ridge::RidgeClassifier;
+use crate::traits::Classifier;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tsda_core::{Dataset, Label, Mts};
+
+/// MiniRocket configuration.
+#[derive(Debug, Clone)]
+pub struct MiniRocketConfig {
+    /// Target number of features (kernel × dilation × bias triples).
+    /// The reference default is 9 996 (= 84 × 119).
+    pub n_features: usize,
+}
+
+impl Default for MiniRocketConfig {
+    /// Laptop-scale default (the paper-faithful value is 9 996).
+    fn default() -> Self {
+        Self { n_features: 504 }
+    }
+}
+
+impl MiniRocketConfig {
+    /// The reference configuration: 9 996 features.
+    pub fn paper() -> Self {
+        Self { n_features: 9_996 }
+    }
+}
+
+const KERNEL_LEN: usize = 9;
+
+/// The 84 fixed kernels: weight 2 at three of nine positions, −1
+/// elsewhere (each kernel sums to zero: 3·2 + 6·(−1) = 0).
+fn fixed_kernels() -> Vec<[f64; KERNEL_LEN]> {
+    let mut kernels = Vec::with_capacity(84);
+    for a in 0..KERNEL_LEN {
+        for b in (a + 1)..KERNEL_LEN {
+            for c in (b + 1)..KERNEL_LEN {
+                let mut k = [-1.0; KERNEL_LEN];
+                k[a] = 2.0;
+                k[b] = 2.0;
+                k[c] = 2.0;
+                kernels.push(k);
+            }
+        }
+    }
+    kernels
+}
+
+/// One fitted feature: kernel index, dilation, channel subset, bias.
+#[derive(Debug, Clone)]
+struct Feature {
+    kernel: usize,
+    dilation: usize,
+    channels: Vec<usize>,
+    bias: f64,
+}
+
+/// Convolve one series with a fixed kernel at a dilation, summed over
+/// the selected channels, "same" padding; returns the raw outputs.
+fn convolve(s: &Mts, kernel: &[f64; KERNEL_LEN], dilation: usize, channels: &[usize]) -> Vec<f64> {
+    let t_len = s.len();
+    let pad = (KERNEL_LEN - 1) * dilation / 2;
+    let mut out = vec![0.0; t_len];
+    for (t, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (k, &w) in kernel.iter().enumerate() {
+            let idx = t as isize + (k * dilation) as isize - pad as isize;
+            if idx >= 0 && (idx as usize) < t_len {
+                for &ch in channels {
+                    acc += w * s.dim(ch)[idx as usize];
+                }
+            }
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// The MiniRocket classifier: fixed-kernel transform + ridge with LOOCV.
+pub struct MiniRocket {
+    config: MiniRocketConfig,
+    features: Vec<Feature>,
+    kernels: Vec<[f64; KERNEL_LEN]>,
+    ridge: RidgeClassifier,
+}
+
+impl MiniRocket {
+    /// New MiniRocket with the given configuration.
+    pub fn new(config: MiniRocketConfig) -> Self {
+        Self { config, features: Vec::new(), kernels: fixed_kernels(), ridge: RidgeClassifier::default() }
+    }
+
+    /// Number of fitted features.
+    pub fn n_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// PPV features for every series.
+    pub fn transform(&self, ds: &Dataset) -> Vec<Vec<f64>> {
+        ds.series()
+            .iter()
+            .map(|s| {
+                self.features
+                    .iter()
+                    .map(|f| {
+                        let conv = convolve(s, &self.kernels[f.kernel], f.dilation, &f.channels);
+                        let pos = conv.iter().filter(|&&v| v > f.bias).count();
+                        pos as f64 / conv.len().max(1) as f64
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn fit_features(&mut self, ds: &Dataset, rng: &mut StdRng) {
+        let t_len = ds.series_len();
+        let n_ch = ds.n_dims();
+        // Dilations on a log scale, as many as needed for the feature
+        // budget: features = 84 kernels × dilations × biases_per_pair.
+        let max_exp = (((t_len - 1) as f64 / (KERNEL_LEN - 1) as f64).max(1.0)).log2();
+        let n_dilations = ((self.config.n_features as f64 / 84.0).ceil() as usize).clamp(1, 32);
+        let dilations: Vec<usize> = (0..n_dilations)
+            .map(|i| {
+                let e = max_exp * i as f64 / n_dilations.max(2).saturating_sub(1) as f64;
+                (2f64.powf(e).floor() as usize).max(1)
+            })
+            .collect();
+        self.features.clear();
+        'outer: for &dilation in &dilations {
+            for kernel in 0..self.kernels.len() {
+                if self.features.len() >= self.config.n_features {
+                    break 'outer;
+                }
+                // Random channel subset (multivariate MiniRocket).
+                let n_sel = if n_ch <= 1 {
+                    1
+                } else {
+                    let max_ch_exp = ((n_ch as f64 + 1.0).log2()).max(0.0);
+                    (2f64.powf(rng.gen_range(0.0..max_ch_exp)).floor() as usize).clamp(1, n_ch)
+                };
+                let mut channels: Vec<usize> = (0..n_ch).collect();
+                for i in 0..n_sel {
+                    let j = rng.gen_range(i..n_ch);
+                    channels.swap(i, j);
+                }
+                channels.truncate(n_sel);
+                // Bias: a random quantile of the convolution output on a
+                // random training sample.
+                let sample = &ds.series()[rng.gen_range(0..ds.len())];
+                let mut conv = convolve(sample, &self.kernels[kernel], dilation, &channels);
+                conv.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let q: f64 = rng.gen_range(0.1..0.9);
+                let bias = conv[((conv.len() - 1) as f64 * q) as usize];
+                self.features.push(Feature { kernel, dilation, channels, bias });
+            }
+        }
+    }
+}
+
+impl Classifier for MiniRocket {
+    fn name(&self) -> &'static str {
+        "MiniRocket"
+    }
+
+    fn fit(&mut self, train: &Dataset, _validation: Option<&Dataset>, rng: &mut StdRng) {
+        let clean = preprocess_dataset(train);
+        self.fit_features(&clean, rng);
+        let features = self.transform(&clean);
+        self.ridge.fit_features(&features, clean.labels(), clean.n_classes());
+    }
+
+    fn predict(&mut self, test: &Dataset) -> Vec<Label> {
+        let clean = preprocess_dataset(test);
+        let features = self.transform(&clean);
+        self.ridge.predict_features(&features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsda_core::rng::{normal, seeded};
+
+    #[test]
+    fn there_are_exactly_84_fixed_kernels() {
+        let ks = fixed_kernels();
+        assert_eq!(ks.len(), 84);
+        for k in &ks {
+            let sum: f64 = k.iter().sum();
+            assert_eq!(sum, 0.0);
+            assert_eq!(k.iter().filter(|&&w| w == 2.0).count(), 3);
+        }
+    }
+
+    fn sine_problem(n_per_class: usize, len: usize, seed: u64) -> Dataset {
+        let mut ds = Dataset::empty(2);
+        let mut rng = seeded(seed);
+        for c in 0..2 {
+            let freq = if c == 0 { 0.3 } else { 0.8 };
+            for _ in 0..n_per_class {
+                let phase: f64 = rng.gen_range(0.0..1.0);
+                ds.push(
+                    Mts::from_dims(vec![(0..len)
+                        .map(|t| (t as f64 * freq + phase).sin() + normal(&mut rng, 0.0, 0.2))
+                        .collect()]),
+                    c,
+                );
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn separates_frequency_classes() {
+        let train = sine_problem(20, 50, 1);
+        let test = sine_problem(10, 50, 2);
+        let mut mr = MiniRocket::new(MiniRocketConfig { n_features: 336 });
+        let acc = mr.fit_score(&train, None, &test, &mut seeded(3));
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn features_are_ppv_proportions() {
+        let ds = sine_problem(4, 30, 4);
+        let mut mr = MiniRocket::new(MiniRocketConfig { n_features: 168 });
+        mr.fit(&ds, None, &mut seeded(5));
+        for row in mr.transform(&ds) {
+            assert!(row.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn respects_feature_budget() {
+        let ds = sine_problem(4, 40, 6);
+        let mut mr = MiniRocket::new(MiniRocketConfig { n_features: 100 });
+        mr.fit(&ds, None, &mut seeded(7));
+        assert!(mr.n_features() <= 100);
+        assert!(mr.n_features() >= 84); // at least one full kernel pass
+    }
+}

@@ -1,0 +1,171 @@
+//! Multi-class ridge classifier with exact LOOCV alpha selection — the
+//! scikit-learn `RidgeClassifierCV` that the paper pairs with ROCKET.
+//!
+//! One-vs-rest ±1 targets, features standardised with training
+//! statistics, alpha swept over `logspace(−3, 3, 10)` scored by exact
+//! leave-one-out error (see [`tsda_linalg::solve::RidgeLoocv`]), argmax
+//! decision.
+
+use tsda_core::Label;
+use tsda_linalg::matrix::Matrix;
+use tsda_linalg::solve::{RidgeLoocv, RidgeSolution};
+
+/// Fitted ridge classifier state.
+#[derive(Default)]
+pub struct RidgeClassifier {
+    solution: Option<RidgeSolution>,
+    feature_mean: Vec<f64>,
+    feature_std: Vec<f64>,
+    n_classes: usize,
+}
+
+impl RidgeClassifier {
+    /// Fit on raw feature rows.
+    ///
+    /// # Panics
+    /// Panics on empty input or mismatched lengths.
+    pub fn fit_features(&mut self, features: &[Vec<f64>], labels: &[Label], n_classes: usize) {
+        assert_eq!(features.len(), labels.len(), "feature/label mismatch");
+        assert!(!features.is_empty(), "ridge classifier needs data");
+        let n = features.len();
+        let p = features[0].len();
+        // Standardise features (ROCKET features have wildly different
+        // scales: PPV in [0,1], max unbounded).
+        self.feature_mean = vec![0.0; p];
+        self.feature_std = vec![0.0; p];
+        for row in features {
+            for (j, &v) in row.iter().enumerate() {
+                self.feature_mean[j] += v / n as f64;
+            }
+        }
+        for row in features {
+            for (j, &v) in row.iter().enumerate() {
+                let d = v - self.feature_mean[j];
+                self.feature_std[j] += d * d / n as f64;
+            }
+        }
+        for s in &mut self.feature_std {
+            *s = s.sqrt().max(1e-8);
+        }
+        let x = Matrix::from_fn(n, p, |i, j| {
+            (features[i][j] - self.feature_mean[j]) / self.feature_std[j]
+        });
+        // One-vs-rest ±1 targets.
+        let y = Matrix::from_fn(n, n_classes, |i, c| if labels[i] == c { 1.0 } else { -1.0 });
+        self.solution = Some(RidgeLoocv::default().fit(&x, &y));
+        self.n_classes = n_classes;
+    }
+
+    /// Predict labels for raw feature rows.
+    pub fn predict_features(&self, features: &[Vec<f64>]) -> Vec<Label> {
+        let sol = self.solution.as_ref().expect("predict before fit");
+        features
+            .iter()
+            .map(|row| {
+                let x: Vec<f64> = row
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &v)| (v - self.feature_mean[j]) / self.feature_std[j])
+                    .collect();
+                let scores = sol.predict(&x);
+                scores
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(c, _)| c)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// The alpha the LOOCV sweep selected (None before fit).
+    pub fn selected_alpha(&self) -> Option<f64> {
+        self.solution.as_ref().map(|s| s.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use tsda_core::rng::seeded;
+
+    fn blobs(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Label>) {
+        let mut rng = seeded(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let c = i % 3;
+            let centre = [(0.0, 0.0), (4.0, 0.0), (0.0, 4.0)][c];
+            x.push(vec![
+                centre.0 + rng.gen_range(-1.0..1.0),
+                centre.1 + rng.gen_range(-1.0..1.0),
+            ]);
+            y.push(c);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn classifies_three_blobs() {
+        let (xt, yt) = blobs(90, 1);
+        let (xs, ys) = blobs(30, 2);
+        let mut clf = RidgeClassifier::default();
+        clf.fit_features(&xt, &yt, 3);
+        let pred = clf.predict_features(&xs);
+        let acc = pred.iter().zip(&ys).filter(|(a, b)| a == b).count() as f64 / 30.0;
+        assert!(acc > 0.95, "{acc}");
+    }
+
+    #[test]
+    fn alpha_is_selected_from_the_grid() {
+        let (xt, yt) = blobs(60, 3);
+        let mut clf = RidgeClassifier::default();
+        clf.fit_features(&xt, &yt, 3);
+        let alpha = clf.selected_alpha().unwrap();
+        assert!((1e-3..=1e3).contains(&alpha));
+    }
+
+    #[test]
+    fn constant_features_do_not_blow_up() {
+        // Zero-variance feature: standardisation must guard the division.
+        let x = vec![vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0], vec![4.0, 5.0]];
+        let y = vec![0, 0, 1, 1];
+        let mut clf = RidgeClassifier::default();
+        clf.fit_features(&x, &y, 2);
+        let pred = clf.predict_features(&x);
+        assert_eq!(pred, y);
+    }
+
+    #[test]
+    fn overparameterised_regime_works() {
+        // p >> n exercises the dual LOOCV path end to end.
+        let mut rng = seeded(4);
+        let n = 12;
+        let p = 60;
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let c = i % 2;
+            let row: Vec<f64> = (0..p)
+                .map(|j| {
+                    let sig = if j < 5 { (c as f64) * 2.0 - 1.0 } else { 0.0 };
+                    sig + rng.gen_range(-0.3..0.3)
+                })
+                .collect();
+            x.push(row);
+            y.push(c);
+        }
+        let mut clf = RidgeClassifier::default();
+        clf.fit_features(&x, &y, 2);
+        let pred = clf.predict_features(&x);
+        let acc = pred.iter().zip(&y).filter(|(a, b)| a == b).count();
+        assert!(acc >= 11, "{acc}/12");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs data")]
+    fn empty_fit_panics() {
+        RidgeClassifier::default().fit_features(&[], &[], 2);
+    }
+}

@@ -1,0 +1,252 @@
+//! The dataset characteristics of the paper's Table III.
+//!
+//! Nine properties are computed for every dataset: class count, training
+//! size, dimensionality, series length, the multivariate variance of
+//! Eqs. 4–5 for both splits, the imbalance degree with Hellinger distance
+//! (Ortigosa-Hernández et al. 2017, as the paper recommends), the
+//! Euclidean train/test mean distance, and the missing-value proportion.
+
+use crate::dataset::{Dataset, TrainTest};
+use serde::{Deserialize, Serialize};
+
+/// One row of Table III.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetCharacteristics {
+    /// Number of classes (`n_classes`).
+    pub n_classes: usize,
+    /// Training set size (`Train_size`).
+    pub train_size: usize,
+    /// Number of variables per series (`Dim`).
+    pub dim: usize,
+    /// Series length (`Length`).
+    pub length: usize,
+    /// Eq. 5 multivariate variance of the training split (`Var_train`).
+    pub var_train: f64,
+    /// Eq. 5 multivariate variance of the test split (`Var_test`).
+    pub var_test: f64,
+    /// Hellinger imbalance degree (`Im_ratio`).
+    pub imbalance_degree: f64,
+    /// Euclidean distance between split mean vectors (`d_train_test`).
+    pub train_test_distance: f64,
+    /// Missing-value proportion over the whole dataset (`prop_miss`).
+    pub missing_proportion: f64,
+}
+
+impl DatasetCharacteristics {
+    /// Compute every Table III column for a train/test pair.
+    pub fn compute(data: &TrainTest) -> Self {
+        let train = &data.train;
+        let test = &data.test;
+        let train_mean = train.mean_vector();
+        let test_mean = test.mean_vector();
+        let d: f64 = train_mean
+            .iter()
+            .zip(&test_mean)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        let total_cells: usize = (train.len() + test.len())
+            * train.n_dims().max(test.n_dims())
+            * train.series_len().max(test.series_len());
+        let missing = if total_cells == 0 {
+            0.0
+        } else {
+            let miss: usize = train
+                .series()
+                .iter()
+                .chain(test.series())
+                .map(crate::series::Mts::missing_count)
+                .sum();
+            miss as f64 / total_cells as f64
+        };
+        Self {
+            n_classes: train.n_classes(),
+            train_size: train.len(),
+            dim: train.n_dims(),
+            length: train.series_len(),
+            var_train: multivariate_variance(train),
+            var_test: multivariate_variance(test),
+            imbalance_degree: imbalance_degree_hellinger(&train.class_distribution()),
+            train_test_distance: d,
+            missing_proportion: missing,
+        }
+    }
+}
+
+/// Eq. 4–5: per-(dimension, time-step) variance across series, averaged
+/// over all positions. Missing values are skipped position-wise.
+pub fn multivariate_variance(ds: &Dataset) -> f64 {
+    let m = ds.n_dims();
+    let t = ds.series_len();
+    if ds.is_empty() || m == 0 || t == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for dim in 0..m {
+        for step in 0..t {
+            let vals: Vec<f64> = ds
+                .series()
+                .iter()
+                .map(|s| s.value(dim, step))
+                .filter(|v| !v.is_nan())
+                .collect();
+            if vals.len() < 2 {
+                continue;
+            }
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            total += vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+        }
+    }
+    total / (m * t) as f64
+}
+
+/// Hellinger distance between two discrete distributions.
+///
+/// `d_H(p, q) = (1/√2) · ‖√p − √q‖₂`, bounded in `[0, 1]`.
+pub fn hellinger_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "hellinger length mismatch");
+    let s: f64 = p
+        .iter()
+        .zip(q)
+        .map(|(&a, &b)| {
+            let d = a.max(0.0).sqrt() - b.max(0.0).sqrt();
+            d * d
+        })
+        .sum();
+    (s / 2.0).sqrt()
+}
+
+/// Imbalance degree (ID) of Ortigosa-Hernández et al. 2017 with the
+/// Hellinger distance, the variant Table III reports as `Im_ratio`.
+///
+/// With `K` classes and empirical distribution ζ, let `m` be the number
+/// of *minority* classes (probability strictly below `1/K`). Then
+///
+/// `ID(ζ) = d(ζ, e) / d(ι_m, e) + (m − 1)`
+///
+/// where `e` is the balanced distribution and `ι_m` the most imbalanced
+/// distribution with exactly `m` minority classes (`m` classes at 0,
+/// `K−m−1` at `1/K`, one at `(m+1)/K`). A perfectly balanced
+/// distribution has `m = 0` and ID defined as 0.
+pub fn imbalance_degree_hellinger(zeta: &[f64]) -> f64 {
+    let k = zeta.len();
+    if k <= 1 {
+        return 0.0;
+    }
+    let e = vec![1.0 / k as f64; k];
+    let m = zeta.iter().filter(|&&p| p < 1.0 / k as f64 - 1e-12).count();
+    if m == 0 {
+        return 0.0;
+    }
+    // ι_m: m zeros, K−m−1 at 1/K, one at (m+1)/K.
+    let mut iota = vec![0.0; k];
+    for (i, v) in iota.iter_mut().enumerate().take(k) {
+        if i < m {
+            *v = 0.0;
+        } else if i < k - 1 {
+            *v = 1.0 / k as f64;
+        } else {
+            *v = (m + 1) as f64 / k as f64;
+        }
+    }
+    let d_zeta = hellinger_distance(zeta, &e);
+    let d_iota = hellinger_distance(&iota, &e);
+    if d_iota == 0.0 {
+        return (m - 1) as f64;
+    }
+    d_zeta / d_iota + (m as f64 - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Mts;
+
+    fn ds_with_counts(counts: &[usize]) -> Dataset {
+        let mut ds = Dataset::empty(counts.len());
+        for (c, &n) in counts.iter().enumerate() {
+            for i in 0..n {
+                ds.push(Mts::constant(1, 2, (c + i) as f64), c);
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn hellinger_bounds() {
+        assert_eq!(hellinger_distance(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+        let d = hellinger_distance(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_distribution_has_zero_id() {
+        assert_eq!(imbalance_degree_hellinger(&[0.25; 4]), 0.0);
+        assert_eq!(imbalance_degree_hellinger(&[0.5, 0.5]), 0.0);
+    }
+
+    #[test]
+    fn id_lies_in_expected_band() {
+        // ID with m minority classes lies in (m−1, m].
+        let zeta = [0.1, 0.1, 0.8]; // K=3, minorities: 2 classes below 1/3
+        let id = imbalance_degree_hellinger(&zeta);
+        assert!(id > 1.0 && id <= 2.0, "{id}");
+    }
+
+    #[test]
+    fn id_increases_with_skew() {
+        let mild = imbalance_degree_hellinger(&[0.3, 0.7]);
+        let severe = imbalance_degree_hellinger(&[0.05, 0.95]);
+        assert!(severe > mild, "{severe} <= {mild}");
+    }
+
+    #[test]
+    fn extreme_distribution_hits_band_top() {
+        // All mass on one class of two: ζ = ι_1, so ID = 1·1 + 0 = 1.
+        let id = imbalance_degree_hellinger(&[0.0, 1.0]);
+        assert!((id - 1.0).abs() < 1e-9, "{id}");
+    }
+
+    #[test]
+    fn variance_of_identical_series_is_zero() {
+        let mut ds = Dataset::empty(1);
+        ds.push(Mts::constant(2, 3, 1.0), 0);
+        ds.push(Mts::constant(2, 3, 1.0), 0);
+        assert_eq!(multivariate_variance(&ds), 0.0);
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        let mut ds = Dataset::empty(1);
+        ds.push(Mts::from_dims(vec![vec![0.0, 0.0]]), 0);
+        ds.push(Mts::from_dims(vec![vec![2.0, 4.0]]), 0);
+        // Position variances: 1.0 and 4.0, averaged = 2.5.
+        assert_eq!(multivariate_variance(&ds), 2.5);
+    }
+
+    #[test]
+    fn characteristics_fill_all_fields() {
+        let train = ds_with_counts(&[4, 2]);
+        let test = ds_with_counts(&[2, 2]);
+        let tt = TrainTest::new(train, test).unwrap();
+        let c = DatasetCharacteristics::compute(&tt);
+        assert_eq!(c.n_classes, 2);
+        assert_eq!(c.train_size, 6);
+        assert_eq!(c.dim, 1);
+        assert_eq!(c.length, 2);
+        assert!(c.imbalance_degree > 0.0);
+        assert!(c.train_test_distance >= 0.0);
+        assert_eq!(c.missing_proportion, 0.0);
+    }
+
+    #[test]
+    fn missing_proportion_detected() {
+        let mut train = Dataset::empty(1);
+        train.push(Mts::from_dims(vec![vec![f64::NAN, 1.0]]), 0);
+        let mut test = Dataset::empty(1);
+        test.push(Mts::from_dims(vec![vec![1.0, 1.0]]), 0);
+        let tt = TrainTest::new(train, test).unwrap();
+        let c = DatasetCharacteristics::compute(&tt);
+        assert_eq!(c.missing_proportion, 0.25);
+    }
+}

@@ -1,0 +1,72 @@
+//! Workspace-wide error type.
+
+/// Errors surfaced by the `tsda` crates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TsdaError {
+    /// Incompatible shapes (series, datasets, matrices).
+    Shape(String),
+    /// A label outside `0..n_classes`.
+    Label {
+        /// The offending label.
+        label: usize,
+        /// The declared class count.
+        n_classes: usize,
+    },
+    /// A technique received parameters it cannot work with (e.g. SMOTE on
+    /// a class with a single member and no neighbours).
+    InvalidParameter(String),
+    /// Numerical failure (non-converging factorisation, singular system).
+    Numerical(String),
+    /// Parse failure in dataset file IO.
+    Parse {
+        /// 1-based line number when known.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Underlying IO failure, stringified to keep the error `Clone`.
+    Io(String),
+}
+
+impl std::fmt::Display for TsdaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Shape(msg) => write!(f, "shape error: {msg}"),
+            Self::Label { label, n_classes } => {
+                write!(f, "label {label} out of range for {n_classes} classes")
+            }
+            Self::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Self::Numerical(msg) => write!(f, "numerical error: {msg}"),
+            Self::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Self::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TsdaError {}
+
+impl From<std::io::Error> for TsdaError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TsdaError::Label { label: 7, n_classes: 3 };
+        assert_eq!(e.to_string(), "label 7 out of range for 3 classes");
+        let p = TsdaError::Parse { line: 12, message: "bad float".into() };
+        assert!(p.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: TsdaError = io.into();
+        assert!(matches!(e, TsdaError::Io(_)));
+    }
+}

@@ -1,0 +1,39 @@
+//! Core types for the `tsda` workspace: multivariate time series,
+//! labelled datasets, the dataset characteristics of the paper's
+//! Table III, and the evaluation metrics (accuracy, relative gain Eq. 3).
+//!
+//! Everything downstream — the augmentation taxonomy, the classifiers,
+//! the UCR/UEA archive simulator, and the experiment harness — builds on
+//! the two containers defined here:
+//!
+//! * [`Mts`]: one multivariate time series, `M` dimensions × `T` steps,
+//!   dimension-major storage, `NaN` encoding missing observations;
+//! * [`Dataset`]: a labelled collection of equally-shaped series.
+//!
+//! # Example
+//! ```
+//! use tsda_core::{Mts, Dataset};
+//!
+//! let a = Mts::from_dims(vec![vec![0.0, 1.0, 2.0], vec![5.0, 5.0, 5.0]]);
+//! let b = Mts::constant(2, 3, 1.0);
+//! let ds = Dataset::from_parts(vec![a, b], vec![0, 1], 2).unwrap();
+//! assert_eq!(ds.len(), 2);
+//! assert_eq!(ds.class_counts(), vec![1, 1]);
+//! ```
+
+pub mod characteristics;
+pub mod dataset;
+pub mod error;
+pub mod metrics;
+pub mod preprocess;
+pub mod rng;
+pub mod series;
+
+pub use characteristics::DatasetCharacteristics;
+pub use dataset::{Dataset, TrainTest};
+pub use error::TsdaError;
+pub use metrics::{accuracy, confusion_matrix, macro_f1, relative_gain};
+pub use series::Mts;
+
+/// A class label. Labels are dense indices `0..n_classes`.
+pub type Label = usize;

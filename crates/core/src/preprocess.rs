@@ -1,0 +1,169 @@
+//! Preprocessing: z-normalisation, missing-value imputation, length
+//! adjustment.
+//!
+//! The archive protocol z-normalises per dimension and imputes the
+//! sparse missing stretches (CharacterTrajectories, SpokenArabicDigits)
+//! by linear interpolation before feeding any classifier.
+
+use crate::dataset::Dataset;
+use crate::series::Mts;
+
+/// Z-normalise each dimension of a series to zero mean / unit variance
+/// (missing values are ignored in the statistics and left missing).
+/// Dimensions with zero variance are centred only.
+pub fn znormalize_series(s: &Mts) -> Mts {
+    let mut out = s.clone();
+    for m in 0..s.n_dims() {
+        let mean = s.dim_mean(m);
+        let std = s.dim_std(m);
+        for v in out.dim_mut(m) {
+            if v.is_nan() {
+                continue;
+            }
+            *v = if std > 0.0 { (*v - mean) / std } else { *v - mean };
+        }
+    }
+    out
+}
+
+/// Z-normalise every series of a dataset independently.
+pub fn znormalize_dataset(ds: &Dataset) -> Dataset {
+    let mut out = Dataset::empty(ds.n_classes());
+    for (s, l) in ds.iter() {
+        out.push(znormalize_series(s), l);
+    }
+    out
+}
+
+/// Replace missing values by linear interpolation between the nearest
+/// observed neighbours in the same dimension; leading/trailing gaps take
+/// the nearest observed value; an all-missing dimension becomes zeros.
+pub fn impute_linear(s: &Mts) -> Mts {
+    let mut out = s.clone();
+    let t = s.len();
+    for m in 0..s.n_dims() {
+        let dim = out.dim_mut(m);
+        let observed: Vec<usize> = (0..t).filter(|&i| !dim[i].is_nan()).collect();
+        if observed.is_empty() {
+            for v in dim.iter_mut() {
+                *v = 0.0;
+            }
+            continue;
+        }
+        for i in 0..t {
+            if !dim[i].is_nan() {
+                continue;
+            }
+            // Nearest observed indices on each side.
+            let left = observed.iter().rev().find(|&&j| j < i).copied();
+            let right = observed.iter().find(|&&j| j > i).copied();
+            dim[i] = match (left, right) {
+                (Some(l), Some(r)) => {
+                    let w = (i - l) as f64 / (r - l) as f64;
+                    dim[l] * (1.0 - w) + dim[r] * w
+                }
+                (Some(l), None) => dim[l],
+                (None, Some(r)) => dim[r],
+                (None, None) => unreachable!("observed is non-empty"),
+            };
+        }
+    }
+    out
+}
+
+/// Impute every series of a dataset.
+pub fn impute_dataset(ds: &Dataset) -> Dataset {
+    let mut out = Dataset::empty(ds.n_classes());
+    for (s, l) in ds.iter() {
+        out.push(impute_linear(s), l);
+    }
+    out
+}
+
+/// Shorten a series to `target_len` by averaging equal strides (simple
+/// anti-aliased decimation). A no-op when already short enough.
+pub fn decimate_series(s: &Mts, target_len: usize) -> Mts {
+    assert!(target_len > 0, "decimate to zero length");
+    if s.len() <= target_len {
+        return s.clone();
+    }
+    let mut dims = Vec::with_capacity(s.n_dims());
+    for m in 0..s.n_dims() {
+        let src = s.dim(m);
+        let mut d = Vec::with_capacity(target_len);
+        for k in 0..target_len {
+            let start = k * s.len() / target_len;
+            let end = ((k + 1) * s.len() / target_len).max(start + 1);
+            let window = &src[start..end];
+            let vals: Vec<f64> = window.iter().copied().filter(|v| !v.is_nan()).collect();
+            d.push(if vals.is_empty() {
+                f64::NAN
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            });
+        }
+        dims.push(d);
+    }
+    Mts::from_dims(dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn znormalize_gives_zero_mean_unit_std() {
+        let s = Mts::from_dims(vec![vec![1.0, 2.0, 3.0, 4.0]]);
+        let z = znormalize_series(&s);
+        assert!(z.dim_mean(0).abs() < 1e-12);
+        assert!((z.dim_std(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn znormalize_constant_dim_centres_only() {
+        let s = Mts::from_dims(vec![vec![5.0, 5.0, 5.0]]);
+        let z = znormalize_series(&s);
+        assert_eq!(z.dim(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn znormalize_preserves_missing() {
+        let s = Mts::from_dims(vec![vec![1.0, f64::NAN, 3.0]]);
+        let z = znormalize_series(&s);
+        assert!(z.value(0, 1).is_nan());
+    }
+
+    #[test]
+    fn impute_interpolates_interior_gap() {
+        let s = Mts::from_dims(vec![vec![0.0, f64::NAN, f64::NAN, 3.0]]);
+        let i = impute_linear(&s);
+        assert_eq!(i.dim(0), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn impute_extends_edges() {
+        let s = Mts::from_dims(vec![vec![f64::NAN, 2.0, f64::NAN]]);
+        let i = impute_linear(&s);
+        assert_eq!(i.dim(0), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn impute_all_missing_becomes_zero() {
+        let s = Mts::from_dims(vec![vec![f64::NAN, f64::NAN]]);
+        let i = impute_linear(&s);
+        assert_eq!(i.dim(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn decimate_halves_length_with_averaging() {
+        let s = Mts::from_dims(vec![vec![1.0, 3.0, 5.0, 7.0]]);
+        let d = decimate_series(&s, 2);
+        assert_eq!(d.dim(0), &[2.0, 6.0]);
+    }
+
+    #[test]
+    fn decimate_noop_when_short() {
+        let s = Mts::from_dims(vec![vec![1.0, 2.0]]);
+        assert_eq!(decimate_series(&s, 5), s);
+    }
+}

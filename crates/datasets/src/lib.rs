@@ -1,0 +1,22 @@
+//! UCR/UEA multivariate archive simulator.
+//!
+//! The paper evaluates on the 13 *imbalanced multivariate* datasets of
+//! the UCR/UEA archive (its Table III). The archive itself is an external
+//! artifact this workspace cannot ship, so this crate substitutes a
+//! *simulator*: for each of the 13 datasets, a seeded synthetic generator
+//! that matches the published characteristics — class count, train size,
+//! dimension count, series length, class imbalance, per-position
+//! variance, train/test distribution shift, and missing-value proportion
+//! — while producing class structure (per-class latent prototypes plus
+//! noise and nuisance transformations) that makes classification
+//! non-trivial and augmentation-sensitive.
+//!
+//! Real archive data can be dropped in through the [`ts_format`] parser,
+//! which reads the sktime `.ts` layout.
+
+pub mod registry;
+pub mod synth;
+pub mod ts_format;
+
+pub use registry::{DatasetId, DatasetMeta, ALL_DATASETS};
+pub use synth::{generate, GenOptions};

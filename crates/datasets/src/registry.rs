@@ -1,0 +1,413 @@
+//! The 13 imbalanced multivariate UCR/UEA datasets (paper Table III).
+//!
+//! Each entry records the archive's published characteristics plus the
+//! simulator knobs (signal family, class separation, noise floor,
+//! train/test shift) tuned so the synthetic stand-ins exercise the same
+//! regimes: near-chance EEG sets, near-perfect digit sets, long slow
+//! series, very wide sensor panels, and missing-value padding.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier for one of the 13 archive datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetId {
+    /// 20-class 3-D pen trajectories, variable length (NaN-padded).
+    CharacterTrajectories,
+    /// 5-class, 6-dim, extremely long worm locomotion series.
+    EigenWorms,
+    /// 4-class tri-axial accelerometer epilepsy episodes.
+    Epilepsy,
+    /// 4-class near-infrared spectra of ethanol/water mixtures.
+    EthanolConcentration,
+    /// 2-class, 28-channel EEG; near-chance for every model.
+    FingerMovements,
+    /// 26-class 3-D accelerometer handwriting.
+    Handwriting,
+    /// 2-class, 61-channel heart-sound spectrogram bands.
+    Heartbeat,
+    /// 14-class astronomical transient light curves, very short.
+    Lsst,
+    /// 7-class, 963-station California traffic occupancy.
+    PemsSf,
+    /// 10-class pen-tip digit skeletons, length 8.
+    PenDigits,
+    /// 4-class racket-sport accelerometer/gyroscope bursts.
+    RacketSports,
+    /// 2-class slow-cortical-potential EEG.
+    SelfRegulationScp1,
+    /// 10-class, 13-band MFCC spoken digits, variable length.
+    SpokenArabicDigits,
+}
+
+/// The waveform family the simulator uses for a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SignalFamily {
+    /// Smooth pen strokes: splines through class-specific control points.
+    Strokes,
+    /// Low-frequency sinusoid mixtures (worms, spectra, SCP).
+    SlowWaves,
+    /// Localised Gaussian-windowed oscillation bursts.
+    Bursts,
+    /// Autoregressive noise with a faint class offset (EEG).
+    EegNoise,
+    /// Double-peaked daily occupancy profiles with class phase.
+    Traffic,
+    /// Per-band spectral envelopes (MFCC / heart-sound bands).
+    BandEnvelopes,
+}
+
+/// Static description of one dataset: Table III characteristics plus
+/// simulator parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetMeta {
+    /// Which dataset.
+    pub id: DatasetId,
+    /// Archive name, as printed in Table III.
+    pub name: &'static str,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Archive training-set size.
+    pub train_size: usize,
+    /// Archive test-set size.
+    pub test_size: usize,
+    /// Number of variables per series.
+    pub dims: usize,
+    /// Series length.
+    pub length: usize,
+    /// Number of minority classes implied by the published Hellinger
+    /// imbalance degree (`m = ceil(Im_ratio)`, 0 when balanced).
+    pub minority_classes: usize,
+    /// Published missing-value proportion (realised as trailing NaN
+    /// padding of variable-length series).
+    pub missing_prop: f64,
+    /// Simulator: class separation (prototype distance in noise units).
+    /// Larger ⇒ easier; tuned to land near the paper's baseline accuracy.
+    pub separation: f64,
+    /// Simulator: per-sample noise standard deviation.
+    pub noise: f64,
+    /// Simulator: per-sample *structural* variability — the fraction by
+    /// which each sample re-draws its waveform parameters (amplitudes,
+    /// frequencies, burst positions) around the class prototype, and for
+    /// oscillatory families the fraction of a full cycle by which phases
+    /// are re-randomised. This, not additive noise, is what makes the
+    /// hard datasets hard: fixed prototypes plus iid noise are always
+    /// linearly separable, overlapping parameter distributions are not.
+    pub sample_jitter: f64,
+    /// Simulator: additive offset applied to the test split, producing
+    /// the `d_train_test` domain shift of Table III.
+    pub test_shift: f64,
+    /// Waveform family.
+    pub family: SignalFamily,
+}
+
+/// All 13 datasets in Table III order.
+pub const ALL_DATASETS: [DatasetMeta; 13] = [
+    DatasetMeta {
+        id: DatasetId::CharacterTrajectories,
+        name: "CharacterTrajectories",
+        n_classes: 20,
+        train_size: 1422,
+        test_size: 1436,
+        dims: 3,
+        length: 182,
+        minority_classes: 14,
+        missing_prop: 0.33,
+        separation: 3.0,
+        sample_jitter: 0.22,
+        noise: 0.35,
+        test_shift: 0.02,
+        family: SignalFamily::Strokes,
+    },
+    DatasetMeta {
+        id: DatasetId::EigenWorms,
+        name: "EigenWorms",
+        n_classes: 5,
+        train_size: 128,
+        test_size: 131,
+        dims: 6,
+        length: 17984,
+        minority_classes: 4,
+        missing_prop: 0.0,
+        separation: 1.6,
+        sample_jitter: 0.52,
+        noise: 0.5,
+        test_shift: 0.05,
+        family: SignalFamily::SlowWaves,
+    },
+    DatasetMeta {
+        id: DatasetId::Epilepsy,
+        name: "Epilepsy",
+        n_classes: 4,
+        train_size: 137,
+        test_size: 138,
+        dims: 3,
+        length: 206,
+        minority_classes: 2,
+        missing_prop: 0.0,
+        separation: 3.2,
+        sample_jitter: 0.22,
+        noise: 0.35,
+        test_shift: 0.02,
+        family: SignalFamily::Bursts,
+    },
+    DatasetMeta {
+        id: DatasetId::EthanolConcentration,
+        name: "EthanolConcentration",
+        n_classes: 4,
+        train_size: 261,
+        test_size: 263,
+        dims: 3,
+        length: 1751,
+        minority_classes: 2,
+        missing_prop: 0.0,
+        separation: 0.25,
+        sample_jitter: 1.35,
+        noise: 1.2,
+        test_shift: 0.35,
+        family: SignalFamily::SlowWaves,
+    },
+    DatasetMeta {
+        id: DatasetId::FingerMovements,
+        name: "FingerMovements",
+        n_classes: 2,
+        train_size: 316,
+        test_size: 100,
+        dims: 28,
+        length: 50,
+        minority_classes: 0,
+        missing_prop: 0.0,
+        separation: 0.6,
+        sample_jitter: 1.0,
+        noise: 1.0,
+        test_shift: 0.03,
+        family: SignalFamily::EegNoise,
+    },
+    DatasetMeta {
+        id: DatasetId::Handwriting,
+        name: "Handwriting",
+        n_classes: 26,
+        train_size: 150,
+        test_size: 850,
+        dims: 3,
+        length: 152,
+        minority_classes: 13,
+        missing_prop: 0.0,
+        separation: 0.55,
+        sample_jitter: 2.9,
+        noise: 1.1,
+        test_shift: 0.05,
+        family: SignalFamily::Strokes,
+    },
+    DatasetMeta {
+        id: DatasetId::Heartbeat,
+        name: "Heartbeat",
+        n_classes: 2,
+        train_size: 204,
+        test_size: 205,
+        dims: 61,
+        length: 405,
+        minority_classes: 1,
+        missing_prop: 0.0,
+        separation: 0.75,
+        sample_jitter: 1.0,
+        noise: 0.8,
+        test_shift: 0.05,
+        family: SignalFamily::BandEnvelopes,
+    },
+    DatasetMeta {
+        id: DatasetId::Lsst,
+        name: "LSST",
+        n_classes: 14,
+        train_size: 2459,
+        test_size: 2466,
+        dims: 6,
+        length: 36,
+        minority_classes: 10,
+        missing_prop: 0.0,
+        separation: 1.1,
+        sample_jitter: 0.22,
+        noise: 0.6,
+        test_shift: 0.1,
+        family: SignalFamily::Bursts,
+    },
+    DatasetMeta {
+        id: DatasetId::PemsSf,
+        name: "PEMS-SF",
+        n_classes: 7,
+        train_size: 267,
+        test_size: 173,
+        dims: 963,
+        length: 144,
+        minority_classes: 4,
+        missing_prop: 0.0,
+        separation: 1.3,
+        sample_jitter: 0.35,
+        noise: 0.6,
+        test_shift: 0.05,
+        family: SignalFamily::Traffic,
+    },
+    DatasetMeta {
+        id: DatasetId::PenDigits,
+        name: "PenDigits",
+        n_classes: 10,
+        train_size: 7494,
+        test_size: 3498,
+        dims: 2,
+        length: 8,
+        minority_classes: 5,
+        missing_prop: 0.0,
+        separation: 3.5,
+        sample_jitter: 0.35,
+        noise: 0.25,
+        test_shift: 0.01,
+        family: SignalFamily::Strokes,
+    },
+    DatasetMeta {
+        id: DatasetId::RacketSports,
+        name: "RacketSports",
+        n_classes: 4,
+        train_size: 151,
+        test_size: 152,
+        dims: 6,
+        length: 30,
+        minority_classes: 2,
+        missing_prop: 0.0,
+        separation: 1.9,
+        sample_jitter: 0.31,
+        noise: 0.45,
+        test_shift: 0.03,
+        family: SignalFamily::Bursts,
+    },
+    DatasetMeta {
+        id: DatasetId::SelfRegulationScp1,
+        name: "SelfRegulationSCP1",
+        n_classes: 2,
+        train_size: 268,
+        test_size: 293,
+        dims: 6,
+        length: 896,
+        minority_classes: 0,
+        missing_prop: 0.0,
+        separation: 0.9,
+        sample_jitter: 0.95,
+        noise: 0.8,
+        test_shift: 0.1,
+        family: SignalFamily::SlowWaves,
+    },
+    DatasetMeta {
+        id: DatasetId::SpokenArabicDigits,
+        name: "SpokenArabicDigits",
+        n_classes: 10,
+        train_size: 6599,
+        test_size: 2199,
+        dims: 13,
+        length: 93,
+        minority_classes: 0,
+        missing_prop: 0.57,
+        separation: 4.2,
+        sample_jitter: 0.05,
+        noise: 0.25,
+        test_shift: 0.02,
+        family: SignalFamily::BandEnvelopes,
+    },
+];
+
+impl DatasetMeta {
+    /// Look up a dataset by id.
+    pub fn get(id: DatasetId) -> &'static DatasetMeta {
+        ALL_DATASETS
+            .iter()
+            .find(|m| m.id == id)
+            .expect("every DatasetId has a registry entry")
+    }
+
+    /// Class proportions implementing the published imbalance: majority
+    /// classes share weight 1.5 each, minority classes decay
+    /// geometrically from 0.5, everything normalised. Balanced datasets
+    /// (`minority_classes == 0`) are uniform.
+    pub fn class_proportions(&self) -> Vec<f64> {
+        let k = self.n_classes;
+        let m = self.minority_classes;
+        if m == 0 {
+            return vec![1.0 / k as f64; k];
+        }
+        let mut w = Vec::with_capacity(k);
+        for i in 0..k {
+            if i < k - m {
+                w.push(1.5);
+            } else {
+                w.push(0.5 * 0.75f64.powi((i - (k - m)) as i32));
+            }
+        }
+        let total: f64 = w.iter().sum();
+        w.iter().map(|v| v / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsda_core::characteristics::imbalance_degree_hellinger;
+
+    #[test]
+    fn registry_has_thirteen_datasets() {
+        assert_eq!(ALL_DATASETS.len(), 13);
+    }
+
+    #[test]
+    fn table3_headline_numbers_match() {
+        let ct = DatasetMeta::get(DatasetId::CharacterTrajectories);
+        assert_eq!((ct.n_classes, ct.train_size, ct.dims, ct.length), (20, 1422, 3, 182));
+        let pems = DatasetMeta::get(DatasetId::PemsSf);
+        assert_eq!((pems.n_classes, pems.dims, pems.length), (7, 963, 144));
+        let pen = DatasetMeta::get(DatasetId::PenDigits);
+        assert_eq!((pen.train_size, pen.length), (7494, 8));
+    }
+
+    #[test]
+    fn proportions_sum_to_one() {
+        for meta in &ALL_DATASETS {
+            let p = meta.class_proportions();
+            assert_eq!(p.len(), meta.n_classes);
+            let s: f64 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "{}: {s}", meta.name);
+        }
+    }
+
+    #[test]
+    fn minority_count_matches_declared() {
+        for meta in &ALL_DATASETS {
+            let p = meta.class_proportions();
+            let k = meta.n_classes as f64;
+            let m = p.iter().filter(|&&v| v < 1.0 / k - 1e-12).count();
+            assert_eq!(m, meta.minority_classes, "{}", meta.name);
+        }
+    }
+
+    #[test]
+    fn imbalance_degree_lands_in_declared_band() {
+        // ID with m minority classes must lie in (m−1, m].
+        for meta in &ALL_DATASETS {
+            let id = imbalance_degree_hellinger(&meta.class_proportions());
+            let m = meta.minority_classes as f64;
+            if meta.minority_classes == 0 {
+                assert_eq!(id, 0.0, "{}", meta.name);
+            } else {
+                assert!(id > m - 1.0 && id <= m, "{}: ID {id}, m {m}", meta.name);
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_datasets_are_the_three_from_table3() {
+        let balanced: Vec<&str> = ALL_DATASETS
+            .iter()
+            .filter(|m| m.minority_classes == 0)
+            .map(|m| m.name)
+            .collect();
+        assert_eq!(
+            balanced,
+            vec!["FingerMovements", "SelfRegulationSCP1", "SpokenArabicDigits"]
+        );
+    }
+}

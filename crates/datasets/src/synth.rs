@@ -1,0 +1,568 @@
+//! Seeded synthetic generators for the 13 archive datasets.
+//!
+//! Each dataset is generated from class *prototypes* — smooth latent
+//! patterns drawn from a class-seeded RNG so the train and test splits
+//! share class structure — plus per-sample nuisance variation (amplitude
+//! jitter, time warp/shift, additive noise) and dataset-level knobs from
+//! the registry: class imbalance, missing-value padding, and a train/test
+//! domain shift.
+
+use crate::registry::{DatasetMeta, SignalFamily};
+use rand::rngs::StdRng;
+use rand::Rng;
+use tsda_core::rng::{derive_seed, normal, seeded};
+use tsda_core::{Dataset, Mts, TrainTest};
+
+/// Generation options: scale and seed.
+#[derive(Debug, Clone)]
+pub struct GenOptions {
+    /// Master seed; the same seed always regenerates the same archive.
+    pub seed: u64,
+    /// Multiplier on the archive train/test sizes (1.0 = paper scale).
+    pub size_factor: f64,
+    /// Cap on series length (usize::MAX = paper scale).
+    pub max_length: usize,
+    /// Cap on dimension count (usize::MAX = paper scale).
+    pub max_dims: usize,
+    /// Minimum training series per class after scaling.
+    pub min_train_per_class: usize,
+    /// Minimum test series per class after scaling.
+    pub min_test_per_class: usize,
+    /// Hard cap on the scaled training-set size (keeps PenDigits-sized
+    /// archives tractable in the laptop profile).
+    pub max_train_size: usize,
+    /// Hard cap on the scaled test-set size.
+    pub max_test_size: usize,
+}
+
+impl GenOptions {
+    /// Full archive sizes (matches Table III exactly).
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            seed,
+            size_factor: 1.0,
+            max_length: usize::MAX,
+            max_dims: usize::MAX,
+            min_train_per_class: 2,
+            min_test_per_class: 1,
+            max_train_size: usize::MAX,
+            max_test_size: usize::MAX,
+        }
+    }
+
+    /// Laptop-scale profile used by the default harness runs: an order of
+    /// magnitude fewer series, lengths capped at 96, dimensions at 24.
+    pub fn ci(seed: u64) -> Self {
+        Self {
+            seed,
+            size_factor: 0.12,
+            max_length: 96,
+            max_dims: 24,
+            min_train_per_class: 6,
+            min_test_per_class: 4,
+            max_train_size: 360,
+            max_test_size: 240,
+        }
+    }
+}
+
+/// Apportion `total` series over classes by the given proportions with
+/// the largest-remainder method, flooring every class at `min_per`.
+fn apportion(total: usize, proportions: &[f64], min_per: usize) -> Vec<usize> {
+    let k = proportions.len();
+    let total = total.max(k * min_per);
+    let raw: Vec<f64> = proportions.iter().map(|p| p * total as f64).collect();
+    let mut counts: Vec<usize> = raw.iter().map(|r| r.floor() as usize).collect();
+    let mut remainder: Vec<(usize, f64)> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (i, r - r.floor()))
+        .collect();
+    remainder.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let assigned: usize = counts.iter().sum();
+    for (i, _) in remainder.iter().take(total.saturating_sub(assigned)) {
+        counts[*i] += 1;
+    }
+    // Enforce the floor by pulling from the largest classes.
+    for i in 0..k {
+        while counts[i] < min_per {
+            let donor = (0..k)
+                .filter(|&j| j != i)
+                .max_by_key(|&j| counts[j])
+                .expect("k >= 2 for every archive dataset");
+            assert!(counts[donor] > min_per, "not enough series to satisfy class floors");
+            counts[donor] -= 1;
+            counts[i] += 1;
+        }
+    }
+    counts
+}
+
+/// A class prototype: per-dimension waveform *parameters*. Samples are
+/// rendered by re-drawing these parameters with the dataset's
+/// `sample_jitter` — structural within-class variability, which is what
+/// actually controls classification difficulty (a fixed curve plus iid
+/// noise is always linearly separable; overlapping parameter
+/// distributions are not).
+struct Prototype {
+    params: ProtoParams,
+}
+
+enum ProtoParams {
+    /// Per dim: cosine-basis amplitudes.
+    Strokes(Vec<Vec<f64>>),
+    /// Per dim: (amplitude, frequency, phase) sinusoid components.
+    SlowWaves(Vec<Vec<(f64, f64, f64)>>),
+    /// Per dim: (centre, width, amplitude, carrier frequency) bursts.
+    Bursts(Vec<Vec<(f64, f64, f64, f64)>>),
+    /// Per dim: faint linear drift slopes (EEG). A slope survives the
+    /// per-series z-normalisation every classifier applies, unlike a
+    /// constant offset, which z-norm erases entirely.
+    Eeg(Vec<f64>),
+    /// Per dim station amplitude; shared class peak positions.
+    Traffic { station_amp: Vec<f64>, peak1: f64, peak2: f64 },
+    /// Per dim: (centre, width, amplitude, tilt) band envelope.
+    Bands(Vec<(f64, f64, f64, f64)>),
+}
+
+fn build_prototype(
+    meta: &DatasetMeta,
+    class: usize,
+    dims: usize,
+    _len: usize,
+    rng: &mut StdRng,
+) -> Prototype {
+    let sep = meta.separation;
+    let params = match meta.family {
+        SignalFamily::Strokes => ProtoParams::Strokes(
+            (0..dims)
+                .map(|_| (0..5).map(|_| normal(rng, 0.0, sep)).collect())
+                .collect(),
+        ),
+        SignalFamily::SlowWaves => ProtoParams::SlowWaves(
+            (0..dims)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            (
+                                normal(rng, 0.0, sep),
+                                rng.gen_range(0.5..3.0),
+                                rng.gen_range(0.0..std::f64::consts::TAU),
+                            )
+                        })
+                        .collect()
+                })
+                .collect(),
+        ),
+        SignalFamily::Bursts => ProtoParams::Bursts(
+            (0..dims)
+                .map(|_| {
+                    (0..2)
+                        .map(|_| {
+                            (
+                                rng.gen_range(0.15..0.85),
+                                rng.gen_range(0.04..0.15),
+                                normal(rng, 0.0, sep),
+                                rng.gen_range(4.0..12.0),
+                            )
+                        })
+                        .collect()
+                })
+                .collect(),
+        ),
+        SignalFamily::EegNoise => ProtoParams::Eeg(
+            (0..dims)
+                .map(|_| if rng.gen::<bool>() { sep } else { -sep })
+                .collect(),
+        ),
+        SignalFamily::Traffic => {
+            let phase = class as f64 / meta.n_classes as f64 * 0.25;
+            ProtoParams::Traffic {
+                station_amp: (0..dims).map(|_| rng.gen_range(0.5..1.5)).collect(),
+                peak1: 0.3 + phase + rng.gen_range(-0.02..0.02),
+                peak2: 0.7 + phase * 0.5 + rng.gen_range(-0.02..0.02),
+            }
+        }
+        SignalFamily::BandEnvelopes => ProtoParams::Bands(
+            (0..dims)
+                .map(|dim| {
+                    let decay = 1.0 / (1.0 + dim as f64 / dims.max(1) as f64 * 3.0);
+                    (
+                        rng.gen_range(0.2..0.8),
+                        rng.gen_range(0.1..0.3),
+                        normal(rng, 0.0, sep) * decay,
+                        normal(rng, 0.0, sep * 0.3) * decay,
+                    )
+                })
+                .collect(),
+        ),
+    };
+    Prototype { params }
+}
+
+/// Re-draw the prototype parameters with the dataset's structural jitter
+/// and render the per-dimension curves.
+fn render_jittered(
+    proto: &Prototype,
+    meta: &DatasetMeta,
+    dims: usize,
+    len: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<f64>> {
+    use std::f64::consts::TAU;
+    let j = meta.sample_jitter;
+    let x_at = |t: usize| t as f64 / len.max(1) as f64;
+    match &proto.params {
+        ProtoParams::Strokes(amps) => (0..dims)
+            .map(|d| {
+                let a: Vec<f64> = amps[d]
+                    .iter()
+                    .map(|&v| v * (1.0 + 0.5 * j * normal(rng, 0.0, 1.0)))
+                    .collect();
+                (0..len)
+                    .map(|t| {
+                        let x = x_at(t);
+                        a.iter()
+                            .enumerate()
+                            .map(|(k, &av)| av * (std::f64::consts::PI * (k + 1) as f64 * x).cos())
+                            .sum()
+                    })
+                    .collect()
+            })
+            .collect(),
+        ProtoParams::SlowWaves(comps) => (0..dims)
+            .map(|d| {
+                let c: Vec<(f64, f64, f64)> = comps[d]
+                    .iter()
+                    .map(|&(a, f, p)| {
+                        (
+                            a * (1.0 + 0.5 * j * normal(rng, 0.0, 1.0)),
+                            (f * (1.0 + 0.3 * j * normal(rng, 0.0, 1.0))).max(0.1),
+                            p + j * TAU * 0.5 * normal(rng, 0.0, 1.0),
+                        )
+                    })
+                    .collect();
+                (0..len)
+                    .map(|t| {
+                        let x = x_at(t);
+                        c.iter().map(|(a, f, p)| a * (TAU * f * x + p).sin()).sum()
+                    })
+                    .collect()
+            })
+            .collect(),
+        ProtoParams::Bursts(bursts) => (0..dims)
+            .map(|d| {
+                let b: Vec<(f64, f64, f64, f64)> = bursts[d]
+                    .iter()
+                    .map(|&(c, w, a, f)| {
+                        (
+                            (c + 0.25 * j * normal(rng, 0.0, 1.0)).clamp(0.05, 0.95),
+                            (w * (1.0 + 0.4 * j * normal(rng, 0.0, 1.0))).max(0.01),
+                            a * (1.0 + 0.5 * j * normal(rng, 0.0, 1.0)),
+                            (f * (1.0 + 0.3 * j * normal(rng, 0.0, 1.0))).max(0.5),
+                        )
+                    })
+                    .collect();
+                (0..len)
+                    .map(|t| {
+                        let x = x_at(t);
+                        b.iter()
+                            .map(|(c, w, a, f)| {
+                                let env = (-(x - c) * (x - c) / (2.0 * w * w)).exp();
+                                a * env * (TAU * f * x).sin()
+                            })
+                            .sum()
+                    })
+                    .collect()
+            })
+            .collect(),
+        ProtoParams::Eeg(slopes) => (0..dims)
+            .map(|d| {
+                let slope = slopes[d] * (1.0 + 0.5 * j * normal(rng, 0.0, 1.0));
+                (0..len).map(|t| slope * (x_at(t) - 0.5)).collect()
+            })
+            .collect(),
+        ProtoParams::Traffic { station_amp, peak1, peak2 } => {
+            let p1 = (peak1 + 0.05 * j * normal(rng, 0.0, 1.0)).clamp(0.05, 0.95);
+            let p2 = (peak2 + 0.05 * j * normal(rng, 0.0, 1.0)).clamp(0.05, 0.95);
+            (0..dims)
+                .map(|d| {
+                    let amp = meta.separation
+                        * station_amp[d]
+                        * (1.0 + 0.3 * j * normal(rng, 0.0, 1.0));
+                    (0..len)
+                        .map(|t| {
+                            let x = x_at(t);
+                            let bump = |c: f64| (-(x - c) * (x - c) / 0.008).exp();
+                            amp * (bump(p1) + 0.8 * bump(p2))
+                        })
+                        .collect()
+                })
+                .collect()
+        }
+        ProtoParams::Bands(params) => (0..dims)
+            .map(|d| {
+                let (c0, w0, a0, t0) = params[d];
+                let c = (c0 + 0.2 * j * normal(rng, 0.0, 1.0)).clamp(0.05, 0.95);
+                let w = (w0 * (1.0 + 0.4 * j * normal(rng, 0.0, 1.0))).max(0.02);
+                let a = a0 * (1.0 + 0.5 * j * normal(rng, 0.0, 1.0));
+                let tilt = t0 * (1.0 + 0.5 * j * normal(rng, 0.0, 1.0));
+                (0..len)
+                    .map(|t| {
+                        let x = x_at(t);
+                        a * (-(x - c) * (x - c) / (2.0 * w * w)).exp() + tilt * x
+                    })
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+/// Sample one series around a prototype: time shift, amplitude jitter,
+/// additive (AR(1) for EEG, white otherwise) noise.
+fn sample_series(
+    meta: &DatasetMeta,
+    proto: &Prototype,
+    dims: usize,
+    len: usize,
+    shift: f64,
+    rng: &mut StdRng,
+) -> Mts {
+    let amp_jitter = 1.0 + normal(rng, 0.0, 0.08);
+    let t_shift = normal(rng, 0.0, 0.02) * len as f64;
+    let ar = matches!(meta.family, SignalFamily::EegNoise);
+    let curves = render_jittered(proto, meta, dims, len, rng);
+    let mut dims_out = Vec::with_capacity(dims);
+    for d in 0..dims {
+        let curve = &curves[d];
+        let mut prev_noise = 0.0;
+        let dim: Vec<f64> = (0..len)
+            .map(|t| {
+                let src = (t as f64 + t_shift).clamp(0.0, (len - 1) as f64);
+                let i = src.floor() as usize;
+                let frac = src - i as f64;
+                let base = if i + 1 < len {
+                    curve[i] * (1.0 - frac) + curve[i + 1] * frac
+                } else {
+                    curve[len - 1]
+                };
+                let noise = if ar {
+                    prev_noise = 0.8 * prev_noise + normal(rng, 0.0, meta.noise);
+                    prev_noise
+                } else {
+                    normal(rng, 0.0, meta.noise)
+                };
+                amp_jitter * base + noise + shift
+            })
+            .collect();
+        dims_out.push(dim);
+    }
+    let mut s = Mts::from_dims(dims_out);
+    // Variable-length datasets: pad the tail with NaN so the expected
+    // missing fraction matches the published proportion.
+    if meta.missing_prop > 0.0 {
+        let min_frac = (1.0 - 2.0 * meta.missing_prop).max(0.05);
+        let valid_frac = rng.gen_range(min_frac..1.0);
+        let valid = ((len as f64 * valid_frac) as usize).max(4).min(len);
+        for m in 0..dims {
+            for v in s.dim_mut(m)[valid..].iter_mut() {
+                *v = f64::NAN;
+            }
+        }
+    }
+    s
+}
+
+/// Generate the train/test pair for one dataset.
+pub fn generate(meta: &DatasetMeta, opts: &GenOptions) -> TrainTest {
+    let dims = meta.dims.min(opts.max_dims);
+    let len = meta.length.min(opts.max_length);
+    let proportions = meta.class_proportions();
+    // Imbalanced datasets need headroom above the per-class floor:
+    // without it, tiny scaled totals pin every class to the minimum and
+    // the generated archive silently loses its class imbalance (making
+    // the augmentation protocol vacuous).
+    let slack = usize::from(meta.minority_classes > 0);
+    let train_total = ((meta.train_size as f64 * opts.size_factor).round() as usize)
+        .min(opts.max_train_size)
+        .max(meta.n_classes * (opts.min_train_per_class + slack));
+    let test_total = ((meta.test_size as f64 * opts.size_factor).round() as usize)
+        .min(opts.max_test_size)
+        .max(meta.n_classes * (opts.min_test_per_class + slack));
+    let train_counts = apportion(train_total, &proportions, opts.min_train_per_class);
+    let test_counts = apportion(test_total, &proportions, opts.min_test_per_class);
+
+    let prototypes: Vec<Prototype> = (0..meta.n_classes)
+        .map(|c| {
+            let mut rng = seeded(derive_seed(opts.seed, &format!("{}/proto/{c}", meta.name)));
+            build_prototype(meta, c, dims, len, &mut rng)
+        })
+        .collect();
+
+    let build_split = |counts: &[usize], split: &str, shift: f64| {
+        let mut ds = Dataset::empty(meta.n_classes);
+        for (c, &n) in counts.iter().enumerate() {
+            let mut rng =
+                seeded(derive_seed(opts.seed, &format!("{}/{split}/{c}", meta.name)));
+            for _ in 0..n {
+                ds.push(sample_series(meta, &prototypes[c], dims, len, shift, &mut rng), c);
+            }
+        }
+        ds
+    };
+
+    let train = build_split(&train_counts, "train", 0.0);
+    let test = build_split(&test_counts, "test", meta.test_shift);
+    TrainTest::new(train, test).expect("generated splits always agree on shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{DatasetId, ALL_DATASETS};
+    use tsda_core::characteristics::DatasetCharacteristics;
+
+    fn meta(id: DatasetId) -> &'static DatasetMeta {
+        DatasetMeta::get(id)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m = meta(DatasetId::RacketSports);
+        let a = generate(m, &GenOptions::ci(42));
+        let b = generate(m, &GenOptions::ci(42));
+        assert_eq!(a.train.series()[0], b.train.series()[0]);
+        assert_eq!(a.test.labels(), b.test.labels());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let m = meta(DatasetId::RacketSports);
+        let a = generate(m, &GenOptions::ci(1));
+        let b = generate(m, &GenOptions::ci(2));
+        assert_ne!(a.train.series()[0], b.train.series()[0]);
+    }
+
+    #[test]
+    fn ci_scale_caps_shapes() {
+        let m = meta(DatasetId::EigenWorms);
+        let d = generate(m, &GenOptions::ci(0));
+        assert!(d.train.series_len() <= 96);
+        assert_eq!(d.train.n_dims(), 6);
+        let pems = generate(meta(DatasetId::PemsSf), &GenOptions::ci(0));
+        assert_eq!(pems.train.n_dims(), 24); // capped from 963
+    }
+
+    #[test]
+    fn every_class_is_populated_in_both_splits() {
+        for m in &ALL_DATASETS {
+            let d = generate(m, &GenOptions::ci(7));
+            assert!(
+                d.train.class_counts().iter().all(|&c| c >= 6),
+                "{}: {:?}",
+                m.name,
+                d.train.class_counts()
+            );
+            assert!(d.test.class_counts().iter().all(|&c| c >= 4), "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn imbalanced_datasets_generate_imbalanced_counts() {
+        let d = generate(meta(DatasetId::CharacterTrajectories), &GenOptions::ci(3));
+        let counts = d.train.class_counts();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max >= 2 * min, "{counts:?}");
+    }
+
+    #[test]
+    fn missing_proportion_is_realised() {
+        let d = generate(meta(DatasetId::SpokenArabicDigits), &GenOptions::ci(5));
+        let tt = TrainTest::new(d.train.clone(), d.test.clone()).unwrap();
+        let ch = DatasetCharacteristics::compute(&tt);
+        assert!(
+            (ch.missing_proportion - 0.57).abs() < 0.2,
+            "missing {}",
+            ch.missing_proportion
+        );
+        let no_miss = generate(meta(DatasetId::Epilepsy), &GenOptions::ci(5));
+        assert_eq!(no_miss.train.missing_proportion(), 0.0);
+    }
+
+    #[test]
+    fn test_shift_creates_train_test_distance() {
+        let d = generate(meta(DatasetId::EthanolConcentration), &GenOptions::ci(9));
+        let tt = TrainTest::new(d.train.clone(), d.test.clone()).unwrap();
+        let ch = DatasetCharacteristics::compute(&tt);
+        assert!(ch.train_test_distance > 0.0);
+    }
+
+    #[test]
+    fn classes_are_separable_for_easy_datasets() {
+        // Nearest-centroid accuracy on PenDigits-like data should beat
+        // chance by a wide margin: the generator must encode real class
+        // structure.
+        let d = generate(meta(DatasetId::PenDigits), &GenOptions::ci(11));
+        let k = d.train.n_classes();
+        let dims = d.train.n_dims();
+        let len = d.train.series_len();
+        let mut centroids = vec![vec![0.0; dims * len]; k];
+        let counts = d.train.class_counts();
+        for (s, l) in d.train.iter() {
+            for (j, &v) in s.as_flat().iter().enumerate() {
+                centroids[l][j] += v;
+            }
+        }
+        for (c, cen) in centroids.iter_mut().enumerate() {
+            for v in cen.iter_mut() {
+                *v /= counts[c].max(1) as f64;
+            }
+        }
+        let mut correct = 0;
+        for (s, l) in d.test.iter() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    let da: f64 = s
+                        .as_flat()
+                        .iter()
+                        .zip(&centroids[a])
+                        .map(|(x, c)| (x - c) * (x - c))
+                        .sum();
+                    let db: f64 = s
+                        .as_flat()
+                        .iter()
+                        .zip(&centroids[b])
+                        .map(|(x, c)| (x - c) * (x - c))
+                        .sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            if best == l {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / d.test.len() as f64;
+        assert!(acc > 3.0 / k as f64, "nearest-centroid accuracy {acc}");
+    }
+
+    #[test]
+    fn near_chance_dataset_is_hard() {
+        // FingerMovements must stay close to chance even for the
+        // centroid classifier — its published accuracy is ~52%.
+        let d = generate(meta(DatasetId::FingerMovements), &GenOptions::ci(13));
+        // The class offset (separation 0.12) is far below the noise (1.0).
+        let ch = DatasetCharacteristics::compute(
+            &TrainTest::new(d.train.clone(), d.test.clone()).unwrap(),
+        );
+        assert!(ch.var_train > 0.5, "variance {}", ch.var_train);
+    }
+
+    #[test]
+    fn apportion_respects_floor_and_total() {
+        let counts = apportion(20, &[0.7, 0.2, 0.1], 2);
+        assert_eq!(counts.iter().sum::<usize>(), 20);
+        assert!(counts.iter().all(|&c| c >= 2));
+        assert!(counts[0] > counts[2]);
+    }
+}

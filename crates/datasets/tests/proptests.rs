@@ -1,0 +1,68 @@
+//! Property-based tests of the archive simulator and the `.ts` format.
+
+use proptest::prelude::*;
+use tsda_datasets::registry::{DatasetMeta, ALL_DATASETS};
+use tsda_datasets::synth::{generate, GenOptions};
+use tsda_datasets::ts_format::{parse_ts, write_ts};
+use tsda_core::{Dataset, Mts};
+
+fn any_meta() -> impl Strategy<Value = &'static DatasetMeta> {
+    (0usize..ALL_DATASETS.len()).prop_map(|i| &ALL_DATASETS[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generation_respects_caps_and_floors(meta in any_meta(), seed in 0u64..500) {
+        let opts = GenOptions::ci(seed);
+        let data = generate(meta, &opts);
+        prop_assert!(data.train.series_len() <= opts.max_length);
+        prop_assert!(data.train.n_dims() <= opts.max_dims);
+        prop_assert!(data.train.len() <= opts.max_train_size.max(meta.n_classes * opts.min_train_per_class));
+        for c in data.train.class_counts() {
+            prop_assert!(c >= opts.min_train_per_class);
+        }
+        for c in data.test.class_counts() {
+            prop_assert!(c >= opts.min_test_per_class);
+        }
+        // Shapes agree between splits.
+        prop_assert_eq!(data.train.n_dims(), data.test.n_dims());
+        prop_assert_eq!(data.train.series_len(), data.test.series_len());
+    }
+
+    #[test]
+    fn generation_values_are_finite_or_trailing_nan(meta in any_meta(), seed in 0u64..200) {
+        let data = generate(meta, &GenOptions::ci(seed));
+        for s in data.train.series() {
+            for m in 0..s.n_dims() {
+                let d = s.dim(m);
+                // NaNs, when present, form a suffix (variable-length padding).
+                let first_nan = d.iter().position(|v| v.is_nan());
+                if let Some(p) = first_nan {
+                    prop_assert!(d[p..].iter().all(|v| v.is_nan()), "{}", meta.name);
+                }
+                prop_assert!(d.iter().all(|v| v.is_nan() || v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn ts_format_round_trips_arbitrary_datasets(
+        vals in proptest::collection::vec(-1000.0f64..1000.0, 24),
+        labels in proptest::collection::vec(0usize..3, 4),
+    ) {
+        let mut ds = Dataset::empty(3);
+        for (i, &l) in labels.iter().enumerate() {
+            ds.push(Mts::from_flat(2, 3, vals[i * 6..(i + 1) * 6].to_vec()), l);
+        }
+        let text = write_ts(&ds, "Prop", None);
+        let parsed = parse_ts(&text).unwrap();
+        prop_assert_eq!(parsed.dataset.len(), ds.len());
+        for (a, b) in parsed.dataset.series().iter().zip(ds.series()) {
+            for (x, y) in a.as_flat().iter().zip(b.as_flat()) {
+                prop_assert!((x - y).abs() < 1e-9, "{} vs {}", x, y);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Dense linear-algebra substrate for the `tsda` workspace.
+//!
+//! The paper's pipeline needs a surprising amount of numerical machinery:
+//! ridge regression with leave-one-out cross-validation (the classifier
+//! behind ROCKET), covariance estimation with shrinkage (OHIT / INOS
+//! structure-preserving oversampling), eigendecomposition (imbalance-aware
+//! sampling along principal axes), and PCA (diagnostics). None of the
+//! crates allowed offline provide these, so this crate implements them
+//! from scratch on a small row-major [`Matrix`] type.
+//!
+//! Everything here is `f64`: the statistical code paths are accuracy
+//! sensitive (LOOCV residuals, shrinkage intensities), and the matrices
+//! involved are small enough that bandwidth is not a concern. The neural
+//! network substrate ([`tsda_neuro`](https://docs.rs/tsda-neuro)) keeps
+//! its own `f32` tensors for throughput.
+
+pub mod cholesky;
+pub mod cov;
+pub mod eig;
+pub mod matrix;
+pub mod pca;
+pub mod solve;
+pub mod svd;
+pub mod vector;
+
+pub use cholesky::CholeskyError;
+pub use cov::{covariance_matrix, shrinkage_covariance, ShrinkageCovariance};
+pub use eig::SymmetricEig;
+pub use matrix::Matrix;
+pub use pca::Pca;
+pub use solve::{RidgeLoocv, RidgeSolution};
+pub use svd::Svd;

@@ -1,0 +1,189 @@
+//! Thin singular value decomposition via one-sided Jacobi rotations.
+//!
+//! PCA and the GRATIS-style generators need singular vectors of tall data
+//! matrices; one-sided Jacobi orthogonalises the columns of `A` directly,
+//! which is accurate for the modest column counts we use (≤ a few
+//! hundred features).
+
+use crate::matrix::Matrix;
+
+/// Thin SVD `A = U diag(σ) Vᵀ` with `U: m×k`, `V: n×k`, `k = min(m, n)`
+/// (columns of `U`/`V` beyond the rank carry zero singular values).
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors as columns (`m × n` for an `m × n` input with
+    /// `m ≥ n`; columns with zero singular value are zero vectors).
+    pub u: Matrix,
+    /// Singular values, descending.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors as columns.
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Compute the thin SVD of `a`.
+    ///
+    /// Implementation: one-sided Jacobi on the columns of `a` (transposing
+    /// first when `m < n`, then swapping the roles of `u` and `v`).
+    pub fn new(a: &Matrix) -> Self {
+        if a.rows() >= a.cols() {
+            Self::tall(a)
+        } else {
+            let t = Self::tall(&a.transpose());
+            Svd { u: t.v, singular_values: t.singular_values, v: t.u }
+        }
+    }
+
+    fn tall(a: &Matrix) -> Self {
+        let m = a.rows();
+        let n = a.cols();
+        // Work on columns: u starts as a copy of A, V accumulates rotations.
+        let mut u = a.clone();
+        let mut v = Matrix::identity(n);
+        let tol = 1e-14;
+
+        for _sweep in 0..60 {
+            let mut converged = true;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    // Compute the 2x2 Gram block for columns p, q.
+                    let mut app = 0.0;
+                    let mut aqq = 0.0;
+                    let mut apq = 0.0;
+                    for i in 0..m {
+                        let up = u[(i, p)];
+                        let uq = u[(i, q)];
+                        app += up * up;
+                        aqq += uq * uq;
+                        apq += up * uq;
+                    }
+                    if apq.abs() <= tol * (app * aqq).sqrt().max(1e-300) {
+                        continue;
+                    }
+                    converged = false;
+                    let theta = 0.5 * (aqq - app) / apq;
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    for i in 0..m {
+                        let up = u[(i, p)];
+                        let uq = u[(i, q)];
+                        u[(i, p)] = c * up - s * uq;
+                        u[(i, q)] = s * up + c * uq;
+                    }
+                    for i in 0..n {
+                        let vp = v[(i, p)];
+                        let vq = v[(i, q)];
+                        v[(i, p)] = c * vp - s * vq;
+                        v[(i, q)] = s * vp + c * vq;
+                    }
+                }
+            }
+            if converged {
+                break;
+            }
+        }
+
+        // Column norms are the singular values; normalise U's columns.
+        let mut sigma: Vec<f64> = (0..n)
+            .map(|j| (0..m).map(|i| u[(i, j)] * u[(i, j)]).sum::<f64>().sqrt())
+            .collect();
+        for j in 0..n {
+            if sigma[j] > 1e-300 {
+                for i in 0..m {
+                    u[(i, j)] /= sigma[j];
+                }
+            }
+        }
+        // Sort descending by singular value.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
+        let u_sorted = Matrix::from_fn(m, n, |r, c| u[(r, order[c])]);
+        let v_sorted = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
+        sigma = order.iter().map(|&i| sigma[i]).collect();
+        Svd { u: u_sorted, singular_values: sigma, v: v_sorted }
+    }
+
+    /// Numerical rank at relative tolerance `rtol` (relative to σ₁).
+    pub fn rank(&self, rtol: f64) -> usize {
+        let s0 = self.singular_values.first().copied().unwrap_or(0.0);
+        self.singular_values.iter().filter(|&&s| s > rtol * s0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(svd: &Svd) -> Matrix {
+        let k = svd.singular_values.len();
+        let m = svd.u.rows();
+        let n = svd.v.rows();
+        let mut out = Matrix::zeros(m, n);
+        for t in 0..k {
+            let s = svd.singular_values[t];
+            for i in 0..m {
+                for j in 0..n {
+                    out[(i, j)] += s * svd.u[(i, t)] * svd.v[(j, t)];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn reconstructs_tall_matrix() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+        ]);
+        let svd = Svd::new(&a);
+        assert!(reconstruct(&svd).approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn reconstructs_wide_matrix() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0, 2.0], vec![-1.0, 3.0, 1.0]]);
+        let svd = Svd::new(&a);
+        assert!(reconstruct(&svd).approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn singular_values_descending_nonnegative() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0], vec![0.0, 1.0]]);
+        let svd = Svd::new(&a);
+        for w in svd.singular_values.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(svd.singular_values.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn rank_detects_deficiency() {
+        // Second column is 2x the first → rank 1.
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
+        let svd = Svd::new(&a);
+        assert_eq!(svd.rank(1e-10), 1);
+    }
+
+    #[test]
+    fn diag_matrix_singular_values_are_abs_diagonal() {
+        let a = Matrix::from_rows(&[vec![-3.0, 0.0], vec![0.0, 2.0]]);
+        let svd = Svd::new(&a);
+        assert!((svd.singular_values[0] - 3.0).abs() < 1e-10);
+        assert!((svd.singular_values[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn u_columns_orthonormal_for_full_rank() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![-1.0, 1.5],
+            vec![0.3, 0.9],
+        ]);
+        let svd = Svd::new(&a);
+        let g = svd.u.gram();
+        assert!(g.approx_eq(&Matrix::identity(2), 1e-9));
+    }
+}

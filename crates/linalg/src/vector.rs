@@ -1,0 +1,159 @@
+//! Small free-standing vector helpers shared across the workspace.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Euclidean distance between two equal-length slices.
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Squared Euclidean distance (avoids the sqrt when only ordering matters).
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Population variance (divides by `n`); 0 for an empty slice.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / a.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(a: &[f64]) -> f64 {
+    variance(a).sqrt()
+}
+
+/// `y ← y + alpha * x`.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Normalise a vector to unit L2 norm in place; leaves zero vectors untouched.
+pub fn normalize(a: &mut [f64]) {
+    let n = norm(a);
+    if n > 0.0 {
+        for v in a.iter_mut() {
+            *v /= n;
+        }
+    }
+}
+
+/// Index of the maximum element (first on ties); `None` for empty input.
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in a.iter().enumerate() {
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum element (first on ties); `None` for empty input.
+pub fn argmin(a: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in a.iter().enumerate() {
+        match best {
+            Some((_, bv)) if v >= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm_basic() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [-1.0, 0.5, 2.0];
+        assert!((euclidean_distance(&a, &b) - euclidean_distance(&b, &a)).abs() < 1e-15);
+        assert!((euclidean_distance(&a, &b).powi(2) - squared_distance(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_variance_of_constant_series() {
+        let a = [2.0; 10];
+        assert_eq!(mean(&a), 2.0);
+        assert_eq!(variance(&a), 0.0);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn normalize_gives_unit_norm() {
+        let mut a = vec![3.0, 4.0];
+        normalize(&mut a);
+        assert!((norm(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut a = vec![0.0, 0.0];
+        normalize(&mut a);
+        assert_eq!(a, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn argmax_argmin_prefer_first_tie() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmin(&[2.0, 1.0, 1.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+    }
+}

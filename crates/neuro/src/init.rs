@@ -1,0 +1,62 @@
+//! Weight initialisation schemes.
+
+use rand::Rng;
+
+/// He (Kaiming) uniform initialisation for ReLU networks:
+/// `U(−√(6/fan_in), √(6/fan_in))`.
+pub fn he_uniform<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, count: usize) -> Vec<f32> {
+    let bound = (6.0 / fan_in.max(1) as f64).sqrt() as f32;
+    (0..count).map(|_| rng.gen_range(-bound..bound)).collect()
+}
+
+/// Glorot (Xavier) uniform initialisation for tanh/sigmoid networks:
+/// `U(−√(6/(fan_in+fan_out)), √(6/(fan_in+fan_out)))`.
+pub fn glorot_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    fan_in: usize,
+    fan_out: usize,
+    count: usize,
+) -> Vec<f32> {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt() as f32;
+    (0..count).map(|_| rng.gen_range(-bound..bound)).collect()
+}
+
+/// Orthogonal-ish initialisation for recurrent kernels: Glorot scaled by
+/// 0.5 keeps GRU gates in their linear regime at the start of training.
+pub fn recurrent_uniform<R: Rng + ?Sized>(rng: &mut R, hidden: usize, count: usize) -> Vec<f32> {
+    let bound = 0.5 * (6.0 / (2 * hidden).max(1) as f64).sqrt() as f32;
+    (0..count).map(|_| rng.gen_range(-bound..bound)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = he_uniform(&mut rng, 64, 1000);
+        let bound = (6.0f64 / 64.0).sqrt() as f32;
+        assert!(w.iter().all(|v| v.abs() <= bound));
+        // Not degenerate.
+        assert!(w.iter().any(|v| v.abs() > bound * 0.5));
+    }
+
+    #[test]
+    fn glorot_scale_shrinks_with_fan() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let small = glorot_uniform(&mut rng, 4, 4, 1000);
+        let large = glorot_uniform(&mut rng, 400, 400, 1000);
+        let rms = |v: &[f32]| (v.iter().map(|x| x * x).sum::<f32>() / v.len() as f32).sqrt();
+        assert!(rms(&small) > 3.0 * rms(&large));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = he_uniform(&mut StdRng::seed_from_u64(9), 10, 5);
+        let b = he_uniform(&mut StdRng::seed_from_u64(9), 10, 5);
+        assert_eq!(a, b);
+    }
+}

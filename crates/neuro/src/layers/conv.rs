@@ -1,0 +1,205 @@
+//! 1-D convolution with "same" padding.
+//!
+//! InceptionTime's inception modules are built entirely from this layer:
+//! bottleneck 1×1 convolutions, the three parallel wide kernels, and the
+//! shortcut projections.
+
+use super::Layer;
+use crate::init::he_uniform;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// 1-D convolution, stride 1, odd kernel, zero "same" padding.
+/// Input `[batch, in_ch, T]` → output `[batch, out_ch, T]`.
+pub struct Conv1d {
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    use_bias: bool,
+    w: Vec<f32>, // [out_ch, in_ch, kernel]
+    b: Vec<f32>, // [out_ch]
+    gw: Vec<f32>,
+    gb: Vec<f32>,
+    cached_x: Option<Tensor>,
+}
+
+impl Conv1d {
+    /// New convolution with He-uniform weights.
+    ///
+    /// # Panics
+    /// Panics if `kernel` is even (same-padding needs odd kernels).
+    pub fn new<R: Rng + ?Sized>(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        use_bias: bool,
+        rng: &mut R,
+    ) -> Self {
+        assert!(kernel % 2 == 1, "Conv1d requires an odd kernel, got {kernel}");
+        let fan_in = in_ch * kernel;
+        Self {
+            in_ch,
+            out_ch,
+            kernel,
+            use_bias,
+            w: he_uniform(rng, fan_in, out_ch * in_ch * kernel),
+            b: vec![0.0; out_ch],
+            gw: vec![0.0; out_ch * in_ch * kernel],
+            gb: vec![0.0; out_ch],
+            cached_x: None,
+        }
+    }
+
+    /// Kernel length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    #[inline]
+    fn w_at(&self, oc: usize, ic: usize, k: usize) -> f32 {
+        self.w[(oc * self.in_ch + ic) * self.kernel + k]
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 3, "Conv1d expects [batch, ch, time]");
+        assert_eq!(x.shape()[1], self.in_ch, "Conv1d channel mismatch");
+        let n = x.shape()[0];
+        let t_len = x.shape()[2];
+        let pad = self.kernel / 2;
+        let mut out = Tensor::zeros(&[n, self.out_ch, t_len]);
+        for b in 0..n {
+            for oc in 0..self.out_ch {
+                let bias = if self.use_bias { self.b[oc] } else { 0.0 };
+                for t in 0..t_len {
+                    let mut acc = bias;
+                    // k index range that keeps t + k − pad in bounds.
+                    let k_lo = pad.saturating_sub(t);
+                    let k_hi = self.kernel.min(t_len + pad - t);
+                    for ic in 0..self.in_ch {
+                        for k in k_lo..k_hi {
+                            acc += self.w_at(oc, ic, k) * x.at3(b, ic, t + k - pad);
+                        }
+                    }
+                    *out.at3_mut(b, oc, t) = acc;
+                }
+            }
+        }
+        self.cached_x = Some(x.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_x.as_ref().expect("backward before forward");
+        let n = x.shape()[0];
+        let t_len = x.shape()[2];
+        assert_eq!(grad_out.shape(), &[n, self.out_ch, t_len], "Conv1d grad shape mismatch");
+        let pad = self.kernel / 2;
+        let mut gx = Tensor::zeros(&[n, self.in_ch, t_len]);
+        for b in 0..n {
+            for oc in 0..self.out_ch {
+                for t in 0..t_len {
+                    let g = grad_out.at3(b, oc, t);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    if self.use_bias {
+                        self.gb[oc] += g;
+                    }
+                    let k_lo = pad.saturating_sub(t);
+                    let k_hi = self.kernel.min(t_len + pad - t);
+                    for ic in 0..self.in_ch {
+                        for k in k_lo..k_hi {
+                            let src = t + k - pad;
+                            self.gw[(oc * self.in_ch + ic) * self.kernel + k] +=
+                                g * x.at3(b, ic, src);
+                            *gx.at3_mut(b, ic, src) += g * self.w_at(oc, ic, k);
+                        }
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.w, &mut self.gw);
+        if self.use_bias {
+            f(&mut self.b, &mut self.gb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_kernel_copies_input() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv1d::new(1, 1, 3, false, &mut rng);
+        c.visit_params(&mut |p, _| p.copy_from_slice(&[0.0, 1.0, 0.0]));
+        let x = Tensor::from_flat(&[1, 1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = c.forward(&x, true);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn shift_kernel_pads_with_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv1d::new(1, 1, 3, false, &mut rng);
+        // Kernel [1,0,0] reads x[t−1]: shifts right, zero-padding at t=0.
+        c.visit_params(&mut |p, _| p.copy_from_slice(&[1.0, 0.0, 0.0]));
+        let x = Tensor::from_flat(&[1, 1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = c.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sums_over_input_channels() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv1d::new(2, 1, 1, true, &mut rng);
+        c.visit_params(&mut |p, _| {
+            if p.len() == 2 {
+                p.copy_from_slice(&[1.0, 10.0]);
+            } else {
+                p.copy_from_slice(&[0.5]);
+            }
+        });
+        let x = Tensor::from_flat(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = c.forward(&x, true);
+        assert_eq!(y.data(), &[31.5, 42.5]);
+    }
+
+    #[test]
+    fn gradients_check_numerically() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = Conv1d::new(2, 3, 3, true, &mut rng);
+        let x = Tensor::from_flat(
+            &[2, 2, 5],
+            (0..20).map(|v| (v as f32 * 0.37).sin()).collect(),
+        );
+        gradcheck::check_input_grad(&mut c, &x, 2e-2);
+        gradcheck::check_param_grad(&mut c, &x, 2e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd kernel")]
+    fn rejects_even_kernel() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = Conv1d::new(1, 1, 4, true, &mut rng);
+    }
+
+    #[test]
+    fn no_bias_exposes_single_param_buffer() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = Conv1d::new(1, 2, 3, false, &mut rng);
+        let mut bufs = 0;
+        c.visit_params(&mut |_, _| bufs += 1);
+        assert_eq!(bufs, 1);
+    }
+}

@@ -1,0 +1,361 @@
+//! Long short-term memory layer with full backpropagation through time.
+//!
+//! Used by the LSTM auto-encoder augmenter (the taxonomy's LSTM-AE
+//! entry, Tu et al. 2018) and available for DeepAR-style probabilistic
+//! models.
+//!
+//! Equations (Hochreiter & Schmidhuber 1997, forget-gate variant):
+//! ```text
+//! i_t = σ(x_t W_i + h_{t−1} U_i + b_i)
+//! f_t = σ(x_t W_f + h_{t−1} U_f + b_f)
+//! o_t = σ(x_t W_o + h_{t−1} U_o + b_o)
+//! g_t = tanh(x_t W_g + h_{t−1} U_g + b_g)
+//! c_t = f_t ⊙ c_{t−1} + i_t ⊙ g_t
+//! h_t = o_t ⊙ tanh(c_t)
+//! ```
+//! Input `[batch, time, features]` → output `[batch, time, hidden]`.
+
+use super::Layer;
+use crate::init::{glorot_uniform, recurrent_uniform};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// One LSTM layer.
+pub struct Lstm {
+    in_features: usize,
+    hidden: usize,
+    // Gate kernels, each input [in, hidden] / recurrent [hidden, hidden].
+    w: [Vec<f32>; 4], // i, f, o, g
+    u: [Vec<f32>; 4],
+    b: [Vec<f32>; 4],
+    gw: [Vec<f32>; 4],
+    gu: [Vec<f32>; 4],
+    gb: [Vec<f32>; 4],
+    cache: Option<Cache>,
+}
+
+struct Cache {
+    x: Tensor,
+    h_prev: Vec<Vec<f32>>,
+    c_prev: Vec<Vec<f32>>,
+    gates: Vec<[Vec<f32>; 4]>, // post-activation i, f, o, g per step
+    c: Vec<Vec<f32>>,          // cell state per step
+}
+
+fn sigmoid(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+fn matmul_acc(x: &[f32], w: &[f32], out: &mut [f32], n: usize, a: usize, b: usize) {
+    for i in 0..n {
+        let xi = &x[i * a..(i + 1) * a];
+        let oi = &mut out[i * b..(i + 1) * b];
+        for (k, &xv) in xi.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            let wr = &w[k * b..(k + 1) * b];
+            for (o, &wv) in oi.iter_mut().zip(wr) {
+                *o += xv * wv;
+            }
+        }
+    }
+}
+
+fn matmul_transb_acc(g: &[f32], w: &[f32], out: &mut [f32], n: usize, a: usize, b: usize) {
+    for i in 0..n {
+        let gi = &g[i * b..(i + 1) * b];
+        let oi = &mut out[i * a..(i + 1) * a];
+        for (k, o) in oi.iter_mut().enumerate() {
+            let wr = &w[k * b..(k + 1) * b];
+            *o += gi.iter().zip(wr).map(|(x, y)| x * y).sum::<f32>();
+        }
+    }
+}
+
+fn outer_acc(x: &[f32], g: &[f32], gw: &mut [f32], n: usize, a: usize, b: usize) {
+    for i in 0..n {
+        let xi = &x[i * a..(i + 1) * a];
+        let gi = &g[i * b..(i + 1) * b];
+        for (k, &xv) in xi.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            let gwr = &mut gw[k * b..(k + 1) * b];
+            for (w, &gv) in gwr.iter_mut().zip(gi) {
+                *w += xv * gv;
+            }
+        }
+    }
+}
+
+impl Lstm {
+    /// New LSTM; the forget-gate bias starts at 1 (the standard trick to
+    /// encourage remembering early in training).
+    pub fn new<R: Rng + ?Sized>(in_features: usize, hidden: usize, rng: &mut R) -> Self {
+        let ik = |rng: &mut R| glorot_uniform(rng, in_features, hidden, in_features * hidden);
+        let rk = |rng: &mut R| recurrent_uniform(rng, hidden, hidden * hidden);
+        let w = [ik(rng), ik(rng), ik(rng), ik(rng)];
+        let u = [rk(rng), rk(rng), rk(rng), rk(rng)];
+        let mut b = [
+            vec![0.0; hidden],
+            vec![0.0; hidden],
+            vec![0.0; hidden],
+            vec![0.0; hidden],
+        ];
+        for v in &mut b[1] {
+            *v = 1.0; // forget gate
+        }
+        let zero_w = || {
+            [
+                vec![0.0; in_features * hidden],
+                vec![0.0; in_features * hidden],
+                vec![0.0; in_features * hidden],
+                vec![0.0; in_features * hidden],
+            ]
+        };
+        let zero_u = || {
+            [
+                vec![0.0; hidden * hidden],
+                vec![0.0; hidden * hidden],
+                vec![0.0; hidden * hidden],
+                vec![0.0; hidden * hidden],
+            ]
+        };
+        let zero_b = || {
+            [
+                vec![0.0; hidden],
+                vec![0.0; hidden],
+                vec![0.0; hidden],
+                vec![0.0; hidden],
+            ]
+        };
+        Self {
+            in_features,
+            hidden,
+            w,
+            u,
+            b,
+            gw: zero_w(),
+            gu: zero_u(),
+            gb: zero_b(),
+            cache: None,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    fn step_input(x: &Tensor, t: usize) -> Vec<f32> {
+        let (n, t_len, f) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let mut out = vec![0.0; n * f];
+        for b in 0..n {
+            let src = (b * t_len + t) * f;
+            out[b * f..(b + 1) * f].copy_from_slice(&x.data()[src..src + f]);
+        }
+        out
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 3, "Lstm expects [batch, time, features]");
+        assert_eq!(x.shape()[2], self.in_features, "Lstm feature mismatch");
+        let (n, t_len) = (x.shape()[0], x.shape()[1]);
+        let h = self.hidden;
+        let mut out = Tensor::zeros(&[n, t_len, h]);
+        let mut h_state = vec![0.0f32; n * h];
+        let mut c_state = vec![0.0f32; n * h];
+        let mut cache = Cache {
+            x: x.clone(),
+            h_prev: Vec::with_capacity(t_len),
+            c_prev: Vec::with_capacity(t_len),
+            gates: Vec::with_capacity(t_len),
+            c: Vec::with_capacity(t_len),
+        };
+        for t in 0..t_len {
+            let xt = Self::step_input(x, t);
+            cache.h_prev.push(h_state.clone());
+            cache.c_prev.push(c_state.clone());
+            // Pre-activations for the four gates.
+            let mut pre: [Vec<f32>; 4] = [
+                self.b[0].repeat(n),
+                self.b[1].repeat(n),
+                self.b[2].repeat(n),
+                self.b[3].repeat(n),
+            ];
+            for gate in 0..4 {
+                matmul_acc(&xt, &self.w[gate], &mut pre[gate], n, self.in_features, h);
+                matmul_acc(&h_state, &self.u[gate], &mut pre[gate], n, h, h);
+            }
+            let gates: [Vec<f32>; 4] = [
+                pre[0].iter().map(|&v| sigmoid(v)).collect(),
+                pre[1].iter().map(|&v| sigmoid(v)).collect(),
+                pre[2].iter().map(|&v| sigmoid(v)).collect(),
+                pre[3].iter().map(|&v| v.tanh()).collect(),
+            ];
+            for i in 0..n * h {
+                c_state[i] = gates[1][i] * c_state[i] + gates[0][i] * gates[3][i];
+                h_state[i] = gates[2][i] * c_state[i].tanh();
+            }
+            for b in 0..n {
+                let dst = (b * t_len + t) * h;
+                out.data_mut()[dst..dst + h].copy_from_slice(&h_state[b * h..(b + 1) * h]);
+            }
+            cache.gates.push(gates);
+            cache.c.push(c_state.clone());
+        }
+        self.cache = Some(cache);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let x = &cache.x;
+        let (n, t_len) = (x.shape()[0], x.shape()[1]);
+        let h = self.hidden;
+        let f = self.in_features;
+        assert_eq!(grad_out.shape(), &[n, t_len, h], "Lstm grad shape mismatch");
+
+        let mut gx = Tensor::zeros(&[n, t_len, f]);
+        let mut dh_carry = vec![0.0f32; n * h];
+        let mut dc_carry = vec![0.0f32; n * h];
+        for t in (0..t_len).rev() {
+            let xt = Self::step_input(x, t);
+            let h_prev = &cache.h_prev[t];
+            let c_prev = &cache.c_prev[t];
+            let [gi, gf, go, gg] = &cache.gates[t];
+            let c = &cache.c[t];
+
+            let mut dh = dh_carry.clone();
+            for b in 0..n {
+                let src = (b * t_len + t) * h;
+                for k in 0..h {
+                    dh[b * h + k] += grad_out.data()[src + k];
+                }
+            }
+            // Pre-activation gradients for the four gates.
+            let mut dpre: [Vec<f32>; 4] = [
+                vec![0.0; n * h],
+                vec![0.0; n * h],
+                vec![0.0; n * h],
+                vec![0.0; n * h],
+            ];
+            let mut dc_prev = vec![0.0f32; n * h];
+            for idx in 0..n * h {
+                let tanh_c = c[idx].tanh();
+                // h = o ⊙ tanh(c)
+                let d_o = dh[idx] * tanh_c;
+                let mut dc = dh[idx] * go[idx] * (1.0 - tanh_c * tanh_c) + dc_carry[idx];
+                // c = f ⊙ c_prev + i ⊙ g
+                let d_f = dc * c_prev[idx];
+                let d_i = dc * gg[idx];
+                let d_g = dc * gi[idx];
+                dc *= gf[idx];
+                dc_prev[idx] = dc;
+                dpre[0][idx] = d_i * gi[idx] * (1.0 - gi[idx]);
+                dpre[1][idx] = d_f * gf[idx] * (1.0 - gf[idx]);
+                dpre[2][idx] = d_o * go[idx] * (1.0 - go[idx]);
+                dpre[3][idx] = d_g * (1.0 - gg[idx] * gg[idx]);
+            }
+            let mut dh_prev = vec![0.0f32; n * h];
+            let mut dxt = vec![0.0f32; n * f];
+            for gate in 0..4 {
+                outer_acc(&xt, &dpre[gate], &mut self.gw[gate], n, f, h);
+                outer_acc(h_prev, &dpre[gate], &mut self.gu[gate], n, h, h);
+                for b in 0..n {
+                    for k in 0..h {
+                        self.gb[gate][k] += dpre[gate][b * h + k];
+                    }
+                }
+                matmul_transb_acc(&dpre[gate], &self.u[gate], &mut dh_prev, n, h, h);
+                matmul_transb_acc(&dpre[gate], &self.w[gate], &mut dxt, n, f, h);
+            }
+            for b in 0..n {
+                let dst = (b * t_len + t) * f;
+                for k in 0..f {
+                    gx.data_mut()[dst + k] += dxt[b * f + k];
+                }
+            }
+            dh_carry = dh_prev;
+            dc_carry = dc_prev;
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        for gate in 0..4 {
+            f(&mut self.w[gate], &mut self.gw[gate]);
+        }
+        for gate in 0..4 {
+            f(&mut self.u[gate], &mut self.gu[gate]);
+        }
+        for gate in 0..4 {
+            f(&mut self.b[gate], &mut self.gb[gate]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_is_batch_time_hidden() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lstm = Lstm::new(3, 5, &mut rng);
+        let y = lstm.forward(&Tensor::zeros(&[2, 4, 3]), true);
+        assert_eq!(y.shape(), &[2, 4, 5]);
+    }
+
+    #[test]
+    fn input_gradients_check_numerically() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lstm = Lstm::new(2, 3, &mut rng);
+        let x = Tensor::from_flat(
+            &[2, 3, 2],
+            vec![0.5, -0.3, 0.8, 0.1, -0.6, 0.4, 0.2, 0.9, -0.1, 0.3, 0.7, -0.5],
+        );
+        gradcheck::check_input_grad(&mut lstm, &x, 3e-2);
+    }
+
+    #[test]
+    fn param_gradients_check_numerically() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lstm = Lstm::new(2, 2, &mut rng);
+        let x = Tensor::from_flat(&[1, 3, 2], vec![0.5, -0.3, 0.8, 0.1, -0.6, 0.4]);
+        gradcheck::check_param_grad(&mut lstm, &x, 3e-2);
+    }
+
+    #[test]
+    fn memory_cell_carries_long_range_information() {
+        // Impulse at t=0 must still influence the output many steps later.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lstm = Lstm::new(1, 4, &mut rng);
+        let mut with_impulse = Tensor::zeros(&[1, 12, 1]);
+        with_impulse.data_mut()[0] = 2.0;
+        let without = Tensor::zeros(&[1, 12, 1]);
+        let ya = lstm.forward(&with_impulse, true);
+        let yb = lstm.forward(&without, true);
+        let last_a = &ya.data()[11 * 4..12 * 4];
+        let last_b = &yb.data()[11 * 4..12 * 4];
+        let diff: f32 = last_a.iter().zip(last_b).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-4, "impulse forgotten: {diff}");
+    }
+
+    #[test]
+    fn forget_bias_initialised_to_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut lstm = Lstm::new(1, 3, &mut rng);
+        let mut buffers = Vec::new();
+        lstm.visit_params(&mut |p, _| buffers.push(p.to_vec()));
+        // Buffers: 4 w, 4 u, then 4 b (i, f, o, g).
+        assert!(buffers[9].iter().all(|&v| v == 1.0)); // forget bias
+        assert!(buffers[8].iter().all(|&v| v == 0.0)); // input bias
+    }
+}

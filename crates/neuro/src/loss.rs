@@ -1,0 +1,182 @@
+//! Loss functions. Each returns `(mean loss, gradient w.r.t. input)`.
+
+use crate::tensor::Tensor;
+
+/// Softmax cross-entropy on logits `[batch, classes]` against integer
+/// targets. Gradient is `(softmax − onehot) / batch`.
+///
+/// # Panics
+/// Panics if `targets.len()` differs from the batch size or any target is
+/// out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().len(), 2, "cross entropy expects rank-2 logits");
+    let n = logits.shape()[0];
+    let c = logits.shape()[1];
+    assert_eq!(targets.len(), n, "target count mismatch");
+    let mut grad = Tensor::zeros(&[n, c]);
+    let mut loss = 0.0f32;
+    for i in 0..n {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let t = targets[i];
+        assert!(t < c, "target {t} out of range for {c} classes");
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        loss += sum.ln() + max - row[t];
+        let grow = &mut grad.data_mut()[i * c..(i + 1) * c];
+        for (j, g) in grow.iter_mut().enumerate() {
+            let p = exps[j] / sum;
+            *g = (p - if j == t { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    (loss / n as f32, grad)
+}
+
+/// Softmax probabilities per row of `[batch, classes]` logits.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let n = logits.shape()[0];
+    let c = logits.shape()[1];
+    let mut out = logits.clone();
+    for i in 0..n {
+        let row = &mut out.data_mut()[i * c..(i + 1) * c];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Mean squared error against a same-shape target.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.len() as f32;
+    let mut grad = pred.clone();
+    let mut loss = 0.0;
+    for (g, &t) in grad.data_mut().iter_mut().zip(target.data()) {
+        let d = *g - t;
+        loss += d * d;
+        *g = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+/// Binary cross-entropy on logits against `{0,1}` targets of the same
+/// shape (numerically stable log-sum-exp form). Used by the TimeGAN
+/// discriminator.
+pub fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> (f32, Tensor) {
+    assert_eq!(logits.shape(), targets.shape(), "bce shape mismatch");
+    let n = logits.len() as f32;
+    let mut grad = logits.clone();
+    let mut loss = 0.0;
+    for (g, &t) in grad.data_mut().iter_mut().zip(targets.data()) {
+        let x = *g;
+        // loss = max(x,0) − x·t + ln(1 + e^{−|x|})
+        loss += x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln();
+        let sig = 1.0 / (1.0 + (-x).exp());
+        *g = (sig - t) / n;
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_of_confident_correct_is_small() {
+        let logits = Tensor::from_flat(&[1, 3], vec![10.0, 0.0, 0.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3, "{loss}");
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_c() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[1, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_flat(&[1, 3], vec![1.0, -2.0, 0.5]);
+        let (_, g) = softmax_cross_entropy(&logits, &[2]);
+        let s: f32 = g.data().iter().sum();
+        assert!(s.abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_checks_numerically() {
+        let logits = Tensor::from_flat(&[2, 3], vec![0.3, -0.8, 0.2, 1.0, 0.0, -0.5]);
+        let targets = [1usize, 0];
+        let (_, g) = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let num = (softmax_cross_entropy(&lp, &targets).0
+                - softmax_cross_entropy(&lm, &targets).0)
+                / (2.0 * eps);
+            assert!((num - g.data()[i]).abs() < 1e-3, "{num} vs {}", g.data()[i]);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let p = softmax(&Tensor::from_flat(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]));
+        for i in 0..2 {
+            let s: f32 = p.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mse_of_equal_tensors_is_zero() {
+        let a = Tensor::from_flat(&[2], vec![1.0, 2.0]);
+        let (l, g) = mse_loss(&a, &a);
+        assert_eq!(l, 0.0);
+        assert!(g.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn mse_gradient_direction() {
+        let pred = Tensor::from_flat(&[1], vec![3.0]);
+        let target = Tensor::from_flat(&[1], vec![1.0]);
+        let (l, g) = mse_loss(&pred, &target);
+        assert_eq!(l, 4.0);
+        assert_eq!(g.data(), &[4.0]); // 2·(3−1)/1
+    }
+
+    #[test]
+    fn bce_is_stable_for_large_logits() {
+        let logits = Tensor::from_flat(&[2], vec![100.0, -100.0]);
+        let targets = Tensor::from_flat(&[2], vec![1.0, 0.0]);
+        let (l, _) = bce_with_logits(&logits, &targets);
+        assert!(l.is_finite());
+        assert!(l < 1e-6);
+    }
+
+    #[test]
+    fn bce_gradient_checks_numerically() {
+        let logits = Tensor::from_flat(&[3], vec![0.5, -1.2, 2.0]);
+        let targets = Tensor::from_flat(&[3], vec![1.0, 0.0, 1.0]);
+        let (_, g) = bce_with_logits(&logits, &targets);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let num =
+                (bce_with_logits(&lp, &targets).0 - bce_with_logits(&lm, &targets).0) / (2.0 * eps);
+            assert!((num - g.data()[i]).abs() < 1e-3);
+        }
+    }
+}

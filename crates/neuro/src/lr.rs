@@ -1,0 +1,109 @@
+//! Cyclical learning-rate range test (Smith 2017).
+//!
+//! The paper's protocol (§IV-D) runs an LR range test per dataset and
+//! trains at the "valley" learning rate. [`valley_lr`] implements the
+//! fastai valley heuristic on a recorded `(lr, loss)` curve; the caller
+//! (the InceptionTime trainer) produces the curve by sweeping
+//! exponentially growing rates over a few mini-batches.
+
+/// Exponentially spaced learning rates from `lo` to `hi`.
+pub fn lr_schedule(lo: f32, hi: f32, steps: usize) -> Vec<f32> {
+    assert!(lo > 0.0 && hi > lo, "lr schedule needs 0 < lo < hi");
+    assert!(steps >= 2, "lr schedule needs at least 2 steps");
+    let ratio = (hi / lo).ln();
+    (0..steps)
+        .map(|i| lo * (ratio * i as f32 / (steps - 1) as f32).exp())
+        .collect()
+}
+
+/// Pick the "valley" learning rate from a range-test curve.
+///
+/// The fastai valley algorithm: find the longest strictly descending
+/// run of the (lightly smoothed) loss curve and return the LR about
+/// two-thirds into it — steep enough to learn fast, far from the blow-up.
+/// Falls back to the LR of the minimum loss when no descending run
+/// exists.
+pub fn valley_lr(lrs: &[f32], losses: &[f32]) -> f32 {
+    assert_eq!(lrs.len(), losses.len(), "lr/loss length mismatch");
+    assert!(!lrs.is_empty(), "empty range test");
+    if lrs.len() == 1 {
+        return lrs[0];
+    }
+    // Light exponential smoothing tames mini-batch noise.
+    let mut smooth = Vec::with_capacity(losses.len());
+    let mut acc = losses[0];
+    for &l in losses {
+        acc = 0.7 * acc + 0.3 * l;
+        smooth.push(acc);
+    }
+    // Longest descending run.
+    let mut best_start = 0;
+    let mut best_len = 1;
+    let mut start = 0;
+    for i in 1..smooth.len() {
+        if smooth[i] < smooth[i - 1] {
+            if i - start + 1 > best_len {
+                best_len = i - start + 1;
+                best_start = start;
+            }
+        } else {
+            start = i;
+        }
+    }
+    if best_len <= 1 {
+        let arg = losses
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        return lrs[arg];
+    }
+    let idx = best_start + (best_len * 2) / 3;
+    lrs[idx.min(lrs.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_exponential_and_bounded() {
+        let s = lr_schedule(1e-5, 1e-1, 9);
+        assert!((s[0] - 1e-5).abs() < 1e-9);
+        assert!((s[8] - 1e-1).abs() < 1e-4);
+        // Constant ratio between consecutive entries.
+        let r0 = s[1] / s[0];
+        for w in s.windows(2) {
+            assert!((w[1] / w[0] - r0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn valley_sits_inside_descending_region() {
+        // Classic range-test shape: plateau, descent, blow-up.
+        let lrs = lr_schedule(1e-5, 1.0, 30);
+        let losses: Vec<f32> = (0..30)
+            .map(|i| match i {
+                0..=9 => 2.0,
+                10..=24 => 2.0 - 0.12 * (i - 9) as f32,
+                _ => 2.0 + (i - 24) as f32,
+            })
+            .collect();
+        let lr = valley_lr(&lrs, &losses);
+        assert!(lr > lrs[10] && lr < lrs[26], "{lr}");
+    }
+
+    #[test]
+    fn flat_curve_falls_back_to_minimum() {
+        let lrs = vec![0.1, 0.2, 0.3];
+        let losses = vec![1.0, 1.0, 1.0];
+        let lr = valley_lr(&lrs, &losses);
+        assert!(lrs.contains(&lr));
+    }
+
+    #[test]
+    fn single_point_is_returned() {
+        assert_eq!(valley_lr(&[0.01], &[5.0]), 0.01);
+    }
+}

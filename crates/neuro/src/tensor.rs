@@ -1,0 +1,206 @@
+//! A small dense `f32` tensor.
+//!
+//! Rank is dynamic but the layers in this crate only use rank 2
+//! (`[batch, features]`) and rank 3 (`[batch, channels, time]`).
+
+/// Dense row-major `f32` tensor.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n = shape.iter().product();
+        Self { shape: shape.to_vec(), data: vec![0.0; n] }
+    }
+
+    /// Build from a flat buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer length does not match the shape product.
+    pub fn from_flat(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "tensor buffer does not match shape {shape:?}"
+        );
+        Self { shape: shape.to_vec(), data }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Rank-2 element access.
+    #[inline]
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Rank-2 mutable element access.
+    #[inline]
+    pub fn at2_mut(&mut self, i: usize, j: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        &mut self.data[i * self.shape[1] + j]
+    }
+
+    /// Rank-3 element access (`[batch, channel, time]`).
+    #[inline]
+    pub fn at3(&self, b: usize, c: usize, t: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 3);
+        self.data[(b * self.shape[1] + c) * self.shape[2] + t]
+    }
+
+    /// Rank-3 mutable element access.
+    #[inline]
+    pub fn at3_mut(&mut self, b: usize, c: usize, t: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.len(), 3);
+        &mut self.data[(b * self.shape[1] + c) * self.shape[2] + t]
+    }
+
+    /// Reinterpret with a new shape of identical element count.
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        assert_eq!(
+            self.data.len(),
+            shape.iter().product::<usize>(),
+            "reshape element count mismatch"
+        );
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Select rows (axis 0) by index into a new tensor.
+    pub fn select_rows(&self, idx: &[usize]) -> Tensor {
+        let row: usize = self.shape[1..].iter().product();
+        let mut data = Vec::with_capacity(idx.len() * row);
+        for &i in idx {
+            data.extend_from_slice(&self.data[i * row..(i + 1) * row]);
+        }
+        let mut shape = self.shape.clone();
+        shape[0] = idx.len();
+        Tensor { shape, data }
+    }
+
+    /// Element-wise in-place addition.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "tensor add shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Multiply every element by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Mean of all elements; 0 for empty.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum absolute element; 0 for empty.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 12 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn rank2_indexing_row_major() {
+        let t = Tensor::from_flat(&[2, 3], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(t.at2(1, 0), 3.0);
+        assert_eq!(t.at2(0, 2), 2.0);
+    }
+
+    #[test]
+    fn rank3_indexing() {
+        let t = Tensor::from_flat(&[2, 2, 2], (0..8).map(|v| v as f32).collect());
+        assert_eq!(t.at3(1, 0, 1), 5.0);
+        assert_eq!(t.at3(0, 1, 0), 2.0);
+    }
+
+    #[test]
+    fn select_rows_copies_in_order() {
+        let t = Tensor::from_flat(&[3, 2], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let s = t.select_rows(&[2, 0]);
+        assert_eq!(s.data(), &[4.0, 5.0, 0.0, 1.0]);
+        assert_eq!(s.shape(), &[2, 2]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_flat(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]).reshape(&[4]);
+        assert_eq!(t.shape(), &[4]);
+        assert_eq!(t.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape element count mismatch")]
+    fn reshape_rejects_bad_count() {
+        let _ = Tensor::zeros(&[2, 2]).reshape(&[5]);
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = Tensor::from_flat(&[2], vec![1.0, 2.0]);
+        let b = Tensor::from_flat(&[2], vec![3.0, -1.0]);
+        a.add_assign(&b);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[8.0, 2.0]);
+    }
+}

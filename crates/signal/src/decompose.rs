@@ -1,0 +1,161 @@
+//! Additive trend/seasonal/residual decomposition (STL-style).
+//!
+//! The decomposition-based augmenters perturb or bootstrap the residual
+//! component and recombine; this module provides the split. Trend is a
+//! centred moving average, seasonality the period-wise mean of the
+//! detrended series, residual whatever remains.
+
+/// An additive decomposition `x = trend + seasonal + residual`.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// Smooth trend component.
+    pub trend: Vec<f64>,
+    /// Periodic component (zero when no period was given).
+    pub seasonal: Vec<f64>,
+    /// Remainder.
+    pub residual: Vec<f64>,
+}
+
+impl Decomposition {
+    /// Recombine the three components.
+    pub fn reconstruct(&self) -> Vec<f64> {
+        self.trend
+            .iter()
+            .zip(&self.seasonal)
+            .zip(&self.residual)
+            .map(|((t, s), r)| t + s + r)
+            .collect()
+    }
+}
+
+/// Centred moving average with window `w` (odd windows are exact; even
+/// ones use the standard 2×MA convention). Edges shrink the window.
+pub fn moving_average(x: &[f64], w: usize) -> Vec<f64> {
+    assert!(w > 0, "moving average window must be positive");
+    let n = x.len();
+    let half = w / 2;
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(n);
+            let seg = &x[lo..hi];
+            seg.iter().sum::<f64>() / seg.len() as f64
+        })
+        .collect()
+}
+
+/// Decompose `x` additively.
+///
+/// * `trend_window` — moving-average width for the trend (clamped to the
+///   series length).
+/// * `period` — seasonal period; `None` or periods `< 2` produce a zero
+///   seasonal component.
+pub fn decompose_additive(x: &[f64], trend_window: usize, period: Option<usize>) -> Decomposition {
+    let n = x.len();
+    let w = trend_window.clamp(1, n.max(1));
+    let trend = moving_average(x, w);
+    let detrended: Vec<f64> = x.iter().zip(&trend).map(|(v, t)| v - t).collect();
+
+    let seasonal = match period {
+        Some(p) if p >= 2 && p <= n => {
+            // Mean of each phase, centred to sum to zero over a period.
+            let mut phase_sum = vec![0.0; p];
+            let mut phase_count = vec![0usize; p];
+            for (i, v) in detrended.iter().enumerate() {
+                phase_sum[i % p] += v;
+                phase_count[i % p] += 1;
+            }
+            let mut phase_mean: Vec<f64> = phase_sum
+                .iter()
+                .zip(&phase_count)
+                .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+                .collect();
+            let grand = phase_mean.iter().sum::<f64>() / p as f64;
+            for v in &mut phase_mean {
+                *v -= grand;
+            }
+            (0..n).map(|i| phase_mean[i % p]).collect()
+        }
+        _ => vec![0.0; n],
+    };
+
+    let residual: Vec<f64> = x
+        .iter()
+        .zip(&trend)
+        .zip(&seasonal)
+        .map(|((v, t), s)| v - t - s)
+        .collect();
+    Decomposition { trend, seasonal, residual }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconstruction_is_exact() {
+        let x: Vec<f64> = (0..60)
+            .map(|i| 0.1 * i as f64 + (i as f64 * 0.5).sin() + 0.01 * (i % 7) as f64)
+            .collect();
+        let d = decompose_additive(&x, 9, Some(12));
+        let back = d.reconstruct();
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trend_captures_linear_drift() {
+        let x: Vec<f64> = (0..50).map(|i| 2.0 * i as f64).collect();
+        let d = decompose_additive(&x, 5, None);
+        // Interior trend equals the signal for a line.
+        for i in 5..45 {
+            assert!((d.trend[i] - x[i]).abs() < 1e-9);
+            assert!(d.residual[i].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn seasonal_sums_to_zero_over_period() {
+        let p = 6;
+        let x: Vec<f64> = (0..48)
+            .map(|i| (2.0 * std::f64::consts::PI * (i % p) as f64 / p as f64).sin())
+            .collect();
+        let d = decompose_additive(&x, 13, Some(p));
+        let s: f64 = d.seasonal[..p].iter().sum();
+        assert!(s.abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn pure_seasonal_signal_lands_in_seasonal() {
+        let p = 4;
+        let pattern = [1.0, -1.0, 2.0, -2.0];
+        let x: Vec<f64> = (0..40).map(|i| pattern[i % p]).collect();
+        let d = decompose_additive(&x, p * 2 + 1, Some(p));
+        // Residual should be small relative to the signal.
+        let resid_energy: f64 = d.residual.iter().map(|v| v * v).sum();
+        let signal_energy: f64 = x.iter().map(|v| v * v).sum();
+        assert!(resid_energy < 0.15 * signal_energy, "{resid_energy} vs {signal_energy}");
+    }
+
+    #[test]
+    fn no_period_means_zero_seasonal() {
+        let x = vec![1.0, 2.0, 3.0];
+        let d = decompose_additive(&x, 3, None);
+        assert!(d.seasonal.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn moving_average_of_constant_is_constant() {
+        let x = vec![4.0; 10];
+        let ma = moving_average(&x, 3);
+        assert!(ma.iter().all(|&v| (v - 4.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn window_larger_than_series_is_clamped() {
+        let x = vec![1.0, 2.0];
+        let d = decompose_additive(&x, 99, None);
+        assert_eq!(d.trend.len(), 2);
+    }
+}

@@ -1,0 +1,246 @@
+//! Empirical mode decomposition (Huang et al. 1998).
+//!
+//! EMD sifts a signal into intrinsic mode functions (IMFs) by repeatedly
+//! subtracting the mean of the cubic-spline envelopes through the local
+//! extrema. The EMD-based augmenter recombines IMFs with perturbed
+//! weights to create label-plausible variants of sensor signals.
+
+use crate::interp::CubicSpline;
+
+/// Configuration of the sifting process.
+#[derive(Debug, Clone, Copy)]
+pub struct EmdOptions {
+    /// Maximum number of IMFs to extract (the residue is returned
+    /// separately).
+    pub max_imfs: usize,
+    /// Maximum sifting iterations per IMF.
+    pub max_sift_iters: usize,
+    /// Stop sifting when the normalised change between iterations falls
+    /// below this (standard SD criterion, typically 0.2–0.3).
+    pub sd_threshold: f64,
+}
+
+impl Default for EmdOptions {
+    fn default() -> Self {
+        Self { max_imfs: 8, max_sift_iters: 50, sd_threshold: 0.25 }
+    }
+}
+
+/// Result of an EMD: IMFs (highest frequency first) plus the residue.
+/// `signal ≈ Σ imfs + residue` exactly (by construction).
+#[derive(Debug, Clone)]
+pub struct Emd {
+    /// Intrinsic mode functions, highest-frequency first.
+    pub imfs: Vec<Vec<f64>>,
+    /// Monotone-ish residue.
+    pub residue: Vec<f64>,
+}
+
+impl Emd {
+    /// Reconstruct the original signal from all components.
+    pub fn reconstruct(&self) -> Vec<f64> {
+        let n = self.residue.len();
+        let mut out = self.residue.clone();
+        for imf in &self.imfs {
+            for i in 0..n {
+                out[i] += imf[i];
+            }
+        }
+        out
+    }
+
+    /// Reconstruct with per-IMF weights (the augmentation hook): weight
+    /// `w[k]` scales IMF `k`; missing weights default to 1.
+    pub fn reconstruct_weighted(&self, weights: &[f64]) -> Vec<f64> {
+        let n = self.residue.len();
+        let mut out = self.residue.clone();
+        for (k, imf) in self.imfs.iter().enumerate() {
+            let w = weights.get(k).copied().unwrap_or(1.0);
+            for i in 0..n {
+                out[i] += w * imf[i];
+            }
+        }
+        out
+    }
+}
+
+/// Indices of local maxima (strict rise then fall, with plateau handling).
+fn local_maxima(x: &[f64]) -> Vec<usize> {
+    extrema(x, true)
+}
+
+/// Indices of local minima.
+fn local_minima(x: &[f64]) -> Vec<usize> {
+    extrema(x, false)
+}
+
+fn extrema(x: &[f64], maxima: bool) -> Vec<usize> {
+    let n = x.len();
+    let mut out = Vec::new();
+    let cmp = |a: f64, b: f64| if maxima { a > b } else { a < b };
+    let mut i = 1;
+    while i + 1 < n {
+        if cmp(x[i], x[i - 1]) {
+            // Walk any plateau.
+            let start = i;
+            while i + 1 < n && x[i + 1] == x[i] {
+                i += 1;
+            }
+            if i + 1 < n && cmp(x[start], x[i + 1]) {
+                out.push((start + i) / 2);
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Spline envelope through the given extrema, padded with the boundary
+/// samples so the envelope spans the whole signal.
+fn envelope(x: &[f64], idx: &[usize]) -> Option<Vec<f64>> {
+    if idx.len() < 2 {
+        return None;
+    }
+    let n = x.len();
+    let mut xs: Vec<f64> = Vec::with_capacity(idx.len() + 2);
+    let mut ys: Vec<f64> = Vec::with_capacity(idx.len() + 2);
+    if idx[0] != 0 {
+        xs.push(0.0);
+        ys.push(x[idx[0]]); // mirror boundary: reuse first extremum value
+    }
+    for &i in idx {
+        xs.push(i as f64);
+        ys.push(x[i]);
+    }
+    if *idx.last().unwrap() != n - 1 {
+        xs.push((n - 1) as f64);
+        ys.push(x[*idx.last().unwrap()]);
+    }
+    let spline = CubicSpline::fit(&xs, &ys);
+    Some((0..n).map(|i| spline.eval(i as f64)).collect())
+}
+
+/// Decompose `signal` into IMFs and a residue.
+pub fn emd(signal: &[f64], opts: EmdOptions) -> Emd {
+    let n = signal.len();
+    let mut residue = signal.to_vec();
+    let mut imfs = Vec::new();
+
+    for _ in 0..opts.max_imfs {
+        let maxima = local_maxima(&residue);
+        let minima = local_minima(&residue);
+        if maxima.len() < 2 || minima.len() < 2 {
+            break; // residue is monotone-ish: done
+        }
+        let mut h = residue.clone();
+        for _ in 0..opts.max_sift_iters {
+            let (Some(upper), Some(lower)) =
+                (envelope(&h, &local_maxima(&h)), envelope(&h, &local_minima(&h)))
+            else {
+                break;
+            };
+            let mut sd_num = 0.0;
+            let mut sd_den = 0.0;
+            for i in 0..n {
+                let mean = 0.5 * (upper[i] + lower[i]);
+                let new = h[i] - mean;
+                sd_num += (h[i] - new) * (h[i] - new);
+                sd_den += h[i] * h[i] + 1e-12;
+                h[i] = new;
+            }
+            if sd_num / sd_den < opts.sd_threshold * opts.sd_threshold {
+                break;
+            }
+        }
+        for i in 0..n {
+            residue[i] -= h[i];
+        }
+        imfs.push(h);
+    }
+    Emd { imfs, residue }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tone(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| {
+                let x = t as f64;
+                (x * 0.9).sin() + 0.5 * (x * 0.08).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reconstruction_is_exact() {
+        let x = two_tone(200);
+        let d = emd(&x, EmdOptions::default());
+        let back = d.reconstruct();
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn separates_fast_from_slow_tone() {
+        let x = two_tone(400);
+        let d = emd(&x, EmdOptions::default());
+        assert!(!d.imfs.is_empty());
+        // First IMF should carry the fast tone: its zero-crossing count
+        // must exceed that of the remaining reconstruction.
+        let zc = |v: &[f64]| v.windows(2).filter(|w| w[0] * w[1] < 0.0).count();
+        let rest: Vec<f64> = {
+            let mut r = d.residue.clone();
+            for imf in &d.imfs[1..] {
+                for i in 0..r.len() {
+                    r[i] += imf[i];
+                }
+            }
+            r
+        };
+        assert!(zc(&d.imfs[0]) > zc(&rest), "{} vs {}", zc(&d.imfs[0]), zc(&rest));
+    }
+
+    #[test]
+    fn monotone_signal_yields_no_imfs() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64 * 0.5).collect();
+        let d = emd(&x, EmdOptions::default());
+        assert!(d.imfs.is_empty());
+        assert_eq!(d.residue, x);
+    }
+
+    #[test]
+    fn weighted_reconstruction_scales_components() {
+        let x = two_tone(150);
+        let d = emd(&x, EmdOptions::default());
+        if d.imfs.is_empty() {
+            return;
+        }
+        let zeroed = d.reconstruct_weighted(&vec![0.0; d.imfs.len()]);
+        for (z, r) in zeroed.iter().zip(&d.residue) {
+            assert!((z - r).abs() < 1e-12);
+        }
+        let identity = d.reconstruct_weighted(&vec![1.0; d.imfs.len()]);
+        for (a, b) in identity.iter().zip(&d.reconstruct()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn respects_max_imfs() {
+        let x = two_tone(300);
+        let d = emd(&x, EmdOptions { max_imfs: 1, ..EmdOptions::default() });
+        assert!(d.imfs.len() <= 1);
+    }
+
+    #[test]
+    fn extrema_detection_handles_plateaus() {
+        let x = [0.0, 1.0, 1.0, 1.0, 0.0, -1.0, 0.0];
+        let maxima = local_maxima(&x);
+        assert_eq!(maxima, vec![2]);
+        let minima = local_minima(&x);
+        assert_eq!(minima, vec![5]);
+    }
+}

@@ -1,0 +1,307 @@
+//! Fast Fourier transform: iterative radix-2 with Bluestein's algorithm
+//! for non-power-of-two lengths.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number over `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// A purely real value.
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle).
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Construct from polar form.
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self { re: r * theta.cos(), im: r * theta.sin() }
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// In-place iterative radix-2 Cooley-Tukey FFT.
+///
+/// # Panics
+/// Panics unless `buf.len()` is a power of two (use [`fft`] for general
+/// lengths).
+pub fn fft_pow2(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "fft_pow2 requires a power-of-two length");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut half = 1;
+    while half < n {
+        let step = std::f64::consts::PI / half as f64 * sign;
+        let wn = Complex::cis(step);
+        for start in (0..n).step_by(half * 2) {
+            let mut w = Complex::real(1.0);
+            for k in 0..half {
+                let even = buf[start + k];
+                let odd = buf[start + k + half] * w;
+                buf[start + k] = even + odd;
+                buf[start + k + half] = even - odd;
+                w = w * wn;
+            }
+        }
+        half *= 2;
+    }
+    if inverse {
+        let inv = 1.0 / n as f64;
+        for v in buf.iter_mut() {
+            *v = v.scale(inv);
+        }
+    }
+}
+
+/// Forward DFT of arbitrary length (radix-2 when possible, Bluestein
+/// otherwise). Returns the spectrum.
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    let mut buf = input.to_vec();
+    if n.is_power_of_two() {
+        fft_pow2(&mut buf, false);
+        return buf;
+    }
+    bluestein(&buf, false)
+}
+
+/// Inverse DFT of arbitrary length; normalised by `1/n`.
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    let mut buf = input.to_vec();
+    if n.is_power_of_two() {
+        fft_pow2(&mut buf, true);
+        return buf;
+    }
+    bluestein(&buf, true)
+}
+
+/// Bluestein's chirp-z transform: express the DFT as a convolution that a
+/// power-of-two FFT can evaluate.
+fn bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Chirp: w_k = exp(sign·iπ k² / n).
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            // k² mod 2n keeps the angle argument small and precise.
+            let k2 = (k as u128 * k as u128) % (2 * n as u128);
+            Complex::cis(sign * std::f64::consts::PI * k2 as f64 / n as f64)
+        })
+        .collect();
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex::default(); m];
+    let mut b = vec![Complex::default(); m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+        b[k] = chirp[k].conj();
+    }
+    for k in 1..n {
+        b[m - k] = chirp[k].conj();
+    }
+    fft_pow2(&mut a, false);
+    fft_pow2(&mut b, false);
+    for (av, bv) in a.iter_mut().zip(&b) {
+        *av = *av * *bv;
+    }
+    fft_pow2(&mut a, true);
+    let norm = if inverse { 1.0 / n as f64 } else { 1.0 };
+    (0..n).map(|k| (a[k] * chirp[k]).scale(norm)).collect()
+}
+
+/// FFT of a real signal, returning the full complex spectrum.
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    fft(&signal.iter().map(|&v| Complex::real(v)).collect::<Vec<_>>())
+}
+
+/// Inverse FFT returning only real parts (the caller asserts the spectrum
+/// is conjugate-symmetric, e.g. one produced from a real signal).
+pub fn ifft_real(spectrum: &[Complex]) -> Vec<f64> {
+    ifft(spectrum).into_iter().map(|c| c.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::default();
+                for (t, &v) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                    acc = acc + v * Complex::cis(ang);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol, "{x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn pow2_matches_naive_dft() {
+        let x: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        assert_close(&fft(&x), &naive_dft(&x), 1e-9);
+    }
+
+    #[test]
+    fn bluestein_matches_naive_dft() {
+        for n in [3usize, 5, 6, 7, 12, 13, 30] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 1.1).sin(), (i as f64).cos() * 0.5))
+                .collect();
+            assert_close(&fft(&x), &naive_dft(&x), 1e-8);
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        for n in [8usize, 10, 17] {
+            let x: Vec<Complex> = (0..n).map(|i| Complex::real(i as f64 - 3.0)).collect();
+            let back = ifft(&fft(&x));
+            assert_close(&back, &x, 1e-9);
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::default(); 8];
+        x[0] = Complex::real(1.0);
+        let s = fft(&x);
+        for v in s {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_energy() {
+        let n = 32;
+        let freq = 5;
+        let x: Vec<f64> = (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * freq as f64 * t as f64 / n as f64).cos())
+            .collect();
+        let s = fft_real(&x);
+        let mags: Vec<f64> = s.iter().map(|c| c.abs()).collect();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(peak == freq || peak == n - freq);
+    }
+
+    #[test]
+    fn real_round_trip() {
+        let x = vec![1.0, -2.0, 3.0, 0.5, 0.0, 4.0, -1.0];
+        let back = ifft_real(&fft_real(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let x = vec![1.0, 2.0, -1.0, 0.5, 3.0, -2.0, 0.0, 1.5];
+        let s = fft_real(&x);
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let freq_energy: f64 = s.iter().map(|c| c.abs().powi(2)).sum::<f64>() / x.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(fft(&[]).is_empty());
+        let one = fft(&[Complex::real(4.0)]);
+        assert_eq!(one.len(), 1);
+        assert!((one[0].re - 4.0).abs() < 1e-12);
+    }
+}

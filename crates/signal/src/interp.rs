@@ -1,0 +1,216 @@
+//! Interpolation: linear resampling and natural cubic splines.
+//!
+//! Time warping maps a series through a smooth monotone time
+//! distortion and resamples it; EMD builds extrema envelopes from cubic
+//! splines. Both live here.
+
+/// Linearly interpolate `values` (sampled at integer positions
+/// `0..values.len()`) at the fractional position `t`, clamping to the
+/// ends.
+pub fn lerp_at(values: &[f64], t: f64) -> f64 {
+    assert!(!values.is_empty(), "lerp_at on empty input");
+    if t <= 0.0 {
+        return values[0];
+    }
+    let max = (values.len() - 1) as f64;
+    if t >= max {
+        return values[values.len() - 1];
+    }
+    let i = t.floor() as usize;
+    let frac = t - i as f64;
+    values[i] * (1.0 - frac) + values[i + 1] * frac
+}
+
+/// Resample `values` to `new_len` points by linear interpolation over the
+/// original index range.
+pub fn resample_linear(values: &[f64], new_len: usize) -> Vec<f64> {
+    assert!(!values.is_empty(), "resample of empty input");
+    assert!(new_len > 0, "resample to zero length");
+    if new_len == 1 {
+        return vec![values[0]];
+    }
+    let scale = (values.len() - 1) as f64 / (new_len - 1) as f64;
+    (0..new_len).map(|i| lerp_at(values, i as f64 * scale)).collect()
+}
+
+/// A natural cubic spline through `(xs, ys)` knots.
+#[derive(Debug, Clone)]
+pub struct CubicSpline {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Second derivatives at the knots.
+    m: Vec<f64>,
+}
+
+impl CubicSpline {
+    /// Fit a natural cubic spline.
+    ///
+    /// # Panics
+    /// Panics if fewer than 2 knots are given, lengths differ, or `xs` is
+    /// not strictly increasing.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "spline knot length mismatch");
+        assert!(xs.len() >= 2, "spline needs at least 2 knots");
+        assert!(
+            xs.windows(2).all(|w| w[1] > w[0]),
+            "spline xs must be strictly increasing"
+        );
+        let n = xs.len();
+        // Solve the tridiagonal system for the second derivatives
+        // (Thomas algorithm), natural boundary m₀ = mₙ₋₁ = 0.
+        let mut m = vec![0.0; n];
+        if n > 2 {
+            let mut a = vec![0.0; n]; // sub-diagonal
+            let mut b = vec![0.0; n]; // diagonal
+            let mut c = vec![0.0; n]; // super-diagonal
+            let mut d = vec![0.0; n]; // rhs
+            for i in 1..n - 1 {
+                let h0 = xs[i] - xs[i - 1];
+                let h1 = xs[i + 1] - xs[i];
+                a[i] = h0;
+                b[i] = 2.0 * (h0 + h1);
+                c[i] = h1;
+                d[i] = 6.0 * ((ys[i + 1] - ys[i]) / h1 - (ys[i] - ys[i - 1]) / h0);
+            }
+            // Forward sweep over interior rows 1..n-1.
+            for i in 2..n - 1 {
+                let w = a[i] / b[i - 1];
+                b[i] -= w * c[i - 1];
+                d[i] -= w * d[i - 1];
+            }
+            m[n - 2] = d[n - 2] / b[n - 2];
+            for i in (1..n - 2).rev() {
+                m[i] = (d[i] - c[i] * m[i + 1]) / b[i];
+            }
+        }
+        Self { xs: xs.to_vec(), ys: ys.to_vec(), m }
+    }
+
+    /// Evaluate the spline at `x`, extrapolating linearly outside the
+    /// knot range (keeps EMD envelopes sane at the boundaries).
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            let slope = self.slope_at_start();
+            return self.ys[0] + slope * (x - self.xs[0]);
+        }
+        if x >= self.xs[n - 1] {
+            let slope = self.slope_at_end();
+            return self.ys[n - 1] + slope * (x - self.xs[n - 1]);
+        }
+        // Binary search for the containing interval.
+        let mut lo = 0;
+        let mut hi = n - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.xs[mid] <= x {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let h = self.xs[hi] - self.xs[lo];
+        let t = (x - self.xs[lo]) / h;
+        let a = 1.0 - t;
+        a * self.ys[lo]
+            + t * self.ys[hi]
+            + h * h / 6.0 * ((a * a * a - a) * self.m[lo] + (t * t * t - t) * self.m[hi])
+    }
+
+    fn slope_at_start(&self) -> f64 {
+        let h = self.xs[1] - self.xs[0];
+        (self.ys[1] - self.ys[0]) / h - h / 6.0 * (2.0 * self.m[0] + self.m[1])
+    }
+
+    fn slope_at_end(&self) -> f64 {
+        let n = self.xs.len();
+        let h = self.xs[n - 1] - self.xs[n - 2];
+        (self.ys[n - 1] - self.ys[n - 2]) / h + h / 6.0 * (self.m[n - 2] + 2.0 * self.m[n - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_interpolates_midpoints() {
+        let v = [0.0, 2.0, 4.0];
+        assert_eq!(lerp_at(&v, 0.5), 1.0);
+        assert_eq!(lerp_at(&v, 1.75), 3.5);
+    }
+
+    #[test]
+    fn lerp_clamps_out_of_range() {
+        let v = [1.0, 2.0];
+        assert_eq!(lerp_at(&v, -5.0), 1.0);
+        assert_eq!(lerp_at(&v, 9.0), 2.0);
+    }
+
+    #[test]
+    fn resample_identity_when_same_length() {
+        let v = vec![1.0, 3.0, -2.0, 5.0];
+        let r = resample_linear(&v, 4);
+        for (a, b) in v.iter().zip(&r) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn resample_preserves_endpoints() {
+        let v = vec![7.0, 1.0, 9.0];
+        let r = resample_linear(&v, 10);
+        assert_eq!(r[0], 7.0);
+        assert_eq!(r[9], 9.0);
+        assert_eq!(r.len(), 10);
+    }
+
+    #[test]
+    fn spline_passes_through_knots() {
+        let xs = [0.0, 1.0, 2.5, 4.0];
+        let ys = [1.0, -1.0, 0.5, 2.0];
+        let sp = CubicSpline::fit(&xs, &ys);
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((sp.eval(*x) - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn spline_reproduces_linear_function() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.0, 2.0, 4.0, 6.0];
+        let sp = CubicSpline::fit(&xs, &ys);
+        assert!((sp.eval(1.5) - 3.0).abs() < 1e-10);
+        assert!((sp.eval(-1.0) + 2.0).abs() < 1e-9); // linear extrapolation
+        assert!((sp.eval(4.0) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spline_is_smooth_between_knots() {
+        // Sample a sine at coarse knots; spline error should beat linear.
+        let xs: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 0.7).sin()).collect();
+        let sp = CubicSpline::fit(&xs, &ys);
+        let mut spline_err = 0.0;
+        let mut linear_err = 0.0;
+        for k in 0..80 {
+            let x = k as f64 * 0.1;
+            let truth = (x * 0.7).sin();
+            spline_err += (sp.eval(x) - truth).abs();
+            linear_err += (lerp_at(&ys, x) - truth).abs();
+        }
+        assert!(spline_err < linear_err, "{spline_err} vs {linear_err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn spline_rejects_unsorted_knots() {
+        let _ = CubicSpline::fit(&[0.0, 0.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn two_knot_spline_is_a_line() {
+        let sp = CubicSpline::fit(&[0.0, 2.0], &[0.0, 4.0]);
+        assert!((sp.eval(1.0) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,73 @@
+//! Analysis windows for the STFT.
+
+/// Window function families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowKind {
+    /// All ones.
+    Rectangular,
+    /// Periodic Hann window (COLA-compliant at 50% overlap).
+    Hann,
+    /// Periodic Hamming window.
+    Hamming,
+}
+
+/// Sample a window of `len` points.
+pub fn window(kind: WindowKind, len: usize) -> Vec<f64> {
+    match kind {
+        WindowKind::Rectangular => vec![1.0; len],
+        WindowKind::Hann => (0..len)
+            .map(|i| {
+                let x = 2.0 * std::f64::consts::PI * i as f64 / len.max(1) as f64;
+                0.5 * (1.0 - x.cos())
+            })
+            .collect(),
+        WindowKind::Hamming => (0..len)
+            .map(|i| {
+                let x = 2.0 * std::f64::consts::PI * i as f64 / len.max(1) as f64;
+                0.54 - 0.46 * x.cos()
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hann_endpoints_and_peak() {
+        let w = window(WindowKind::Hann, 8);
+        assert!(w[0].abs() < 1e-12);
+        assert!((w[4] - 1.0).abs() < 1e-12); // periodic: peak at n/2
+    }
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(window(WindowKind::Rectangular, 5).iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn hann_cola_at_half_overlap() {
+        // Periodic Hann windows summed at hop = len/2 give a constant.
+        let len = 16;
+        let hop = 8;
+        let w = window(WindowKind::Hann, len);
+        let total = 4 * len;
+        let mut acc = vec![0.0; total];
+        let mut start = 0;
+        while start + len <= total {
+            for i in 0..len {
+                acc[start + i] += w[i];
+            }
+            start += hop;
+        }
+        for &v in &acc[len..total - len] {
+            assert!((v - 1.0).abs() < 1e-12, "{v}");
+        }
+    }
+
+    #[test]
+    fn hamming_positive_everywhere() {
+        assert!(window(WindowKind::Hamming, 32).iter().all(|&v| v > 0.0));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the signal-processing invariants.
+
+use proptest::prelude::*;
+use tsda_core::Mts;
+use tsda_signal::decompose::decompose_additive;
+use tsda_signal::dtw::{dtw_distance, DtwOptions};
+use tsda_signal::emd::{emd, EmdOptions};
+use tsda_signal::fft::{fft_real, ifft_real};
+use tsda_signal::interp::{resample_linear, CubicSpline};
+use tsda_signal::stft::{istft, stft};
+use tsda_signal::window::WindowKind;
+
+fn signal(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0f64..10.0, min_len..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fft_round_trip_is_identity(x in signal(1, 64)) {
+        let back = ifft_real(&fft_real(&x));
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn parseval_holds_for_any_length(x in signal(1, 50)) {
+        let spec = fft_real(&x);
+        let time: f64 = x.iter().map(|v| v * v).sum();
+        let freq: f64 = spec.iter().map(|c| c.abs().powi(2)).sum::<f64>() / x.len() as f64;
+        prop_assert!((time - freq).abs() < 1e-6 * (1.0 + time));
+    }
+
+    #[test]
+    fn real_signal_spectrum_is_conjugate_symmetric(x in signal(4, 40)) {
+        let spec = fft_real(&x);
+        let n = x.len();
+        for k in 1..n {
+            let a = spec[k];
+            let b = spec[n - k].conj();
+            prop_assert!((a.re - b.re).abs() < 1e-7 && (a.im - b.im).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn stft_interior_round_trip(x in signal(64, 96)) {
+        let spec = stft(&x, 16, 8, WindowKind::Hann);
+        let y = istft(&spec);
+        prop_assert_eq!(y.len(), x.len());
+        for t in 16..x.len() - 16 {
+            prop_assert!((x[t] - y[t]).abs() < 1e-7, "t={}", t);
+        }
+    }
+
+    #[test]
+    fn dtw_is_nonnegative_symmetric_and_bounded_by_euclid(
+        a in signal(4, 24),
+        b in signal(4, 24),
+    ) {
+        let sa = Mts::univariate(a.clone());
+        let sb = Mts::univariate(b.clone());
+        let d1 = dtw_distance(&sa, &sb, DtwOptions::default());
+        let d2 = dtw_distance(&sb, &sa, DtwOptions::default());
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+        if a.len() == b.len() {
+            let euclid = sa.euclidean_distance(&sb);
+            prop_assert!(d1 <= euclid + 1e-9, "dtw {} > euclid {}", d1, euclid);
+        }
+    }
+
+    #[test]
+    fn dtw_identity_of_indiscernibles(a in signal(2, 20)) {
+        let s = Mts::univariate(a);
+        prop_assert_eq!(dtw_distance(&s, &s, DtwOptions::default()), 0.0);
+    }
+
+    #[test]
+    fn decomposition_reconstructs_exactly(x in signal(8, 64), period in 2usize..8) {
+        let d = decompose_additive(&x, 7, Some(period));
+        let back = d.reconstruct();
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn emd_components_sum_to_signal(x in signal(16, 96)) {
+        let d = emd(&x, EmdOptions::default());
+        let back = d.reconstruct();
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn resample_preserves_range(x in signal(2, 32), new_len in 2usize..64) {
+        let r = resample_linear(&x, new_len);
+        prop_assert_eq!(r.len(), new_len);
+        let (lo, hi) = x.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+        // Linear interpolation never overshoots the data range.
+        prop_assert!(r.iter().all(|&v| v >= lo - 1e-9 && v <= hi + 1e-9));
+    }
+
+    #[test]
+    fn spline_interpolates_knots(ys in proptest::collection::vec(-5.0f64..5.0, 3..10)) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let sp = CubicSpline::fit(&xs, &ys);
+        for (x, y) in xs.iter().zip(&ys) {
+            prop_assert!((sp.eval(*x) - y).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! A tour of the full taxonomy (the paper's Figure 1): runs one
+//! representative of every branch on the same minority class and prints
+//! how far the synthetic series stray from the class (mean distance to
+//! the nearest original member) and whether a 1-NN check keeps their
+//! label — the two axes the paper's "preserving" branch is about.
+//!
+//! Run: `cargo run --release --example augmentation_tour`
+
+use tsda_augment::basic::frequency::{AmplitudePerturb, PhasePerturb, SpecAugmentMask};
+use tsda_augment::basic::time::{
+    GuidedWarp, Jitter, MagnitudeWarp, Masking, NoiseInjection, Permutation, Pooling, Rotation,
+    Scaling, Slicing, TimeWarp, WindowWarp,
+};
+use tsda_augment::decompose_aug::{EmdRecombine, StlBootstrap};
+use tsda_augment::generative::probabilistic::{AutoregressiveSampler, GaussianHmm};
+use tsda_augment::generative::statistical::{
+    ArResidualSampler, BlockBootstrap, KernelDensitySampler, MaxEntropyBootstrap,
+};
+use tsda_augment::generative::timegan::{TimeGan, TimeGanConfig};
+use tsda_augment::oversample::{Adasyn, BorderlineSmote, NearestInterpolation, Smote, SmoteFuna};
+use tsda_augment::preserve::label::RangeNoise;
+use tsda_augment::preserve::structure::{Inos, Ohit};
+use tsda_augment::taxonomy::taxonomy;
+use tsda_augment::Augmenter;
+use tsda_core::rng::seeded;
+use tsda_datasets::registry::{DatasetId, DatasetMeta};
+use tsda_datasets::synth::{generate, GenOptions};
+
+fn main() {
+    println!("{}", taxonomy().render());
+
+    let data = generate(DatasetMeta::get(DatasetId::Epilepsy), &GenOptions::ci(11));
+    let train = &data.train;
+    let minority = train
+        .class_counts()
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &c)| c)
+        .map(|(c, _)| c)
+        .expect("non-empty dataset");
+    println!(
+        "augmenting class {minority} of Epilepsy ({} members) with every technique:\n",
+        train.class_counts()[minority]
+    );
+
+    let techniques: Vec<(&str, Box<dyn Augmenter>)> = vec![
+        ("noise_1 (time)", Box::new(NoiseInjection::level(1.0))),
+        ("scaling (time)", Box::new(Scaling::default())),
+        ("rotation (time)", Box::new(Rotation)),
+        ("jitter (time)", Box::new(Jitter::default())),
+        ("slicing (time)", Box::new(Slicing::default())),
+        ("permutation (time)", Box::new(Permutation::default())),
+        ("masking (time)", Box::new(Masking::default())),
+        ("pooling (time)", Box::new(Pooling::default())),
+        ("magnitude_warp (time)", Box::new(MagnitudeWarp::default())),
+        ("time_warp (time)", Box::new(TimeWarp::default())),
+        ("window_warp (time)", Box::new(WindowWarp::default())),
+        ("guided_warp (time)", Box::new(GuidedWarp::default())),
+        ("amplitude_perturb (freq)", Box::new(AmplitudePerturb::default())),
+        ("phase_perturb (freq)", Box::new(PhasePerturb::default())),
+        ("specaugment (freq)", Box::new(SpecAugmentMask::default())),
+        ("interpolation (oversample)", Box::new(NearestInterpolation::default())),
+        ("smote (oversample)", Box::new(Smote::default())),
+        ("borderline_smote (oversample)", Box::new(BorderlineSmote::default())),
+        ("adasyn (oversample)", Box::new(Adasyn::default())),
+        ("smotefuna (oversample)", Box::new(SmoteFuna)),
+        ("stl_bootstrap (decomposition)", Box::new(StlBootstrap::default())),
+        ("emd_recombine (decomposition)", Box::new(EmdRecombine::default())),
+        ("kde (statistical)", Box::new(KernelDensitySampler::default())),
+        ("ar_residual (statistical)", Box::new(ArResidualSampler::default())),
+        ("meboot (statistical)", Box::new(MaxEntropyBootstrap)),
+        ("block_bootstrap (statistical)", Box::new(BlockBootstrap::default())),
+        ("gaussian_hmm (probabilistic)", Box::new(GaussianHmm::default())),
+        ("autoregressive (probabilistic)", Box::new(AutoregressiveSampler::default())),
+        (
+            "timegan (neural)",
+            Box::new(TimeGan::new(TimeGanConfig {
+                iters_embedding: 60,
+                iters_supervised: 40,
+                iters_joint: 30,
+                ..TimeGanConfig::default()
+            })),
+        ),
+        ("range_noise (label-preserving)", Box::new(RangeNoise::default())),
+        ("ohit (structure-preserving)", Box::new(Ohit::default())),
+        ("inos (structure-preserving)", Box::new(Inos::default())),
+    ];
+
+    println!(
+        "{:<32} {:>14} {:>12}",
+        "technique", "mean NN dist", "label kept"
+    );
+    for (name, aug) in techniques {
+        let mut rng = seeded(5);
+        match aug.synthesize(train, minority, 8, &mut rng) {
+            Ok(samples) => {
+                let mut dist_sum = 0.0;
+                let mut kept = 0;
+                for s in &samples {
+                    let (nn_label, nn_dist) = train
+                        .iter()
+                        .map(|(m, l)| (l, m.euclidean_distance(s)))
+                        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                        .expect("non-empty training set");
+                    dist_sum += nn_dist;
+                    if nn_label == minority {
+                        kept += 1;
+                    }
+                }
+                println!(
+                    "{:<32} {:>14.2} {:>9}/{}",
+                    name,
+                    dist_sum / samples.len() as f64,
+                    kept,
+                    samples.len()
+                );
+            }
+            Err(e) => println!("{name:<32} skipped: {e}"),
+        }
+    }
+}

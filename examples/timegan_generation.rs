@@ -1,0 +1,95 @@
+//! TimeGAN end to end: train the five-network model on one class of a
+//! synthetic dataset and inspect how well the generated series match the
+//! real class statistics (mean curve, per-step variance, lag-1
+//! autocorrelation) — the qualitative checks of Yoon et al. 2019.
+//!
+//! Run: `cargo run --release --example timegan_generation`
+
+use tsda_augment::generative::timegan::{TimeGan, TimeGanConfig};
+use tsda_augment::Augmenter;
+use tsda_core::rng::{normal, seeded};
+use tsda_core::{Dataset, Mts};
+
+fn stat_summary(series: &[&Mts]) -> (Vec<f64>, f64, f64) {
+    let len = series[0].len();
+    let mut mean = vec![0.0; len];
+    for s in series {
+        for (t, &v) in s.dim(0).iter().enumerate() {
+            mean[t] += v / series.len() as f64;
+        }
+    }
+    let mut var = 0.0;
+    let mut lag1_num = 0.0;
+    let mut lag1_den = 0.0;
+    for s in series {
+        let d = s.dim(0);
+        let m: f64 = d.iter().sum::<f64>() / len as f64;
+        for t in 0..len {
+            var += (d[t] - m) * (d[t] - m);
+            if t + 1 < len {
+                lag1_num += (d[t] - m) * (d[t + 1] - m);
+            }
+            lag1_den += (d[t] - m) * (d[t] - m);
+        }
+    }
+    var /= (series.len() * len) as f64;
+    (mean, var, lag1_num / lag1_den.max(1e-12))
+}
+
+fn main() {
+    // One class of damped oscillations with random phase.
+    let mut rng = seeded(3);
+    let mut ds = Dataset::empty(1);
+    let len = 24;
+    for _ in 0..24 {
+        use rand::Rng;
+        let phase: f64 = rng.gen_range(0.0..1.5);
+        ds.push(
+            Mts::from_dims(vec![(0..len)
+                .map(|t| {
+                    let x = t as f64;
+                    (x * 0.5 + phase).sin() * (-x / 40.0).exp() + normal(&mut rng, 0.0, 0.05)
+                })
+                .collect()]),
+            0,
+        );
+    }
+
+    let cfg = TimeGanConfig {
+        hidden: 12,
+        latent: 8,
+        iters_embedding: 250,
+        iters_supervised: 200,
+        iters_joint: 120,
+        ..TimeGanConfig::default()
+    };
+    println!(
+        "training TimeGAN (hidden {}, latent {}, iterations {}/{}/{})…",
+        cfg.hidden, cfg.latent, cfg.iters_embedding, cfg.iters_supervised, cfg.iters_joint
+    );
+    let gan = TimeGan::new(cfg);
+    let generated = gan
+        .synthesize(&ds, 0, 24, &mut seeded(4))
+        .expect("class has enough members");
+
+    let real_refs: Vec<&Mts> = ds.series().iter().collect();
+    let gen_refs: Vec<&Mts> = generated.iter().collect();
+    let (real_mean, real_var, real_lag1) = stat_summary(&real_refs);
+    let (gen_mean, gen_var, gen_lag1) = stat_summary(&gen_refs);
+
+    let mean_err: f64 = real_mean
+        .iter()
+        .zip(&gen_mean)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / len as f64;
+    println!("mean-curve L1 error:      {mean_err:.3}");
+    println!("variance   real {real_var:.3}  generated {gen_var:.3}");
+    println!("lag-1 corr real {real_lag1:.3}  generated {gen_lag1:.3}");
+    println!("\nfirst real series:      {:?}", &ds.series()[0].dim(0)[..8]);
+    println!("first generated series: {:?}", &generated[0].dim(0)[..8]);
+    println!(
+        "\nA faithful generator keeps the lag-1 correlation high — the\n\
+         temporal dynamics TimeGAN's supervisor network exists to preserve."
+    );
+}

@@ -1,0 +1,144 @@
+//! Integration tests of the balancing protocol across the taxonomy:
+//! every implemented technique must drive an imbalanced dataset to
+//! perfect balance while keeping shapes, labels and originals intact.
+
+use tsda_augment::balance::augment_to_balance;
+use tsda_augment::basic::frequency::{AmplitudePerturb, EmdaMix, PhasePerturb, SpecAugmentMask};
+use tsda_augment::basic::time::{
+    GuidedWarp, Jitter, MagnitudeWarp, Masking, NoiseInjection, Permutation, Pooling, Rotation,
+    Scaling, Slicing, TimeWarp, WindowWarp,
+};
+use tsda_augment::decompose_aug::{EmdRecombine, StlBootstrap};
+use tsda_augment::generative::probabilistic::{AutoregressiveSampler, GaussianHmm};
+use tsda_augment::generative::statistical::{
+    ArResidualSampler, BlockBootstrap, KernelDensitySampler, MaxEntropyBootstrap,
+};
+use tsda_augment::oversample::{Adasyn, BorderlineSmote, NearestInterpolation, Smote, SmoteFuna};
+use tsda_augment::preserve::label::RangeNoise;
+use tsda_augment::preserve::structure::{Inos, Ohit};
+use tsda_augment::Augmenter;
+use tsda_core::rng::{normal, seeded};
+use tsda_core::{Dataset, Mts};
+
+/// 3 classes (10/6/3 members), 2 dims, length 32, distinct class shapes.
+fn imbalanced_dataset() -> Dataset {
+    let mut rng = seeded(100);
+    let mut ds = Dataset::empty(3);
+    for (class, &n) in [10usize, 6, 3].iter().enumerate() {
+        for _ in 0..n {
+            let dims: Vec<Vec<f64>> = (0..2)
+                .map(|d| {
+                    (0..32)
+                        .map(|t| {
+                            let x = t as f64;
+                            (x * (0.2 + class as f64 * 0.25) + d as f64).sin() * 2.0
+                                + class as f64
+                                + normal(&mut rng, 0.0, 0.2)
+                        })
+                        .collect()
+                })
+                .collect();
+            ds.push(Mts::from_dims(dims), class);
+        }
+    }
+    ds
+}
+
+fn all_techniques() -> Vec<(&'static str, Box<dyn Augmenter>)> {
+    vec![
+        ("noise", Box::new(NoiseInjection::level(1.0))),
+        ("scaling", Box::new(Scaling::default())),
+        ("rotation", Box::new(Rotation)),
+        ("jitter", Box::new(Jitter::default())),
+        ("slicing", Box::new(Slicing::default())),
+        ("permutation", Box::new(Permutation::default())),
+        ("masking", Box::new(Masking::default())),
+        ("pooling", Box::new(Pooling::default())),
+        ("magnitude_warp", Box::new(MagnitudeWarp::default())),
+        ("time_warp", Box::new(TimeWarp::default())),
+        ("window_warp", Box::new(WindowWarp::default())),
+        ("guided_warp", Box::new(GuidedWarp::default())),
+        ("amplitude_perturb", Box::new(AmplitudePerturb::default())),
+        ("phase_perturb", Box::new(PhasePerturb::default())),
+        ("specaugment", Box::new(SpecAugmentMask::default())),
+        ("emda_mix", Box::new(EmdaMix)),
+        ("interpolation", Box::new(NearestInterpolation::default())),
+        ("smote", Box::new(Smote::default())),
+        ("borderline_smote", Box::new(BorderlineSmote::default())),
+        ("adasyn", Box::new(Adasyn::default())),
+        ("smotefuna", Box::new(SmoteFuna)),
+        ("stl_bootstrap", Box::new(StlBootstrap::default())),
+        ("emd_recombine", Box::new(EmdRecombine::default())),
+        ("kde", Box::new(KernelDensitySampler::default())),
+        ("ar_residual", Box::new(ArResidualSampler::default())),
+        ("meboot", Box::new(MaxEntropyBootstrap)),
+        ("block_bootstrap", Box::new(BlockBootstrap::default())),
+        ("gaussian_hmm", Box::new(GaussianHmm { states: 3, iterations: 5 })),
+        ("autoregressive", Box::new(AutoregressiveSampler::default())),
+        ("range_noise", Box::new(RangeNoise::default())),
+        ("ohit", Box::new(Ohit::default())),
+        ("inos", Box::new(Inos::default())),
+    ]
+}
+
+#[test]
+fn every_technique_balances_the_dataset() {
+    let ds = imbalanced_dataset();
+    for (name, aug) in all_techniques() {
+        let out = augment_to_balance(&ds, aug.as_ref(), &mut seeded(7))
+            .unwrap_or_else(|e| panic!("{name} failed to balance: {e}"));
+        assert_eq!(out.class_counts(), vec![10, 10, 10], "{name}");
+        assert_eq!(out.n_dims(), 2, "{name}");
+        assert_eq!(out.series_len(), 32, "{name}");
+        // Every synthetic value is finite.
+        for s in out.series() {
+            assert!(
+                s.as_flat().iter().all(|v| v.is_finite()),
+                "{name} produced non-finite values"
+            );
+        }
+        // Originals untouched.
+        for i in 0..ds.len() {
+            assert_eq!(out.series()[i], ds.series()[i], "{name} modified original {i}");
+        }
+    }
+}
+
+#[test]
+fn every_technique_is_deterministic_given_a_seed() {
+    let ds = imbalanced_dataset();
+    for (name, aug) in all_techniques() {
+        let a = augment_to_balance(&ds, aug.as_ref(), &mut seeded(9)).unwrap();
+        let b = augment_to_balance(&ds, aug.as_ref(), &mut seeded(9)).unwrap();
+        assert_eq!(a.len(), b.len(), "{name}");
+        for (x, y) in a.series().iter().zip(b.series()) {
+            assert_eq!(x, y, "{name} is not deterministic");
+        }
+    }
+}
+
+#[test]
+fn synthetic_series_stay_label_plausible_for_preserving_branch() {
+    // For the preserving techniques specifically, a 1-NN check over the
+    // original data must recover the intended label.
+    let ds = imbalanced_dataset();
+    let preserving: Vec<(&str, Box<dyn Augmenter>)> = vec![
+        ("range_noise", Box::new(RangeNoise::default())),
+        ("ohit", Box::new(Ohit::default())),
+    ];
+    for (name, aug) in preserving {
+        let samples = aug.synthesize(&ds, 2, 10, &mut seeded(11)).unwrap();
+        let mut kept = 0;
+        for s in &samples {
+            let (label, _) = ds
+                .iter()
+                .map(|(m, l)| (l, m.euclidean_distance(s)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            if label == 2 {
+                kept += 1;
+            }
+        }
+        assert!(kept >= 9, "{name}: only {kept}/10 kept their label");
+    }
+}

@@ -1,0 +1,98 @@
+//! Integration tests of the Table III pipeline: generate every archive
+//! dataset and verify the computed characteristics reflect the published
+//! regimes (class counts, imbalance bands, missingness, shift).
+
+use tsda_core::characteristics::DatasetCharacteristics;
+use tsda_datasets::registry::{DatasetId, DatasetMeta, ALL_DATASETS};
+use tsda_datasets::synth::{generate, GenOptions};
+
+#[test]
+fn table3_characteristics_hold_across_the_archive() {
+    for meta in &ALL_DATASETS {
+        let data = generate(meta, &GenOptions::ci(77));
+        let c = DatasetCharacteristics::compute(&data);
+        assert_eq!(c.n_classes, meta.n_classes, "{}", meta.name);
+        assert_eq!(c.dim, meta.dims.min(24), "{}", meta.name);
+        assert_eq!(c.length, meta.length.min(96), "{}", meta.name);
+        assert!(c.var_train > 0.0, "{}: zero variance", meta.name);
+        assert!(c.train_test_distance >= 0.0, "{}", meta.name);
+        // At laptop scale the per-class floors distort exact counts, so
+        // only the sign of the imbalance is asserted here; the exact
+        // (m−1, m] band is checked at paper scale below and on the exact
+        // proportions in the registry unit tests.
+        if meta.minority_classes == 0 {
+            assert_eq!(c.imbalance_degree, 0.0, "{}", meta.name);
+        } else {
+            assert!(
+                c.imbalance_degree > 0.0,
+                "{}: generated archive lost its imbalance",
+                meta.name
+            );
+        }
+        // Missingness appears only where Table III reports it.
+        if meta.missing_prop > 0.0 {
+            assert!(c.missing_proportion > 0.05, "{}", meta.name);
+        } else {
+            assert_eq!(c.missing_proportion, 0.0, "{}", meta.name);
+        }
+    }
+}
+
+#[test]
+fn paper_scale_matches_table3_sizes_exactly() {
+    // Spot-check two small datasets at full scale (the big ones would be
+    // slow to generate in a unit test).
+    for (id, train, test) in [
+        (DatasetId::Epilepsy, 137usize, 138usize),
+        (DatasetId::RacketSports, 151, 152),
+    ] {
+        let meta = DatasetMeta::get(id);
+        let data = generate(meta, &GenOptions::paper(3));
+        assert_eq!(data.train.len(), train, "{}", meta.name);
+        assert_eq!(data.test.len(), test, "{}", meta.name);
+        assert_eq!(data.train.n_dims(), meta.dims);
+        assert_eq!(data.train.series_len(), meta.length);
+        // At paper scale the apportionment is fine-grained enough for
+        // the Hellinger ID to land in the declared (m−1, m] band.
+        let c = DatasetCharacteristics::compute(&data);
+        let m = meta.minority_classes as f64;
+        assert!(
+            c.imbalance_degree > m - 1.0 && c.imbalance_degree <= m,
+            "{}: ID {} not in ({}, {}]",
+            meta.name,
+            c.imbalance_degree,
+            m - 1.0,
+            m
+        );
+    }
+}
+
+#[test]
+fn ts_format_round_trips_an_archive_dataset() {
+    let meta = DatasetMeta::get(DatasetId::RacketSports);
+    let data = generate(meta, &GenOptions::ci(5));
+    let text = tsda_datasets::ts_format::write_ts(&data.train, meta.name, None);
+    let parsed = tsda_datasets::ts_format::parse_ts(&text).expect("round trip parses");
+    assert_eq!(parsed.dataset.len(), data.train.len());
+    assert_eq!(parsed.dataset.n_dims(), data.train.n_dims());
+    assert_eq!(parsed.dataset.labels(), data.train.labels());
+    for (a, b) in parsed.dataset.series().iter().zip(data.train.series()) {
+        for (x, y) in a.as_flat().iter().zip(b.as_flat()) {
+            assert!(x == y || (x.is_nan() && y.is_nan()));
+        }
+    }
+}
+
+#[test]
+fn downsampled_protocol_variant_reduces_each_class() {
+    // The paper also augments *downsampled* training sets; the dataset
+    // API supports that protocol.
+    let meta = DatasetMeta::get(DatasetId::Epilepsy);
+    let data = generate(meta, &GenOptions::ci(6));
+    let mut rng = tsda_core::rng::seeded(1);
+    let down = data.train.downsample(0.5, &mut rng);
+    for (before, after) in data.train.class_counts().iter().zip(down.class_counts()) {
+        assert!(after <= *before);
+        assert!(after >= 1);
+    }
+}
