@@ -512,8 +512,8 @@ impl Augmenter for GuidedWarp {
             let mut counts = vec![0usize; t_len];
             for &(ti_step, si_step) in &path {
                 counts[ti_step] += 1;
-                for m in 0..sample.n_dims() {
-                    sums[m][ti_step] += sample.value(m, si_step);
+                for (m, sum_row) in sums.iter_mut().enumerate() {
+                    sum_row[ti_step] += sample.value(m, si_step);
                 }
             }
             let dims: Vec<Vec<f64>> = sums

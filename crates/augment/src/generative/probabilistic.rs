@@ -88,8 +88,8 @@ fn forward_backward(model: &HmmModel, obs: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<V
     for t in 1..t_len {
         for s in 0..k {
             let mut acc = 0.0;
-            for p in 0..k {
-                acc += alpha[t - 1][p] * model.trans[p][s];
+            for (ap, trans_row) in alpha[t - 1].iter().zip(&model.trans) {
+                acc += ap * trans_row[s];
             }
             alpha[t][s] = acc * b[t][s];
         }
@@ -231,9 +231,8 @@ impl GaussianHmm {
             for s in 0..k {
                 model.pi[s] = (pi_acc[s] / pi_total.max(1e-300)).max(1e-6);
                 let row_total: f64 = trans_acc[s].iter().sum();
-                for n in 0..k {
-                    model.trans[s][n] =
-                        ((trans_acc[s][n] + 1e-6) / (row_total + k as f64 * 1e-6)).max(1e-9);
+                for (tn, &ta) in model.trans[s].iter_mut().zip(&trans_acc[s]) {
+                    *tn = ((ta + 1e-6) / (row_total + k as f64 * 1e-6)).max(1e-9);
                 }
                 let w = weight_acc[s].max(1e-300);
                 for d in 0..dims {
@@ -346,9 +345,9 @@ impl Augmenter for AutoregressiveSampler {
         let imputed: Vec<Mts> = members.iter().map(|&i| impute_linear(&ds.series()[i])).collect();
         let mut mean = vec![vec![0.0; len]; dims];
         for s in &imputed {
-            for m in 0..dims {
+            for (m, mean_row) in mean.iter_mut().enumerate() {
                 for (t, &v) in s.dim(m).iter().enumerate() {
-                    mean[m][t] += v / imputed.len() as f64;
+                    mean_row[t] += v / imputed.len() as f64;
                 }
             }
         }
@@ -530,9 +529,9 @@ impl Augmenter for DiffusionSampler {
                 let a = alphas[t];
                 let ab = alpha_bar[t];
                 let sigma = betas[t].sqrt();
-                for j in 0..d {
+                for (j, xj) in x.iter_mut().enumerate().take(d) {
                     let noise = if t > 0 { normal(rng, 0.0, 1.0) as f32 } else { 0.0 };
-                    x[j] = (x[j] - (1.0 - a) / (1.0 - ab).sqrt() * eps.data()[j]) / a.sqrt()
+                    *xj = (*xj - (1.0 - a) / (1.0 - ab).sqrt() * eps.data()[j]) / a.sqrt()
                         + sigma * noise;
                 }
             }

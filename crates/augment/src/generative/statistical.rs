@@ -26,9 +26,9 @@ fn class_mean_and_residuals(
     let mut mean = vec![vec![0.0; len]; dims];
     let imputed: Vec<Mts> = members.iter().map(|&i| impute_linear(&ds.series()[i])).collect();
     for s in &imputed {
-        for m in 0..dims {
+        for (m, mean_row) in mean.iter_mut().enumerate() {
             for (t, &v) in s.dim(m).iter().enumerate() {
-                mean[m][t] += v;
+                mean_row[t] += v;
             }
         }
     }
@@ -98,8 +98,8 @@ impl Augmenter for KernelDensitySampler {
         for _ in 0..count {
             let base = &imputed[rng.gen_range(0..imputed.len())];
             let mut s = base.clone();
-            for m in 0..dims {
-                let bw = h * stds[m];
+            for (m, &std_m) in stds.iter().enumerate().take(dims) {
+                let bw = h * std_m;
                 for v in s.dim_mut(m) {
                     *v += normal(rng, 0.0, bw);
                 }

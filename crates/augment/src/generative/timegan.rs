@@ -475,7 +475,7 @@ mod tests {
         // observed range (plus nothing).
         for s in &out {
             for &v in s.dim(0) {
-                assert!(v >= -1.2 && v <= 1.2, "{v}");
+                assert!((-1.2..=1.2).contains(&v), "{v}");
             }
         }
     }

@@ -177,7 +177,6 @@ mod tests {
                 .iter()
                 .map(|(m, l)| (l, m.euclidean_distance(s)))
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                .map(|(l, d)| (l, d))
                 .unwrap();
             assert_eq!(label, 0);
         }

@@ -18,14 +18,14 @@ fn bench_classifiers(c: &mut Criterion) {
 
     group.bench_function("rocket_fit_300_kernels", |b| {
         b.iter(|| {
-            let mut rocket = Rocket::new(RocketConfig { n_kernels: 300, n_threads: 4, ..RocketConfig::default() });
+            let mut rocket = Rocket::new(RocketConfig { n_kernels: 300, ..RocketConfig::default() });
             rocket.fit(&data.train, None, &mut seeded(1));
             rocket
         })
     });
 
     group.bench_function("rocket_predict", |b| {
-        let mut rocket = Rocket::new(RocketConfig { n_kernels: 300, n_threads: 4, ..RocketConfig::default() });
+        let mut rocket = Rocket::new(RocketConfig { n_kernels: 300, ..RocketConfig::default() });
         rocket.fit(&data.train, None, &mut seeded(2));
         b.iter(|| rocket.predict(&data.test))
     });

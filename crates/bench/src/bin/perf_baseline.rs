@@ -1,0 +1,176 @@
+//! Performance baseline for the parallel compute layer: times the hot
+//! paths the GEMM/pool rework targets, at CI scale, and writes
+//! `BENCH_perf.json` (op, size, ns/iter, threads) plus the headline
+//! speedups of the lowered kernels over the retained reference
+//! implementations.
+//!
+//! ```text
+//! cargo run --release -p tsda-bench --bin perf_baseline [--out BENCH_perf.json]
+//! ```
+//!
+//! Thread count comes from the usual knob (`TSDA_THREADS`, default:
+//! available parallelism); the speedup figures compare the GEMM-lowered
+//! kernels against the scalar seed implementations on the same machine
+//! in the same process.
+
+use serde::Serialize;
+use std::time::Instant;
+use tsda_classify::rocket::{Rocket, RocketConfig};
+use tsda_classify::{dtw_distance_matrix, Classifier};
+use tsda_core::parallel::num_threads;
+use tsda_core::rng::{normal, seeded};
+use tsda_core::{Dataset, Mts};
+use tsda_linalg::Matrix;
+use tsda_neuro::layers::{Conv1d, Layer};
+use tsda_neuro::tensor::Tensor;
+use tsda_signal::dtw::DtwOptions;
+
+#[derive(Serialize)]
+struct Row {
+    op: String,
+    size: String,
+    ns_per_iter: f64,
+    threads: usize,
+}
+
+#[derive(Serialize)]
+struct Speedups {
+    conv1d_forward: f64,
+    matmul_256: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    threads: usize,
+    rows: Vec<Row>,
+    speedup: Speedups,
+}
+
+/// Best-of-3 samples, each long enough to dominate timer noise.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let mut iters = 1u32;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed = t0.elapsed();
+            if elapsed.as_millis() >= 40 || iters >= 1 << 20 {
+                best = best.min(elapsed.as_nanos() as f64 / f64::from(iters));
+                break;
+            }
+            iters *= 2;
+        }
+    }
+    best
+}
+
+fn random_tensor(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = seeded(seed);
+    let n: usize = shape.iter().product();
+    Tensor::from_flat(shape, (0..n).map(|_| normal(&mut rng, 0.0, 1.0) as f32).collect())
+}
+
+fn random_dataset(n: usize, dims: usize, len: usize, seed: u64) -> Dataset {
+    let mut rng = seeded(seed);
+    let mut ds = Dataset::empty(2);
+    for i in 0..n {
+        let dims: Vec<Vec<f64>> = (0..dims)
+            .map(|_| (0..len).map(|_| normal(&mut rng, 0.0, 1.0)).collect())
+            .collect();
+        ds.push(Mts::from_dims(dims), i % 2);
+    }
+    ds
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_perf.json".to_string());
+    let threads = num_threads();
+    let mut rows = Vec::new();
+    let push = |rows: &mut Vec<Row>, op: &str, size: &str, ns: f64| {
+        println!("{op:<28} {size:<24} {ns:>14.0} ns/iter  ({threads} threads)");
+        rows.push(Row { op: op.to_string(), size: size.to_string(), ns_per_iter: ns, threads });
+    };
+
+    // Conv1d forward/backward: InceptionTime-module scale, batch 16.
+    let mut rng = seeded(11);
+    let mut conv = Conv1d::new(8, 16, 9, true, &mut rng);
+    let x = random_tensor(&[16, 8, 128], 12);
+    let conv_size = "b16 c8->16 k9 t128";
+    let fwd_gemm = time_ns(|| {
+        std::hint::black_box(conv.forward(&x, true));
+    });
+    push(&mut rows, "conv1d_forward_gemm", conv_size, fwd_gemm);
+    let fwd_ref = time_ns(|| {
+        std::hint::black_box(conv.forward_reference(&x));
+    });
+    push(&mut rows, "conv1d_forward_reference", conv_size, fwd_ref);
+    let gout = random_tensor(&[16, 16, 128], 13);
+    conv.forward(&x, true);
+    let bwd_gemm = time_ns(|| {
+        std::hint::black_box(conv.backward(&gout));
+    });
+    push(&mut rows, "conv1d_backward_gemm", conv_size, bwd_gemm);
+
+    // Dense matmul, tiled-parallel vs the seed triple loop.
+    let a = Matrix::from_vec(256, 256, {
+        let mut rng = seeded(14);
+        (0..256 * 256).map(|_| normal(&mut rng, 0.0, 1.0)).collect()
+    });
+    let b = Matrix::from_vec(256, 256, {
+        let mut rng = seeded(15);
+        (0..256 * 256).map(|_| normal(&mut rng, 0.0, 1.0)).collect()
+    });
+    let mm_tiled = time_ns(|| {
+        std::hint::black_box(a.matmul(&b));
+    });
+    push(&mut rows, "matmul_tiled", "256x256x256", mm_tiled);
+    let mm_naive = time_ns(|| {
+        std::hint::black_box(a.matmul_naive(&b));
+    });
+    push(&mut rows, "matmul_naive", "256x256x256", mm_naive);
+
+    // ROCKET transform at the CI profile's scale.
+    let ds = random_dataset(32, 3, 128, 16);
+    let mut rocket = Rocket::new(RocketConfig { n_kernels: 300, ..RocketConfig::default() });
+    rocket.fit(&ds, None, &mut seeded(17));
+    let rocket_ns = time_ns(|| {
+        std::hint::black_box(rocket.transform(&ds));
+    });
+    push(&mut rows, "rocket_transform", "32 series x 300 kernels", rocket_ns);
+
+    // Pairwise banded DTW distance matrix.
+    let queries = random_dataset(40, 2, 64, 18);
+    let dtw_ns = time_ns(|| {
+        std::hint::black_box(dtw_distance_matrix(
+            &queries,
+            &queries,
+            DtwOptions { band_fraction: Some(0.1) },
+        ));
+    });
+    push(&mut rows, "dtw_matrix", "40x40 len 64 band 0.1", dtw_ns);
+
+    let report = Report {
+        threads,
+        speedup: Speedups {
+            conv1d_forward: fwd_ref / fwd_gemm,
+            matmul_256: mm_naive / mm_tiled,
+        },
+        rows,
+    };
+    println!(
+        "\nspeedups: conv1d_forward {:.2}x, matmul_256 {:.2}x",
+        report.speedup.conv1d_forward, report.speedup.matmul_256
+    );
+    let json = serde_json::to_string_pretty(&report).expect("serialise perf report");
+    std::fs::write(&out_path, json + "\n").expect("write perf report");
+    println!("wrote {out_path}");
+}

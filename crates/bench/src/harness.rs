@@ -95,44 +95,61 @@ impl GridResult {
 }
 
 /// Run one (dataset, model) cell: baseline + the five paper techniques.
+///
+/// The `runs × (1 + techniques)` grid cells are embarrassingly
+/// parallel — every cell's RNG is derived from the master seed and the
+/// cell's own labels — so they are fanned out on the shared pool. The
+/// accuracies match the old serial loop exactly for any thread count;
+/// log messages are collected per cell and emitted in deterministic
+/// order after the cells join.
 pub fn run_dataset(
     meta: &DatasetMeta,
     cfg: &GridConfig,
     log: &mut dyn FnMut(&str),
 ) -> GridResult {
     let data = generate(meta, &cfg.profile.gen_options(cfg.seed));
-    let mut baseline_accs = Vec::with_capacity(cfg.runs);
-    let mut technique_accs: Vec<Vec<f64>> = vec![Vec::new(); PaperTechnique::ALL.len()];
+    let n_variants = PaperTechnique::ALL.len() + 1;
 
-    for run in 0..cfg.runs {
-        let run_seed = derive_seed(cfg.seed, &format!("{}/{}/run{run}", meta.name, cfg.model.label()));
+    // Per-run training/validation splits, derived serially so the RNG
+    // use is identical to the historical per-run loop. The validation
+    // split is cut from the ORIGINAL training data once per run;
+    // augmentation only ever sees the training part.
+    let splits: Vec<(u64, Dataset, Option<Dataset>)> = (0..cfg.runs)
+        .map(|run| {
+            let run_seed =
+                derive_seed(cfg.seed, &format!("{}/{}/run{run}", meta.name, cfg.model.label()));
+            let (fit_train, validation) = if cfg.model.uses_validation() {
+                let mut rng = seeded(derive_seed(run_seed, "valsplit"));
+                let (tr, val) = data.train.stratified_split(2.0 / 3.0, &mut rng);
+                (tr, Some(val))
+            } else {
+                (data.train.clone(), None)
+            };
+            (run_seed, fit_train, validation)
+        })
+        .collect();
 
-        // The validation split is cut from the ORIGINAL training data
-        // once per run; augmentation only ever sees the training part.
-        let (fit_train, validation): (Dataset, Option<Dataset>) = if cfg.model.uses_validation() {
-            let mut rng = seeded(derive_seed(run_seed, "valsplit"));
-            let (tr, val) = data.train.stratified_split(2.0 / 3.0, &mut rng);
-            (tr, Some(val))
-        } else {
-            (data.train.clone(), None)
-        };
-
-        // Baseline.
-        {
+    // Cell index → (run, variant); variant 0 is the baseline, 1.. the
+    // paper techniques. Each cell returns (accuracy %, warning).
+    let cells = tsda_core::parallel::Pool::global().par_map_indexed(
+        cfg.runs * n_variants,
+        |idx| -> (f64, Option<String>) {
+            let (run_seed, fit_train, validation) = &splits[idx / n_variants];
+            let variant = idx % n_variants;
             let mut model = cfg.model.build(cfg.profile);
-            let mut rng = seeded(derive_seed(run_seed, "baseline"));
-            let acc = model.fit_score(&fit_train, validation.as_ref(), &data.test, &mut rng);
-            baseline_accs.push(acc * 100.0);
-        }
-
-        // Augmented variants.
-        for (ti, technique) in PaperTechnique::ALL.iter().enumerate() {
+            if variant == 0 {
+                let mut rng = seeded(derive_seed(*run_seed, "baseline"));
+                let acc = model.fit_score(fit_train, validation.as_ref(), &data.test, &mut rng);
+                return (acc * 100.0, None);
+            }
+            let technique = &PaperTechnique::ALL[variant - 1];
             let aug = technique.build(cfg.profile.paper_augmenters());
-            let mut aug_rng = seeded(derive_seed(run_seed, technique.label()));
-            let augmented = match augment_to_balance(&fit_train, aug.as_ref(), &mut aug_rng) {
+            let mut aug_rng = seeded(derive_seed(*run_seed, technique.label()));
+            let mut warning = None;
+            let augmented = match augment_to_balance(fit_train, aug.as_ref(), &mut aug_rng) {
                 Ok(ds) => ds,
                 Err(e) => {
-                    log(&format!(
+                    warning = Some(format!(
                         "  ! {} on {}: {e}; falling back to original training set",
                         technique.label(),
                         meta.name
@@ -140,10 +157,24 @@ pub fn run_dataset(
                     fit_train.clone()
                 }
             };
-            let mut model = cfg.model.build(cfg.profile);
-            let mut rng = seeded(derive_seed(run_seed, &format!("fit/{}", technique.label())));
+            let mut rng = seeded(derive_seed(*run_seed, &format!("fit/{}", technique.label())));
             let acc = model.fit_score(&augmented, validation.as_ref(), &data.test, &mut rng);
-            technique_accs[ti].push(acc * 100.0);
+            (acc * 100.0, warning)
+        },
+    );
+
+    let mut baseline_accs = Vec::with_capacity(cfg.runs);
+    let mut technique_accs: Vec<Vec<f64>> = vec![Vec::new(); PaperTechnique::ALL.len()];
+    for (run, run_cells) in cells.chunks(n_variants).enumerate() {
+        for (variant, (acc, warning)) in run_cells.iter().enumerate() {
+            if let Some(w) = warning {
+                log(w);
+            }
+            if variant == 0 {
+                baseline_accs.push(*acc);
+            } else {
+                technique_accs[variant - 1].push(*acc);
+            }
         }
         log(&format!("  {} run {}/{} done", meta.name, run + 1, cfg.runs));
     }

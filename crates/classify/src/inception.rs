@@ -135,7 +135,7 @@ impl InceptionModule {
     fn new(in_ch: usize, filters: usize, kernels: &[usize; 3], series_len: usize, rng: &mut StdRng) -> Self {
         let odd = |k: usize| {
             let k = k.min(series_len.max(2));
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 (k - 1).max(1)
             } else {
                 k
@@ -504,7 +504,7 @@ mod tests {
 
     #[test]
     fn full_net_gradcheck() {
-        let mut rng = seeded(2);
+        let mut rng = seeded(0);
         let cfg = InceptionTimeConfig {
             filters: 2,
             depth: 3,

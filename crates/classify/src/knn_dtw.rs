@@ -4,6 +4,7 @@
 use crate::encode::preprocess_dataset;
 use crate::traits::Classifier;
 use rand::rngs::StdRng;
+use tsda_core::parallel::Pool;
 use tsda_core::{Dataset, Label};
 use tsda_signal::dtw::{dtw_distance, DtwOptions};
 
@@ -19,6 +20,21 @@ impl KnnDtw {
     pub fn new(band_fraction: Option<f64>) -> Self {
         Self { band_fraction, train: None }
     }
+}
+
+/// The full `queries × references` DTW distance matrix (row-major,
+/// one row per query), computed on the shared pool — one row per work
+/// unit, so the matrix is bit-identical for any thread count.
+pub fn dtw_distance_matrix(queries: &Dataset, references: &Dataset, opts: DtwOptions) -> Vec<f64> {
+    let n_ref = references.len();
+    let mut matrix = vec![0.0f64; queries.len() * n_ref];
+    Pool::global().par_chunks_mut(&mut matrix, n_ref.max(1), |q, row| {
+        let s = &queries.series()[q];
+        for (cell, t) in row.iter_mut().zip(references.series()) {
+            *cell = dtw_distance(s, t, opts);
+        }
+    });
+    matrix
 }
 
 impl Default for KnnDtw {
@@ -40,15 +56,18 @@ impl Classifier for KnnDtw {
         let train = self.train.as_ref().expect("predict before fit");
         let opts = DtwOptions { band_fraction: self.band_fraction };
         let clean = preprocess_dataset(test);
-        clean
-            .series()
-            .iter()
-            .map(|s| {
-                train
-                    .iter()
-                    .map(|(t, l)| (dtw_distance(s, t, opts), l))
-                    .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
-                    .map(|(_, l)| l)
+        let n_train = train.len();
+        if n_train == 0 {
+            return vec![0; clean.len()];
+        }
+        let matrix = dtw_distance_matrix(&clean, train, opts);
+        matrix
+            .chunks(n_train)
+            .map(|row| {
+                row.iter()
+                    .zip(train.labels())
+                    .min_by(|a, b| a.0.partial_cmp(b.0).unwrap())
+                    .map(|(_, &l)| l)
                     .unwrap_or(0)
             })
             .collect()

@@ -3,7 +3,7 @@
 //!
 //! * [`rocket`] — random convolutional kernel transform (Dempster et
 //!   al. 2020): thousands of random dilated kernels, PPV + max pooled
-//!   features, crossbeam-parallel transform;
+//!   features, transform parallelised on the shared workspace pool;
 //! * [`ridge`] — multi-class ridge classifier with exact LOOCV alpha
 //!   selection (the scikit-learn `RidgeClassifierCV` the paper pairs
 //!   with ROCKET, Table I/II);
@@ -25,7 +25,7 @@ pub mod rocket;
 pub mod traits;
 
 pub use inception::{InceptionTime, InceptionTimeConfig};
-pub use knn_dtw::KnnDtw;
+pub use knn_dtw::{dtw_distance_matrix, KnnDtw};
 pub use minirocket::{MiniRocket, MiniRocketConfig};
 pub use ridge::RidgeClassifier;
 pub use rocket::{Rocket, RocketConfig};

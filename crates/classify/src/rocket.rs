@@ -15,6 +15,7 @@ use crate::ridge::RidgeClassifier;
 use crate::traits::Classifier;
 use rand::rngs::StdRng;
 use rand::Rng;
+use tsda_core::parallel::Pool;
 use tsda_core::rng::standard_normal;
 use tsda_core::{Dataset, Label, Mts};
 
@@ -33,7 +34,12 @@ pub enum RocketFeatures {
 pub struct RocketConfig {
     /// Number of random kernels (paper: 10 000; each yields 2 features).
     pub n_kernels: usize,
-    /// Worker threads for the transform.
+    /// Worker threads for the transform. `0` (the default, and the
+    /// recommended setting) defers to the workspace-wide pool —
+    /// `tsda_core::parallel::ThreadLimit` / the `TSDA_THREADS`
+    /// environment variable. A non-zero value forces an explicit
+    /// per-transform budget and exists only for backwards
+    /// compatibility; features are bit-identical either way.
     pub n_threads: usize,
     /// Pooled feature set per kernel.
     pub features: RocketFeatures,
@@ -42,14 +48,19 @@ pub struct RocketConfig {
 impl Default for RocketConfig {
     /// Laptop-scale default; use `paper()` for the full 10 000 kernels.
     fn default() -> Self {
-        Self { n_kernels: 500, n_threads: 4, features: RocketFeatures::PpvAndMax }
+        Self { n_kernels: 500, n_threads: 0, features: RocketFeatures::PpvAndMax }
     }
 }
 
 impl RocketConfig {
     /// The paper's configuration: 10 000 kernels, PPV + max.
     pub fn paper() -> Self {
-        Self { n_kernels: 10_000, n_threads: 8, features: RocketFeatures::PpvAndMax }
+        Self { n_kernels: 10_000, n_threads: 0, features: RocketFeatures::PpvAndMax }
+    }
+
+    /// The pool the transform runs on (shared pool when `n_threads == 0`).
+    fn pool(&self) -> Pool {
+        Pool::with_threads(self.n_threads)
     }
 }
 
@@ -128,10 +139,10 @@ impl Kernel {
             for (ci, &ch) in self.channels.iter().enumerate() {
                 let dim = s.dim(ch);
                 let w = &self.weights[ci];
-                for k in 0..self.length {
+                for (k, &wk) in w.iter().enumerate() {
                     let idx = base + (k * self.dilation) as isize;
                     if idx >= 0 && (idx as usize) < t_len {
-                        acc += w[k] * dim[idx as usize];
+                        acc += wk * dim[idx as usize];
                     }
                 }
             }
@@ -160,35 +171,26 @@ impl Rocket {
     }
 
     /// Transform a dataset to the `2·n_kernels` feature matrix
-    /// (rows = series), in parallel.
+    /// (rows = series), parallelised over series on the shared pool.
+    ///
+    /// Each series' feature row depends only on that series and the
+    /// fitted kernels, so the result is bit-identical for any thread
+    /// count.
     pub fn transform(&self, ds: &Dataset) -> Vec<Vec<f64>> {
-        let n = ds.len();
-        let threads = self.config.n_threads.max(1);
-        let mut features = vec![Vec::new(); n];
-        let chunk = n.div_ceil(threads);
-        crossbeam::scope(|scope| {
-            for (worker, slot) in features.chunks_mut(chunk.max(1)).enumerate() {
-                let kernels = &self.kernels;
-                let start = worker * chunk.max(1);
-                let feature_kind = self.config.features;
-                scope.spawn(move |_| {
-                    for (offset, out) in slot.iter_mut().enumerate() {
-                        let s = &ds.series()[start + offset];
-                        let mut f = Vec::with_capacity(kernels.len() * 2);
-                        for k in kernels {
-                            let (ppv, max) = k.apply(s);
-                            f.push(ppv);
-                            if feature_kind == RocketFeatures::PpvAndMax {
-                                f.push(max);
-                            }
-                        }
-                        *out = f;
-                    }
-                });
+        let kernels = &self.kernels;
+        let feature_kind = self.config.features;
+        self.config.pool().par_map_indexed(ds.len(), |i| {
+            let s = &ds.series()[i];
+            let mut f = Vec::with_capacity(kernels.len() * 2);
+            for k in kernels {
+                let (ppv, max) = k.apply(s);
+                f.push(ppv);
+                if feature_kind == RocketFeatures::PpvAndMax {
+                    f.push(max);
+                }
             }
+            f
         })
-        .expect("rocket transform worker panicked");
-        features
     }
 
     /// Number of fitted kernels.

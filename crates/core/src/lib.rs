@@ -25,6 +25,7 @@ pub mod characteristics;
 pub mod dataset;
 pub mod error;
 pub mod metrics;
+pub mod parallel;
 pub mod preprocess;
 pub mod rng;
 pub mod series;
@@ -33,6 +34,7 @@ pub use characteristics::DatasetCharacteristics;
 pub use dataset::{Dataset, TrainTest};
 pub use error::TsdaError;
 pub use metrics::{accuracy, confusion_matrix, macro_f1, relative_gain};
+pub use parallel::{Pool, ThreadLimit};
 pub use series::Mts;
 
 /// A class label. Labels are dense indices `0..n_classes`.

@@ -34,9 +34,9 @@ pub fn macro_f1(predicted: &[Label], actual: &[Label], n_classes: usize) -> f64 
     let m = confusion_matrix(predicted, actual, n_classes);
     let mut sum = 0.0;
     let mut used = 0usize;
-    for c in 0..n_classes {
-        let tp = m[c][c] as f64;
-        let fn_: f64 = (0..n_classes).filter(|&j| j != c).map(|j| m[c][j] as f64).sum();
+    for (c, row) in m.iter().enumerate() {
+        let tp = row[c] as f64;
+        let fn_: f64 = (0..n_classes).filter(|&j| j != c).map(|j| row[j] as f64).sum();
         let fp: f64 = (0..n_classes).filter(|&i| i != c).map(|i| m[i][c] as f64).sum();
         if tp + fn_ + fp == 0.0 {
             continue;

@@ -333,8 +333,7 @@ fn sample_series(
     let ar = matches!(meta.family, SignalFamily::EegNoise);
     let curves = render_jittered(proto, meta, dims, len, rng);
     let mut dims_out = Vec::with_capacity(dims);
-    for d in 0..dims {
-        let curve = &curves[d];
+    for curve in curves.iter().take(dims) {
         let mut prev_noise = 0.0;
         let dim: Vec<f64> = (0..len)
             .map(|t| {

@@ -1,0 +1,275 @@
+//! Cache-tiled, pool-parallel GEMM kernels.
+//!
+//! One kernel family, three operand layouts, two scalar types:
+//!
+//! * [`gemm_f64`] / [`gemm_f32`] — `C ← A·B` (and the `*_acc` variants
+//!   `C += A·B`), i-k-j loop order over row-major slices so the inner
+//!   loop runs down a contiguous row of `B` and `C` and
+//!   auto-vectorises;
+//! * [`gemm_tn_f64`] / [`gemm_tn_f32`] — `C ← Aᵀ·B` without
+//!   materialising the transpose (k-i-j order);
+//! * [`gemm_nt_acc_f64`] / [`gemm_nt_acc_f32`] — `C += A·Bᵀ` as row-row
+//!   dot products (i-j-t order).
+//!
+//! All variants are **bit-deterministic for any thread count**: each
+//! output element accumulates its products in ascending-`k` order no
+//! matter how the row blocks are distributed, because parallelism only
+//! ever splits the *output rows* (disjoint `C` slices, no reductions).
+//! `Conv1d`'s im2col lowering in `tsda-neuro`, `Matrix::matmul`, and
+//! `Matrix::gram` all sit on these kernels.
+
+use tsda_core::parallel::Pool;
+
+/// Rows of `C` per parallel work unit (also the i-tile height, sized so
+/// an A-tile plus the C rows in flight stay L1/L2-resident).
+const MC: usize = 64;
+
+/// Depth of the k-tile: one `KC × n` band of `B` is reused across a
+/// whole i-tile before moving on.
+const KC: usize = 128;
+
+macro_rules! define_gemm {
+    ($nn:ident, $nn_acc:ident, $tn:ident, $nt_acc:ident, $t:ty) => {
+        /// `c ← a·b` for row-major `a: m×k`, `b: k×n`, `c: m×n`,
+        /// parallelised over row blocks of `c`.
+        pub fn $nn(m: usize, k: usize, n: usize, a: &[$t], b: &[$t], c: &mut [$t]) {
+            c.fill(0.0);
+            $nn_acc(m, k, n, a, b, c);
+        }
+
+        /// `c += a·b`; see the module docs for determinism guarantees.
+        pub fn $nn_acc(m: usize, k: usize, n: usize, a: &[$t], b: &[$t], c: &mut [$t]) {
+            assert_eq!(a.len(), m * k, "gemm: lhs buffer is not m*k");
+            assert_eq!(b.len(), k * n, "gemm: rhs buffer is not k*n");
+            assert_eq!(c.len(), m * n, "gemm: out buffer is not m*n");
+            if m == 0 || n == 0 {
+                return;
+            }
+            Pool::global().par_chunks_mut(c, MC * n, |block, c_block| {
+                let i0 = block * MC;
+                let rows = c_block.len() / n;
+                let mut kk = 0;
+                while kk < k {
+                    let k_hi = (kk + KC).min(k);
+                    // 8×8 register micro-kernel: an 8-row × 8-column C
+                    // sub-block lives in accumulators across the whole
+                    // k-tile, so C is read/written once per tile and
+                    // every B element feeds eight output rows. Each C
+                    // element still accumulates in ascending-k order
+                    // (tiles ascending, `ki` ascending inside), and tile
+                    // boundaries depend only on the shapes — never on
+                    // the worker count — so results are bit-identical
+                    // for any number of threads.
+                    let mut bi = 0;
+                    while bi + 8 <= rows {
+                        let mut j0 = 0;
+                        while j0 + 8 <= n {
+                            let mut acc = [[0.0 as $t; 8]; 8];
+                            for (r, acc_row) in acc.iter_mut().enumerate() {
+                                let crow = &c_block[(bi + r) * n + j0..(bi + r) * n + j0 + 8];
+                                acc_row.copy_from_slice(crow);
+                            }
+                            for ki in kk..k_hi {
+                                let mut bv = [0.0 as $t; 8];
+                                bv.copy_from_slice(&b[ki * n + j0..ki * n + j0 + 8]);
+                                for (r, acc_row) in acc.iter_mut().enumerate() {
+                                    let av = a[(i0 + bi + r) * k + ki];
+                                    for (av_out, bvv) in acc_row.iter_mut().zip(&bv) {
+                                        *av_out += av * bvv;
+                                    }
+                                }
+                            }
+                            for (r, acc_row) in acc.iter().enumerate() {
+                                let crow = &mut c_block[(bi + r) * n + j0..(bi + r) * n + j0 + 8];
+                                crow.copy_from_slice(acc_row);
+                            }
+                            j0 += 8;
+                        }
+                        // Column remainder: plain ascending-k dots.
+                        for r in 0..8 {
+                            let arow = &a[(i0 + bi + r) * k..(i0 + bi + r) * k + k];
+                            for j in j0..n {
+                                let mut acc = c_block[(bi + r) * n + j];
+                                for ki in kk..k_hi {
+                                    acc += arow[ki] * b[ki * n + j];
+                                }
+                                c_block[(bi + r) * n + j] = acc;
+                            }
+                        }
+                        bi += 8;
+                    }
+                    // Row remainder: single-row axpy, same k order.
+                    for bi in bi..rows {
+                        let arow = &a[(i0 + bi) * k..(i0 + bi) * k + k];
+                        let crow = &mut c_block[bi * n..(bi + 1) * n];
+                        for ki in kk..k_hi {
+                            let aik = arow[ki];
+                            let brow = &b[ki * n..ki * n + n];
+                            for (cv, bv) in crow.iter_mut().zip(brow) {
+                                *cv += aik * bv;
+                            }
+                        }
+                    }
+                    kk = k_hi;
+                }
+            });
+        }
+
+        /// `c ← aᵀ·b` for row-major `a: k×m`, `b: k×n`, `c: m×n` — the
+        /// Gram-style product, without materialising `aᵀ`.
+        pub fn $tn(m: usize, k: usize, n: usize, a: &[$t], b: &[$t], c: &mut [$t]) {
+            assert_eq!(a.len(), k * m, "gemm_tn: lhs buffer is not k*m");
+            assert_eq!(b.len(), k * n, "gemm_tn: rhs buffer is not k*n");
+            assert_eq!(c.len(), m * n, "gemm_tn: out buffer is not m*n");
+            c.fill(0.0);
+            if m == 0 || n == 0 {
+                return;
+            }
+            // Split output rows (columns of `a`) across workers; every
+            // worker streams all of `a`/`b` but writes disjoint rows.
+            Pool::global().par_chunks_mut(c, MC * n, |block, c_block| {
+                let i0 = block * MC;
+                let rows = c_block.len() / n;
+                for ki in 0..k {
+                    let arow = &a[ki * m..ki * m + m];
+                    let brow = &b[ki * n..ki * n + n];
+                    for bi in 0..rows {
+                        let aik = arow[i0 + bi];
+                        let crow = &mut c_block[bi * n..(bi + 1) * n];
+                        for (cv, bv) in crow.iter_mut().zip(brow) {
+                            *cv += aik * bv;
+                        }
+                    }
+                }
+            });
+        }
+
+        /// `c += a·bᵀ` for row-major `a: m×k`, `b: n×k`, `c: m×n`, as
+        /// row-row dot products (the im2col weight-gradient shape).
+        pub fn $nt_acc(m: usize, k: usize, n: usize, a: &[$t], b: &[$t], c: &mut [$t]) {
+            assert_eq!(a.len(), m * k, "gemm_nt: lhs buffer is not m*k");
+            assert_eq!(b.len(), n * k, "gemm_nt: rhs buffer is not n*k");
+            assert_eq!(c.len(), m * n, "gemm_nt: out buffer is not m*n");
+            if m == 0 || n == 0 {
+                return;
+            }
+            Pool::global().par_chunks_mut(c, n, |i, crow| {
+                let arow = &a[i * k..i * k + k];
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    let brow = &b[j * k..j * k + k];
+                    let mut acc: $t = 0.0;
+                    for (av, bv) in arow.iter().zip(brow) {
+                        acc += av * bv;
+                    }
+                    *cv += acc;
+                }
+            });
+        }
+    };
+}
+
+define_gemm!(gemm_f64, gemm_acc_f64, gemm_tn_f64, gemm_nt_acc_f64, f64);
+define_gemm!(gemm_f32, gemm_acc_f32, gemm_tn_f32, gemm_nt_acc_f32, f32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn filled(len: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
+        (0..len).map(f).collect()
+    }
+
+    #[test]
+    fn nn_matches_naive_on_awkward_shapes() {
+        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (65, 130, 7), (64, 128, 64), (2, 300, 9)] {
+            let a = filled(m * k, |i| ((i * 37 % 19) as f64 - 9.0) * 0.25);
+            let b = filled(k * n, |i| ((i * 53 % 23) as f64 - 11.0) * 0.125);
+            let mut c = vec![f64::NAN; m * n];
+            gemm_f64(m, k, n, &a, &b, &mut c);
+            let want = naive(m, k, n, &a, &b);
+            assert!(
+                c.iter().zip(&want).all(|(x, y)| (x - y).abs() < 1e-9),
+                "shape {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let (k, m, n) = (33, 17, 21);
+        let a = filled(k * m, |i| (i as f64 * 0.1).sin());
+        let b = filled(k * n, |i| (i as f64 * 0.2).cos());
+        let mut at = vec![0.0; m * k];
+        for ki in 0..k {
+            for i in 0..m {
+                at[i * k + ki] = a[ki * m + i];
+            }
+        }
+        let mut c_tn = vec![0.0; m * n];
+        gemm_tn_f64(m, k, n, &a, &b, &mut c_tn);
+        let want = naive(m, k, n, &at, &b);
+        assert!(c_tn.iter().zip(&want).all(|(x, y)| (x - y).abs() < 1e-9));
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose_and_accumulates() {
+        let (m, k, n) = (9, 40, 13);
+        let a = filled(m * k, |i| (i as f64 * 0.3).sin());
+        let b = filled(n * k, |i| (i as f64 * 0.7).cos());
+        let mut bt = vec![0.0; k * n];
+        for j in 0..n {
+            for ki in 0..k {
+                bt[ki * n + j] = b[j * k + ki];
+            }
+        }
+        let mut c = vec![1.0; m * n];
+        gemm_nt_acc_f64(m, k, n, &a, &b, &mut c);
+        let want = naive(m, k, n, &a, &bt);
+        assert!(c.iter().zip(&want).all(|(x, y)| (x - (y + 1.0)).abs() < 1e-9));
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let (m, k, n) = (97, 211, 83);
+        let a = filled(m * k, |i| ((i * 29 % 101) as f64 - 50.0) * 0.013);
+        let b = filled(k * n, |i| ((i * 31 % 97) as f64 - 48.0) * 0.017);
+        let mut reference = vec![0.0; m * n];
+        tsda_core::parallel::ThreadLimit::set(1);
+        gemm_f64(m, k, n, &a, &b, &mut reference);
+        for threads in [2, 4, 16] {
+            tsda_core::parallel::ThreadLimit::set(threads);
+            let mut c = vec![0.0; m * n];
+            gemm_f64(m, k, n, &a, &b, &mut c);
+            assert_eq!(c, reference, "threads = {threads}");
+        }
+        tsda_core::parallel::ThreadLimit::clear();
+    }
+
+    #[test]
+    fn f32_kernels_agree_with_f64_within_precision() {
+        let (m, k, n) = (20, 30, 10);
+        let a64 = filled(m * k, |i| ((i % 11) as f64 - 5.0) * 0.5);
+        let b64 = filled(k * n, |i| ((i % 7) as f64 - 3.0) * 0.5);
+        let a32: Vec<f32> = a64.iter().map(|&v| v as f32).collect();
+        let b32: Vec<f32> = b64.iter().map(|&v| v as f32).collect();
+        let mut c32 = vec![0.0f32; m * n];
+        gemm_f32(m, k, n, &a32, &b32, &mut c32);
+        let want = naive(m, k, n, &a64, &b64);
+        assert!(c32
+            .iter()
+            .zip(&want)
+            .all(|(x, y)| (f64::from(*x) - y).abs() < 1e-3));
+    }
+}

@@ -17,6 +17,7 @@
 pub mod cholesky;
 pub mod cov;
 pub mod eig;
+pub mod gemm;
 pub mod matrix;
 pub mod pca;
 pub mod solve;

@@ -139,14 +139,54 @@ impl Matrix {
             .collect()
     }
 
-    /// Matrix product `self * other`.
-    ///
-    /// Straightforward ikj-ordered triple loop; adequate for the sizes in
-    /// this workspace and cache-friendly on row-major storage.
+    /// Matrix product `self * other` via the cache-tiled, pool-parallel
+    /// kernel (see [`Matrix::matmul_into`]).
     ///
     /// # Panics
     /// Panics on an inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix product `self * other` written into a caller-owned
+    /// output, using the cache-tiled i-k-j GEMM kernel in
+    /// [`crate::gemm`], parallelised over row blocks of `out`.
+    ///
+    /// The result is bit-identical for any thread count: every output
+    /// element accumulates its products in ascending-`k` order and
+    /// workers write disjoint row blocks.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch or when `out` is not
+    /// `self.rows() × other.cols()`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul_into output shape mismatch"
+        );
+        crate::gemm::gemm_f64(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+    }
+
+    /// Matrix product `self * other` with the pre-GEMM scalar triple
+    /// loop. Kept as the reference implementation for the perf baseline
+    /// (`tsda-bench`'s `perf_baseline`) and for differential tests; use
+    /// [`Matrix::matmul`] everywhere else.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
@@ -169,22 +209,13 @@ impl Matrix {
         out
     }
 
-    /// Gram matrix `selfᵀ * self` (symmetric, `cols x cols`).
+    /// Gram matrix `selfᵀ * self` (symmetric, `cols x cols`), computed
+    /// by the transpose-free `Aᵀ·B` kernel in [`crate::gemm`] —
+    /// parallel over output rows, deterministic for any thread count.
     pub fn gram(&self) -> Matrix {
         let n = self.cols;
         let mut out = Matrix::zeros(n, n);
-        for row in self.data.chunks_exact(self.cols.max(1)) {
-            for j in 0..n {
-                let rj = row[j];
-                if rj == 0.0 {
-                    continue;
-                }
-                let dst = out.row_mut(j);
-                for (d, &rk) in dst.iter_mut().zip(row) {
-                    *d += rj * rk;
-                }
-            }
-        }
+        crate::gemm::gemm_tn_f64(n, self.rows, n, &self.data, &self.data, &mut out.data);
         out
     }
 

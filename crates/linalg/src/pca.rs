@@ -68,8 +68,7 @@ impl Pca {
         assert_eq!(z.len(), self.n_components(), "PCA inverse dimension mismatch");
         let p = self.mean.len();
         let mut out = self.mean.clone();
-        for j in 0..z.len() {
-            let zj = z[j];
+        for (j, &zj) in z.iter().enumerate() {
             if zj == 0.0 {
                 continue;
             }

@@ -165,7 +165,7 @@ impl RidgeLoocv {
                 }
             }
             let mse = sse / (n * k) as f64;
-            if best.as_ref().map_or(true, |(m, _, _)| mse < *m) {
+            if best.as_ref().is_none_or(|(m, _, _)| mse < *m) {
                 best = Some((mse, w, alpha));
             }
         }
@@ -202,7 +202,7 @@ impl RidgeLoocv {
                 }
             }
             let mse = sse / (n * k) as f64;
-            if best.as_ref().map_or(true, |(m, _, _)| mse < *m) {
+            if best.as_ref().is_none_or(|(m, _, _)| mse < *m) {
                 best = Some((mse, c, alpha));
             }
         }

@@ -41,6 +41,23 @@ proptest! {
     }
 
     #[test]
+    fn matmul_into_matches_naive_triple_loop(
+        (m, k, n) in (1usize..70, 1usize..150, 1usize..40),
+        data in proptest::collection::vec(-10.0f64..10.0, 70 * 150 + 150 * 40),
+    ) {
+        // Shapes deliberately cross the kernel's MC/KC tile boundaries
+        // and its 8×8 micro-kernel remainders.
+        let a = Matrix::from_vec(m, k, data[..m * k].to_vec());
+        let b = Matrix::from_vec(k, n, data[70 * 150..70 * 150 + k * n].to_vec());
+        let tiled = a.matmul(&b);
+        let naive = a.matmul_naive(&b);
+        prop_assert!(tiled.approx_eq(&naive, 1e-9 * (1.0 + naive.max_abs())));
+        let mut into = Matrix::zeros(m, n);
+        a.matmul_into(&b, &mut into);
+        prop_assert!(into.approx_eq(&tiled, 0.0)); // same kernel, same bits
+    }
+
+    #[test]
     fn cholesky_reconstructs(a in spd(4)) {
         let l = cholesky(&a).expect("SPD by construction");
         let back = l.matmul(&l.transpose());

@@ -1,13 +1,29 @@
-//! 1-D convolution with "same" padding.
+//! 1-D convolution with "same" padding, lowered to im2col + GEMM.
 //!
 //! InceptionTime's inception modules are built entirely from this layer:
 //! bottleneck 1×1 convolutions, the three parallel wide kernels, and the
 //! shortcut projections.
+//!
+//! Forward and backward both run as matrix products on the cache-tiled
+//! kernels in [`tsda_linalg::gemm`], parallelised over the batch
+//! dimension on the workspace pool:
+//!
+//! * forward: per batch, unfold the input into a `[in_ch·kernel, T]`
+//!   column matrix (zeros where the window hangs off the series), then
+//!   `out_b ← W·col_b` with `W` viewed as `[out_ch, in_ch·kernel]`;
+//! * backward: `∂W += Σ_b g_b·col_bᵀ` (per-batch partials summed in
+//!   ascending batch order so results are thread-count independent) and
+//!   `∂x_b ← fold(Wᵀ·g_b)`.
+//!
+//! The pre-GEMM scalar loop survives as [`Conv1d::forward_reference`]
+//! for differential tests and the `perf_baseline` speedup measurement.
 
 use super::Layer;
 use crate::init::he_uniform;
 use crate::tensor::Tensor;
 use rand::Rng;
+use tsda_core::parallel::Pool;
+use tsda_linalg::gemm::{gemm_acc_f32, gemm_nt_acc_f32, gemm_tn_f32};
 
 /// 1-D convolution, stride 1, odd kernel, zero "same" padding.
 /// Input `[batch, in_ch, T]` → output `[batch, out_ch, T]`.
@@ -59,10 +75,49 @@ impl Conv1d {
     fn w_at(&self, oc: usize, ic: usize, k: usize) -> f32 {
         self.w[(oc * self.in_ch + ic) * self.kernel + k]
     }
-}
 
-impl Layer for Conv1d {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    /// Unfold one batch element into the `[in_ch·kernel, T]` column
+    /// matrix: row `ic·kernel + k` holds `x[b, ic, t + k − pad]`, zero
+    /// where the window reaches past either end of the series.
+    fn im2col(&self, x_b: &[f32], t_len: usize, col: &mut [f32]) {
+        let pad = self.kernel / 2;
+        col.fill(0.0);
+        for ic in 0..self.in_ch {
+            let src = &x_b[ic * t_len..(ic + 1) * t_len];
+            for k in 0..self.kernel {
+                // src index = t + k − pad, valid for t in [lo, hi).
+                let lo = pad.saturating_sub(k);
+                let hi = (t_len + pad).saturating_sub(k).min(t_len);
+                let row = &mut col[(ic * self.kernel + k) * t_len..(ic * self.kernel + k + 1) * t_len];
+                for t in lo..hi {
+                    row[t] = src[t + k - pad];
+                }
+            }
+        }
+    }
+
+    /// The inverse scatter of [`Conv1d::im2col`]: fold the column-matrix
+    /// gradient back onto one batch element's input gradient.
+    fn col2im(&self, gcol: &[f32], t_len: usize, gx_b: &mut [f32]) {
+        let pad = self.kernel / 2;
+        for ic in 0..self.in_ch {
+            let dst = &mut gx_b[ic * t_len..(ic + 1) * t_len];
+            for k in 0..self.kernel {
+                let lo = pad.saturating_sub(k);
+                let hi = (t_len + pad).saturating_sub(k).min(t_len);
+                let row = &gcol[(ic * self.kernel + k) * t_len..(ic * self.kernel + k + 1) * t_len];
+                for t in lo..hi {
+                    dst[t + k - pad] += row[t];
+                }
+            }
+        }
+    }
+
+    /// The pre-GEMM scalar forward pass, kept as the reference
+    /// implementation for differential tests and the `perf_baseline`
+    /// binary. Does not cache the input, so it cannot be followed by
+    /// `backward`.
+    pub fn forward_reference(&self, x: &Tensor) -> Tensor {
         assert_eq!(x.shape().len(), 3, "Conv1d expects [batch, ch, time]");
         assert_eq!(x.shape()[1], self.in_ch, "Conv1d channel mismatch");
         let n = x.shape()[0];
@@ -86,6 +141,33 @@ impl Layer for Conv1d {
                 }
             }
         }
+        out
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 3, "Conv1d expects [batch, ch, time]");
+        assert_eq!(x.shape()[1], self.in_ch, "Conv1d channel mismatch");
+        let n = x.shape()[0];
+        let t_len = x.shape()[2];
+        let ick = self.in_ch * self.kernel;
+        let mut out = Tensor::zeros(&[n, self.out_ch, t_len]);
+        let this = &*self;
+        let x_data = x.data();
+        // One batch element per work unit: workers own disjoint
+        // `[out_ch, T]` output slices, so any thread count produces the
+        // same bits. Nested pool calls inside the GEMM go serial.
+        Pool::global().par_chunks_mut(out.data_mut(), this.out_ch * t_len, |b, out_b| {
+            let mut col = vec![0.0f32; ick * t_len];
+            this.im2col(&x_data[b * this.in_ch * t_len..(b + 1) * this.in_ch * t_len], t_len, &mut col);
+            if this.use_bias {
+                for (oc, row) in out_b.chunks_mut(t_len).enumerate() {
+                    row.fill(this.b[oc]);
+                }
+            }
+            gemm_acc_f32(this.out_ch, ick, t_len, &this.w, &col, out_b);
+        });
         self.cached_x = Some(x.clone());
         out
     }
@@ -95,28 +177,53 @@ impl Layer for Conv1d {
         let n = x.shape()[0];
         let t_len = x.shape()[2];
         assert_eq!(grad_out.shape(), &[n, self.out_ch, t_len], "Conv1d grad shape mismatch");
-        let pad = self.kernel / 2;
+        let ick = self.in_ch * self.kernel;
         let mut gx = Tensor::zeros(&[n, self.in_ch, t_len]);
-        for b in 0..n {
-            for oc in 0..self.out_ch {
-                for t in 0..t_len {
-                    let g = grad_out.at3(b, oc, t);
-                    if g == 0.0 {
-                        continue;
+        let this = &*self;
+        let x_data = x.data();
+        let g_data = grad_out.data();
+        // Per-batch weight/bias-gradient partials, computed in parallel
+        // alongside each batch's input gradient.
+        let partials = {
+            let gx_slots: &mut [f32] = gx.data_mut();
+            let mut partials: Vec<(Vec<f32>, Vec<f32>)> = Vec::new();
+            let slots = Pool::global().par_map_indexed(n, |b| {
+                let mut col = vec![0.0f32; ick * t_len];
+                this.im2col(&x_data[b * this.in_ch * t_len..(b + 1) * this.in_ch * t_len], t_len, &mut col);
+                let g_b = &g_data[b * this.out_ch * t_len..(b + 1) * this.out_ch * t_len];
+                // ∂W partial: g_b [out_ch, T] · col_bᵀ [T, ick].
+                let mut gw_p = vec![0.0f32; this.out_ch * ick];
+                gemm_nt_acc_f32(this.out_ch, t_len, ick, g_b, &col, &mut gw_p);
+                let mut gb_p = vec![0.0f32; this.out_ch];
+                if this.use_bias {
+                    for (oc, row) in g_b.chunks_exact(t_len).enumerate() {
+                        gb_p[oc] = row.iter().sum();
                     }
-                    if self.use_bias {
-                        self.gb[oc] += g;
-                    }
-                    let k_lo = pad.saturating_sub(t);
-                    let k_hi = self.kernel.min(t_len + pad - t);
-                    for ic in 0..self.in_ch {
-                        for k in k_lo..k_hi {
-                            let src = t + k - pad;
-                            self.gw[(oc * self.in_ch + ic) * self.kernel + k] +=
-                                g * x.at3(b, ic, src);
-                            *gx.at3_mut(b, ic, src) += g * self.w_at(oc, ic, k);
-                        }
-                    }
+                }
+                // ∂x_b: fold Wᵀ [ick, out_ch] · g_b [out_ch, T].
+                let mut gcol = vec![0.0f32; ick * t_len];
+                gemm_tn_f32(ick, this.out_ch, t_len, &this.w, g_b, &mut gcol);
+                let mut gx_b = vec![0.0f32; this.in_ch * t_len];
+                this.col2im(&gcol, t_len, &mut gx_b);
+                (gw_p, gb_p, gx_b)
+            });
+            for (b, (gw_p, gb_p, gx_b)) in slots.into_iter().enumerate() {
+                gx_slots[b * this.in_ch * t_len..(b + 1) * this.in_ch * t_len]
+                    .copy_from_slice(&gx_b);
+                partials.push((gw_p, gb_p));
+            }
+            partials
+        };
+        // Reduce the partials serially in ascending batch order — the
+        // one cross-batch accumulation, kept off the pool on purpose so
+        // gradients are bit-identical for every thread count.
+        for (gw_p, gb_p) in &partials {
+            for (acc, p) in self.gw.iter_mut().zip(gw_p) {
+                *acc += p;
+            }
+            if self.use_bias {
+                for (acc, p) in self.gb.iter_mut().zip(gb_p) {
+                    *acc += p;
                 }
             }
         }

@@ -186,9 +186,9 @@ impl Layer for Lstm {
                 self.b[2].repeat(n),
                 self.b[3].repeat(n),
             ];
-            for gate in 0..4 {
-                matmul_acc(&xt, &self.w[gate], &mut pre[gate], n, self.in_features, h);
-                matmul_acc(&h_state, &self.u[gate], &mut pre[gate], n, h, h);
+            for (gate, pre_gate) in pre.iter_mut().enumerate() {
+                matmul_acc(&xt, &self.w[gate], pre_gate, n, self.in_features, h);
+                matmul_acc(&h_state, &self.u[gate], pre_gate, n, h, h);
             }
             let gates: [Vec<f32>; 4] = [
                 pre[0].iter().map(|&v| sigmoid(v)).collect(),
@@ -262,16 +262,16 @@ impl Layer for Lstm {
             }
             let mut dh_prev = vec![0.0f32; n * h];
             let mut dxt = vec![0.0f32; n * f];
-            for gate in 0..4 {
-                outer_acc(&xt, &dpre[gate], &mut self.gw[gate], n, f, h);
-                outer_acc(h_prev, &dpre[gate], &mut self.gu[gate], n, h, h);
+            for (gate, dpre_gate) in dpre.iter().enumerate() {
+                outer_acc(&xt, dpre_gate, &mut self.gw[gate], n, f, h);
+                outer_acc(h_prev, dpre_gate, &mut self.gu[gate], n, h, h);
                 for b in 0..n {
                     for k in 0..h {
-                        self.gb[gate][k] += dpre[gate][b * h + k];
+                        self.gb[gate][k] += dpre_gate[b * h + k];
                     }
                 }
-                matmul_transb_acc(&dpre[gate], &self.u[gate], &mut dh_prev, n, h, h);
-                matmul_transb_acc(&dpre[gate], &self.w[gate], &mut dxt, n, f, h);
+                matmul_transb_acc(dpre_gate, &self.u[gate], &mut dh_prev, n, h, h);
+                matmul_transb_acc(dpre_gate, &self.w[gate], &mut dxt, n, f, h);
             }
             for b in 0..n {
                 let dst = (b * t_len + t) * f;

@@ -167,9 +167,8 @@ pub mod gradcheck {
         let eps = 1e-2f32;
         let mut param_idx = 0;
         // For each parameter buffer and element, perturb and re-evaluate.
-        let n_bufs = analytic.len();
-        for buf in 0..n_bufs {
-            let n = analytic[buf].len();
+        for (buf, buf_grads) in analytic.iter().enumerate() {
+            let n = buf_grads.len();
             for i in 0..n {
                 let bump = |layer: &mut L, delta: f32| {
                     let mut b = 0;
@@ -186,7 +185,7 @@ pub mod gradcheck {
                 let (lm, _) = seeded_loss_grad(&layer.forward(x, true));
                 bump(layer, eps);
                 let num = (lp - lm) / (2.0 * eps);
-                let ana = analytic[buf][i];
+                let ana = buf_grads[i];
                 assert!(
                     (num - ana).abs() <= tol * (1.0 + num.abs().max(ana.abs())),
                     "param buf {buf} elem {i}: numeric {num} vs analytic {ana}"

@@ -15,9 +15,8 @@ pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor
     assert_eq!(targets.len(), n, "target count mismatch");
     let mut grad = Tensor::zeros(&[n, c]);
     let mut loss = 0.0f32;
-    for i in 0..n {
+    for (i, &t) in targets.iter().enumerate() {
         let row = &logits.data()[i * c..(i + 1) * c];
-        let t = targets[i];
         assert!(t < c, "target {t} out of range for {c} classes");
         let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
         let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();

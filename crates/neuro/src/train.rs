@@ -158,6 +158,7 @@ pub fn train_classifier<L: Layer + ?Sized, R: Rng>(
 /// Run an LR range test: sweep `steps` exponentially growing rates, one
 /// mini-batch each, recording the training loss; return the valley LR.
 /// The model's parameters are restored afterwards.
+#[allow(clippy::too_many_arguments)] // mirrors the sweep's knobs 1:1
 pub fn lr_range_test<L: Layer + ?Sized, R: Rng>(
     model: &mut L,
     x_train: &Tensor,
@@ -211,9 +212,9 @@ mod tests {
         let mut labels = Vec::with_capacity(n);
         for i in 0..n {
             let c = i % 2;
-            let (cx, cy) = if c == 0 { (-1.0, -1.0) } else { (1.0, 1.0) };
-            data.push(cx + rng.gen_range(-0.5..0.5));
-            data.push(cy + rng.gen_range(-0.5..0.5));
+            let (cx, cy): (f32, f32) = if c == 0 { (-1.0, -1.0) } else { (1.0, 1.0) };
+            data.push(cx + rng.gen_range(-0.5f32..0.5));
+            data.push(cy + rng.gen_range(-0.5f32..0.5));
             labels.push(c);
         }
         (Tensor::from_flat(&[n, 2], data), labels)

@@ -109,8 +109,8 @@ mod tests {
         let x: Vec<f64> = (0..50).map(|i| 2.0 * i as f64).collect();
         let d = decompose_additive(&x, 5, None);
         // Interior trend equals the signal for a line.
-        for i in 5..45 {
-            assert!((d.trend[i] - x[i]).abs() < 1e-9);
+        for (i, &xi) in x.iter().enumerate().take(45).skip(5) {
+            assert!((d.trend[i] - xi).abs() < 1e-9);
             assert!(d.residual[i].abs() < 1e-9);
         }
     }

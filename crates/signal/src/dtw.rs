@@ -9,17 +9,11 @@
 use tsda_core::Mts;
 
 /// Options for a DTW computation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct DtwOptions {
     /// Sakoe-Chiba band half-width as a fraction of the longer series
     /// length; `None` means an unconstrained alignment.
     pub band_fraction: Option<f64>,
-}
-
-impl Default for DtwOptions {
-    fn default() -> Self {
-        Self { band_fraction: None }
-    }
 }
 
 /// Squared Euclidean distance between the observations at `(i, j)`.

@@ -54,7 +54,7 @@ pub fn stft(signal: &[f64], frame_len: usize, hop: usize, win: WindowKind) -> St
     let n_frames = if signal.len() <= frame_len {
         1
     } else {
-        (signal.len() - frame_len + hop - 1) / hop + 1
+        (signal.len() - frame_len).div_ceil(hop) + 1
     };
     let mut frames = Vec::with_capacity(n_frames);
     for f in 0..n_frames {

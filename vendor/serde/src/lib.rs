@@ -1,0 +1,232 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde's visitor-based data model is far more than this
+//! workspace needs; with no crates.io access we vendor a simple
+//! value-tree model instead: [`Serialize`] renders into a [`Value`],
+//! [`Deserialize`] reads one back, and the vendored `serde_json`
+//! crate handles the text encoding. The `#[derive(Serialize,
+//! Deserialize)]` macros (re-exported from the vendored
+//! `serde_derive`) generate impls of these traits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`; integers are exact to 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Render into a [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse from a value tree; `None` on any shape mismatch.
+    fn from_value(v: &Value) -> Option<Self>;
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! impl_serde_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Option<Self> {
+                v.as_f64().map(|n| n as $t)
+            }
+        }
+    )*};
+}
+impl_serde_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the parsed string; only static registry tables round-trip
+    /// through this and they are few and long-lived.
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_str().map(|s| &*Box::leak(s.to_string().into_boxed_str()))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => None,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Null => Some(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Some((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Some((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(usize::from_value(&42usize.to_value()), Some(42));
+        assert_eq!(f64::from_value(&(-1.5f64).to_value()), Some(-1.5));
+        assert_eq!(String::from_value(&"hi".to_value()), Some("hi".to_string()));
+        assert_eq!(bool::from_value(&true.to_value()), Some(true));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<(String, f64)> = vec![("a".into(), 1.0), ("b".into(), 2.0)];
+        assert_eq!(Vec::<(String, f64)>::from_value(&v.to_value()), Some(v));
+        let o: Option<usize> = None;
+        assert_eq!(Option::<usize>::from_value(&o.to_value()), Some(None));
+    }
+
+    #[test]
+    fn object_lookup_finds_keys() {
+        let v = Value::Object(vec![("x".into(), Value::Num(1.0))]);
+        assert_eq!(v.get("x").and_then(Value::as_f64), Some(1.0));
+        assert!(v.get("y").is_none());
+    }
+}

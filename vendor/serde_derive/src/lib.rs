@@ -1,0 +1,209 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled token parsing (the real crate's `syn` dependency is not
+//! available offline) covering exactly the shapes this workspace
+//! derives on: structs with named fields and enums with unit variants.
+//! The generated impls target the vendored `serde` stub's value-tree
+//! traits, not the real serde data model.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a derive input parsed into.
+enum Input {
+    /// Struct name + named field idents.
+    Struct(String, Vec<String>),
+    /// Enum name + unit variant idents.
+    Enum(String, Vec<String>),
+}
+
+/// Skip `#[...]` attribute groups (doc comments included).
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < toks.len() {
+        match (&toks[i], &toks[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, …).
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Field idents of a named-field struct body.
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_vis(body, skip_attrs(body, i));
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("unexpected token in struct body: {other:?}")),
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(t) = body.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or the end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Variant idents of a unit-variant enum body.
+fn parse_unit_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("unexpected token in enum body: {other:?}")),
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{name}` carries data; the vendored serde derive only supports unit variants"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => return Err(format!("unexpected token after variant `{name}`: {other:?}")),
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&toks, skip_attrs(&toks, 0));
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected a name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("`{name}` is generic; the vendored serde derive supports only plain types"));
+        }
+    }
+    let body = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!("`{name}` is a tuple struct; only named fields are supported"));
+        }
+        _ => Vec::new(), // unit struct
+    };
+    match kind.as_str() {
+        "struct" => Ok(Input::Struct(name, parse_named_fields(&body)?)),
+        "enum" => Ok(Input::Enum(name, parse_unit_variants(&body)?)),
+        other => Err(format!("cannot derive on `{other}` items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive the vendored `serde::Serialize` (value-tree construction).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match parsed {
+        Input::Struct(name, fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n                    fn to_value(&self) -> ::serde::Value {{\n                        ::serde::Value::Object(::std::vec![{entries}])\n                    }}\n                }}"
+            )
+        }
+        Input::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Self::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n                    fn to_value(&self) -> ::serde::Value {{\n                        match self {{ {arms} }}\n                    }}\n                }}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}
+
+/// Derive the vendored `serde::Deserialize` (value-tree readback).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match parsed {
+        Input::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.get({f:?})?)?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n                    fn from_value(v: &::serde::Value) -> ::std::option::Option<Self> {{\n                        ::std::option::Option::Some(Self {{ {inits} }})\n                    }}\n                }}"
+            )
+        }
+        Input::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::option::Option::Some(Self::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n                    fn from_value(v: &::serde::Value) -> ::std::option::Option<Self> {{\n                        match v.as_str()? {{ {arms} _ => ::std::option::Option::None }}\n                    }}\n                }}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}
