@@ -16,13 +16,17 @@
 use crate::encode::dataset_to_tensor3;
 use crate::traits::Classifier;
 use rand::rngs::StdRng;
-use tsda_core::{Dataset, Label};
+use tsda_core::codec::{ByteReader, ByteWriter, CodecReader, CodecWriter};
+use tsda_core::{Dataset, Label, TsdaError};
 use tsda_neuro::layers::{
     Activation, BatchNorm1d, Conv1d, Dense, GlobalAvgPool1d, Layer, MaxPool1dSame,
 };
 use tsda_neuro::loss::softmax;
 use tsda_neuro::tensor::Tensor;
 use tsda_neuro::train::{lr_range_test, train_classifier, TrainConfig};
+
+/// Codec kind tag for saved InceptionTime ensembles.
+pub const INCEPTION_KIND: &str = "inceptiontime";
 
 /// Hyper-parameters of the InceptionTime ensemble.
 #[derive(Debug, Clone)]
@@ -365,12 +369,158 @@ pub struct InceptionTime {
     config: InceptionTimeConfig,
     members: Vec<InceptionNet>,
     n_classes: usize,
+    /// Input shape seen at fit time, `(n_dims, series_len)`; needed to
+    /// rebuild the architecture on load and to validate serving inputs.
+    input_shape: (usize, usize),
 }
 
 impl InceptionTime {
     /// New (unfitted) ensemble.
     pub fn new(config: InceptionTimeConfig) -> Self {
-        Self { config, members: Vec::new(), n_classes: 0 }
+        Self { config, members: Vec::new(), n_classes: 0, input_shape: (0, 0) }
+    }
+
+    /// `(n_dims, series_len)` seen at fit time; `None` while unfitted.
+    pub fn input_shape(&self) -> Option<(usize, usize)> {
+        (!self.members.is_empty()).then_some(self.input_shape)
+    }
+
+    /// Number of output classes (0 before fit).
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Serialise the fitted ensemble into a [`tsda_core::codec`]
+    /// container: the architecture hyper-parameters plus, per member,
+    /// every parameter tensor and batch-norm running buffer as raw f32
+    /// bit patterns. Takes `&mut self` because [`Layer::visit_params`]
+    /// does; nothing is modified.
+    pub fn save_bytes(&mut self) -> Result<Vec<u8>, TsdaError> {
+        if self.members.is_empty() {
+            return Err(TsdaError::InvalidParameter(
+                "cannot save an unfitted InceptionTime model".into(),
+            ));
+        }
+        let mut w = CodecWriter::new(INCEPTION_KIND);
+        let mut cfg = ByteWriter::new();
+        cfg.usize(self.config.filters);
+        cfg.usize(self.config.depth);
+        for k in self.config.kernel_sizes {
+            cfg.usize(k);
+        }
+        cfg.usize(self.config.ensemble);
+        cfg.f64(self.config.train_fraction);
+        cfg.usize(self.config.train.max_epochs);
+        cfg.usize(self.config.train.batch_size);
+        cfg.usize(self.config.train.patience);
+        cfg.f32(self.config.train.lr);
+        cfg.u8(self.config.use_lr_range_test as u8);
+        w.section("config", cfg.into_bytes());
+        let mut meta = ByteWriter::new();
+        meta.usize(self.input_shape.0);
+        meta.usize(self.input_shape.1);
+        meta.usize(self.n_classes);
+        meta.usize(self.members.len());
+        w.section("meta", meta.into_bytes());
+        let mut ms = ByteWriter::new();
+        for member in &mut self.members {
+            let mut params: Vec<f32> = Vec::new();
+            member.visit_params(&mut |p, _| params.extend_from_slice(p));
+            let mut buffers: Vec<f32> = Vec::new();
+            member.visit_buffers(&mut |b| buffers.extend_from_slice(b));
+            ms.f32_slice(&params);
+            ms.f32_slice(&buffers);
+        }
+        w.section("members", ms.into_bytes());
+        Ok(w.finish())
+    }
+
+    /// Rebuild a fitted ensemble from [`Self::save_bytes`] output.
+    ///
+    /// The networks are reconstructed from the stored hyper-parameters
+    /// (which fully determine the layer layout) and every parameter and
+    /// running-statistics buffer is overwritten with the stored bits, so
+    /// eval-mode predictions are bit-identical to the saved model.
+    pub fn load_bytes(bytes: &[u8]) -> Result<Self, TsdaError> {
+        let r = CodecReader::parse(bytes)?;
+        r.expect_kind(INCEPTION_KIND)?;
+        let mut c = ByteReader::new(r.section("config")?);
+        let config = InceptionTimeConfig {
+            filters: c.usize()?,
+            depth: c.usize()?,
+            kernel_sizes: [c.usize()?, c.usize()?, c.usize()?],
+            ensemble: c.usize()?,
+            train_fraction: c.f64()?,
+            train: TrainConfig {
+                max_epochs: c.usize()?,
+                batch_size: c.usize()?,
+                patience: c.usize()?,
+                lr: c.f32()?,
+            },
+            use_lr_range_test: c.u8()? != 0,
+        };
+        c.finish()?;
+        let mut meta = ByteReader::new(r.section("meta")?);
+        let input_shape = (meta.usize()?, meta.usize()?);
+        let n_classes = meta.usize()?;
+        let n_members = meta.usize()?;
+        meta.finish()?;
+        if input_shape.0 == 0 || input_shape.1 == 0 || n_classes == 0 {
+            return Err(TsdaError::Codec("saved model has a degenerate shape".into()));
+        }
+        if n_members == 0 || n_members > 1 << 10 {
+            return Err(TsdaError::Codec(format!("implausible member count {n_members}")));
+        }
+        let mut ms = ByteReader::new(r.section("members")?);
+        let mut members = Vec::with_capacity(n_members);
+        for _ in 0..n_members {
+            let params = ms.f32_vec()?;
+            let buffers = ms.f32_vec()?;
+            // Rebuild the architecture (the init RNG is irrelevant: every
+            // parameter is overwritten below), then restore the bits.
+            let mut net = InceptionNet::new(
+                &config,
+                input_shape.0,
+                input_shape.1,
+                n_classes,
+                &mut tsda_core::rng::seeded(0),
+            );
+            let mut off = 0usize;
+            let mut overrun = false;
+            net.visit_params(&mut |p, _| {
+                if off + p.len() <= params.len() {
+                    p.copy_from_slice(&params[off..off + p.len()]);
+                } else {
+                    overrun = true;
+                }
+                off += p.len();
+            });
+            if overrun || off != params.len() {
+                return Err(TsdaError::Codec(format!(
+                    "member parameter count mismatch: file has {}, architecture needs {off}",
+                    params.len()
+                )));
+            }
+            let mut boff = 0usize;
+            let mut boverrun = false;
+            net.visit_buffers(&mut |b| {
+                if boff + b.len() <= buffers.len() {
+                    b.copy_from_slice(&buffers[boff..boff + b.len()]);
+                } else {
+                    boverrun = true;
+                }
+                boff += b.len();
+            });
+            if boverrun || boff != buffers.len() {
+                return Err(TsdaError::Codec(format!(
+                    "member buffer count mismatch: file has {}, architecture needs {boff}",
+                    buffers.len()
+                )));
+            }
+            members.push(net);
+        }
+        ms.finish()?;
+        Ok(Self { config, members, n_classes, input_shape })
     }
 
     /// Averaged softmax probabilities over the ensemble.
@@ -394,6 +544,7 @@ impl Classifier for InceptionTime {
 
     fn fit(&mut self, train: &Dataset, validation: Option<&Dataset>, rng: &mut StdRng) {
         self.n_classes = train.n_classes();
+        self.input_shape = (train.n_dims(), train.series_len());
         // Build train/val tensors per the §IV-D protocol.
         let (train_ds, val_ds) = match validation {
             Some(v) => (train.clone(), v.clone()),

@@ -20,6 +20,7 @@ pub mod encode;
 pub mod inception;
 pub mod knn_dtw;
 pub mod minirocket;
+pub mod persist;
 pub mod ridge;
 pub mod rocket;
 pub mod traits;
@@ -27,6 +28,7 @@ pub mod traits;
 pub use inception::{InceptionTime, InceptionTimeConfig};
 pub use knn_dtw::{dtw_distance_matrix, KnnDtw};
 pub use minirocket::{MiniRocket, MiniRocketConfig};
+pub use persist::{load_model, load_model_bytes, save_model, SavedModel};
 pub use ridge::RidgeClassifier;
 pub use rocket::{Rocket, RocketConfig};
 pub use traits::Classifier;

@@ -14,7 +14,11 @@ use crate::ridge::RidgeClassifier;
 use crate::traits::Classifier;
 use rand::rngs::StdRng;
 use rand::Rng;
-use tsda_core::{Dataset, Label, Mts};
+use tsda_core::codec::{ByteReader, ByteWriter, CodecReader, CodecWriter};
+use tsda_core::{Dataset, Label, Mts, TsdaError};
+
+/// Codec kind tag for saved MiniRocket models.
+pub const MINIROCKET_KIND: &str = "minirocket";
 
 /// MiniRocket configuration.
 #[derive(Debug, Clone)]
@@ -94,17 +98,109 @@ pub struct MiniRocket {
     features: Vec<Feature>,
     kernels: Vec<[f64; KERNEL_LEN]>,
     ridge: RidgeClassifier,
+    /// Input shape seen at fit time, `(n_dims, series_len)`; `(0, 0)`
+    /// while unfitted.
+    input_shape: (usize, usize),
 }
 
 impl MiniRocket {
     /// New MiniRocket with the given configuration.
     pub fn new(config: MiniRocketConfig) -> Self {
-        Self { config, features: Vec::new(), kernels: fixed_kernels(), ridge: RidgeClassifier::default() }
+        Self {
+            config,
+            features: Vec::new(),
+            kernels: fixed_kernels(),
+            ridge: RidgeClassifier::default(),
+            input_shape: (0, 0),
+        }
     }
 
     /// Number of fitted features.
     pub fn n_features(&self) -> usize {
         self.features.len()
+    }
+
+    /// `(n_dims, series_len)` seen at fit time; `None` while unfitted.
+    pub fn input_shape(&self) -> Option<(usize, usize)> {
+        (!self.features.is_empty()).then_some(self.input_shape)
+    }
+
+    /// Number of classes the fitted ridge head separates (0 before fit).
+    pub fn n_classes(&self) -> usize {
+        self.ridge.n_classes()
+    }
+
+    /// Predict from an immutably borrowed fitted model (serving path;
+    /// see [`crate::rocket::Rocket::predict_fitted`]).
+    pub fn predict_fitted(&self, test: &Dataset) -> Result<Vec<Label>, TsdaError> {
+        if self.features.is_empty() {
+            return Err(TsdaError::InvalidParameter("predict before fit".into()));
+        }
+        let clean = preprocess_dataset(test);
+        let features = self.transform(&clean);
+        self.ridge.try_predict_features(&features)
+    }
+
+    /// Serialise the fitted state into a [`tsda_core::codec`] container.
+    /// The fixed 84-kernel bank is reconstructed on load, so only the
+    /// dilation/channel/bias triples and the ridge head are stored.
+    pub fn save_bytes(&self) -> Result<Vec<u8>, TsdaError> {
+        if self.features.is_empty() {
+            return Err(TsdaError::InvalidParameter(
+                "cannot save an unfitted MiniRocket model".into(),
+            ));
+        }
+        let mut w = CodecWriter::new(MINIROCKET_KIND);
+        let mut cfg = ByteWriter::new();
+        cfg.usize(self.config.n_features);
+        w.section("config", cfg.into_bytes());
+        let mut meta = ByteWriter::new();
+        meta.usize(self.input_shape.0);
+        meta.usize(self.input_shape.1);
+        w.section("meta", meta.into_bytes());
+        let mut fs = ByteWriter::new();
+        fs.usize(self.features.len());
+        for f in &self.features {
+            fs.usize(f.kernel);
+            fs.usize(f.dilation);
+            fs.f64(f.bias);
+            fs.usize_slice(&f.channels);
+        }
+        w.section("features", fs.into_bytes());
+        w.section("ridge", self.ridge.save_bytes()?);
+        Ok(w.finish())
+    }
+
+    /// Rebuild a fitted model from [`Self::save_bytes`] output.
+    pub fn load_bytes(bytes: &[u8]) -> Result<Self, TsdaError> {
+        let r = CodecReader::parse(bytes)?;
+        r.expect_kind(MINIROCKET_KIND)?;
+        let mut cfg = ByteReader::new(r.section("config")?);
+        let n_features = cfg.usize()?;
+        cfg.finish()?;
+        let mut meta = ByteReader::new(r.section("meta")?);
+        let input_shape = (meta.usize()?, meta.usize()?);
+        meta.finish()?;
+        let kernels = fixed_kernels();
+        let mut fs = ByteReader::new(r.section("features")?);
+        let count = fs.usize()?;
+        let mut features = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let kernel = fs.usize()?;
+            let dilation = fs.usize()?;
+            let bias = fs.f64()?;
+            let channels = fs.usize_vec()?;
+            if kernel >= kernels.len() {
+                return Err(TsdaError::Codec(format!("kernel index {kernel} out of range")));
+            }
+            if dilation == 0 {
+                return Err(TsdaError::Codec("feature with zero dilation".into()));
+            }
+            features.push(Feature { kernel, dilation, channels, bias });
+        }
+        fs.finish()?;
+        let ridge = RidgeClassifier::load_codec(&CodecReader::parse(r.section("ridge")?)?)?;
+        Ok(Self { config: MiniRocketConfig { n_features }, features, kernels, ridge, input_shape })
     }
 
     /// PPV features for every series.
@@ -176,15 +272,14 @@ impl Classifier for MiniRocket {
 
     fn fit(&mut self, train: &Dataset, _validation: Option<&Dataset>, rng: &mut StdRng) {
         let clean = preprocess_dataset(train);
+        self.input_shape = (clean.n_dims(), clean.series_len());
         self.fit_features(&clean, rng);
         let features = self.transform(&clean);
         self.ridge.fit_features(&features, clean.labels(), clean.n_classes());
     }
 
     fn predict(&mut self, test: &Dataset) -> Vec<Label> {
-        let clean = preprocess_dataset(test);
-        let features = self.transform(&clean);
-        self.ridge.predict_features(&features)
+        self.predict_fitted(test).expect("predict before fit")
     }
 }
 

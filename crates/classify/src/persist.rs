@@ -1,0 +1,85 @@
+//! Save / load dispatch over every persistable classifier.
+//!
+//! Each model serialises itself into the [`tsda_core::codec`] container
+//! (magic + version + section table + CRC); this module adds the
+//! kind-tag dispatch so callers — the serving layer above all — can load
+//! a file without knowing in advance which model it holds:
+//!
+//! ```no_run
+//! use tsda_classify::persist::{load_model, SavedModel};
+//! match load_model(std::path::Path::new("models/rocket.tsda")).unwrap() {
+//!     SavedModel::Rocket(m) => drop(m),
+//!     other => panic!("expected ROCKET, got {}", other.kind()),
+//! }
+//! ```
+//!
+//! All round trips are bit-exact: a loaded model produces predictions
+//! identical to the fitted original (asserted by the persistence test
+//! suite for all four model types).
+
+use crate::inception::{InceptionTime, INCEPTION_KIND};
+use crate::minirocket::{MiniRocket, MINIROCKET_KIND};
+use crate::ridge::{RidgeClassifier, RIDGE_KIND};
+use crate::rocket::{Rocket, ROCKET_KIND};
+use std::path::Path;
+use tsda_core::codec::CodecReader;
+use tsda_core::TsdaError;
+
+/// A loaded model of any persistable kind.
+pub enum SavedModel {
+    /// ROCKET: random kernels + ridge head.
+    Rocket(Rocket),
+    /// MiniRocket: fixed kernel bank + ridge head.
+    MiniRocket(MiniRocket),
+    /// Standalone ridge classifier over raw feature vectors.
+    Ridge(RidgeClassifier),
+    /// InceptionTime ensemble.
+    InceptionTime(InceptionTime),
+}
+
+impl SavedModel {
+    /// The codec kind tag of the wrapped model.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Rocket(_) => ROCKET_KIND,
+            Self::MiniRocket(_) => MINIROCKET_KIND,
+            Self::Ridge(_) => RIDGE_KIND,
+            Self::InceptionTime(_) => INCEPTION_KIND,
+        }
+    }
+
+    /// Serialise the wrapped model (takes `&mut self` because the
+    /// InceptionTime parameter visitor does; nothing is modified).
+    pub fn save_bytes(&mut self) -> Result<Vec<u8>, TsdaError> {
+        match self {
+            Self::Rocket(m) => m.save_bytes(),
+            Self::MiniRocket(m) => m.save_bytes(),
+            Self::Ridge(m) => m.save_bytes(),
+            Self::InceptionTime(m) => m.save_bytes(),
+        }
+    }
+}
+
+/// Load a model from serialised bytes, dispatching on the kind tag.
+pub fn load_model_bytes(bytes: &[u8]) -> Result<SavedModel, TsdaError> {
+    let kind = CodecReader::parse(bytes)?.kind().to_string();
+    match kind.as_str() {
+        ROCKET_KIND => Rocket::load_bytes(bytes).map(SavedModel::Rocket),
+        MINIROCKET_KIND => MiniRocket::load_bytes(bytes).map(SavedModel::MiniRocket),
+        RIDGE_KIND => RidgeClassifier::load_bytes(bytes).map(SavedModel::Ridge),
+        INCEPTION_KIND => InceptionTime::load_bytes(bytes).map(SavedModel::InceptionTime),
+        other => Err(TsdaError::Codec(format!("unknown model kind {other:?}"))),
+    }
+}
+
+/// Load a model file, dispatching on the kind tag.
+pub fn load_model(path: &Path) -> Result<SavedModel, TsdaError> {
+    let bytes = std::fs::read(path)?;
+    load_model_bytes(&bytes)
+}
+
+/// Save a model to a file.
+pub fn save_model(model: &mut SavedModel, path: &Path) -> Result<(), TsdaError> {
+    std::fs::write(path, model.save_bytes()?)?;
+    Ok(())
+}

@@ -6,9 +6,13 @@
 //! leave-one-out error (see [`tsda_linalg::solve::RidgeLoocv`]), argmax
 //! decision.
 
-use tsda_core::Label;
+use tsda_core::codec::{ByteReader, ByteWriter, CodecReader, CodecWriter};
+use tsda_core::{Label, TsdaError};
 use tsda_linalg::matrix::Matrix;
 use tsda_linalg::solve::{RidgeLoocv, RidgeSolution};
+
+/// Codec kind tag for saved ridge classifiers.
+pub const RIDGE_KIND: &str = "ridge";
 
 /// Fitted ridge classifier state.
 #[derive(Default)]
@@ -58,8 +62,25 @@ impl RidgeClassifier {
 
     /// Predict labels for raw feature rows.
     pub fn predict_features(&self, features: &[Vec<f64>]) -> Vec<Label> {
-        let sol = self.solution.as_ref().expect("predict before fit");
-        features
+        self.try_predict_features(features).expect("predict before fit")
+    }
+
+    /// Fallible [`Self::predict_features`]: errors instead of panicking
+    /// on an unfitted model or a feature-width mismatch, which is what
+    /// the serving layer needs when the input comes off the wire.
+    pub fn try_predict_features(&self, features: &[Vec<f64>]) -> Result<Vec<Label>, TsdaError> {
+        let sol = self
+            .solution
+            .as_ref()
+            .ok_or_else(|| TsdaError::InvalidParameter("predict before fit".into()))?;
+        let p = self.feature_mean.len();
+        if let Some(bad) = features.iter().find(|row| row.len() != p) {
+            return Err(TsdaError::Shape(format!(
+                "feature row has {} values, model expects {p}",
+                bad.len()
+            )));
+        }
+        Ok(features
             .iter()
             .map(|row| {
                 let x: Vec<f64> = row
@@ -75,12 +96,100 @@ impl RidgeClassifier {
                     .map(|(c, _)| c)
                     .unwrap_or(0)
             })
-            .collect()
+            .collect())
     }
 
     /// The alpha the LOOCV sweep selected (None before fit).
     pub fn selected_alpha(&self) -> Option<f64> {
         self.solution.as_ref().map(|s| s.alpha)
+    }
+
+    /// True once `fit_features` has run.
+    pub fn is_fitted(&self) -> bool {
+        self.solution.is_some()
+    }
+
+    /// Number of input features the fitted model expects.
+    pub fn n_features(&self) -> Option<usize> {
+        self.solution.as_ref().map(|_| self.feature_mean.len())
+    }
+
+    /// Number of output classes (0 before fit).
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Serialise the fitted state into a [`tsda_core::codec`] container.
+    ///
+    /// Weights, standardisation statistics, and intercepts are stored as
+    /// raw f64 bit patterns, so a load restores bit-identical predictions.
+    pub fn save_bytes(&self) -> Result<Vec<u8>, TsdaError> {
+        let sol = self
+            .solution
+            .as_ref()
+            .ok_or_else(|| TsdaError::InvalidParameter("cannot save an unfitted ridge model".into()))?;
+        let mut w = CodecWriter::new(RIDGE_KIND);
+        let mut meta = ByteWriter::new();
+        meta.usize(self.n_classes);
+        meta.usize(self.feature_mean.len());
+        w.section("meta", meta.into_bytes());
+        let mut st = ByteWriter::new();
+        st.f64_slice(&self.feature_mean);
+        st.f64_slice(&self.feature_std);
+        w.section("standardise", st.into_bytes());
+        let mut s = ByteWriter::new();
+        s.f64(sol.alpha);
+        s.f64(sol.loocv_mse);
+        s.usize(sol.weights.rows());
+        s.usize(sol.weights.cols());
+        s.f64_slice(sol.weights.as_slice());
+        s.f64_slice(&sol.intercepts);
+        w.section("solution", s.into_bytes());
+        Ok(w.finish())
+    }
+
+    /// Rebuild a fitted classifier from [`Self::save_bytes`] output.
+    pub fn load_bytes(bytes: &[u8]) -> Result<Self, TsdaError> {
+        let r = CodecReader::parse(bytes)?;
+        Self::load_codec(&r)
+    }
+
+    /// Rebuild from an already-parsed container (used when the ridge
+    /// state is nested inside a ROCKET/MiniRocket file).
+    pub(crate) fn load_codec(r: &CodecReader) -> Result<Self, TsdaError> {
+        r.expect_kind(RIDGE_KIND)?;
+        let mut meta = ByteReader::new(r.section("meta")?);
+        let n_classes = meta.usize()?;
+        let p = meta.usize()?;
+        meta.finish()?;
+        let mut st = ByteReader::new(r.section("standardise")?);
+        let feature_mean = st.f64_vec()?;
+        let feature_std = st.f64_vec()?;
+        st.finish()?;
+        if feature_mean.len() != p || feature_std.len() != p {
+            return Err(TsdaError::Codec("standardisation length disagrees with meta".into()));
+        }
+        let mut s = ByteReader::new(r.section("solution")?);
+        let alpha = s.f64()?;
+        let loocv_mse = s.f64()?;
+        let rows = s.usize()?;
+        let cols = s.usize()?;
+        let data = s.f64_vec()?;
+        let intercepts = s.f64_vec()?;
+        s.finish()?;
+        if data.len() != rows.saturating_mul(cols) {
+            return Err(TsdaError::Codec("weight matrix shape disagrees with payload".into()));
+        }
+        if rows != p || cols != n_classes || intercepts.len() != n_classes {
+            return Err(TsdaError::Codec("solution shape disagrees with meta".into()));
+        }
+        let weights = Matrix::from_vec(rows, cols, data);
+        Ok(Self {
+            solution: Some(RidgeSolution { weights, intercepts, alpha, loocv_mse }),
+            feature_mean,
+            feature_std,
+            n_classes,
+        })
     }
 }
 

@@ -15,9 +15,13 @@ use crate::ridge::RidgeClassifier;
 use crate::traits::Classifier;
 use rand::rngs::StdRng;
 use rand::Rng;
+use tsda_core::codec::{ByteReader, ByteWriter, CodecReader, CodecWriter};
 use tsda_core::parallel::Pool;
 use tsda_core::rng::standard_normal;
-use tsda_core::{Dataset, Label, Mts};
+use tsda_core::{Dataset, Label, Mts, TsdaError};
+
+/// Codec kind tag for saved ROCKET models.
+pub const ROCKET_KIND: &str = "rocket";
 
 /// Which pooled features each kernel contributes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -162,12 +166,21 @@ pub struct Rocket {
     config: RocketConfig,
     kernels: Vec<Kernel>,
     ridge: RidgeClassifier,
+    /// Input shape seen at fit time, `(n_dims, series_len)`; `(0, 0)`
+    /// while unfitted. The serving layer validates request shapes
+    /// against this before batching.
+    input_shape: (usize, usize),
 }
 
 impl Rocket {
     /// New ROCKET with the given configuration.
     pub fn new(config: RocketConfig) -> Self {
-        Self { config, kernels: Vec::new(), ridge: RidgeClassifier::default() }
+        Self {
+            config,
+            kernels: Vec::new(),
+            ridge: RidgeClassifier::default(),
+            input_shape: (0, 0),
+        }
     }
 
     /// Transform a dataset to the `2·n_kernels` feature matrix
@@ -197,6 +210,121 @@ impl Rocket {
     pub fn n_kernels(&self) -> usize {
         self.kernels.len()
     }
+
+    /// `(n_dims, series_len)` seen at fit time; `None` while unfitted.
+    pub fn input_shape(&self) -> Option<(usize, usize)> {
+        (!self.kernels.is_empty()).then_some(self.input_shape)
+    }
+
+    /// Number of classes the fitted ridge head separates (0 before fit).
+    pub fn n_classes(&self) -> usize {
+        self.ridge.n_classes()
+    }
+
+    /// Predict from an immutably borrowed fitted model.
+    ///
+    /// This is the serving path: the transform and the ridge head only
+    /// read fitted state, so concurrent threads can share one model.
+    /// [`Classifier::predict`] is a thin wrapper around this. Errors
+    /// instead of panicking on an unfitted model.
+    pub fn predict_fitted(&self, test: &Dataset) -> Result<Vec<Label>, TsdaError> {
+        if self.kernels.is_empty() {
+            return Err(TsdaError::InvalidParameter("predict before fit".into()));
+        }
+        let clean = preprocess_dataset(test);
+        let features = self.transform(&clean);
+        self.ridge.try_predict_features(&features)
+    }
+
+    /// Serialise the fitted state (kernels + ridge head) into a
+    /// versioned, checksummed [`tsda_core::codec`] container. The
+    /// round trip is bit-exact: a loaded model predicts identically.
+    pub fn save_bytes(&self) -> Result<Vec<u8>, TsdaError> {
+        if self.kernels.is_empty() {
+            return Err(TsdaError::InvalidParameter("cannot save an unfitted ROCKET model".into()));
+        }
+        let mut w = CodecWriter::new(ROCKET_KIND);
+        let mut cfg = ByteWriter::new();
+        cfg.usize(self.config.n_kernels);
+        cfg.usize(self.config.n_threads);
+        cfg.u8(match self.config.features {
+            RocketFeatures::PpvAndMax => 0,
+            RocketFeatures::PpvOnly => 1,
+        });
+        w.section("config", cfg.into_bytes());
+        let mut meta = ByteWriter::new();
+        meta.usize(self.input_shape.0);
+        meta.usize(self.input_shape.1);
+        w.section("meta", meta.into_bytes());
+        let mut ks = ByteWriter::new();
+        ks.usize(self.kernels.len());
+        for k in &self.kernels {
+            ks.usize(k.length);
+            ks.f64(k.bias);
+            ks.usize(k.dilation);
+            ks.usize(k.padding);
+            ks.usize_slice(&k.channels);
+            for wrow in &k.weights {
+                ks.f64_slice(wrow);
+            }
+        }
+        w.section("kernels", ks.into_bytes());
+        w.section("ridge", self.ridge.save_bytes()?);
+        Ok(w.finish())
+    }
+
+    /// Rebuild a fitted model from [`Self::save_bytes`] output.
+    pub fn load_bytes(bytes: &[u8]) -> Result<Self, TsdaError> {
+        let r = CodecReader::parse(bytes)?;
+        r.expect_kind(ROCKET_KIND)?;
+        let mut cfg = ByteReader::new(r.section("config")?);
+        let n_kernels = cfg.usize()?;
+        let n_threads = cfg.usize()?;
+        let features = match cfg.u8()? {
+            0 => RocketFeatures::PpvAndMax,
+            1 => RocketFeatures::PpvOnly,
+            other => return Err(TsdaError::Codec(format!("unknown feature kind {other}"))),
+        };
+        cfg.finish()?;
+        let mut meta = ByteReader::new(r.section("meta")?);
+        let input_shape = (meta.usize()?, meta.usize()?);
+        meta.finish()?;
+        let mut ks = ByteReader::new(r.section("kernels")?);
+        let count = ks.usize()?;
+        if count != n_kernels {
+            return Err(TsdaError::Codec(format!(
+                "kernel count {count} disagrees with config {n_kernels}"
+            )));
+        }
+        let mut kernels = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let length = ks.usize()?;
+            let bias = ks.f64()?;
+            let dilation = ks.usize()?;
+            let padding = ks.usize()?;
+            let channels = ks.usize_vec()?;
+            let mut weights = Vec::with_capacity(channels.len());
+            for _ in 0..channels.len() {
+                let wrow = ks.f64_vec()?;
+                if wrow.len() != length {
+                    return Err(TsdaError::Codec("kernel weight row length mismatch".into()));
+                }
+                weights.push(wrow);
+            }
+            if dilation == 0 || length == 0 {
+                return Err(TsdaError::Codec("kernel with zero length or dilation".into()));
+            }
+            kernels.push(Kernel { weights, channels, length, bias, dilation, padding });
+        }
+        ks.finish()?;
+        let ridge = RidgeClassifier::load_codec(&CodecReader::parse(r.section("ridge")?)?)?;
+        Ok(Self {
+            config: RocketConfig { n_kernels, n_threads, features },
+            kernels,
+            ridge,
+            input_shape,
+        })
+    }
 }
 
 impl Classifier for Rocket {
@@ -206,6 +334,7 @@ impl Classifier for Rocket {
 
     fn fit(&mut self, train: &Dataset, _validation: Option<&Dataset>, rng: &mut StdRng) {
         let clean = preprocess_dataset(train);
+        self.input_shape = (clean.n_dims(), clean.series_len());
         self.kernels = (0..self.config.n_kernels)
             .map(|_| Kernel::sample(clean.n_dims(), clean.series_len(), rng))
             .collect();
@@ -214,9 +343,7 @@ impl Classifier for Rocket {
     }
 
     fn predict(&mut self, test: &Dataset) -> Vec<Label> {
-        let clean = preprocess_dataset(test);
-        let features = self.transform(&clean);
-        self.ridge.predict_features(&features)
+        self.predict_fitted(test).expect("predict before fit")
     }
 }
 

@@ -17,6 +17,13 @@ pub trait Classifier {
     fn fit(&mut self, train: &Dataset, validation: Option<&Dataset>, rng: &mut StdRng);
 
     /// Predict a label for every series of `test`.
+    ///
+    /// Takes `&mut self` only because deep models cache activations
+    /// during forward passes. The feature-based models (ROCKET,
+    /// MiniRocket, ridge) additionally expose an equivalent `&self`
+    /// prediction path (`predict_fitted` / `try_predict_features`) so
+    /// serving threads can share one fitted model without locking; this
+    /// trait method is a thin wrapper around it for those types.
     fn predict(&mut self, test: &Dataset) -> Vec<Label>;
 
     /// Convenience: fit then score accuracy on `test`.

@@ -1,0 +1,483 @@
+//! Versioned, checksummed binary container for fitted-model state.
+//!
+//! Every model the workspace can persist (ROCKET, MiniRocket, the ridge
+//! classifier, InceptionTime) serialises into the same envelope so the
+//! serving layer can sniff a file before committing to a decoder:
+//!
+//! ```text
+//! magic  b"TSDA"                      4 bytes
+//! version u32 LE                      format revision (currently 1)
+//! kind    string                      model kind tag, e.g. "rocket"
+//! n_sections u32 LE
+//! per section: name string, payload length u64 LE
+//! payloads, concatenated in table order
+//! crc32  u32 LE                       IEEE CRC-32 of every prior byte
+//! ```
+//!
+//! A *string* is a u32 LE byte length followed by UTF-8 bytes. All
+//! floating-point payloads are stored as raw IEEE-754 bit patterns
+//! ([`f64::to_le_bytes`]), so a save → load round trip is bit-exact and
+//! loaded models predict identically to the fitted originals.
+//!
+//! Decoding never panics on malformed input: wrong magic, an unknown
+//! version, a checksum mismatch, or a truncated buffer all surface as
+//! [`TsdaError::Codec`].
+//!
+//! # Example
+//! ```
+//! use tsda_core::codec::{CodecReader, CodecWriter};
+//!
+//! let mut w = CodecWriter::new("demo");
+//! w.section("weights", vec![1, 2, 3]);
+//! let bytes = w.finish();
+//! let r = CodecReader::parse(&bytes).unwrap();
+//! assert_eq!(r.kind(), "demo");
+//! assert_eq!(r.section("weights").unwrap(), &[1, 2, 3]);
+//! ```
+
+use crate::error::TsdaError;
+use std::path::Path;
+
+/// File magic: the first four bytes of every model file.
+pub const MAGIC: [u8; 4] = *b"TSDA";
+
+/// Current container format version.
+pub const VERSION: u32 = 1;
+
+/// IEEE CRC-32 lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { 0xEDB8_8320 ^ (crc >> 1) } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+fn codec_err(msg: impl Into<String>) -> TsdaError {
+    TsdaError::Codec(msg.into())
+}
+
+/// Builds one container file: a kind tag plus named binary sections.
+pub struct CodecWriter {
+    kind: String,
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl CodecWriter {
+    /// New container for the given model kind tag.
+    pub fn new(kind: &str) -> Self {
+        Self { kind: kind.to_string(), sections: Vec::new() }
+    }
+
+    /// Append a named section. Section order is preserved; names must be
+    /// unique (readers return the first match).
+    pub fn section(&mut self, name: &str, payload: Vec<u8>) {
+        self.sections.push((name.to_string(), payload));
+    }
+
+    /// Serialise the container, appending the trailing checksum.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        write_string(&mut out, &self.kind);
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for (name, payload) in &self.sections {
+            write_string(&mut out, name);
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        }
+        for (_, payload) in &self.sections {
+            out.extend_from_slice(payload);
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Serialise and write to a file.
+    pub fn write_file(self, path: &Path) -> Result<(), TsdaError> {
+        std::fs::write(path, self.finish())?;
+        Ok(())
+    }
+}
+
+fn write_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A parsed, checksum-verified container.
+#[derive(Debug)]
+pub struct CodecReader {
+    kind: String,
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl CodecReader {
+    /// Parse and verify a serialised container.
+    pub fn parse(bytes: &[u8]) -> Result<Self, TsdaError> {
+        if bytes.len() < MAGIC.len() + 8 {
+            return Err(codec_err(format!("file too short ({} bytes)", bytes.len())));
+        }
+        if bytes[..4] != MAGIC {
+            return Err(codec_err("bad magic: not a TSDA model file"));
+        }
+        // Checksum covers everything up to the trailing 4 bytes.
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        let actual = crc32(body);
+        if stored != actual {
+            return Err(codec_err(format!(
+                "checksum mismatch (stored {stored:#010x}, computed {actual:#010x}): file is corrupted"
+            )));
+        }
+        let mut r = ByteReader::new(&body[4..]);
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(codec_err(format!(
+                "unsupported format version {version} (this build reads version {VERSION})"
+            )));
+        }
+        let kind = r.string()?;
+        let n_sections = r.u32()? as usize;
+        if n_sections > 1 << 20 {
+            return Err(codec_err(format!("implausible section count {n_sections}")));
+        }
+        let mut table = Vec::with_capacity(n_sections);
+        for _ in 0..n_sections {
+            let name = r.string()?;
+            let len = r.u64()? as usize;
+            table.push((name, len));
+        }
+        let mut sections = Vec::with_capacity(n_sections);
+        for (name, len) in table {
+            let payload = r.bytes(len)?;
+            sections.push((name, payload.to_vec()));
+        }
+        if r.remaining() != 0 {
+            return Err(codec_err(format!("{} trailing bytes after sections", r.remaining())));
+        }
+        Ok(Self { kind, sections })
+    }
+
+    /// Read and parse a container file.
+    pub fn read_file(path: &Path) -> Result<Self, TsdaError> {
+        let bytes = std::fs::read(path)?;
+        Self::parse(&bytes)
+    }
+
+    /// The model kind tag the file was written with.
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// Section names in file order.
+    pub fn section_names(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Borrow a section payload by name.
+    pub fn section(&self, name: &str) -> Result<&[u8], TsdaError> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p.as_slice())
+            .ok_or_else(|| codec_err(format!("missing section {name:?}")))
+    }
+
+    /// Error unless the kind tag matches `expected`.
+    pub fn expect_kind(&self, expected: &str) -> Result<(), TsdaError> {
+        if self.kind == expected {
+            Ok(())
+        } else {
+            Err(codec_err(format!(
+                "model kind mismatch: file holds {:?}, expected {expected:?}",
+                self.kind
+            )))
+        }
+    }
+}
+
+/// Little-endian primitive encoder for section payloads.
+#[derive(Default)]
+pub struct ByteWriter(Vec<u8>);
+
+impl ByteWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume into the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    /// Write a u32.
+    pub fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a u64.
+    pub fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a usize as u64.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Write an f32 bit pattern.
+    pub fn f32(&mut self, v: f32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an f64 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) {
+        write_string(&mut self.0, s);
+    }
+
+    /// Write a length-prefixed f64 slice.
+    pub fn f64_slice(&mut self, vs: &[f64]) {
+        self.usize(vs.len());
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+
+    /// Write a length-prefixed f32 slice.
+    pub fn f32_slice(&mut self, vs: &[f32]) {
+        self.usize(vs.len());
+        for &v in vs {
+            self.f32(v);
+        }
+    }
+
+    /// Write a length-prefixed usize slice (as u64s).
+    pub fn usize_slice(&mut self, vs: &[usize]) {
+        self.usize(vs.len());
+        for &v in vs {
+            self.usize(v);
+        }
+    }
+}
+
+/// Bounds-checked little-endian primitive decoder.
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Reader over a payload slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Error unless every byte was consumed.
+    pub fn finish(&self) -> Result<(), TsdaError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(codec_err(format!("{} unread bytes at end of section", self.remaining())))
+        }
+    }
+
+    /// Borrow the next `n` bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], TsdaError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| codec_err(format!("truncated: wanted {n} bytes, have {}", self.remaining())))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, TsdaError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Read a u32.
+    pub fn u32(&mut self) -> Result<u32, TsdaError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Read a u64.
+    pub fn u64(&mut self) -> Result<u64, TsdaError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read a u64 into a usize.
+    pub fn usize(&mut self) -> Result<usize, TsdaError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| codec_err(format!("value {v} overflows usize")))
+    }
+
+    /// Read an f32 bit pattern.
+    pub fn f32(&mut self) -> Result<f32, TsdaError> {
+        Ok(f32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Read an f64 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, TsdaError> {
+        Ok(f64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, TsdaError> {
+        let len = self.u32()? as usize;
+        let raw = self.bytes(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| codec_err("invalid UTF-8 in string"))
+    }
+
+    /// Read a length-prefixed f64 slice.
+    pub fn f64_vec(&mut self) -> Result<Vec<f64>, TsdaError> {
+        let n = self.checked_len(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    /// Read a length-prefixed f32 slice.
+    pub fn f32_vec(&mut self) -> Result<Vec<f32>, TsdaError> {
+        let n = self.checked_len(4)?;
+        (0..n).map(|_| self.f32()).collect()
+    }
+
+    /// Read a length-prefixed usize slice.
+    pub fn usize_vec(&mut self) -> Result<Vec<usize>, TsdaError> {
+        let n = self.checked_len(8)?;
+        (0..n).map(|_| self.usize()).collect()
+    }
+
+    /// Read a slice length and reject lengths that cannot fit in the
+    /// remaining bytes (guards `Vec::with_capacity` against hostile
+    /// headers on corrupted files).
+    fn checked_len(&mut self, item_bytes: usize) -> Result<usize, TsdaError> {
+        let n = self.usize()?;
+        if n.saturating_mul(item_bytes) > self.remaining() {
+            return Err(codec_err(format!(
+                "declared length {n} exceeds remaining {} bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = CodecWriter::new("test-model");
+        let mut b = ByteWriter::new();
+        b.usize(3);
+        b.f64(1.5);
+        b.f64_slice(&[0.25, -2.0, f64::NAN]);
+        b.string("hello");
+        w.section("alpha", b.into_bytes());
+        w.section("beta", vec![9, 8, 7]);
+        w.finish()
+    }
+
+    #[test]
+    fn round_trip_sections_and_primitives() {
+        let bytes = sample();
+        let r = CodecReader::parse(&bytes).unwrap();
+        assert_eq!(r.kind(), "test-model");
+        assert_eq!(r.section_names().collect::<Vec<_>>(), vec!["alpha", "beta"]);
+        let mut b = ByteReader::new(r.section("alpha").unwrap());
+        assert_eq!(b.usize().unwrap(), 3);
+        assert_eq!(b.f64().unwrap(), 1.5);
+        let vs = b.f64_vec().unwrap();
+        assert_eq!(vs[..2], [0.25, -2.0]);
+        assert!(vs[2].is_nan()); // NaN bit pattern survives
+        assert_eq!(b.string().unwrap(), "hello");
+        b.finish().unwrap();
+        assert_eq!(r.section("beta").unwrap(), &[9, 8, 7]);
+    }
+
+    #[test]
+    fn every_flipped_byte_is_detected() {
+        let bytes = sample();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                CodecReader::parse(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = sample();
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        // Re-seal the checksum so only the version is wrong.
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        let err = CodecReader::parse(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_errors_not_panics() {
+        let bytes = sample();
+        for cut in 0..bytes.len() {
+            assert!(CodecReader::parse(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(CodecReader::parse(b"not a model file at all").is_err());
+        assert!(CodecReader::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn missing_section_and_kind_mismatch() {
+        let r = CodecReader::parse(&sample()).unwrap();
+        assert!(r.section("gamma").is_err());
+        assert!(r.expect_kind("other").is_err());
+        assert!(r.expect_kind("test-model").is_ok());
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

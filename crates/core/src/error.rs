@@ -26,6 +26,9 @@ pub enum TsdaError {
     },
     /// Underlying IO failure, stringified to keep the error `Clone`.
     Io(String),
+    /// Malformed model file: bad magic, unsupported format version,
+    /// checksum mismatch, or a truncated/garbled section.
+    Codec(String),
 }
 
 impl std::fmt::Display for TsdaError {
@@ -39,6 +42,7 @@ impl std::fmt::Display for TsdaError {
             Self::Numerical(msg) => write!(f, "numerical error: {msg}"),
             Self::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             Self::Io(msg) => write!(f, "io error: {msg}"),
+            Self::Codec(msg) => write!(f, "codec error: {msg}"),
         }
     }
 }

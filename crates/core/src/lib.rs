@@ -22,6 +22,7 @@
 //! ```
 
 pub mod characteristics;
+pub mod codec;
 pub mod dataset;
 pub mod error;
 pub mod metrics;

@@ -20,3 +20,4 @@ pub mod ts_format;
 
 pub use registry::{DatasetId, DatasetMeta, ALL_DATASETS};
 pub use synth::{generate, GenOptions};
+pub use ts_format::{format_series_line, parse_series_line, parse_ts, write_ts, TsFile};

@@ -86,37 +86,77 @@ pub fn parse_ts(content: &str) -> Result<TsFile, TsdaError> {
                 l
             }
         };
-        let mut dims: Vec<Vec<f64>> = Vec::with_capacity(fields.len());
-        for dim_str in fields {
-            let vals: Result<Vec<f64>, TsdaError> = dim_str
-                .split(',')
-                .map(|tok| {
-                    let tok = tok.trim();
-                    if tok == "?" {
-                        Ok(f64::NAN)
-                    } else {
-                        tok.parse::<f64>().map_err(|_| TsdaError::Parse {
-                            line: lineno,
-                            message: format!("bad value {tok:?}"),
-                        })
-                    }
-                })
-                .collect();
-            dims.push(vals?);
-        }
-        let width = dims[0].len();
-        if dims.iter().any(|d| d.len() != width) {
-            return Err(TsdaError::Parse {
-                line: lineno,
-                message: "dimensions of one series differ in length".into(),
-            });
-        }
-        series.push(Mts::from_dims(dims));
+        series.push(parse_dims(&fields, lineno)?);
         labels.push(label);
     }
     let n_classes = class_names.len().max(labels.iter().map(|&l| l + 1).max().unwrap_or(0));
     let dataset = Dataset::from_parts(series, labels, n_classes)?;
     Ok(TsFile { dataset, class_names, problem_name })
+}
+
+/// Parse the dimension fields of one data line (label already removed).
+fn parse_dims(fields: &[&str], lineno: usize) -> Result<Mts, TsdaError> {
+    let mut dims: Vec<Vec<f64>> = Vec::with_capacity(fields.len());
+    for dim_str in fields {
+        let vals: Result<Vec<f64>, TsdaError> = dim_str
+            .split(',')
+            .map(|tok| {
+                let tok = tok.trim();
+                if tok == "?" {
+                    Ok(f64::NAN)
+                } else {
+                    tok.parse::<f64>().map_err(|_| TsdaError::Parse {
+                        line: lineno,
+                        message: format!("bad value {tok:?}"),
+                    })
+                }
+            })
+            .collect();
+        dims.push(vals?);
+    }
+    if dims.is_empty() || dims[0].is_empty() {
+        return Err(TsdaError::Parse { line: lineno, message: "empty series".into() });
+    }
+    let width = dims[0].len();
+    if dims.iter().any(|d| d.len() != width) {
+        return Err(TsdaError::Parse {
+            line: lineno,
+            message: "dimensions of one series differ in length".into(),
+        });
+    }
+    Ok(Mts::from_dims(dims))
+}
+
+/// Parse one label-less series in `.ts` data-line layout — dimensions
+/// separated by `:`, values by `,`, `?` for missing — e.g.
+/// `"1.0,2.0,3.0:0.5,0.5,0.5"` for a 2-dim series of length 3.
+///
+/// This is the payload format the `tsda-serve` wire protocol uses for
+/// predict requests, so serving and archive IO share one parser.
+/// Reported error line numbers are always 1.
+pub fn parse_series_line(text: &str) -> Result<Mts, TsdaError> {
+    let fields: Vec<&str> = text.trim().split(':').collect();
+    parse_dims(&fields, 1)
+}
+
+/// Serialise one series to the `.ts` data-line layout (no label field);
+/// the exact inverse of [`parse_series_line`]. Values are printed with
+/// Rust's shortest round-trip float formatting, so parse → format →
+/// parse is bit-exact (NaN included, as `?`).
+pub fn format_series_line(s: &Mts) -> String {
+    let mut out = String::new();
+    for m in 0..s.n_dims() {
+        if m > 0 {
+            out.push(':');
+        }
+        let vals: Vec<String> = s
+            .dim(m)
+            .iter()
+            .map(|v| if v.is_nan() { "?".to_string() } else { format!("{v}") })
+            .collect();
+        out.push_str(&vals.join(","));
+    }
+    out
 }
 
 /// Serialise a dataset to `.ts` text. Labels are written as `c<index>`
@@ -137,17 +177,7 @@ pub fn write_ts(ds: &Dataset, problem_name: &str, class_names: Option<&[String]>
     }
     out.push_str("\n@data\n");
     for (s, l) in ds.iter() {
-        for m in 0..s.n_dims() {
-            if m > 0 {
-                out.push(':');
-            }
-            let vals: Vec<String> = s
-                .dim(m)
-                .iter()
-                .map(|v| if v.is_nan() { "?".to_string() } else { format!("{v}") })
-                .collect();
-            out.push_str(&vals.join(","));
-        }
+        out.push_str(&format_series_line(s));
         out.push(':');
         out.push_str(&names[l]);
         out.push('\n');

@@ -1,0 +1,265 @@
+//! Adaptive micro-batching: one worker thread per model coalesces
+//! concurrent predict requests into single batched `predict` calls.
+//!
+//! The flush policy is the classic adaptive one: the first job to
+//! arrive opens a window of `max_wait`; the batch runs when either
+//! `max_batch` jobs are pending or the window closes, whichever comes
+//! first. Under load batches fill instantly (amortising the transform /
+//! forward pass across requests); a lone request waits at most
+//! `max_wait` before running solo.
+
+use crate::registry::ModelRegistry;
+use crate::stats::ServerStats;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tsda_core::Mts;
+
+/// Micro-batcher knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Flush as soon as this many requests are pending.
+    pub max_batch: usize,
+    /// Flush this long after the first pending request arrived.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self { max_batch: 32, max_wait: Duration::from_millis(2) }
+    }
+}
+
+/// The answer a connection handler gets back for one queued series.
+#[derive(Debug, Clone)]
+pub struct BatchReply {
+    /// Predicted label, or a client-facing error message.
+    pub result: Result<usize, String>,
+    /// How many series shared the batch.
+    pub batch_size: usize,
+    /// Queue wait + predict time for this job, microseconds.
+    pub micros: u64,
+}
+
+struct Job {
+    series: Mts,
+    enqueued: Instant,
+    reply: SyncSender<BatchReply>,
+}
+
+/// Handle for submitting jobs to the per-model batch workers.
+pub struct Batcher {
+    queues: BTreeMap<String, Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Spawn one batch worker per registered model.
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        stats: Arc<ServerStats>,
+        config: BatchConfig,
+        shutdown: Arc<AtomicBool>,
+    ) -> Self {
+        let mut queues = BTreeMap::new();
+        let mut workers = Vec::new();
+        for name in registry.names() {
+            let (tx, rx) = std::sync::mpsc::channel::<Job>();
+            let registry = Arc::clone(&registry);
+            let stats = Arc::clone(&stats);
+            let shutdown = Arc::clone(&shutdown);
+            let model = name.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("batch-{name}"))
+                .spawn(move || worker_loop(&registry, &model, &stats, config, &shutdown, &rx))
+                .expect("spawn batch worker");
+            queues.insert(name, tx);
+            workers.push(handle);
+        }
+        Self { queues, workers }
+    }
+
+    /// Queue one validated series for the named model. Returns a
+    /// receiver the caller blocks on for the reply; `None` when the
+    /// model has no worker (unknown name) or its worker already exited.
+    pub fn submit(&self, model: &str, series: Mts) -> Option<Receiver<BatchReply>> {
+        let tx = self.queues.get(model)?;
+        // Rendezvous capacity 1: the worker never blocks sending the
+        // reply even if the requesting connection died mid-flight.
+        let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
+        tx.send(Job { series, enqueued: Instant::now(), reply: reply_tx }).ok()?;
+        Some(reply_rx)
+    }
+
+    /// Drop the queues (workers drain and exit) and join every worker.
+    pub fn shutdown(self) {
+        drop(self.queues);
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(
+    registry: &ModelRegistry,
+    model: &str,
+    stats: &ServerStats,
+    config: BatchConfig,
+    shutdown: &AtomicBool,
+    rx: &Receiver<Job>,
+) {
+    let entry = registry.get(model).expect("worker spawned for registered model");
+    let max_batch = config.max_batch.max(1);
+    loop {
+        // Idle: poll for the first job so a flipped shutdown flag is
+        // noticed within 50ms even with no traffic.
+        let first = loop {
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(job) => break job,
+                Err(RecvTimeoutError::Timeout) => {
+                    if shutdown.load(Ordering::Relaxed) {
+                        return;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        let deadline = Instant::now() + config.max_wait;
+        let mut jobs = vec![first];
+        while jobs.len() < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => jobs.push(job),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        let series: Vec<Mts> = jobs.iter().map(|j| j.series.clone()).collect();
+        let batch_start = Instant::now();
+        let outcome = entry.predict_batch(&series);
+        let batch_micros = batch_start.elapsed().as_micros() as u64;
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        stats.batched_items.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        stats.batch_latency.record(batch_micros);
+
+        let batch_size = jobs.len();
+        match outcome {
+            Ok(labels) => {
+                debug_assert_eq!(labels.len(), batch_size);
+                for (job, label) in jobs.into_iter().zip(labels) {
+                    let micros = job.enqueued.elapsed().as_micros() as u64;
+                    stats.request_latency.record(micros);
+                    let _ = job
+                        .reply
+                        .send(BatchReply { result: Ok(label), batch_size, micros });
+                }
+            }
+            Err(e) => {
+                let msg = format!("prediction failed: {e}");
+                for job in jobs {
+                    let micros = job.enqueued.elapsed().as_micros() as u64;
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    stats.request_latency.record(micros);
+                    let _ = job
+                        .reply
+                        .send(BatchReply { result: Err(msg.clone()), batch_size, micros });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelEntry;
+    use rand::Rng;
+    use tsda_classify::persist::SavedModel;
+    use tsda_classify::{Classifier, Rocket, RocketConfig};
+    use tsda_core::rng::seeded;
+    use tsda_core::Dataset;
+
+    fn fitted_rocket() -> (Rocket, Dataset) {
+        let mut ds = Dataset::empty(2);
+        let mut rng = seeded(11);
+        for c in 0..2usize {
+            let freq = if c == 0 { 0.25 } else { 0.8 };
+            for _ in 0..8 {
+                let phase: f64 = rng.gen_range(0.0..1.0);
+                ds.push(
+                    Mts::from_dims(vec![(0..20)
+                        .map(|t| (t as f64 * freq + phase).sin())
+                        .collect()]),
+                    c,
+                );
+            }
+        }
+        let mut rocket = Rocket::new(RocketConfig { n_kernels: 40, ..RocketConfig::default() });
+        rocket.fit(&ds, None, &mut seeded(12));
+        (rocket, ds)
+    }
+
+    fn start_batcher(config: BatchConfig) -> (Batcher, Arc<ServerStats>, Dataset, Vec<usize>) {
+        let (mut rocket, ds) = fitted_rocket();
+        let offline = rocket.predict(&ds);
+        let mut registry = ModelRegistry::new();
+        registry
+            .insert(ModelEntry::from_saved("rocket", SavedModel::Rocket(rocket), None).unwrap());
+        let stats = Arc::new(ServerStats::new());
+        let batcher = Batcher::start(
+            Arc::new(registry),
+            Arc::clone(&stats),
+            config,
+            Arc::new(AtomicBool::new(false)),
+        );
+        (batcher, stats, ds, offline)
+    }
+
+    #[test]
+    fn concurrent_submissions_coalesce_and_match_offline() {
+        let (batcher, stats, ds, offline) = start_batcher(BatchConfig {
+            max_batch: 16,
+            max_wait: Duration::from_millis(40),
+        });
+        let receivers: Vec<_> = ds
+            .series()
+            .iter()
+            .map(|s| batcher.submit("rocket", s.clone()).expect("queue open"))
+            .collect();
+        let mut max_batch_seen = 0;
+        for (rx, want) in receivers.into_iter().zip(&offline) {
+            let reply = rx.recv().expect("worker replies");
+            assert_eq!(reply.result.as_ref().unwrap(), want);
+            max_batch_seen = max_batch_seen.max(reply.batch_size);
+        }
+        assert!(max_batch_seen > 1, "expected coalescing, max batch {max_batch_seen}");
+        let snap = stats.snapshot();
+        assert_eq!(snap.batched_items, ds.series().len() as u64);
+        assert!(snap.mean_batch > 1.0, "mean batch {}", snap.mean_batch);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn unknown_model_is_rejected_at_submit() {
+        let (batcher, _, ds, _) =
+            start_batcher(BatchConfig { max_batch: 4, max_wait: Duration::from_millis(1) });
+        assert!(batcher.submit("nope", ds.series()[0].clone()).is_none());
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn shutdown_with_idle_worker_joins_quickly() {
+        let (batcher, _, _, _) =
+            start_batcher(BatchConfig { max_batch: 4, max_wait: Duration::from_millis(1) });
+        let start = Instant::now();
+        batcher.shutdown();
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+}

@@ -1,0 +1,364 @@
+//! `tsda_client` — single requests, readiness probing, and a
+//! closed-loop load generator for `tsda_serve`.
+//!
+//! ```text
+//! tsda_client --addr 127.0.0.1:7878 --wait-ready 30
+//! tsda_client --model rocket --series "1.0,2.0,...:0.5,..."
+//! tsda_client --stats
+//! tsda_client --load --models rocket,inception --requests 400 \
+//!             --concurrency 8 --dataset RacketSports --seed 7 \
+//!             --out BENCH_serve.json
+//! ```
+//!
+//! The load generator runs `--concurrency` closed-loop connections per
+//! model (each sends one request, waits for the response, repeats),
+//! records exact client-side latencies, and writes per-model
+//! requests/sec + p50/p99/mean to `--out` together with the server's
+//! own stats snapshot.
+
+use serde::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use tsda_datasets::registry::ALL_DATASETS;
+use tsda_datasets::synth::{generate, GenOptions};
+use tsda_datasets::ts_format::format_series_line;
+use tsda_serve::protocol::{parse_response, Response};
+
+struct Args {
+    addr: String,
+    wait_ready: Option<u64>,
+    model: Option<String>,
+    series: Option<String>,
+    stats: bool,
+    load: bool,
+    models: Vec<String>,
+    requests: usize,
+    concurrency: usize,
+    dataset: String,
+    seed: u64,
+    out: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            wait_ready: None,
+            model: None,
+            series: None,
+            stats: false,
+            load: false,
+            models: vec!["rocket".into()],
+            requests: 200,
+            concurrency: 8,
+            dataset: "RacketSports".into(),
+            seed: 7,
+            out: "BENCH_serve.json".into(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--wait-ready" => {
+                args.wait_ready = Some(
+                    value("--wait-ready")?.parse().map_err(|e| format!("--wait-ready: {e}"))?,
+                );
+            }
+            "--model" => args.model = Some(value("--model")?),
+            "--series" => args.series = Some(value("--series")?),
+            "--stats" => args.stats = true,
+            "--load" => args.load = true,
+            "--models" => {
+                args.models = value("--models")?
+                    .split(',')
+                    .map(|s| s.trim().to_lowercase())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--requests" => {
+                args.requests =
+                    value("--requests")?.parse().map_err(|e| format!("--requests: {e}"))?;
+            }
+            "--concurrency" => {
+                args.concurrency =
+                    value("--concurrency")?.parse().map_err(|e| format!("--concurrency: {e}"))?;
+            }
+            "--dataset" => args.dataset = value("--dataset")?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--out" => args.out = value("--out")?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: tsda_client [--addr A] [--wait-ready SECS]\n\
+                     \x20                  [--model M --series S] [--stats]\n\
+                     \x20                  [--load --models m1,m2 --requests N --concurrency C\n\
+                     \x20                   --dataset D --seed S --out FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// One connection that sends a line and reads the matching response.
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Result<Self, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(
+            stream.try_clone().map_err(|e| format!("clone stream: {e}"))?,
+        );
+        Ok(Self { writer: stream, reader })
+    }
+
+    fn round_trip(&mut self, line: &str) -> Result<Response, String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .map_err(|e| format!("send: {e}"))?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply).map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".into());
+        }
+        parse_response(reply.trim_end())
+    }
+}
+
+fn request_line(id: u64, op: &str, extra: Vec<(String, Value)>) -> String {
+    let mut pairs = vec![
+        ("id".to_string(), Value::Num(id as f64)),
+        ("op".to_string(), Value::Str(op.to_string())),
+    ];
+    pairs.extend(extra);
+    serde_json::to_string(&Value::Object(pairs)).expect("value trees always serialise")
+}
+
+fn predict_line(id: u64, model: &str, series: &str) -> String {
+    request_line(
+        id,
+        "predict",
+        vec![
+            ("model".into(), Value::Str(model.to_string())),
+            ("series".into(), Value::Str(series.to_string())),
+        ],
+    )
+}
+
+fn wait_ready(addr: &str, secs: u64) -> Result<(), String> {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    let mut last = String::from("never connected");
+    while Instant::now() < deadline {
+        match Conn::open(addr).and_then(|mut c| c.round_trip(&request_line(1, "ping", vec![]))) {
+            Ok(r) if r.ok => return Ok(()),
+            Ok(r) => last = r.error.unwrap_or_else(|| "not ok".into()),
+            Err(e) => last = e,
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    Err(format!("server at {addr} not ready after {secs}s: {last}"))
+}
+
+/// Exact percentile over a sorted latency slice (nearest-rank).
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+struct LoadResult {
+    model: String,
+    requests: usize,
+    errors: usize,
+    elapsed_s: f64,
+    latencies_us: Vec<u64>,
+}
+
+impl LoadResult {
+    fn to_value(&self) -> Value {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let mean = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().sum::<u64>() as f64 / sorted.len() as f64
+        };
+        Value::Object(vec![
+            ("model".into(), Value::Str(self.model.clone())),
+            ("requests".into(), Value::Num(self.requests as f64)),
+            ("errors".into(), Value::Num(self.errors as f64)),
+            ("elapsed_s".into(), Value::Num(self.elapsed_s)),
+            (
+                "requests_per_s".into(),
+                Value::Num(if self.elapsed_s > 0.0 {
+                    self.requests as f64 / self.elapsed_s
+                } else {
+                    0.0
+                }),
+            ),
+            ("p50_us".into(), Value::Num(percentile_us(&sorted, 0.50) as f64)),
+            ("p99_us".into(), Value::Num(percentile_us(&sorted, 0.99) as f64)),
+            ("mean_us".into(), Value::Num(mean)),
+        ])
+    }
+}
+
+/// Closed-loop load against one model: `concurrency` worker threads,
+/// each with its own connection, splitting `requests` between them.
+fn run_load(
+    addr: &str,
+    model: &str,
+    series: &[String],
+    requests: usize,
+    concurrency: usize,
+) -> Result<LoadResult, String> {
+    let concurrency = concurrency.max(1);
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for worker in 0..concurrency {
+        let n = requests / concurrency + usize::from(worker < requests % concurrency);
+        let addr = addr.to_string();
+        let model = model.to_string();
+        let series = series.to_vec();
+        handles.push(std::thread::spawn(move || -> Result<(Vec<u64>, usize), String> {
+            let mut conn = Conn::open(&addr)?;
+            let mut latencies = Vec::with_capacity(n);
+            let mut errors = 0usize;
+            for i in 0..n {
+                let s = &series[(worker + i * concurrency) % series.len()];
+                let t0 = Instant::now();
+                let reply = conn.round_trip(&predict_line(i as u64 + 1, &model, s))?;
+                latencies.push(t0.elapsed().as_micros() as u64);
+                if !reply.ok {
+                    errors += 1;
+                }
+            }
+            Ok((latencies, errors))
+        }));
+    }
+    let mut latencies_us = Vec::with_capacity(requests);
+    let mut errors = 0;
+    for h in handles {
+        let (lat, err) = h.join().map_err(|_| "load worker panicked".to_string())??;
+        latencies_us.extend(lat);
+        errors += err;
+    }
+    Ok(LoadResult {
+        model: model.to_string(),
+        requests,
+        errors,
+        elapsed_s: started.elapsed().as_secs_f64(),
+        latencies_us,
+    })
+}
+
+fn fetch_stats(addr: &str) -> Result<Value, String> {
+    let mut conn = Conn::open(addr)?;
+    let reply = conn.round_trip(&request_line(1, "stats", vec![]))?;
+    if !reply.ok {
+        return Err(reply.error.unwrap_or_else(|| "stats failed".into()));
+    }
+    reply.result.ok_or_else(|| "stats response had no result".into())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    if let Some(secs) = args.wait_ready {
+        wait_ready(&args.addr, secs)?;
+        println!("ready");
+        if !args.load && args.model.is_none() && !args.stats {
+            return Ok(());
+        }
+    }
+
+    if args.stats {
+        let stats = fetch_stats(&args.addr)?;
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&stats).expect("value trees always serialise")
+        );
+        return Ok(());
+    }
+
+    if let (Some(model), Some(series)) = (&args.model, &args.series) {
+        let mut conn = Conn::open(&args.addr)?;
+        let reply = conn.round_trip(&predict_line(1, model, series))?;
+        if reply.ok {
+            println!(
+                "label {} (batch {}, {}us server-side)",
+                reply.label.unwrap_or(0),
+                reply.batch.unwrap_or(1),
+                reply.micros.unwrap_or(0)
+            );
+            return Ok(());
+        }
+        return Err(reply.error.unwrap_or_else(|| "predict failed".into()));
+    }
+
+    if args.load {
+        let meta = ALL_DATASETS
+            .iter()
+            .find(|m| m.name.eq_ignore_ascii_case(&args.dataset))
+            .ok_or_else(|| format!("unknown dataset {:?}", args.dataset))?;
+        let tt = generate(meta, &GenOptions::ci(args.seed));
+        let series: Vec<String> =
+            tt.test.series().iter().map(format_series_line).collect();
+        if series.is_empty() {
+            return Err("dataset generated no test series".into());
+        }
+        let mut entries = Vec::new();
+        for model in &args.models {
+            eprintln!(
+                "load: model {model}, {} requests, concurrency {}",
+                args.requests, args.concurrency
+            );
+            let result = run_load(&args.addr, model, &series, args.requests, args.concurrency)?;
+            eprintln!(
+                "load: {model}: {:.0} req/s, {} errors",
+                result.requests as f64 / result.elapsed_s.max(1e-9),
+                result.errors
+            );
+            entries.push(result.to_value());
+        }
+        let server_stats = fetch_stats(&args.addr).unwrap_or(Value::Null);
+        let report = Value::Object(vec![
+            ("dataset".into(), Value::Str(meta.name.to_string())),
+            ("seed".into(), Value::Num(args.seed as f64)),
+            ("concurrency".into(), Value::Num(args.concurrency as f64)),
+            ("models".into(), Value::Array(entries)),
+            ("server_stats".into(), server_stats),
+        ]);
+        let text = serde_json::to_string_pretty(&report).expect("value trees always serialise");
+        std::fs::write(&args.out, text + "\n").map_err(|e| format!("write {}: {e}", args.out))?;
+        println!("wrote {}", args.out);
+        return Ok(());
+    }
+
+    if args.wait_ready.is_some() {
+        return Ok(());
+    }
+    Err("nothing to do: pass --wait-ready, --stats, --model+--series, or --load".into())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("tsda_client: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,282 @@
+//! `tsda_serve` — train-or-load models, then serve prediction traffic.
+//!
+//! ```text
+//! tsda_serve --models rocket,inception --dataset RacketSports --dir models \
+//!            --addr 127.0.0.1:7878 --max-batch 32 --max-wait-ms 2 --fast
+//! ```
+//!
+//! For each requested model the bin loads `<dir>/<model>.tsda` when the
+//! file exists, otherwise trains on the named simulated dataset
+//! (laptop-scale `GenOptions::ci(seed)`) and saves it there, so restarts
+//! reuse the fitted model byte-for-byte. SIGINT/SIGTERM flip the
+//! shutdown flag; the server drains in-flight batches, prints a final
+//! stats snapshot, and exits 0.
+
+use std::time::{Duration, Instant};
+use tsda_classify::persist::{load_model, save_model, SavedModel};
+use tsda_classify::{
+    Classifier, InceptionTime, InceptionTimeConfig, MiniRocket, MiniRocketConfig, RidgeClassifier,
+    Rocket, RocketConfig,
+};
+use tsda_core::rng::seeded;
+use tsda_core::Dataset;
+use tsda_datasets::registry::{DatasetMeta, ALL_DATASETS};
+use tsda_datasets::synth::{generate, GenOptions};
+use tsda_neuro::train::TrainConfig;
+use tsda_serve::batcher::BatchConfig;
+use tsda_serve::registry::{ModelEntry, ModelRegistry};
+use tsda_serve::server::{serve, ServerConfig};
+use tsda_serve::signal;
+
+struct Args {
+    addr: String,
+    models: Vec<String>,
+    dataset: String,
+    seed: u64,
+    dir: Option<String>,
+    max_batch: usize,
+    max_wait_ms: u64,
+    fast: bool,
+    max_seconds: Option<u64>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            models: vec!["rocket".into()],
+            dataset: "RacketSports".into(),
+            seed: 7,
+            dir: None,
+            max_batch: 32,
+            max_wait_ms: 2,
+            fast: false,
+            max_seconds: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--models" => {
+                args.models = value("--models")?
+                    .split(',')
+                    .map(|s| s.trim().to_lowercase())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--dataset" => args.dataset = value("--dataset")?,
+            "--seed" => {
+                args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--dir" => args.dir = Some(value("--dir")?),
+            "--max-batch" => {
+                args.max_batch =
+                    value("--max-batch")?.parse().map_err(|e| format!("--max-batch: {e}"))?;
+            }
+            "--max-wait-ms" => {
+                args.max_wait_ms =
+                    value("--max-wait-ms")?.parse().map_err(|e| format!("--max-wait-ms: {e}"))?;
+            }
+            "--fast" => args.fast = true,
+            "--max-seconds" => {
+                args.max_seconds = Some(
+                    value("--max-seconds")?.parse().map_err(|e| format!("--max-seconds: {e}"))?,
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: tsda_serve [--addr A] [--models m1,m2] [--dataset D] [--seed S]\n\
+                     \x20                 [--dir MODELDIR] [--max-batch N] [--max-wait-ms MS]\n\
+                     \x20                 [--fast] [--max-seconds S]\n\
+                     models: rocket minirocket ridge inception"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.models.is_empty() {
+        return Err("--models list is empty".into());
+    }
+    Ok(args)
+}
+
+fn dataset_meta(name: &str) -> Result<&'static DatasetMeta, String> {
+    ALL_DATASETS
+        .iter()
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown dataset {name:?}"))
+}
+
+fn flatten(ds: &Dataset) -> Vec<Vec<f64>> {
+    ds.series().iter().map(|s| s.as_flat().to_vec()).collect()
+}
+
+/// Train one model by kind name; seeds are derived per kind so the
+/// ensemble of served models is deterministic in `--seed`.
+fn train_model(kind: &str, train: &Dataset, fast: bool, seed: u64) -> Result<SavedModel, String> {
+    let mut rng = seeded(seed ^ (kind.len() as u64) << 32);
+    match kind {
+        "rocket" => {
+            let config = RocketConfig {
+                n_kernels: if fast { 200 } else { RocketConfig::default().n_kernels },
+                ..RocketConfig::default()
+            };
+            let mut m = Rocket::new(config);
+            m.fit(train, None, &mut rng);
+            Ok(SavedModel::Rocket(m))
+        }
+        "minirocket" => {
+            let config = MiniRocketConfig {
+                n_features: if fast { 168 } else { MiniRocketConfig::default().n_features },
+            };
+            let mut m = MiniRocket::new(config);
+            m.fit(train, None, &mut rng);
+            Ok(SavedModel::MiniRocket(m))
+        }
+        "ridge" => {
+            let mut m = RidgeClassifier::default();
+            m.fit_features(&flatten(train), train.labels(), train.n_classes());
+            Ok(SavedModel::Ridge(m))
+        }
+        "inception" => {
+            let config = if fast {
+                InceptionTimeConfig {
+                    filters: 2,
+                    depth: 3,
+                    kernel_sizes: [9, 5, 3],
+                    ensemble: 1,
+                    train_fraction: 2.0 / 3.0,
+                    train: TrainConfig { max_epochs: 3, batch_size: 16, patience: 3, lr: 1e-3 },
+                    use_lr_range_test: false,
+                }
+            } else {
+                InceptionTimeConfig::default()
+            };
+            let mut m = InceptionTime::new(config);
+            m.fit(train, None, &mut rng);
+            Ok(SavedModel::InceptionTime(m))
+        }
+        other => Err(format!("unknown model kind {other:?} (rocket|minirocket|ridge|inception)")),
+    }
+}
+
+fn obtain_model(
+    kind: &str,
+    dir: Option<&str>,
+    train: &Dataset,
+    fast: bool,
+    seed: u64,
+) -> Result<SavedModel, String> {
+    let path = dir.map(|d| format!("{d}/{kind}.tsda"));
+    if let Some(p) = &path {
+        if std::path::Path::new(p).exists() {
+            let model =
+                load_model(std::path::Path::new(p)).map_err(|e| format!("load {p}: {e}"))?;
+            if model.kind() != tsda_kind(kind) {
+                return Err(format!("{p} holds a {:?} model, expected {kind}", model.kind()));
+            }
+            eprintln!("loaded {kind} from {p}");
+            return Ok(model);
+        }
+    }
+    let t0 = Instant::now();
+    let mut model = train_model(kind, train, fast, seed)?;
+    eprintln!("trained {kind} in {:.1}s", t0.elapsed().as_secs_f64());
+    if let Some(p) = &path {
+        if let Some(parent) = std::path::Path::new(p).parent() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("mkdir {parent:?}: {e}"))?;
+        }
+        save_model(&mut model, std::path::Path::new(p))
+            .map_err(|e| format!("save {p}: {e}"))?;
+        eprintln!("saved {kind} to {p}");
+    }
+    Ok(model)
+}
+
+fn tsda_kind(name: &str) -> &'static str {
+    match name {
+        "rocket" => tsda_classify::rocket::ROCKET_KIND,
+        "minirocket" => tsda_classify::minirocket::MINIROCKET_KIND,
+        "ridge" => tsda_classify::ridge::RIDGE_KIND,
+        "inception" => tsda_classify::inception::INCEPTION_KIND,
+        _ => "?",
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let meta = dataset_meta(&args.dataset)?;
+    eprintln!("generating dataset {} (seed {})", meta.name, args.seed);
+    let tt = generate(meta, &GenOptions::ci(args.seed));
+    let shape = (tt.train.series()[0].n_dims(), tt.train.series()[0].len());
+
+    let mut registry = ModelRegistry::new();
+    for kind in &args.models {
+        let saved = obtain_model(kind, args.dir.as_deref(), &tt.train, args.fast, args.seed)?;
+        let ridge_shape = Some(shape);
+        let entry = ModelEntry::from_saved(kind, saved, ridge_shape)
+            .map_err(|e| format!("register {kind}: {e}"))?;
+        registry.insert(entry);
+    }
+
+    signal::install();
+    let config = ServerConfig {
+        addr: args.addr.clone(),
+        batch: BatchConfig {
+            max_batch: args.max_batch,
+            max_wait: Duration::from_millis(args.max_wait_ms),
+        },
+    };
+    let handle = serve(registry, config).map_err(|e| format!("serve: {e}"))?;
+    // The readiness line clients grep for (also carries the resolved
+    // ephemeral port when --addr ends in :0).
+    println!("listening on {}", handle.addr());
+    eprintln!(
+        "serving models [{}] over {} series shape {}x{}",
+        args.models.join(", "),
+        meta.name,
+        shape.0,
+        shape.1
+    );
+
+    let started = Instant::now();
+    while !signal::shutdown_requested() {
+        if let Some(limit) = args.max_seconds {
+            if started.elapsed() >= Duration::from_secs(limit) {
+                eprintln!("--max-seconds {limit} reached");
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    eprintln!("shutting down");
+    let snap = handle.stats().snapshot();
+    handle.shutdown();
+    eprintln!(
+        "served {} requests ({} errors) in {} batches, mean batch {:.2}, p50 {}us p99 {}us",
+        snap.requests,
+        snap.errors,
+        snap.batches,
+        snap.mean_batch,
+        snap.request_p50_us,
+        snap.request_p99_us
+    );
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("tsda_serve: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,41 @@
+//! `tsda-serve`: a std-only batched TCP inference server over the
+//! workspace's saved models.
+//!
+//! The ROADMAP's north star is a system that serves prediction traffic,
+//! not a benchmark that trains and exits. This crate is that serving
+//! layer, built from four pieces:
+//!
+//! * [`protocol`] — newline-delimited JSON over TCP. Predict payloads
+//!   carry series in the `.ts` data-line layout
+//!   (`tsda_datasets::ts_format::parse_series_line`), so the wire format
+//!   and archive IO share one parser.
+//! * [`registry`] — named models loaded at startup from
+//!   [`tsda_classify::persist`] files. The feature-based models are
+//!   served through their `&self` prediction paths (no locks);
+//!   InceptionTime sits behind a mutex because its forward pass caches
+//!   activations.
+//! * [`batcher`] — one worker thread per model running an adaptive
+//!   micro-batch loop: flush when `max_batch` requests are pending or
+//!   `max_wait` has elapsed since the first, then run a single batched
+//!   predict on the shared compute pool. Per-series predictions are
+//!   batch-composition independent, so served labels are bit-identical
+//!   to offline `Classifier::predict` (asserted by the smoke test).
+//! * [`server`] — the accept loop, connection handlers, stats counters,
+//!   and graceful shutdown via a flag the SIGTERM/ctrl-c handler
+//!   ([`signal`]) and tests both flip.
+//!
+//! Two binaries drive it: `tsda_serve` (train-or-load models, then
+//! serve) and `tsda_client` (single requests, readiness probe, or a
+//! closed-loop load generator that writes `BENCH_serve.json`).
+
+pub mod batcher;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod signal;
+pub mod stats;
+
+pub use batcher::BatchConfig;
+pub use registry::{ModelEntry, ModelRegistry};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use stats::{ServerStats, StatsSnapshot};

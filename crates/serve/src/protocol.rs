@@ -1,0 +1,220 @@
+//! The wire protocol: newline-delimited JSON request/response frames.
+//!
+//! One request per line, one response line per request, answered in
+//! order per connection (clients may pipeline). Requests:
+//!
+//! ```text
+//! {"id":1,"op":"predict","model":"rocket","series":"1.0,2.0:0.5,0.5"}
+//! {"id":2,"op":"stats"}
+//! {"id":3,"op":"list"}
+//! {"id":4,"op":"ping"}
+//! ```
+//!
+//! `series` is the `.ts` data-line layout (dimensions split by `:`,
+//! values by `,`, `?` for missing) parsed by
+//! [`tsda_datasets::ts_format::parse_series_line`]. Responses always
+//! carry the request `id` and an `ok` flag:
+//!
+//! ```text
+//! {"id":1,"ok":true,"model":"rocket","label":2,"batch":7,"micros":412}
+//! {"id":1,"ok":false,"error":"unknown model \"nope\""}
+//! ```
+//!
+//! Parsing is hand-rolled over the vendored JSON value tree so missing
+//! or mistyped fields produce error *responses*, never panics.
+
+use serde::Value;
+use tsda_core::{Mts, TsdaError};
+use tsda_datasets::ts_format::parse_series_line;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Classify one series with the named model.
+    Predict {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// Registry name of the target model.
+        model: String,
+        /// The series, `.ts` data-line encoded.
+        series: String,
+    },
+    /// Server-side counters (uptime, throughput, latency, batch sizes).
+    Stats {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Names + input shapes of every served model.
+    List {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Correlation id.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// The correlation id of any request.
+    pub fn id(&self) -> u64 {
+        match self {
+            Self::Predict { id, .. } | Self::Stats { id } | Self::List { id } | Self::Ping { id } => {
+                *id
+            }
+        }
+    }
+}
+
+fn field_u64(v: &Value, key: &str) -> Option<u64> {
+    v.get(key).and_then(Value::as_f64).map(|n| n as u64)
+}
+
+fn field_str(v: &Value, key: &str) -> Option<String> {
+    v.get(key).and_then(Value::as_str).map(str::to_string)
+}
+
+/// Parse one request line. The error string is ready to ship back in an
+/// error response (the id is recovered when possible so the client can
+/// correlate it; id 0 otherwise).
+pub fn parse_request(line: &str) -> Result<Request, (u64, String)> {
+    let v = serde_json::parse_value(line).map_err(|e| (0, format!("bad json: {e}")))?;
+    let id = field_u64(&v, "id").unwrap_or(0);
+    let op = field_str(&v, "op").ok_or((id, "missing \"op\" field".to_string()))?;
+    match op.as_str() {
+        "predict" => {
+            let model =
+                field_str(&v, "model").ok_or((id, "predict needs a \"model\" field".to_string()))?;
+            let series =
+                field_str(&v, "series").ok_or((id, "predict needs a \"series\" field".to_string()))?;
+            Ok(Request::Predict { id, model, series })
+        }
+        "stats" => Ok(Request::Stats { id }),
+        "list" => Ok(Request::List { id }),
+        "ping" => Ok(Request::Ping { id }),
+        other => Err((id, format!("unknown op {other:?}"))),
+    }
+}
+
+/// Decode a predict payload into a series.
+pub fn decode_series(series: &str) -> Result<Mts, TsdaError> {
+    parse_series_line(series)
+}
+
+/// Build a compact single-line JSON object from key/value pairs.
+fn object_line(pairs: Vec<(String, Value)>) -> String {
+    serde_json::to_string(&Value::Object(pairs)).expect("value trees always serialise")
+}
+
+/// Successful predict response.
+pub fn predict_response(id: u64, model: &str, label: usize, batch: usize, micros: u64) -> String {
+    object_line(vec![
+        ("id".into(), Value::Num(id as f64)),
+        ("ok".into(), Value::Bool(true)),
+        ("model".into(), Value::Str(model.to_string())),
+        ("label".into(), Value::Num(label as f64)),
+        ("batch".into(), Value::Num(batch as f64)),
+        ("micros".into(), Value::Num(micros as f64)),
+    ])
+}
+
+/// Error response for any request.
+pub fn error_response(id: u64, message: &str) -> String {
+    object_line(vec![
+        ("id".into(), Value::Num(id as f64)),
+        ("ok".into(), Value::Bool(false)),
+        ("error".into(), Value::Str(message.to_string())),
+    ])
+}
+
+/// Generic success response wrapping a payload under `"result"`.
+pub fn result_response(id: u64, result: Value) -> String {
+    object_line(vec![
+        ("id".into(), Value::Num(id as f64)),
+        ("ok".into(), Value::Bool(true)),
+        ("result".into(), result),
+    ])
+}
+
+/// A parsed server response, as seen by clients.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Echoed correlation id.
+    pub id: u64,
+    /// Success flag.
+    pub ok: bool,
+    /// Predicted label (predict responses only).
+    pub label: Option<usize>,
+    /// Batch size the prediction rode in (predict responses only).
+    pub batch: Option<usize>,
+    /// Server-side latency in microseconds (predict responses only).
+    pub micros: Option<u64>,
+    /// Error message when `ok` is false.
+    pub error: Option<String>,
+    /// Result payload for stats/list responses.
+    pub result: Option<Value>,
+}
+
+/// Parse one response line (client side).
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let v = serde_json::parse_value(line).map_err(|e| format!("bad json: {e}"))?;
+    let ok = match v.get("ok") {
+        Some(Value::Bool(b)) => *b,
+        _ => return Err("missing \"ok\" field".into()),
+    };
+    Ok(Response {
+        id: field_u64(&v, "id").unwrap_or(0),
+        ok,
+        label: field_u64(&v, "label").map(|n| n as usize),
+        batch: field_u64(&v, "batch").map(|n| n as usize),
+        micros: field_u64(&v, "micros"),
+        error: field_str(&v, "error"),
+        result: v.get("result").cloned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predict_request_round_trip() {
+        let r = parse_request(r#"{"id":7,"op":"predict","model":"rocket","series":"1,2:3,4"}"#)
+            .unwrap();
+        assert_eq!(
+            r,
+            Request::Predict { id: 7, model: "rocket".into(), series: "1,2:3,4".into() }
+        );
+        let s = decode_series("1,2:3,4").unwrap();
+        assert_eq!(s.n_dims(), 2);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn malformed_requests_return_errors_with_ids() {
+        assert!(parse_request("not json").is_err());
+        let (id, msg) = parse_request(r#"{"id":9,"op":"predict"}"#).unwrap_err();
+        assert_eq!(id, 9);
+        assert!(msg.contains("model"));
+        let (id, _) = parse_request(r#"{"id":3,"op":"warp"}"#).unwrap_err();
+        assert_eq!(id, 3);
+    }
+
+    #[test]
+    fn responses_parse_back() {
+        let line = predict_response(5, "rocket", 2, 8, 1234);
+        let r = parse_response(&line).unwrap();
+        assert!(r.ok);
+        assert_eq!((r.id, r.label, r.batch, r.micros), (5, Some(2), Some(8), Some(1234)));
+        let e = parse_response(&error_response(6, "nope")).unwrap();
+        assert!(!e.ok);
+        assert_eq!(e.error.as_deref(), Some("nope"));
+    }
+
+    #[test]
+    fn series_decode_rejects_garbage() {
+        assert!(decode_series("1,zzz").is_err());
+        assert!(decode_series("").is_err());
+    }
+}

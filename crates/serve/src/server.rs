@@ -1,0 +1,266 @@
+//! The TCP accept loop and per-connection request handlers.
+//!
+//! `serve` binds, spawns the batch workers and the accept thread, and
+//! returns a [`ServerHandle`] immediately — callers (the `tsda_serve`
+//! bin, the smoke test) decide when to stop by flipping the handle's
+//! shutdown flag. The accept socket runs non-blocking so the loop can
+//! poll that flag; each connection gets its own thread reading
+//! newline-delimited requests and writing one response line per
+//! request, in order, so clients may pipeline freely.
+
+use crate::batcher::{BatchConfig, Batcher};
+use crate::protocol::{
+    decode_series, error_response, parse_request, predict_response, result_response, Request,
+};
+use crate::registry::ModelRegistry;
+use crate::stats::ServerStats;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tsda_core::TsdaError;
+
+/// Server knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Micro-batcher flush policy.
+    pub batch: BatchConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { addr: "127.0.0.1:7878".into(), batch: BatchConfig::default() }
+    }
+}
+
+/// A running server: the bound address plus the stop lever.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counters for this server.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Request shutdown and block until the accept loop and batch
+    /// workers have drained. In-flight batches complete; idle
+    /// connections are abandoned to their threads, which exit on the
+    /// next read timeout.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind and start serving. Returns once the socket is listening; the
+/// accept loop, connection handlers, and batch workers all run on
+/// background threads until [`ServerHandle::shutdown`].
+pub fn serve(registry: ModelRegistry, config: ServerConfig) -> Result<ServerHandle, TsdaError> {
+    if registry.is_empty() {
+        return Err(TsdaError::InvalidParameter("serve needs at least one model".into()));
+    }
+    let listener = TcpListener::bind(&config.addr)
+        .map_err(|e| TsdaError::InvalidParameter(format!("bind {}: {e}", config.addr)))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| TsdaError::InvalidParameter(format!("local_addr: {e}")))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| TsdaError::InvalidParameter(format!("set_nonblocking: {e}")))?;
+
+    let registry = Arc::new(registry);
+    let stats = Arc::new(ServerStats::new());
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let batcher = Arc::new(Batcher::start(
+        Arc::clone(&registry),
+        Arc::clone(&stats),
+        config.batch,
+        Arc::clone(&shutdown),
+    ));
+
+    let accept_thread = {
+        let shutdown = Arc::clone(&shutdown);
+        let registry = Arc::clone(&registry);
+        let stats = Arc::clone(&stats);
+        std::thread::Builder::new()
+            .name("tsda-accept".into())
+            .spawn(move || {
+                accept_loop(&listener, &registry, &stats, &batcher, &shutdown);
+                // Sole owner now that the loop exited: join the workers.
+                if let Ok(b) = Arc::try_unwrap(batcher).map_err(|_| ()) {
+                    b.shutdown();
+                }
+            })
+            .map_err(|e| TsdaError::InvalidParameter(format!("spawn accept thread: {e}")))?
+    };
+
+    Ok(ServerHandle { addr, shutdown, stats, accept_thread: Some(accept_thread) })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    registry: &Arc<ModelRegistry>,
+    stats: &Arc<ServerStats>,
+    batcher: &Arc<Batcher>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let mut conn_threads = Vec::new();
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Response lines are small; without TCP_NODELAY Nagle
+                // holds them for the peer's delayed ACK (~40ms).
+                stream.set_nodelay(true).ok();
+                let registry = Arc::clone(registry);
+                let stats = Arc::clone(stats);
+                let batcher = Arc::clone(batcher);
+                let shutdown = Arc::clone(shutdown);
+                if let Ok(t) = std::thread::Builder::new().name("tsda-conn".into()).spawn(
+                    move || handle_connection(stream, &registry, &stats, &batcher, &shutdown),
+                ) {
+                    conn_threads.push(t);
+                }
+                // Opportunistically reap finished handlers so a
+                // long-lived server doesn't accumulate join handles.
+                conn_threads.retain(|t| !t.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    for t in conn_threads {
+        let _ = t.join();
+    }
+}
+
+/// Read newline-delimited requests, answer each in order. Uses a short
+/// read timeout so the handler notices shutdown within ~100ms even on
+/// an idle keep-alive connection.
+fn handle_connection(
+    stream: TcpStream,
+    registry: &ModelRegistry,
+    stats: &ServerStats,
+    batcher: &Batcher,
+    shutdown: &AtomicBool,
+) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    if reader.set_read_timeout(Some(Duration::from_millis(100))).is_err() {
+        return;
+    }
+    let mut writer = stream;
+    let mut buf = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Drain complete lines already buffered.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let response = handle_line(line, registry, stats, batcher);
+            if writer.write_all(response.as_bytes()).is_err()
+                || writer.write_all(b"\n").is_err()
+            {
+                return;
+            }
+        }
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_line(
+    line: &str,
+    registry: &ModelRegistry,
+    stats: &ServerStats,
+    batcher: &Batcher,
+) -> String {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err((id, msg)) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            return error_response(id, &msg);
+        }
+    };
+    match request {
+        Request::Predict { id, model, series } => {
+            stats.requests.fetch_add(1, Ordering::Relaxed);
+            let entry = match registry.get(&model) {
+                Some(e) => e,
+                None => {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    return error_response(id, &format!("unknown model {model:?}"));
+                }
+            };
+            let mts = match decode_series(&series) {
+                Ok(s) => s,
+                Err(e) => {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    return error_response(id, &format!("bad series: {e}"));
+                }
+            };
+            if let Err(msg) = entry.validate(&mts) {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                return error_response(id, &msg);
+            }
+            let rx = match batcher.submit(&model, mts) {
+                Some(rx) => rx,
+                None => {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    return error_response(id, "server shutting down");
+                }
+            };
+            match rx.recv() {
+                Ok(reply) => match reply.result {
+                    Ok(label) => {
+                        predict_response(id, &model, label, reply.batch_size, reply.micros)
+                    }
+                    Err(msg) => error_response(id, &msg),
+                },
+                Err(_) => {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    error_response(id, "server shutting down")
+                }
+            }
+        }
+        Request::Stats { id } => result_response(id, stats.snapshot().to_value()),
+        Request::List { id } => result_response(id, registry.describe()),
+        Request::Ping { id } => result_response(id, serde::Value::Str("pong".into())),
+    }
+}

@@ -1,0 +1,65 @@
+//! Minimal SIGINT/SIGTERM hook without a libc dependency.
+//!
+//! The handler only stores to a process-wide atomic; the serve loop
+//! polls [`shutdown_requested`] between accepts and drains gracefully.
+//! On non-unix targets installation is a no-op (ctrl-c then terminates
+//! the process the default way).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGINT or SIGTERM has been delivered (or
+/// [`request_shutdown`] was called).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN_REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Flip the flag by hand (tests, or a controlling thread).
+pub fn request_shutdown() {
+    SHUTDOWN_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+mod imp {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // POSIX signal(2). Registering an `extern "C" fn` that only
+        // touches an atomic is async-signal-safe.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::request_shutdown();
+    }
+
+    /// Route SIGINT and SIGTERM to the shutdown flag.
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal hooks off unix; the flag can still be set manually.
+    pub fn install() {}
+}
+
+pub use imp::install;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_request_flips_flag() {
+        install();
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

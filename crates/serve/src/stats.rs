@@ -1,0 +1,210 @@
+//! Lock-free serving counters: request/batch totals and latency
+//! distributions, exposed on the `stats` endpoint.
+//!
+//! Latencies go into a log₂-bucketed histogram of atomic counters, so
+//! recording from connection handlers and batch workers never takes a
+//! lock. Percentiles read from the histogram are upper bounds of the
+//! matched bucket (≤ 2× resolution) — good enough for an operational
+//! endpoint; the load generator computes exact percentiles client-side
+//! from its own samples for `BENCH_serve.json`.
+
+use serde::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+const N_BUCKETS: usize = 40;
+
+/// Log₂-bucketed latency histogram over microseconds.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one latency sample.
+    pub fn record(&self, micros: u64) {
+        let bucket = (64 - micros.leading_zeros() as usize).min(N_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Approximate percentile (`q` in 0..=1): the upper bound of the
+    /// bucket holding the q-th sample.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((n as f64 * q).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                // Bucket i holds values in (2^(i-1), 2^i].
+                return 1u64 << i;
+            }
+        }
+        1u64 << (N_BUCKETS - 1)
+    }
+}
+
+/// All counters for one server instance.
+pub struct ServerStats {
+    started: Instant,
+    /// Predict requests received (before validation).
+    pub requests: AtomicU64,
+    /// Predict requests answered with an error.
+    pub errors: AtomicU64,
+    /// Batches executed by the micro-batch workers.
+    pub batches: AtomicU64,
+    /// Series predicted across all batches.
+    pub batched_items: AtomicU64,
+    /// Per-request wall latency (enqueue → response ready).
+    pub request_latency: LatencyHistogram,
+    /// Per-batch predict call latency.
+    pub batch_latency: LatencyHistogram,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerStats {
+    /// Fresh counters; the uptime clock starts now.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_items: AtomicU64::new(0),
+            request_latency: LatencyHistogram::default(),
+            batch_latency: LatencyHistogram::default(),
+        }
+    }
+
+    /// Point-in-time snapshot of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let uptime_s = self.started.elapsed().as_secs_f64();
+        let requests = self.requests.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched_items = self.batched_items.load(Ordering::Relaxed);
+        StatsSnapshot {
+            uptime_s,
+            requests,
+            errors: self.errors.load(Ordering::Relaxed),
+            batches,
+            batched_items,
+            mean_batch: if batches == 0 { 0.0 } else { batched_items as f64 / batches as f64 },
+            requests_per_s: if uptime_s > 0.0 { requests as f64 / uptime_s } else { 0.0 },
+            request_p50_us: self.request_latency.percentile(0.50),
+            request_p99_us: self.request_latency.percentile(0.99),
+            request_mean_us: self.request_latency.mean(),
+            batch_mean_us: self.batch_latency.mean(),
+        }
+    }
+}
+
+/// A snapshot of [`ServerStats`], serialisable for the `stats` endpoint.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct StatsSnapshot {
+    /// Seconds since the server started.
+    pub uptime_s: f64,
+    /// Predict requests received.
+    pub requests: u64,
+    /// Predict requests answered with an error.
+    pub errors: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Series predicted across all batches.
+    pub batched_items: u64,
+    /// Mean batch size (`batched_items / batches`).
+    pub mean_batch: f64,
+    /// Predict requests per second since start.
+    pub requests_per_s: f64,
+    /// Approximate p50 request latency, microseconds.
+    pub request_p50_us: u64,
+    /// Approximate p99 request latency, microseconds.
+    pub request_p99_us: u64,
+    /// Mean request latency, microseconds.
+    pub request_mean_us: f64,
+    /// Mean batched-predict call latency, microseconds.
+    pub batch_mean_us: f64,
+}
+
+impl StatsSnapshot {
+    /// The snapshot as a JSON value tree (for embedding in responses).
+    pub fn to_value(&self) -> Value {
+        serde::Serialize::to_value(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_bracket_samples() {
+        let h = LatencyHistogram::default();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        let p50 = h.percentile(0.5);
+        assert!((16..=64).contains(&p50), "p50 {p50}");
+        let p99 = h.percentile(0.99);
+        assert!(p99 >= 1000, "p99 {p99}");
+        assert!((h.mean() - 220.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let stats = ServerStats::new();
+        stats.requests.fetch_add(10, Ordering::Relaxed);
+        stats.batches.fetch_add(2, Ordering::Relaxed);
+        stats.batched_items.fetch_add(10, Ordering::Relaxed);
+        stats.request_latency.record(100);
+        let snap = stats.snapshot();
+        assert_eq!(snap.mean_batch, 5.0);
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: StatsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.requests, 10);
+        assert_eq!(back.mean_batch, 5.0);
+    }
+}

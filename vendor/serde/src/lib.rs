@@ -65,6 +65,19 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Option<Self>;
 }
 
+impl Serialize for Value {
+    /// Identity: a value tree is already its own serialised form.
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Option<Self> {
+        Some(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
