@@ -1,0 +1,101 @@
+//! `tsda_analyze` — run the workspace lints from the command line.
+//!
+//! ```text
+//! tsda_analyze [--root DIR] [--config FILE] [--format text|json] [--verbose]
+//! ```
+//!
+//! Exit codes (stable, for CI):
+//!
+//! * `0` — no unallowlisted findings.
+//! * `1` — at least one unallowlisted finding (report on stdout).
+//! * `2` — usage, IO, or config error (message on stderr).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tsda_analyze::config::Config;
+
+enum Format {
+    Text,
+    Json,
+}
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    format: Format,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: find_workspace_root(),
+        config: None,
+        format: Format::Text,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--config" => args.config = Some(PathBuf::from(value("--config")?)),
+            "--format" => {
+                args.format = match value("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("--format must be text or json, got {other:?}")),
+                };
+            }
+            "--verbose" | "-v" => args.verbose = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: tsda_analyze [--root DIR] [--config FILE] \
+                     [--format text|json] [--verbose]\n\
+                     exit codes: 0 clean, 1 findings, 2 usage/config error"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Walk up from the current directory to the first `analyze.toml`, so
+/// the bin works from any crate dir; fall back to `.`.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("analyze.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let cfg_path = args.config.clone().unwrap_or_else(|| args.root.join("analyze.toml"));
+    let text = std::fs::read_to_string(&cfg_path)
+        .map_err(|e| format!("read config {}: {e}", cfg_path.display()))?;
+    let cfg = Config::parse(&text).map_err(|e| format!("{}: {e}", cfg_path.display()))?;
+    let report = tsda_analyze::analyze(&args.root, &cfg)?;
+    match args.format {
+        Format::Text => print!("{}", report.to_text(args.verbose)),
+        Format::Json => println!("{}", report.to_json()),
+    }
+    Ok(report.is_clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("tsda_analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The build container has no crates.io access, so `syn`/`proc-macro2`
+//! are out of reach; the lint rules in this crate only need a faithful
+//! *token* view of the source anyway (identifiers, punctuation, and
+//! literal boundaries), never a full parse tree. The lexer therefore
+//! handles exactly the places where naive substring matching goes
+//! wrong — string/char/byte literals (including raw strings with any
+//! number of `#`s), nested block comments, lifetimes vs. char literals,
+//! and numeric literals with `.`/exponent — and emits everything else
+//! as identifier or single-character punctuation tokens.
+//!
+//! Comments are consumed but not emitted: rules that care about comment
+//! text (the `// SAFETY:` check) read the raw source lines instead.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `unwrap`, `HashMap`, ...).
+    Ident,
+    /// Lifetime such as `'a` (kept distinct so `'a'` stays a char).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// String literal of any flavour (`"..."`, `r#"..."#`, `b"..."`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A single punctuation character (`.`, `:`, `!`, `[`, ...).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text. For `Str` this is the *unquoted* content so rules
+    /// can match on literal keys; for everything else the raw spelling.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True when this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `source` into tokens. Never fails: unterminated literals simply
+/// swallow the rest of the file, which is the useful behaviour for a
+/// linter that must not panic on the code it is judging.
+pub fn lex(source: &str) -> Vec<Tok> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                // Line comment (incl. doc comments): skip to newline.
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                // Block comment, nesting like Rust's.
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                let (text, next, lines) = scan_string(&chars, i + 1);
+                toks.push(Tok { kind: TokKind::Str, text, line: start_line });
+                line += lines;
+                i = next;
+            }
+            'r' | 'b' if starts_raw_or_byte_literal(&chars, i) => {
+                let start_line = line;
+                let (kind, text, next, lines) = scan_prefixed_literal(&chars, i);
+                toks.push(Tok { kind, text, line: start_line });
+                line += lines;
+                i = next;
+            }
+            '\'' => {
+                // Lifetime or char literal. `'a` followed by a
+                // non-quote is a lifetime; otherwise a char literal.
+                let mut j = i + 1;
+                let mut ident = String::new();
+                while j < n && is_ident_continue(chars[j]) {
+                    ident.push(chars[j]);
+                    j += 1;
+                }
+                let is_lifetime = !ident.is_empty()
+                    && is_ident_start(ident.chars().next().unwrap_or('_'))
+                    && (j >= n || chars[j] != '\'');
+                if is_lifetime {
+                    toks.push(Tok { kind: TokKind::Lifetime, text: ident, line });
+                    i = j;
+                } else {
+                    let start_line = line;
+                    let (text, next, lines) = scan_char(&chars, i + 1);
+                    toks.push(Tok { kind: TokKind::Char, text, line: start_line });
+                    line += lines;
+                    i = next;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < n && (is_ident_continue(chars[i])) {
+                    i += 1;
+                }
+                // Fraction part only when followed by a digit, so
+                // `1.max(2)` and `0..n` keep their `.` as punctuation.
+                if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < n && is_ident_continue(chars[i]) {
+                        i += 1;
+                    }
+                }
+                // Signed exponent (`1e-5`); unsigned is eaten above.
+                if i + 1 < n
+                    && (chars[i] == '-' || chars[i] == '+')
+                    && matches!(chars.get(i.wrapping_sub(1)), Some('e' | 'E'))
+                    && chars[i + 1].is_ascii_digit()
+                {
+                    i += 1;
+                    while i < n && is_ident_continue(chars[i]) {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            other => {
+                toks.push(Tok { kind: TokKind::Punct, text: other.to_string(), line });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Does `r...` / `b...` at `i` begin a raw string, byte string, or byte
+/// char (as opposed to a plain identifier starting with r/b)?
+fn starts_raw_or_byte_literal(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        match chars.get(j) {
+            Some('\'') | Some('"') => return true,
+            Some('r') => j += 1,
+            _ => return false,
+        }
+    } else {
+        // 'r'
+        j += 1;
+    }
+    // After `r` / `br`: any number of '#' then '"'.
+    while matches!(chars.get(j), Some('#')) {
+        j += 1;
+    }
+    matches!(chars.get(j), Some('"'))
+}
+
+/// Scan a literal starting with `r`, `b`, or `br` at `i`. Returns
+/// `(kind, content, next_index, newline_count)`.
+fn scan_prefixed_literal(chars: &[char], i: usize) -> (TokKind, String, usize, u32) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) == Some(&'\'') {
+            let (text, next, lines) = scan_char(chars, j + 1);
+            return (TokKind::Char, text, next, lines);
+        }
+        if chars.get(j) == Some(&'"') {
+            let (text, next, lines) = scan_string(chars, j + 1);
+            return (TokKind::Str, text, next, lines);
+        }
+        j += 1; // skip the 'r' of `br`
+    } else {
+        j += 1; // skip the 'r'
+    }
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote (guaranteed by starts_raw_or_byte_literal)
+    let mut text = String::new();
+    let mut lines = 0u32;
+    let n = chars.len();
+    while j < n {
+        if chars[j] == '"' {
+            // Need `hashes` trailing '#'s to close.
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && chars.get(k) == Some(&'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return (TokKind::Str, text, k, lines);
+            }
+        }
+        if chars[j] == '\n' {
+            lines += 1;
+        }
+        text.push(chars[j]);
+        j += 1;
+    }
+    (TokKind::Str, text, n, lines)
+}
+
+/// Scan a normal string body starting just after the opening quote.
+fn scan_string(chars: &[char], mut i: usize) -> (String, usize, u32) {
+    let mut text = String::new();
+    let mut lines = 0u32;
+    let n = chars.len();
+    while i < n {
+        match chars[i] {
+            '"' => return (text, i + 1, lines),
+            '\\' if i + 1 < n => {
+                text.push(chars[i]);
+                if chars[i + 1] == '\n' {
+                    lines += 1;
+                }
+                text.push(chars[i + 1]);
+                i += 2;
+            }
+            c => {
+                if c == '\n' {
+                    lines += 1;
+                }
+                text.push(c);
+                i += 1;
+            }
+        }
+    }
+    (text, n, lines)
+}
+
+/// Scan a char literal body starting just after the opening quote.
+fn scan_char(chars: &[char], mut i: usize) -> (String, usize, u32) {
+    let mut text = String::new();
+    let mut lines = 0u32;
+    let n = chars.len();
+    while i < n {
+        match chars[i] {
+            '\'' => return (text, i + 1, lines),
+            '\\' if i + 1 < n => {
+                text.push(chars[i]);
+                text.push(chars[i + 1]);
+                i += 2;
+            }
+            c => {
+                if c == '\n' {
+                    lines += 1;
+                }
+                text.push(c);
+                i += 1;
+            }
+        }
+    }
+    (text, n, lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_punct() {
+        let toks = kinds("let x = foo.unwrap();");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Ident, "foo".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Ident, "unwrap".into()),
+                (TokKind::Punct, "(".into()),
+                (TokKind::Punct, ")".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_ident_rules() {
+        let toks = kinds(r#"let s = "panic! unwrap() unsafe";"#);
+        assert!(toks.iter().all(|(k, t)| *k != TokKind::Ident || t != "unsafe"));
+        assert_eq!(toks[3], (TokKind::Str, "panic! unwrap() unsafe".into()));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r##"let s = r#"a "quoted" b"#; let b = b"xy"; let c = br"z";"##);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, vec![r#"a "quoted" b"#, "xy", "z"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Lifetime && t == "a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "a"));
+        let toks = kinds(r"let c = '\''; let d = '\n';");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn comments_are_dropped_including_nested_blocks() {
+        let toks = kinds("a // unwrap()\n/* panic! /* nested */ still */ b");
+        assert_eq!(
+            toks,
+            vec![(TokKind::Ident, "a".into()), (TokKind::Ident, "b".into())]
+        );
+    }
+
+    #[test]
+    fn float_literals_keep_method_call_dots() {
+        let toks = kinds("let a = 1.0_f64; let b = 2.sqrt(); let r = 0..n;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "1.0_f64"));
+        // `2.sqrt()` lexes as Num(2) Punct(.) Ident(sqrt).
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "sqrt"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "2"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let src = "let a = \"x\ny\";\nlet b = 1;";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.is_ident("b")).expect("b lexed");
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        assert!(!lex("let s = \"never closed").is_empty());
+        assert!(!lex("let s = r#\"never closed").is_empty());
+    }
+}

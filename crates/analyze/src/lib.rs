@@ -1,0 +1,61 @@
+#![forbid(unsafe_code)]
+//! `tsda-analyze`: in-repo static analysis enforcing the invariants the
+//! experimental protocol depends on.
+//!
+//! The paper's claims are averaged accuracy deltas over 5 seeded runs;
+//! PR 1 and PR 2 promised bit-identical results across thread counts
+//! and save/load round trips. Those promises only hold if nobody
+//! quietly introduces wall-clock-seeded randomness, hash-order
+//! iteration, raw threading, or a panic on a serving path — so this
+//! crate machine-checks them on every build instead of relying on
+//! reviewer vigilance.
+//!
+//! Four rules (details in [`rules`]):
+//!
+//! * **D1 no-nondeterminism** — unseeded RNGs anywhere; wall-clock
+//!   reads and `HashMap`/`HashSet` in result-producing library code.
+//! * **P1 no-panic-in-library** — `unwrap`/`expect`/`panic!`-family /
+//!   string-keyed indexing in the library code of crates a server must
+//!   not crash through.
+//! * **U1 unsafe-hygiene** — every `unsafe` carries `// SAFETY:`;
+//!   crates with zero unsafe declare `#![forbid(unsafe_code)]`.
+//! * **F1 float-reduction-order** — raw `thread::spawn`/`scope`
+//!   outside the blessed deterministic pool in `tsda-core::parallel`.
+//!
+//! Scoping and the justification-bearing allowlist live in the
+//! checked-in [`analyze.toml`](config) at the workspace root. The
+//! `tsda_analyze` bin exits 0 on a clean tree, 1 on findings, 2 on
+//! usage/config errors; `--format json` emits the stable schema
+//! documented in [`report`].
+//!
+//! There is no `syn` in the offline container, so the pass runs on a
+//! [hand-rolled lexer](lexer) — token-accurate (strings, raw strings,
+//! nested comments, lifetimes) but deliberately not a parser; the
+//! rules are chosen to be decidable on the token stream.
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+use config::Config;
+use report::Report;
+use std::path::Path;
+
+/// Analyze the workspace at `root` with `cfg`: walk, lex, run rules,
+/// apply the allowlist.
+pub fn analyze(root: &Path, cfg: &Config) -> Result<Report, String> {
+    let files = workspace::load_workspace(root, &cfg.scan, &cfg.skip)?;
+    let raw = rules::run_rules(&files, cfg);
+    Ok(Report::from_findings(raw, cfg))
+}
+
+/// Analyze using the `analyze.toml` found at `root`.
+pub fn analyze_with_default_config(root: &Path) -> Result<Report, String> {
+    let cfg_path = root.join("analyze.toml");
+    let text = std::fs::read_to_string(&cfg_path)
+        .map_err(|e| format!("read {}: {e}", cfg_path.display()))?;
+    let cfg = Config::parse(&text)?;
+    analyze(root, &cfg)
+}

@@ -1,0 +1,155 @@
+//! Fixture-based integration tests: each rule is exercised against a
+//! miniature workspace under `tests/fixtures/` containing one plain
+//! violation and one allowlisted occurrence per rule, so these tests
+//! pin exact finding counts, allowlist behaviour, scoping (test code,
+//! binaries, blessed files), and the JSON schema.
+
+use serde::Value;
+use std::path::{Path, PathBuf};
+use tsda_analyze::config::Config;
+use tsda_analyze::report::Report;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_report() -> Report {
+    let root = fixture_root();
+    let text = std::fs::read_to_string(root.join("analyze.toml")).expect("fixture config");
+    let cfg = Config::parse(&text).expect("fixture config parses");
+    tsda_analyze::analyze(&root, &cfg).expect("fixture tree analyzes")
+}
+
+#[test]
+fn d1_fires_on_rng_time_and_hash_and_respects_allowlist() {
+    let r = fixture_report();
+    let d1: Vec<_> = r.findings.iter().filter(|f| f.rule == "D1").collect();
+    assert_eq!(d1.len(), 3, "{d1:?}");
+    assert!(d1.iter().any(|f| f.message.contains("thread_rng")), "{d1:?}");
+    assert!(d1.iter().any(|f| f.message.contains("wall-clock")), "{d1:?}");
+    assert!(d1.iter().any(|f| f.message.contains("HashMap")), "{d1:?}");
+    // The justified wall-clock read lands in `allowed`, not `findings`.
+    let allowed: Vec<_> = r.allowed.iter().filter(|a| a.finding.rule == "D1").collect();
+    assert_eq!(allowed.len(), 1, "{allowed:?}");
+    assert!(allowed[0].finding.snippet.contains("allowlisted: fixture"));
+    assert!(allowed[0].reason.contains("wall-clock"));
+}
+
+#[test]
+fn d1_skips_wall_clock_and_hash_in_test_code() {
+    let r = fixture_report();
+    // The `#[cfg(test)]` module in fixture_d1 uses Instant and HashMap;
+    // only the three library-code sites may fire (lines well before the
+    // test module at the bottom of the file).
+    for f in r.findings.iter().filter(|f| f.path.contains("fixture_d1")) {
+        assert!(f.line < 20, "test-code finding leaked: {f:?}");
+    }
+}
+
+#[test]
+fn p1_fires_in_lib_but_not_bins_tests_or_combinators() {
+    let r = fixture_report();
+    let p1: Vec<_> = r.findings.iter().filter(|f| f.rule == "P1").collect();
+    assert_eq!(p1.len(), 2, "{p1:?}");
+    assert!(p1.iter().any(|f| f.message.contains(".unwrap()")), "{p1:?}");
+    assert!(p1.iter().any(|f| f.message.contains("panic")), "{p1:?}");
+    // The bin's unwrap and the test module's unwrap are out of scope.
+    assert!(p1.iter().all(|f| !f.path.contains("/bin/")), "{p1:?}");
+    let allowed: Vec<_> = r.allowed.iter().filter(|a| a.finding.rule == "P1").collect();
+    assert_eq!(allowed.len(), 1, "{allowed:?}");
+    assert!(allowed[0].finding.snippet.contains("expect"));
+}
+
+#[test]
+fn u1_requires_safety_comments_and_crate_level_forbid() {
+    let r = fixture_report();
+    let u1: Vec<_> = r.findings.iter().filter(|f| f.rule == "U1").collect();
+    assert_eq!(u1.len(), 2, "{u1:?}");
+    // The undocumented unsafe block in fixture_u1 ...
+    assert!(
+        u1.iter().any(|f| f.path.contains("fixture_u1/") && f.message.contains("SAFETY")),
+        "{u1:?}"
+    );
+    // ... and the missing `#![forbid(unsafe_code)]` in fixture_u1_missing.
+    assert!(
+        u1.iter()
+            .any(|f| f.path.contains("fixture_u1_missing") && f.message.contains("forbid")),
+        "{u1:?}"
+    );
+    // The documented block is clean; the allowlisted one is tolerated.
+    let allowed: Vec<_> = r.allowed.iter().filter(|a| a.finding.rule == "U1").collect();
+    assert_eq!(allowed.len(), 1, "{allowed:?}");
+}
+
+#[test]
+fn f1_fires_outside_blessed_files_only() {
+    let r = fixture_report();
+    let f1: Vec<_> = r.findings.iter().filter(|f| f.rule == "F1").collect();
+    assert_eq!(f1.len(), 1, "{f1:?}");
+    assert!(f1[0].path.ends_with("fixture_f1/src/lib.rs"), "{f1:?}");
+    // pool.rs is blessed: its spawn produces nothing at all.
+    assert!(
+        !r.findings.iter().chain(r.allowed.iter().map(|a| &a.finding)).any(|f| f.path.ends_with("pool.rs")),
+        "blessed file produced output"
+    );
+    let allowed: Vec<_> = r.allowed.iter().filter(|a| a.finding.rule == "F1").collect();
+    assert_eq!(allowed.len(), 1, "{allowed:?}");
+}
+
+#[test]
+fn exact_totals_and_unused_allow_entries() {
+    let r = fixture_report();
+    assert_eq!(r.findings.len(), 8, "{:#?}", r.findings);
+    assert_eq!(r.allowed.len(), 4, "{:#?}", r.allowed);
+    // The never.rs entry matches nothing and must surface as stale.
+    assert_eq!(r.unused_allow.len(), 1, "{:#?}", r.unused_allow);
+    assert!(r.unused_allow[0].path.contains("never.rs"));
+    assert!(!r.is_clean());
+}
+
+#[test]
+fn json_schema_is_stable() {
+    let r = fixture_report();
+    let v = r.to_json_value();
+    assert_eq!(v.get("version").and_then(Value::as_f64), Some(1.0));
+    let Some(Value::Array(findings)) = v.get("findings") else {
+        panic!("findings must be an array");
+    };
+    assert_eq!(findings.len(), 8);
+    for f in findings {
+        for key in ["rule", "path", "line", "message", "snippet"] {
+            assert!(f.get(key).is_some(), "finding missing {key}: {f:?}");
+        }
+    }
+    let Some(Value::Array(allowed)) = v.get("allowed") else {
+        panic!("allowed must be an array");
+    };
+    assert_eq!(allowed.len(), 4);
+    for a in allowed {
+        assert!(a.get("reason").and_then(Value::as_str).is_some(), "{a:?}");
+    }
+    let Some(Value::Array(unused)) = v.get("unused_allow") else {
+        panic!("unused_allow must be an array");
+    };
+    assert_eq!(unused.len(), 1);
+    let summary = v.get("summary").expect("summary object");
+    assert_eq!(summary.get("total").and_then(Value::as_f64), Some(8.0));
+    let by_rule = summary.get("by_rule").expect("by_rule object");
+    assert_eq!(by_rule.get("D1").and_then(Value::as_f64), Some(3.0));
+    assert_eq!(by_rule.get("P1").and_then(Value::as_f64), Some(2.0));
+    assert_eq!(by_rule.get("U1").and_then(Value::as_f64), Some(2.0));
+    assert_eq!(by_rule.get("F1").and_then(Value::as_f64), Some(1.0));
+    // The serialised text round-trips through the vendored parser.
+    let parsed: Value = serde_json::from_str(&r.to_json()).expect("self-parse");
+    assert_eq!(parsed.get("version").and_then(Value::as_f64), Some(1.0));
+}
+
+#[test]
+fn findings_are_sorted_and_deduplicated() {
+    let r = fixture_report();
+    let keys: Vec<_> = r.findings.iter().map(|f| (f.path.clone(), f.line, f.rule)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(keys, sorted, "findings must be sorted by (path, line, rule) and unique");
+}

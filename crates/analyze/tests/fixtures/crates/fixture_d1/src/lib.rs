@@ -1,0 +1,27 @@
+// D1 fixture: nondeterminism sources. Never compiled — scanned only.
+#![forbid(unsafe_code)]
+
+pub fn rng_violation() {
+    let _rng = rand::thread_rng();
+}
+
+pub fn time_violation() {
+    let _t = std::time::Instant::now();
+}
+
+pub fn hash_violation() {
+    let _m: std::collections::HashMap<u8, u8> = std::collections::HashMap::new();
+}
+
+pub fn tolerated_time() {
+    let _t = std::time::Instant::now(); // allowlisted: fixture
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_in_test_code_is_not_flagged() {
+        let _t = std::time::Instant::now();
+        let _m: std::collections::HashMap<u8, u8> = std::collections::HashMap::new();
+    }
+}

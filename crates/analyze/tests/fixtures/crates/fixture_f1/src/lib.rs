@@ -1,0 +1,18 @@
+// F1 fixture: raw threading outside the blessed pool file.
+#![forbid(unsafe_code)]
+
+pub fn spawn_violation() {
+    std::thread::spawn(|| ());
+}
+
+pub fn tolerated_spawn() {
+    std::thread::spawn(|| ()); // allowlisted: fixture
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn threads_in_test_code_are_not_flagged() {
+        std::thread::scope(|_| ());
+    }
+}

@@ -1,0 +1,6 @@
+// The blessed file: raw threading is the whole point here, mirroring
+// `crates/core/src/parallel.rs` in the real workspace.
+pub fn blessed_parallelism() {
+    let handle = std::thread::spawn(|| ());
+    let _ = handle.join();
+}

@@ -1,0 +1,5 @@
+// Bin fixture: P1 does not apply to binaries (a CLI may unwrap at startup).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    println!("{}", args.first().unwrap());
+}

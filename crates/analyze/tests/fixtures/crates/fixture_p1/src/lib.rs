@@ -1,0 +1,26 @@
+// P1 fixture: panic sites in library code. Never compiled — scanned only.
+#![forbid(unsafe_code)]
+
+pub fn unwrap_violation(o: Option<u8>) -> u8 {
+    o.unwrap()
+}
+
+pub fn macro_violation() {
+    panic!("boom");
+}
+
+pub fn tolerated_expect(o: Option<u8>) -> u8 {
+    o.expect("fixture invariant") // allowlisted: fixture
+}
+
+pub fn combinators_are_fine(o: Option<u8>) -> u8 {
+    o.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_test_code_is_not_flagged() {
+        assert_eq!(Some(1u8).unwrap(), 1);
+    }
+}

@@ -1,0 +1,14 @@
+// U1 fixture: unsafe hygiene. Never compiled — scanned only.
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: fixture; the caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}
+
+pub fn undocumented_violation(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn tolerated(p: *const u8) -> u8 {
+    unsafe { *p } // allowlisted: fixture
+}

@@ -1,0 +1,3 @@
+// U1 fixture: a crate with zero unsafe code that fails to declare
+// `#![forbid(unsafe_code)]` — the crate-level half of the rule.
+pub fn clean() {}

@@ -1,0 +1,29 @@
+//! The analyzer's acceptance gate, run as an ordinary test so `cargo
+//! test` alone catches a regression: the real workspace must be clean
+//! under the checked-in `analyze.toml`, and the allowlist must carry
+//! no stale entries.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_under_the_checked_in_config() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = tsda_analyze::analyze_with_default_config(&root).expect("analysis runs");
+    assert!(
+        report.is_clean(),
+        "unallowlisted findings — fix them or add a justified [[allow]] entry:\n{}",
+        report.to_text(false)
+    );
+    assert!(
+        report.unused_allow.is_empty(),
+        "stale allowlist entries — delete them from analyze.toml:\n{}",
+        report.to_text(false)
+    );
+    // Every allowlisted site must still carry its justification.
+    for a in &report.allowed {
+        assert!(!a.reason.trim().is_empty(), "empty reason for {:?}", a.finding.path);
+    }
+}

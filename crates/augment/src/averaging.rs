@@ -58,7 +58,7 @@ pub fn dba_barycentre(
     let seed_idx = weights
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .unwrap_or(0);
     let mut barycentre = members[seed_idx].clone();

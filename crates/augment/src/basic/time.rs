@@ -397,8 +397,10 @@ impl SeriesTransform for TimeWarp {
             .collect();
         let total: f64 = increments.iter().sum();
         let mut knot_pos = vec![0.0];
+        let mut acc = 0.0;
         for v in &increments {
-            knot_pos.push(knot_pos.last().unwrap() + v / total);
+            acc += v / total;
+            knot_pos.push(acc);
         }
         let xs: Vec<f64> = (0..=k).map(|i| i as f64 * (t - 1) as f64 / k as f64).collect();
         let ys: Vec<f64> = knot_pos.iter().map(|p| p * (t - 1) as f64).collect();
@@ -500,7 +502,8 @@ impl Augmenter for GuidedWarp {
             let si = members[rng.gen_range(0..members.len())];
             let mut ti = members[rng.gen_range(0..members.len() - 1)];
             if ti >= si {
-                ti = members[(members.iter().position(|&x| x == ti).unwrap() + 1) % members.len()];
+                let next = members.iter().position(|&x| x == ti).map_or(0, |p| p + 1);
+                ti = members[next % members.len()];
             }
             let sample = impute_linear(&ds.series()[si]);
             let teacher = impute_linear(&ds.series()[ti]);

@@ -242,7 +242,7 @@ impl crate::SeriesTransform for MaxEntropyBootstrap {
                 let x = imputed.dim(m);
                 // Order statistics and the original ranks.
                 let mut order: Vec<usize> = (0..t).collect();
-                order.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).unwrap());
+                order.sort_by(|&a, &b| x[a].total_cmp(&x[b]));
                 let sorted: Vec<f64> = order.iter().map(|&i| x[i]).collect();
                 // rank[i] = position of x[i] in the sorted sequence.
                 let mut rank = vec![0usize; t];
@@ -253,7 +253,7 @@ impl crate::SeriesTransform for MaxEntropyBootstrap {
                 // (linearly interpolated) empirical quantile function; the
                 // j-th smallest draw replaces the j-th order statistic.
                 let mut us: Vec<f64> = (0..t).map(|_| rng.gen::<f64>()).collect();
-                us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                us.sort_by(|a, b| a.total_cmp(b));
                 let new_sorted: Vec<f64> = us
                     .iter()
                     .map(|&u| {

@@ -36,6 +36,8 @@
 //! assert_eq!(balanced.class_counts(), vec![8, 8]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod averaging;
 pub mod balance;
 pub mod basic;

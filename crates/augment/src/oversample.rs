@@ -44,7 +44,7 @@ fn knn_indices(vecs: &[Vec<f64>], i: usize, k: usize) -> Vec<usize> {
         .filter(|&(j, _)| j != i)
         .map(|(j, v)| (j, sq_dist(&vecs[i], v)))
         .collect();
-    dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    dists.sort_by(|a, b| a.1.total_cmp(&b.1));
     dists.into_iter().take(k).map(|(j, _)| j).collect()
 }
 
@@ -154,7 +154,7 @@ impl Augmenter for BorderlineSmote {
             for e in &enemies {
                 dists.push((true, sq_dist(v, e)));
             }
-            dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            dists.sort_by(|a, b| a.1.total_cmp(&b.1));
             let enemy_count = dists.iter().take(m).filter(|(is_enemy, _)| *is_enemy).count();
             if 2 * enemy_count >= m && enemy_count < m {
                 danger.push(i);
@@ -229,7 +229,7 @@ impl Augmenter for Adasyn {
                 for e in &enemies {
                     dists.push((true, sq_dist(v, e)));
                 }
-                dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                dists.sort_by(|a, b| a.1.total_cmp(&b.1));
                 dists.iter().take(k_hard).filter(|(e, _)| *e).count() as f64 / k_hard as f64
             })
             .collect();
@@ -245,7 +245,14 @@ impl Augmenter for Adasyn {
                 Some(*acc)
             })
             .collect();
-        let total: f64 = *cumsum.last().expect("non-empty class");
+        let total: f64 = match cumsum.last() {
+            Some(&t) if t > 0.0 => t,
+            _ => {
+                return Err(TsdaError::InvalidParameter(format!(
+                    "class {class} has no seed weights to oversample"
+                )))
+            }
+        };
         let k = self.k.min(vecs.len() - 1);
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
@@ -287,14 +294,14 @@ impl Augmenter for SmoteFuna {
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
             let i = rng.gen_range(0..vecs.len());
+            // The `len() >= 2` guard above means the filter is never
+            // empty; the fallback index keeps this arm panic-free.
             let j = (0..vecs.len())
                 .filter(|&j| j != i)
                 .max_by(|&a, &b| {
-                    sq_dist(&vecs[i], &vecs[a])
-                        .partial_cmp(&sq_dist(&vecs[i], &vecs[b]))
-                        .unwrap()
+                    sq_dist(&vecs[i], &vecs[a]).total_cmp(&sq_dist(&vecs[i], &vecs[b]))
                 })
-                .expect("≥2 members");
+                .unwrap_or((i + 1) % vecs.len());
             // Uniform sample inside the axis-aligned box spanned by the pair.
             let v: Vec<f64> = vecs[i]
                 .iter()

@@ -55,7 +55,7 @@ fn drsnn_cluster(vectors: &[Vec<f64>], k: usize) -> Vec<usize> {
                     )
                 })
                 .collect();
-            d.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            d.sort_by(|a, b| a.1.total_cmp(&b.1));
             d.into_iter().take(k).map(|(j, _)| j).collect()
         })
         .collect();

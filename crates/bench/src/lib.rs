@@ -17,6 +17,8 @@
 //! to the paper's full sizes, `--seed <n>`, and `--runs <n>` (the paper
 //! averages 5 runs).
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod figures;
 pub mod harness;

@@ -66,7 +66,7 @@ impl Classifier for KnnDtw {
             .map(|row| {
                 row.iter()
                     .zip(train.labels())
-                    .min_by(|a, b| a.0.partial_cmp(b.0).unwrap())
+                    .min_by(|a, b| a.0.total_cmp(b.0))
                     .map(|(_, &l)| l)
                     .unwrap_or(0)
             })

@@ -16,6 +16,8 @@
 //!   extension the paper's related work points to;
 //! * [`knn_dtw`] — 1-nearest-neighbour DTW, the classic reference.
 
+#![forbid(unsafe_code)]
+
 pub mod encode;
 pub mod inception;
 pub mod knn_dtw;

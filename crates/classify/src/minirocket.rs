@@ -256,7 +256,7 @@ impl MiniRocket {
                 // random training sample.
                 let sample = &ds.series()[rng.gen_range(0..ds.len())];
                 let mut conv = convolve(sample, &self.kernels[kernel], dilation, &channels);
-                conv.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                conv.sort_by(|a, b| a.total_cmp(b));
                 let q: f64 = rng.gen_range(0.1..0.9);
                 let bias = conv[((conv.len() - 1) as f64 * q) as usize];
                 self.features.push(Feature { kernel, dilation, channels, bias });

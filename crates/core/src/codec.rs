@@ -141,7 +141,11 @@ impl CodecReader {
         }
         // Checksum covers everything up to the trailing 4 bytes.
         let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
-        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        let stored = u32::from_le_bytes(
+            crc_bytes
+                .try_into()
+                .map_err(|_| codec_err("truncated checksum trailer"))?,
+        );
         let actual = crc32(body);
         if stored != actual {
             return Err(codec_err(format!(
@@ -328,19 +332,28 @@ impl<'a> ByteReader<'a> {
         Ok(out)
     }
 
+    /// Read exactly `N` bytes as an array. `bytes(N)` already
+    /// guarantees the length, so the conversion error is unreachable,
+    /// but mapping it keeps the reader panic-free on any input.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], TsdaError> {
+        self.bytes(N)?
+            .try_into()
+            .map_err(|_| codec_err("internal: short slice from bytes()"))
+    }
+
     /// Read one byte.
     pub fn u8(&mut self) -> Result<u8, TsdaError> {
-        Ok(self.bytes(1)?[0])
+        Ok(self.array::<1>()?[0])
     }
 
     /// Read a u32.
     pub fn u32(&mut self) -> Result<u32, TsdaError> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     /// Read a u64.
     pub fn u64(&mut self) -> Result<u64, TsdaError> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     /// Read a u64 into a usize.
@@ -351,12 +364,12 @@ impl<'a> ByteReader<'a> {
 
     /// Read an f32 bit pattern.
     pub fn f32(&mut self) -> Result<f32, TsdaError> {
-        Ok(f32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+        Ok(f32::from_le_bytes(self.array()?))
     }
 
     /// Read an f64 bit pattern.
     pub fn f64(&mut self) -> Result<f64, TsdaError> {
-        Ok(f64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(self.array()?))
     }
 
     /// Read a length-prefixed UTF-8 string.

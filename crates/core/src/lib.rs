@@ -21,6 +21,8 @@
 //! assert_eq!(ds.class_counts(), vec![1, 1]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod characteristics;
 pub mod codec;
 pub mod dataset;

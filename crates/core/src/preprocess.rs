@@ -64,7 +64,11 @@ pub fn impute_linear(s: &Mts) -> Mts {
                 }
                 (Some(l), None) => dim[l],
                 (None, Some(r)) => dim[r],
-                (None, None) => unreachable!("observed is non-empty"),
+                // Unreachable — `observed` is non-empty and `i` is not
+                // in it, so one side always exists — but a total match
+                // keeps this library panic-free; 0.0 matches the
+                // all-missing convention above.
+                (None, None) => 0.0,
             };
         }
     }

@@ -14,6 +14,8 @@
 //! Real archive data can be dropped in through the [`ts_format`] parser,
 //! which reads the sktime `.ts` layout.
 
+#![forbid(unsafe_code)]
+
 pub mod registry;
 pub mod synth;
 pub mod ts_format;

@@ -17,7 +17,7 @@
 //! tokens; they are densely re-indexed in first-appearance order of the
 //! `@classLabel` declaration.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tsda_core::{Dataset, Mts, TsdaError};
 
 /// A parsed `.ts` file: the dataset plus the original label names.
@@ -38,7 +38,7 @@ pub fn parse_ts(content: &str) -> Result<TsFile, TsdaError> {
     let mut in_data = false;
     let mut series: Vec<Mts> = Vec::new();
     let mut labels: Vec<usize> = Vec::new();
-    let mut name_to_label: HashMap<String, usize> = HashMap::new();
+    let mut name_to_label: BTreeMap<String, usize> = BTreeMap::new();
 
     for (lineno, raw) in content.lines().enumerate() {
         let line = raw.trim();
@@ -75,7 +75,10 @@ pub fn parse_ts(content: &str) -> Result<TsFile, TsdaError> {
                 message: "data line needs at least one dimension and a label".into(),
             });
         }
-        let label_tok = fields.pop().expect("len >= 2").trim();
+        let Some(label_tok) = fields.pop().map(str::trim) else {
+            // Guarded by the len >= 2 check above; keep the parser total.
+            continue;
+        };
         let label = match name_to_label.get(label_tok) {
             Some(&l) => l,
             None => {

@@ -70,7 +70,8 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix, CholeskyError> {
 pub fn cholesky_jittered(a: &Matrix, max_tries: usize) -> Result<(Matrix, f64), CholeskyError> {
     let scale = (a.trace() / a.rows().max(1) as f64).abs().max(1e-12);
     let mut jitter = 0.0;
-    for attempt in 0..=max_tries {
+    let mut attempt = 0;
+    loop {
         let mut m = a.clone();
         if jitter > 0.0 {
             m.add_diagonal(jitter);
@@ -80,11 +81,11 @@ pub fn cholesky_jittered(a: &Matrix, max_tries: usize) -> Result<(Matrix, f64), 
             Err(CholeskyError::NotSquare) => return Err(CholeskyError::NotSquare),
             Err(_) if attempt < max_tries => {
                 jitter = if jitter == 0.0 { scale * 1e-10 } else { jitter * 10.0 };
+                attempt += 1;
             }
             Err(e) => return Err(e),
         }
     }
-    unreachable!("loop always returns")
 }
 
 /// Solve `A x = b` for symmetric positive-definite `A` via Cholesky.

@@ -85,7 +85,7 @@ impl SymmetricEig {
         }
 
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).unwrap());
+        order.sort_by(|&i, &j| m[(j, j)].total_cmp(&m[(i, i)]));
         let values = order.iter().map(|&i| m[(i, i)]).collect();
         let vectors = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
         Self { values, vectors }

@@ -14,6 +14,8 @@
 //! network substrate ([`tsda_neuro`](https://docs.rs/tsda-neuro)) keeps
 //! its own `f32` tensors for throughput.
 
+#![forbid(unsafe_code)]
+
 pub mod cholesky;
 pub mod cov;
 pub mod eig;

@@ -169,7 +169,11 @@ impl RidgeLoocv {
                 best = Some((mse, w, alpha));
             }
         }
-        let (mse, w, alpha) = best.expect("non-empty alpha grid");
+        // An empty alpha grid is degenerate; return zero weights rather
+        // than panicking in library code.
+        let Some((mse, w, alpha)) = best else {
+            return (Matrix::zeros(p, k), 0.0, f64::INFINITY);
+        };
         debug_assert_eq!(w.shape(), (p, k));
         (w, alpha, mse)
     }
@@ -206,7 +210,11 @@ impl RidgeLoocv {
                 best = Some((mse, c, alpha));
             }
         }
-        let (mse, c, alpha) = best.expect("non-empty alpha grid");
+        // An empty alpha grid is degenerate; return zero weights rather
+        // than panicking in library code.
+        let Some((mse, c, alpha)) = best else {
+            return (Matrix::zeros(xc.cols(), k), 0.0, f64::INFINITY);
+        };
         let w = xc.transpose().matmul(&c); // p × k
         (w, alpha, mse)
     }

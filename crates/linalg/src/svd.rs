@@ -97,7 +97,7 @@ impl Svd {
         }
         // Sort descending by singular value.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
+        order.sort_by(|&i, &j| sigma[j].total_cmp(&sigma[i]));
         let u_sorted = Matrix::from_fn(m, n, |r, c| u[(r, order[c])]);
         let v_sorted = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
         sigma = order.iter().map(|&i| sigma[i]).collect();

@@ -15,6 +15,8 @@
 //!   optimisers are agnostic to layer internals;
 //! * everything is deterministic given a seed.
 
+#![forbid(unsafe_code)]
+
 pub mod init;
 pub mod layers;
 pub mod loss;

@@ -16,7 +16,7 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use tsda_core::Mts;
+use tsda_core::{Mts, TsdaError};
 
 /// Micro-batcher knobs.
 #[derive(Debug, Clone, Copy)]
@@ -57,13 +57,15 @@ pub struct Batcher {
 }
 
 impl Batcher {
-    /// Spawn one batch worker per registered model.
+    /// Spawn one batch worker per registered model. Errors when the OS
+    /// refuses a worker thread; already-spawned workers are shut down
+    /// cleanly before the error is returned.
     pub fn start(
         registry: Arc<ModelRegistry>,
         stats: Arc<ServerStats>,
         config: BatchConfig,
         shutdown: Arc<AtomicBool>,
-    ) -> Self {
+    ) -> Result<Self, TsdaError> {
         let mut queues = BTreeMap::new();
         let mut workers = Vec::new();
         for name in registry.names() {
@@ -72,14 +74,21 @@ impl Batcher {
             let stats = Arc::clone(&stats);
             let shutdown = Arc::clone(&shutdown);
             let model = name.clone();
-            let handle = std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("batch-{name}"))
-                .spawn(move || worker_loop(&registry, &model, &stats, config, &shutdown, &rx))
-                .expect("spawn batch worker");
-            queues.insert(name, tx);
-            workers.push(handle);
+                .spawn(move || worker_loop(&registry, &model, &stats, config, &shutdown, &rx));
+            match spawned {
+                Ok(handle) => {
+                    queues.insert(name, tx);
+                    workers.push(handle);
+                }
+                Err(e) => {
+                    Self { queues, workers }.shutdown();
+                    return Err(TsdaError::Io(format!("spawn batch worker for {name:?}: {e}")));
+                }
+            }
         }
-        Self { queues, workers }
+        Ok(Self { queues, workers })
     }
 
     /// Queue one validated series for the named model. Returns a
@@ -111,7 +120,19 @@ fn worker_loop(
     shutdown: &AtomicBool,
     rx: &Receiver<Job>,
 ) {
-    let entry = registry.get(model).expect("worker spawned for registered model");
+    let Some(entry) = registry.get(model) else {
+        // The batcher only spawns workers for registered models; if the
+        // registry ever disagrees, fail each job cleanly instead of
+        // panicking the worker thread.
+        for job in rx.iter() {
+            let _ = job.reply.send(BatchReply {
+                result: Err(format!("model {model:?} is not registered")),
+                batch_size: 0,
+                micros: 0,
+            });
+        }
+        return;
+    };
     let max_batch = config.max_batch.max(1);
     loop {
         // Idle: poll for the first job so a flipped shutdown flag is
@@ -218,7 +239,8 @@ mod tests {
             Arc::clone(&stats),
             config,
             Arc::new(AtomicBool::new(false)),
-        );
+        )
+        .expect("batch workers start");
         (batcher, stats, ds, offline)
     }
 

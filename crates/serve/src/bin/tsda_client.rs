@@ -160,14 +160,23 @@ fn predict_line(id: u64, model: &str, series: &str) -> String {
 
 fn wait_ready(addr: &str, secs: u64) -> Result<(), String> {
     let deadline = Instant::now() + Duration::from_secs(secs);
-    let mut last = String::from("never connected");
-    while Instant::now() < deadline {
+    let probe_gap = Duration::from_millis(200);
+    let mut last;
+    loop {
         match Conn::open(addr).and_then(|mut c| c.round_trip(&request_line(1, "ping", vec![]))) {
             Ok(r) if r.ok => return Ok(()),
             Ok(r) => last = r.error.unwrap_or_else(|| "not ok".into()),
             Err(e) => last = e,
         }
-        std::thread::sleep(Duration::from_millis(200));
+        // Sleep between probes — never a busy-spin — but cap the nap to
+        // the remaining budget so the timeout is honoured tightly. A
+        // ready server always passes at least one probe, even with
+        // `--wait-ready 0`.
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        std::thread::sleep(probe_gap.min(deadline - now));
     }
     Err(format!("server at {addr} not ready after {secs}s: {last}"))
 }

@@ -104,7 +104,11 @@ pub fn decode_series(series: &str) -> Result<Mts, TsdaError> {
 
 /// Build a compact single-line JSON object from key/value pairs.
 fn object_line(pairs: Vec<(String, Value)>) -> String {
-    serde_json::to_string(&Value::Object(pairs)).expect("value trees always serialise")
+    // Value trees always serialise; if that invariant ever breaks, a
+    // well-formed error line beats panicking a connection thread.
+    serde_json::to_string(&Value::Object(pairs)).unwrap_or_else(|_| {
+        r#"{"id":0,"ok":false,"error":"internal: response serialisation failed"}"#.to_string()
+    })
 }
 
 /// Successful predict response.

@@ -97,7 +97,7 @@ pub fn serve(registry: ModelRegistry, config: ServerConfig) -> Result<ServerHand
         Arc::clone(&stats),
         config.batch,
         Arc::clone(&shutdown),
-    ));
+    )?);
 
     let accept_thread = {
         let shutdown = Arc::clone(&shutdown);

@@ -37,6 +37,11 @@ mod imp {
 
     /// Route SIGINT and SIGTERM to the shutdown flag.
     pub fn install() {
+        // SAFETY: `signal(2)` is called with valid signal numbers and a
+        // handler that is an `extern "C" fn` performing only an atomic
+        // store (async-signal-safe); no data is shared with the handler
+        // beyond that atomic, and the call itself cannot violate memory
+        // safety regardless of its return value.
         unsafe {
             signal(SIGINT, on_signal as *const () as usize);
             signal(SIGTERM, on_signal as *const () as usize);

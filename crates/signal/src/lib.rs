@@ -18,6 +18,8 @@
 //! * [`emd`] — empirical mode decomposition via spline envelopes;
 //! * [`window`] — analysis windows (Hann, Hamming, rectangular).
 
+#![forbid(unsafe_code)]
+
 pub mod decompose;
 pub mod dtw;
 pub mod emd;
