@@ -29,6 +29,12 @@ pub enum TsdaError {
     /// Malformed model file: bad magic, unsupported format version,
     /// checksum mismatch, or a truncated/garbled section.
     Codec(String),
+    /// A bounded queue refused new work; the caller should back off for
+    /// roughly the hinted number of milliseconds and retry.
+    Overloaded {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_ms: u64,
+    },
 }
 
 impl std::fmt::Display for TsdaError {
@@ -43,6 +49,9 @@ impl std::fmt::Display for TsdaError {
             Self::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             Self::Io(msg) => write!(f, "io error: {msg}"),
             Self::Codec(msg) => write!(f, "codec error: {msg}"),
+            Self::Overloaded { retry_ms } => {
+                write!(f, "overloaded: retry in {retry_ms}ms")
+            }
         }
     }
 }

@@ -7,11 +7,25 @@
 //! first. Under load batches fill instantly (amortising the transform /
 //! forward pass across requests); a lone request waits at most
 //! `max_wait` before running solo.
+//!
+//! Queues are **bounded** (`queue_cap` jobs per model). When a model's
+//! queue is full, [`Batcher::submit`] refuses with
+//! [`SubmitError::Overloaded`] and a backoff hint instead of buffering
+//! without limit — the connection handler turns that into an explicit
+//! `{"ok":false,"error":"overloaded","retry_ms":N}` reply, so overload
+//! degrades into client backoff rather than unbounded memory growth and
+//! latency collapse. A [`FaultPlan`](crate::faults::FaultPlan) can
+//! additionally shed submits and stall workers to prove the path works.
+//!
+//! Shutdown: workers drain until every queue sender is dropped, so a
+//! server shutting down under load still answers every job that was
+//! accepted into a queue before the listener stopped.
 
+use crate::faults::FaultPlan;
 use crate::registry::ModelRegistry;
 use crate::stats::ServerStats;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -25,11 +39,14 @@ pub struct BatchConfig {
     pub max_batch: usize,
     /// Flush this long after the first pending request arrived.
     pub max_wait: Duration,
+    /// Maximum jobs queued per model before submits are shed with an
+    /// `overloaded` reply.
+    pub queue_cap: usize,
 }
 
 impl Default for BatchConfig {
     fn default() -> Self {
-        Self { max_batch: 32, max_wait: Duration::from_millis(2) }
+        Self { max_batch: 32, max_wait: Duration::from_millis(2), queue_cap: 256 }
     }
 }
 
@@ -44,16 +61,40 @@ pub struct BatchReply {
     pub micros: u64,
 }
 
+/// Why a submit was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No worker serves this model name.
+    UnknownModel,
+    /// The model's queue is full (or the fault plan shed the submit);
+    /// retry after roughly `retry_ms` milliseconds.
+    Overloaded {
+        /// Suggested client backoff, milliseconds.
+        retry_ms: u64,
+    },
+    /// The batcher is shutting down; the job was not queued.
+    Closed,
+}
+
 struct Job {
     series: Mts,
     enqueued: Instant,
     reply: SyncSender<BatchReply>,
 }
 
+struct ModelQueue {
+    tx: Sender<Job>,
+    depth: Arc<AtomicUsize>,
+}
+
 /// Handle for submitting jobs to the per-model batch workers.
 pub struct Batcher {
-    queues: BTreeMap<String, Sender<Job>>,
+    queues: BTreeMap<String, ModelQueue>,
     workers: Vec<JoinHandle<()>>,
+    queue_cap: usize,
+    /// Backoff hint for queue-full sheds: a few flush windows.
+    shed_retry_ms: u64,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Batcher {
@@ -64,46 +105,82 @@ impl Batcher {
         registry: Arc<ModelRegistry>,
         stats: Arc<ServerStats>,
         config: BatchConfig,
-        shutdown: Arc<AtomicBool>,
+        faults: Option<Arc<FaultPlan>>,
     ) -> Result<Self, TsdaError> {
         let mut queues = BTreeMap::new();
         let mut workers = Vec::new();
+        let queue_cap = config.queue_cap.max(1);
+        let shed_retry_ms = (config.max_wait.as_millis() as u64).max(1) * 4;
         for name in registry.names() {
             let (tx, rx) = std::sync::mpsc::channel::<Job>();
+            let depth = Arc::new(AtomicUsize::new(0));
             let registry = Arc::clone(&registry);
             let stats = Arc::clone(&stats);
-            let shutdown = Arc::clone(&shutdown);
             let model = name.clone();
-            let spawned = std::thread::Builder::new()
-                .name(format!("batch-{name}"))
-                .spawn(move || worker_loop(&registry, &model, &stats, config, &shutdown, &rx));
+            let worker_depth = Arc::clone(&depth);
+            let worker_faults = faults.clone();
+            let spawned = std::thread::Builder::new().name(format!("batch-{name}")).spawn(
+                move || {
+                    worker_loop(
+                        &registry,
+                        &model,
+                        &stats,
+                        config,
+                        &rx,
+                        &worker_depth,
+                        worker_faults.as_deref(),
+                    )
+                },
+            );
             match spawned {
                 Ok(handle) => {
-                    queues.insert(name, tx);
+                    queues.insert(name, ModelQueue { tx, depth });
                     workers.push(handle);
                 }
                 Err(e) => {
-                    Self { queues, workers }.shutdown();
+                    Self { queues, workers, queue_cap, shed_retry_ms, faults }.shutdown();
                     return Err(TsdaError::Io(format!("spawn batch worker for {name:?}: {e}")));
                 }
             }
         }
-        Ok(Self { queues, workers })
+        Ok(Self { queues, workers, queue_cap, shed_retry_ms, faults })
     }
 
     /// Queue one validated series for the named model. Returns a
-    /// receiver the caller blocks on for the reply; `None` when the
-    /// model has no worker (unknown name) or its worker already exited.
-    pub fn submit(&self, model: &str, series: Mts) -> Option<Receiver<BatchReply>> {
-        let tx = self.queues.get(model)?;
+    /// receiver the caller blocks on for the reply, or a [`SubmitError`]
+    /// explaining the refusal (unknown model, full queue, shutdown).
+    pub fn submit(&self, model: &str, series: Mts) -> Result<Receiver<BatchReply>, SubmitError> {
+        let queue = self.queues.get(model).ok_or(SubmitError::UnknownModel)?;
+        if let Some(plan) = self.faults.as_deref() {
+            if let Some(retry_ms) = plan.shed() {
+                return Err(SubmitError::Overloaded { retry_ms });
+            }
+        }
+        // Reserve a slot; the worker releases it when it pops the job.
+        // fetch_add + rollback keeps the check-and-reserve race-free
+        // without a lock: oversubscription by a racing submit is caught
+        // here and rolled back before the job is queued.
+        if queue.depth.fetch_add(1, Ordering::AcqRel) >= self.queue_cap {
+            queue.depth.fetch_sub(1, Ordering::AcqRel);
+            return Err(SubmitError::Overloaded { retry_ms: self.shed_retry_ms });
+        }
         // Rendezvous capacity 1: the worker never blocks sending the
         // reply even if the requesting connection died mid-flight.
         let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
-        tx.send(Job { series, enqueued: Instant::now(), reply: reply_tx }).ok()?;
-        Some(reply_rx)
+        if queue.tx.send(Job { series, enqueued: Instant::now(), reply: reply_tx }).is_err() {
+            queue.depth.fetch_sub(1, Ordering::AcqRel);
+            return Err(SubmitError::Closed);
+        }
+        Ok(reply_rx)
     }
 
-    /// Drop the queues (workers drain and exit) and join every worker.
+    /// Current queue depth for a model (observability / tests).
+    pub fn depth(&self, model: &str) -> Option<usize> {
+        self.queues.get(model).map(|q| q.depth.load(Ordering::Acquire))
+    }
+
+    /// Drop the queues (workers drain every queued job, then exit) and
+    /// join every worker.
     pub fn shutdown(self) {
         drop(self.queues);
         for w in self.workers {
@@ -117,14 +194,16 @@ fn worker_loop(
     model: &str,
     stats: &ServerStats,
     config: BatchConfig,
-    shutdown: &AtomicBool,
     rx: &Receiver<Job>,
+    depth: &AtomicUsize,
+    faults: Option<&FaultPlan>,
 ) {
     let Some(entry) = registry.get(model) else {
         // The batcher only spawns workers for registered models; if the
         // registry ever disagrees, fail each job cleanly instead of
         // panicking the worker thread.
         for job in rx.iter() {
+            depth.fetch_sub(1, Ordering::AcqRel);
             let _ = job.reply.send(BatchReply {
                 result: Err(format!("model {model:?} is not registered")),
                 batch_size: 0,
@@ -135,19 +214,14 @@ fn worker_loop(
     };
     let max_batch = config.max_batch.max(1);
     loop {
-        // Idle: poll for the first job so a flipped shutdown flag is
-        // noticed within 50ms even with no traffic.
-        let first = loop {
-            match rx.recv_timeout(Duration::from_millis(50)) {
-                Ok(job) => break job,
-                Err(RecvTimeoutError::Timeout) => {
-                    if shutdown.load(Ordering::Relaxed) {
-                        return;
-                    }
-                }
-                Err(RecvTimeoutError::Disconnected) => return,
-            }
+        // Block for the first job; `Disconnected` (all senders dropped)
+        // is the drain-complete shutdown signal, so a shutting-down
+        // server still answers everything already queued.
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return,
         };
+        depth.fetch_sub(1, Ordering::AcqRel);
         let deadline = Instant::now() + config.max_wait;
         let mut jobs = vec![first];
         while jobs.len() < max_batch {
@@ -156,10 +230,19 @@ fn worker_loop(
                 break;
             }
             match rx.recv_timeout(deadline - now) {
-                Ok(job) => jobs.push(job),
+                Ok(job) => {
+                    depth.fetch_sub(1, Ordering::AcqRel);
+                    jobs.push(job);
+                }
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => break,
             }
+        }
+
+        // Injected stall: the model "hangs" before the batch runs,
+        // building real queue depth behind it.
+        if let Some(pause) = faults.and_then(FaultPlan::stall) {
+            std::thread::sleep(pause);
         }
 
         let series: Vec<Mts> = jobs.iter().map(|j| j.series.clone()).collect();
@@ -200,6 +283,7 @@ fn worker_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultRates;
     use crate::registry::ModelEntry;
     use rand::Rng;
     use tsda_classify::persist::SavedModel;
@@ -228,19 +312,21 @@ mod tests {
     }
 
     fn start_batcher(config: BatchConfig) -> (Batcher, Arc<ServerStats>, Dataset, Vec<usize>) {
+        start_batcher_with_faults(config, None)
+    }
+
+    fn start_batcher_with_faults(
+        config: BatchConfig,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> (Batcher, Arc<ServerStats>, Dataset, Vec<usize>) {
         let (mut rocket, ds) = fitted_rocket();
         let offline = rocket.predict(&ds);
         let mut registry = ModelRegistry::new();
         registry
             .insert(ModelEntry::from_saved("rocket", SavedModel::Rocket(rocket), None).unwrap());
         let stats = Arc::new(ServerStats::new());
-        let batcher = Batcher::start(
-            Arc::new(registry),
-            Arc::clone(&stats),
-            config,
-            Arc::new(AtomicBool::new(false)),
-        )
-        .expect("batch workers start");
+        let batcher = Batcher::start(Arc::new(registry), Arc::clone(&stats), config, faults)
+            .expect("batch workers start");
         (batcher, stats, ds, offline)
     }
 
@@ -249,6 +335,7 @@ mod tests {
         let (batcher, stats, ds, offline) = start_batcher(BatchConfig {
             max_batch: 16,
             max_wait: Duration::from_millis(40),
+            ..BatchConfig::default()
         });
         let receivers: Vec<_> = ds
             .series()
@@ -270,18 +357,89 @@ mod tests {
 
     #[test]
     fn unknown_model_is_rejected_at_submit() {
-        let (batcher, _, ds, _) =
-            start_batcher(BatchConfig { max_batch: 4, max_wait: Duration::from_millis(1) });
-        assert!(batcher.submit("nope", ds.series()[0].clone()).is_none());
+        let (batcher, _, ds, _) = start_batcher(BatchConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            ..BatchConfig::default()
+        });
+        assert_eq!(
+            batcher.submit("nope", ds.series()[0].clone()).err(),
+            Some(SubmitError::UnknownModel)
+        );
         batcher.shutdown();
     }
 
     #[test]
     fn shutdown_with_idle_worker_joins_quickly() {
-        let (batcher, _, _, _) =
-            start_batcher(BatchConfig { max_batch: 4, max_wait: Duration::from_millis(1) });
+        let (batcher, _, _, _) = start_batcher(BatchConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            ..BatchConfig::default()
+        });
         let start = Instant::now();
         batcher.shutdown();
         assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn full_queue_sheds_with_a_retry_hint_and_recovers() {
+        // A stalling fault plan wedges the worker so the tiny queue
+        // fills; submits past the cap must shed, not buffer.
+        let plan = Arc::new(FaultPlan::new(
+            3,
+            FaultRates {
+                delay_write: 0,
+                partial_write: 0,
+                drop_connection: 0,
+                corrupt_request: 0,
+                stall_worker: 1000,
+                shed_load: 0,
+            },
+        ));
+        let (batcher, _, ds, _) = start_batcher_with_faults(
+            BatchConfig { max_batch: 1, max_wait: Duration::from_millis(1), queue_cap: 2 },
+            Some(plan),
+        );
+        let mut kept = Vec::new();
+        let mut shed = 0usize;
+        for _ in 0..40 {
+            match batcher.submit("rocket", ds.series()[0].clone()) {
+                Ok(rx) => kept.push(rx),
+                Err(SubmitError::Overloaded { retry_ms }) => {
+                    assert!(retry_ms > 0);
+                    shed += 1;
+                }
+                Err(e) => panic!("unexpected submit error {e:?}"),
+            }
+        }
+        assert!(shed > 0, "expected sheds with a wedged worker");
+        // Every accepted job still completes (drain guarantee).
+        for rx in kept {
+            assert!(rx.recv().expect("accepted jobs are answered").result.is_ok());
+        }
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn fault_plan_shed_refuses_submits_deterministically() {
+        let all_shed = FaultRates {
+            delay_write: 0,
+            partial_write: 0,
+            drop_connection: 0,
+            corrupt_request: 0,
+            stall_worker: 0,
+            shed_load: 1000,
+        };
+        let plan = Arc::new(FaultPlan::new(5, all_shed));
+        let (batcher, _, ds, _) =
+            start_batcher_with_faults(BatchConfig::default(), Some(Arc::clone(&plan)));
+        for _ in 0..5 {
+            assert!(matches!(
+                batcher.submit("rocket", ds.series()[0].clone()),
+                Err(SubmitError::Overloaded { .. })
+            ));
+        }
+        assert!(plan.injected_total() >= 5);
+        batcher.shutdown();
     }
 }

@@ -7,23 +7,25 @@
 //! tsda_client --stats
 //! tsda_client --load --models rocket,inception --requests 400 \
 //!             --concurrency 8 --dataset RacketSports --seed 7 \
-//!             --out BENCH_serve.json
+//!             --retries 8 --timeout-ms 5000 --out BENCH_serve.json
 //! ```
 //!
 //! The load generator runs `--concurrency` closed-loop connections per
 //! model (each sends one request, waits for the response, repeats),
 //! records exact client-side latencies, and writes per-model
 //! requests/sec + p50/p99/mean to `--out` together with the server's
-//! own stats snapshot.
+//! own stats snapshot. Every path runs through the library's
+//! [`RetryingClient`], so timeouts, dropped connections, and
+//! `overloaded` sheds are retried with capped, jittered backoff — the
+//! report includes how often that machinery fired (`retries`,
+//! `reconnects`, `shed_backoffs`).
 
 use serde::Value;
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
 use std::time::{Duration, Instant};
 use tsda_datasets::registry::ALL_DATASETS;
 use tsda_datasets::synth::{generate, GenOptions};
 use tsda_datasets::ts_format::format_series_line;
-use tsda_serve::protocol::{parse_response, Response};
+use tsda_serve::client::{predict_line, request_line, wait_ready, RetryPolicy, RetryingClient};
 
 struct Args {
     addr: String,
@@ -37,6 +39,8 @@ struct Args {
     concurrency: usize,
     dataset: String,
     seed: u64,
+    retries: u32,
+    timeout_ms: u64,
     out: String,
 }
 
@@ -54,6 +58,8 @@ impl Default for Args {
             concurrency: 8,
             dataset: "RacketSports".into(),
             seed: 7,
+            retries: 8,
+            timeout_ms: 5000,
             out: "BENCH_serve.json".into(),
         }
     }
@@ -92,11 +98,19 @@ fn parse_args() -> Result<Args, String> {
             }
             "--dataset" => args.dataset = value("--dataset")?,
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--retries" => {
+                args.retries = value("--retries")?.parse().map_err(|e| format!("--retries: {e}"))?;
+            }
+            "--timeout-ms" => {
+                args.timeout_ms =
+                    value("--timeout-ms")?.parse().map_err(|e| format!("--timeout-ms: {e}"))?;
+            }
             "--out" => args.out = value("--out")?,
             "--help" | "-h" => {
                 println!(
                     "usage: tsda_client [--addr A] [--wait-ready SECS]\n\
                      \x20                  [--model M --series S] [--stats]\n\
+                     \x20                  [--retries N] [--timeout-ms MS]\n\
                      \x20                  [--load --models m1,m2 --requests N --concurrency C\n\
                      \x20                   --dataset D --seed S --out FILE]"
                 );
@@ -108,77 +122,13 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// One connection that sends a line and reads the matching response.
-struct Conn {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
-}
-
-impl Conn {
-    fn open(addr: &str) -> Result<Self, String> {
-        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-        stream.set_nodelay(true).ok();
-        let reader = BufReader::new(
-            stream.try_clone().map_err(|e| format!("clone stream: {e}"))?,
-        );
-        Ok(Self { writer: stream, reader })
+fn policy_of(args: &Args) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: args.retries.max(1),
+        timeout: Duration::from_millis(args.timeout_ms.max(1)),
+        jitter_seed: args.seed,
+        ..RetryPolicy::default()
     }
-
-    fn round_trip(&mut self, line: &str) -> Result<Response, String> {
-        self.writer
-            .write_all(line.as_bytes())
-            .and_then(|_| self.writer.write_all(b"\n"))
-            .map_err(|e| format!("send: {e}"))?;
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply).map_err(|e| format!("recv: {e}"))?;
-        if n == 0 {
-            return Err("server closed the connection".into());
-        }
-        parse_response(reply.trim_end())
-    }
-}
-
-fn request_line(id: u64, op: &str, extra: Vec<(String, Value)>) -> String {
-    let mut pairs = vec![
-        ("id".to_string(), Value::Num(id as f64)),
-        ("op".to_string(), Value::Str(op.to_string())),
-    ];
-    pairs.extend(extra);
-    serde_json::to_string(&Value::Object(pairs)).expect("value trees always serialise")
-}
-
-fn predict_line(id: u64, model: &str, series: &str) -> String {
-    request_line(
-        id,
-        "predict",
-        vec![
-            ("model".into(), Value::Str(model.to_string())),
-            ("series".into(), Value::Str(series.to_string())),
-        ],
-    )
-}
-
-fn wait_ready(addr: &str, secs: u64) -> Result<(), String> {
-    let deadline = Instant::now() + Duration::from_secs(secs);
-    let probe_gap = Duration::from_millis(200);
-    let mut last;
-    loop {
-        match Conn::open(addr).and_then(|mut c| c.round_trip(&request_line(1, "ping", vec![]))) {
-            Ok(r) if r.ok => return Ok(()),
-            Ok(r) => last = r.error.unwrap_or_else(|| "not ok".into()),
-            Err(e) => last = e,
-        }
-        // Sleep between probes — never a busy-spin — but cap the nap to
-        // the remaining budget so the timeout is honoured tightly. A
-        // ready server always passes at least one probe, even with
-        // `--wait-ready 0`.
-        let now = Instant::now();
-        if now >= deadline {
-            break;
-        }
-        std::thread::sleep(probe_gap.min(deadline - now));
-    }
-    Err(format!("server at {addr} not ready after {secs}s: {last}"))
 }
 
 /// Exact percentile over a sorted latency slice (nearest-rank).
@@ -194,6 +144,9 @@ struct LoadResult {
     model: String,
     requests: usize,
     errors: usize,
+    retries: u64,
+    reconnects: u64,
+    shed_backoffs: u64,
     elapsed_s: f64,
     latencies_us: Vec<u64>,
 }
@@ -211,6 +164,9 @@ impl LoadResult {
             ("model".into(), Value::Str(self.model.clone())),
             ("requests".into(), Value::Num(self.requests as f64)),
             ("errors".into(), Value::Num(self.errors as f64)),
+            ("retries".into(), Value::Num(self.retries as f64)),
+            ("reconnects".into(), Value::Num(self.reconnects as f64)),
+            ("shed_backoffs".into(), Value::Num(self.shed_backoffs as f64)),
             ("elapsed_s".into(), Value::Num(self.elapsed_s)),
             (
                 "requests_per_s".into(),
@@ -228,13 +184,15 @@ impl LoadResult {
 }
 
 /// Closed-loop load against one model: `concurrency` worker threads,
-/// each with its own connection, splitting `requests` between them.
+/// each with its own retrying client, splitting `requests` between
+/// them.
 fn run_load(
     addr: &str,
     model: &str,
     series: &[String],
     requests: usize,
     concurrency: usize,
+    policy: RetryPolicy,
 ) -> Result<LoadResult, String> {
     let concurrency = concurrency.max(1);
     let started = Instant::now();
@@ -244,41 +202,51 @@ fn run_load(
         let addr = addr.to_string();
         let model = model.to_string();
         let series = series.to_vec();
-        handles.push(std::thread::spawn(move || -> Result<(Vec<u64>, usize), String> {
-            let mut conn = Conn::open(&addr)?;
-            let mut latencies = Vec::with_capacity(n);
-            let mut errors = 0usize;
-            for i in 0..n {
-                let s = &series[(worker + i * concurrency) % series.len()];
-                let t0 = Instant::now();
-                let reply = conn.round_trip(&predict_line(i as u64 + 1, &model, s))?;
-                latencies.push(t0.elapsed().as_micros() as u64);
-                if !reply.ok {
-                    errors += 1;
+        handles.push(std::thread::spawn(
+            move || -> Result<(Vec<u64>, usize, RetryingClient), String> {
+                let mut client = RetryingClient::new(addr, policy, &format!("load-{worker}"));
+                let mut latencies = Vec::with_capacity(n);
+                let mut errors = 0usize;
+                for i in 0..n {
+                    let s = &series[(worker + i * concurrency) % series.len()];
+                    let t0 = Instant::now();
+                    let reply = client.predict(i as u64 + 1, &model, s)?;
+                    latencies.push(t0.elapsed().as_micros() as u64);
+                    if !reply.ok {
+                        errors += 1;
+                    }
                 }
-            }
-            Ok((latencies, errors))
-        }));
+                Ok((latencies, errors, client))
+            },
+        ));
     }
     let mut latencies_us = Vec::with_capacity(requests);
     let mut errors = 0;
+    let (mut retries, mut reconnects, mut shed_backoffs) = (0u64, 0u64, 0u64);
     for h in handles {
-        let (lat, err) = h.join().map_err(|_| "load worker panicked".to_string())??;
+        let (lat, err, client) = h.join().map_err(|_| "load worker panicked".to_string())??;
         latencies_us.extend(lat);
         errors += err;
+        let c = client.counters();
+        retries += c.retries;
+        reconnects += c.reconnects;
+        shed_backoffs += c.shed_backoffs;
     }
     Ok(LoadResult {
         model: model.to_string(),
         requests,
         errors,
+        retries,
+        reconnects,
+        shed_backoffs,
         elapsed_s: started.elapsed().as_secs_f64(),
         latencies_us,
     })
 }
 
-fn fetch_stats(addr: &str) -> Result<Value, String> {
-    let mut conn = Conn::open(addr)?;
-    let reply = conn.round_trip(&request_line(1, "stats", vec![]))?;
+fn fetch_stats(addr: &str, policy: RetryPolicy) -> Result<Value, String> {
+    let mut client = RetryingClient::new(addr, policy, "stats");
+    let reply = client.round_trip(&request_line(1, "stats", vec![]))?;
     if !reply.ok {
         return Err(reply.error.unwrap_or_else(|| "stats failed".into()));
     }
@@ -287,6 +255,7 @@ fn fetch_stats(addr: &str) -> Result<Value, String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    let policy = policy_of(&args);
 
     if let Some(secs) = args.wait_ready {
         wait_ready(&args.addr, secs)?;
@@ -297,7 +266,7 @@ fn run() -> Result<(), String> {
     }
 
     if args.stats {
-        let stats = fetch_stats(&args.addr)?;
+        let stats = fetch_stats(&args.addr, policy)?;
         println!(
             "{}",
             serde_json::to_string_pretty(&stats).expect("value trees always serialise")
@@ -306,8 +275,8 @@ fn run() -> Result<(), String> {
     }
 
     if let (Some(model), Some(series)) = (&args.model, &args.series) {
-        let mut conn = Conn::open(&args.addr)?;
-        let reply = conn.round_trip(&predict_line(1, model, series))?;
+        let mut client = RetryingClient::new(args.addr.clone(), policy, "single");
+        let reply = client.round_trip(&predict_line(1, model, series))?;
         if reply.ok {
             println!(
                 "label {} (batch {}, {}us server-side)",
@@ -337,15 +306,18 @@ fn run() -> Result<(), String> {
                 "load: model {model}, {} requests, concurrency {}",
                 args.requests, args.concurrency
             );
-            let result = run_load(&args.addr, model, &series, args.requests, args.concurrency)?;
+            let result =
+                run_load(&args.addr, model, &series, args.requests, args.concurrency, policy)?;
             eprintln!(
-                "load: {model}: {:.0} req/s, {} errors",
+                "load: {model}: {:.0} req/s, {} errors, {} retries, {} reconnects",
                 result.requests as f64 / result.elapsed_s.max(1e-9),
-                result.errors
+                result.errors,
+                result.retries,
+                result.reconnects
             );
             entries.push(result.to_value());
         }
-        let server_stats = fetch_stats(&args.addr).unwrap_or(Value::Null);
+        let server_stats = fetch_stats(&args.addr, policy).unwrap_or(Value::Null);
         let report = Value::Object(vec![
             ("dataset".into(), Value::Str(meta.name.to_string())),
             ("seed".into(), Value::Num(args.seed as f64)),

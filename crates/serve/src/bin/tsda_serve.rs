@@ -9,8 +9,14 @@
 //! file exists, otherwise trains on the named simulated dataset
 //! (laptop-scale `GenOptions::ci(seed)`) and saves it there, so restarts
 //! reuse the fitted model byte-for-byte. SIGINT/SIGTERM flip the
-//! shutdown flag; the server drains in-flight batches, prints a final
-//! stats snapshot, and exits 0.
+//! shutdown flag; the server drains every accepted request, prints a
+//! final stats snapshot, and exits 0.
+//!
+//! `--fault-seed N` (or the `TSDA_FAULT_SEED` env var; the flag wins)
+//! arms the deterministic fault-injection plan with seed N — dropped
+//! and torn writes, corrupted request bytes, worker stalls, load
+//! shedding — and prints the per-kind injection log at shutdown.
+//! Seed 0 keeps faults off.
 
 use std::time::{Duration, Instant};
 use tsda_classify::persist::{load_model, save_model, SavedModel};
@@ -24,6 +30,7 @@ use tsda_datasets::registry::{DatasetMeta, ALL_DATASETS};
 use tsda_datasets::synth::{generate, GenOptions};
 use tsda_neuro::train::TrainConfig;
 use tsda_serve::batcher::BatchConfig;
+use tsda_serve::faults::FaultPlan;
 use tsda_serve::registry::{ModelEntry, ModelRegistry};
 use tsda_serve::server::{serve, ServerConfig};
 use tsda_serve::signal;
@@ -36,8 +43,10 @@ struct Args {
     dir: Option<String>,
     max_batch: usize,
     max_wait_ms: u64,
+    queue_cap: usize,
     fast: bool,
     max_seconds: Option<u64>,
+    fault_seed: Option<u64>,
 }
 
 impl Default for Args {
@@ -50,8 +59,10 @@ impl Default for Args {
             dir: None,
             max_batch: 32,
             max_wait_ms: 2,
+            queue_cap: BatchConfig::default().queue_cap,
             fast: false,
             max_seconds: None,
+            fault_seed: None,
         }
     }
 }
@@ -85,17 +96,27 @@ fn parse_args() -> Result<Args, String> {
                 args.max_wait_ms =
                     value("--max-wait-ms")?.parse().map_err(|e| format!("--max-wait-ms: {e}"))?;
             }
+            "--queue-cap" => {
+                args.queue_cap =
+                    value("--queue-cap")?.parse().map_err(|e| format!("--queue-cap: {e}"))?;
+            }
             "--fast" => args.fast = true,
             "--max-seconds" => {
                 args.max_seconds = Some(
                     value("--max-seconds")?.parse().map_err(|e| format!("--max-seconds: {e}"))?,
                 );
             }
+            "--fault-seed" => {
+                args.fault_seed = Some(
+                    value("--fault-seed")?.parse().map_err(|e| format!("--fault-seed: {e}"))?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: tsda_serve [--addr A] [--models m1,m2] [--dataset D] [--seed S]\n\
                      \x20                 [--dir MODELDIR] [--max-batch N] [--max-wait-ms MS]\n\
-                     \x20                 [--fast] [--max-seconds S]\n\
+                     \x20                 [--queue-cap N] [--fast] [--max-seconds S]\n\
+                     \x20                 [--fault-seed N]\n\
                      models: rocket minirocket ridge inception"
                 );
                 std::process::exit(0);
@@ -229,12 +250,23 @@ fn run() -> Result<(), String> {
     }
 
     signal::install();
+    // --fault-seed wins over the env var; 0 means off either way.
+    let faults = match args.fault_seed {
+        Some(0) => None,
+        Some(seed) => Some(std::sync::Arc::new(FaultPlan::seeded(seed))),
+        None => FaultPlan::from_env(),
+    };
+    if let Some(plan) = &faults {
+        eprintln!("fault injection armed (seed {})", plan.seed());
+    }
     let config = ServerConfig {
         addr: args.addr.clone(),
         batch: BatchConfig {
             max_batch: args.max_batch,
             max_wait: Duration::from_millis(args.max_wait_ms),
+            queue_cap: args.queue_cap,
         },
+        faults: faults.clone(),
     };
     let handle = serve(registry, config).map_err(|e| format!("serve: {e}"))?;
     // The readiness line clients grep for (also carries the resolved
@@ -263,14 +295,19 @@ fn run() -> Result<(), String> {
     let snap = handle.stats().snapshot();
     handle.shutdown();
     eprintln!(
-        "served {} requests ({} errors) in {} batches, mean batch {:.2}, p50 {}us p99 {}us",
+        "served {} requests ({} errors, {} shed) in {} batches, mean batch {:.2}, \
+         p50 {}us p99 {}us",
         snap.requests,
         snap.errors,
+        snap.shed,
         snap.batches,
         snap.mean_batch,
         snap.request_p50_us,
         snap.request_p99_us
     );
+    if let Some(plan) = &faults {
+        eprintln!("faults injected/offered: {}", plan.summary());
+    }
     Ok(())
 }
 

@@ -1,0 +1,498 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! A [`FaultPlan`] is a seeded schedule of transport- and batcher-level
+//! faults: delayed, torn, and dropped response writes, byte-corrupted
+//! request lines, artificial batch-worker stalls, and load shedding at
+//! the submit seam. Each injection site draws its decisions from
+//! [`tsda_core::rng::derive_stream`] over `(seed, site-label, event
+//! index)`, so the n-th event at a site makes the same call in every
+//! run regardless of thread interleaving — the *plan* is a pure
+//! function of the seed, which is what lets the chaos suites assert
+//! exact survivability (zero lost requests, zero label mismatches)
+//! instead of merely "it usually works".
+//!
+//! The plan also keeps per-kind event/injection counters (the
+//! fault-plan log). Chaos tests assert every kind fired at least once
+//! via [`FaultPlan::exercised_all`], and `chaos_soak` embeds
+//! [`FaultPlan::to_value`] in `BENCH_chaos.json`.
+//!
+//! Fault injection is opt-in: servers run fault-free unless a plan is
+//! handed to [`crate::server::ServerConfig`] (the `tsda_serve` bin
+//! wires `--fault-seed` / `TSDA_FAULT_SEED` to [`FaultPlan::from_env`]).
+
+use serde::Value;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tsda_core::rng::derive_stream;
+
+/// The kinds of fault the plan can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Sleep before writing a response (slow server / congested path).
+    DelayWrite,
+    /// Write a response in several flushed chunks with pauses between
+    /// them (torn writes; the client sees partial lines mid-read).
+    PartialWrite,
+    /// Write a prefix of a response, then sever the connection
+    /// (mid-line drop; the client must reconnect and replay).
+    DropConnection,
+    /// Overwrite one byte of a received request line before parsing
+    /// (wire corruption; must yield an error reply, never a panic and
+    /// never a silently different prediction).
+    CorruptRequest,
+    /// Sleep inside a batch worker before running the batch (a stalled
+    /// model; builds queue depth and provokes real load shedding).
+    StallWorker,
+    /// Refuse a submit with an `overloaded` reply even though the
+    /// queue had room (exercises the shedding path deterministically).
+    ShedLoad,
+}
+
+impl FaultKind {
+    /// Every kind, in a fixed order (indexes the plan's counters).
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::DelayWrite,
+        FaultKind::PartialWrite,
+        FaultKind::DropConnection,
+        FaultKind::CorruptRequest,
+        FaultKind::StallWorker,
+        FaultKind::ShedLoad,
+    ];
+
+    /// Stable label (stream derivation, logs, JSON reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::DelayWrite => "delay_write",
+            FaultKind::PartialWrite => "partial_write",
+            FaultKind::DropConnection => "drop_connection",
+            FaultKind::CorruptRequest => "corrupt_request",
+            FaultKind::StallWorker => "stall_worker",
+            FaultKind::ShedLoad => "shed_load",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::DelayWrite => 0,
+            FaultKind::PartialWrite => 1,
+            FaultKind::DropConnection => 2,
+            FaultKind::CorruptRequest => 3,
+            FaultKind::StallWorker => 4,
+            FaultKind::ShedLoad => 5,
+        }
+    }
+}
+
+/// Per-kind injection rates in permille (0 = never, 1000 = always).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultRates {
+    /// Response writes delayed.
+    pub delay_write: u64,
+    /// Response writes torn into flushed chunks.
+    pub partial_write: u64,
+    /// Response writes cut mid-line with the connection severed.
+    pub drop_connection: u64,
+    /// Request lines with one byte overwritten.
+    pub corrupt_request: u64,
+    /// Batches preceded by an artificial worker stall.
+    pub stall_worker: u64,
+    /// Submits shed with an `overloaded` reply.
+    pub shed_load: u64,
+}
+
+impl FaultRates {
+    /// The chaos-suite default: every kind frequent enough that a few
+    /// hundred requests exercise all of them several times over.
+    pub fn chaos() -> Self {
+        Self {
+            delay_write: 60,
+            partial_write: 60,
+            drop_connection: 30,
+            corrupt_request: 40,
+            stall_worker: 50,
+            shed_load: 40,
+        }
+    }
+
+    fn get(&self, kind: FaultKind) -> u64 {
+        match kind {
+            FaultKind::DelayWrite => self.delay_write,
+            FaultKind::PartialWrite => self.partial_write,
+            FaultKind::DropConnection => self.drop_connection,
+            FaultKind::CorruptRequest => self.corrupt_request,
+            FaultKind::StallWorker => self.stall_worker,
+            FaultKind::ShedLoad => self.shed_load,
+        }
+    }
+}
+
+/// What to do to one response write (drawn once per response).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Write normally.
+    Clean,
+    /// Sleep, then write normally.
+    Delay(Duration),
+    /// Write in chunks of `chunk` bytes, flushing and pausing between.
+    Torn {
+        /// Bytes per flushed chunk (≥ 1).
+        chunk: usize,
+        /// Pause between chunks.
+        pause: Duration,
+    },
+    /// Write only the first `keep` bytes, then sever the connection.
+    Drop {
+        /// Bytes written before the cut (strictly less than the line).
+        keep: usize,
+    },
+}
+
+/// A seeded fault schedule plus its injection log.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: FaultRates,
+    /// Events observed per kind (the per-site stream index).
+    events: [AtomicU64; 6],
+    /// Faults actually injected per kind.
+    injected: [AtomicU64; 6],
+}
+
+impl FaultPlan {
+    /// A plan over explicit rates.
+    pub fn new(seed: u64, rates: FaultRates) -> Self {
+        Self {
+            seed,
+            rates,
+            events: std::array::from_fn(|_| AtomicU64::new(0)),
+            injected: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// A plan with the chaos-suite default rates.
+    pub fn seeded(seed: u64) -> Self {
+        Self::new(seed, FaultRates::chaos())
+    }
+
+    /// Build a plan from `TSDA_FAULT_SEED` (absent, unparsable, or `0`
+    /// means fault injection stays off).
+    pub fn from_env() -> Option<Arc<FaultPlan>> {
+        let seed = std::env::var("TSDA_FAULT_SEED")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&s| s != 0)?;
+        Some(Arc::new(FaultPlan::seeded(seed)))
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Decide the next event at `kind`'s site. Returns the event's
+    /// decision word when the fault fires (callers derive magnitudes
+    /// from it), `None` when this event passes clean.
+    fn roll(&self, kind: FaultKind) -> Option<u64> {
+        let rate = self.rates.get(kind);
+        if rate == 0 {
+            return None;
+        }
+        let idx = self.events[kind.index()].fetch_add(1, Ordering::Relaxed);
+        let word = derive_stream(self.seed, kind.label(), idx);
+        if word % 1000 < rate {
+            self.injected[kind.index()].fetch_add(1, Ordering::Relaxed);
+            // A fresh mix for magnitudes so they are independent of the
+            // fire/no-fire threshold bits.
+            Some(derive_stream(word, "magnitude", idx))
+        } else {
+            None
+        }
+    }
+
+    /// Draw the fault (if any) for one response write of `len` bytes.
+    /// At most one write fault applies per response; drop beats torn
+    /// beats delay so each kind keeps its own deterministic stream.
+    pub fn write_fault(&self, len: usize) -> WriteFault {
+        if len >= 2 {
+            if let Some(word) = self.roll(FaultKind::DropConnection) {
+                // Keep at least 1 byte and never the whole line: the cut
+                // must be observably mid-line.
+                let keep = 1 + (word as usize % (len - 1));
+                return WriteFault::Drop { keep };
+            }
+        }
+        if len >= 2 {
+            if let Some(word) = self.roll(FaultKind::PartialWrite) {
+                let chunk = 1 + (word as usize % (len / 2).max(1));
+                let pause = Duration::from_micros(500 + word % 1500);
+                return WriteFault::Torn { chunk, pause };
+            }
+        }
+        if let Some(word) = self.roll(FaultKind::DelayWrite) {
+            return WriteFault::Delay(Duration::from_millis(1 + word % 8));
+        }
+        WriteFault::Clean
+    }
+
+    /// Maybe overwrite one byte of a received request line with an
+    /// unprintable control byte. Returns true when corruption was
+    /// applied. The replacement byte (0x01) cannot appear in any valid
+    /// request, so a corrupted line always parses to a *recoverable
+    /// error* — never to a well-formed request with different content,
+    /// which would silently change a prediction.
+    pub fn corrupt_line(&self, line: &mut [u8]) -> bool {
+        if line.is_empty() {
+            return false;
+        }
+        match self.roll(FaultKind::CorruptRequest) {
+            Some(word) => {
+                let pos = word as usize % line.len();
+                line[pos] = 0x01;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Maybe stall a batch worker before it runs a batch.
+    pub fn stall(&self) -> Option<Duration> {
+        self.roll(FaultKind::StallWorker)
+            .map(|word| Duration::from_millis(5 + word % 35))
+    }
+
+    /// Maybe shed one submit. Returns the `retry_ms` hint to put in the
+    /// overloaded reply.
+    pub fn shed(&self) -> Option<u64> {
+        self.roll(FaultKind::ShedLoad).map(|word| 5 + word % 20)
+    }
+
+    /// The fault-plan log: `(kind, events observed, faults injected)`.
+    pub fn counts(&self) -> Vec<(FaultKind, u64, u64)> {
+        FaultKind::ALL
+            .iter()
+            .map(|&k| {
+                (
+                    k,
+                    self.events[k.index()].load(Ordering::Relaxed),
+                    self.injected[k.index()].load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// Total faults injected across all kinds.
+    pub fn injected_total(&self) -> u64 {
+        self.injected.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// True when every fault kind has been injected at least once.
+    pub fn exercised_all(&self) -> bool {
+        self.injected.iter().all(|c| c.load(Ordering::Relaxed) > 0)
+    }
+
+    /// One summary line per kind (shutdown logs).
+    pub fn summary(&self) -> String {
+        self.counts()
+            .iter()
+            .map(|(k, events, injected)| format!("{}={injected}/{events}", k.label()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// The plan and its log as a JSON value (for `BENCH_chaos.json`).
+    pub fn to_value(&self) -> Value {
+        let kinds = self
+            .counts()
+            .into_iter()
+            .map(|(k, events, injected)| {
+                (
+                    k.label().to_string(),
+                    Value::Object(vec![
+                        ("rate_permille".into(), Value::Num(self.rates.get(k) as f64)),
+                        ("events".into(), Value::Num(events as f64)),
+                        ("injected".into(), Value::Num(injected as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        Value::Object(vec![
+            ("seed".into(), Value::Num(self.seed as f64)),
+            ("kinds".into(), Value::Object(kinds)),
+        ])
+    }
+}
+
+/// Write one response line through the plan's write faults. A
+/// [`WriteFault::Drop`] writes a prefix and returns an error so the
+/// connection handler closes the stream mid-line, exactly like a peer
+/// vanishing under a half-written reply.
+pub fn write_response(
+    writer: &mut impl Write,
+    bytes: &[u8],
+    plan: Option<&FaultPlan>,
+) -> std::io::Result<()> {
+    let fault = match plan {
+        Some(p) => p.write_fault(bytes.len()),
+        None => WriteFault::Clean,
+    };
+    match fault {
+        WriteFault::Clean => writer.write_all(bytes),
+        WriteFault::Delay(pause) => {
+            std::thread::sleep(pause);
+            writer.write_all(bytes)
+        }
+        WriteFault::Torn { chunk, pause } => {
+            let mut rest = bytes;
+            while !rest.is_empty() {
+                let n = chunk.min(rest.len());
+                writer.write_all(&rest[..n])?;
+                writer.flush()?;
+                rest = &rest[n..];
+                if !rest.is_empty() {
+                    std::thread::sleep(pause);
+                }
+            }
+            Ok(())
+        }
+        WriteFault::Drop { keep } => {
+            let keep = keep.min(bytes.len().saturating_sub(1));
+            writer.write_all(&bytes[..keep])?;
+            writer.flush()?;
+            Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionAborted,
+                "fault injection: connection dropped mid-line",
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn always() -> FaultRates {
+        FaultRates {
+            delay_write: 1000,
+            partial_write: 1000,
+            drop_connection: 1000,
+            corrupt_request: 1000,
+            stall_worker: 1000,
+            shed_load: 1000,
+        }
+    }
+
+    fn never() -> FaultRates {
+        FaultRates {
+            delay_write: 0,
+            partial_write: 0,
+            drop_connection: 0,
+            corrupt_request: 0,
+            stall_worker: 0,
+            shed_load: 0,
+        }
+    }
+
+    #[test]
+    fn same_seed_produces_the_same_schedule() {
+        let draw = |seed: u64| -> Vec<WriteFault> {
+            let plan = FaultPlan::new(seed, FaultRates::chaos());
+            (0..200).map(|_| plan.write_fault(64)).collect()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn zero_rates_never_fire_and_log_nothing() {
+        let plan = FaultPlan::new(9, never());
+        for _ in 0..50 {
+            assert_eq!(plan.write_fault(64), WriteFault::Clean);
+            assert!(plan.stall().is_none());
+            assert!(plan.shed().is_none());
+            let mut line = b"{\"id\":1}".to_vec();
+            assert!(!plan.corrupt_line(&mut line));
+        }
+        assert_eq!(plan.injected_total(), 0);
+        assert!(!plan.exercised_all());
+    }
+
+    #[test]
+    fn chaos_rates_exercise_every_kind_quickly() {
+        let plan = FaultPlan::seeded(7);
+        for _ in 0..600 {
+            let _ = plan.write_fault(64);
+            let _ = plan.stall();
+            let _ = plan.shed();
+            let mut line = vec![b'x'; 40];
+            let _ = plan.corrupt_line(&mut line);
+        }
+        assert!(plan.exercised_all(), "log: {}", plan.summary());
+    }
+
+    #[test]
+    fn corruption_replaces_exactly_one_byte_with_a_control_byte() {
+        let plan = FaultPlan::new(3, always());
+        let original = br#"{"id":1,"op":"predict","model":"rocket","series":"1,2"}"#;
+        let mut line = original.to_vec();
+        assert!(plan.corrupt_line(&mut line));
+        let diffs: Vec<usize> =
+            (0..line.len()).filter(|&i| line[i] != original[i]).collect();
+        assert_eq!(diffs.len(), 1, "{diffs:?}");
+        assert_eq!(line[diffs[0]], 0x01);
+    }
+
+    #[test]
+    fn torn_writes_deliver_every_byte_and_drops_cut_mid_line() {
+        let plan = FaultPlan::new(5, always());
+        // Rate 1000 fires on every roll; drop wins the priority order.
+        let mut sink = Vec::new();
+        let bytes = b"{\"id\":1,\"ok\":true}\n";
+        let err = write_response(&mut sink, bytes, Some(&plan)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionAborted);
+        assert!(!sink.is_empty() && sink.len() < bytes.len(), "{}", sink.len());
+
+        // Torn-only plan: all bytes arrive, in order.
+        let torn_only = FaultRates { drop_connection: 0, delay_write: 0, ..always() };
+        let plan = FaultPlan::new(5, torn_only);
+        let mut sink = Vec::new();
+        write_response(&mut sink, bytes, Some(&plan)).unwrap();
+        assert_eq!(sink, bytes);
+    }
+
+    #[test]
+    fn write_without_a_plan_is_clean() {
+        let mut sink = Vec::new();
+        write_response(&mut sink, b"abc\n", None).unwrap();
+        assert_eq!(sink, b"abc\n");
+    }
+
+    #[test]
+    fn counts_track_events_and_injections() {
+        let plan = FaultPlan::seeded(11);
+        for _ in 0..100 {
+            let _ = plan.shed();
+        }
+        let shed = plan
+            .counts()
+            .into_iter()
+            .find(|(k, _, _)| *k == FaultKind::ShedLoad)
+            .map(|(_, events, injected)| (events, injected));
+        let Some((events, injected)) = shed else {
+            panic!("shed_load missing from counts");
+        };
+        assert_eq!(events, 100);
+        assert!(injected > 0 && injected < 100, "injected {injected}");
+        let text = serde_json::to_string(&plan.to_value()).unwrap();
+        assert!(text.contains("shed_load") && text.contains("seed"), "{text}");
+    }
+
+    #[test]
+    fn from_env_requires_a_nonzero_seed() {
+        // Not set in the test environment unless the caller exported it;
+        // only assert the parse rules via the documented contract.
+        std::env::remove_var("TSDA_FAULT_SEED_TEST_PROBE");
+        assert!(FaultPlan::from_env().map(|p| p.seed() != 0).unwrap_or(true));
+    }
+}

@@ -22,20 +22,34 @@
 //!   to offline `Classifier::predict` (asserted by the smoke test).
 //! * [`server`] — the accept loop, connection handlers, stats counters,
 //!   and graceful shutdown via a flag the SIGTERM/ctrl-c handler
-//!   ([`signal`]) and tests both flip.
+//!   ([`signal`]) and tests both flip. Shutdown drains: accepted
+//!   requests are answered and queued jobs predicted before threads
+//!   exit.
+//! * [`faults`] — a seeded, deterministic fault-injection plan
+//!   (delayed/torn/dropped writes, corrupted request bytes, worker
+//!   stalls, load shedding) the chaos suites run the whole stack under.
+//! * [`client`] — connection + readiness probe + a retrying client
+//!   (capped exponential backoff with seeded jitter, per-request
+//!   timeouts, reconnect-and-replay) that survives every fault the
+//!   plan injects.
 //!
 //! Two binaries drive it: `tsda_serve` (train-or-load models, then
-//! serve) and `tsda_client` (single requests, readiness probe, or a
-//! closed-loop load generator that writes `BENCH_serve.json`).
+//! serve; `--fault-seed` arms the plan) and `tsda_client` (single
+//! requests, readiness probe, or a closed-loop load generator that
+//! writes `BENCH_serve.json`).
 
 pub mod batcher;
+pub mod client;
+pub mod faults;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod signal;
 pub mod stats;
 
-pub use batcher::BatchConfig;
+pub use batcher::{BatchConfig, SubmitError};
+pub use client::{ClientCounters, RetryPolicy, RetryingClient};
+pub use faults::{FaultKind, FaultPlan, FaultRates};
 pub use registry::{ModelEntry, ModelRegistry};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use stats::{ServerStats, StatsSnapshot};

@@ -132,6 +132,20 @@ pub fn error_response(id: u64, message: &str) -> String {
     ])
 }
 
+/// The marker error string in load-shedding replies.
+pub const OVERLOADED: &str = "overloaded";
+
+/// Load-shedding reply: the queue is full (or the fault plan sheds);
+/// the client should back off roughly `retry_ms` and retry.
+pub fn overloaded_response(id: u64, retry_ms: u64) -> String {
+    object_line(vec![
+        ("id".into(), Value::Num(id as f64)),
+        ("ok".into(), Value::Bool(false)),
+        ("error".into(), Value::Str(OVERLOADED.to_string())),
+        ("retry_ms".into(), Value::Num(retry_ms as f64)),
+    ])
+}
+
 /// Generic success response wrapping a payload under `"result"`.
 pub fn result_response(id: u64, result: Value) -> String {
     object_line(vec![
@@ -156,8 +170,17 @@ pub struct Response {
     pub micros: Option<u64>,
     /// Error message when `ok` is false.
     pub error: Option<String>,
+    /// Backoff hint carried by `overloaded` replies, milliseconds.
+    pub retry_ms: Option<u64>,
     /// Result payload for stats/list responses.
     pub result: Option<Value>,
+}
+
+impl Response {
+    /// True for a load-shedding reply (`{"ok":false,"error":"overloaded",…}`).
+    pub fn is_overloaded(&self) -> bool {
+        !self.ok && self.error.as_deref() == Some(OVERLOADED)
+    }
 }
 
 /// Parse one response line (client side).
@@ -174,6 +197,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
         batch: field_u64(&v, "batch").map(|n| n as usize),
         micros: field_u64(&v, "micros"),
         error: field_str(&v, "error"),
+        retry_ms: field_u64(&v, "retry_ms"),
         result: v.get("result").cloned(),
     })
 }
@@ -214,6 +238,19 @@ mod tests {
         let e = parse_response(&error_response(6, "nope")).unwrap();
         assert!(!e.ok);
         assert_eq!(e.error.as_deref(), Some("nope"));
+    }
+
+    #[test]
+    fn overloaded_response_round_trips_the_retry_hint() {
+        let line = overloaded_response(12, 25);
+        let r = parse_response(&line).unwrap();
+        assert!(!r.ok);
+        assert!(r.is_overloaded());
+        assert_eq!((r.id, r.retry_ms), (12, Some(25)));
+        // Non-overloaded errors do not claim to be shedding.
+        let e = parse_response(&error_response(3, "bad series")).unwrap();
+        assert!(!e.is_overloaded());
+        assert_eq!(e.retry_ms, None);
     }
 
     #[test]

@@ -7,14 +7,28 @@
 //! poll that flag; each connection gets its own thread reading
 //! newline-delimited requests and writing one response line per
 //! request, in order, so clients may pipeline freely.
+//!
+//! Shutdown drains: when the flag flips, each connection handler does a
+//! final non-blocking read pass and answers every complete request line
+//! it has already received before closing, and the batch workers run
+//! until every queue is empty — a request the server *accepted* is a
+//! request it answers, even under shutdown.
+//!
+//! When [`ServerConfig::faults`] carries a
+//! [`FaultPlan`](crate::faults::FaultPlan), the handlers corrupt
+//! request bytes, delay/tear/drop response writes, stall workers, and
+//! shed submits on the plan's deterministic schedule (see
+//! [`crate::faults`]).
 
-use crate::batcher::{BatchConfig, Batcher};
+use crate::batcher::{BatchConfig, Batcher, SubmitError};
+use crate::faults::{self, FaultPlan};
 use crate::protocol::{
-    decode_series, error_response, parse_request, predict_response, result_response, Request,
+    decode_series, error_response, overloaded_response, parse_request, predict_response,
+    result_response, Request,
 };
 use crate::registry::ModelRegistry;
 use crate::stats::ServerStats;
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -23,17 +37,20 @@ use std::time::Duration;
 use tsda_core::TsdaError;
 
 /// Server knobs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ServerConfig {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
     /// Micro-batcher flush policy.
     pub batch: BatchConfig,
+    /// Optional deterministic fault-injection plan (None = fault-free).
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
-impl Default for ServerConfig {
-    fn default() -> Self {
-        Self { addr: "127.0.0.1:7878".into(), batch: BatchConfig::default() }
+impl ServerConfig {
+    /// The default production config on a concrete bind address.
+    pub fn on(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into(), ..Self::default() }
     }
 }
 
@@ -61,10 +78,10 @@ impl ServerHandle {
         self.shutdown.load(Ordering::Relaxed)
     }
 
-    /// Request shutdown and block until the accept loop and batch
-    /// workers have drained. In-flight batches complete; idle
-    /// connections are abandoned to their threads, which exit on the
-    /// next read timeout.
+    /// Request shutdown and block until the accept loop, connection
+    /// handlers, and batch workers have drained. Every request already
+    /// read from a socket is answered before its connection closes;
+    /// every job already queued is predicted before its worker exits.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
@@ -80,8 +97,9 @@ pub fn serve(registry: ModelRegistry, config: ServerConfig) -> Result<ServerHand
     if registry.is_empty() {
         return Err(TsdaError::InvalidParameter("serve needs at least one model".into()));
     }
-    let listener = TcpListener::bind(&config.addr)
-        .map_err(|e| TsdaError::InvalidParameter(format!("bind {}: {e}", config.addr)))?;
+    let addr_spec = if config.addr.is_empty() { "127.0.0.1:7878" } else { config.addr.as_str() };
+    let listener = TcpListener::bind(addr_spec)
+        .map_err(|e| TsdaError::InvalidParameter(format!("bind {addr_spec}: {e}")))?;
     let addr = listener
         .local_addr()
         .map_err(|e| TsdaError::InvalidParameter(format!("local_addr: {e}")))?;
@@ -92,11 +110,12 @@ pub fn serve(registry: ModelRegistry, config: ServerConfig) -> Result<ServerHand
     let registry = Arc::new(registry);
     let stats = Arc::new(ServerStats::new());
     let shutdown = Arc::new(AtomicBool::new(false));
+    let faults = config.faults.clone();
     let batcher = Arc::new(Batcher::start(
         Arc::clone(&registry),
         Arc::clone(&stats),
         config.batch,
-        Arc::clone(&shutdown),
+        faults.clone(),
     )?);
 
     let accept_thread = {
@@ -106,8 +125,10 @@ pub fn serve(registry: ModelRegistry, config: ServerConfig) -> Result<ServerHand
         std::thread::Builder::new()
             .name("tsda-accept".into())
             .spawn(move || {
-                accept_loop(&listener, &registry, &stats, &batcher, &shutdown);
-                // Sole owner now that the loop exited: join the workers.
+                accept_loop(&listener, &registry, &stats, &batcher, &shutdown, faults.as_ref());
+                // Sole owner now that the loop exited and every
+                // connection thread is joined: drop the queues so the
+                // workers drain and exit, then join them.
                 if let Ok(b) = Arc::try_unwrap(batcher).map_err(|_| ()) {
                     b.shutdown();
                 }
@@ -124,6 +145,7 @@ fn accept_loop(
     stats: &Arc<ServerStats>,
     batcher: &Arc<Batcher>,
     shutdown: &Arc<AtomicBool>,
+    faults: Option<&Arc<FaultPlan>>,
 ) {
     let mut conn_threads = Vec::new();
     while !shutdown.load(Ordering::Relaxed) {
@@ -136,8 +158,18 @@ fn accept_loop(
                 let stats = Arc::clone(stats);
                 let batcher = Arc::clone(batcher);
                 let shutdown = Arc::clone(shutdown);
+                let faults = faults.cloned();
                 if let Ok(t) = std::thread::Builder::new().name("tsda-conn".into()).spawn(
-                    move || handle_connection(stream, &registry, &stats, &batcher, &shutdown),
+                    move || {
+                        handle_connection(
+                            stream,
+                            &registry,
+                            &stats,
+                            &batcher,
+                            &shutdown,
+                            faults.as_deref(),
+                        )
+                    },
                 ) {
                     conn_threads.push(t);
                 }
@@ -156,15 +188,51 @@ fn accept_loop(
     }
 }
 
+/// Pop complete lines off `buf` and answer each in order. Returns false
+/// when a write failed (peer gone or fault-injected drop) and the
+/// connection should close.
+fn answer_buffered_lines(
+    buf: &mut Vec<u8>,
+    writer: &mut TcpStream,
+    registry: &ModelRegistry,
+    stats: &ServerStats,
+    batcher: &Batcher,
+    faults: Option<&FaultPlan>,
+) -> bool {
+    while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+        let mut line: Vec<u8> = buf.drain(..=pos).collect();
+        line.pop(); // the '\n'
+        if let Some(plan) = faults {
+            // Wire corruption happens between the peer's write and our
+            // parse; the parser must turn it into an error reply.
+            plan.corrupt_line(&mut line);
+        }
+        let line = String::from_utf8_lossy(&line).into_owned();
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut response = handle_line(line, registry, stats, batcher);
+        response.push('\n');
+        if faults::write_response(writer, response.as_bytes(), faults).is_err() {
+            return false;
+        }
+    }
+    true
+}
+
 /// Read newline-delimited requests, answer each in order. Uses a short
 /// read timeout so the handler notices shutdown within ~100ms even on
-/// an idle keep-alive connection.
+/// an idle keep-alive connection. On shutdown the handler drains: one
+/// final read pass picks up anything the peer already sent, and every
+/// complete line gets its response before the socket closes.
 fn handle_connection(
     stream: TcpStream,
     registry: &ModelRegistry,
     stats: &ServerStats,
     batcher: &Batcher,
     shutdown: &AtomicBool,
+    faults: Option<&FaultPlan>,
 ) {
     let mut reader = match stream.try_clone() {
         Ok(s) => s,
@@ -177,22 +245,22 @@ fn handle_connection(
     let mut buf = Vec::with_capacity(4096);
     let mut chunk = [0u8; 4096];
     loop {
-        // Drain complete lines already buffered.
-        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = buf.drain(..=pos).collect();
-            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            let response = handle_line(line, registry, stats, batcher);
-            if writer.write_all(response.as_bytes()).is_err()
-                || writer.write_all(b"\n").is_err()
-            {
-                return;
-            }
+        if !answer_buffered_lines(&mut buf, &mut writer, registry, stats, batcher, faults) {
+            return;
         }
         if shutdown.load(Ordering::Relaxed) {
+            // Final drain: requests the peer pipelined before shutdown
+            // may still sit in the kernel buffer. Read until the socket
+            // goes quiet, then answer everything complete.
+            loop {
+                match reader.read(&mut chunk) {
+                    Ok(0) => break,
+                    Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => break, // WouldBlock/TimedOut: socket quiet
+                }
+            }
+            answer_buffered_lines(&mut buf, &mut writer, registry, stats, batcher, faults);
             return;
         }
         match reader.read(&mut chunk) {
@@ -240,8 +308,16 @@ fn handle_line(
                 return error_response(id, &msg);
             }
             let rx = match batcher.submit(&model, mts) {
-                Some(rx) => rx,
-                None => {
+                Ok(rx) => rx,
+                Err(SubmitError::Overloaded { retry_ms }) => {
+                    stats.shed.fetch_add(1, Ordering::Relaxed);
+                    return overloaded_response(id, retry_ms);
+                }
+                Err(SubmitError::UnknownModel) => {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    return error_response(id, &format!("unknown model {model:?}"));
+                }
+                Err(SubmitError::Closed) => {
                     stats.errors.fetch_add(1, Ordering::Relaxed);
                     return error_response(id, "server shutting down");
                 }

@@ -82,6 +82,10 @@ pub struct ServerStats {
     pub requests: AtomicU64,
     /// Predict requests answered with an error.
     pub errors: AtomicU64,
+    /// Predict requests refused with an `overloaded` reply (bounded
+    /// queue full or fault-plan shed). Not counted as errors: shedding
+    /// is backpressure working, not the server failing.
+    pub shed: AtomicU64,
     /// Batches executed by the micro-batch workers.
     pub batches: AtomicU64,
     /// Series predicted across all batches.
@@ -105,6 +109,7 @@ impl ServerStats {
             started: Instant::now(),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_items: AtomicU64::new(0),
             request_latency: LatencyHistogram::default(),
@@ -122,6 +127,7 @@ impl ServerStats {
             uptime_s,
             requests,
             errors: self.errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             batches,
             batched_items,
             mean_batch: if batches == 0 { 0.0 } else { batched_items as f64 / batches as f64 },
@@ -143,6 +149,8 @@ pub struct StatsSnapshot {
     pub requests: u64,
     /// Predict requests answered with an error.
     pub errors: u64,
+    /// Predict requests refused with an `overloaded` reply.
+    pub shed: u64,
     /// Micro-batches executed.
     pub batches: u64,
     /// Series predicted across all batches.

@@ -1,0 +1,147 @@
+//! Property tests for the wire-facing parsers: adversarial inputs must
+//! produce recoverable errors, never panics, hangs, or silently
+//! altered requests. These are exactly the invariants the fault
+//! injector leans on — a corrupted byte stream may reach
+//! `parse_request` and `decode_series` verbatim.
+
+use proptest::prelude::*;
+use tsda_datasets::ts_format::{format_series_line, parse_series_line};
+use tsda_serve::client::predict_line;
+use tsda_serve::protocol::{decode_series, parse_request, parse_response, Request};
+
+/// The control byte the fault plan writes over corrupted request
+/// lines. (A named const keeps `\u` escapes out of `prop_assert!`
+/// conditions, whose stringified form doubles as a format string.)
+const CORRUPT_BYTE: char = '\x01';
+
+/// Bytes over the full range, including NULs, control bytes, and
+/// invalid UTF-8 fragments.
+fn byte_soup() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..=255, 0..96)
+}
+
+/// Characters plausible in a `.ts` data line, so the series parser sees
+/// near-miss inputs rather than pure noise.
+fn series_soup() -> impl Strategy<Value = String> {
+    let alphabet: Vec<char> =
+        "0123456789.,:?-+eE infNa\t".chars().collect();
+    proptest::collection::vec(0usize..alphabet.len(), 0..64)
+        .prop_map(move |idx| idx.into_iter().map(|i| alphabet[i]).collect())
+}
+
+/// A syntactically valid predict request with printable payloads.
+fn valid_predict() -> impl Strategy<Value = (u64, String, String)> {
+    let name: Vec<char> = "abcdefghijklmnopqrstuvwxyz_0123456789".chars().collect();
+    let model = proptest::collection::vec(0usize..name.len(), 1..12)
+        .prop_map(move |idx| idx.into_iter().map(|i| name[i]).collect::<String>());
+    let series = proptest::collection::vec(-1000.0f64..1000.0, 1..16).prop_map(|vals| {
+        vals.iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(",")
+    });
+    // Ids stay below 2^53: the protocol routes them through f64, which
+    // is exact only up to that bound.
+    (0u64..(1 << 53), model, series)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_request_never_panics_on_byte_soup(bytes in byte_soup()) {
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        match parse_request(line.trim()) {
+            Ok(r) => {
+                // Whatever parsed must carry a well-defined id.
+                let _ = r.id();
+            }
+            Err((_id, msg)) => prop_assert!(!msg.is_empty()),
+        }
+    }
+
+    #[test]
+    fn parse_response_never_panics_on_byte_soup(bytes in byte_soup()) {
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse_response(line.trim());
+    }
+
+    #[test]
+    fn series_parsers_never_panic_on_near_miss_lines(s in series_soup()) {
+        // decode_series is the serving entry; parse_series_line the
+        // dataset-IO one. Same behaviour required of both: Ok with a
+        // well-formed series, or Err — never a panic.
+        if let Ok(m) = decode_series(&s) {
+            prop_assert!(m.n_dims() >= 1);
+            prop_assert!(!m.is_empty());
+        }
+        let _ = parse_series_line(&s);
+    }
+
+    #[test]
+    fn valid_predicts_round_trip_exactly((id, model, series) in valid_predict()) {
+        let line = predict_line(id, &model, &series);
+        let parsed = parse_request(&line);
+        prop_assert!(parsed.is_ok(), "{line}: {parsed:?}");
+        if let Ok(Request::Predict { id: pid, model: pm, series: ps }) = parsed {
+            prop_assert_eq!(pid, id, "id must echo exactly below 2^53");
+            prop_assert_eq!(&pm, &model);
+            let decoded = decode_series(&ps);
+            prop_assert!(decoded.is_ok(), "series {} failed decode", ps);
+        } else {
+            prop_assert!(false, "parsed to a non-predict request");
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_is_never_a_silent_predict(
+        (id, model, series) in valid_predict(),
+        pos_word in 0u64..u64::MAX,
+    ) {
+        // The fault plan's corruption model: one byte overwritten with
+        // 0x01. A corrupted request may still parse (e.g. mangling the
+        // `id` key only loses the correlation id), but it must never
+        // become a servable predict for a *different* model or series —
+        // that would silently change a label. A changed model keeps the
+        // control byte (→ unknown-model refusal); a changed series
+        // keeps it too (→ decode refusal).
+        let line = predict_line(id, &model, &series);
+        let mut bytes = line.into_bytes();
+        let pos = (pos_word as usize) % bytes.len();
+        bytes[pos] = 0x01;
+        let corrupted = String::from_utf8_lossy(&bytes).into_owned();
+        if let Ok(Request::Predict { model: cm, series: cs, .. }) =
+            parse_request(corrupted.trim())
+        {
+            prop_assert!(
+                cm == model || cm.contains(CORRUPT_BYTE),
+                "corruption at {} changed the model to a clean name {:?}",
+                pos, cm
+            );
+            prop_assert!(
+                cs == series || decode_series(&cs).is_err(),
+                "corruption at {} changed the series to a decodable {:?}",
+                pos, cs
+            );
+        }
+    }
+
+    #[test]
+    fn format_parse_series_round_trip(
+        vals in proptest::collection::vec(-1e6f64..1e6, 2..40),
+        n_dims in 1usize..4,
+    ) {
+        let len = vals.len() / n_dims;
+        if len == 0 {
+            return Ok(());
+        }
+        let m = tsda_core::Mts::from_flat(n_dims, len, vals[..n_dims * len].to_vec());
+        let line = format_series_line(&m);
+        let back = decode_series(&line);
+        prop_assert!(back.is_ok(), "{line}");
+        if let Ok(back) = back {
+            prop_assert_eq!(back.n_dims(), n_dims);
+            prop_assert_eq!(back.len(), len);
+            for (a, b) in back.as_flat().iter().zip(m.as_flat()) {
+                prop_assert!((a - b).abs() <= 1e-9_f64.max(b.abs() * 1e-12), "{} vs {}", a, b);
+            }
+        }
+    }
+}

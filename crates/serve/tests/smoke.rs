@@ -112,7 +112,12 @@ fn served_predictions_match_offline_bit_for_bit() {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             // Generous window so concurrent clients reliably coalesce.
-            batch: BatchConfig { max_batch: 16, max_wait: Duration::from_millis(30) },
+            batch: BatchConfig {
+                max_batch: 16,
+                max_wait: Duration::from_millis(30),
+                ..BatchConfig::default()
+            },
+            ..ServerConfig::default()
         },
     )
     .expect("server starts");
@@ -177,7 +182,7 @@ fn protocol_errors_are_answered_not_dropped() {
     let (registry, _, _, test) = build_registry(&train);
     let handle = serve(
         registry,
-        ServerConfig { addr: "127.0.0.1:0".into(), batch: BatchConfig::default() },
+        ServerConfig { addr: "127.0.0.1:0".into(), ..ServerConfig::default() },
     )
     .expect("server starts");
     let addr = handle.addr().to_string();
@@ -217,7 +222,12 @@ fn shutdown_is_graceful_under_traffic() {
         registry,
         ServerConfig {
             addr: "127.0.0.1:0".into(),
-            batch: BatchConfig { max_batch: 8, max_wait: Duration::from_millis(5) },
+            batch: BatchConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(5),
+                ..BatchConfig::default()
+            },
+            ..ServerConfig::default()
         },
     )
     .expect("server starts");

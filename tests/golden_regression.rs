@@ -1,0 +1,124 @@
+//! Golden-regression suite: the paper tables this repo exists to
+//! reproduce must be byte-stable across commits AND across thread
+//! counts. Each test renders a table at the ci profile with seed 7,
+//! once under a 1-worker pool and once under 4 workers, asserts the two
+//! renderings are bit-identical, and then diffs against the committed
+//! golden under `tests/goldens/`.
+//!
+//! When a change *intentionally* moves the numbers (new RNG stream, new
+//! technique, different kernel count), regenerate with
+//! `TSDA_REGEN_GOLDENS=1 cargo test -p tsda-bench --test golden_regression`
+//! and commit the diff — the point is that table drift always shows up
+//! in review as a golden-file change, never silently.
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use tsda_bench::harness::{run_dataset, GridConfig, ModelKind};
+use tsda_bench::scale::ScaleProfile;
+use tsda_bench::tables::{accuracy_table, table3};
+use tsda_core::characteristics::DatasetCharacteristics;
+use tsda_core::parallel::ThreadLimit;
+use tsda_datasets::registry::ALL_DATASETS;
+use tsda_datasets::synth::generate;
+
+/// The goldens are pinned to one (profile, seed) cell so they stay
+/// cheap enough for every `cargo test` run.
+const SEED: u64 = 7;
+
+/// `ThreadLimit` is process-global; serialize the tests that toggle it.
+static LIMIT_LOCK: Mutex<()> = Mutex::new(());
+
+fn goldens_dir() -> PathBuf {
+    // Registered from crates/bench/Cargo.toml, so the manifest dir is
+    // two levels below the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/goldens")
+}
+
+/// First differing line of two renderings, for a readable failure.
+fn first_diff(got: &str, want: &str) -> String {
+    for (n, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+        if g != w {
+            return format!("first diff at line {}:\n  got:  {g}\n  want: {w}", n + 1);
+        }
+    }
+    format!(
+        "line counts differ: got {} lines, want {} lines",
+        got.lines().count(),
+        want.lines().count()
+    )
+}
+
+/// Render `compute()` under 1 and 4 pool workers, require the outputs
+/// bit-identical, then diff against (or regenerate) the golden file.
+fn check_golden(name: &str, compute: impl Fn() -> String) {
+    let _guard = LIMIT_LOCK.lock().unwrap();
+    ThreadLimit::set(1);
+    let single = compute();
+    ThreadLimit::set(4);
+    let multi = compute();
+    ThreadLimit::clear();
+    assert_eq!(
+        single, multi,
+        "{name}: output depends on thread count — {}",
+        first_diff(&multi, &single)
+    );
+
+    let path = goldens_dir().join(name);
+    if std::env::var("TSDA_REGEN_GOLDENS").is_ok() {
+        std::fs::write(&path, &single)
+            .unwrap_or_else(|e| panic!("writing golden {}: {e}", path.display()));
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with TSDA_REGEN_GOLDENS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        single,
+        want,
+        "{name} drifted from the committed golden ({}). If the change is \
+         intentional, regenerate with TSDA_REGEN_GOLDENS=1 and commit the diff.",
+        first_diff(&single, &want)
+    );
+}
+
+/// Table III over the full 13-dataset archive: pure generation +
+/// characteristic computation, fast even at 1 worker.
+#[test]
+fn table3_ci_seed7_matches_golden_at_1_and_4_threads() {
+    check_golden("table3_ci_seed7.txt", || {
+        let rows: Vec<(String, DatasetCharacteristics)> = ALL_DATASETS
+            .iter()
+            .map(|meta| {
+                let data = generate(meta, &ScaleProfile::Ci.gen_options(SEED));
+                (meta.name.to_string(), DatasetCharacteristics::compute(&data))
+            })
+            .collect();
+        table3(&rows)
+    });
+}
+
+/// One Table IV row (RacketSports, ROCKET): the full train → augment →
+/// evaluate pipeline, pinned to one dataset so the golden run stays in
+/// test-suite budget.
+#[test]
+fn table4_racketsports_ci_seed7_matches_golden_at_1_and_4_threads() {
+    check_golden("table4_RacketSports_ci_seed7.txt", || {
+        let cfg = GridConfig {
+            profile: ScaleProfile::Ci,
+            seed: SEED,
+            runs: 2,
+            model: ModelKind::Rocket,
+            datasets: vec!["RacketSports".into()],
+        };
+        let meta = ALL_DATASETS
+            .iter()
+            .find(|m| m.name == "RacketSports")
+            .expect("RacketSports is in the registry");
+        let row = run_dataset(meta, &cfg, &mut |_| {});
+        accuracy_table("Table IV (golden row: ci profile, seed 7)", cfg.model.label(), &[row])
+    });
+}
