@@ -1,0 +1,191 @@
+//! Baseline emit/compare: fail CI on *new* findings while legacy ones
+//! burn down.
+//!
+//! A baseline is the multiset of currently-tolerated findings, keyed by
+//! `(rule, path, snippet)` — deliberately *not* by line number, so code
+//! motion above a legacy finding doesn't break the gate, while any
+//! change to the finding's own line re-surfaces it. Comparison is
+//! multiset subtraction:
+//!
+//! * a current finding with a matching unconsumed baseline entry is
+//!   **suppressed** (legacy debt);
+//! * a current finding with no match is **new** → exit 1;
+//! * baseline entries matching nothing are **stale** and reported, so
+//!   the file can be re-emitted smaller as debt is paid off.
+//!
+//! Format (`--write-baseline`):
+//!
+//! ```json
+//! {"version": 1,
+//!  "findings": [{"rule": "R4", "path": "crates/x/src/lib.rs",
+//!                "snippet": "let s: f64 = xs.iter().sum();"}]}
+//! ```
+
+use crate::rules::Finding;
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// One baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    /// Rule id.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Trimmed source line of the tolerated finding.
+    pub snippet: String,
+}
+
+impl BaselineEntry {
+    fn of(f: &Finding) -> BaselineEntry {
+        BaselineEntry { rule: f.rule.to_string(), path: f.path.clone(), snippet: f.snippet.clone() }
+    }
+}
+
+/// Result of comparing current findings against a baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDiff {
+    /// Findings not covered by the baseline (CI failure).
+    pub new_findings: Vec<Finding>,
+    /// Findings suppressed by a baseline entry.
+    pub suppressed: usize,
+    /// Baseline entries that matched nothing (safe to drop).
+    pub stale: Vec<BaselineEntry>,
+}
+
+/// Serialise findings as baseline JSON text.
+pub fn write(findings: &[Finding]) -> String {
+    let mut entries: Vec<BaselineEntry> = findings.iter().map(BaselineEntry::of).collect();
+    entries.sort();
+    let items: Vec<Value> = entries
+        .iter()
+        .map(|e| {
+            Value::Object(vec![
+                ("rule".into(), Value::Str(e.rule.clone())),
+                ("path".into(), Value::Str(e.path.clone())),
+                ("snippet".into(), Value::Str(e.snippet.clone())),
+            ])
+        })
+        .collect();
+    let v = Value::Object(vec![
+        ("version".into(), Value::Num(1.0)),
+        ("findings".into(), Value::Array(items)),
+    ]);
+    serde_json::to_string_pretty(&v).unwrap_or_else(|_| "{\"version\":1,\"findings\":[]}".into())
+}
+
+/// Parse baseline JSON text.
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let v = serde_json::parse_value(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    match v.get("version").and_then(Value::as_f64) {
+        Some(1.0) => {}
+        other => return Err(format!("unsupported baseline version {other:?} (expected 1)")),
+    }
+    let Some(Value::Array(items)) = v.get("findings") else {
+        return Err("baseline has no \"findings\" array".to_string());
+    };
+    let mut entries = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        let field = |key: &str| -> Result<String, String> {
+            match item.get(key) {
+                Some(Value::Str(s)) => Ok(s.clone()),
+                _ => Err(format!("baseline finding #{i} has no string {key:?}")),
+            }
+        };
+        entries.push(BaselineEntry {
+            rule: field("rule")?,
+            path: field("path")?,
+            snippet: field("snippet")?,
+        });
+    }
+    Ok(entries)
+}
+
+/// Multiset-compare `findings` against `baseline`.
+pub fn compare(findings: &[Finding], baseline: &[BaselineEntry]) -> BaselineDiff {
+    let mut budget: BTreeMap<BaselineEntry, usize> = BTreeMap::new();
+    for e in baseline {
+        *budget.entry(e.clone()).or_insert(0) += 1;
+    }
+    let mut diff = BaselineDiff::default();
+    for f in findings {
+        let key = BaselineEntry::of(f);
+        match budget.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                diff.suppressed += 1;
+            }
+            _ => diff.new_findings.push(f.clone()),
+        }
+    }
+    for (e, n) in budget {
+        for _ in 0..n {
+            diff.stale.push(e.clone());
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, line: u32, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.into(),
+            line,
+            message: "m".into(),
+            snippet: snippet.into(),
+        }
+    }
+
+    #[test]
+    fn emit_then_compare_round_trips_to_zero() {
+        let findings = vec![
+            finding("R4", "crates/a/src/lib.rs", 10, "x.sum::<f64>()"),
+            finding("R2", "crates/b/src/lib.rs", 3, "let _ = f();"),
+        ];
+        let baseline = parse(&write(&findings)).expect("round trip");
+        let diff = compare(&findings, &baseline);
+        assert!(diff.new_findings.is_empty(), "{:?}", diff.new_findings);
+        assert_eq!(diff.suppressed, 2);
+        assert!(diff.stale.is_empty());
+    }
+
+    #[test]
+    fn line_drift_does_not_break_the_gate_but_new_sites_do() {
+        let old = vec![finding("R4", "crates/a/src/lib.rs", 10, "x.sum::<f64>()")];
+        let baseline = parse(&write(&old)).expect("parses");
+        // Same site, different line: still suppressed.
+        let moved = vec![finding("R4", "crates/a/src/lib.rs", 42, "x.sum::<f64>()")];
+        assert!(compare(&moved, &baseline).new_findings.is_empty());
+        // Different snippet: new finding.
+        let new = vec![finding("R4", "crates/a/src/lib.rs", 42, "y.sum::<f64>()")];
+        let diff = compare(&new, &baseline);
+        assert_eq!(diff.new_findings.len(), 1);
+        assert_eq!(diff.stale.len(), 1);
+    }
+
+    #[test]
+    fn multiset_semantics_count_duplicates() {
+        // Two identical sites (same snippet text on two lines) need two
+        // baseline entries — one entry does not blanket-cover the file.
+        let two = vec![
+            finding("R4", "crates/a/src/lib.rs", 1, "acc += x;"),
+            finding("R4", "crates/a/src/lib.rs", 9, "acc += x;"),
+        ];
+        let one_entry = parse(&write(&two[..1])).expect("parses");
+        let diff = compare(&two, &one_entry);
+        assert_eq!(diff.suppressed, 1);
+        assert_eq!(diff.new_findings.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_baselines() {
+        assert!(parse("not json").is_err());
+        assert!(parse("{\"version\": 2, \"findings\": []}").is_err());
+        assert!(parse("{\"version\": 1}").is_err());
+        assert!(parse("{\"version\": 1, \"findings\": [{\"rule\": 3}]}").is_err());
+    }
+}

@@ -1,0 +1,384 @@
+//! Workspace-wide call graph over the parsed function items.
+//!
+//! Resolution is *name-based and conservative*: the lexer-level parser
+//! has no type information, so a call edge is drawn to **every**
+//! workspace function the callee name could plausibly mean. For
+//! interprocedural safety rules this is the correct direction to be
+//! wrong in — an over-approximated graph can only report a panic as
+//! reachable when it might not be, never miss one that is.
+//!
+//! Candidate narrowing, in order:
+//!
+//! * crate dependency closure — a call in crate A never resolves into
+//!   a crate A does not (transitively) depend on; Rust could not link
+//!   such a call, so dropping it loses nothing.
+//! * turbofish calls (`f::<T>(..)`) — only generic functions.
+//! * `Type::method(..)` — only functions whose `impl`/`trait` owner is
+//!   `Type` (falls back to all `method` definitions when `Type` is not
+//!   a workspace owner, e.g. `f64::from_bits`).
+//! * `.method(..)` — every workspace function named `method` that has
+//!   an owner *and* a `self` receiver (method-call syntax can invoke
+//!   neither a free fn nor a receiver-less associated fn).
+//! * `free(..)` — every workspace function named `free`; same-crate
+//!   definitions are preferred when any exist, since cross-crate calls
+//!   in this workspace are written with an explicit path.
+//!
+//! Calls that resolve to no workspace function (std, vendored deps,
+//! macro-generated kernels) produce no edges; the *allocation* and
+//! *panic* properties of well-known std names are judged at the call
+//! site by the rules themselves.
+
+use crate::parser::{parse_fns, FnDef};
+use crate::workspace::SourceFile;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Stable function id: index into [`CallGraph::fns`].
+pub type FnId = usize;
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Callee function.
+    pub to: FnId,
+    /// Index into the caller's `calls` vec (for line/site reporting).
+    pub call_idx: usize,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    /// All parsed functions, in deterministic (path, line) order.
+    pub fns: Vec<FnDef>,
+    /// Outgoing resolved edges per function.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+impl CallGraph {
+    /// Build the graph from already-loaded workspace files, with no
+    /// crate-dependency information (every cross-crate edge allowed).
+    pub fn build(files: &[SourceFile]) -> CallGraph {
+        Self::build_with_deps(files, &BTreeMap::new())
+    }
+
+    /// Build the graph with crate-dependency narrowing: a call in
+    /// crate A only resolves into crate B when B is in A's transitive
+    /// dependency closure (see [`crate::workspace::crate_dep_closure`]).
+    /// This is not a heuristic — Rust cannot link a call into a crate
+    /// the caller does not depend on. Crates absent from `deps` are
+    /// not narrowed.
+    pub fn build_with_deps(
+        files: &[SourceFile],
+        deps: &BTreeMap<String, BTreeSet<String>>,
+    ) -> CallGraph {
+        let mut fns: Vec<FnDef> = files.iter().flat_map(parse_fns).collect();
+        fns.sort_by(|a, b| (&a.rel_path, a.line, &a.name).cmp(&(&b.rel_path, b.line, &b.name)));
+
+        // Name → candidate ids; owner narrowing happens per call site.
+        let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.as_str()).or_default().push(id);
+        }
+        let owner_names: std::collections::BTreeSet<&str> =
+            fns.iter().filter_map(|f| f.owner.as_deref()).collect();
+
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); fns.len()];
+        for (id, f) in fns.iter().enumerate() {
+            let reachable_crates = deps.get(f.crate_name.as_str());
+            for (call_idx, call) in f.calls.iter().enumerate() {
+                let Some(candidates) = by_name.get(call.name.as_str()) else {
+                    continue;
+                };
+                // Hard filters first — each one rules candidates *out*
+                // on grounds the language guarantees, never on type
+                // inference the parser cannot do:
+                //  * dependency closure: A cannot call into a crate it
+                //    does not depend on;
+                //  * a turbofish call (`f::<T>(..)`) only invokes a
+                //    generic function;
+                //  * method syntax (`.f(..)`) only invokes a function
+                //    with a `self` receiver.
+                let candidates: Vec<FnId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&c| {
+                        fns[c].crate_name == f.crate_name
+                            || reachable_crates
+                                .is_none_or(|r| r.contains(fns[c].crate_name.as_str()))
+                    })
+                    .filter(|&c| !call.has_turbofish || fns[c].is_generic)
+                    .filter(|&c| !call.is_method || fns[c].has_self)
+                    .collect();
+                let narrowed: Vec<FnId> = if let Some(q) = &call.qualifier {
+                    if owner_names.contains(q.as_str()) {
+                        candidates
+                            .iter()
+                            .copied()
+                            .filter(|&c| fns[c].owner.as_deref() == Some(q.as_str()))
+                            .collect()
+                    } else {
+                        // `f64::from_bits`-style std qualifier, or a
+                        // module path: keep every candidate.
+                        candidates
+                    }
+                } else if call.is_method {
+                    candidates.iter().copied().filter(|&c| fns[c].owner.is_some()).collect()
+                } else {
+                    let same_crate: Vec<FnId> = candidates
+                        .iter()
+                        .copied()
+                        .filter(|&c| fns[c].crate_name == f.crate_name)
+                        .collect();
+                    if same_crate.is_empty() { candidates } else { same_crate }
+                };
+                for to in narrowed {
+                    edges[id].push(Edge { to, call_idx });
+                }
+            }
+        }
+        CallGraph { fns, edges }
+    }
+
+    /// Ids of functions matching a `crate::name` root key.
+    pub fn roots_matching(&self, key: &str) -> Vec<FnId> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.root_key() == key)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// BFS over the graph from `roots`, returning for every reached
+    /// function the id of the edge-parent it was first reached through
+    /// (roots map to `None`). Cycles are handled by the visited set.
+    pub fn reach_with_parents(&self, roots: &[FnId]) -> BTreeMap<FnId, Option<(FnId, usize)>> {
+        let mut parent: BTreeMap<FnId, Option<(FnId, usize)>> = BTreeMap::new();
+        let mut queue: VecDeque<FnId> = VecDeque::new();
+        for &r in roots {
+            if !parent.contains_key(&r) {
+                parent.insert(r, None);
+                queue.push_back(r);
+            }
+        }
+        while let Some(at) = queue.pop_front() {
+            for e in &self.edges[at] {
+                if !parent.contains_key(&e.to) {
+                    parent.insert(e.to, Some((at, e.call_idx)));
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The call chain `root -> ... -> target` recovered from a
+    /// `reach_with_parents` map, as `(fn_id, line-of-call-into-next)`
+    /// display strings.
+    pub fn chain_to(
+        &self,
+        parents: &BTreeMap<FnId, Option<(FnId, usize)>>,
+        target: FnId,
+    ) -> Vec<String> {
+        let mut rev: Vec<String> = Vec::new();
+        let mut at = target;
+        rev.push(self.fns[at].qual_name());
+        while let Some(Some((from, call_idx))) = parents.get(&at) {
+            let call = &self.fns[*from].calls[*call_idx];
+            rev.push(format!(
+                "{} ({}:{})",
+                self.fns[*from].qual_name(),
+                self.fns[*from].rel_path,
+                call.line
+            ));
+            at = *from;
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::workspace::FileKind;
+
+    fn file(crate_name: &str, src: &str) -> SourceFile {
+        let toks = lex(src);
+        let in_test = vec![false; toks.len()];
+        SourceFile {
+            crate_name: crate_name.into(),
+            rel_path: format!("crates/{crate_name}/src/lib.rs"),
+            kind: FileKind::Lib,
+            lines: src.lines().map(str::to_string).collect(),
+            toks,
+            in_test,
+        }
+    }
+
+    fn id(g: &CallGraph, qual: &str) -> FnId {
+        g.fns
+            .iter()
+            .position(|f| f.qual_name() == qual)
+            .unwrap_or_else(|| panic!("{qual} not in graph: {:?}",
+                g.fns.iter().map(FnDef::qual_name).collect::<Vec<_>>()))
+    }
+
+    #[test]
+    fn cross_crate_edges_resolve() {
+        let files = vec![
+            file("a", "pub fn top() { tsda_b::deep(); }\n"),
+            file("b", "pub fn deep() { inner() }\nfn inner() {}\n"),
+        ];
+        let g = CallGraph::build(&files);
+        let parents = g.reach_with_parents(&[id(&g, "a::top")]);
+        assert!(parents.contains_key(&id(&g, "b::deep")));
+        assert!(parents.contains_key(&id(&g, "b::inner")));
+    }
+
+    #[test]
+    fn same_crate_free_fns_shadow_cross_crate_ones() {
+        let files = vec![
+            file("a", "pub fn go() { helper() }\nfn helper() {}\n"),
+            file("b", "pub fn helper() { danger() }\npub fn danger() {}\n"),
+        ];
+        let g = CallGraph::build(&files);
+        let parents = g.reach_with_parents(&[id(&g, "a::go")]);
+        assert!(parents.contains_key(&id(&g, "a::helper")));
+        assert!(!parents.contains_key(&id(&g, "b::helper")));
+        assert!(!parents.contains_key(&id(&g, "b::danger")));
+    }
+
+    #[test]
+    fn method_calls_hit_every_same_name_method_conservatively() {
+        let files = vec![file(
+            "a",
+            "pub struct X; pub struct Y;\n\
+             impl X { pub fn run(&self) {} }\n\
+             impl Y { pub fn run(&self) { boom() } }\n\
+             fn boom() {}\n\
+             pub fn go(x: &X) { x.run(); }\n",
+        )];
+        let g = CallGraph::build(&files);
+        let parents = g.reach_with_parents(&[id(&g, "a::go")]);
+        // No receiver types: both X::run and Y::run are candidates.
+        assert!(parents.contains_key(&id(&g, "a::X::run")));
+        assert!(parents.contains_key(&id(&g, "a::Y::run")));
+        assert!(parents.contains_key(&id(&g, "a::boom")));
+    }
+
+    #[test]
+    fn qualified_calls_narrow_to_the_owner() {
+        let files = vec![file(
+            "a",
+            "pub struct X; pub struct Y;\n\
+             impl X { pub fn make() {} }\n\
+             impl Y { pub fn make() { boom() } }\n\
+             fn boom() {}\n\
+             pub fn go() { X::make(); }\n",
+        )];
+        let g = CallGraph::build(&files);
+        let parents = g.reach_with_parents(&[id(&g, "a::go")]);
+        assert!(parents.contains_key(&id(&g, "a::X::make")));
+        assert!(!parents.contains_key(&id(&g, "a::Y::make")));
+        assert!(!parents.contains_key(&id(&g, "a::boom")));
+    }
+
+    #[test]
+    fn dependency_closure_prunes_unlinkable_crates() {
+        // `a` depends on `b` only; an unqualified method call in `a`
+        // must not resolve into `c`, which `a` could never link.
+        let files = vec![
+            file("a", "pub fn go(m: &M) { m.get(); }\n"),
+            file("b", "pub struct G;\nimpl G { pub fn get(&self) { reached() } }\npub fn reached() {}\n"),
+            file("c", "pub struct H;\nimpl H { pub fn get(&self) { vetoed() } }\npub fn vetoed() {}\n"),
+        ];
+        let mut deps = BTreeMap::new();
+        deps.insert("a".to_string(), BTreeSet::from(["b".to_string()]));
+        deps.insert("b".to_string(), BTreeSet::new());
+        deps.insert("c".to_string(), BTreeSet::new());
+        let g = CallGraph::build_with_deps(&files, &deps);
+        let parents = g.reach_with_parents(&[id(&g, "a::go")]);
+        assert!(parents.contains_key(&id(&g, "b::reached")));
+        assert!(!parents.contains_key(&id(&g, "c::vetoed")));
+        // Without dependency info the same call keeps both candidates.
+        let g = CallGraph::build(&files);
+        let parents = g.reach_with_parents(&[id(&g, "a::go")]);
+        assert!(parents.contains_key(&id(&g, "c::vetoed")));
+    }
+
+    #[test]
+    fn method_syntax_skips_receiverless_associated_fns() {
+        // `limit.get()` cannot invoke `Limit::get()` — that associated
+        // fn has no `self` receiver, so only `Map::get` is a candidate.
+        let files = vec![file(
+            "a",
+            "pub struct Limit; pub struct Map;\n\
+             impl Limit { pub fn get() { assoc_only() } }\n\
+             impl Map { pub fn get(&self) { via_self() } }\n\
+             fn assoc_only() {}\n\
+             fn via_self() {}\n\
+             pub fn go(m: &Map) { m.get(); }\n\
+             pub fn go_assoc() { Limit::get(); }\n",
+        )];
+        let g = CallGraph::build(&files);
+        let parents = g.reach_with_parents(&[id(&g, "a::go")]);
+        assert!(parents.contains_key(&id(&g, "a::via_self")));
+        assert!(!parents.contains_key(&id(&g, "a::assoc_only")));
+        // The qualified form still reaches the receiver-less fn.
+        let parents = g.reach_with_parents(&[id(&g, "a::go_assoc")]);
+        assert!(parents.contains_key(&id(&g, "a::assoc_only")));
+    }
+
+    #[test]
+    fn turbofish_calls_only_target_generic_fns() {
+        // `s.parse::<f64>()` (std str::parse) cannot invoke the
+        // non-generic workspace `Reader::parse`.
+        let files = vec![file(
+            "a",
+            "pub struct Reader;\n\
+             impl Reader { pub fn parse(&mut self) { concrete() } }\n\
+             fn concrete() {}\n\
+             pub fn lex<T>(s: &str) -> T { todo!() }\n\
+             pub fn go(s: &str) { s.parse::<f64>(); lex::<f64>(s); }\n\
+             pub fn go_plain(r: &mut Reader) { r.parse(); }\n",
+        )];
+        let g = CallGraph::build(&files);
+        let parents = g.reach_with_parents(&[id(&g, "a::go")]);
+        assert!(!parents.contains_key(&id(&g, "a::Reader::parse")));
+        assert!(parents.contains_key(&id(&g, "a::lex")), "generic fns stay turbofish-callable");
+        let parents = g.reach_with_parents(&[id(&g, "a::go_plain")]);
+        assert!(parents.contains_key(&id(&g, "a::Reader::parse")));
+    }
+
+    #[test]
+    fn recursion_cycles_terminate() {
+        let files = vec![file(
+            "a",
+            "pub fn ping(n: usize) { if n > 0 { pong(n - 1) } }\n\
+             pub fn pong(n: usize) { ping(n) }\n",
+        )];
+        let g = CallGraph::build(&files);
+        let parents = g.reach_with_parents(&[id(&g, "a::ping")]);
+        assert_eq!(parents.len(), 2);
+    }
+
+    #[test]
+    fn chains_read_root_to_target_with_call_sites() {
+        let files = vec![
+            file("a", "pub fn top() {\n    mid();\n}\nfn mid() {\n    tsda_b::leaf();\n}\n"),
+            file("b", "pub fn leaf() {}\n"),
+        ];
+        let g = CallGraph::build(&files);
+        let parents = g.reach_with_parents(&[id(&g, "a::top")]);
+        let chain = g.chain_to(&parents, id(&g, "b::leaf"));
+        assert_eq!(
+            chain,
+            vec![
+                "a::top (crates/a/src/lib.rs:2)",
+                "a::mid (crates/a/src/lib.rs:5)",
+                "b::leaf",
+            ],
+            "{chain:?}"
+        );
+    }
+}

@@ -26,6 +26,15 @@
 //! crates = ["core", ...]     # crates that must use the blessed pool
 //! blessed = ["crates/core/src/parallel.rs"]
 //!
+//! [rules.R1]
+//! roots = ["serve::handle_connection", ...]  # panic-reachability roots
+//!
+//! [rules.R2]
+//! crates = ["core", ...]     # crates checked for discarded Results
+//!
+//! [rules.R4]
+//! crates = ["core", ...]     # crates checked for unpinned reductions
+//!
 //! [[allow]]                  # one entry per tolerated finding site
 //! rule = "P1"                # which rule the entry silences
 //! path = "crates/core/src/parallel.rs"   # file path prefix
@@ -76,6 +85,14 @@ pub struct Config {
     pub f1_crates: Vec<String>,
     /// Files exempt from F1 (the deterministic pool itself).
     pub f1_blessed: Vec<String>,
+    /// R1 reachability roots as `crate::fn_name` keys (the serve
+    /// request path and the experiment harness entry points).
+    pub r1_roots: Vec<String>,
+    /// Crates whose library code R2 checks for discarded `Result`s.
+    pub r2_crates: Vec<String>,
+    /// Crates whose library code R4 checks for unpinned float
+    /// reductions (the result-producing crates).
+    pub r4_crates: Vec<String>,
     /// Allowlist entries in file order.
     pub allow: Vec<AllowEntry>,
 }
@@ -171,6 +188,9 @@ impl Config {
                 ("rules.P1.crates", TomlValue::Array(v)) => cfg.p1_crates = v,
                 ("rules.F1.crates", TomlValue::Array(v)) => cfg.f1_crates = v,
                 ("rules.F1.blessed", TomlValue::Array(v)) => cfg.f1_blessed = v,
+                ("rules.R1.roots", TomlValue::Array(v)) => cfg.r1_roots = v,
+                ("rules.R2.crates", TomlValue::Array(v)) => cfg.r2_crates = v,
+                ("rules.R4.crates", TomlValue::Array(v)) => cfg.r4_crates = v,
                 (other, _) => {
                     return Err(format!("line {line_no}: unknown or mistyped key {other:?}"));
                 }

@@ -1,0 +1,771 @@
+//! The interprocedural rules: R1 (panic reachability), R2 (fallibility
+//! hygiene), R3 (hot-path allocation), R4 (float-accumulation order).
+//!
+//! Where D1/P1/U1/F1 judge one line at a time, these rules run over the
+//! [call graph](crate::callgraph): what matters is not whether a
+//! function *contains* a panic, but whether the serving path or the
+//! experiment harness can *reach* one. Scoping:
+//!
+//! | rule | question | scope |
+//! |------|----------|-------|
+//! | R1 | can a configured root (`[rules.R1].roots`) transitively reach a panic site? | whole graph, test fns excluded |
+//! | R2 | is a workspace `Result` discarded (`let _ =` / bare statement)? | `[rules.R2].crates`, lib, non-test |
+//! | R3 | can a `#[doc(alias = "tsda::hot")]` fn transitively reach an allocation? | whole graph, test fns excluded |
+//! | R4 | is a float reduction not routed through `tsda_core::math::sum_stable`? | `[rules.R4].crates`, lib, non-test |
+//!
+//! R1/R3 findings point at the offending *site* and carry the full call
+//! chain from the root in the message, so the fix target and the reason
+//! it matters are both in one line of CI output. Resolution is
+//! conservative (see [`crate::callgraph`]): a finding may name a chain
+//! the types would rule out, and the allowlist entry for such a site
+//! must say *why* the chain is impossible — that justification is the
+//! point of the rule.
+
+use crate::callgraph::{CallGraph, FnId};
+use crate::config::Config;
+use crate::lexer::{Tok, TokKind};
+use crate::parser::FnDef;
+use crate::rules::Finding;
+use crate::workspace::{FileKind, SourceFile};
+use std::collections::BTreeMap;
+
+/// Method names whose call allocates (on the receiver's buffer or a
+/// fresh one). `collect` is included: hot kernels must write into
+/// preallocated output, not grow containers per element.
+const ALLOC_METHODS: &[&str] =
+    &["push", "to_vec", "to_owned", "to_string", "collect", "extend", "insert"];
+
+/// `Type::ctor` pairs that allocate.
+const ALLOC_CTORS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Vec", "from"),
+    ("String", "new"),
+    ("String", "with_capacity"),
+    ("String", "from"),
+    ("Box", "new"),
+];
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+/// Run R1–R4 and append findings. `files` must be the same slice the
+/// graph was built from (findings quote source lines through it).
+pub fn run_interproc(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    check_r1(files, graph, cfg, findings);
+    check_r2(files, graph, cfg, findings);
+    check_r3(files, graph, findings);
+    check_r4(files, cfg, findings);
+}
+
+/// [`run_interproc`] with per-rule wall time (ms) appended to `timings`.
+pub fn run_interproc_timed(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+    timings: &mut Vec<(String, f64)>,
+) {
+    let t0 = std::time::Instant::now();
+    check_r1(files, graph, cfg, findings);
+    timings.push(("R1".to_string(), crate::rules::ms_since(t0)));
+    let t0 = std::time::Instant::now();
+    check_r2(files, graph, cfg, findings);
+    timings.push(("R2".to_string(), crate::rules::ms_since(t0)));
+    let t0 = std::time::Instant::now();
+    check_r3(files, graph, findings);
+    timings.push(("R3".to_string(), crate::rules::ms_since(t0)));
+    let t0 = std::time::Instant::now();
+    check_r4(files, cfg, findings);
+    timings.push(("R4".to_string(), crate::rules::ms_since(t0)));
+}
+
+fn file_of<'a>(files: &'a [SourceFile], f: &FnDef) -> Option<&'a SourceFile> {
+    files.iter().find(|s| s.rel_path == f.rel_path)
+}
+
+fn push_at(
+    findings: &mut Vec<Finding>,
+    files: &[SourceFile],
+    rule: &'static str,
+    rel_path: &str,
+    line: u32,
+    message: String,
+) {
+    let snippet = files
+        .iter()
+        .find(|s| s.rel_path == rel_path)
+        .map_or(String::new(), |s| s.line_text(line).to_string());
+    findings.push(Finding { rule, path: rel_path.to_string(), line, message, snippet });
+}
+
+/// Render a parent chain as `root (site) -> ... -> target`.
+fn chain_text(graph: &CallGraph, parents: &BTreeMap<FnId, Option<(FnId, usize)>>, id: FnId) -> String {
+    graph.chain_to(parents, id).join(" -> ")
+}
+
+// ---------------------------------------------------------------- R1
+
+fn check_r1(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    if cfg.r1_roots.is_empty() {
+        return;
+    }
+    let mut roots: Vec<FnId> = Vec::new();
+    for key in &cfg.r1_roots {
+        let matched = graph.roots_matching(key);
+        if matched.is_empty() {
+            // A root that matches nothing is a rotted config: the path
+            // it was guarding is no longer protected. Hard finding, not
+            // a warning.
+            findings.push(Finding {
+                rule: "R1",
+                path: "analyze.toml".to_string(),
+                line: 0,
+                message: format!(
+                    "R1 root {key:?} matches no function in the workspace \
+                     (expected `crate::fn_name`)"
+                ),
+                snippet: key.clone(),
+            });
+        }
+        roots.extend(matched);
+    }
+    let parents = graph.reach_with_parents(&roots);
+    for (&id, _) in &parents {
+        let f = &graph.fns[id];
+        if f.in_test {
+            continue;
+        }
+        for p in &f.panics {
+            push_at(
+                findings,
+                files,
+                "R1",
+                &f.rel_path,
+                p.line,
+                format!(
+                    "panic site ({}) reachable from request/experiment root: {}",
+                    p.what,
+                    chain_text(graph, &parents, id)
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R2
+
+fn check_r2(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    for (id, f) in graph.fns.iter().enumerate() {
+        if f.in_test || !cfg.r2_crates.iter().any(|c| c == &f.crate_name) {
+            continue;
+        }
+        let Some(file) = file_of(files, f) else { continue };
+        if file.kind != FileKind::Lib {
+            continue;
+        }
+        let mut resolved: BTreeMap<usize, Vec<FnId>> = BTreeMap::new();
+        for e in &graph.edges[id] {
+            resolved.entry(e.call_idx).or_default().push(e.to);
+        }
+        // A call is "definitely fallible" when it resolved to at least
+        // one workspace fn and every candidate returns Result — the
+        // conservative direction for a *discard* lint is to stay quiet
+        // on ambiguity, not to cry wolf on `()`-returning overloads.
+        let returns_result = |call_idx: usize| -> bool {
+            resolved.get(&call_idx).is_some_and(|cands| {
+                !cands.is_empty() && cands.iter().all(|&c| graph.fns[c].returns_result)
+            })
+        };
+        for stmt in statements(&file.toks, f.body.clone()) {
+            let toks = &file.toks;
+            let discarded = match discard_shape(toks, stmt.clone()) {
+                Some(d) => d,
+                None => continue,
+            };
+            for (call_idx, call) in f.calls.iter().enumerate() {
+                if !stmt.contains(&call.tok) || !returns_result(call_idx) {
+                    continue;
+                }
+                let how = match discarded {
+                    Discard::LetUnderscore => "bound to `_`",
+                    Discard::BareStatement => "dropped by a bare statement",
+                };
+                push_at(
+                    findings,
+                    files,
+                    "R2",
+                    &f.rel_path,
+                    call.line,
+                    format!(
+                        "`Result` from `{}` is {how} — handle it or propagate with `?`",
+                        call.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Discard {
+    LetUnderscore,
+    BareStatement,
+}
+
+/// Split a body token range into `;`-terminated statement spans. Spans
+/// are *flat*: nested blocks contribute their own statements, and a
+/// statement containing a block (e.g. `if .. { .. }`) is not produced.
+fn statements(toks: &[Tok], body: std::ops::Range<usize>) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let end = body.end.min(toks.len());
+    let mut start = body.start;
+    let mut i = body.start;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('{') || t.is_punct('}') {
+            start = i + 1;
+        } else if t.is_punct(';') {
+            if start < i {
+                out.push(start..i);
+            }
+            start = i + 1;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Does this statement span discard its value? `let _ = ...` always
+/// does; a bare call statement (`f(x);` / `x.f();` / `T::f(x);`) does
+/// unless the value is consumed (`?`, `=`, control flow, `.await`).
+fn discard_shape(toks: &[Tok], stmt: std::ops::Range<usize>) -> Option<Discard> {
+    let s = stmt.start;
+    if toks.get(s).is_some_and(|t| t.is_ident("let"))
+        && toks.get(s + 1).is_some_and(|t| t.kind == TokKind::Ident && t.text == "_")
+        && toks.get(s + 2).is_some_and(|t| t.is_punct('='))
+        && !toks.get(s + 3).is_some_and(|t| t.is_punct('='))
+    {
+        return Some(Discard::LetUnderscore);
+    }
+    let first = toks.get(s)?;
+    let head_ok = first.kind == TokKind::Ident
+        && !matches!(
+            first.text.as_str(),
+            "let" | "if" | "else" | "match" | "for" | "while" | "loop" | "return" | "break"
+                | "continue" | "use" | "fn" | "struct" | "enum" | "impl" | "trait" | "mod"
+                | "const" | "static" | "type" | "unsafe" | "pub" | "assert" | "debug_assert"
+        );
+    if !head_ok {
+        return None;
+    }
+    let consumes = stmt.clone().any(|i| {
+        let t = &toks[i];
+        t.is_punct('?') || t.is_punct('=') || t.is_ident("await") || t.is_ident("return")
+    });
+    if consumes {
+        return None;
+    }
+    Some(Discard::BareStatement)
+}
+
+// ---------------------------------------------------------------- R3
+
+fn check_r3(files: &[SourceFile], graph: &CallGraph, findings: &mut Vec<Finding>) {
+    let roots: Vec<FnId> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.is_hot && !f.in_test)
+        .map(|(id, _)| id)
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    let parents = graph.reach_with_parents(&roots);
+    for (&id, _) in &parents {
+        let f = &graph.fns[id];
+        if f.in_test {
+            continue;
+        }
+        let Some(file) = file_of(files, f) else { continue };
+        for (line, what) in allocation_sites(&file.toks, f.body.clone()) {
+            push_at(
+                findings,
+                files,
+                "R3",
+                &f.rel_path,
+                line,
+                format!(
+                    "allocation ({what}) on a hot path: {}",
+                    chain_text(graph, &parents, id)
+                ),
+            );
+        }
+    }
+}
+
+/// Allocation sites (line, description) in a body token range.
+fn allocation_sites(toks: &[Tok], body: std::ops::Range<usize>) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    let end = body.end.min(toks.len());
+    for i in body.start..end {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if ALLOC_METHODS.contains(&t.text.as_str())
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && next_non_turbofish_is_paren(toks, i + 1, end)
+        {
+            out.push((t.line, format!(".{}()", t.text)));
+            continue;
+        }
+        if ALLOC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push((t.line, format!("{}!", t.text)));
+            continue;
+        }
+        if let Some((ty, ctor)) = ALLOC_CTORS.iter().find(|(ty, _)| t.is_ident(ty)) {
+            // `Vec::new(..)` — possibly with a turbofish on the type.
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|n| n.is_punct(':'))
+                && toks.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                && toks.get(j + 2).is_some_and(|n| n.is_punct('<'))
+            {
+                j = skip_angle(toks, j + 2, end);
+                if !(toks.get(j).is_some_and(|n| n.is_punct(':'))
+                    && toks.get(j + 1).is_some_and(|n| n.is_punct(':')))
+                {
+                    continue;
+                }
+            }
+            if toks.get(j).is_some_and(|n| n.is_punct(':'))
+                && toks.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                && toks.get(j + 2).is_some_and(|n| n.is_ident(ctor))
+            {
+                out.push((t.line, format!("{ty}::{ctor}")));
+            }
+        }
+    }
+    out
+}
+
+/// After `.name`, is the next thing `(` — allowing `::<T>` in between?
+fn next_non_turbofish_is_paren(toks: &[Tok], mut j: usize, end: usize) -> bool {
+    if toks.get(j).is_some_and(|n| n.is_punct(':'))
+        && toks.get(j + 1).is_some_and(|n| n.is_punct(':'))
+        && toks.get(j + 2).is_some_and(|n| n.is_punct('<'))
+    {
+        j = skip_angle(toks, j + 2, end);
+    }
+    toks.get(j).is_some_and(|n| n.is_punct('('))
+}
+
+/// Index just past the `>` matching the `<` at `open`.
+fn skip_angle(toks: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < end {
+        if toks[j].is_punct('<') {
+            depth += 1;
+        } else if toks[j].is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    end
+}
+
+// ---------------------------------------------------------------- R4
+
+fn check_r4(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
+    for file in files {
+        if file.kind != FileKind::Lib || !cfg.r4_crates.iter().any(|c| c == &file.crate_name) {
+            continue;
+        }
+        // The helper itself is the one place allowed to accumulate.
+        if file.rel_path.ends_with("core/src/math.rs") {
+            continue;
+        }
+        check_r4_file(file, findings);
+    }
+}
+
+const R4_HINT: &str = "route through tsda_core::math::sum_stable so accumulation order is pinned";
+
+fn check_r4_file(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    let n = toks.len();
+    // Loop body brace ranges, for the `+=`-accumulator check.
+    let loop_ranges = loop_body_ranges(toks);
+    // Locals declared with a float initialiser or ascription.
+    let float_locals = float_local_names(toks);
+
+    for i in 0..n {
+        if file.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        // `.sum::<f32>()` / `.sum()` on a float expression.
+        if t.is_ident("sum") && i >= 1 && toks[i - 1].is_punct('.') {
+            let flagged = match turbofish_types(toks, i + 1) {
+                Some(types) => types.iter().any(|ty| ty == "f32" || ty == "f64"),
+                // Untyped `.sum()`: only flag when the statement gives a
+                // float hint (`let x: f64 = ...` / `as f32`), so integer
+                // count sums stay legal.
+                None => statement_mentions_float(toks, i),
+            };
+            if flagged && toks_call_follows(toks, i + 1) {
+                findings.push(finding_at(file, t.line, format!("float `.sum()` — {R4_HINT}")));
+            }
+            continue;
+        }
+        // `.fold(0.0, |acc, x| acc + x)`-style float folds. Folds whose
+        // closure runs max/min are order-insensitive selections, not
+        // accumulations, and stay legal.
+        if t.is_ident("fold")
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|p| p.is_punct('('))
+            && toks.get(i + 2).is_some_and(|z| z.kind == TokKind::Num && z.text.contains('.'))
+            && !fold_is_selection(toks, i + 1)
+        {
+            findings.push(finding_at(file, t.line, format!("float `.fold()` — {R4_HINT}")));
+            continue;
+        }
+        // `acc += term` on a float local inside a loop body.
+        if t.is_punct('+')
+            && toks.get(i + 1).is_some_and(|e| e.is_punct('='))
+            && i >= 1
+            && toks[i - 1].kind == TokKind::Ident
+            && float_locals.contains(&toks[i - 1].text)
+            && loop_ranges.iter().any(|r| r.contains(&i))
+        {
+            findings.push(finding_at(
+                file,
+                t.line,
+                format!("float `+=` accumulation in a loop — {R4_HINT}"),
+            ));
+        }
+    }
+}
+
+fn finding_at(file: &SourceFile, line: u32, message: String) -> Finding {
+    Finding {
+        rule: "R4",
+        path: file.rel_path.clone(),
+        line,
+        message,
+        snippet: file.line_text(line).to_string(),
+    }
+}
+
+/// `::<A, B>` starting at `j`: the top-level type names, else `None`.
+fn turbofish_types(toks: &[Tok], j: usize) -> Option<Vec<String>> {
+    if !(toks.get(j).is_some_and(|t| t.is_punct(':'))
+        && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(j + 2).is_some_and(|t| t.is_punct('<')))
+    {
+        return None;
+    }
+    let close = skip_angle(toks, j + 2, toks.len());
+    let names = toks[j + 3..close.saturating_sub(1)]
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+        .collect();
+    Some(names)
+}
+
+/// Is the token at/after `j` (past an optional turbofish) a `(`?
+fn toks_call_follows(toks: &[Tok], j: usize) -> bool {
+    next_non_turbofish_is_paren(toks, j, toks.len())
+}
+
+/// Does the `.fold(...)` call whose `(` sits at `open` select rather
+/// than accumulate — i.e. call `.max(`/`.min(` inside its argument
+/// list? Scans to the matching close paren.
+fn fold_is_selection(toks: &[Tok], open: usize) -> bool {
+    let mut depth = 0usize;
+    for j in open..toks.len() {
+        if toks[j].is_punct('(') {
+            depth += 1;
+        } else if toks[j].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return false;
+            }
+        } else if (toks[j].is_ident("max") || toks[j].is_ident("min"))
+            && j >= 1
+            && toks[j - 1].is_punct('.')
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Does the statement around token `i` mention `f32`/`f64`?
+fn statement_mentions_float(toks: &[Tok], i: usize) -> bool {
+    let start = (0..i).rev().find(|&j| {
+        toks[j].is_punct(';') || toks[j].is_punct('{') || toks[j].is_punct('}')
+    });
+    let end = (i..toks.len())
+        .find(|&j| toks[j].is_punct(';') || toks[j].is_punct('{') || toks[j].is_punct('}'))
+        .unwrap_or(toks.len());
+    let start = start.map_or(0, |s| s + 1);
+    toks[start..end].iter().any(|t| t.is_ident("f32") || t.is_ident("f64"))
+}
+
+/// Names of locals declared with a float hint: `let mut x = 0.0`,
+/// `let mut x: f64 = ...`, `let mut x = 0f32`.
+fn float_local_names(toks: &[Tok]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("let") {
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else { continue };
+        // Scan the declaration up to `;` for a float hint.
+        let end = (j..toks.len()).find(|&k| toks[k].is_punct(';')).unwrap_or(toks.len());
+        let is_float = toks[j + 1..end].iter().any(|t| {
+            t.is_ident("f32")
+                || t.is_ident("f64")
+                || (t.kind == TokKind::Num
+                    && (t.text.contains('.') || t.text.ends_with("f32") || t.text.ends_with("f64")))
+        });
+        if is_float {
+            names.push(name.text.clone());
+        }
+    }
+    names
+}
+
+/// Brace ranges of `for`/`while`/`loop` bodies (token index ranges).
+fn loop_body_ranges(toks: &[Tok]) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !(t.is_ident("for") || t.is_ident("while") || t.is_ident("loop")) {
+            continue;
+        }
+        // The loop body is the first `{` after the header (this
+        // codebase never puts a struct literal in a loop header).
+        let open = (i + 1..toks.len()).find(|&j| toks[j].is_punct('{'));
+        if let Some(open) = open {
+            let mut depth = 0usize;
+            let mut j = open;
+            while j < toks.len() {
+                if toks[j].is_punct('{') {
+                    depth += 1;
+                } else if toks[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            out.push(open..j);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn lib_file(crate_name: &str, src: &str) -> SourceFile {
+        let toks = lex(src);
+        let in_test = vec![false; toks.len()];
+        SourceFile {
+            crate_name: crate_name.into(),
+            rel_path: format!("crates/{crate_name}/src/lib.rs"),
+            kind: FileKind::Lib,
+            lines: src.lines().map(str::to_string).collect(),
+            toks,
+            in_test,
+        }
+    }
+
+    fn run(files: Vec<SourceFile>, cfg: &Config) -> Vec<Finding> {
+        let graph = CallGraph::build(&files);
+        let mut findings = Vec::new();
+        run_interproc(&files, &graph, cfg, &mut findings);
+        findings
+    }
+
+    fn cfg_with(f: impl FnOnce(&mut Config)) -> Config {
+        let mut cfg = Config::default();
+        f(&mut cfg);
+        cfg
+    }
+
+    #[test]
+    fn r1_reports_cross_crate_chain_to_panic() {
+        let files = vec![
+            lib_file("a", "pub fn serve_loop() {\n    tsda_b::decode();\n}\n"),
+            lib_file("b", "pub fn decode() {\n    inner()\n}\nfn inner() {\n    data.unwrap();\n}\n"),
+        ];
+        let cfg = cfg_with(|c| c.r1_roots = vec!["a::serve_loop".into()]);
+        let findings = run(files, &cfg);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        let f = &findings[0];
+        assert_eq!(f.rule, "R1");
+        assert_eq!(f.path, "crates/b/src/lib.rs");
+        assert_eq!(f.line, 5);
+        assert!(f.message.contains("a::serve_loop (crates/a/src/lib.rs:2)"), "{}", f.message);
+        assert!(f.message.contains("b::decode (crates/b/src/lib.rs:2)"), "{}", f.message);
+        assert!(f.message.contains("b::inner"), "{}", f.message);
+    }
+
+    #[test]
+    fn r1_unmatched_root_is_a_finding() {
+        let files = vec![lib_file("a", "pub fn fine() {}\n")];
+        let cfg = cfg_with(|c| c.r1_roots = vec!["a::gone".into()]);
+        let findings = run(files, &cfg);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("matches no function"), "{}", findings[0].message);
+    }
+
+    #[test]
+    fn r1_ignores_unreachable_panics() {
+        let files = vec![lib_file(
+            "a",
+            "pub fn root() { safe() }\nfn safe() {}\nfn cold() { boom.unwrap(); }\n",
+        )];
+        let cfg = cfg_with(|c| c.r1_roots = vec!["a::root".into()]);
+        assert!(run(files, &cfg).is_empty());
+    }
+
+    #[test]
+    fn r2_flags_let_underscore_and_bare_statement_discards() {
+        let files = vec![lib_file(
+            "a",
+            "pub fn fallible() -> Result<u8, ()> { Ok(1) }\n\
+             pub fn ok_consumer() -> Result<u8, ()> { fallible() }\n\
+             pub fn discards() {\n\
+                 let _ = fallible();\n\
+                 fallible();\n\
+             }\n\
+             pub fn handles() -> Result<(), ()> {\n\
+                 let v = fallible()?;\n\
+                 if fallible().is_ok() { drop(v); }\n\
+                 Ok(())\n\
+             }\n",
+        )];
+        let cfg = cfg_with(|c| c.r2_crates = vec!["a".into()]);
+        let findings = run(files, &cfg);
+        let lines: Vec<u32> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![4, 5], "{findings:?}");
+        assert!(findings[0].message.contains("bound to `_`"));
+        assert!(findings[1].message.contains("bare statement"));
+    }
+
+    #[test]
+    fn r2_skips_non_result_and_unresolved_calls() {
+        let files = vec![lib_file(
+            "a",
+            "pub fn infallible() {}\n\
+             pub fn go(w: Worker) {\n\
+                 infallible();\n\
+                 let _ = w.join();\n\
+             }\n",
+        )];
+        let cfg = cfg_with(|c| c.r2_crates = vec!["a".into()]);
+        assert!(run(files, &cfg).is_empty());
+    }
+
+    #[test]
+    fn r3_flags_allocation_reached_from_hot_fn() {
+        let files = vec![lib_file(
+            "a",
+            "#[doc(alias = \"tsda::hot\")]\n\
+             pub fn kernel(out: &mut [f64]) {\n\
+                 helper(out);\n\
+             }\n\
+             fn helper(out: &mut [f64]) {\n\
+                 let mut v = Vec::new();\n\
+                 v.push(out[0]);\n\
+             }\n\
+             fn cold() { let s = format!(\"fine here\"); }\n",
+        )];
+        let findings = run(files, &Config::default());
+        let r3: Vec<&Finding> = findings.iter().filter(|f| f.rule == "R3").collect();
+        assert_eq!(r3.len(), 2, "{findings:?}");
+        assert!(r3[0].message.contains("Vec::new"), "{}", r3[0].message);
+        assert!(r3[1].message.contains(".push()"), "{}", r3[1].message);
+        assert!(r3[0].message.contains("a::kernel (crates/a/src/lib.rs:3)"), "{}", r3[0].message);
+        assert!(findings.iter().all(|f| !f.snippet.contains("fine here")));
+    }
+
+    #[test]
+    fn r4_flags_unpinned_reductions_and_accepts_sum_stable() {
+        let files = vec![lib_file(
+            "a",
+            "pub fn mean(xs: &[f64]) -> f64 {\n\
+                 xs.iter().sum::<f64>() / xs.len() as f64\n\
+             }\n\
+             pub fn count(xs: &[usize]) -> usize {\n\
+                 xs.iter().sum::<usize>()\n\
+             }\n\
+             pub fn untyped(xs: &[f64]) -> f64 {\n\
+                 let total: f64 = xs.iter().copied().sum();\n\
+                 total\n\
+             }\n\
+             pub fn folded(xs: &[f64]) -> f64 {\n\
+                 xs.iter().fold(0.0, |a, b| a + b)\n\
+             }\n\
+             pub fn looped(xs: &[f64]) -> f64 {\n\
+                 let mut acc = 0.0;\n\
+                 for x in xs { acc += x; }\n\
+                 acc\n\
+             }\n\
+             pub fn pinned(xs: &[f64]) -> f64 {\n\
+                 tsda_core::math::sum_stable(xs.iter().copied())\n\
+             }\n\
+             pub fn peak(xs: &[f64]) -> f64 {\n\
+                 xs.iter().fold(0.0_f64, |m, v| m.max(v.abs()))\n\
+             }\n",
+        )];
+        let cfg = cfg_with(|c| c.r4_crates = vec!["a".into()]);
+        let findings = run(files, &cfg);
+        let lines: Vec<u32> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 8, 12, 16], "{findings:?}");
+    }
+
+    #[test]
+    fn r4_skips_other_crates() {
+        let src = "pub fn mean(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n";
+        let files = vec![lib_file("other", src)];
+        let cfg = cfg_with(|c| c.r4_crates = vec!["a".into()]);
+        assert!(run(files, &cfg).is_empty());
+    }
+}

@@ -112,6 +112,23 @@ pub fn lex(source: &str) -> Vec<Tok> {
                 line += lines;
                 i = next;
             }
+            'r' if starts_raw_ident(&chars, i) => {
+                // Raw identifier `r#ident`: semantically the same name
+                // as `ident` (that is what `r#` means), so the token
+                // text drops the prefix and rules match it like any
+                // other spelling of the identifier.
+                let start = i + 2;
+                let mut j = start;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: chars[start..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
             'r' | 'b' if starts_raw_or_byte_literal(&chars, i) => {
                 let start_line = line;
                 let (kind, text, next, lines) = scan_prefixed_literal(&chars, i);
@@ -148,11 +165,37 @@ pub fn lex(source: &str) -> Vec<Tok> {
                 while i < n && (is_ident_continue(chars[i])) {
                     i += 1;
                 }
-                // Fraction part only when followed by a digit, so
-                // `1.max(2)` and `0..n` keep their `.` as punctuation.
-                if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
-                    i += 1;
-                    while i < n && is_ident_continue(chars[i]) {
+                // Fraction part only when the `.` cannot be a method
+                // call or range: `1.max(2)` and `0..n` keep their `.`
+                // as punctuation, but `1_000.5`, `1.e3` (dot + bare
+                // exponent), and a trailing-dot float like `1.` are all
+                // one numeric token.
+                if i < n && chars[i] == '.' {
+                    let after = chars.get(i + 1).copied();
+                    let exp_digit = |k: usize| {
+                        matches!(chars.get(k), Some(d) if d.is_ascii_digit())
+                            || (matches!(chars.get(k), Some('+') | Some('-'))
+                                && matches!(chars.get(k + 1), Some(d) if d.is_ascii_digit()))
+                    };
+                    if after.is_some_and(|c| c.is_ascii_digit()) {
+                        i += 1;
+                        while i < n && is_ident_continue(chars[i]) {
+                            i += 1;
+                        }
+                    } else if matches!(after, Some('e' | 'E')) && exp_digit(i + 2) {
+                        // `1.e3` / `1.E-3`: dot straight into an
+                        // exponent. `2.exp()` stays a method call
+                        // because no digit follows the `e`.
+                        i += 2;
+                        if matches!(chars.get(i), Some('+') | Some('-')) {
+                            i += 1;
+                        }
+                        while i < n && is_ident_continue(chars[i]) {
+                            i += 1;
+                        }
+                    } else if !matches!(after, Some(c) if is_ident_start(c) || c == '.') {
+                        // Trailing-dot float (`1.;`, `vec![1., 2.]`, or
+                        // `1.` at EOF): the dot belongs to the number.
                         i += 1;
                     }
                 }
@@ -191,6 +234,13 @@ pub fn lex(source: &str) -> Vec<Tok> {
         }
     }
     toks
+}
+
+/// Does `r#...` at `i` begin a raw identifier (`r#type`, `r#match`),
+/// as opposed to a raw string (`r#"..."#`)?
+fn starts_raw_ident(chars: &[char], i: usize) -> bool {
+    chars.get(i + 1) == Some(&'#')
+        && matches!(chars.get(i + 2), Some(&c) if is_ident_start(c))
 }
 
 /// Does `r...` / `b...` at `i` begin a raw string, byte string, or byte
@@ -401,5 +451,54 @@ mod tests {
     fn unterminated_literals_do_not_panic() {
         assert!(!lex("let s = \"never closed").is_empty());
         assert!(!lex("let s = r#\"never closed").is_empty());
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_unprefixed_name() {
+        // `r#ident` IS the identifier `ident`; the prefix only exists
+        // to escape keywords, so rules must see one token, same name.
+        let toks = kinds("let r#type = r#match.r#unwrap();");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "type"), "{toks:?}");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "unwrap"), "{toks:?}");
+        // No stray `r` / `#` fragments left behind.
+        assert!(toks.iter().all(|(k, t)| !(*k == TokKind::Ident && t == "r")), "{toks:?}");
+        assert!(toks.iter().all(|(k, t)| !(*k == TokKind::Punct && t == "#")), "{toks:?}");
+        // Raw *strings* are unaffected.
+        let toks = kinds(r##"let s = r#"body"#;"##);
+        assert_eq!(toks[3], (TokKind::Str, "body".into()));
+    }
+
+    #[test]
+    fn double_gt_in_nested_generics_stays_split() {
+        // The parser closes nested generics one `>` at a time, so the
+        // lexer must never fuse `>>` into a shift token.
+        let toks = kinds("fn f() -> Result<Vec<u8>, E> { g::<Vec<Vec<u8>>>() }");
+        let gts = toks.iter().filter(|(k, t)| *k == TokKind::Punct && t == ">").count();
+        // One from `->`, two closing `Result<Vec<u8>, E>`, three
+        // closing the `::<Vec<Vec<u8>>>` turbofish.
+        assert_eq!(gts, 6, "{toks:?}");
+        assert!(toks.iter().all(|(k, t)| !(*k == TokKind::Punct && t == ">>")), "{toks:?}");
+    }
+
+    #[test]
+    fn bare_exponent_and_trailing_dot_floats() {
+        // `1.e3`: dot straight into an exponent is one number.
+        let toks = kinds("let a = 1.e3; let b = 1.E-3;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "1.e3"), "{toks:?}");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "1.E-3"), "{toks:?}");
+        // Underscored float with fraction.
+        let toks = kinds("let c = 1_000.5;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "1_000.5"), "{toks:?}");
+        // Trailing-dot float keeps its dot; method calls and ranges do not.
+        let toks = kinds("let d = 1.; let e = vec![2., 3.]; let f = 2.sqrt(); let r = 0..9;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "1."), "{toks:?}");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "2."), "{toks:?}");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "sqrt"), "{toks:?}");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "2"), "{toks:?}");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "0"), "{toks:?}");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "9"), "{toks:?}");
+        // `1.e3x` style (exponent then ident chars) still terminates.
+        let toks = kinds("let g = 2.exp();");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "exp"), "{toks:?}");
     }
 }

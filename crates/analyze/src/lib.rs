@@ -33,22 +33,38 @@
 //! nested comments, lifetimes) but deliberately not a parser; the
 //! rules are chosen to be decidable on the token stream.
 
+pub mod baseline;
+pub mod callgraph;
 pub mod config;
+pub mod docs;
+pub mod interproc;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 pub mod workspace;
 
 use config::Config;
 use report::Report;
 use std::path::Path;
 
-/// Analyze the workspace at `root` with `cfg`: walk, lex, run rules,
-/// apply the allowlist.
+/// Analyze the workspace at `root` with `cfg`: walk, lex, run the
+/// token-stream rules, build the call graph, run the interprocedural
+/// rules, apply the allowlist. Per-rule wall times land in
+/// [`Report::timings`].
 pub fn analyze(root: &Path, cfg: &Config) -> Result<Report, String> {
     let files = workspace::load_workspace(root, &cfg.scan, &cfg.skip)?;
-    let raw = rules::run_rules(&files, cfg);
-    Ok(Report::from_findings(raw, cfg))
+    let (mut raw, mut timings) = rules::run_rules_timed(&files, cfg);
+    let t0 = std::time::Instant::now();
+    let deps = workspace::crate_dep_closure(root, &cfg.scan);
+    let graph = callgraph::CallGraph::build_with_deps(&files, &deps);
+    timings.push(("graph".to_string(), rules::ms_since(t0)));
+    interproc::run_interproc_timed(&files, &graph, cfg, &mut raw, &mut timings);
+    rules::sort_dedup(&mut raw);
+    let mut report = Report::from_findings(raw, cfg);
+    report.timings = timings;
+    Ok(report)
 }
 
 /// Analyze using the `analyze.toml` found at `root`.

@@ -16,7 +16,10 @@
 //!   "unused_allow": [
 //!     {"rule": "P1", "path": "...", "contains": "...", "reason": "..."}
 //!   ],
-//!   "summary": {"total": 1, "by_rule": {"D1": 0, "F1": 0, "P1": 1, "U1": 0}}
+//!   "summary": {"total": 1,
+//!               "by_rule": {"D1": 0, "F1": 0, "P1": 1, "U1": 0,
+//!                           "R1": 0, "R2": 0, "R3": 0, "R4": 0},
+//!               "timings_ms": {"D1": 1.2, "...": 0.0}}
 //! }
 //! ```
 //!
@@ -47,6 +50,9 @@ pub struct Report {
     pub allowed: Vec<AllowedFinding>,
     /// Allowlist entries that matched nothing (stale).
     pub unused_allow: Vec<AllowEntry>,
+    /// Per-rule wall time in milliseconds, in execution order (empty
+    /// when the caller didn't measure).
+    pub timings: Vec<(String, f64)>,
 }
 
 impl Report {
@@ -142,9 +148,19 @@ impl Report {
             Value::Object(pairs)
         };
         let mut by_rule = Vec::new();
-        for rule in ["D1", "F1", "P1", "U1"] {
+        for rule in ["D1", "F1", "P1", "U1", "R1", "R2", "R3", "R4"] {
             by_rule.push((rule.to_string(), Value::Num(self.count(rule) as f64)));
         }
+        let timings = Value::Object(
+            self.timings
+                .iter()
+                .map(|(rule, ms)| {
+                    // Round to µs so the value is stable to print and
+                    // diff while still meaningful for a linter pass.
+                    (rule.clone(), Value::Num((ms * 1e3).round() / 1e3))
+                })
+                .collect(),
+        );
         Value::Object(vec![
             ("version".into(), Value::Num(1.0)),
             (
@@ -176,6 +192,7 @@ impl Report {
                 Value::Object(vec![
                     ("total".into(), Value::Num(self.findings.len() as f64)),
                     ("by_rule".into(), Value::Object(by_rule)),
+                    ("timings_ms".into(), timings),
                 ]),
             ),
         ])

@@ -59,19 +59,61 @@ const HASH_IDENTS: &[(&str, &str)] = &[
 ];
 
 /// Macros that abort the thread.
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+pub(crate) const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
-/// Run every rule over `files`, returning findings sorted by
-/// `(path, line, rule)`.
+/// Run every token-stream rule over `files`, returning findings sorted
+/// by `(path, line, rule)`.
 pub fn run_rules(files: &[SourceFile], cfg: &Config) -> Vec<Finding> {
+    let (mut findings, _) = run_rules_timed(files, cfg);
+    sort_dedup(&mut findings);
+    findings
+}
+
+/// Like [`run_rules`] but unsorted, with per-rule wall time in
+/// milliseconds. (Timing the linter is legal even though D1 bans
+/// wall-clock reads in result-producing crates: rule duration is
+/// diagnostics, and `analyze` is not in any D1 scope.)
+pub fn run_rules_timed(
+    files: &[SourceFile],
+    cfg: &Config,
+) -> (Vec<Finding>, Vec<(String, f64)>) {
     let mut findings = Vec::new();
+    let mut timings = Vec::new();
+
+    let t0 = std::time::Instant::now();
     for file in files {
         check_d1(file, cfg, &mut findings);
+    }
+    timings.push(("D1".to_string(), ms_since(t0)));
+
+    let t0 = std::time::Instant::now();
+    for file in files {
         check_p1(file, cfg, &mut findings);
+    }
+    timings.push(("P1".to_string(), ms_since(t0)));
+
+    let t0 = std::time::Instant::now();
+    for file in files {
         check_u1_safety_comments(file, &mut findings);
-        check_f1(file, cfg, &mut findings);
     }
     check_u1_forbid(files, &mut findings);
+    timings.push(("U1".to_string(), ms_since(t0)));
+
+    let t0 = std::time::Instant::now();
+    for file in files {
+        check_f1(file, cfg, &mut findings);
+    }
+    timings.push(("F1".to_string(), ms_since(t0)));
+
+    (findings, timings)
+}
+
+pub(crate) fn ms_since(t0: std::time::Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Sort findings by `(path, line, rule)` and drop repeats.
+pub fn sort_dedup(findings: &mut Vec<Finding>) {
     findings.sort_by(|a, b| {
         (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule))
     });
@@ -80,7 +122,6 @@ pub fn run_rules(files: &[SourceFile], cfg: &Config) -> Vec<Finding> {
     findings.dedup_by(|a, b| {
         a.rule == b.rule && a.path == b.path && a.line == b.line && a.message == b.message
     });
-    findings
 }
 
 fn in_list(list: &[String], crate_name: &str) -> bool {

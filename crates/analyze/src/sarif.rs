@@ -1,0 +1,167 @@
+//! SARIF 2.1.0 rendering for GitHub code scanning.
+//!
+//! One run, one driver (`tsda-analyze`), rule metadata from the shared
+//! [`docs`](crate::docs) table, and one `result` per unallowlisted
+//! finding. Allowlisted findings are emitted too, with a SARIF
+//! `suppressions` entry carrying the justification — code scanning then
+//! shows them as suppressed instead of silently absent, which keeps the
+//! audit trail visible in the same UI.
+//!
+//! The shape below is the minimal subset GitHub's upload action
+//! requires (schema/version, `tool.driver.name`, `results[].message`,
+//! `results[].locations[].physicalLocation`), pinned by a test in
+//! `tests/sarif_shape.rs`.
+
+use crate::docs::RULE_DOCS;
+use crate::report::Report;
+use crate::rules::Finding;
+use serde::Value;
+
+/// SARIF severity for every finding: the analyzer only reports things
+/// that gate CI, so everything is an error.
+const LEVEL: &str = "error";
+
+/// Render a [`Report`] as a SARIF 2.1.0 JSON value.
+pub fn to_sarif_value(report: &Report) -> Value {
+    let rules: Vec<Value> = RULE_DOCS
+        .iter()
+        .map(|d| {
+            Value::Object(vec![
+                ("id".into(), Value::Str(d.id.to_string())),
+                (
+                    "shortDescription".into(),
+                    Value::Object(vec![("text".into(), Value::Str(d.summary.to_string()))]),
+                ),
+                (
+                    "help".into(),
+                    Value::Object(vec![("text".into(), Value::Str(d.rationale.to_string()))]),
+                ),
+            ])
+        })
+        .collect();
+
+    let mut results: Vec<Value> =
+        report.findings.iter().map(|f| result_value(f, None)).collect();
+    results.extend(
+        report.allowed.iter().map(|a| result_value(&a.finding, Some(a.reason.as_str()))),
+    );
+
+    let driver = Value::Object(vec![
+        ("name".into(), Value::Str("tsda-analyze".to_string())),
+        ("informationUri".into(), Value::Str("README.md#static-analysis".to_string())),
+        ("rules".into(), Value::Array(rules)),
+    ]);
+    let run = Value::Object(vec![
+        ("tool".into(), Value::Object(vec![("driver".into(), driver)])),
+        ("results".into(), Value::Array(results)),
+    ]);
+    Value::Object(vec![
+        (
+            "$schema".into(),
+            Value::Str(
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+                    .to_string(),
+            ),
+        ),
+        ("version".into(), Value::Str("2.1.0".to_string())),
+        ("runs".into(), Value::Array(vec![run])),
+    ])
+}
+
+fn result_value(f: &Finding, suppressed_reason: Option<&str>) -> Value {
+    let location = Value::Object(vec![(
+        "physicalLocation".into(),
+        Value::Object(vec![
+            (
+                "artifactLocation".into(),
+                Value::Object(vec![
+                    ("uri".into(), Value::Str(f.path.clone())),
+                    ("uriBaseId".into(), Value::Str("%SRCROOT%".to_string())),
+                ]),
+            ),
+            (
+                "region".into(),
+                Value::Object(vec![
+                    // SARIF lines are 1-based; config-level findings
+                    // (line 0) anchor to the file top.
+                    ("startLine".into(), Value::Num(f.line.max(1) as f64)),
+                ]),
+            ),
+        ]),
+    )]);
+    let mut pairs = vec![
+        ("ruleId".into(), Value::Str(f.rule.to_string())),
+        ("level".into(), Value::Str(LEVEL.to_string())),
+        (
+            "message".into(),
+            Value::Object(vec![("text".into(), Value::Str(f.message.clone()))]),
+        ),
+        ("locations".into(), Value::Array(vec![location])),
+    ];
+    if let Some(reason) = suppressed_reason {
+        pairs.push((
+            "suppressions".into(),
+            Value::Array(vec![Value::Object(vec![
+                ("kind".into(), Value::Str("external".to_string())),
+                ("justification".into(), Value::Str(reason.to_string())),
+            ])]),
+        ));
+    }
+    Value::Object(pairs)
+}
+
+/// SARIF JSON text (pretty). Panic-free like [`Report::to_json`].
+pub fn to_sarif(report: &Report) -> String {
+    serde_json::to_string_pretty(&to_sarif_value(report))
+        .unwrap_or_else(|_| "{\"version\":\"2.1.0\",\"runs\":[]}".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::AllowedFinding;
+
+    fn finding(rule: &'static str, line: u32) -> Finding {
+        Finding {
+            rule,
+            path: "crates/x/src/lib.rs".into(),
+            line,
+            message: "m".into(),
+            snippet: "s".into(),
+        }
+    }
+
+    #[test]
+    fn results_cover_findings_and_suppressed_allowed() {
+        let report = Report {
+            findings: vec![finding("R1", 3)],
+            allowed: vec![AllowedFinding { finding: finding("P1", 9), reason: "why".into() }],
+            unused_allow: vec![],
+            timings: vec![],
+        };
+        let v = to_sarif_value(&report);
+        let runs = v.get("runs").expect("runs");
+        let Value::Array(runs) = runs else { panic!("runs is array") };
+        let results = runs[0].get("results").expect("results");
+        let Value::Array(results) = results else { panic!("results is array") };
+        assert_eq!(results.len(), 2);
+        assert!(results[0].get("suppressions").is_none());
+        assert!(results[1].get("suppressions").is_some());
+    }
+
+    #[test]
+    fn line_zero_clamps_to_one() {
+        let v = result_value(&finding("R1", 0), None);
+        let line = v
+            .get("locations")
+            .and_then(|l| match l {
+                Value::Array(a) => a.first(),
+                _ => None,
+            })
+            .and_then(|l| l.get("physicalLocation"))
+            .and_then(|p| p.get("region"))
+            .and_then(|r| r.get("startLine"))
+            .and_then(Value::as_f64);
+        assert_eq!(line, Some(1.0));
+    }
+}

@@ -104,6 +104,82 @@ pub fn load_workspace(
     Ok(files)
 }
 
+/// Transitive crate-dependency closure, read from each scanned crate's
+/// `Cargo.toml`. `closure["serve"]` holds every crate directory `serve`
+/// can reach through `tsda-*` dependency edges (dev- and
+/// build-dependencies included, since the call graph spans test code).
+///
+/// The call graph uses this to drop name-resolution candidates that
+/// Rust itself could never link: a call in crate A cannot target a
+/// function in a crate A does not depend on. Crates whose manifest is
+/// missing or unreadable get no entry, which the graph treats as
+/// "don't narrow" — absence of evidence stays conservative.
+pub fn crate_dep_closure(
+    root: &Path,
+    scan: &[String],
+) -> std::collections::BTreeMap<String, std::collections::BTreeSet<String>> {
+    let mut direct: std::collections::BTreeMap<String, std::collections::BTreeSet<String>> =
+        std::collections::BTreeMap::new();
+    for rel in scan {
+        let dir = root.join(rel);
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if !path.is_dir() {
+                continue;
+            }
+            let crate_name = entry.file_name().to_string_lossy().into_owned();
+            let Ok(manifest) = std::fs::read_to_string(path.join("Cargo.toml")) else {
+                continue;
+            };
+            direct.insert(crate_name, manifest_tsda_deps(&manifest));
+        }
+    }
+    // Transitive closure by per-crate BFS; the graph is tiny.
+    let mut closure = std::collections::BTreeMap::new();
+    for name in direct.keys() {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack: Vec<&String> = vec![name];
+        while let Some(at) = stack.pop() {
+            let Some(deps) = direct.get(at) else { continue };
+            for d in deps {
+                if seen.insert(d.clone()) {
+                    stack.push(d);
+                }
+            }
+        }
+        closure.insert(name.clone(), seen);
+    }
+    closure
+}
+
+/// `tsda-*` dependency directory names declared in a manifest: both
+/// `tsda-core = { path = "../core" }` table lines and
+/// `[dependencies.tsda-core]` section headers.
+fn manifest_tsda_deps(manifest: &str) -> std::collections::BTreeSet<String> {
+    let mut deps = std::collections::BTreeSet::new();
+    for line in manifest.lines() {
+        let line = line.trim();
+        let key = if let Some(rest) = line.strip_prefix("[dependencies.") {
+            rest.strip_suffix(']').unwrap_or(rest)
+        } else if let Some(rest) = line.strip_prefix("[dev-dependencies.") {
+            rest.strip_suffix(']').unwrap_or(rest)
+        } else if let Some(rest) = line.strip_prefix("[build-dependencies.") {
+            rest.strip_suffix(']').unwrap_or(rest)
+        } else if let Some(eq) = line.find('=') {
+            line[..eq].trim()
+        } else {
+            continue;
+        };
+        if let Some(dep_dir) = key.strip_prefix("tsda-") {
+            if !dep_dir.is_empty() && dep_dir.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-') {
+                deps.insert(dep_dir.to_string());
+            }
+        }
+    }
+    deps
+}
+
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     let entries =
         std::fs::read_dir(dir).map_err(|e| format!("read dir {}: {e}", dir.display()))?;

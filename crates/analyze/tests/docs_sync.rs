@@ -1,0 +1,47 @@
+//! The README's rule table must be exactly `docs::readme_table()`.
+//!
+//! `--explain`, the SARIF rule metadata, and the README all document
+//! the rules; the first two render from `docs::RULE_DOCS` at runtime,
+//! so only the README can drift. This test closes that gap: the block
+//! between the `rule-table:begin`/`rule-table:end` markers has to be
+//! byte-identical to the rendered table.
+
+use std::path::Path;
+
+#[test]
+fn readme_rule_table_matches_docs_module() {
+    let readme_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../README.md");
+    let readme = std::fs::read_to_string(&readme_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", readme_path.display()));
+
+    let begin = "<!-- rule-table:begin";
+    let end = "<!-- rule-table:end -->";
+    let start = readme
+        .find(begin)
+        .expect("README is missing the rule-table:begin marker");
+    let start = readme[start..]
+        .find('\n')
+        .map(|n| start + n + 1)
+        .expect("marker line unterminated");
+    let stop = readme.find(end).expect("README is missing the rule-table:end marker");
+    assert!(start < stop, "rule-table markers out of order");
+
+    let in_readme = &readme[start..stop];
+    let rendered = tsda_analyze::docs::readme_table();
+    assert_eq!(
+        in_readme, rendered,
+        "README rule table drifted from docs::RULE_DOCS — \
+         regenerate the block between the rule-table markers from \
+         tsda_analyze::docs::readme_table()"
+    );
+}
+
+#[test]
+fn every_documented_rule_explains() {
+    for doc in tsda_analyze::docs::RULE_DOCS {
+        let text = tsda_analyze::docs::explain(doc.id)
+            .unwrap_or_else(|| panic!("{} has no --explain text", doc.id));
+        assert!(text.contains(doc.id), "{} explain text lacks its own id", doc.id);
+        assert!(text.contains("[[allow]]"), "{} explain text lacks allowlist guidance", doc.id);
+    }
+}

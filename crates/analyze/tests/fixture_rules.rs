@@ -99,8 +99,8 @@ fn f1_fires_outside_blessed_files_only() {
 #[test]
 fn exact_totals_and_unused_allow_entries() {
     let r = fixture_report();
-    assert_eq!(r.findings.len(), 8, "{:#?}", r.findings);
-    assert_eq!(r.allowed.len(), 4, "{:#?}", r.allowed);
+    assert_eq!(r.findings.len(), 13, "{:#?}", r.findings);
+    assert_eq!(r.allowed.len(), 5, "{:#?}", r.allowed);
     // The never.rs entry matches nothing and must surface as stale.
     assert_eq!(r.unused_allow.len(), 1, "{:#?}", r.unused_allow);
     assert!(r.unused_allow[0].path.contains("never.rs"));
@@ -115,7 +115,7 @@ fn json_schema_is_stable() {
     let Some(Value::Array(findings)) = v.get("findings") else {
         panic!("findings must be an array");
     };
-    assert_eq!(findings.len(), 8);
+    assert_eq!(findings.len(), 13);
     for f in findings {
         for key in ["rule", "path", "line", "message", "snippet"] {
             assert!(f.get(key).is_some(), "finding missing {key}: {f:?}");
@@ -124,7 +124,7 @@ fn json_schema_is_stable() {
     let Some(Value::Array(allowed)) = v.get("allowed") else {
         panic!("allowed must be an array");
     };
-    assert_eq!(allowed.len(), 4);
+    assert_eq!(allowed.len(), 5);
     for a in allowed {
         assert!(a.get("reason").and_then(Value::as_str).is_some(), "{a:?}");
     }
@@ -133,15 +133,77 @@ fn json_schema_is_stable() {
     };
     assert_eq!(unused.len(), 1);
     let summary = v.get("summary").expect("summary object");
-    assert_eq!(summary.get("total").and_then(Value::as_f64), Some(8.0));
+    assert_eq!(summary.get("total").and_then(Value::as_f64), Some(13.0));
     let by_rule = summary.get("by_rule").expect("by_rule object");
     assert_eq!(by_rule.get("D1").and_then(Value::as_f64), Some(3.0));
     assert_eq!(by_rule.get("P1").and_then(Value::as_f64), Some(2.0));
     assert_eq!(by_rule.get("U1").and_then(Value::as_f64), Some(2.0));
     assert_eq!(by_rule.get("F1").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(by_rule.get("R1").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(by_rule.get("R2").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(by_rule.get("R3").and_then(Value::as_f64), Some(2.0));
+    assert_eq!(by_rule.get("R4").and_then(Value::as_f64), Some(1.0));
     // The serialised text round-trips through the vendored parser.
     let parsed: Value = serde_json::from_str(&r.to_json()).expect("self-parse");
     assert_eq!(parsed.get("version").and_then(Value::as_f64), Some(1.0));
+}
+
+#[test]
+fn r1_reports_the_full_cross_crate_chain() {
+    let r = fixture_report();
+    let r1: Vec<_> = r.findings.iter().filter(|f| f.rule == "R1").collect();
+    assert_eq!(r1.len(), 1, "{r1:?}");
+    let f = r1[0];
+    // Pinned snapshot: the finding anchors at the panic site in crate B
+    // and the message walks the chain root-first with call sites.
+    assert_eq!(f.path, "crates/fixture_r1b/src/lib.rs");
+    assert_eq!(f.line, 7);
+    assert_eq!(
+        f.message,
+        "panic site (.unwrap()) reachable from request/experiment root: \
+         fixture_r1a::handle (crates/fixture_r1a/src/lib.rs:10) -> \
+         fixture_r1a::dispatch (crates/fixture_r1a/src/lib.rs:14) -> \
+         fixture_r1b::finish"
+    );
+}
+
+#[test]
+fn r2_flags_discarded_workspace_results() {
+    let r = fixture_report();
+    let r2: Vec<_> = r.findings.iter().filter(|f| f.rule == "R2").collect();
+    assert_eq!(r2.len(), 1, "{r2:?}");
+    assert!(r2[0].path.ends_with("fixture_r1a/src/lib.rs"), "{r2:?}");
+    assert!(r2[0].message.contains("`save`"), "{r2:?}");
+    assert!(r2[0].snippet.contains("let _ = save()"), "{r2:?}");
+}
+
+#[test]
+fn r3_reports_allocations_reached_from_the_tagged_fn() {
+    let r = fixture_report();
+    let r3: Vec<_> = r.findings.iter().filter(|f| f.rule == "R3").collect();
+    assert_eq!(r3.len(), 2, "{r3:?}");
+    // Both sites sit in the untagged transitive callee; the chain names
+    // the tagged root.
+    for f in &r3 {
+        assert!(f.path.ends_with("fixture_r1a/src/lib.rs"), "{f:?}");
+        assert!(f.message.contains("fixture_r1a::hot_entry"), "{f:?}");
+        assert!(f.message.contains("fixture_r1a::helper"), "{f:?}");
+    }
+    assert!(r3.iter().any(|f| f.message.contains("(Vec::new)")), "{r3:?}");
+    assert!(r3.iter().any(|f| f.message.contains("(.push())")), "{r3:?}");
+}
+
+#[test]
+fn r4_flags_bare_sums_and_tolerates_the_allowlisted_scan() {
+    let r = fixture_report();
+    let r4: Vec<_> = r.findings.iter().filter(|f| f.rule == "R4").collect();
+    assert_eq!(r4.len(), 1, "{r4:?}");
+    assert!(r4[0].message.contains("sum_stable"), "{r4:?}");
+    assert!(r4[0].snippet.contains(".sum::<f64>()"), "{r4:?}");
+    let allowed: Vec<_> = r.allowed.iter().filter(|a| a.finding.rule == "R4").collect();
+    assert_eq!(allowed.len(), 1, "{allowed:?}");
+    assert!(allowed[0].finding.snippet.contains("acc += v"), "{allowed:?}");
+    assert!(allowed[0].reason.contains("prefix scan"), "{allowed:?}");
 }
 
 #[test]

@@ -1,0 +1,12 @@
+#![forbid(unsafe_code)]
+//! Interprocedural-rule fixture, crate B: holds the panic site the R1
+//! root in `fixture_r1a` reaches cross-crate.
+
+/// The panic site at the end of the fixture chain.
+pub fn finish() {
+    step().unwrap();
+}
+
+fn step() -> Result<(), String> {
+    Ok(())
+}

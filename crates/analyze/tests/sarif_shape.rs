@@ -1,0 +1,125 @@
+//! Pins the SARIF output shape to the minimal subset GitHub's
+//! code-scanning upload action requires: `$schema`/`version`,
+//! `runs[].tool.driver.name`, per-rule metadata, `results[].message`,
+//! `results[].locations[].physicalLocation`, and `suppressions` on
+//! allowlisted findings. `sarif.rs` promises this test exists.
+
+use serde::Value;
+use tsda_analyze::docs::RULE_DOCS;
+use tsda_analyze::report::{AllowedFinding, Report};
+use tsda_analyze::rules::Finding;
+use tsda_analyze::sarif::to_sarif;
+
+/// Walk an object path, panicking with the missing key on a miss.
+fn at<'a>(v: &'a Value, path: &[&str]) -> &'a Value {
+    let mut cur = v;
+    for key in path {
+        cur = cur.get(key).unwrap_or_else(|| panic!("missing key {key:?} in {path:?}"));
+    }
+    cur
+}
+
+fn arr<'a>(v: &'a Value, path: &[&str]) -> &'a [Value] {
+    match at(v, path) {
+        Value::Array(items) => items,
+        other => panic!("{path:?} is not an array: {other:?}"),
+    }
+}
+
+fn str_at<'a>(v: &'a Value, path: &[&str]) -> &'a str {
+    at(v, path).as_str().unwrap_or_else(|| panic!("{path:?} is not a string"))
+}
+
+fn sample_report() -> Report {
+    Report {
+        findings: vec![Finding {
+            rule: "R1",
+            path: "crates/demo/src/lib.rs".into(),
+            line: 7,
+            message: "panic site reachable from serve::handle_line".into(),
+            snippet: "x.unwrap()".into(),
+        }],
+        allowed: vec![AllowedFinding {
+            finding: Finding {
+                rule: "R3",
+                path: "crates/demo/src/hot.rs".into(),
+                line: 3,
+                message: "allocation (vec!) on a hot path".into(),
+                snippet: "let v = vec![0.0; n];".into(),
+            },
+            reason: "output buffer, sized once per call".into(),
+        }],
+        unused_allow: Vec::new(),
+        timings: Vec::new(),
+    }
+}
+
+#[test]
+fn sarif_shape_is_pinned() {
+    let text = to_sarif(&sample_report());
+    let v: Value = serde_json::from_str(&text).expect("SARIF output is valid JSON");
+
+    assert_eq!(str_at(&v, &["version"]), "2.1.0");
+    assert!(str_at(&v, &["$schema"]).contains("sarif-schema-2.1.0"), "schema URI missing");
+
+    let runs = arr(&v, &["runs"]);
+    assert_eq!(runs.len(), 1, "exactly one run");
+    let driver = at(&runs[0], &["tool", "driver"]);
+    assert_eq!(str_at(driver, &["name"]), "tsda-analyze");
+
+    // Rule metadata renders from the shared docs table — all of it.
+    let rules = arr(driver, &["rules"]);
+    let ids: Vec<&str> = rules.iter().map(|r| str_at(r, &["id"])).collect();
+    assert_eq!(ids, RULE_DOCS.iter().map(|d| d.id).collect::<Vec<_>>());
+    for r in rules {
+        assert!(!str_at(r, &["shortDescription", "text"]).is_empty());
+        assert!(!str_at(r, &["help", "text"]).is_empty());
+    }
+
+    // Findings first, then allowlisted findings with suppressions.
+    let results = arr(&runs[0], &["results"]);
+    assert_eq!(results.len(), 2, "one finding + one allowlisted");
+
+    let hard = &results[0];
+    assert_eq!(str_at(hard, &["ruleId"]), "R1");
+    assert_eq!(str_at(hard, &["level"]), "error");
+    assert_eq!(
+        str_at(hard, &["message", "text"]),
+        "panic site reachable from serve::handle_line"
+    );
+    let loc = at(&arr(hard, &["locations"])[0], &["physicalLocation"]);
+    assert_eq!(str_at(loc, &["artifactLocation", "uri"]), "crates/demo/src/lib.rs");
+    assert_eq!(str_at(loc, &["artifactLocation", "uriBaseId"]), "%SRCROOT%");
+    assert_eq!(at(loc, &["region", "startLine"]).as_f64(), Some(7.0));
+    assert!(hard.get("suppressions").is_none(), "hard findings carry no suppression");
+
+    let soft = &results[1];
+    assert_eq!(str_at(soft, &["ruleId"]), "R3");
+    let sup = arr(soft, &["suppressions"]);
+    assert_eq!(str_at(&sup[0], &["kind"]), "external");
+    assert_eq!(str_at(&sup[0], &["justification"]), "output buffer, sized once per call");
+}
+
+#[test]
+fn real_tree_sarif_is_valid_and_fully_suppressed() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = tsda_analyze::analyze_with_default_config(&root).expect("analysis runs");
+    let v: Value =
+        serde_json::from_str(&to_sarif(&report)).expect("real-tree SARIF is valid JSON");
+    let results = arr(&v, &["runs"]);
+    let results = arr(&results[0], &["results"]);
+    assert_eq!(
+        results.len(),
+        report.findings.len() + report.allowed.len(),
+        "every finding (hard or allowlisted) appears exactly once"
+    );
+    for r in results {
+        let id = str_at(r, &["ruleId"]);
+        assert!(RULE_DOCS.iter().any(|d| d.id == id), "undocumented rule {id} in SARIF");
+        let loc = at(&arr(r, &["locations"])[0], &["physicalLocation"]);
+        assert!(str_at(loc, &["artifactLocation", "uri"]).starts_with("crates/"));
+    }
+}

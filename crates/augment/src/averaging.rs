@@ -127,7 +127,7 @@ impl Augmenter for WeightedDba {
             let mut weights: Vec<f64> = (0..k)
                 .map(|i| 0.5f64.powi(i as i32) * (0.5 + rng.gen::<f64>()))
                 .collect();
-            let total: f64 = weights.iter().sum();
+            let total: f64 = tsda_core::math::sum_stable(weights.iter().copied());
             for w in &mut weights {
                 *w /= total;
             }

@@ -395,7 +395,7 @@ impl SeriesTransform for TimeWarp {
         let increments: Vec<f64> = (0..k)
             .map(|_| (1.0 + normal(rng, 0.0, self.sigma)).max(0.1))
             .collect();
-        let total: f64 = increments.iter().sum();
+        let total: f64 = tsda_core::math::sum_stable(increments.iter().copied());
         let mut knot_pos = vec![0.0];
         let mut acc = 0.0;
         for v in &increments {

@@ -156,8 +156,10 @@ impl Augmenter for LatentSpaceAugmenter {
         let latent_std: Vec<f32> = (0..z_dim)
             .map(|k| {
                 let vals: Vec<f32> = (0..rows.len()).map(|i| codes.at2(i, k)).collect();
-                let m = vals.iter().sum::<f32>() / vals.len() as f32;
-                (vals.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / vals.len() as f32).sqrt()
+                let m = tsda_core::math::sum_stable(vals.iter().copied()) / vals.len() as f32;
+                (tsda_core::math::sum_stable(vals.iter().map(|v| (v - m) * (v - m)))
+                    / vals.len() as f32)
+                    .sqrt()
             })
             .collect();
 

@@ -51,13 +51,11 @@ struct HmmModel {
 
 impl HmmModel {
     fn log_emission(&self, state: usize, obs: &[f64]) -> f64 {
-        let mut lp = 0.0;
-        for (d, &x) in obs.iter().enumerate() {
+        tsda_core::math::sum_stable(obs.iter().enumerate().map(|(d, &x)| {
             let var = self.vars[state][d].max(1e-6);
             let diff = x - self.means[state][d];
-            lp += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
-        }
-        lp
+            -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var)
+        }))
     }
 }
 
@@ -81,19 +79,18 @@ fn forward_backward(model: &HmmModel, obs: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<V
     for s in 0..k {
         alpha[0][s] = model.pi[s] * b[0][s];
     }
-    scale[0] = alpha[0].iter().sum::<f64>().max(1e-300);
+    scale[0] = tsda_core::math::sum_stable(alpha[0].iter().copied()).max(1e-300);
     for v in &mut alpha[0] {
         *v /= scale[0];
     }
     for t in 1..t_len {
         for s in 0..k {
-            let mut acc = 0.0;
-            for (ap, trans_row) in alpha[t - 1].iter().zip(&model.trans) {
-                acc += ap * trans_row[s];
-            }
+            let acc = tsda_core::math::sum_stable(
+                alpha[t - 1].iter().zip(&model.trans).map(|(ap, trans_row)| ap * trans_row[s]),
+            );
             alpha[t][s] = acc * b[t][s];
         }
-        scale[t] = alpha[t].iter().sum::<f64>().max(1e-300);
+        scale[t] = tsda_core::math::sum_stable(alpha[t].iter().copied()).max(1e-300);
         for v in &mut alpha[t] {
             *v /= scale[t];
         }
@@ -101,35 +98,31 @@ fn forward_backward(model: &HmmModel, obs: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<V
     let mut beta = vec![vec![1.0; k]; t_len];
     for t in (0..t_len.saturating_sub(1)).rev() {
         for s in 0..k {
-            let mut acc = 0.0;
-            for n in 0..k {
-                acc += model.trans[s][n] * b[t + 1][n] * beta[t + 1][n];
-            }
+            let acc = tsda_core::math::sum_stable(
+                (0..k).map(|n| model.trans[s][n] * b[t + 1][n] * beta[t + 1][n]),
+            );
             beta[t][s] = acc / scale[t + 1];
         }
     }
     let mut gamma = vec![vec![0.0; k]; t_len];
     for t in 0..t_len {
-        let mut norm = 0.0;
         for s in 0..k {
             gamma[t][s] = alpha[t][s] * beta[t][s];
-            norm += gamma[t][s];
         }
+        let norm = tsda_core::math::sum_stable(gamma[t].iter().copied());
         for v in &mut gamma[t] {
             *v /= norm.max(1e-300);
         }
     }
     let mut xi_sum = vec![vec![0.0; k]; k];
     for t in 0..t_len.saturating_sub(1) {
-        let mut norm = 0.0;
         let mut local = vec![vec![0.0; k]; k];
         for s in 0..k {
             for n in 0..k {
-                let v = alpha[t][s] * model.trans[s][n] * b[t + 1][n] * beta[t + 1][n];
-                local[s][n] = v;
-                norm += v;
+                local[s][n] = alpha[t][s] * model.trans[s][n] * b[t + 1][n] * beta[t + 1][n];
             }
         }
+        let norm = tsda_core::math::sum_stable(local.iter().flat_map(|r| r.iter().copied()));
         for s in 0..k {
             for n in 0..k {
                 xi_sum[s][n] += local[s][n] / norm.max(1e-300);
@@ -174,12 +167,14 @@ impl GaussianHmm {
                     means
                         .iter()
                         .map(|m| {
-                            o.iter().zip(m).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+                            tsda_core::math::sum_stable(
+                                o.iter().zip(m).map(|(a, b)| (a - b) * (a - b)),
+                            )
                         })
                         .fold(f64::INFINITY, f64::min)
                 })
                 .collect();
-            let total: f64 = d2.iter().sum();
+            let total: f64 = tsda_core::math::sum_stable(d2.iter().copied());
             if total <= 0.0 {
                 means.push(all_obs[rng.gen_range(0..all_obs.len())].clone());
                 continue;
@@ -227,10 +222,10 @@ impl GaussianHmm {
                     }
                 }
             }
-            let pi_total: f64 = pi_acc.iter().sum();
+            let pi_total: f64 = tsda_core::math::sum_stable(pi_acc.iter().copied());
             for s in 0..k {
                 model.pi[s] = (pi_acc[s] / pi_total.max(1e-300)).max(1e-6);
-                let row_total: f64 = trans_acc[s].iter().sum();
+                let row_total: f64 = tsda_core::math::sum_stable(trans_acc[s].iter().copied());
                 for (tn, &ta) in model.trans[s].iter_mut().zip(&trans_acc[s]) {
                     *tn = ((ta + 1e-6) / (row_total + k as f64 * 1e-6)).max(1e-9);
                 }
@@ -248,7 +243,7 @@ impl GaussianHmm {
     fn sample(model: &HmmModel, len: usize, dims: usize, rng: &mut StdRng) -> Mts {
         let k = model.pi.len();
         let pick = |dist: &[f64], rng: &mut StdRng| {
-            let u: f64 = rng.gen::<f64>() * dist.iter().sum::<f64>();
+            let u: f64 = rng.gen::<f64>() * tsda_core::math::sum_stable(dist.iter().copied());
             let mut acc = 0.0;
             for (i, &p) in dist.iter().enumerate() {
                 acc += p;
@@ -374,12 +369,13 @@ impl Augmenter for AutoregressiveSampler {
                     let std = var.sqrt();
                     let mut dev: Vec<f64> = Vec::with_capacity(len);
                     for t in 0..len {
-                        let mut mu = 0.0;
-                        for (j, &c) in coef.iter().enumerate() {
-                            if t > j {
-                                mu += c * dev[t - 1 - j];
-                            }
-                        }
+                        let dev_ref = &dev;
+                        let mu = tsda_core::math::sum_stable(
+                            coef.iter()
+                                .enumerate()
+                                .filter(|&(j, _)| t > j)
+                                .map(move |(j, &c)| c * dev_ref[t - 1 - j]),
+                        );
                         dev.push(mu + normal(rng, 0.0, std));
                     }
                     dev.iter().zip(&mean[m]).map(|(d, mu)| mu + d).collect()

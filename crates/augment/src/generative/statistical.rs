@@ -88,8 +88,9 @@ impl Augmenter for KernelDensitySampler {
             .map(|m| {
                 let vals: Vec<f64> =
                     imputed.iter().flat_map(|s| s.dim(m).iter().copied()).collect();
-                let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-                (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64)
+                let mean = tsda_core::math::sum_stable(vals.iter().copied()) / vals.len() as f64;
+                (tsda_core::math::sum_stable(vals.iter().map(|v| (v - mean) * (v - mean)))
+                    / vals.len() as f64)
                     .sqrt()
             })
             .collect();
@@ -117,18 +118,16 @@ pub fn yule_walker(x: &[f64], order: usize) -> (Vec<f64>, f64) {
     let order = order.min(n.saturating_sub(1));
     if order == 0 || n < 2 {
         let var = if n > 0 {
-            let m = x.iter().sum::<f64>() / n as f64;
-            x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / n as f64
+            let m = tsda_core::math::sum_stable(x.iter().copied()) / n as f64;
+            tsda_core::math::sum_stable(x.iter().map(|v| (v - m) * (v - m))) / n as f64
         } else {
             0.0
         };
         return (Vec::new(), var);
     }
-    let mean = x.iter().sum::<f64>() / n as f64;
+    let mean = tsda_core::math::sum_stable(x.iter().copied()) / n as f64;
     let autocov = |lag: usize| -> f64 {
-        (0..n - lag)
-            .map(|t| (x[t] - mean) * (x[t + lag] - mean))
-            .sum::<f64>()
+        tsda_core::math::sum_stable((0..n - lag).map(|t| (x[t] - mean) * (x[t + lag] - mean)))
             / n as f64
     };
     let r: Vec<f64> = (0..=order).map(autocov).collect();
@@ -205,13 +204,14 @@ impl Augmenter for ArResidualSampler {
                     let std = var.sqrt();
                     let mut sim = Vec::with_capacity(len);
                     for t in 0..len {
-                        let mut v = normal(rng, 0.0, std);
-                        for (j, &c) in coef.iter().enumerate() {
-                            if t > j {
-                                v += c * sim[t - 1 - j];
-                            }
-                        }
-                        sim.push(v);
+                        let sim_ref = &sim;
+                        let ar = tsda_core::math::sum_stable(
+                            coef.iter()
+                                .enumerate()
+                                .filter(|&(j, _)| t > j)
+                                .map(move |(j, &c)| c * sim_ref[t - 1 - j]),
+                        );
+                        sim.push(normal(rng, 0.0, std) + ar);
                     }
                     sim.iter().zip(&mean[m]).map(|(r, mu)| mu + r).collect()
                 })

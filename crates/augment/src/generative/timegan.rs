@@ -250,18 +250,19 @@ fn supervised_loss(s_out: &Tensor, h: &Tensor) -> (f32, Tensor) {
         return (0.0, grad);
     }
     let count = (n * (t - 1) * k) as f32;
-    let mut loss = 0.0;
+    let mut sq = Vec::with_capacity(n * (t - 1) * k);
     for b in 0..n {
         for step in 0..t - 1 {
             for j in 0..k {
                 let pred = s_out.data()[(b * t + step) * k + j];
                 let target = h.data()[(b * t + step + 1) * k + j];
                 let d = pred - target;
-                loss += d * d;
+                sq.push(d * d);
                 grad.data_mut()[(b * t + step) * k + j] = 2.0 * d / count;
             }
         }
     }
+    let loss: f32 = tsda_core::math::sum_stable(sq.iter().copied());
     (loss / count, grad)
 }
 

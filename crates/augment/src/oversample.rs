@@ -233,7 +233,7 @@ impl Augmenter for Adasyn {
                 dists.iter().take(k_hard).filter(|(e, _)| *e).count() as f64 / k_hard as f64
             })
             .collect();
-        let total: f64 = weights.iter().sum();
+        let total: f64 = tsda_core::math::sum_stable(weights.iter().copied());
         if total <= 0.0 {
             // Perfectly separated class: uniform seeds (plain SMOTE).
             weights = vec![1.0; vecs.len()];

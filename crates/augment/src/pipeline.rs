@@ -94,7 +94,7 @@ impl Augmenter for RandomChoice {
         count: usize,
         rng: &mut StdRng,
     ) -> Result<Vec<Mts>, TsdaError> {
-        let total: f64 = self.pool.iter().map(|(w, _)| w).sum();
+        let total: f64 = tsda_core::math::sum_stable(self.pool.iter().map(|(w, _)| *w));
         let mut out = Vec::with_capacity(count);
         while out.len() < count {
             let mut u: f64 = rng.gen::<f64>() * total;

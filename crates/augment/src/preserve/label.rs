@@ -52,11 +52,10 @@ impl RangeNoise {
                     enemies
                         .iter()
                         .map(|e| {
-                            m.iter()
-                                .zip(e)
-                                .map(|(a, b)| (a - b) * (a - b))
-                                .sum::<f64>()
-                                .sqrt()
+                            tsda_core::math::sum_stable(
+                                m.iter().zip(e).map(|(a, b)| (a - b) * (a - b)),
+                            )
+                            .sqrt()
                         })
                         .fold(f64::INFINITY, f64::min)
                 })
@@ -100,7 +99,7 @@ impl Augmenter for RangeNoise {
             // Draw the noise, then hard-clip its norm at margin·radius so
             // no sample ever transgresses the boundary estimate.
             let mut noise: Vec<f64> = (0..dims * len).map(|_| sigma * standard_normal(rng)).collect();
-            let norm: f64 = noise.iter().map(|v| v * v).sum::<f64>().sqrt();
+            let norm: f64 = tsda_core::math::sum_stable(noise.iter().map(|v| v * v)).sqrt();
             let cap = self.margin * radius;
             if norm > cap && norm > 0.0 {
                 let scale = cap / norm;

@@ -47,11 +47,9 @@ fn drsnn_cluster(vectors: &[Vec<f64>], k: usize) -> Vec<usize> {
                 .map(|j| {
                     (
                         j,
-                        vectors[i]
-                            .iter()
-                            .zip(&vectors[j])
-                            .map(|(a, b)| (a - b) * (a - b))
-                            .sum::<f64>(),
+                        tsda_core::math::sum_stable(
+                            vectors[i].iter().zip(&vectors[j]).map(|(a, b)| (a - b) * (a - b)),
+                        ),
                     )
                 })
                 .collect();
@@ -121,11 +119,9 @@ fn sample_gaussian(
     let z: Vec<f64> = (0..d).map(|_| standard_normal(rng)).collect();
     let mut out = mean.to_vec();
     for i in 0..d {
-        let mut acc = 0.0;
-        for j in 0..=i {
-            acc += chol[(i, j)] * z[j];
-        }
-        out[i] += acc;
+        let chol = &chol;
+        let z = &z;
+        out[i] += tsda_core::math::sum_stable((0..=i).map(move |j| chol[(i, j)] * z[j]));
     }
     out
 }
@@ -181,7 +177,10 @@ impl Augmenter for Ohit {
                 &idx.iter().map(|&i| vectors[i].clone()).collect::<Vec<_>>(),
             );
             let mean: Vec<f64> = (0..d)
-                .map(|j| idx.iter().map(|&i| vectors[i][j]).sum::<f64>() / idx.len() as f64)
+                .map(|j| {
+                    tsda_core::math::sum_stable(idx.iter().map(|&i| vectors[i][j]))
+                        / idx.len() as f64
+                })
                 .collect();
             let shrunk = shrinkage_covariance(&mat);
             let (chol, _) = cholesky_jittered(&shrunk.covariance, 14).ok()?;
@@ -198,7 +197,7 @@ impl Augmenter for Ohit {
             weights.push(idx.len() as f64);
             models.push(build_model(&idx));
         }
-        let total: f64 = weights.iter().sum();
+        let total: f64 = tsda_core::math::sum_stable(weights.iter().copied());
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
             // Pick a cluster proportional to its size.
@@ -261,7 +260,9 @@ impl Augmenter for Inos {
         let d = vectors[0].len();
         let mat = Matrix::from_rows(&vectors);
         let mean: Vec<f64> = (0..d)
-            .map(|j| vectors.iter().map(|v| v[j]).sum::<f64>() / vectors.len() as f64)
+            .map(|j| {
+                tsda_core::math::sum_stable(vectors.iter().map(|v| v[j])) / vectors.len() as f64
+            })
             .collect();
         let shrunk = shrinkage_covariance(&mat);
         let (chol, _) = cholesky_jittered(&shrunk.covariance, 14)

@@ -18,16 +18,11 @@ pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
     if x.len() < 2 {
         return 0.0;
     }
-    let mx = x.iter().sum::<f64>() / n;
-    let my = y.iter().sum::<f64>() / n;
-    let mut sxy = 0.0;
-    let mut sxx = 0.0;
-    let mut syy = 0.0;
-    for (a, b) in x.iter().zip(y) {
-        sxy += (a - mx) * (b - my);
-        sxx += (a - mx) * (a - mx);
-        syy += (b - my) * (b - my);
-    }
+    let mx = tsda_core::math::sum_stable(x.iter().copied()) / n;
+    let my = tsda_core::math::sum_stable(y.iter().copied()) / n;
+    let sxy = tsda_core::math::sum_stable(x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)));
+    let sxx = tsda_core::math::sum_stable(x.iter().map(|a| (a - mx) * (a - mx)));
+    let syy = tsda_core::math::sum_stable(y.iter().map(|b| (b - my) * (b - my)));
     if sxx <= 0.0 || syy <= 0.0 {
         return 0.0;
     }

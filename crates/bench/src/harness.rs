@@ -179,7 +179,7 @@ pub fn run_dataset(
         log(&format!("  {} run {}/{} done", meta.name, run + 1, cfg.runs));
     }
 
-    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let mean = |v: &[f64]| tsda_core::math::sum_stable(v.iter().copied()) / v.len().max(1) as f64;
     let baseline = mean(&baseline_accs);
     let technique_acc: Vec<(String, f64)> = PaperTechnique::ALL
         .iter()

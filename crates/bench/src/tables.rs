@@ -79,7 +79,8 @@ pub fn accuracy_table(title: &str, model_label: &str, rows: &[GridResult]) -> St
         }
         out.push_str(&format!(" {:>14.2}\n", r.improvement_pct));
     }
-    let avg: f64 = rows.iter().map(|r| r.improvement_pct).sum::<f64>() / rows.len().max(1) as f64;
+    let avg: f64 = tsda_core::math::sum_stable(rows.iter().map(|r| r.improvement_pct))
+        / rows.len().max(1) as f64;
     out.push_str(&format!("{:<23} {:>9}", "Average Improvement", "-"));
     for _ in PaperTechnique::ALL {
         out.push_str(&format!(" {:>11}", "-"));

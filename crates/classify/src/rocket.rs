@@ -115,7 +115,7 @@ impl Kernel {
         let weights: Vec<Vec<f64>> = (0..n_sel)
             .map(|_| {
                 let mut w: Vec<f64> = (0..length).map(|_| standard_normal(rng)).collect();
-                let mean = w.iter().sum::<f64>() / length as f64;
+                let mean = tsda_core::math::sum_stable(w.iter().copied()) / length as f64;
                 for v in &mut w {
                     *v -= mean;
                 }

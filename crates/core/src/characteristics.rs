@@ -39,12 +39,10 @@ impl DatasetCharacteristics {
         let test = &data.test;
         let train_mean = train.mean_vector();
         let test_mean = test.mean_vector();
-        let d: f64 = train_mean
-            .iter()
-            .zip(&test_mean)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt();
+        let d: f64 = crate::math::sum_stable(
+            train_mean.iter().zip(&test_mean).map(|(a, b)| (a - b) * (a - b)),
+        )
+        .sqrt();
         let total_cells: usize = (train.len() + test.len())
             * train.n_dims().max(test.n_dims())
             * train.series_len().max(test.series_len());
@@ -81,7 +79,7 @@ pub fn multivariate_variance(ds: &Dataset) -> f64 {
     if ds.is_empty() || m == 0 || t == 0 {
         return 0.0;
     }
-    let mut total = 0.0;
+    let mut pos_vars = Vec::new();
     for dim in 0..m {
         for step in 0..t {
             let vals: Vec<f64> = ds
@@ -93,11 +91,14 @@ pub fn multivariate_variance(ds: &Dataset) -> f64 {
             if vals.len() < 2 {
                 continue;
             }
-            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-            total += vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+            let mean = crate::math::sum_stable(vals.iter().copied()) / vals.len() as f64;
+            pos_vars.push(
+                crate::math::sum_stable(vals.iter().map(|v| (v - mean) * (v - mean)))
+                    / vals.len() as f64,
+            );
         }
     }
-    total / (m * t) as f64
+    crate::math::sum_stable(pos_vars.iter().copied()) / (m * t) as f64
 }
 
 /// Hellinger distance between two discrete distributions.

@@ -27,6 +27,7 @@ pub mod characteristics;
 pub mod codec;
 pub mod dataset;
 pub mod error;
+pub mod math;
 pub mod metrics;
 pub mod parallel;
 pub mod preprocess;

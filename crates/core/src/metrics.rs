@@ -32,19 +32,20 @@ pub fn confusion_matrix(predicted: &[Label], actual: &[Label], n_classes: usize)
 /// archive's very imbalanced test sets).
 pub fn macro_f1(predicted: &[Label], actual: &[Label], n_classes: usize) -> f64 {
     let m = confusion_matrix(predicted, actual, n_classes);
-    let mut sum = 0.0;
     let mut used = 0usize;
-    for (c, row) in m.iter().enumerate() {
+    let sum = crate::math::sum_stable(m.iter().enumerate().filter_map(|(c, row)| {
         let tp = row[c] as f64;
-        let fn_: f64 = (0..n_classes).filter(|&j| j != c).map(|j| row[j] as f64).sum();
-        let fp: f64 = (0..n_classes).filter(|&i| i != c).map(|i| m[i][c] as f64).sum();
+        let fn_: f64 =
+            crate::math::sum_stable((0..n_classes).filter(|&j| j != c).map(|j| row[j] as f64));
+        let fp: f64 =
+            crate::math::sum_stable((0..n_classes).filter(|&i| i != c).map(|i| m[i][c] as f64));
         if tp + fn_ + fp == 0.0 {
-            continue;
+            return None;
         }
         used += 1;
         let denom = 2.0 * tp + fp + fn_;
-        sum += if denom > 0.0 { 2.0 * tp / denom } else { 0.0 };
-    }
+        Some(if denom > 0.0 { 2.0 * tp / denom } else { 0.0 })
+    }));
     if used == 0 {
         0.0
     } else {
@@ -70,7 +71,7 @@ pub fn mean_accuracy(runs: &[f64]) -> f64 {
     if runs.is_empty() {
         0.0
     } else {
-        runs.iter().sum::<f64>() / runs.len() as f64
+        crate::math::sum_stable(runs.iter().copied()) / runs.len() as f64
     }
 }
 

@@ -103,7 +103,7 @@ pub fn decimate_series(s: &Mts, target_len: usize) -> Mts {
             d.push(if vals.is_empty() {
                 f64::NAN
             } else {
-                vals.iter().sum::<f64>() / vals.len() as f64
+                crate::math::sum_stable(vals.iter().copied()) / vals.len() as f64
             });
         }
         dims.push(d);

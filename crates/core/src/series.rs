@@ -140,7 +140,7 @@ impl Mts {
         if vals.is_empty() {
             0.0
         } else {
-            vals.iter().sum::<f64>() / vals.len() as f64
+            crate::math::sum_stable(vals.iter().copied()) / vals.len() as f64
         }
     }
 
@@ -151,8 +151,10 @@ impl Mts {
         if vals.is_empty() {
             return 0.0;
         }
-        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-        (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64).sqrt()
+        let mean = crate::math::sum_stable(vals.iter().copied()) / vals.len() as f64;
+        (crate::math::sum_stable(vals.iter().map(|v| (v - mean) * (v - mean)))
+            / vals.len() as f64)
+            .sqrt()
     }
 
     /// Extract the sub-series covering time steps `[start, end)` in every
@@ -178,13 +180,14 @@ impl Mts {
     /// Panics on a shape mismatch.
     pub fn euclidean_distance(&self, other: &Mts) -> f64 {
         assert_eq!(self.shape(), other.shape(), "distance shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .filter(|(a, b)| !a.is_nan() && !b.is_nan())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        crate::math::sum_stable(
+            self.data
+                .iter()
+                .zip(&other.data)
+                .filter(|(a, b)| !a.is_nan() && !b.is_nan())
+                .map(|(a, b)| (a - b) * (a - b)),
+        )
+        .sqrt()
     }
 
     /// `(n_dims, len)`.

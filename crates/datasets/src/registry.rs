@@ -339,7 +339,7 @@ impl DatasetMeta {
                 w.push(0.5 * 0.75f64.powi((i - (k - m)) as i32));
             }
         }
-        let total: f64 = w.iter().sum();
+        let total: f64 = tsda_core::math::sum_stable(w.iter().copied());
         w.iter().map(|v| v / total).collect()
     }
 }

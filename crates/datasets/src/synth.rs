@@ -223,10 +223,9 @@ fn render_jittered(
                 (0..len)
                     .map(|t| {
                         let x = x_at(t);
-                        a.iter()
-                            .enumerate()
-                            .map(|(k, &av)| av * (std::f64::consts::PI * (k + 1) as f64 * x).cos())
-                            .sum()
+                        tsda_core::math::sum_stable(a.iter().enumerate().map(|(k, &av)| {
+                            av * (std::f64::consts::PI * (k + 1) as f64 * x).cos()
+                        }))
                     })
                     .collect()
             })

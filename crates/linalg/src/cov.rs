@@ -22,7 +22,7 @@ pub fn covariance_matrix(x: &Matrix) -> Matrix {
         return Matrix::zeros(p, p);
     }
     let mean: Vec<f64> = (0..p)
-        .map(|j| (0..n).map(|i| x[(i, j)]).sum::<f64>() / n as f64)
+        .map(|j| tsda_core::math::sum_stable((0..n).map(|i| x[(i, j)])) / n as f64)
         .collect();
     let centered = Matrix::from_fn(n, p, |i, j| x[(i, j)] - mean[j]);
     let mut cov = centered.gram();
@@ -63,32 +63,30 @@ pub fn shrinkage_covariance(x: &Matrix) -> ShrinkageCovariance {
     }
 
     let mean: Vec<f64> = (0..p)
-        .map(|j| (0..n).map(|i| x[(i, j)]).sum::<f64>() / n as f64)
+        .map(|j| tsda_core::math::sum_stable((0..n).map(|i| x[(i, j)])) / n as f64)
         .collect();
 
     // d² = ‖S − μI‖²_F
-    let mut d2 = 0.0;
-    for i in 0..p {
-        for j in 0..p {
+    let d2 = tsda_core::math::sum_stable((0..p).flat_map(|i| {
+        let s = &s;
+        (0..p).map(move |j| {
             let t = if i == j { s[(i, j)] - mu } else { s[(i, j)] };
-            d2 += t * t;
-        }
-    }
+            t * t
+        })
+    }));
 
     // b̄² = (1/n²) Σ_k ‖x_k x_kᵀ − S‖²_F  (capped at d²)
-    let mut b2 = 0.0;
-    for k in 0..n {
+    let b2 = tsda_core::math::sum_stable((0..n).map(|k| {
         let xk: Vec<f64> = (0..p).map(|j| x[(k, j)] - mean[j]).collect();
-        let mut fro = 0.0;
-        for i in 0..p {
-            for j in 0..p {
+        let s = &s;
+        tsda_core::math::sum_stable((0..p).flat_map(|i| {
+            let xk = &xk;
+            (0..p).map(move |j| {
                 let t = xk[i] * xk[j] - s[(i, j)];
-                fro += t * t;
-            }
-        }
-        b2 += fro;
-    }
-    b2 /= (n * n) as f64;
+                t * t
+            })
+        }))
+    })) / (n * n) as f64;
     let b2 = b2.min(d2);
 
     let intensity = if d2 > 0.0 { (b2 / d2).clamp(0.0, 1.0) } else { 1.0 };

@@ -39,12 +39,10 @@ impl SymmetricEig {
         // Cyclic Jacobi sweeps until all off-diagonal mass is negligible.
         let tol = 1e-14 * m.frobenius_norm().max(1e-300);
         for _sweep in 0..100 {
-            let mut off = 0.0;
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    off += m[(i, j)] * m[(i, j)];
-                }
-            }
+            let off = tsda_core::math::sum_stable((0..n).flat_map(|i| {
+                let m = &m;
+                ((i + 1)..n).map(move |j| m[(i, j)] * m[(i, j)])
+            }));
             if off.sqrt() <= tol {
                 break;
             }

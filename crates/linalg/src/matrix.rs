@@ -161,6 +161,10 @@ impl Matrix {
     /// # Panics
     /// Panics on an inner-dimension mismatch or when `out` is not
     /// `self.rows() × other.cols()`.
+    ///
+    /// Hot path (`tsda_analyze` R3): the allocation-free GEMM entry —
+    /// callers own the output buffer, the kernel only writes into it.
+    #[doc(alias = "tsda::hot")]
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
@@ -225,7 +229,9 @@ impl Matrix {
         let mut out = Matrix::zeros(n, n);
         for i in 0..n {
             for j in i..n {
-                let dot: f64 = self.row(i).iter().zip(self.row(j)).map(|(a, b)| a * b).sum();
+                let dot: f64 = tsda_core::math::sum_stable(
+                    self.row(i).iter().zip(self.row(j)).map(|(a, b)| a * b),
+                );
                 out[(i, j)] = dot;
                 out[(j, i)] = dot;
             }
@@ -250,7 +256,7 @@ impl Matrix {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+        tsda_core::math::sum_stable(self.data.iter().map(|v| v * v)).sqrt()
     }
 
     /// Maximum absolute entry; 0 for an empty matrix.

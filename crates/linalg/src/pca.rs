@@ -28,7 +28,7 @@ impl Pca {
         let p = x.cols();
         assert!(n > 0, "PCA on an empty matrix");
         let mean: Vec<f64> = (0..p)
-            .map(|j| (0..n).map(|i| x[(i, j)]).sum::<f64>() / n as f64)
+            .map(|j| tsda_core::math::sum_stable((0..n).map(|i| x[(i, j)])) / n as f64)
             .collect();
         let centered = Matrix::from_fn(n, p, |i, j| x[(i, j)] - mean[j]);
         let svd = Svd::new(&centered);
@@ -87,7 +87,7 @@ impl Pca {
         if total_variance <= 0.0 {
             return 0.0;
         }
-        self.explained_variance.iter().sum::<f64>() / total_variance
+        tsda_core::math::sum_stable(self.explained_variance.iter().copied()) / total_variance
     }
 }
 

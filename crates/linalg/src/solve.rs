@@ -106,10 +106,10 @@ impl RidgeLoocv {
 
         // Centre features and targets.
         let x_mean: Vec<f64> = (0..p)
-            .map(|j| (0..n).map(|i| x[(i, j)]).sum::<f64>() / n as f64)
+            .map(|j| tsda_core::math::sum_stable((0..n).map(|i| x[(i, j)])) / n as f64)
             .collect();
         let y_mean: Vec<f64> = (0..k)
-            .map(|j| (0..n).map(|i| y[(i, j)]).sum::<f64>() / n as f64)
+            .map(|j| tsda_core::math::sum_stable((0..n).map(|i| y[(i, j)])) / n as f64)
             .collect();
         let xc = Matrix::from_fn(n, p, |i, j| x[(i, j)] - x_mean[j]);
         let yc = Matrix::from_fn(n, k, |i, j| y[(i, j)] - y_mean[j]);
@@ -124,11 +124,9 @@ impl RidgeLoocv {
         let intercepts: Vec<f64> = (0..k)
             .map(|j| {
                 y_mean[j]
-                    - x_mean
-                        .iter()
-                        .enumerate()
-                        .map(|(f, &xm)| xm * weights[(f, j)])
-                        .sum::<f64>()
+                    - tsda_core::math::sum_stable(
+                        x_mean.iter().enumerate().map(|(f, &xm)| xm * weights[(f, j)]),
+                    )
             })
             .collect();
 
@@ -152,19 +150,19 @@ impl RidgeLoocv {
             let preds = xc.matmul(&w); // n × k
             // Hat diagonal hᵢ = 1/n + xᵢ G xᵢᵀ (the 1/n term is the
             // leverage of the intercept, realised here by centring).
-            let mut sse = 0.0;
+            let mut sq = Vec::with_capacity(n * k);
             for i in 0..n {
                 let xi = xc.row(i);
                 let gxi = g.matvec(xi);
-                let h: f64 =
-                    1.0 / n as f64 + xi.iter().zip(&gxi).map(|(a, b)| a * b).sum::<f64>();
+                let h: f64 = 1.0 / n as f64
+                    + tsda_core::math::sum_stable(xi.iter().zip(&gxi).map(|(a, b)| a * b));
                 let denom = (1.0 - h).max(1e-10);
                 for j in 0..k {
                     let resid = (yc[(i, j)] - preds[(i, j)]) / denom;
-                    sse += resid * resid;
+                    sq.push(resid * resid);
                 }
             }
-            let mse = sse / (n * k) as f64;
+            let mse = tsda_core::math::sum_stable(sq.iter().copied()) / (n * k) as f64;
             if best.as_ref().is_none_or(|(m, _, _)| mse < *m) {
                 best = Some((mse, w, alpha));
             }
@@ -197,15 +195,15 @@ impl RidgeLoocv {
         for &alpha in &self.alphas {
             let g = eig.reconstruct(|l| 1.0 / (l.max(0.0) + alpha));
             let c = g.matmul(yc); // n × k dual coefficients
-            let mut sse = 0.0;
+            let mut sq = Vec::with_capacity(n * k);
             for i in 0..n {
                 let gii = g[(i, i)].max(1e-12);
                 for j in 0..k {
                     let resid = c[(i, j)] / gii;
-                    sse += resid * resid;
+                    sq.push(resid * resid);
                 }
             }
-            let mse = sse / (n * k) as f64;
+            let mse = tsda_core::math::sum_stable(sq.iter().copied()) / (n * k) as f64;
             if best.as_ref().is_none_or(|(m, _, _)| mse < *m) {
                 best = Some((mse, c, alpha));
             }

@@ -86,7 +86,7 @@ impl Svd {
 
         // Column norms are the singular values; normalise U's columns.
         let mut sigma: Vec<f64> = (0..n)
-            .map(|j| (0..m).map(|i| u[(i, j)] * u[(i, j)]).sum::<f64>().sqrt())
+            .map(|j| tsda_core::math::sum_stable((0..m).map(|i| u[(i, j)] * u[(i, j)])).sqrt())
             .collect();
         for j in 0..n {
             if sigma[j] > 1e-300 {

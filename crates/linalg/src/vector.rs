@@ -17,11 +17,7 @@ pub fn norm(a: &[f64]) -> f64 {
 /// Euclidean distance between two equal-length slices.
 pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "distance length mismatch");
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt()
+    tsda_core::math::sum_stable(a.iter().zip(b).map(|(x, y)| (x - y) * (x - y))).sqrt()
 }
 
 /// Squared Euclidean distance (avoids the sqrt when only ordering matters).
@@ -35,7 +31,7 @@ pub fn mean(a: &[f64]) -> f64 {
     if a.is_empty() {
         0.0
     } else {
-        a.iter().sum::<f64>() / a.len() as f64
+        tsda_core::math::sum_stable(a.iter().copied()) / a.len() as f64
     }
 }
 
@@ -45,7 +41,7 @@ pub fn variance(a: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(a);
-    a.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / a.len() as f64
+    tsda_core::math::sum_stable(a.iter().map(|v| (v - m) * (v - m))) / a.len() as f64
 }
 
 /// Population standard deviation.

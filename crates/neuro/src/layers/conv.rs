@@ -146,6 +146,9 @@ impl Conv1d {
 }
 
 impl Layer for Conv1d {
+    // Hot path (`tsda_analyze` R3): the per-batch im2col scratch and
+    // output tensor are the only tolerated (allowlisted) allocations.
+    #[doc(alias = "tsda::hot")]
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
         assert_eq!(x.shape().len(), 3, "Conv1d expects [batch, ch, time]");
         assert_eq!(x.shape()[1], self.in_ch, "Conv1d channel mismatch");

@@ -126,7 +126,8 @@ pub mod gradcheck {
         let seed: Vec<f32> = (0..out.len())
             .map(|i| ((i * 2654435761) % 17) as f32 / 8.0 - 1.0)
             .collect();
-        let loss: f32 = out.data().iter().zip(&seed).map(|(a, b)| a * b).sum();
+        let loss: f32 =
+            tsda_core::math::sum_stable(out.data().iter().zip(&seed).map(|(a, b)| a * b));
         (loss, Tensor::from_flat(out.shape(), seed))
     }
 

@@ -14,20 +14,21 @@ pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor
     let c = logits.shape()[1];
     assert_eq!(targets.len(), n, "target count mismatch");
     let mut grad = Tensor::zeros(&[n, c]);
-    let mut loss = 0.0f32;
+    let mut row_losses = Vec::with_capacity(n);
     for (i, &t) in targets.iter().enumerate() {
         let row = &logits.data()[i * c..(i + 1) * c];
         assert!(t < c, "target {t} out of range for {c} classes");
         let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
         let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
-        let sum: f32 = exps.iter().sum();
-        loss += sum.ln() + max - row[t];
+        let sum: f32 = tsda_core::math::sum_stable(exps.iter().copied());
+        row_losses.push(sum.ln() + max - row[t]);
         let grow = &mut grad.data_mut()[i * c..(i + 1) * c];
         for (j, g) in grow.iter_mut().enumerate() {
             let p = exps[j] / sum;
             *g = (p - if j == t { 1.0 } else { 0.0 }) / n as f32;
         }
     }
+    let loss: f32 = tsda_core::math::sum_stable(row_losses.iter().copied());
     (loss / n as f32, grad)
 }
 
@@ -39,11 +40,10 @@ pub fn softmax(logits: &Tensor) -> Tensor {
     for i in 0..n {
         let row = &mut out.data_mut()[i * c..(i + 1) * c];
         let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
-        let mut sum = 0.0;
         for v in row.iter_mut() {
             *v = (*v - max).exp();
-            sum += *v;
         }
+        let sum: f32 = tsda_core::math::sum_stable(row.iter().copied());
         for v in row.iter_mut() {
             *v /= sum;
         }
@@ -56,12 +56,13 @@ pub fn mse_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
     assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
     let n = pred.len() as f32;
     let mut grad = pred.clone();
-    let mut loss = 0.0;
+    let mut sq = Vec::with_capacity(pred.len());
     for (g, &t) in grad.data_mut().iter_mut().zip(target.data()) {
         let d = *g - t;
-        loss += d * d;
+        sq.push(d * d);
         *g = 2.0 * d / n;
     }
+    let loss: f32 = tsda_core::math::sum_stable(sq.iter().copied());
     (loss / n, grad)
 }
 
@@ -72,14 +73,15 @@ pub fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> (f32, Tensor) {
     assert_eq!(logits.shape(), targets.shape(), "bce shape mismatch");
     let n = logits.len() as f32;
     let mut grad = logits.clone();
-    let mut loss = 0.0;
+    let mut terms = Vec::with_capacity(logits.len());
     for (g, &t) in grad.data_mut().iter_mut().zip(targets.data()) {
         let x = *g;
         // loss = max(x,0) − x·t + ln(1 + e^{−|x|})
-        loss += x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln();
+        terms.push(x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln());
         let sig = 1.0 / (1.0 + (-x).exp());
         *g = (sig - t) / n;
     }
+    let loss: f32 = tsda_core::math::sum_stable(terms.iter().copied());
     (loss / n, grad)
 }
 

@@ -54,7 +54,7 @@ pub fn valley_lr(lrs: &[f32], losses: &[f32]) -> f32 {
         let arg = losses
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
         return lrs[arg];

@@ -73,13 +73,11 @@ impl Adam {
         self.t += 1;
         // Optional clipping needs the global norm first.
         let scale = if let Some(clip) = self.clip_norm {
-            let mut sq = 0.0f64;
+            let mut sq_terms: Vec<f64> = Vec::new();
             layer.visit_params(&mut |_, g| {
-                for &v in g.iter() {
-                    sq += (v as f64) * (v as f64);
-                }
+                sq_terms.extend(g.iter().map(|&v| (v as f64) * (v as f64)));
             });
-            let norm = sq.sqrt() as f32;
+            let norm = tsda_core::math::sum_stable(sq_terms.iter().copied()).sqrt() as f32;
             if norm > clip && norm > 0.0 {
                 clip / norm
             } else {

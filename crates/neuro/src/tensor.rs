@@ -129,7 +129,7 @@ impl Tensor {
         if self.data.is_empty() {
             0.0
         } else {
-            self.data.iter().sum::<f32>() / self.data.len() as f32
+            tsda_core::math::sum_stable(self.data.iter().copied()) / self.data.len() as f32
         }
     }
 

@@ -72,7 +72,7 @@ pub fn predict_classes<L: Layer + ?Sized>(model: &mut L, x: &Tensor) -> Vec<usiz
             let row = &probs.data()[i * c..(i + 1) * c];
             row.iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(j, _)| j)
                 .unwrap_or(0)
         })
@@ -117,8 +117,7 @@ pub fn train_classifier<L: Layer + ?Sized, R: Rng>(
     for _epoch in 0..cfg.max_epochs {
         epochs_run += 1;
         order.shuffle(rng);
-        let mut epoch_loss = 0.0f32;
-        let mut batches = 0usize;
+        let mut batch_losses = Vec::new();
         for chunk in order.chunks(cfg.batch_size.max(1)) {
             let xb = x_train.select_rows(chunk);
             let yb: Vec<usize> = chunk.iter().map(|&i| y_train[i]).collect();
@@ -127,9 +126,10 @@ pub fn train_classifier<L: Layer + ?Sized, R: Rng>(
             model.zero_grad();
             let _ = model.backward(&grad);
             opt.step(model);
-            epoch_loss += loss;
-            batches += 1;
+            batch_losses.push(loss);
         }
+        let epoch_loss: f32 = tsda_core::math::sum_stable(batch_losses.iter().copied());
+        let batches = batch_losses.len();
         let val_acc = if y_val.is_empty() {
             // No validation data: track training loss instead (lower is
             // better → negate so "greater is better" logic still works).

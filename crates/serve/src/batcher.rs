@@ -149,6 +149,10 @@ impl Batcher {
     /// Queue one validated series for the named model. Returns a
     /// receiver the caller blocks on for the reply, or a [`SubmitError`]
     /// explaining the refusal (unknown model, full queue, shutdown).
+    ///
+    /// Hot path: runs once per request on the connection thread, so
+    /// `tsda_analyze` R3 keeps allocations out of it and its callees.
+    #[doc(alias = "tsda::hot")]
     pub fn submit(&self, model: &str, series: Mts) -> Result<Receiver<BatchReply>, SubmitError> {
         let queue = self.queues.get(model).ok_or(SubmitError::UnknownModel)?;
         if let Some(plan) = self.faults.as_deref() {

@@ -98,6 +98,10 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, String)> {
 }
 
 /// Decode a predict payload into a series.
+///
+/// Hot path (`tsda_analyze` R3): runs once per predict request; the
+/// decoded series buffer is the one allowlisted allocation.
+#[doc(alias = "tsda::hot")]
 pub fn decode_series(series: &str) -> Result<Mts, TsdaError> {
     parse_series_line(series)
 }

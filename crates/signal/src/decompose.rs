@@ -39,7 +39,7 @@ pub fn moving_average(x: &[f64], w: usize) -> Vec<f64> {
             let lo = i.saturating_sub(half);
             let hi = (i + half + 1).min(n);
             let seg = &x[lo..hi];
-            seg.iter().sum::<f64>() / seg.len() as f64
+            tsda_core::math::sum_stable(seg.iter().copied()) / seg.len() as f64
         })
         .collect()
 }
@@ -70,7 +70,7 @@ pub fn decompose_additive(x: &[f64], trend_window: usize, period: Option<usize>)
                 .zip(&phase_count)
                 .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
                 .collect();
-            let grand = phase_mean.iter().sum::<f64>() / p as f64;
+            let grand = tsda_core::math::sum_stable(phase_mean.iter().copied()) / p as f64;
             for v in &mut phase_mean {
                 *v -= grand;
             }

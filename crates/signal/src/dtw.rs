@@ -65,10 +65,10 @@ pub fn dtw_path(a: &Mts, b: &Mts, opts: DtwOptions) -> (f64, Vec<(usize, usize)>
             .iter()
             .copied()
             .filter(|&(x, y)| x < n && y < m && (x, y) != (i, j))
-            .min_by(|&(x1, y1), &(x2, y2)| {
-                cost[x1 * m + y1].partial_cmp(&cost[x2 * m + y2]).unwrap()
-            })
-            .expect("cell (0,0) is always reachable");
+            .min_by(|&(x1, y1), &(x2, y2)| cost[x1 * m + y1].total_cmp(&cost[x2 * m + y2]))
+            // At least one predecessor exists whenever i > 0 || j > 0;
+            // the origin fallback keeps the walk total (and terminates it).
+            .unwrap_or((0, 0));
         i = bi;
         j = bj;
         path.push((i, j));

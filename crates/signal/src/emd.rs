@@ -112,9 +112,11 @@ fn envelope(x: &[f64], idx: &[usize]) -> Option<Vec<f64>> {
         xs.push(i as f64);
         ys.push(x[i]);
     }
-    if *idx.last().unwrap() != n - 1 {
-        xs.push((n - 1) as f64);
-        ys.push(x[*idx.last().unwrap()]);
+    if let Some(&last) = idx.last() {
+        if last != n - 1 {
+            xs.push((n - 1) as f64);
+            ys.push(x[last]); // mirror boundary: reuse last extremum value
+        }
     }
     let spline = CubicSpline::fit(&xs, &ys);
     Some((0..n).map(|i| spline.eval(i as f64)).collect())
@@ -139,15 +141,17 @@ pub fn emd(signal: &[f64], opts: EmdOptions) -> Emd {
             else {
                 break;
             };
-            let mut sd_num = 0.0;
-            let mut sd_den = 0.0;
+            let mut num_terms = Vec::with_capacity(n);
+            let mut den_terms = Vec::with_capacity(n);
             for i in 0..n {
                 let mean = 0.5 * (upper[i] + lower[i]);
                 let new = h[i] - mean;
-                sd_num += (h[i] - new) * (h[i] - new);
-                sd_den += h[i] * h[i] + 1e-12;
+                num_terms.push((h[i] - new) * (h[i] - new));
+                den_terms.push(h[i] * h[i] + 1e-12);
                 h[i] = new;
             }
+            let sd_num = tsda_core::math::sum_stable(num_terms.iter().copied());
+            let sd_den = tsda_core::math::sum_stable(den_terms.iter().copied());
             if sd_num / sd_den < opts.sd_threshold * opts.sd_threshold {
                 break;
             }
