@@ -154,15 +154,15 @@ impl CallGraph {
         let mut parent: BTreeMap<FnId, Option<(FnId, usize)>> = BTreeMap::new();
         let mut queue: VecDeque<FnId> = VecDeque::new();
         for &r in roots {
-            if !parent.contains_key(&r) {
-                parent.insert(r, None);
+            if let std::collections::btree_map::Entry::Vacant(v) = parent.entry(r) {
+                v.insert(None);
                 queue.push_back(r);
             }
         }
         while let Some(at) = queue.pop_front() {
             for e in &self.edges[at] {
-                if !parent.contains_key(&e.to) {
-                    parent.insert(e.to, Some((at, e.call_idx)));
+                if let std::collections::btree_map::Entry::Vacant(v) = parent.entry(e.to) {
+                    v.insert(Some((at, e.call_idx)));
                     queue.push_back(e.to);
                 }
             }

@@ -141,7 +141,7 @@ fn check_r1(
         roots.extend(matched);
     }
     let parents = graph.reach_with_parents(&roots);
-    for (&id, _) in &parents {
+    for &id in parents.keys() {
         let f = &graph.fns[id];
         if f.in_test {
             continue;
@@ -298,7 +298,7 @@ fn check_r3(files: &[SourceFile], graph: &CallGraph, findings: &mut Vec<Finding>
         return;
     }
     let parents = graph.reach_with_parents(&roots);
-    for (&id, _) in &parents {
+    for &id in parents.keys() {
         let f = &graph.fns[id];
         if f.in_test {
             continue;

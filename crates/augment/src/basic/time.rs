@@ -14,8 +14,21 @@ use rand::Rng;
 use tsda_core::preprocess::impute_linear;
 use tsda_core::rng::normal;
 use tsda_core::{Dataset, Label, Mts, TsdaError};
+use tsda_linalg::simd;
 use tsda_signal::dtw::{dtw_path, DtwOptions};
 use tsda_signal::interp::{lerp_at, resample_linear, CubicSpline};
+
+/// Draw one `N(0, std²)` value per *observed* position of `dim` into a
+/// dense buffer (0.0 at missing positions, which the masked add skips).
+///
+/// Sampling only at observed positions consumes the RNG stream exactly
+/// like the former per-element `if !v.is_nan() { *v += normal(..) }`
+/// loop, so seeded outputs are unchanged.
+fn noise_row(rng: &mut StdRng, dim: &[f64], std: f64) -> Vec<f64> {
+    dim.iter()
+        .map(|v| if v.is_nan() { 0.0 } else { normal(rng, 0.0, std) })
+        .collect()
+}
 
 /// The paper's noise injection (Eq. 6): adds `N(0, (l·std_j)²)` to every
 /// observed value of dimension `j`, where `std_j` is the standard
@@ -43,11 +56,8 @@ impl SeriesTransform for NoiseInjection {
         let mut out = series.clone();
         for m in 0..series.n_dims() {
             let std = series.dim_std(m);
-            for v in out.dim_mut(m) {
-                if !v.is_nan() {
-                    *v += normal(rng, 0.0, self.level * std);
-                }
-            }
+            let noise = noise_row(rng, series.dim(m), self.level * std);
+            simd::add_masked_f64(out.dim_mut(m), &noise);
         }
         out
     }
@@ -76,11 +86,7 @@ impl SeriesTransform for Scaling {
         let mut out = series.clone();
         for m in 0..series.n_dims() {
             let factor = 1.0 + normal(rng, 0.0, self.sigma);
-            for v in out.dim_mut(m) {
-                if !v.is_nan() {
-                    *v *= factor;
-                }
-            }
+            simd::scale_masked_f64(out.dim_mut(m), factor);
         }
         out
     }
@@ -151,11 +157,8 @@ impl SeriesTransform for Jitter {
     fn transform(&self, series: &Mts, rng: &mut StdRng) -> Mts {
         let mut out = series.clone();
         for m in 0..series.n_dims() {
-            for v in out.dim_mut(m) {
-                if !v.is_nan() {
-                    *v += normal(rng, 0.0, self.sigma);
-                }
-            }
+            let noise = noise_row(rng, series.dim(m), self.sigma);
+            simd::add_masked_f64(out.dim_mut(m), &noise);
         }
         out
     }

@@ -1,31 +1,49 @@
-//! Performance baseline for the parallel compute layer: times the hot
-//! paths the GEMM/pool rework targets, at CI scale, and writes
-//! `BENCH_perf.json` (op, size, ns/iter, threads) plus the headline
-//! speedups of the lowered kernels over the retained reference
-//! implementations.
+//! Performance baseline — and regression contract — for the compute
+//! layer: times the hot paths the SIMD/GEMM rework targets, at CI
+//! scale, and writes `BENCH_perf.json` (op, size, ns/iter, threads)
+//! plus the headline speedups of the lowered kernels over the retained
+//! reference implementations.
 //!
 //! ```text
+//! # measure and write BENCH_perf.json
 //! cargo run --release -p tsda-bench --bin perf_baseline [--out BENCH_perf.json]
+//!
+//! # measure and fail (exit 1) on regression vs the committed baseline
+//! cargo run --release -p tsda-bench --bin perf_baseline -- \
+//!     --check [--baseline BENCH_perf.baseline.json] [--tolerance-pct 25]
+//!
+//! # refresh the committed baseline after an intentional perf change
+//! cargo run --release -p tsda-bench --bin perf_baseline -- --write-baseline
 //! ```
 //!
-//! Thread count comes from the usual knob (`TSDA_THREADS`, default:
-//! available parallelism); the speedup figures compare the GEMM-lowered
-//! kernels against the scalar seed implementations on the same machine
-//! in the same process.
+//! Rows are measured in two passes pinned through
+//! [`ThreadLimit::set`]: every op at 1 thread, then the
+//! parallel-sensitive ops again at 4 threads, so the contract covers
+//! both the kernel and the pool-scaling regressions. `--check` keys
+//! rows by `(op, size, threads)` and fails when a current row exceeds
+//! its baseline by more than the tolerance *or* when the row sets
+//! drift apart (a missing row means the contract silently stopped
+//! covering something — refresh with `--write-baseline`).
+//!
+//! Timings are best-of-3 in-process; the tolerance absorbs machine
+//! noise, not algorithmic regressions. CI runs with a generous
+//! tolerance (see `.github/workflows/ci.yml`).
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
+use tsda_augment::basic::time::Scaling;
+use tsda_augment::SeriesTransform;
 use tsda_classify::rocket::{Rocket, RocketConfig};
 use tsda_classify::{dtw_distance_matrix, Classifier};
-use tsda_core::parallel::num_threads;
+use tsda_core::parallel::ThreadLimit;
 use tsda_core::rng::{normal, seeded};
 use tsda_core::{Dataset, Mts};
-use tsda_linalg::Matrix;
-use tsda_neuro::layers::{Conv1d, Layer};
+use tsda_linalg::{simd, Matrix};
+use tsda_neuro::layers::{BatchNorm1d, Conv1d, Layer};
 use tsda_neuro::tensor::Tensor;
 use tsda_signal::dtw::DtwOptions;
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct Row {
     op: String,
     size: String,
@@ -33,15 +51,17 @@ struct Row {
     threads: usize,
 }
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct Speedups {
     conv1d_forward: f64,
     matmul_256: f64,
 }
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct Report {
     threads: usize,
+    #[serde(default)]
+    simd_level: String,
     rows: Vec<Row>,
     speedup: Speedups,
 }
@@ -86,16 +106,15 @@ fn random_dataset(n: usize, dims: usize, len: usize, seed: u64) -> Dataset {
     ds
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_perf.json".to_string());
-    let threads = num_threads();
-    let mut rows = Vec::new();
-    let push = |rows: &mut Vec<Row>, op: &str, size: &str, ns: f64| {
+/// One measurement pass at a pinned worker count. The `full` pass adds
+/// the reference implementations and the serial micro-ops (pooling,
+/// batch-norm, augment) whose timings are thread-independent; the
+/// scaling pass repeats only the pool-parallel ops. Returns
+/// `(conv_fwd_gemm, conv_fwd_ref, mm_tiled, mm_naive)` from the full
+/// pass for the headline speedups.
+fn bench_pass(threads: usize, full: bool, rows: &mut Vec<Row>) -> (f64, f64, f64, f64) {
+    ThreadLimit::set(threads);
+    let mut push = |op: &str, size: &str, ns: f64| {
         println!("{op:<28} {size:<24} {ns:>14.0} ns/iter  ({threads} threads)");
         rows.push(Row { op: op.to_string(), size: size.to_string(), ns_per_iter: ns, threads });
     };
@@ -108,17 +127,20 @@ fn main() {
     let fwd_gemm = time_ns(|| {
         std::hint::black_box(conv.forward(&x, true));
     });
-    push(&mut rows, "conv1d_forward_gemm", conv_size, fwd_gemm);
-    let fwd_ref = time_ns(|| {
-        std::hint::black_box(conv.forward_reference(&x));
-    });
-    push(&mut rows, "conv1d_forward_reference", conv_size, fwd_ref);
-    let gout = random_tensor(&[16, 16, 128], 13);
-    conv.forward(&x, true);
-    let bwd_gemm = time_ns(|| {
-        std::hint::black_box(conv.backward(&gout));
-    });
-    push(&mut rows, "conv1d_backward_gemm", conv_size, bwd_gemm);
+    push("conv1d_forward_gemm", conv_size, fwd_gemm);
+    let mut fwd_ref = f64::NAN;
+    if full {
+        fwd_ref = time_ns(|| {
+            std::hint::black_box(conv.forward_reference(&x));
+        });
+        push("conv1d_forward_reference", conv_size, fwd_ref);
+        let gout = random_tensor(&[16, 16, 128], 13);
+        conv.forward(&x, true);
+        let bwd_gemm = time_ns(|| {
+            std::hint::black_box(conv.backward(&gout));
+        });
+        push("conv1d_backward_gemm", conv_size, bwd_gemm);
+    }
 
     // Dense matmul, tiled-parallel vs the seed triple loop.
     let a = Matrix::from_vec(256, 256, {
@@ -132,11 +154,14 @@ fn main() {
     let mm_tiled = time_ns(|| {
         std::hint::black_box(a.matmul(&b));
     });
-    push(&mut rows, "matmul_tiled", "256x256x256", mm_tiled);
-    let mm_naive = time_ns(|| {
-        std::hint::black_box(a.matmul_naive(&b));
-    });
-    push(&mut rows, "matmul_naive", "256x256x256", mm_naive);
+    push("matmul_tiled", "256x256x256", mm_tiled);
+    let mut mm_naive = f64::NAN;
+    if full {
+        mm_naive = time_ns(|| {
+            std::hint::black_box(a.matmul_naive(&b));
+        });
+        push("matmul_naive", "256x256x256", mm_naive);
+    }
 
     // ROCKET transform at the CI profile's scale.
     let ds = random_dataset(32, 3, 128, 16);
@@ -145,7 +170,7 @@ fn main() {
     let rocket_ns = time_ns(|| {
         std::hint::black_box(rocket.transform(&ds));
     });
-    push(&mut rows, "rocket_transform", "32 series x 300 kernels", rocket_ns);
+    push("rocket_transform", "32 series x 300 kernels", rocket_ns);
 
     // Pairwise banded DTW distance matrix.
     let queries = random_dataset(40, 2, 64, 18);
@@ -156,10 +181,110 @@ fn main() {
             DtwOptions { band_fraction: Some(0.1) },
         ));
     });
-    push(&mut rows, "dtw_matrix", "40x40 len 64 band 0.1", dtw_ns);
+    push("dtw_matrix", "40x40 len 64 band 0.1", dtw_ns);
+
+    if full {
+        // ROCKET's pooling kernel in isolation (PPV + max over a conv
+        // output buffer) — separates pooling regressions from the
+        // convolution accumulation above.
+        let buf: Vec<f64> = {
+            let mut rng = seeded(19);
+            (0..8192).map(|_| normal(&mut rng, 0.0, 1.0)).collect()
+        };
+        let pool_ns = time_ns(|| {
+            std::hint::black_box(simd::ppv_max_f64(&buf));
+        });
+        push("rocket_pooling", "len 8192", pool_ns);
+
+        // Batch-norm training forward (stats + normalise + affine).
+        let mut bn = BatchNorm1d::new(16);
+        let bx = random_tensor(&[16, 16, 128], 20);
+        let bn_ns = time_ns(|| {
+            std::hint::black_box(bn.forward(&bx, true));
+        });
+        push("batchnorm_forward", "b16 c16 t128", bn_ns);
+
+        // One per-element augment transform (NaN-masked scaling).
+        let series = random_dataset(1, 3, 4096, 21).series()[0].clone();
+        let scaler = Scaling { sigma: 0.1 };
+        let mut aug_rng = seeded(22);
+        let aug_ns = time_ns(|| {
+            std::hint::black_box(scaler.transform(&series, &mut aug_rng));
+        });
+        push("aug_scaling", "3 dims x 4096", aug_ns);
+    }
+
+    (fwd_gemm, fwd_ref, mm_tiled, mm_naive)
+}
+
+/// Compare `current` against `baseline`, keyed by `(op, size, threads)`.
+/// Returns the failure messages (empty = contract holds).
+fn check(current: &Report, baseline: &Report, tolerance_pct: f64) -> Vec<String> {
+    let key = |r: &Row| (r.op.clone(), r.size.clone(), r.threads);
+    let base: std::collections::BTreeMap<_, f64> =
+        baseline.rows.iter().map(|r| (key(r), r.ns_per_iter)).collect();
+    let cur: std::collections::BTreeMap<_, f64> =
+        current.rows.iter().map(|r| (key(r), r.ns_per_iter)).collect();
+    let mut failures = Vec::new();
+    for (k, &cur_ns) in &cur {
+        match base.get(k) {
+            None => failures.push(format!(
+                "{}/{} @{}t: no baseline row (refresh with --write-baseline)",
+                k.0, k.1, k.2
+            )),
+            Some(&base_ns) => {
+                let limit = base_ns * (1.0 + tolerance_pct / 100.0);
+                let ratio = cur_ns / base_ns;
+                let verdict = if cur_ns > limit { "FAIL" } else { "ok" };
+                println!(
+                    "{verdict:<4} {:<28} {:<24} {:>2}t  {cur_ns:>14.0} vs {base_ns:>14.0} ns ({ratio:.2}x)",
+                    k.0, k.1, k.2
+                );
+                if cur_ns > limit {
+                    failures.push(format!(
+                        "{}/{} @{}t: {cur_ns:.0} ns exceeds baseline {base_ns:.0} ns by {:.1}% (tolerance {tolerance_pct}%)",
+                        k.0, k.1, k.2,
+                        (ratio - 1.0) * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    for k in base.keys() {
+        if !cur.contains_key(k) {
+            failures.push(format!(
+                "{}/{} @{}t: baseline row not measured any more (refresh with --write-baseline)",
+                k.0, k.1, k.2
+            ));
+        }
+    }
+    failures
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_perf.json".to_string());
+    let baseline_path =
+        flag_value(&args, "--baseline").unwrap_or_else(|| "BENCH_perf.baseline.json".to_string());
+    let tolerance_pct: f64 = flag_value(&args, "--tolerance-pct")
+        .map(|v| v.parse().expect("--tolerance-pct expects a number"))
+        .unwrap_or(25.0);
+    let do_check = args.iter().any(|a| a == "--check");
+    let write_baseline = args.iter().any(|a| a == "--write-baseline");
+
+    let mut rows = Vec::new();
+    let (fwd_gemm, fwd_ref, mm_tiled, mm_naive) = bench_pass(1, true, &mut rows);
+    println!();
+    bench_pass(4, false, &mut rows);
+    ThreadLimit::clear();
 
     let report = Report {
-        threads,
+        threads: 1,
+        simd_level: simd::level().name().to_string(),
         speedup: Speedups {
             conv1d_forward: fwd_ref / fwd_gemm,
             matmul_256: mm_naive / mm_tiled,
@@ -167,10 +292,32 @@ fn main() {
         rows,
     };
     println!(
-        "\nspeedups: conv1d_forward {:.2}x, matmul_256 {:.2}x",
-        report.speedup.conv1d_forward, report.speedup.matmul_256
+        "\nsimd level {}; speedups: conv1d_forward {:.2}x, matmul_256 {:.2}x",
+        report.simd_level, report.speedup.conv1d_forward, report.speedup.matmul_256
     );
     let json = serde_json::to_string_pretty(&report).expect("serialise perf report");
-    std::fs::write(&out_path, json + "\n").expect("write perf report");
+    std::fs::write(&out_path, json.clone() + "\n").expect("write perf report");
     println!("wrote {out_path}");
+    if write_baseline {
+        std::fs::write(&baseline_path, json + "\n").expect("write perf baseline");
+        println!("wrote {baseline_path}");
+    }
+
+    if do_check {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let baseline: Report =
+            serde_json::from_str(&text).expect("parse baseline perf report");
+        println!("\nchecking against {baseline_path} (tolerance {tolerance_pct}%)");
+        let failures = check(&report, &baseline, tolerance_pct);
+        if failures.is_empty() {
+            println!("perf contract holds: every row within {tolerance_pct}% of baseline");
+        } else {
+            eprintln!("\nperf contract violated:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

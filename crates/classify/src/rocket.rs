@@ -19,6 +19,7 @@ use tsda_core::codec::{ByteReader, ByteWriter, CodecReader, CodecWriter};
 use tsda_core::parallel::Pool;
 use tsda_core::rng::standard_normal;
 use tsda_core::{Dataset, Label, Mts, TsdaError};
+use tsda_linalg::simd::{self, SimdLevel};
 
 /// Codec kind tag for saved ROCKET models.
 pub const ROCKET_KIND: &str = "rocket";
@@ -44,6 +45,13 @@ pub struct RocketConfig {
     /// environment variable. A non-zero value forces an explicit
     /// per-transform budget and exists only for backwards
     /// compatibility; features are bit-identical either way.
+    ///
+    /// Note for benchmarking/CI: with `0`, the resolved count falls all
+    /// the way through to `available_parallelism`, i.e. whatever
+    /// machine the job landed on. Timings published as a contract
+    /// (`perf_baseline`, the CI perf gate) therefore pin the count
+    /// explicitly via `ThreadLimit::set` and record it per row, instead
+    /// of trusting the deferral.
     pub n_threads: usize,
     /// Pooled feature set per kernel.
     pub features: RocketFeatures,
@@ -127,36 +135,41 @@ impl Kernel {
     }
 
     /// Apply to one series: returns `(ppv, max)`.
-    fn apply(&self, s: &Mts) -> (f64, f64) {
+    ///
+    /// The convolution is evaluated tap-by-tap: `out` starts at the bias
+    /// and each `(channel, tap)` pair contributes one vectorised axpy
+    /// over the output positions it reaches. Every output element still
+    /// accumulates its terms in the same ascending `(ci, k)` order with
+    /// the same unfused multiply-add as the former per-position loop, so
+    /// features are bit-identical to it (and across dispatch levels);
+    /// only the pooled max's traversal order changed, which can alter
+    /// at most the sign of a `±0.0` maximum.
+    fn apply(&self, s: &Mts, out: &mut Vec<f64>, lvl: SimdLevel) -> (f64, f64) {
         let t_len = s.len();
         let span = (self.length - 1) * self.dilation;
         let out_len = (t_len + 2 * self.padding).saturating_sub(span);
         if out_len == 0 {
             return (0.0, self.bias);
         }
-        let mut positives = 0usize;
-        let mut max = f64::NEG_INFINITY;
-        let start_offset = self.padding as isize;
-        for out_i in 0..out_len {
-            let mut acc = self.bias;
-            let base = out_i as isize - start_offset;
-            for (ci, &ch) in self.channels.iter().enumerate() {
-                let dim = s.dim(ch);
-                let w = &self.weights[ci];
-                for (k, &wk) in w.iter().enumerate() {
-                    let idx = base + (k * self.dilation) as isize;
-                    if idx >= 0 && (idx as usize) < t_len {
-                        acc += wk * dim[idx as usize];
-                    }
+        out.clear();
+        out.resize(out_len, self.bias);
+        let pad = self.padding as isize;
+        for (ci, &ch) in self.channels.iter().enumerate() {
+            let dim = s.dim(ch);
+            for (k, &wk) in self.weights[ci].iter().enumerate() {
+                // This tap reads input index `out_i + shift`; clamp the
+                // output range so the read stays inside the series (the
+                // former loop's bounds check, hoisted).
+                let shift = (k * self.dilation) as isize - pad;
+                let lo = (-shift).max(0) as usize;
+                let hi = (t_len as isize - shift).clamp(0, out_len as isize) as usize;
+                if lo < hi {
+                    let src = &dim[(lo as isize + shift) as usize..(hi as isize + shift) as usize];
+                    simd::axpy_f64_with(lvl, &mut out[lo..hi], src, wk);
                 }
             }
-            if acc > 0.0 {
-                positives += 1;
-            }
-            if acc > max {
-                max = acc;
-            }
         }
+        let (positives, max) = simd::ppv_max_f64_with(lvl, out);
         (positives as f64 / out_len as f64, max)
     }
 }
@@ -192,11 +205,15 @@ impl Rocket {
     pub fn transform(&self, ds: &Dataset) -> Vec<Vec<f64>> {
         let kernels = &self.kernels;
         let feature_kind = self.config.features;
+        let lvl = simd::level();
         self.config.pool().par_map_indexed(ds.len(), |i| {
             let s = &ds.series()[i];
             let mut f = Vec::with_capacity(kernels.len() * 2);
+            // One conv-output scratch buffer per series, reused across
+            // kernels (it only ever grows to the longest output).
+            let mut scratch = Vec::new();
             for k in kernels {
-                let (ppv, max) = k.apply(s);
+                let (ppv, max) = k.apply(s, &mut scratch, lvl);
                 f.push(ppv);
                 if feature_kind == RocketFeatures::PpvAndMax {
                     f.push(max);

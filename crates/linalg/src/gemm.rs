@@ -29,7 +29,7 @@ const MC: usize = 64;
 const KC: usize = 128;
 
 macro_rules! define_gemm {
-    ($nn:ident, $nn_acc:ident, $tn:ident, $nt_acc:ident, $t:ty) => {
+    ($nn:ident, $nn_acc:ident, $tn:ident, $nt_acc:ident, $mk:path, $mkw:path, $axpy:path, $dot:path, $t:ty) => {
         /// `c ← a·b` for row-major `a: m×k`, `b: k×n`, `c: m×n`,
         /// parallelised over row blocks of `c`.
         pub fn $nn(m: usize, k: usize, n: usize, a: &[$t], b: &[$t], c: &mut [$t]) {
@@ -45,69 +45,99 @@ macro_rules! define_gemm {
             if m == 0 || n == 0 {
                 return;
             }
+            let lvl = crate::simd::level();
             Pool::global().par_chunks_mut(c, MC * n, |block, c_block| {
                 let i0 = block * MC;
                 let rows = c_block.len() / n;
                 let mut kk = 0;
                 while kk < k {
                     let k_hi = (kk + KC).min(k);
-                    // 8×8 register micro-kernel: an 8-row × 8-column C
-                    // sub-block lives in accumulators across the whole
-                    // k-tile, so C is read/written once per tile and
-                    // every B element feeds eight output rows. Each C
-                    // element still accumulates in ascending-k order
-                    // (tiles ascending, `ki` ascending inside), and tile
-                    // boundaries depend only on the shapes — never on
-                    // the worker count — so results are bit-identical
-                    // for any number of threads.
-                    let mut bi = 0;
-                    while bi + 8 <= rows {
-                        let mut j0 = 0;
-                        while j0 + 8 <= n {
-                            let mut acc = [[0.0 as $t; 8]; 8];
-                            for (r, acc_row) in acc.iter_mut().enumerate() {
-                                let crow = &c_block[(bi + r) * n + j0..(bi + r) * n + j0 + 8];
-                                acc_row.copy_from_slice(crow);
-                            }
-                            for ki in kk..k_hi {
-                                let mut bv = [0.0 as $t; 8];
-                                bv.copy_from_slice(&b[ki * n + j0..ki * n + j0 + 8]);
-                                for (r, acc_row) in acc.iter_mut().enumerate() {
-                                    let av = a[(i0 + bi + r) * k + ki];
-                                    for (av_out, bvv) in acc_row.iter_mut().zip(&bv) {
-                                        *av_out += av * bvv;
-                                    }
-                                }
-                            }
-                            for (r, acc_row) in acc.iter().enumerate() {
-                                let crow = &mut c_block[(bi + r) * n + j0..(bi + r) * n + j0 + 8];
-                                crow.copy_from_slice(acc_row);
-                            }
-                            j0 += 8;
+                    // 8×8 register micro-kernel (`simd::gemm_mk8x8_*`):
+                    // an 8-row × 8-column C sub-block lives in vector
+                    // accumulators across the whole k-tile, so C is
+                    // read/written once per tile and every B element
+                    // feeds eight output rows. Each C element still
+                    // accumulates in ascending-k order (tiles ascending,
+                    // `ki` ascending inside, fused multiply-add on both
+                    // dispatch paths), and tile boundaries depend only
+                    // on the shapes — never on the worker count — so
+                    // results are bit-identical for any number of
+                    // threads and across dispatch levels.
+                    // B strips are packed into a stack-resident KC×8
+                    // buffer once per (k-tile, column-strip) and reused
+                    // by every 8-row tile in the block: the micro-kernel
+                    // then streams B from contiguous L1 lines instead of
+                    // `n`-strided ones. Packing is a pure copy, so the
+                    // per-element arithmetic is unchanged.
+                    let mut bpack = [0.0 as $t; KC * 16];
+                    let full_rows = rows - rows % 8;
+                    let mut j0 = 0;
+                    while j0 + 16 <= n {
+                        for (row, ki) in (kk..k_hi).enumerate() {
+                            bpack[row * 16..row * 16 + 16]
+                                .copy_from_slice(&b[ki * n + j0..ki * n + j0 + 16]);
                         }
-                        // Column remainder: plain ascending-k dots.
-                        for r in 0..8 {
-                            let arow = &a[(i0 + bi + r) * k..(i0 + bi + r) * k + k];
-                            for j in j0..n {
-                                let mut acc = c_block[(bi + r) * n + j];
-                                for ki in kk..k_hi {
-                                    acc += arow[ki] * b[ki * n + j];
-                                }
-                                c_block[(bi + r) * n + j] = acc;
-                            }
+                        let mut bi = 0;
+                        while bi + 8 <= rows {
+                            $mkw(
+                                lvl,
+                                &a[(i0 + bi) * k + kk..],
+                                k,
+                                &bpack,
+                                16,
+                                &mut c_block[bi * n + j0..],
+                                n,
+                                k_hi - kk,
+                            );
+                            bi += 8;
                         }
-                        bi += 8;
+                        j0 += 16;
                     }
-                    // Row remainder: single-row axpy, same k order.
-                    for bi in bi..rows {
+                    if j0 + 8 <= n {
+                        for (row, ki) in (kk..k_hi).enumerate() {
+                            bpack[row * 8..row * 8 + 8]
+                                .copy_from_slice(&b[ki * n + j0..ki * n + j0 + 8]);
+                        }
+                        let mut bi = 0;
+                        while bi + 8 <= rows {
+                            $mk(
+                                lvl,
+                                &a[(i0 + bi) * k + kk..],
+                                k,
+                                &bpack,
+                                8,
+                                &mut c_block[bi * n + j0..],
+                                n,
+                                k_hi - kk,
+                            );
+                            bi += 8;
+                        }
+                        j0 += 8;
+                    }
+                    // Column remainder: plain ascending-k dots for every
+                    // full 8-row tile's trailing columns.
+                    if j0 < n {
+                        for bi in (0..full_rows).step_by(8) {
+                            for r in 0..8 {
+                                let arow = &a[(i0 + bi + r) * k..(i0 + bi + r) * k + k];
+                                for j in j0..n {
+                                    let mut acc = c_block[(bi + r) * n + j];
+                                    for ki in kk..k_hi {
+                                        acc += arow[ki] * b[ki * n + j];
+                                    }
+                                    c_block[(bi + r) * n + j] = acc;
+                                }
+                            }
+                        }
+                    }
+                    // Row remainder: single-row axpy, same k order
+                    // (unfused on both dispatch paths — bit-identical to
+                    // the pre-SIMD scalar loop).
+                    for bi in full_rows..rows {
                         let arow = &a[(i0 + bi) * k..(i0 + bi) * k + k];
                         let crow = &mut c_block[bi * n..(bi + 1) * n];
                         for ki in kk..k_hi {
-                            let aik = arow[ki];
-                            let brow = &b[ki * n..ki * n + n];
-                            for (cv, bv) in crow.iter_mut().zip(brow) {
-                                *cv += aik * bv;
-                            }
+                            $axpy(lvl, crow, &b[ki * n..ki * n + n], arow[ki]);
                         }
                     }
                     kk = k_hi;
@@ -127,6 +157,9 @@ macro_rules! define_gemm {
             }
             // Split output rows (columns of `a`) across workers; every
             // worker streams all of `a`/`b` but writes disjoint rows.
+            // Unfused vectorised axpy: bit-identical to the pre-SIMD
+            // loop, which the ridge/Gram goldens pin.
+            let lvl = crate::simd::level();
             Pool::global().par_chunks_mut(c, MC * n, |block, c_block| {
                 let i0 = block * MC;
                 let rows = c_block.len() / n;
@@ -134,11 +167,8 @@ macro_rules! define_gemm {
                     let arow = &a[ki * m..ki * m + m];
                     let brow = &b[ki * n..ki * n + n];
                     for bi in 0..rows {
-                        let aik = arow[i0 + bi];
                         let crow = &mut c_block[bi * n..(bi + 1) * n];
-                        for (cv, bv) in crow.iter_mut().zip(brow) {
-                            *cv += aik * bv;
-                        }
+                        $axpy(lvl, crow, brow, arow[i0 + bi]);
                     }
                 }
             });
@@ -153,23 +183,42 @@ macro_rules! define_gemm {
             if m == 0 || n == 0 {
                 return;
             }
+            // Striped-tree fused dot (`simd::dot_*`): the reduction
+            // order is fixed by the kernel, identical across dispatch
+            // levels and thread counts.
+            let lvl = crate::simd::level();
             Pool::global().par_chunks_mut(c, n, |i, crow| {
                 let arow = &a[i * k..i * k + k];
                 for (j, cv) in crow.iter_mut().enumerate() {
-                    let brow = &b[j * k..j * k + k];
-                    let mut acc: $t = 0.0;
-                    for (av, bv) in arow.iter().zip(brow) {
-                        acc += av * bv;
-                    }
-                    *cv += acc;
+                    *cv += $dot(lvl, arow, &b[j * k..j * k + k]);
                 }
             });
         }
     };
 }
 
-define_gemm!(gemm_f64, gemm_acc_f64, gemm_tn_f64, gemm_nt_acc_f64, f64);
-define_gemm!(gemm_f32, gemm_acc_f32, gemm_tn_f32, gemm_nt_acc_f32, f32);
+define_gemm!(
+    gemm_f64,
+    gemm_acc_f64,
+    gemm_tn_f64,
+    gemm_nt_acc_f64,
+    crate::simd::gemm_mk8x8_f64,
+    crate::simd::gemm_mk8x16_f64,
+    crate::simd::axpy_f64_with,
+    crate::simd::dot_f64_with,
+    f64
+);
+define_gemm!(
+    gemm_f32,
+    gemm_acc_f32,
+    gemm_tn_f32,
+    gemm_nt_acc_f32,
+    crate::simd::gemm_mk8x8_f32,
+    crate::simd::gemm_mk8x16_f32,
+    crate::simd::axpy_f32_with,
+    crate::simd::dot_f32_with,
+    f32
+);
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,1670 @@
+//! Explicit-SIMD layer for the workspace's numeric hot paths.
+//!
+//! One dispatch decision, made once per process: [`level`] probes the
+//! CPU for AVX2 + FMA (overridable with `TSDA_SIMD=scalar|avx2` for
+//! testing) and every kernel here branches on the cached result. Each
+//! kernel ships two implementations:
+//!
+//! * an AVX2 path written against `core::arch::x86_64` intrinsics, and
+//! * a portable scalar path that mirrors the AVX2 path's arithmetic
+//!   **operation for operation** — same fused/unfused multiplies, same
+//!   lane-striped accumulator layout, same fixed combine tree.
+//!
+//! That mirroring is the determinism contract: for every kernel in this
+//! module, `TSDA_SIMD=scalar` and `TSDA_SIMD=avx2` produce bit-identical
+//! results on the same input (property-tested in
+//! `tests/simd_dispatch.rs`). Two kernel families make that work:
+//!
+//! * **Element-wise kernels** (axpy, masked scale/add, lerp, the GEMM
+//!   micro-kernel): every output element accumulates its own chain in a
+//!   fixed order, so lane-parallelism never reorders a reduction. The
+//!   GEMM micro-kernel uses *fused* multiply-add on both paths
+//!   (`f64::mul_add` scalar-side — fma is exactly rounded, so the bits
+//!   match the `vfmadd` lanes); the axpy/lerp kernels use unfused
+//!   mul-then-add on both paths because their consumers (gram products,
+//!   ROCKET pooling, DTW, resampling) pin bit-compatibility with the
+//!   pre-SIMD scalar code.
+//! * **Reduction kernels** (`sum`/`dot`/`sumsq`, PPV+max pooling): the
+//!   reduction tree is fixed at the vector width — LANES interleaved
+//!   stripe accumulators combined in one documented order — and the
+//!   scalar path implements the *same* striped tree (`sum_stable`-style:
+//!   the order is part of the function's definition, not an artifact of
+//!   the instruction set).
+//!
+//! Results are also unchanged for any thread count: these kernels are
+//! pure functions of their operands, and all parallelism stays in
+//! `tsda_core::parallel` with its fixed chunking.
+//!
+//! A third level, [`SimdLevel::Avx512`], widens exactly one kernel —
+//! the f64 GEMM micro-kernel, where 8-lane registers double FMA
+//! throughput — and runs the AVX2 implementation everywhere else.
+//! Because the micro-kernel's per-element chains are width-independent
+//! (each output element accumulates ascending-`ki` with fused
+//! multiply-add at every level), all three levels stay bit-identical.
+//!
+//! Non-goals: no per-element dispatch (the branch is hoisted to one
+//! `match` per kernel call), no unsafe outside this module (the rest of
+//! `tsda-linalg` keeps its deny-by-review posture; every `unsafe` block
+//! here carries a `// SAFETY:` justification checked by `tsda-analyze`
+//! U1).
+
+use std::sync::OnceLock;
+
+/// The instruction-set level every kernel in this module dispatches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Portable scalar mirrors (also the forced-`TSDA_SIMD=scalar` path).
+    Scalar,
+    /// AVX2 + FMA `core::arch::x86_64` kernels.
+    Avx2,
+    /// AVX2 kernels plus an AVX-512F f64 GEMM micro-kernel. Only the
+    /// micro-kernel is widened — every other kernel runs its AVX2
+    /// implementation at this level — because per-element FMA chains are
+    /// identical at any vector width (see the module docs), so the wider
+    /// tile changes throughput, never bits.
+    Avx512,
+}
+
+impl SimdLevel {
+    /// Stable lowercase name (`"scalar"` / `"avx2"` / `"avx512"`), as
+    /// accepted by the `TSDA_SIMD` override and reported by
+    /// `perf_baseline`.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+        }
+    }
+}
+
+static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+
+/// The process-wide dispatch level: detected once from the CPU, with a
+/// `TSDA_SIMD=scalar|avx2` environment override for testing. Requesting
+/// `avx2` on hardware without AVX2+FMA falls back to scalar (with a
+/// one-time stderr warning) instead of executing illegal instructions.
+pub fn level() -> SimdLevel {
+    *LEVEL.get_or_init(detect)
+}
+
+fn detect() -> SimdLevel {
+    let hw = hw_level();
+    let clamp = |want: SimdLevel| {
+        if hw >= want {
+            want
+        } else {
+            eprintln!(
+                "TSDA_SIMD={} requested but the CPU only supports {}; using {}",
+                want.name(),
+                hw.name(),
+                hw.name()
+            );
+            hw
+        }
+    };
+    match std::env::var("TSDA_SIMD").as_deref() {
+        Ok("scalar") => SimdLevel::Scalar,
+        Ok("avx2") => clamp(SimdLevel::Avx2),
+        Ok("avx512") => clamp(SimdLevel::Avx512),
+        Ok(other) if !other.is_empty() && other != "auto" => {
+            eprintln!(
+                "unknown TSDA_SIMD value {other:?} (expected scalar|avx2|avx512|auto); auto-detecting"
+            );
+            hw
+        }
+        _ => hw,
+    }
+}
+
+/// The best level the *hardware* supports, ignoring `TSDA_SIMD`.
+///
+/// Tests iterate `[Scalar, ..=hw_level()]` to exercise every dispatch
+/// path the host can execute.
+#[cfg(target_arch = "x86_64")]
+pub fn hw_level() -> SimdLevel {
+    if !(is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")) {
+        SimdLevel::Scalar
+    } else if is_x86_feature_detected!("avx512f") {
+        SimdLevel::Avx512
+    } else {
+        SimdLevel::Avx2
+    }
+}
+
+/// The best level the *hardware* supports, ignoring `TSDA_SIMD`.
+#[cfg(not(target_arch = "x86_64"))]
+pub fn hw_level() -> SimdLevel {
+    SimdLevel::Scalar
+}
+
+// On non-x86_64 targets the AVX2 arms are unreachable (`hw_level` never
+// returns Avx2 and the env override refuses it), so each dispatcher
+// routes Avx2 to the scalar mirror there.
+
+// ---------------------------------------------------------------------
+// Element-wise kernels: y[i] += a * x[i]  (unfused: mul, then add —
+// bit-compatible with the pre-SIMD scalar loops in gemm_tn / ROCKET).
+// ---------------------------------------------------------------------
+
+/// `y[i] += a * x[i]` (unfused multiply-add, per-element).
+#[inline]
+pub fn axpy_f64(y: &mut [f64], x: &[f64], a: f64) {
+    axpy_f64_with(level(), y, x, a);
+}
+
+/// [`axpy_f64`] at an explicit dispatch level (for equivalence tests and
+/// call sites that hoist the level out of a loop).
+#[inline]
+pub fn axpy_f64_with(lvl: SimdLevel, y: &mut [f64], x: &[f64], a: f64) {
+    assert_eq!(y.len(), x.len(), "axpy length mismatch");
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 | SimdLevel::Avx512 =>
+        // SAFETY: `level()`/callers only pass Avx2 when AVX2+FMA were
+        // runtime-detected (or tests verified support); slices have
+        // equal lengths per the assert above.
+        unsafe { avx2::axpy_f64(y, x, a) },
+        _ => {
+            for (yv, xv) in y.iter_mut().zip(x) {
+                *yv += a * *xv;
+            }
+        }
+    }
+}
+
+/// `y[i] += a * x[i]` for `f32` (unfused multiply-add, per-element).
+#[inline]
+pub fn axpy_f32(y: &mut [f32], x: &[f32], a: f32) {
+    axpy_f32_with(level(), y, x, a);
+}
+
+/// [`axpy_f32`] at an explicit dispatch level.
+#[inline]
+pub fn axpy_f32_with(lvl: SimdLevel, y: &mut [f32], x: &[f32], a: f32) {
+    assert_eq!(y.len(), x.len(), "axpy length mismatch");
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 | SimdLevel::Avx512 =>
+        // SAFETY: Avx2 implies runtime-detected AVX2+FMA; lengths match.
+        unsafe { avx2::axpy_f32(y, x, a) },
+        _ => {
+            for (yv, xv) in y.iter_mut().zip(x) {
+                *yv += a * *xv;
+            }
+        }
+    }
+}
+
+/// `v[i] *= factor` for every non-NaN element; NaN elements keep their
+/// exact bit pattern (the augmenters' missing-value convention).
+#[inline]
+pub fn scale_masked_f64(v: &mut [f64], factor: f64) {
+    scale_masked_f64_with(level(), v, factor);
+}
+
+/// [`scale_masked_f64`] at an explicit dispatch level.
+#[inline]
+pub fn scale_masked_f64_with(lvl: SimdLevel, v: &mut [f64], factor: f64) {
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 | SimdLevel::Avx512 =>
+        // SAFETY: Avx2 implies runtime-detected AVX2+FMA.
+        unsafe { avx2::scale_masked_f64(v, factor) },
+        _ => {
+            for x in v {
+                if !x.is_nan() {
+                    *x *= factor;
+                }
+            }
+        }
+    }
+}
+
+/// `v[i] += delta[i]` for every non-NaN `v[i]`; NaN elements keep their
+/// exact bit pattern. `delta` entries at NaN positions are ignored.
+#[inline]
+pub fn add_masked_f64(v: &mut [f64], delta: &[f64]) {
+    add_masked_f64_with(level(), v, delta);
+}
+
+/// [`add_masked_f64`] at an explicit dispatch level.
+#[inline]
+pub fn add_masked_f64_with(lvl: SimdLevel, v: &mut [f64], delta: &[f64]) {
+    assert_eq!(v.len(), delta.len(), "add_masked length mismatch");
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 | SimdLevel::Avx512 =>
+        // SAFETY: Avx2 implies runtime-detected AVX2+FMA; lengths match.
+        unsafe { avx2::add_masked_f64(v, delta) },
+        _ => {
+            for (x, d) in v.iter_mut().zip(delta) {
+                if !x.is_nan() {
+                    *x += *d;
+                }
+            }
+        }
+    }
+}
+
+/// `acc[j] += (x − ys[j])²` (unfused, per-element) — the DTW point-cost
+/// row update for one query dimension against a reference dimension.
+#[inline]
+pub fn sq_diff_acc_f64(acc: &mut [f64], x: f64, ys: &[f64]) {
+    sq_diff_acc_f64_with(level(), acc, x, ys);
+}
+
+/// [`sq_diff_acc_f64`] at an explicit dispatch level.
+#[inline]
+pub fn sq_diff_acc_f64_with(lvl: SimdLevel, acc: &mut [f64], x: f64, ys: &[f64]) {
+    assert_eq!(acc.len(), ys.len(), "sq_diff_acc length mismatch");
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 | SimdLevel::Avx512 =>
+        // SAFETY: Avx2 implies runtime-detected AVX2+FMA; lengths match.
+        unsafe { avx2::sq_diff_acc_f64(acc, x, ys) },
+        _ => {
+            for (a, y) in acc.iter_mut().zip(ys) {
+                let d = x - *y;
+                *a += d * d;
+            }
+        }
+    }
+}
+
+/// `out[j] = min(a[j], b[j])` per element. Inputs must be NaN-free
+/// (DTW cost cells are finite or `+∞`); ties return the shared value.
+#[inline]
+pub fn min2_f64(out: &mut [f64], a: &[f64], b: &[f64]) {
+    min2_f64_with(level(), out, a, b);
+}
+
+/// [`min2_f64`] at an explicit dispatch level.
+#[inline]
+pub fn min2_f64_with(lvl: SimdLevel, out: &mut [f64], a: &[f64], b: &[f64]) {
+    assert!(out.len() == a.len() && a.len() == b.len(), "min2 length mismatch");
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 | SimdLevel::Avx512 =>
+        // SAFETY: Avx2 implies runtime-detected AVX2+FMA; lengths match.
+        unsafe { avx2::min2_f64(out, a, b) },
+        _ => {
+            for ((o, av), bv) in out.iter_mut().zip(a).zip(b) {
+                *o = if av < bv { *av } else { *bv };
+            }
+        }
+    }
+}
+
+/// Uniform linear resample of `src` onto `out.len()` points over the
+/// same index range — the inner loop of `resample_linear` (slicing /
+/// window-warp augmenters), bit-compatible with per-point `lerp_at`:
+/// `src[i]·(1−frac) + src[i+1]·frac`, ends clamped.
+#[inline]
+pub fn lerp_resample_f64(src: &[f64], out: &mut [f64]) {
+    lerp_resample_f64_with(level(), src, out);
+}
+
+/// [`lerp_resample_f64`] at an explicit dispatch level.
+pub fn lerp_resample_f64_with(lvl: SimdLevel, src: &[f64], out: &mut [f64]) {
+    assert!(!src.is_empty(), "resample of empty input");
+    let olen = out.len();
+    if olen == 0 {
+        return;
+    }
+    if olen == 1 {
+        out[0] = src[0];
+        return;
+    }
+    let max = (src.len() - 1) as f64;
+    let scale = max / (olen - 1) as f64;
+    // Clamped ends and any positions landing at/past the last sample are
+    // handled scalar (identical to `lerp_at`); the strictly-interior run
+    // vectorises. `t` is non-decreasing in `i`, so the interior is a
+    // single contiguous range.
+    let mut lo = 0;
+    while lo < olen && (lo as f64) * scale <= 0.0 {
+        out[lo] = src[0];
+        lo += 1;
+    }
+    let mut hi = olen;
+    while hi > lo && (hi - 1) as f64 * scale >= max {
+        out[hi - 1] = src[src.len() - 1];
+        hi -= 1;
+    }
+    let interior = &mut out[lo..hi];
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 | SimdLevel::Avx512 =>
+        // SAFETY: Avx2 implies runtime-detected AVX2+FMA; every index in
+        // [lo, hi) satisfies 0 < i·scale < max so floor+1 is in bounds.
+        unsafe { avx2::lerp_interior_f64(src, scale, lo, interior) },
+        _ => {
+            for (off, o) in interior.iter_mut().enumerate() {
+                let t = (lo + off) as f64 * scale;
+                let i = t.floor() as usize;
+                let frac = t - i as f64;
+                *o = src[i] * (1.0 - frac) + src[i + 1] * frac;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Striped reductions: the reduction tree is part of the definition —
+// LANES interleaved accumulators (lane j owns elements j, j+LANES, …),
+// tail elements folded into lanes 0..tail, lanes combined low-half +
+// high-half pairwise. Both paths implement exactly this tree; the
+// multiply-accumulate is *fused* on both (`mul_add` ↔ `vfmadd`).
+// ---------------------------------------------------------------------
+
+/// Striped-tree sum of an `f32` slice (4-lane tree).
+#[inline]
+pub fn sum_f32(xs: &[f32]) -> f32 {
+    sum_f32_with(level(), xs)
+}
+
+/// [`sum_f32`] at an explicit dispatch level.
+#[inline]
+pub fn sum_f32_with(lvl: SimdLevel, xs: &[f32]) -> f32 {
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 | SimdLevel::Avx512 =>
+        // SAFETY: Avx2 implies runtime-detected AVX2+FMA.
+        unsafe { avx2::sum_f32(xs) },
+        _ => {
+            let mut lanes = [0.0f32; 8];
+            let mut chunks = xs.chunks_exact(8);
+            for c in chunks.by_ref() {
+                for (l, v) in lanes.iter_mut().zip(c) {
+                    *l += *v;
+                }
+            }
+            for (l, v) in lanes.iter_mut().zip(chunks.remainder()) {
+                *l += *v;
+            }
+            combine8_f32(lanes)
+        }
+    }
+}
+
+/// Striped-tree sum of squared deviations `Σ (x − mean)²` (fused).
+#[inline]
+pub fn sumsq_centered_f32(xs: &[f32], mean: f32) -> f32 {
+    sumsq_centered_f32_with(level(), xs, mean)
+}
+
+/// [`sumsq_centered_f32`] at an explicit dispatch level.
+#[inline]
+pub fn sumsq_centered_f32_with(lvl: SimdLevel, xs: &[f32], mean: f32) -> f32 {
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 | SimdLevel::Avx512 =>
+        // SAFETY: Avx2 implies runtime-detected AVX2+FMA.
+        unsafe { avx2::sumsq_centered_f32(xs, mean) },
+        _ => {
+            let mut lanes = [0.0f32; 8];
+            let mut chunks = xs.chunks_exact(8);
+            for c in chunks.by_ref() {
+                for (l, v) in lanes.iter_mut().zip(c) {
+                    let d = *v - mean;
+                    *l = d.mul_add(d, *l);
+                }
+            }
+            for (l, v) in lanes.iter_mut().zip(chunks.remainder()) {
+                let d = *v - mean;
+                *l = d.mul_add(d, *l);
+            }
+            combine8_f32(lanes)
+        }
+    }
+}
+
+/// Striped-tree dot product of two `f32` slices (fused).
+#[inline]
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    dot_f32_with(level(), a, b)
+}
+
+/// [`dot_f32`] at an explicit dispatch level.
+#[inline]
+pub fn dot_f32_with(lvl: SimdLevel, a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 | SimdLevel::Avx512 =>
+        // SAFETY: Avx2 implies runtime-detected AVX2+FMA; lengths match.
+        unsafe { avx2::dot_f32(a, b) },
+        _ => {
+            let mut lanes = [0.0f32; 8];
+            let mut ca = a.chunks_exact(8);
+            let mut cb = b.chunks_exact(8);
+            for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+                for ((l, va), vb) in lanes.iter_mut().zip(xa).zip(xb) {
+                    *l = va.mul_add(*vb, *l);
+                }
+            }
+            for ((l, va), vb) in lanes.iter_mut().zip(ca.remainder()).zip(cb.remainder()) {
+                *l = va.mul_add(*vb, *l);
+            }
+            combine8_f32(lanes)
+        }
+    }
+}
+
+/// Striped-tree dot product of two `f64` slices (fused, 4-lane tree).
+#[inline]
+pub fn dot_f64(a: &[f64], b: &[f64]) -> f64 {
+    dot_f64_with(level(), a, b)
+}
+
+/// [`dot_f64`] at an explicit dispatch level.
+#[inline]
+pub fn dot_f64_with(lvl: SimdLevel, a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 | SimdLevel::Avx512 =>
+        // SAFETY: Avx2 implies runtime-detected AVX2+FMA; lengths match.
+        unsafe { avx2::dot_f64(a, b) },
+        _ => {
+            let mut lanes = [0.0f64; 4];
+            let mut ca = a.chunks_exact(4);
+            let mut cb = b.chunks_exact(4);
+            for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+                for ((l, va), vb) in lanes.iter_mut().zip(xa).zip(xb) {
+                    *l = va.mul_add(*vb, *l);
+                }
+            }
+            for ((l, va), vb) in lanes.iter_mut().zip(ca.remainder()).zip(cb.remainder()) {
+                *l = va.mul_add(*vb, *l);
+            }
+            combine4_f64(lanes)
+        }
+    }
+}
+
+/// The fixed 8-lane combine: low half + high half, then pairwise.
+#[inline]
+fn combine8_f32(l: [f32; 8]) -> f32 {
+    let q = [l[0] + l[4], l[1] + l[5], l[2] + l[6], l[3] + l[7]];
+    let p = [q[0] + q[2], q[1] + q[3]];
+    p[0] + p[1]
+}
+
+/// The fixed 4-lane combine: low half + high half, then the pair.
+#[inline]
+fn combine4_f64(l: [f64; 4]) -> f64 {
+    let p = [l[0] + l[2], l[1] + l[3]];
+    p[0] + p[1]
+}
+
+// ---------------------------------------------------------------------
+// ROCKET pooling: PPV (count of strictly positive values) and max.
+// ---------------------------------------------------------------------
+
+/// `(|{v > 0}|, max)` over `vals` — ROCKET's PPV numerator and max
+/// pooled feature in one pass. The max uses a strict-greater striped
+/// update (4 lanes, earliest-seen kept on ties), combined lane 0→3;
+/// returns `(0, -∞)` on an empty slice.
+#[inline]
+pub fn ppv_max_f64(vals: &[f64]) -> (usize, f64) {
+    ppv_max_f64_with(level(), vals)
+}
+
+/// [`ppv_max_f64`] at an explicit dispatch level.
+#[inline]
+pub fn ppv_max_f64_with(lvl: SimdLevel, vals: &[f64]) -> (usize, f64) {
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 | SimdLevel::Avx512 =>
+        // SAFETY: Avx2 implies runtime-detected AVX2+FMA.
+        unsafe { avx2::ppv_max_f64(vals) },
+        _ => {
+            let mut lanes = [f64::NEG_INFINITY; 4];
+            let mut positives = 0usize;
+            let mut chunks = vals.chunks_exact(4);
+            for c in chunks.by_ref() {
+                for (l, v) in lanes.iter_mut().zip(c) {
+                    if *v > 0.0 {
+                        positives += 1;
+                    }
+                    if *v > *l {
+                        *l = *v;
+                    }
+                }
+            }
+            for (l, v) in lanes.iter_mut().zip(chunks.remainder()) {
+                if *v > 0.0 {
+                    positives += 1;
+                }
+                if *v > *l {
+                    *l = *v;
+                }
+            }
+            (positives, max4(lanes))
+        }
+    }
+}
+
+/// Lane combine for the striped max: ascending lane order, strict
+/// greater (mirrors the per-lane update rule).
+#[inline]
+fn max4(lanes: [f64; 4]) -> f64 {
+    let mut m = lanes[0];
+    for &l in &lanes[1..] {
+        if l > m {
+            m = l;
+        }
+    }
+    m
+}
+
+// ---------------------------------------------------------------------
+// Batch-norm forward: xhat = (x − mean)·inv_std, out = γ·xhat + β.
+// The division is pre-inverted (one rounding per channel, not per
+// element) and the affine uses fused multiply-add on both paths.
+// ---------------------------------------------------------------------
+
+/// Normalise one channel run: writes `xhat[i] = (x[i] − mean)·inv_std`
+/// and `out[i] = gamma·xhat[i] + beta` (fused).
+#[inline]
+pub fn bn_forward_f32(
+    x: &[f32],
+    mean: f32,
+    inv_std: f32,
+    gamma: f32,
+    beta: f32,
+    xhat: &mut [f32],
+    out: &mut [f32],
+) {
+    bn_forward_f32_with(level(), x, mean, inv_std, gamma, beta, xhat, out);
+}
+
+/// [`bn_forward_f32`] at an explicit dispatch level.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn bn_forward_f32_with(
+    lvl: SimdLevel,
+    x: &[f32],
+    mean: f32,
+    inv_std: f32,
+    gamma: f32,
+    beta: f32,
+    xhat: &mut [f32],
+    out: &mut [f32],
+) {
+    assert!(x.len() == xhat.len() && x.len() == out.len(), "bn_forward length mismatch");
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 | SimdLevel::Avx512 =>
+        // SAFETY: Avx2 implies runtime-detected AVX2+FMA; lengths match.
+        unsafe { avx2::bn_forward_f32(x, mean, inv_std, gamma, beta, xhat, out) },
+        _ => {
+            for ((xv, h), o) in x.iter().zip(xhat.iter_mut()).zip(out.iter_mut()) {
+                let hv = (*xv - mean) * inv_std;
+                *h = hv;
+                *o = gamma.mul_add(hv, beta);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// GEMM micro-kernel: an 8-row × 8-column C tile accumulates
+//   c[r·ldc + j] += Σ_{ki < klen} a[r·lda + ki] · b[ki·ldb + j]
+// in ascending-ki order with *fused* multiply-add on both paths. Each C
+// element owns an independent chain, so lane width never reorders a
+// reduction and the two paths agree bit-for-bit.
+// ---------------------------------------------------------------------
+
+/// 8×8 f64 micro-kernel tile update (fused, ascending `ki`).
+///
+/// `a` starts at the tile's first row and first `ki` (row stride `lda`),
+/// `b` at the first `ki` and the tile's first column (row stride `ldb`),
+/// `c` at the tile origin (row stride `ldc`).
+#[inline]
+#[allow(clippy::too_many_arguments)] // standard GEMM micro-kernel signature
+pub fn gemm_mk8x8_f64(
+    lvl: SimdLevel,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+    klen: usize,
+) {
+    assert!(klen > 0 && lda >= klen && ldb >= 8 && ldc >= 8, "gemm_mk8x8 bad strides");
+    assert!(a.len() >= 7 * lda + klen, "gemm_mk8x8 lhs tile out of bounds");
+    assert!(b.len() >= (klen - 1) * ldb + 8, "gemm_mk8x8 rhs tile out of bounds");
+    assert!(c.len() >= 7 * ldc + 8, "gemm_mk8x8 out tile out of bounds");
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 =>
+        // SAFETY: Avx512 implies runtime-detected AVX-512F (hw_level
+        // checks it on top of AVX2+FMA); the asserts above bound every
+        // access the kernel makes (rows 0..8 × ki 0..klen of `a`,
+        // ki 0..klen × cols 0..8 of `b`, rows 0..8 × cols 0..8 of `c`).
+        unsafe { avx512::gemm_mk8x8_f64(a, lda, b, ldb, c, ldc, klen) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => {
+            // SAFETY: Avx2 implies runtime-detected AVX2+FMA; the
+            // asserts above bound every access the kernel makes
+            // (rows 0..8 × ki 0..klen of `a`, ki 0..klen × cols 0..8 of
+            // `b`, rows 0..8 × cols 0..8 of `c`).
+            unsafe {
+                avx2::gemm_mk4x8_f64(a, lda, b, ldb, c, ldc, klen);
+                avx2::gemm_mk4x8_f64(&a[4 * lda..], lda, b, ldb, &mut c[4 * ldc..], ldc, klen);
+            }
+        }
+        _ => {
+            for r in 0..8 {
+                for j in 0..8 {
+                    let mut acc = c[r * ldc + j];
+                    for ki in 0..klen {
+                        acc = a[r * lda + ki].mul_add(b[ki * ldb + j], acc);
+                    }
+                    c[r * ldc + j] = acc;
+                }
+            }
+        }
+    }
+}
+
+/// 8×8 f32 micro-kernel tile update (fused, ascending `ki`).
+#[inline]
+#[allow(clippy::too_many_arguments)] // standard GEMM micro-kernel signature
+pub fn gemm_mk8x8_f32(
+    lvl: SimdLevel,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    klen: usize,
+) {
+    assert!(klen > 0 && lda >= klen && ldb >= 8 && ldc >= 8, "gemm_mk8x8 bad strides");
+    assert!(a.len() >= 7 * lda + klen, "gemm_mk8x8 lhs tile out of bounds");
+    assert!(b.len() >= (klen - 1) * ldb + 8, "gemm_mk8x8 rhs tile out of bounds");
+    assert!(c.len() >= 7 * ldc + 8, "gemm_mk8x8 out tile out of bounds");
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 | SimdLevel::Avx512 =>
+        // SAFETY: Avx2 implies runtime-detected AVX2+FMA; the asserts
+        // above bound every access (see the f64 variant).
+        unsafe { avx2::gemm_mk8x8_f32(a, lda, b, ldb, c, ldc, klen) },
+        _ => {
+            for r in 0..8 {
+                for j in 0..8 {
+                    let mut acc = c[r * ldc + j];
+                    for ki in 0..klen {
+                        acc = a[r * lda + ki].mul_add(b[ki * ldb + j], acc);
+                    }
+                    c[r * ldc + j] = acc;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// AVX2 implementations. Everything in this module is `unsafe fn` with
+// `#[target_feature]`; callers guarantee the features were detected.
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use core::arch::x86_64::*;
+
+    // SAFETY: caller must have runtime-detected the target features
+    // named in the attribute below (every dispatcher's `level()` value
+    // guarantees this) and upheld the slice-length contract asserted
+    // at the dispatch site.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn axpy_f64(y: &mut [f64], x: &[f64], a: f64) {
+        // SAFETY: (for all raw loads/stores below) the dispatcher
+        // asserted y.len() == x.len(); the vector loop covers full
+        // 4-lane chunks inside that length and the tail is scalar.
+        unsafe {
+            let n = y.len();
+            let av = _mm256_set1_pd(a);
+            let yp = y.as_mut_ptr();
+            let xp = x.as_ptr();
+            let mut i = 0;
+            while i + 4 <= n {
+                let yv = _mm256_loadu_pd(yp.add(i));
+                let xv = _mm256_loadu_pd(xp.add(i));
+                // Unfused on purpose: mirrors the scalar `y += a * x`.
+                _mm256_storeu_pd(yp.add(i), _mm256_add_pd(yv, _mm256_mul_pd(av, xv)));
+                i += 4;
+            }
+            while i < n {
+                *yp.add(i) += a * *xp.add(i);
+                i += 1;
+            }
+        }
+    }
+
+    // SAFETY: caller must have runtime-detected the target features
+    // named in the attribute below (every dispatcher's `level()` value
+    // guarantees this) and upheld the slice-length contract asserted
+    // at the dispatch site.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn axpy_f32(y: &mut [f32], x: &[f32], a: f32) {
+        // SAFETY: as in axpy_f64 — equal lengths asserted by the
+        // dispatcher, full 8-lane chunks vectorised, scalar tail.
+        unsafe {
+            let n = y.len();
+            let av = _mm256_set1_ps(a);
+            let yp = y.as_mut_ptr();
+            let xp = x.as_ptr();
+            let mut i = 0;
+            while i + 8 <= n {
+                let yv = _mm256_loadu_ps(yp.add(i));
+                let xv = _mm256_loadu_ps(xp.add(i));
+                _mm256_storeu_ps(yp.add(i), _mm256_add_ps(yv, _mm256_mul_ps(av, xv)));
+                i += 8;
+            }
+            while i < n {
+                *yp.add(i) += a * *xp.add(i);
+                i += 1;
+            }
+        }
+    }
+
+    // SAFETY: caller must have runtime-detected the target features
+    // named in the attribute below (every dispatcher's `level()` value
+    // guarantees this) and upheld the slice-length contract asserted
+    // at the dispatch site.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn scale_masked_f64(v: &mut [f64], factor: f64) {
+        // SAFETY: loads/stores stay inside v.len(); the blend keeps the
+        // original (NaN) lanes bit-exact, matching the scalar skip.
+        unsafe {
+            let n = v.len();
+            let f = _mm256_set1_pd(factor);
+            let p = v.as_mut_ptr();
+            let mut i = 0;
+            while i + 4 <= n {
+                let x = _mm256_loadu_pd(p.add(i));
+                let prod = _mm256_mul_pd(x, f);
+                // Ordered self-compare: true lanes are non-NaN.
+                let ord = _mm256_cmp_pd::<_CMP_ORD_Q>(x, x);
+                _mm256_storeu_pd(p.add(i), _mm256_blendv_pd(x, prod, ord));
+                i += 4;
+            }
+            while i < n {
+                let x = *p.add(i);
+                if !x.is_nan() {
+                    *p.add(i) = x * factor;
+                }
+                i += 1;
+            }
+        }
+    }
+
+    // SAFETY: caller must have runtime-detected the target features
+    // named in the attribute below (every dispatcher's `level()` value
+    // guarantees this) and upheld the slice-length contract asserted
+    // at the dispatch site.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn add_masked_f64(v: &mut [f64], delta: &[f64]) {
+        // SAFETY: equal lengths asserted by the dispatcher; blend keeps
+        // NaN lanes bit-exact.
+        unsafe {
+            let n = v.len();
+            let p = v.as_mut_ptr();
+            let dp = delta.as_ptr();
+            let mut i = 0;
+            while i + 4 <= n {
+                let x = _mm256_loadu_pd(p.add(i));
+                let sum = _mm256_add_pd(x, _mm256_loadu_pd(dp.add(i)));
+                let ord = _mm256_cmp_pd::<_CMP_ORD_Q>(x, x);
+                _mm256_storeu_pd(p.add(i), _mm256_blendv_pd(x, sum, ord));
+                i += 4;
+            }
+            while i < n {
+                let x = *p.add(i);
+                if !x.is_nan() {
+                    *p.add(i) = x + *dp.add(i);
+                }
+                i += 1;
+            }
+        }
+    }
+
+    // SAFETY: caller must have runtime-detected the target features
+    // named in the attribute below (every dispatcher's `level()` value
+    // guarantees this) and upheld the slice-length contract asserted
+    // at the dispatch site.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn sq_diff_acc_f64(acc: &mut [f64], x: f64, ys: &[f64]) {
+        // SAFETY: equal lengths asserted by the dispatcher.
+        unsafe {
+            let n = acc.len();
+            let xv = _mm256_set1_pd(x);
+            let ap = acc.as_mut_ptr();
+            let yp = ys.as_ptr();
+            let mut i = 0;
+            while i + 4 <= n {
+                let d = _mm256_sub_pd(xv, _mm256_loadu_pd(yp.add(i)));
+                let a = _mm256_loadu_pd(ap.add(i));
+                // Unfused (mul then add): mirrors `acc += d * d`.
+                _mm256_storeu_pd(ap.add(i), _mm256_add_pd(a, _mm256_mul_pd(d, d)));
+                i += 4;
+            }
+            while i < n {
+                let d = x - *yp.add(i);
+                *ap.add(i) += d * d;
+                i += 1;
+            }
+        }
+    }
+
+    // SAFETY: caller must have runtime-detected the target features
+    // named in the attribute below (every dispatcher's `level()` value
+    // guarantees this) and upheld the slice-length contract asserted
+    // at the dispatch site.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn min2_f64(out: &mut [f64], a: &[f64], b: &[f64]) {
+        // SAFETY: equal lengths asserted by the dispatcher; vminpd on
+        // NaN-free input matches the scalar `if a < b { a } else { b }`.
+        unsafe {
+            let n = out.len();
+            let op = out.as_mut_ptr();
+            let ap = a.as_ptr();
+            let bp = b.as_ptr();
+            let mut i = 0;
+            while i + 4 <= n {
+                let m = _mm256_min_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)));
+                _mm256_storeu_pd(op.add(i), m);
+                i += 4;
+            }
+            while i < n {
+                let (x, y) = (*ap.add(i), *bp.add(i));
+                *op.add(i) = if x < y { x } else { y };
+                i += 1;
+            }
+        }
+    }
+
+    // SAFETY: caller must have runtime-detected the target features
+    // named in the attribute below (every dispatcher's `level()` value
+    // guarantees this) and upheld the slice-length contract asserted
+    // at the dispatch site.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn lerp_interior_f64(src: &[f64], scale: f64, lo: usize, out: &mut [f64]) {
+        // SAFETY: the dispatcher guarantees every interior position
+        // satisfies 0 < (lo+off)·scale < src.len()−1, so floor(t) and
+        // floor(t)+1 index src in bounds; gathers are done with scalar
+        // loads at those verified indices.
+        unsafe {
+            let n = out.len();
+            let op = out.as_mut_ptr();
+            let sp = src.as_ptr();
+            let one = _mm256_set1_pd(1.0);
+            let mut off = 0;
+            while off + 4 <= n {
+                let mut t4 = [0.0f64; 4];
+                let mut v0 = [0.0f64; 4];
+                let mut v1 = [0.0f64; 4];
+                let mut fr = [0.0f64; 4];
+                for l in 0..4 {
+                    let t = (lo + off + l) as f64 * scale;
+                    let i = t as usize; // t > 0, so cast == floor
+                    fr[l] = t - i as f64;
+                    v0[l] = *sp.add(i);
+                    v1[l] = *sp.add(i + 1);
+                    t4[l] = t;
+                }
+                let fracv = _mm256_loadu_pd(fr.as_ptr());
+                let a = _mm256_mul_pd(_mm256_loadu_pd(v0.as_ptr()), _mm256_sub_pd(one, fracv));
+                let bvv = _mm256_mul_pd(_mm256_loadu_pd(v1.as_ptr()), fracv);
+                _mm256_storeu_pd(op.add(off), _mm256_add_pd(a, bvv));
+                off += 4;
+            }
+            while off < n {
+                let t = (lo + off) as f64 * scale;
+                let i = t as usize;
+                let frac = t - i as f64;
+                *op.add(off) = *sp.add(i) * (1.0 - frac) + *sp.add(i + 1) * frac;
+                off += 1;
+            }
+        }
+    }
+
+    /// Spill-and-finish helper: the fixed 8-lane f32 combine tree.
+    #[inline]
+    fn combine8(l: [f32; 8]) -> f32 {
+        super::combine8_f32(l)
+    }
+
+    // SAFETY: caller must have runtime-detected the target features
+    // named in the attribute below (every dispatcher's `level()` value
+    // guarantees this) and upheld the slice-length contract asserted
+    // at the dispatch site.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn sum_f32(xs: &[f32]) -> f32 {
+        // SAFETY: full 8-lane chunks stay inside xs.len(); the tail is
+        // folded into lanes 0..tail exactly like the scalar mirror.
+        unsafe {
+            let n = xs.len();
+            let p = xs.as_ptr();
+            let mut acc = _mm256_setzero_ps();
+            let mut i = 0;
+            while i + 8 <= n {
+                acc = _mm256_add_ps(acc, _mm256_loadu_ps(p.add(i)));
+                i += 8;
+            }
+            let mut lanes = [0.0f32; 8];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+            let mut l = 0;
+            while i < n {
+                lanes[l] += *p.add(i);
+                l += 1;
+                i += 1;
+            }
+            combine8(lanes)
+        }
+    }
+
+    // SAFETY: caller must have runtime-detected the target features
+    // named in the attribute below (every dispatcher's `level()` value
+    // guarantees this) and upheld the slice-length contract asserted
+    // at the dispatch site.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn sumsq_centered_f32(xs: &[f32], mean: f32) -> f32 {
+        // SAFETY: as in sum_f32.
+        unsafe {
+            let n = xs.len();
+            let p = xs.as_ptr();
+            let m = _mm256_set1_ps(mean);
+            let mut acc = _mm256_setzero_ps();
+            let mut i = 0;
+            while i + 8 <= n {
+                let d = _mm256_sub_ps(_mm256_loadu_ps(p.add(i)), m);
+                acc = _mm256_fmadd_ps(d, d, acc);
+                i += 8;
+            }
+            let mut lanes = [0.0f32; 8];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+            let mut l = 0;
+            while i < n {
+                let d = *p.add(i) - mean;
+                lanes[l] = d.mul_add(d, lanes[l]);
+                l += 1;
+                i += 1;
+            }
+            combine8(lanes)
+        }
+    }
+
+    // SAFETY: caller must have runtime-detected the target features
+    // named in the attribute below (every dispatcher's `level()` value
+    // guarantees this) and upheld the slice-length contract asserted
+    // at the dispatch site.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: equal lengths asserted by the dispatcher; chunks and
+        // tail as in sum_f32.
+        unsafe {
+            let n = a.len();
+            let ap = a.as_ptr();
+            let bp = b.as_ptr();
+            let mut acc = _mm256_setzero_ps();
+            let mut i = 0;
+            while i + 8 <= n {
+                acc = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc);
+                i += 8;
+            }
+            let mut lanes = [0.0f32; 8];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+            let mut l = 0;
+            while i < n {
+                lanes[l] = (*ap.add(i)).mul_add(*bp.add(i), lanes[l]);
+                l += 1;
+                i += 1;
+            }
+            combine8(lanes)
+        }
+    }
+
+    // SAFETY: caller must have runtime-detected the target features
+    // named in the attribute below (every dispatcher's `level()` value
+    // guarantees this) and upheld the slice-length contract asserted
+    // at the dispatch site.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn dot_f64(a: &[f64], b: &[f64]) -> f64 {
+        // SAFETY: equal lengths asserted by the dispatcher.
+        unsafe {
+            let n = a.len();
+            let ap = a.as_ptr();
+            let bp = b.as_ptr();
+            let mut acc = _mm256_setzero_pd();
+            let mut i = 0;
+            while i + 4 <= n {
+                acc = _mm256_fmadd_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)), acc);
+                i += 4;
+            }
+            let mut lanes = [0.0f64; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+            let mut l = 0;
+            while i < n {
+                lanes[l] = (*ap.add(i)).mul_add(*bp.add(i), lanes[l]);
+                l += 1;
+                i += 1;
+            }
+            super::combine4_f64(lanes)
+        }
+    }
+
+    // SAFETY: caller must have runtime-detected the target features
+    // named in the attribute below (every dispatcher's `level()` value
+    // guarantees this) and upheld the slice-length contract asserted
+    // at the dispatch site.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn ppv_max_f64(vals: &[f64]) -> (usize, f64) {
+        // SAFETY: full 4-lane chunks stay inside vals.len(); tail folds
+        // into lanes 0..tail like the scalar mirror. The blend keeps the
+        // earliest-seen value on ties (strict greater-than update).
+        unsafe {
+            let n = vals.len();
+            let p = vals.as_ptr();
+            let zero = _mm256_setzero_pd();
+            let mut maxv = _mm256_set1_pd(f64::NEG_INFINITY);
+            let mut positives = 0usize;
+            let mut i = 0;
+            while i + 4 <= n {
+                let v = _mm256_loadu_pd(p.add(i));
+                let gt0 = _mm256_cmp_pd::<_CMP_GT_OQ>(v, zero);
+                positives += _mm256_movemask_pd(gt0).count_ones() as usize;
+                let gtm = _mm256_cmp_pd::<_CMP_GT_OQ>(v, maxv);
+                maxv = _mm256_blendv_pd(maxv, v, gtm);
+                i += 4;
+            }
+            let mut lanes = [0.0f64; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), maxv);
+            let mut l = 0;
+            while i < n {
+                let v = *p.add(i);
+                if v > 0.0 {
+                    positives += 1;
+                }
+                if v > lanes[l] {
+                    lanes[l] = v;
+                }
+                l += 1;
+                i += 1;
+            }
+            (positives, super::max4(lanes))
+        }
+    }
+
+    // SAFETY: caller must have runtime-detected the target features
+    // named in the attribute below (every dispatcher's `level()` value
+    // guarantees this) and upheld the slice-length contract asserted
+    // at the dispatch site.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn bn_forward_f32(
+        x: &[f32],
+        mean: f32,
+        inv_std: f32,
+        gamma: f32,
+        beta: f32,
+        xhat: &mut [f32],
+        out: &mut [f32],
+    ) {
+        // SAFETY: equal lengths asserted by the dispatcher.
+        unsafe {
+            let n = x.len();
+            let xp = x.as_ptr();
+            let hp = xhat.as_mut_ptr();
+            let op = out.as_mut_ptr();
+            let mv = _mm256_set1_ps(mean);
+            let sv = _mm256_set1_ps(inv_std);
+            let gv = _mm256_set1_ps(gamma);
+            let bv = _mm256_set1_ps(beta);
+            let mut i = 0;
+            while i + 8 <= n {
+                let h = _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(xp.add(i)), mv), sv);
+                _mm256_storeu_ps(hp.add(i), h);
+                _mm256_storeu_ps(op.add(i), _mm256_fmadd_ps(gv, h, bv));
+                i += 8;
+            }
+            while i < n {
+                let h = (*xp.add(i) - mean) * inv_std;
+                *hp.add(i) = h;
+                *op.add(i) = gamma.mul_add(h, beta);
+                i += 1;
+            }
+        }
+    }
+
+    // SAFETY: caller must have runtime-detected the target features
+    // named in the attribute below (every dispatcher's `level()` value
+    // guarantees this) and upheld the slice-length contract asserted
+    // at the dispatch site.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn gemm_mk4x8_f64(
+        a: &[f64],
+        lda: usize,
+        b: &[f64],
+        ldb: usize,
+        c: &mut [f64],
+        ldc: usize,
+        klen: usize,
+    ) {
+        // SAFETY: the public dispatcher asserts the full 8×8 tile is in
+        // bounds; this helper touches rows 0..4 of that tile (the second
+        // call re-bases the slices by 4 rows). All pointer arithmetic
+        // stays within r·ld + idx for r < 4, ki < klen, j < 8.
+        unsafe {
+            let ap = a.as_ptr();
+            let bp = b.as_ptr();
+            let cp = c.as_mut_ptr();
+            let mut acc00 = _mm256_loadu_pd(cp);
+            let mut acc01 = _mm256_loadu_pd(cp.add(4));
+            let mut acc10 = _mm256_loadu_pd(cp.add(ldc));
+            let mut acc11 = _mm256_loadu_pd(cp.add(ldc + 4));
+            let mut acc20 = _mm256_loadu_pd(cp.add(2 * ldc));
+            let mut acc21 = _mm256_loadu_pd(cp.add(2 * ldc + 4));
+            let mut acc30 = _mm256_loadu_pd(cp.add(3 * ldc));
+            let mut acc31 = _mm256_loadu_pd(cp.add(3 * ldc + 4));
+            for ki in 0..klen {
+                let b0 = _mm256_loadu_pd(bp.add(ki * ldb));
+                let b1 = _mm256_loadu_pd(bp.add(ki * ldb + 4));
+                let a0 = _mm256_set1_pd(*ap.add(ki));
+                acc00 = _mm256_fmadd_pd(a0, b0, acc00);
+                acc01 = _mm256_fmadd_pd(a0, b1, acc01);
+                let a1 = _mm256_set1_pd(*ap.add(lda + ki));
+                acc10 = _mm256_fmadd_pd(a1, b0, acc10);
+                acc11 = _mm256_fmadd_pd(a1, b1, acc11);
+                let a2 = _mm256_set1_pd(*ap.add(2 * lda + ki));
+                acc20 = _mm256_fmadd_pd(a2, b0, acc20);
+                acc21 = _mm256_fmadd_pd(a2, b1, acc21);
+                let a3 = _mm256_set1_pd(*ap.add(3 * lda + ki));
+                acc30 = _mm256_fmadd_pd(a3, b0, acc30);
+                acc31 = _mm256_fmadd_pd(a3, b1, acc31);
+            }
+            _mm256_storeu_pd(cp, acc00);
+            _mm256_storeu_pd(cp.add(4), acc01);
+            _mm256_storeu_pd(cp.add(ldc), acc10);
+            _mm256_storeu_pd(cp.add(ldc + 4), acc11);
+            _mm256_storeu_pd(cp.add(2 * ldc), acc20);
+            _mm256_storeu_pd(cp.add(2 * ldc + 4), acc21);
+            _mm256_storeu_pd(cp.add(3 * ldc), acc30);
+            _mm256_storeu_pd(cp.add(3 * ldc + 4), acc31);
+        }
+    }
+
+    // SAFETY: caller must have runtime-detected the target features
+    // named in the attribute below (every dispatcher's `level()` value
+    // guarantees this) and upheld the slice-length contract asserted
+    // at the dispatch site.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn gemm_mk8x8_f32(
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        klen: usize,
+    ) {
+        // SAFETY: the public dispatcher asserts rows 0..8 × ki 0..klen
+        // of `a`, ki 0..klen × cols 0..8 of `b`, and rows 0..8 × cols
+        // 0..8 of `c` are in bounds; all accesses stay in that range.
+        unsafe {
+            let ap = a.as_ptr();
+            let bp = b.as_ptr();
+            let cp = c.as_mut_ptr();
+            let mut acc = [_mm256_setzero_ps(); 8];
+            for (r, accr) in acc.iter_mut().enumerate() {
+                // Only the low 8 f32 of each C row participate.
+                *accr = _mm256_loadu_ps(cp.add(r * ldc));
+            }
+            for ki in 0..klen {
+                let bvec = _mm256_loadu_ps(bp.add(ki * ldb));
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*ap.add(r * lda + ki));
+                    *accr = _mm256_fmadd_ps(av, bvec, *accr);
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                _mm256_storeu_ps(cp.add(r * ldc), *accr);
+            }
+        }
+    }
+}
+
+/// 8×16 f64 micro-kernel tile update (fused, ascending `ki`): the wide
+/// variant used for full 16-column strips, where the doubled column
+/// count amortises the per-`ki` A broadcasts over twice the FMA work.
+/// Per-element chains are identical to [`gemm_mk8x8_f64`]'s — computing
+/// a 16-wide strip as one wide tile or two 8-wide tiles gives the same
+/// bits — which is what keeps Scalar/Avx2/Avx512 in exact agreement.
+#[inline]
+#[allow(clippy::too_many_arguments)] // standard GEMM micro-kernel signature
+pub fn gemm_mk8x16_f64(
+    lvl: SimdLevel,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+    klen: usize,
+) {
+    assert!(klen > 0 && lda >= klen && ldb >= 16 && ldc >= 16, "gemm_mk8x16 bad strides");
+    assert!(a.len() >= 7 * lda + klen, "gemm_mk8x16 lhs tile out of bounds");
+    assert!(b.len() >= (klen - 1) * ldb + 16, "gemm_mk8x16 rhs tile out of bounds");
+    assert!(c.len() >= 7 * ldc + 16, "gemm_mk8x16 out tile out of bounds");
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 =>
+        // SAFETY: Avx512 implies runtime-detected AVX-512F; the asserts
+        // above bound every access (rows 0..8 × ki 0..klen of `a`,
+        // ki 0..klen × cols 0..16 of `b`, rows 0..8 × cols 0..16 of `c`).
+        unsafe { avx512::gemm_mk8x16_f64(a, lda, b, ldb, c, ldc, klen) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => {
+            // SAFETY: Avx2 implies runtime-detected AVX2+FMA; the four
+            // quadrant calls cover rows {0..4, 4..8} × cols {0..8, 8..16}
+            // of the tile bounded by the asserts above.
+            unsafe {
+                avx2::gemm_mk4x8_f64(a, lda, b, ldb, c, ldc, klen);
+                avx2::gemm_mk4x8_f64(a, lda, &b[8..], ldb, &mut c[8..], ldc, klen);
+                avx2::gemm_mk4x8_f64(&a[4 * lda..], lda, b, ldb, &mut c[4 * ldc..], ldc, klen);
+                avx2::gemm_mk4x8_f64(
+                    &a[4 * lda..],
+                    lda,
+                    &b[8..],
+                    ldb,
+                    &mut c[4 * ldc + 8..],
+                    ldc,
+                    klen,
+                );
+            }
+        }
+        _ => {
+            for r in 0..8 {
+                for j in 0..16 {
+                    let mut acc = c[r * ldc + j];
+                    for ki in 0..klen {
+                        acc = a[r * lda + ki].mul_add(b[ki * ldb + j], acc);
+                    }
+                    c[r * ldc + j] = acc;
+                }
+            }
+        }
+    }
+}
+
+/// 8×16 f32 micro-kernel tile update (fused, ascending `ki`); see
+/// [`gemm_mk8x16_f64`] for the bit-identity argument.
+#[inline]
+#[allow(clippy::too_many_arguments)] // standard GEMM micro-kernel signature
+pub fn gemm_mk8x16_f32(
+    lvl: SimdLevel,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    klen: usize,
+) {
+    assert!(klen > 0 && lda >= klen && ldb >= 16 && ldc >= 16, "gemm_mk8x16 bad strides");
+    assert!(a.len() >= 7 * lda + klen, "gemm_mk8x16 lhs tile out of bounds");
+    assert!(b.len() >= (klen - 1) * ldb + 16, "gemm_mk8x16 rhs tile out of bounds");
+    assert!(c.len() >= 7 * ldc + 16, "gemm_mk8x16 out tile out of bounds");
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 =>
+        // SAFETY: Avx512 implies runtime-detected AVX-512F; the asserts
+        // above bound every access.
+        unsafe { avx512::gemm_mk8x16_f32(a, lda, b, ldb, c, ldc, klen) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => {
+            // SAFETY: Avx2 implies runtime-detected AVX2+FMA; the two
+            // half calls cover cols {0..8, 8..16} of the asserted tile.
+            unsafe {
+                avx2::gemm_mk8x8_f32(a, lda, b, ldb, c, ldc, klen);
+                avx2::gemm_mk8x8_f32(a, lda, &b[8..], ldb, &mut c[8..], ldc, klen);
+            }
+        }
+        _ => {
+            for r in 0..8 {
+                for j in 0..16 {
+                    let mut acc = c[r * ldc + j];
+                    for ki in 0..klen {
+                        acc = a[r * lda + ki].mul_add(b[ki * ldb + j], acc);
+                    }
+                    c[r * ldc + j] = acc;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// AVX-512 implementations: only the GEMM micro-kernels, where the
+// 512-bit registers double FMA throughput. One (or two) zmm
+// accumulators per C row, same ascending-ki fused chains as the
+// AVX2/scalar paths.
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    use core::arch::x86_64::*;
+
+    // SAFETY: caller must have runtime-detected the target features
+    // named in the attribute below (every dispatcher's `level()` value
+    // guarantees this) and upheld the slice-length contract asserted
+    // at the dispatch site.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn gemm_mk8x8_f64(
+        a: &[f64],
+        lda: usize,
+        b: &[f64],
+        ldb: usize,
+        c: &mut [f64],
+        ldc: usize,
+        klen: usize,
+    ) {
+        // SAFETY: the public dispatcher asserts rows 0..8 × ki 0..klen
+        // of `a`, ki 0..klen × cols 0..8 of `b`, and rows 0..8 × cols
+        // 0..8 of `c` are in bounds; every access stays in that range.
+        unsafe {
+            let ap = a.as_ptr();
+            let bp = b.as_ptr();
+            let cp = c.as_mut_ptr();
+            let mut acc = [_mm512_setzero_pd(); 8];
+            for (r, accr) in acc.iter_mut().enumerate() {
+                *accr = _mm512_loadu_pd(cp.add(r * ldc));
+            }
+            for ki in 0..klen {
+                let bvec = _mm512_loadu_pd(bp.add(ki * ldb));
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = _mm512_set1_pd(*ap.add(r * lda + ki));
+                    *accr = _mm512_fmadd_pd(av, bvec, *accr);
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                _mm512_storeu_pd(cp.add(r * ldc), *accr);
+            }
+        }
+    }
+
+    // SAFETY: caller must have runtime-detected the target features
+    // named in the attribute below (every dispatcher's `level()` value
+    // guarantees this) and upheld the slice-length contract asserted
+    // at the dispatch site.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn gemm_mk8x16_f64(
+        a: &[f64],
+        lda: usize,
+        b: &[f64],
+        ldb: usize,
+        c: &mut [f64],
+        ldc: usize,
+        klen: usize,
+    ) {
+        // SAFETY: the public dispatcher asserts rows 0..8 × ki 0..klen
+        // of `a`, ki 0..klen × cols 0..16 of `b`, and rows 0..8 × cols
+        // 0..16 of `c` are in bounds; every access stays in that range.
+        unsafe {
+            let ap = a.as_ptr();
+            let bp = b.as_ptr();
+            let cp = c.as_mut_ptr();
+            // Two zmm accumulators per C row: 16 of the 32 AVX-512
+            // registers, leaving room for the two B vectors and the
+            // broadcast without spilling.
+            let mut lo = [_mm512_setzero_pd(); 8];
+            let mut hi = [_mm512_setzero_pd(); 8];
+            for r in 0..8 {
+                lo[r] = _mm512_loadu_pd(cp.add(r * ldc));
+                hi[r] = _mm512_loadu_pd(cp.add(r * ldc + 8));
+            }
+            for ki in 0..klen {
+                let b0 = _mm512_loadu_pd(bp.add(ki * ldb));
+                let b1 = _mm512_loadu_pd(bp.add(ki * ldb + 8));
+                for r in 0..8 {
+                    let av = _mm512_set1_pd(*ap.add(r * lda + ki));
+                    lo[r] = _mm512_fmadd_pd(av, b0, lo[r]);
+                    hi[r] = _mm512_fmadd_pd(av, b1, hi[r]);
+                }
+            }
+            for r in 0..8 {
+                _mm512_storeu_pd(cp.add(r * ldc), lo[r]);
+                _mm512_storeu_pd(cp.add(r * ldc + 8), hi[r]);
+            }
+        }
+    }
+
+    // SAFETY: caller must have runtime-detected the target features
+    // named in the attribute below (every dispatcher's `level()` value
+    // guarantees this) and upheld the slice-length contract asserted
+    // at the dispatch site.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn gemm_mk8x16_f32(
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        klen: usize,
+    ) {
+        // SAFETY: the public dispatcher asserts rows 0..8 × ki 0..klen
+        // of `a`, ki 0..klen × cols 0..16 of `b`, and rows 0..8 × cols
+        // 0..16 of `c` are in bounds; every access stays in that range.
+        unsafe {
+            let ap = a.as_ptr();
+            let bp = b.as_ptr();
+            let cp = c.as_mut_ptr();
+            let mut acc = [_mm512_setzero_ps(); 8];
+            for (r, accr) in acc.iter_mut().enumerate() {
+                *accr = _mm512_loadu_ps(cp.add(r * ldc));
+            }
+            for ki in 0..klen {
+                let bvec = _mm512_loadu_ps(bp.add(ki * ldb));
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = _mm512_set1_ps(*ap.add(r * lda + ki));
+                    *accr = _mm512_fmadd_ps(av, bvec, *accr);
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                _mm512_storeu_ps(cp.add(r * ldc), *accr);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both_levels() -> Vec<SimdLevel> {
+        let mut ls = vec![SimdLevel::Scalar];
+        if hw_level() >= SimdLevel::Avx2 {
+            ls.push(SimdLevel::Avx2);
+        }
+        if hw_level() >= SimdLevel::Avx512 {
+            ls.push(SimdLevel::Avx512);
+        }
+        ls
+    }
+
+    fn series(n: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
+        (0..n).map(f).collect()
+    }
+
+    #[test]
+    fn level_name_round_trips() {
+        assert_eq!(SimdLevel::Scalar.name(), "scalar");
+        assert_eq!(SimdLevel::Avx2.name(), "avx2");
+    }
+
+    #[test]
+    fn axpy_matches_plain_loop_on_all_lengths() {
+        for lvl in both_levels() {
+            for n in [0, 1, 3, 4, 7, 8, 33] {
+                let x = series(n, |i| (i as f64 * 0.7).sin());
+                let mut y = series(n, |i| i as f64 * 0.01 - 0.3);
+                let mut want = y.clone();
+                for (w, xv) in want.iter_mut().zip(&x) {
+                    *w += 1.25 * xv;
+                }
+                axpy_f64_with(lvl, &mut y, &x, 1.25);
+                assert_eq!(y, want, "level {lvl:?} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_levels_agree_bitwise_on_reductions() {
+        let a = series(1031, |i| ((i * 37 % 101) as f64 - 50.0) * 0.013);
+        let b = series(1031, |i| ((i * 53 % 97) as f64 - 48.0) * 0.017);
+        let a32: Vec<f32> = a.iter().map(|&v| v as f32).collect();
+        let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+        let levels = both_levels();
+        for pair in levels.windows(2) {
+            assert_eq!(
+                dot_f64_with(pair[0], &a, &b).to_bits(),
+                dot_f64_with(pair[1], &a, &b).to_bits()
+            );
+            assert_eq!(
+                dot_f32_with(pair[0], &a32, &b32).to_bits(),
+                dot_f32_with(pair[1], &a32, &b32).to_bits()
+            );
+            assert_eq!(
+                sum_f32_with(pair[0], &a32).to_bits(),
+                sum_f32_with(pair[1], &a32).to_bits()
+            );
+            assert_eq!(
+                sumsq_centered_f32_with(pair[0], &a32, 0.25).to_bits(),
+                sumsq_centered_f32_with(pair[1], &a32, 0.25).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn ppv_max_counts_and_maxes() {
+        for lvl in both_levels() {
+            let v = series(129, |i| ((i as f64) * 0.9).sin() - 0.1);
+            let (ppv, max) = ppv_max_f64_with(lvl, &v);
+            let want_ppv = v.iter().filter(|&&x| x > 0.0).count();
+            let want_max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(ppv, want_ppv, "level {lvl:?}");
+            assert_eq!(max, want_max, "level {lvl:?}");
+        }
+        assert_eq!(ppv_max_f64(&[]), (0, f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn masked_ops_preserve_nan_bits() {
+        for lvl in both_levels() {
+            let template = [1.0, f64::NAN, -2.0, 3.5, f64::NAN, 0.0, 4.0, -1.0, 9.0];
+            let mut v = template;
+            scale_masked_f64_with(lvl, &mut v, 2.0);
+            assert_eq!(v[0], 2.0);
+            assert_eq!(v[1].to_bits(), template[1].to_bits(), "level {lvl:?}");
+            assert_eq!(v[2], -4.0);
+            let mut w = template;
+            let delta = [0.5; 9];
+            add_masked_f64_with(lvl, &mut w, &delta);
+            assert_eq!(w[0], 1.5);
+            assert_eq!(w[4].to_bits(), template[4].to_bits(), "level {lvl:?}");
+        }
+    }
+
+    #[test]
+    fn min2_matches_scalar_min() {
+        for lvl in both_levels() {
+            let a = series(37, |i| (i as f64 * 1.3).cos());
+            let mut b = series(37, |i| (i as f64 * 0.7).sin());
+            b[5] = f64::INFINITY;
+            let mut out = vec![0.0; 37];
+            min2_f64_with(lvl, &mut out, &a, &b);
+            for i in 0..37 {
+                assert_eq!(out[i], a[i].min(b[i]), "level {lvl:?} i {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn lerp_resample_matches_lerp_at_formula() {
+        for lvl in both_levels() {
+            let src = series(23, |i| (i as f64 * 0.31).sin() * 2.0);
+            for olen in [1usize, 2, 4, 9, 23, 64] {
+                let mut out = vec![0.0; olen];
+                lerp_resample_f64_with(lvl, &src, &mut out);
+                let max = (src.len() - 1) as f64;
+                let scale = if olen == 1 { 0.0 } else { max / (olen - 1) as f64 };
+                for (i, &o) in out.iter().enumerate() {
+                    let t = i as f64 * scale;
+                    let want = if t <= 0.0 {
+                        src[0]
+                    } else if t >= max {
+                        src[src.len() - 1]
+                    } else {
+                        let j = t.floor() as usize;
+                        let frac = t - j as f64;
+                        src[j] * (1.0 - frac) + src[j + 1] * frac
+                    };
+                    assert_eq!(o.to_bits(), want.to_bits(), "level {lvl:?} olen {olen} i {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_microkernels_agree_across_levels() {
+        let (lda, ldb, ldc, klen) = (19, 11, 9, 17);
+        let a = series(8 * lda, |i| ((i * 29 % 31) as f64 - 15.0) * 0.05);
+        let b = series(klen * ldb, |i| ((i * 17 % 23) as f64 - 11.0) * 0.04);
+        let c0 = series(8 * ldc, |i| (i as f64 * 0.11).sin());
+        let mut outs: Vec<Vec<f64>> = Vec::new();
+        for lvl in both_levels() {
+            let mut c = c0.clone();
+            gemm_mk8x8_f64(lvl, &a, lda, &b, ldb, &mut c, ldc, klen);
+            outs.push(c);
+        }
+        for pair in outs.windows(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+        // And the same for f32.
+        let a32: Vec<f32> = a.iter().map(|&v| v as f32).collect();
+        let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+        let c32: Vec<f32> = c0.iter().map(|&v| v as f32).collect();
+        let mut outs32: Vec<Vec<f32>> = Vec::new();
+        for lvl in both_levels() {
+            let mut c = c32.clone();
+            gemm_mk8x8_f32(lvl, &a32, lda, &b32, ldb, &mut c, ldc, klen);
+            outs32.push(c);
+        }
+        for pair in outs32.windows(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn bn_forward_normalises() {
+        for lvl in both_levels() {
+            let x: Vec<f32> = (0..21).map(|i| i as f32 * 0.5 - 3.0).collect();
+            let mean = x.iter().sum::<f32>() / x.len() as f32;
+            let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / x.len() as f32;
+            let inv_std = 1.0 / var.sqrt();
+            let mut xhat = vec![0.0f32; x.len()];
+            let mut out = vec![0.0f32; x.len()];
+            bn_forward_f32_with(lvl, &x, mean, inv_std, 2.0, 0.5, &mut xhat, &mut out);
+            for i in 0..x.len() {
+                assert!((xhat[i] - (x[i] - mean) * inv_std).abs() < 1e-6, "level {lvl:?}");
+                assert!((out[i] - (2.0 * xhat[i] + 0.5)).abs() < 1e-6, "level {lvl:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Property tests of the SIMD dispatch contract: every kernel in
+//! `tsda_linalg::simd` must produce **bit-identical** results at every
+//! dispatch level the host supports (Scalar always; Avx2/Avx512 when
+//! detected). There is no approximate tier here — element-wise kernels
+//! mirror the unfused scalar expression exactly, reductions share one
+//! fixed striped tree, and the GEMM micro-kernels fuse identically
+//! (`mul_add` ↔ `vfmadd`) per element — so equality is exact on every
+//! path. The documented FMA *tolerance* (EXPERIMENTS.md) is about the
+//! SIMD gemm vs the pre-SIMD unfused code, never between dispatch
+//! levels.
+//!
+//! Run under `TSDA_SIMD=scalar` this still passes (the level list
+//! collapses to `[Scalar]`); the determinism CI job runs it both ways.
+
+use proptest::prelude::*;
+use tsda_linalg::simd::{self, SimdLevel};
+
+/// Every level the host can actually execute.
+fn levels() -> Vec<SimdLevel> {
+    let mut ls = vec![SimdLevel::Scalar];
+    for l in [SimdLevel::Avx2, SimdLevel::Avx512] {
+        if simd::hw_level() >= l {
+            ls.push(l);
+        }
+    }
+    ls
+}
+
+/// Assert every pair of per-level outputs is bitwise equal.
+fn assert_bits_f64(results: &[(SimdLevel, Vec<f64>)]) -> Result<(), TestCaseError> {
+    for pair in results.windows(2) {
+        let (la, a) = &pair[0];
+        let (lb, b) = &pair[1];
+        prop_assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            prop_assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{:?} vs {:?} differ at [{}]: {} vs {}",
+                la,
+                lb,
+                i,
+                x,
+                y
+            );
+        }
+    }
+    Ok(())
+}
+
+fn assert_bits_f32(results: &[(SimdLevel, Vec<f32>)]) -> Result<(), TestCaseError> {
+    for pair in results.windows(2) {
+        let (la, a) = &pair[0];
+        let (lb, b) = &pair[1];
+        prop_assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            prop_assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{:?} vs {:?} differ at [{}]: {} vs {}",
+                la,
+                lb,
+                i,
+                x,
+                y
+            );
+        }
+    }
+    Ok(())
+}
+
+/// An f64 vector with NaN holes (the augmenters' missing values)
+/// punched wherever the paired mask draw lands on 0.
+fn vec_with_nans(len: core::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    let max = len.end;
+    (
+        proptest::collection::vec(-100.0f64..100.0, len),
+        proptest::collection::vec(0u8..10, max),
+    )
+        .prop_map(|(vals, mask)| {
+            vals.into_iter()
+                .zip(mask)
+                .map(|(v, m)| if m == 0 { f64::NAN } else { v })
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn axpy_f64_levels_agree(
+        y0 in proptest::collection::vec(-100.0f64..100.0, 0..67),
+        x_seed in proptest::collection::vec(-100.0f64..100.0, 67),
+        a in -10.0f64..10.0,
+    ) {
+        let x = &x_seed[..y0.len()];
+        let runs: Vec<_> = levels().into_iter().map(|l| {
+            let mut y = y0.clone();
+            simd::axpy_f64_with(l, &mut y, x, a);
+            (l, y)
+        }).collect();
+        assert_bits_f64(&runs)?;
+    }
+
+    #[test]
+    fn axpy_f32_levels_agree(
+        y0 in proptest::collection::vec(-100.0f32..100.0, 0..67),
+        x_seed in proptest::collection::vec(-100.0f32..100.0, 67),
+        a in -10.0f32..10.0,
+    ) {
+        let x = &x_seed[..y0.len()];
+        let runs: Vec<_> = levels().into_iter().map(|l| {
+            let mut y = y0.clone();
+            simd::axpy_f32_with(l, &mut y, x, a);
+            (l, y)
+        }).collect();
+        assert_bits_f32(&runs)?;
+    }
+
+    #[test]
+    fn masked_scale_and_add_levels_agree(
+        v0 in vec_with_nans(0..67),
+        d_seed in proptest::collection::vec(-5.0f64..5.0, 67),
+        factor in -3.0f64..3.0,
+    ) {
+        let d = &d_seed[..v0.len()];
+        let scaled: Vec<_> = levels().into_iter().map(|l| {
+            let mut v = v0.clone();
+            simd::scale_masked_f64_with(l, &mut v, factor);
+            (l, v)
+        }).collect();
+        // NaN payloads must survive untouched, so compare raw bits.
+        assert_bits_f64(&scaled)?;
+        let added: Vec<_> = levels().into_iter().map(|l| {
+            let mut v = v0.clone();
+            simd::add_masked_f64_with(l, &mut v, d);
+            (l, v)
+        }).collect();
+        assert_bits_f64(&added)?;
+    }
+
+    #[test]
+    fn dtw_row_kernels_levels_agree(
+        acc0 in proptest::collection::vec(-10.0f64..10.0, 1..67),
+        ys_seed in proptest::collection::vec(-10.0f64..10.0, 67),
+        x in -10.0f64..10.0,
+    ) {
+        let ys = &ys_seed[..acc0.len()];
+        let runs: Vec<_> = levels().into_iter().map(|l| {
+            let mut acc = acc0.clone();
+            simd::sq_diff_acc_f64_with(l, &mut acc, x, ys);
+            (l, acc)
+        }).collect();
+        assert_bits_f64(&runs)?;
+        // min2 over the same operands (shifted views as in the DTW
+        // prepass).
+        let n = acc0.len();
+        if n > 1 {
+            let mins: Vec<_> = levels().into_iter().map(|l| {
+                let mut out = vec![0.0; n - 1];
+                simd::min2_f64_with(l, &mut out, &acc0[1..], &acc0[..n - 1]);
+                (l, out)
+            }).collect();
+            assert_bits_f64(&mins)?;
+        }
+    }
+
+    #[test]
+    fn lerp_resample_levels_agree_and_match_lerp_at(
+        src in proptest::collection::vec(-50.0f64..50.0, 1..40),
+        new_len in 1usize..90,
+    ) {
+        let runs: Vec<_> = levels().into_iter().map(|l| {
+            let mut out = vec![0.0; new_len];
+            simd::lerp_resample_f64_with(l, &src, &mut out);
+            (l, out)
+        }).collect();
+        assert_bits_f64(&runs)?;
+        // And every point equals the scalar clamped-lerp definition.
+        if new_len > 1 {
+            let scale = (src.len() - 1) as f64 / (new_len - 1) as f64;
+            for (i, &got) in runs[0].1.iter().enumerate() {
+                let t = i as f64 * scale;
+                let max = (src.len() - 1) as f64;
+                let want = if t <= 0.0 {
+                    src[0]
+                } else if t >= max {
+                    src[src.len() - 1]
+                } else {
+                    let j = t.floor() as usize;
+                    let frac = t - j as f64;
+                    src[j] * (1.0 - frac) + src[j + 1] * frac
+                };
+                prop_assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn reductions_levels_agree(
+        xs in proptest::collection::vec(-100.0f32..100.0, 0..133),
+        ys_seed in proptest::collection::vec(-100.0f32..100.0, 133),
+        mean in -10.0f32..10.0,
+    ) {
+        let ys = &ys_seed[..xs.len()];
+        let sums: Vec<u32> =
+            levels().into_iter().map(|l| simd::sum_f32_with(l, &xs).to_bits()).collect();
+        prop_assert!(sums.windows(2).all(|w| w[0] == w[1]), "sum_f32 diverged: {sums:x?}");
+        let sq: Vec<u32> = levels()
+            .into_iter()
+            .map(|l| simd::sumsq_centered_f32_with(l, &xs, mean).to_bits())
+            .collect();
+        prop_assert!(sq.windows(2).all(|w| w[0] == w[1]), "sumsq diverged: {sq:x?}");
+        let dots: Vec<u32> =
+            levels().into_iter().map(|l| simd::dot_f32_with(l, &xs, ys).to_bits()).collect();
+        prop_assert!(dots.windows(2).all(|w| w[0] == w[1]), "dot_f32 diverged: {dots:x?}");
+        let xs64: Vec<f64> = xs.iter().map(|&v| v as f64).collect();
+        let ys64: Vec<f64> = ys.iter().map(|&v| v as f64).collect();
+        let dots64: Vec<u64> = levels()
+            .into_iter()
+            .map(|l| simd::dot_f64_with(l, &xs64, &ys64).to_bits())
+            .collect();
+        prop_assert!(dots64.windows(2).all(|w| w[0] == w[1]), "dot_f64 diverged: {dots64:x?}");
+    }
+
+    #[test]
+    fn rocket_pooling_levels_agree(vals in proptest::collection::vec(-10.0f64..10.0, 0..133)) {
+        let runs: Vec<(usize, f64)> =
+            levels().into_iter().map(|l| simd::ppv_max_f64_with(l, &vals)).collect();
+        for w in runs.windows(2) {
+            prop_assert_eq!(w[0].0, w[1].0, "ppv count diverged");
+            prop_assert_eq!(w[0].1.to_bits(), w[1].1.to_bits(), "max diverged");
+        }
+    }
+
+    #[test]
+    fn bn_forward_levels_agree(
+        xs in proptest::collection::vec(-10.0f32..10.0, 0..67),
+        mean in -2.0f32..2.0,
+        inv_std in 0.1f32..5.0,
+        gamma in -2.0f32..2.0,
+        beta in -2.0f32..2.0,
+    ) {
+        let runs: Vec<_> = levels().into_iter().map(|l| {
+            let mut xhat = vec![0.0f32; xs.len()];
+            let mut out = vec![0.0f32; xs.len()];
+            simd::bn_forward_f32_with(l, &xs, mean, inv_std, gamma, beta, &mut xhat, &mut out);
+            let mut joined = xhat;
+            joined.extend_from_slice(&out);
+            (l, joined)
+        }).collect();
+        assert_bits_f32(&runs)?;
+    }
+
+    #[test]
+    fn gemm_mk8x8_f64_levels_agree(
+        a in proptest::collection::vec(-10.0f64..10.0, 8 * 24),
+        b in proptest::collection::vec(-10.0f64..10.0, 24 * 8),
+        c0 in proptest::collection::vec(-10.0f64..10.0, 8 * 8),
+        klen in 1usize..24,
+    ) {
+        let runs: Vec<_> = levels().into_iter().map(|l| {
+            let mut c = c0.clone();
+            simd::gemm_mk8x8_f64(l, &a, 24, &b, 8, &mut c, 8, klen);
+            (l, c)
+        }).collect();
+        assert_bits_f64(&runs)?;
+    }
+
+    #[test]
+    fn gemm_mk8x16_levels_agree_and_match_two_8x8_tiles(
+        a64 in proptest::collection::vec(-10.0f64..10.0, 8 * 24),
+        b64 in proptest::collection::vec(-10.0f64..10.0, 24 * 16),
+        c064 in proptest::collection::vec(-10.0f64..10.0, 8 * 16),
+        klen in 1usize..24,
+    ) {
+        let runs: Vec<_> = levels().into_iter().map(|l| {
+            let mut c = c064.clone();
+            simd::gemm_mk8x16_f64(l, &a64, 24, &b64, 16, &mut c, 16, klen);
+            (l, c)
+        }).collect();
+        assert_bits_f64(&runs)?;
+        // One 16-wide strip == two 8-wide tiles, bit for bit (this is
+        // the identity the GEMM caller relies on when it mixes strip
+        // widths at the column remainder).
+        let mut two = c064.clone();
+        let lvl = simd::SimdLevel::Scalar;
+        simd::gemm_mk8x8_f64(lvl, &a64, 24, &b64, 16, &mut two, 16, klen);
+        simd::gemm_mk8x8_f64(lvl, &a64, 24, &b64[8..], 16, &mut two[8..], 16, klen);
+        for (x, y) in runs[0].1.iter().zip(&two) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+
+        // f32 variant over the same shapes.
+        let a32: Vec<f32> = a64.iter().map(|&v| v as f32).collect();
+        let b32: Vec<f32> = b64.iter().map(|&v| v as f32).collect();
+        let c032: Vec<f32> = c064.iter().map(|&v| v as f32).collect();
+        let runs32: Vec<_> = levels().into_iter().map(|l| {
+            let mut c = c032.clone();
+            simd::gemm_mk8x16_f32(l, &a32, 24, &b32, 16, &mut c, 16, klen);
+            (l, c)
+        }).collect();
+        assert_bits_f32(&runs32)?;
+    }
+}

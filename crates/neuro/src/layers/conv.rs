@@ -89,9 +89,7 @@ impl Conv1d {
                 let lo = pad.saturating_sub(k);
                 let hi = (t_len + pad).saturating_sub(k).min(t_len);
                 let row = &mut col[(ic * self.kernel + k) * t_len..(ic * self.kernel + k + 1) * t_len];
-                for t in lo..hi {
-                    row[t] = src[t + k - pad];
-                }
+                row[lo..hi].copy_from_slice(&src[lo + k - pad..hi + k - pad]);
             }
         }
     }

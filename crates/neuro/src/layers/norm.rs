@@ -2,6 +2,7 @@
 
 use super::Layer;
 use crate::tensor::Tensor;
+use tsda_linalg::simd;
 
 /// Batch normalisation (Ioffe & Szegedy) for 1-D convolutional feature
 /// maps: statistics are taken per channel over the batch and time axes.
@@ -48,21 +49,28 @@ impl Layer for BatchNorm1d {
         let count = (n * t_len) as f32;
         let mut out = x.clone();
         let mut xhat = x.clone();
+        // Each `(batch, channel)` run is a contiguous `t_len` slice of
+        // the row-major tensor; statistics use the striped fixed-tree
+        // reductions from `tsda_linalg::simd` (per-sample partials added
+        // in ascending batch order), and the normalise+affine pass is
+        // one fused kernel per run with the division pre-inverted. All
+        // of it is bit-identical across dispatch levels.
+        let lvl = simd::level();
+        let row = |b: usize, c: usize| (b * self.channels + c) * t_len;
         for c in 0..self.channels {
             let (mean, var) = if train {
                 let mut sum = 0.0;
                 for b in 0..n {
-                    for t in 0..t_len {
-                        sum += x.at3(b, c, t);
-                    }
+                    sum += simd::sum_f32_with(lvl, &x.data()[row(b, c)..row(b, c) + t_len]);
                 }
                 let mean = sum / count;
                 let mut var = 0.0;
                 for b in 0..n {
-                    for t in 0..t_len {
-                        let d = x.at3(b, c, t) - mean;
-                        var += d * d;
-                    }
+                    var += simd::sumsq_centered_f32_with(
+                        lvl,
+                        &x.data()[row(b, c)..row(b, c) + t_len],
+                        mean,
+                    );
                 }
                 var /= count;
                 self.running_mean[c] =
@@ -75,12 +83,20 @@ impl Layer for BatchNorm1d {
             };
             let std = (var + self.eps).sqrt();
             self.cached_std[c] = std;
+            let inv_std = 1.0 / std;
+            let (gamma, beta) = (self.gamma[c], self.beta[c]);
             for b in 0..n {
-                for t in 0..t_len {
-                    let h = (x.at3(b, c, t) - mean) / std;
-                    *xhat.at3_mut(b, c, t) = h;
-                    *out.at3_mut(b, c, t) = self.gamma[c] * h + self.beta[c];
-                }
+                let r = row(b, c);
+                simd::bn_forward_f32_with(
+                    lvl,
+                    &x.data()[r..r + t_len],
+                    mean,
+                    inv_std,
+                    gamma,
+                    beta,
+                    &mut xhat.data_mut()[r..r + t_len],
+                    &mut out.data_mut()[r..r + t_len],
+                );
             }
         }
         if train {

@@ -7,6 +7,7 @@
 //! optional Sakoe-Chiba band keeps long series affordable.
 
 use tsda_core::Mts;
+use tsda_linalg::simd;
 
 /// Options for a DTW computation.
 #[derive(Debug, Clone, Copy, Default)]
@@ -16,15 +17,28 @@ pub struct DtwOptions {
     pub band_fraction: Option<f64>,
 }
 
-/// Squared Euclidean distance between the observations at `(i, j)`.
+/// Squared Euclidean point costs for row `i` against `b`'s positions
+/// `lo..hi`, written into `out[lo..hi]`.
+///
+/// Dimensions accumulate in ascending order with unfused `acc += d·d`
+/// (`simd::sq_diff_acc_f64`), exactly the order the former per-cell
+/// `point_cost` used — every cell is bit-identical to it, at any
+/// dispatch level.
 #[inline]
-fn point_cost(a: &Mts, b: &Mts, i: usize, j: usize) -> f64 {
-    let mut acc = 0.0;
+fn point_cost_row(
+    lvl: simd::SimdLevel,
+    a: &Mts,
+    b: &Mts,
+    i: usize,
+    lo: usize,
+    hi: usize,
+    out: &mut [f64],
+) {
+    let row = &mut out[lo..hi];
+    row.fill(0.0);
     for m in 0..a.n_dims() {
-        let d = a.value(m, i) - b.value(m, j);
-        acc += d * d;
+        simd::sq_diff_acc_f64_with(lvl, row, a.value(m, i), &b.dim(m)[lo..hi]);
     }
-    acc
 }
 
 fn band_width(len_a: usize, len_b: usize, opts: DtwOptions) -> usize {
@@ -84,25 +98,55 @@ fn accumulate(a: &Mts, b: &Mts, opts: DtwOptions) -> (f64, ()) {
     let n = a.len();
     let m = b.len();
     let w = band_width(n, m, opts);
+    let lvl = simd::level();
     let mut prev = vec![f64::INFINITY; m];
     let mut curr = vec![f64::INFINITY; m];
+    // Per-row scratch: the vectorised point costs and the up/diag min
+    // prepass (`prev` carries +∞ outside the band, which folds the old
+    // per-cell `i > 0` / band checks into plain reads).
+    let mut costs = vec![0.0; m];
+    let mut updiag = vec![0.0; m];
+    // Written extent of `prev`; cells past it were last touched two rows
+    // ago and must be re-seeded to +∞ before this row reads them. The
+    // band centre is non-decreasing in `i`, so only the right margin
+    // (and the single `lo − 1` guard cell below) ever needs re-seeding —
+    // fills stay O(band), not O(m), per row.
+    let mut prev_hi = 0usize;
     for i in 0..n {
         let centre = i * m / n;
         let lo = centre.saturating_sub(w);
         let hi = (centre + w + 1).min(m);
-        curr[..].fill(f64::INFINITY);
-        for j in lo..hi {
-            let c = point_cost(a, b, i, j);
-            let best = if i == 0 && j == 0 {
-                0.0
-            } else {
-                let up = if i > 0 { prev[j] } else { f64::INFINITY };
-                let left = if j > 0 { curr[j - 1] } else { f64::INFINITY };
-                let diag = if i > 0 && j > 0 { prev[j - 1] } else { f64::INFINITY };
-                up.min(left).min(diag)
-            };
-            curr[j] = c + best;
+        if i > 0 && hi > prev_hi {
+            prev[prev_hi..hi].fill(f64::INFINITY);
         }
+        point_cost_row(lvl, a, b, i, lo, hi, &mut costs);
+        // updiag[j] = min(prev[j], prev[j−1]): the two predecessors with
+        // no in-row dependency, minimised in one vector pass; only the
+        // `curr[j−1]` left-neighbour stays sequential below.
+        let start = lo.max(1);
+        if start < hi {
+            simd::min2_f64_with(
+                lvl,
+                &mut updiag[start..hi],
+                &prev[start..hi],
+                &prev[start - 1..hi - 1],
+            );
+        }
+        // Peel the j = lo boundary so the interior is the bare
+        // recurrence `cost + min(updiag, left)` — identical arithmetic
+        // to the former per-cell branches.
+        let mut j = lo;
+        if lo == 0 {
+            curr[0] = costs[0] + if i == 0 { 0.0 } else { prev[0] };
+            j = 1;
+        } else {
+            curr[lo - 1] = f64::INFINITY;
+        }
+        while j < hi {
+            curr[j] = costs[j] + updiag[j].min(curr[j - 1]);
+            j += 1;
+        }
+        prev_hi = hi;
         std::mem::swap(&mut prev, &mut curr);
     }
     (prev[m - 1].sqrt(), ())
@@ -115,26 +159,45 @@ fn accumulate_full(a: &Mts, b: &Mts, opts: DtwOptions) -> (f64, Vec<f64>) {
     let n = a.len();
     let m = b.len();
     let w = band_width(n, m, opts);
+    let lvl = simd::level();
     let mut cost = vec![f64::INFINITY; n * m];
+    let mut costs = vec![0.0; m];
+    let mut updiag = vec![0.0; m];
     for i in 0..n {
         let centre = i * m / n;
         let lo = centre.saturating_sub(w);
         let hi = (centre + w + 1).min(m);
-        for j in lo..hi {
-            let c = point_cost(a, b, i, j);
-            let best = if i == 0 && j == 0 {
-                0.0
-            } else {
-                let up = if i > 0 { cost[(i - 1) * m + j] } else { f64::INFINITY };
-                let left = if j > 0 { cost[i * m + j - 1] } else { f64::INFINITY };
-                let diag = if i > 0 && j > 0 {
-                    cost[(i - 1) * m + j - 1]
-                } else {
-                    f64::INFINITY
-                };
-                up.min(left).min(diag)
-            };
-            cost[i * m + j] = c + best;
+        point_cost_row(lvl, a, b, i, lo, hi, &mut costs);
+        // Same prepass as `accumulate`: the whole matrix is +∞-seeded,
+        // so out-of-band predecessors read as +∞ like the old guards.
+        let start = lo.max(1);
+        if i > 0 && start < hi {
+            let prev_row = &cost[(i - 1) * m..i * m];
+            simd::min2_f64_with(
+                lvl,
+                &mut updiag[start..hi],
+                &prev_row[start..hi],
+                &prev_row[start - 1..hi - 1],
+            );
+        }
+        // Boundary peel as in `accumulate`; each cell is written exactly
+        // once and the matrix is +∞-seeded, so the `j = lo` left
+        // neighbour reads +∞ without any per-row re-seeding.
+        let mut j = lo;
+        if lo == 0 {
+            cost[i * m] = costs[0] + if i == 0 { 0.0 } else { cost[(i - 1) * m] };
+            j = 1;
+        }
+        if i == 0 {
+            while j < hi {
+                cost[j] = costs[j] + cost[j - 1];
+                j += 1;
+            }
+        } else {
+            while j < hi {
+                cost[i * m + j] = costs[j] + updiag[j].min(cost[i * m + j - 1]);
+                j += 1;
+            }
         }
     }
     (cost[n * m - 1].sqrt(), cost)

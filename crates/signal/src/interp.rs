@@ -23,14 +23,16 @@ pub fn lerp_at(values: &[f64], t: f64) -> f64 {
 
 /// Resample `values` to `new_len` points by linear interpolation over the
 /// original index range.
+///
+/// Each output point is bit-identical to `lerp_at(values, i·scale)` — the
+/// vectorised kernel evaluates the same unfused `v[i]·(1−frac) + v[i+1]·frac`
+/// per point, so warping augmenters keep their exact pre-SIMD values.
 pub fn resample_linear(values: &[f64], new_len: usize) -> Vec<f64> {
     assert!(!values.is_empty(), "resample of empty input");
     assert!(new_len > 0, "resample to zero length");
-    if new_len == 1 {
-        return vec![values[0]];
-    }
-    let scale = (values.len() - 1) as f64 / (new_len - 1) as f64;
-    (0..new_len).map(|i| lerp_at(values, i as f64 * scale)).collect()
+    let mut out = vec![0.0; new_len];
+    tsda_linalg::simd::lerp_resample_f64(values, &mut out);
+    out
 }
 
 /// A natural cubic spline through `(xs, ys)` knots.
