@@ -96,6 +96,7 @@ fn main() {
                 ..BatchConfig::default()
             },
             faults: Some(Arc::clone(&plan)),
+            admission: None,
         },
     )
     .expect("server starts");

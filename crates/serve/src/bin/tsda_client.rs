@@ -22,10 +22,12 @@
 
 use serde::Value;
 use std::time::{Duration, Instant};
+use tsda_core::Mts;
 use tsda_datasets::registry::ALL_DATASETS;
 use tsda_datasets::synth::{generate, GenOptions};
-use tsda_datasets::ts_format::format_series_line;
-use tsda_serve::client::{predict_line, request_line, wait_ready, RetryPolicy, RetryingClient};
+use tsda_serve::client::{
+    predict_line, wait_ready, Proto, RetryPolicy, RetryingClient, WireRequest,
+};
 
 struct Args {
     addr: String,
@@ -42,6 +44,8 @@ struct Args {
     retries: u32,
     timeout_ms: u64,
     out: String,
+    proto: Proto,
+    replicas: usize,
 }
 
 impl Default for Args {
@@ -61,6 +65,8 @@ impl Default for Args {
             retries: 8,
             timeout_ms: 5000,
             out: "BENCH_serve.json".into(),
+            proto: Proto::Ndjson,
+            replicas: 1,
         }
     }
 }
@@ -106,13 +112,20 @@ fn parse_args() -> Result<Args, String> {
                     value("--timeout-ms")?.parse().map_err(|e| format!("--timeout-ms: {e}"))?;
             }
             "--out" => args.out = value("--out")?,
+            "--proto" => args.proto = Proto::from_flag(&value("--proto")?)?,
+            "--replicas" => {
+                // A label recorded in bench rows (the router hides the
+                // fleet size from the wire).
+                args.replicas =
+                    value("--replicas")?.parse().map_err(|e| format!("--replicas: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: tsda_client [--addr A] [--wait-ready SECS]\n\
+                    "usage: tsda_client [--addr A] [--wait-ready SECS] [--proto ndjson|v2]\n\
                      \x20                  [--model M --series S] [--stats]\n\
                      \x20                  [--retries N] [--timeout-ms MS]\n\
                      \x20                  [--load --models m1,m2 --requests N --concurrency C\n\
-                     \x20                   --dataset D --seed S --out FILE]"
+                     \x20                   --dataset D --seed S --replicas N --out FILE]"
                 );
                 std::process::exit(0);
             }
@@ -142,6 +155,8 @@ fn percentile_us(sorted: &[u64], q: f64) -> u64 {
 
 struct LoadResult {
     model: String,
+    protocol: Proto,
+    replicas: usize,
     requests: usize,
     errors: usize,
     retries: u64,
@@ -162,6 +177,8 @@ impl LoadResult {
         };
         Value::Object(vec![
             ("model".into(), Value::Str(self.model.clone())),
+            ("protocol".into(), Value::Str(self.protocol.name().to_string())),
+            ("replicas".into(), Value::Num(self.replicas as f64)),
             ("requests".into(), Value::Num(self.requests as f64)),
             ("errors".into(), Value::Num(self.errors as f64)),
             ("retries".into(), Value::Num(self.retries as f64)),
@@ -187,30 +204,31 @@ impl LoadResult {
 /// each with its own retrying client, splitting `requests` between
 /// them.
 fn run_load(
-    addr: &str,
+    args: &Args,
     model: &str,
-    series: &[String],
-    requests: usize,
-    concurrency: usize,
+    series: &[Mts],
     policy: RetryPolicy,
 ) -> Result<LoadResult, String> {
-    let concurrency = concurrency.max(1);
+    let requests = args.requests;
+    let concurrency = args.concurrency.max(1);
+    let proto = args.proto;
     let started = Instant::now();
     let mut handles = Vec::new();
     for worker in 0..concurrency {
         let n = requests / concurrency + usize::from(worker < requests % concurrency);
-        let addr = addr.to_string();
+        let addr = args.addr.to_string();
         let model = model.to_string();
         let series = series.to_vec();
         handles.push(std::thread::spawn(
             move || -> Result<(Vec<u64>, usize, RetryingClient), String> {
-                let mut client = RetryingClient::new(addr, policy, &format!("load-{worker}"));
+                let mut client =
+                    RetryingClient::new_proto(addr, policy, &format!("load-{worker}"), proto);
                 let mut latencies = Vec::with_capacity(n);
                 let mut errors = 0usize;
                 for i in 0..n {
                     let s = &series[(worker + i * concurrency) % series.len()];
                     let t0 = Instant::now();
-                    let reply = client.predict(i as u64 + 1, &model, s)?;
+                    let reply = client.predict_mts(i as u64 + 1, &model, s)?;
                     latencies.push(t0.elapsed().as_micros() as u64);
                     if !reply.ok {
                         errors += 1;
@@ -234,6 +252,8 @@ fn run_load(
     }
     Ok(LoadResult {
         model: model.to_string(),
+        protocol: proto,
+        replicas: args.replicas,
         requests,
         errors,
         retries,
@@ -244,9 +264,9 @@ fn run_load(
     })
 }
 
-fn fetch_stats(addr: &str, policy: RetryPolicy) -> Result<Value, String> {
-    let mut client = RetryingClient::new(addr, policy, "stats");
-    let reply = client.round_trip(&request_line(1, "stats", vec![]))?;
+fn fetch_stats(addr: &str, proto: Proto, policy: RetryPolicy) -> Result<Value, String> {
+    let mut client = RetryingClient::new_proto(addr.to_string(), policy, "stats", proto);
+    let reply = client.round_trip_request(&WireRequest::simple(proto, 1, "stats"))?;
     if !reply.ok {
         return Err(reply.error.unwrap_or_else(|| "stats failed".into()));
     }
@@ -266,7 +286,7 @@ fn run() -> Result<(), String> {
     }
 
     if args.stats {
-        let stats = fetch_stats(&args.addr, policy)?;
+        let stats = fetch_stats(&args.addr, args.proto, policy)?;
         println!(
             "{}",
             serde_json::to_string_pretty(&stats).expect("value trees always serialise")
@@ -295,19 +315,19 @@ fn run() -> Result<(), String> {
             .find(|m| m.name.eq_ignore_ascii_case(&args.dataset))
             .ok_or_else(|| format!("unknown dataset {:?}", args.dataset))?;
         let tt = generate(meta, &GenOptions::ci(args.seed));
-        let series: Vec<String> =
-            tt.test.series().iter().map(format_series_line).collect();
+        let series: Vec<Mts> = tt.test.series().to_vec();
         if series.is_empty() {
             return Err("dataset generated no test series".into());
         }
         let mut entries = Vec::new();
         for model in &args.models {
             eprintln!(
-                "load: model {model}, {} requests, concurrency {}",
-                args.requests, args.concurrency
+                "load: model {model}, {} requests, concurrency {}, proto {}",
+                args.requests,
+                args.concurrency,
+                args.proto.name()
             );
-            let result =
-                run_load(&args.addr, model, &series, args.requests, args.concurrency, policy)?;
+            let result = run_load(&args, model, &series, policy)?;
             eprintln!(
                 "load: {model}: {:.0} req/s, {} errors, {} retries, {} reconnects",
                 result.requests as f64 / result.elapsed_s.max(1e-9),
@@ -317,11 +337,13 @@ fn run() -> Result<(), String> {
             );
             entries.push(result.to_value());
         }
-        let server_stats = fetch_stats(&args.addr, policy).unwrap_or(Value::Null);
+        let server_stats = fetch_stats(&args.addr, args.proto, policy).unwrap_or(Value::Null);
         let report = Value::Object(vec![
             ("dataset".into(), Value::Str(meta.name.to_string())),
             ("seed".into(), Value::Num(args.seed as f64)),
             ("concurrency".into(), Value::Num(args.concurrency as f64)),
+            ("protocol".into(), Value::Str(args.proto.name().to_string())),
+            ("replicas".into(), Value::Num(args.replicas as f64)),
             ("models".into(), Value::Array(entries)),
             ("server_stats".into(), server_stats),
         ]);

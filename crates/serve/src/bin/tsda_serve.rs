@@ -29,6 +29,7 @@ use tsda_core::Dataset;
 use tsda_datasets::registry::{DatasetMeta, ALL_DATASETS};
 use tsda_datasets::synth::{generate, GenOptions};
 use tsda_neuro::train::TrainConfig;
+use tsda_serve::admission::AdmissionConfig;
 use tsda_serve::batcher::BatchConfig;
 use tsda_serve::faults::FaultPlan;
 use tsda_serve::registry::{ModelEntry, ModelRegistry};
@@ -47,6 +48,8 @@ struct Args {
     fast: bool,
     max_seconds: Option<u64>,
     fault_seed: Option<u64>,
+    quota_rps: Option<f64>,
+    quota_burst: f64,
 }
 
 impl Default for Args {
@@ -63,6 +66,8 @@ impl Default for Args {
             fast: false,
             max_seconds: None,
             fault_seed: None,
+            quota_rps: None,
+            quota_burst: 32.0,
         }
     }
 }
@@ -111,12 +116,21 @@ fn parse_args() -> Result<Args, String> {
                     value("--fault-seed")?.parse().map_err(|e| format!("--fault-seed: {e}"))?,
                 );
             }
+            "--quota-rps" => {
+                args.quota_rps = Some(
+                    value("--quota-rps")?.parse().map_err(|e| format!("--quota-rps: {e}"))?,
+                );
+            }
+            "--quota-burst" => {
+                args.quota_burst =
+                    value("--quota-burst")?.parse().map_err(|e| format!("--quota-burst: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: tsda_serve [--addr A] [--models m1,m2] [--dataset D] [--seed S]\n\
                      \x20                 [--dir MODELDIR] [--max-batch N] [--max-wait-ms MS]\n\
                      \x20                 [--queue-cap N] [--fast] [--max-seconds S]\n\
-                     \x20                 [--fault-seed N]\n\
+                     \x20                 [--fault-seed N] [--quota-rps R] [--quota-burst B]\n\
                      models: rocket minirocket ridge inception"
                 );
                 std::process::exit(0);
@@ -267,7 +281,14 @@ fn run() -> Result<(), String> {
             queue_cap: args.queue_cap,
         },
         faults: faults.clone(),
+        admission: args.quota_rps.map(|rps| AdmissionConfig::new(rps, args.quota_burst)),
     };
+    if let Some(adm) = &config.admission {
+        eprintln!(
+            "admission control: {} req/s per client, burst {}",
+            adm.rate_per_s, adm.burst
+        );
+    }
     let handle = serve(registry, config).map_err(|e| format!("serve: {e}"))?;
     // The readiness line clients grep for (also carries the resolved
     // ephemeral port when --addr ends in :0).
@@ -295,11 +316,12 @@ fn run() -> Result<(), String> {
     let snap = handle.stats().snapshot();
     handle.shutdown();
     eprintln!(
-        "served {} requests ({} errors, {} shed) in {} batches, mean batch {:.2}, \
+        "served {} requests ({} errors, {} shed, {} throttled) in {} batches, mean batch {:.2}, \
          p50 {}us p99 {}us",
         snap.requests,
         snap.errors,
         snap.shed,
+        snap.throttled,
         snap.batches,
         snap.mean_batch,
         snap.request_p50_us,

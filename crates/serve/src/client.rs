@@ -29,14 +29,47 @@
 //! refusal. Genuine caller bugs still surface — the final refusal is
 //! returned to the caller once the budget is spent.
 
+use crate::proto2;
 use crate::protocol::{parse_response, Response};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::Value;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 use tsda_core::rng::derive_seed;
+use tsda_core::Mts;
+
+/// Which wire protocol a connection speaks. NDJSON is the default;
+/// [`Proto::V2`] sends the binary preamble on connect and frames every
+/// request/reply (see [`crate::proto2`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Proto {
+    /// Newline-delimited JSON (protocol v1).
+    #[default]
+    Ndjson,
+    /// Length-prefixed binary frames (protocol v2).
+    V2,
+}
+
+impl Proto {
+    /// Parse a `--proto` flag value.
+    pub fn from_flag(s: &str) -> Result<Self, String> {
+        match s {
+            "ndjson" | "v1" => Ok(Self::Ndjson),
+            "v2" | "binary" => Ok(Self::V2),
+            other => Err(format!("unknown protocol {other:?} (expected ndjson|v2)")),
+        }
+    }
+
+    /// The canonical flag spelling (for bench rows and logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Ndjson => "ndjson",
+            Self::V2 => "v2",
+        }
+    }
+}
 
 /// Build a request line from an op and extra fields.
 pub fn request_line(id: u64, op: &str, extra: Vec<(String, Value)>) -> String {
@@ -69,6 +102,7 @@ pub fn predict_line(id: u64, model: &str, series: &str) -> String {
 pub struct Conn {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    proto: Proto,
 }
 
 impl Conn {
@@ -79,13 +113,34 @@ impl Conn {
 
     /// Connect; `timeout` bounds every read and write on the socket.
     pub fn open_with_timeout(addr: &str, timeout: Option<Duration>) -> Result<Self, String> {
+        Self::open_proto(addr, timeout, Proto::Ndjson)
+    }
+
+    /// Connect speaking `proto`. A v2 connection announces itself by
+    /// writing the 4-byte preamble before anything else.
+    pub fn open_proto(
+        addr: &str,
+        timeout: Option<Duration>,
+        proto: Proto,
+    ) -> Result<Self, String> {
         let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
         stream.set_nodelay(true).ok();
         stream.set_read_timeout(timeout).map_err(|e| format!("set timeout: {e}"))?;
         stream.set_write_timeout(timeout).map_err(|e| format!("set timeout: {e}"))?;
         let reader =
             BufReader::new(stream.try_clone().map_err(|e| format!("clone stream: {e}"))?);
-        Ok(Self { writer: stream, reader })
+        let mut conn = Self { writer: stream, reader, proto };
+        if proto == Proto::V2 {
+            conn.writer
+                .write_all(&proto2::PREAMBLE)
+                .map_err(|e| format!("send preamble: {e}"))?;
+        }
+        Ok(conn)
+    }
+
+    /// The protocol this connection negotiated at connect time.
+    pub fn proto(&self) -> Proto {
+        self.proto
     }
 
     /// Send one line, read one reply line. Any error leaves the stream
@@ -107,6 +162,74 @@ impl Conn {
             return Err("connection dropped mid-response".into());
         }
         parse_response(reply.trim_end())
+    }
+
+    /// Send one v2 frame, read one v2 reply frame. The same
+    /// error-means-poisoned contract as [`Conn::round_trip`] applies.
+    pub fn round_trip_frame(&mut self, frame: &[u8]) -> Result<Response, String> {
+        self.writer.write_all(frame).map_err(|e| format!("send: {e}"))?;
+        let mut len_bytes = [0u8; 4];
+        self.reader.read_exact(&mut len_bytes).map_err(|e| format!("recv: {e}"))?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if !(5..=proto2::MAX_FRAME).contains(&len) {
+            return Err(format!("bad reply frame length {len}"));
+        }
+        let mut raw = vec![0u8; len];
+        self.reader.read_exact(&mut raw).map_err(|e| format!("recv: {e}"))?;
+        let body = proto2::check_frame(&raw)?;
+        proto2::decode_reply(body)
+    }
+
+    /// Round-trip one request in this connection's protocol.
+    pub fn round_trip_request(&mut self, req: &WireRequest) -> Result<Response, String> {
+        match (self.proto, req) {
+            (Proto::Ndjson, WireRequest::Line(line)) => self.round_trip(line),
+            (Proto::V2, WireRequest::Frame(frame)) => self.round_trip_frame(frame),
+            _ => Err("request encoding does not match connection protocol".into()),
+        }
+    }
+}
+
+/// A request already encoded for one protocol, ready to (re)send.
+#[derive(Debug, Clone)]
+pub enum WireRequest {
+    /// An NDJSON request line (no trailing newline).
+    Line(String),
+    /// A complete v2 frame (length prefix included).
+    Frame(Vec<u8>),
+}
+
+impl WireRequest {
+    /// Encode a predict for `proto`. NDJSON renders the series back to
+    /// `.ts` text; v2 ships raw f64 bit patterns.
+    pub fn predict(proto: Proto, id: u64, model: &str, series: &Mts) -> Self {
+        match proto {
+            Proto::Ndjson => Self::Line(predict_line(
+                id,
+                model,
+                &tsda_datasets::ts_format::format_series_line(series),
+            )),
+            Proto::V2 => Self::Frame(proto2::encode_request(&proto2::Request2::Predict {
+                id,
+                model: model.to_string(),
+                series: series.clone(),
+            })),
+        }
+    }
+
+    /// Encode a no-payload op (`"ping"`, `"stats"`, `"list"`).
+    pub fn simple(proto: Proto, id: u64, op: &str) -> Self {
+        match proto {
+            Proto::Ndjson => Self::Line(request_line(id, op, vec![])),
+            Proto::V2 => {
+                let req = match op {
+                    "stats" => proto2::Request2::Stats { id },
+                    "list" => proto2::Request2::List { id },
+                    _ => proto2::Request2::Ping { id },
+                };
+                Self::Frame(proto2::encode_request(&req))
+            }
+        }
     }
 }
 
@@ -184,6 +307,7 @@ pub struct ClientCounters {
 pub struct RetryingClient {
     addr: String,
     policy: RetryPolicy,
+    proto: Proto,
     conn: Option<Conn>,
     jitter: StdRng,
     counters: ClientCounters,
@@ -196,14 +320,31 @@ impl RetryingClient {
     /// fault). `label` distinguishes the jitter streams of clients
     /// sharing one `jitter_seed` (e.g. a worker index).
     pub fn new(addr: impl Into<String>, policy: RetryPolicy, label: &str) -> Self {
+        Self::new_proto(addr, policy, label, Proto::Ndjson)
+    }
+
+    /// Like [`RetryingClient::new`] but speaking `proto` on every
+    /// connection (and reconnection).
+    pub fn new_proto(
+        addr: impl Into<String>,
+        policy: RetryPolicy,
+        label: &str,
+        proto: Proto,
+    ) -> Self {
         Self {
             addr: addr.into(),
             jitter: tsda_core::rng::seeded(derive_seed(policy.jitter_seed, label)),
             policy,
+            proto,
             conn: None,
             counters: ClientCounters::default(),
             ever_connected: false,
         }
+    }
+
+    /// The protocol this client speaks.
+    pub fn proto(&self) -> Proto {
+        self.proto
     }
 
     /// Cumulative retry/reconnect counters.
@@ -211,16 +352,28 @@ impl RetryingClient {
         self.counters
     }
 
-    /// Predict one series, retrying through faults.
+    /// Predict one series (NDJSON text form), retrying through faults.
     pub fn predict(&mut self, id: u64, model: &str, series: &str) -> Result<Response, String> {
         self.round_trip(&predict_line(id, model, series))
     }
 
-    /// Send `line` until it gets an `ok:true` reply or the attempt
-    /// budget runs out. The last refusal is returned as `Ok(response)`
-    /// with `ok == false` (the server *did* answer); only transport
-    /// failure on every attempt yields `Err`.
+    /// Predict one decoded series in this client's protocol, retrying
+    /// through faults.
+    pub fn predict_mts(&mut self, id: u64, model: &str, series: &Mts) -> Result<Response, String> {
+        let req = WireRequest::predict(self.proto, id, model, series);
+        self.round_trip_request(&req)
+    }
+
+    /// Send `line` (NDJSON) until it gets an `ok:true` reply or the
+    /// attempt budget runs out. The last refusal is returned as
+    /// `Ok(response)` with `ok == false` (the server *did* answer);
+    /// only transport failure on every attempt yields `Err`.
     pub fn round_trip(&mut self, line: &str) -> Result<Response, String> {
+        self.round_trip_request(&WireRequest::Line(line.to_string()))
+    }
+
+    /// Protocol-agnostic retry loop shared by both wire formats.
+    pub fn round_trip_request(&mut self, req: &WireRequest) -> Result<Response, String> {
         self.counters.requests += 1;
         let attempts = self.policy.max_attempts.max(1);
         let mut last_err = String::new();
@@ -229,7 +382,7 @@ impl RetryingClient {
                 self.counters.retries += 1;
             }
             let outcome = match self.ensure_conn() {
-                Ok(conn) => conn.round_trip(line),
+                Ok(conn) => conn.round_trip_request(req),
                 Err(e) => Err(e),
             };
             match outcome {
@@ -238,10 +391,12 @@ impl RetryingClient {
                     // The server answered but refused. Under request
                     // corruption any refusal may be transient (the
                     // mangled bytes, not our request, were rejected),
-                    // so refusals retry up to the budget. Overloaded
-                    // replies carry an explicit backpressure hint that
-                    // floors the next backoff.
-                    let hint = if r.is_overloaded() {
+                    // so refusals retry up to the budget. Shed replies
+                    // — `overloaded` from a replica's bounded queue OR
+                    // `throttled` from router/replica admission control
+                    // — carry an explicit backpressure hint that floors
+                    // the next backoff.
+                    let hint = if r.is_shed() {
                         self.counters.shed_backoffs += 1;
                         r.retry_ms
                     } else {
@@ -269,7 +424,7 @@ impl RetryingClient {
 
     fn ensure_conn(&mut self) -> Result<&mut Conn, String> {
         if self.conn.is_none() {
-            let conn = Conn::open_with_timeout(&self.addr, Some(self.policy.timeout))?;
+            let conn = Conn::open_proto(&self.addr, Some(self.policy.timeout), self.proto)?;
             if self.ever_connected {
                 self.counters.reconnects += 1;
             }
@@ -338,6 +493,97 @@ mod tests {
         assert!(err.contains("after 2 attempts"), "{err}");
         let c = client.counters();
         assert_eq!((c.requests, c.retries), (1, 1));
+    }
+
+    /// A single-connection fake server that answers each request line
+    /// with the next canned reply, then echoes ok pings forever. Lets
+    /// the backoff tests observe exactly when the client retried.
+    fn fake_server(replies: Vec<String>) -> (String, std::thread::JoinHandle<u64>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            stream.set_nodelay(true).ok();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let mut served = 0u64;
+            let mut canned = replies.into_iter();
+            loop {
+                let mut line = String::new();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    return served;
+                }
+                served += 1;
+                let id = crate::protocol::parse_request(line.trim_end())
+                    .map(|r| r.id())
+                    .unwrap_or(0);
+                let reply = canned
+                    .next()
+                    .unwrap_or_else(|| format!("{{\"id\":{id},\"ok\":true}}"));
+                writer.write_all(reply.as_bytes()).unwrap();
+                writer.write_all(b"\n").unwrap();
+            }
+        });
+        (addr, handle)
+    }
+
+    /// Satellite: a router-level `throttled` refusal's `retry_ms` hint
+    /// must floor the next backoff exactly like a replica-level
+    /// `overloaded` hint — `is_shed()` covers both markers.
+    #[test]
+    fn throttled_retry_hint_floors_the_backoff() {
+        use crate::protocol::{overloaded_response, throttled_response};
+        for (marker, reply) in
+            [("throttled", throttled_response(1, 60)), ("overloaded", overloaded_response(1, 60))]
+        {
+            let (addr, server) = fake_server(vec![reply]);
+            let policy = RetryPolicy {
+                max_attempts: 3,
+                // Local guesses are ~1 ms; only the 60 ms server hint
+                // can push the retry past the threshold below.
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+                timeout: Duration::from_secs(2),
+                jitter_seed: 11,
+            };
+            let mut client = RetryingClient::new(addr, policy, marker);
+            let t0 = Instant::now();
+            let r = client.round_trip(&request_line(1, "ping", vec![])).unwrap();
+            let elapsed = t0.elapsed();
+            assert!(r.ok, "{marker}: retry after the hint must succeed");
+            let c = client.counters();
+            assert_eq!((c.retries, c.shed_backoffs), (1, 1), "{marker}");
+            // The jittered floor is [hint/2, hint): with a 60 ms hint
+            // the client waits ≥ 30 ms; the local policy alone would
+            // wait < 3 ms.
+            assert!(elapsed >= Duration::from_millis(30), "{marker}: backoff {elapsed:?} ignored the hint");
+            drop(client);
+            assert_eq!(server.join().unwrap_or(0), 2, "{marker}: exactly one retry");
+        }
+    }
+
+    /// Plain refusals must NOT take the shed path or floor backoff.
+    #[test]
+    fn plain_errors_do_not_count_as_shed() {
+        let (addr, server) = fake_server(vec![
+            r#"{"id":1,"ok":false,"error":"unknown model \"x\"","retry_ms":500}"#.to_string(),
+        ]);
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            timeout: Duration::from_secs(2),
+            jitter_seed: 3,
+        };
+        let mut client = RetryingClient::new(addr, policy, "e");
+        let t0 = Instant::now();
+        let r = client.round_trip(&request_line(1, "ping", vec![])).unwrap();
+        assert!(r.ok);
+        assert_eq!(client.counters().shed_backoffs, 0);
+        // Even with a (bogus) retry_ms on the error, backoff stays local.
+        assert!(t0.elapsed() < Duration::from_millis(250));
+        drop(client);
+        assert_eq!(server.join().unwrap_or(0), 2);
     }
 
     #[test]

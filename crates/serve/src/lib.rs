@@ -32,24 +32,41 @@
 //!   (capped exponential backoff with seeded jitter, per-request
 //!   timeouts, reconnect-and-replay) that survives every fault the
 //!   plan injects.
+//! * [`proto2`] — the length-prefixed, CRC-framed binary protocol v2,
+//!   negotiated per connection by a 4-byte preamble (NDJSON stays the
+//!   default), so the predict hot path decodes raw f64 bit patterns
+//!   instead of re-parsing text.
+//! * [`admission`] — per-client token-bucket quotas in front of the
+//!   batcher, refusing with `throttled` + `retry_ms` replies the
+//!   retrying client honours as backoff floors.
+//! * [`router`] — a frontend that spawns/fronts N replica servers with
+//!   per-model shard placement, least-loaded or rendezvous-hash
+//!   routing, ping health checks, and automatic restart of dead
+//!   replicas under load.
 //!
-//! Two binaries drive it: `tsda_serve` (train-or-load models, then
-//! serve; `--fault-seed` arms the plan) and `tsda_client` (single
-//! requests, readiness probe, or a closed-loop load generator that
-//! writes `BENCH_serve.json`).
+//! Three binaries drive it: `tsda_serve` (train-or-load models, then
+//! serve; `--fault-seed` arms the plan), `tsda_router` (the replica
+//! fleet frontend), and `tsda_client` (single requests, readiness
+//! probe, or a closed-loop load generator that writes
+//! `BENCH_serve.json`).
 
+pub mod admission;
 pub mod batcher;
 pub mod client;
 pub mod faults;
+pub mod proto2;
 pub mod protocol;
 pub mod registry;
+pub mod router;
 pub mod server;
 pub mod signal;
 pub mod stats;
 
+pub use admission::{Admission, AdmissionConfig};
 pub use batcher::{BatchConfig, SubmitError};
-pub use client::{ClientCounters, RetryPolicy, RetryingClient};
+pub use client::{ClientCounters, Proto, RetryPolicy, RetryingClient, WireRequest};
 pub use faults::{FaultKind, FaultPlan, FaultRates};
 pub use registry::{ModelEntry, ModelRegistry};
+pub use router::{ReplicaSpec, RoutePolicy, Router, RouterConfig, RouterHandle};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use stats::{ServerStats, StatsSnapshot};

@@ -1,0 +1,571 @@
+//! Protocol v2: length-prefixed, CRC-framed binary messages.
+//!
+//! NDJSON (protocol v1) re-parses text on every predict — JSON envelope
+//! plus a float parse per series value. Protocol v2 replaces the hot
+//! path with fixed-width binary built on the same
+//! [`tsda_core::codec::ByteWriter`]/[`ByteReader`] primitives the model
+//! files use, so `decode_request` materialises an [`Mts`] from raw
+//! IEEE-754 bit patterns with zero text parsing.
+//!
+//! # Negotiation
+//!
+//! A connection starts in NDJSON. A client that wants v2 sends the
+//! 4-byte [`PREAMBLE`] as its very first bytes; its first byte (0xB2)
+//! can never begin a JSON request line, so the server decides the mode
+//! from the first byte alone. A partial or mangled preamble (first byte
+//! 0xB2 but the rest wrong) is answered with one NDJSON error line and
+//! the connection closes. NDJSON remains fully supported for
+//! compatibility — both protocols answer one response per request, in
+//! order, on the same port.
+//!
+//! # Framing
+//!
+//! ```text
+//! u32 LE  frame length N (body + 4-byte checksum; 5 ≤ N ≤ MAX_FRAME)
+//! body    N - 4 bytes  (first byte = message kind)
+//! u32 LE  IEEE CRC-32 of the body
+//! ```
+//!
+//! The checksum is what makes corruption *recoverable*: a flipped byte
+//! anywhere in the body or checksum fails [`check_frame`] and produces
+//! an error reply, never a silently different request (CRC-32 detects
+//! every burst error up to 32 bits, so any single corrupted byte is
+//! caught — property-tested in `crates/serve/tests/proptests.rs`).
+//! Because the length prefix is read before any payload validation,
+//! frame boundaries survive body corruption and the connection keeps
+//! serving.
+//!
+//! # Messages
+//!
+//! Requests: predict (id, model, series as `n_dims × len` f64 matrix),
+//! stats, list, ping. Replies: predict-ok (id, label, batch, micros),
+//! error (id, code, message, `retry_ms` backoff hint for shed /
+//! throttled refusals), result (id, JSON payload — stats and list reuse
+//! the v1 JSON schema; they are not hot).
+
+use crate::protocol::{Response, OVERLOADED, THROTTLED};
+use serde::Value;
+use tsda_core::codec::{crc32, ByteReader, ByteWriter};
+use tsda_core::Mts;
+
+/// First bytes of a v2 connection: 0xB2 (never valid leading JSON or
+/// UTF-8 whitespace), then `b"TS2"`.
+pub const PREAMBLE: [u8; 4] = [0xB2, b'T', b'S', b'2'];
+
+/// Hard cap on one frame (length prefix excluded). Large enough for any
+/// realistic series batch, small enough that a corrupted length prefix
+/// cannot request a multi-gigabyte allocation.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+const REQ_PREDICT: u8 = 0x01;
+const REQ_STATS: u8 = 0x02;
+const REQ_LIST: u8 = 0x03;
+const REQ_PING: u8 = 0x04;
+
+const REPLY_PREDICT: u8 = 0x81;
+const REPLY_ERROR: u8 = 0x82;
+const REPLY_RESULT: u8 = 0x83;
+
+/// Error codes carried by v2 error replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// Plain refusal (bad request, unknown model, prediction failure).
+    Error,
+    /// Bounded-queue load shed; `retry_ms` hints the backoff.
+    Overloaded,
+    /// Per-client admission-control quota exceeded; `retry_ms` hints
+    /// when the token bucket will have refilled.
+    Throttled,
+}
+
+impl ErrCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrCode::Error => 0,
+            ErrCode::Overloaded => 1,
+            ErrCode::Throttled => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, String> {
+        match v {
+            0 => Ok(ErrCode::Error),
+            1 => Ok(ErrCode::Overloaded),
+            2 => Ok(ErrCode::Throttled),
+            other => Err(format!("unknown error code {other}")),
+        }
+    }
+}
+
+/// A decoded v2 request. Unlike the NDJSON [`crate::protocol::Request`],
+/// predict carries the series already materialised — the server never
+/// text-parses on the v2 path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request2 {
+    /// Classify one series with the named model.
+    Predict {
+        /// Client correlation id, echoed in the reply.
+        id: u64,
+        /// Registry name of the target model.
+        model: String,
+        /// The series, decoded from raw f64 bit patterns.
+        series: Mts,
+    },
+    /// Server counters.
+    Stats {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Served-model listing.
+    List {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Correlation id.
+        id: u64,
+    },
+}
+
+impl Request2 {
+    /// The correlation id of any request.
+    pub fn id(&self) -> u64 {
+        match self {
+            Self::Predict { id, .. } | Self::Stats { id } | Self::List { id } | Self::Ping { id } => {
+                *id
+            }
+        }
+    }
+}
+
+/// Wrap a message body into a full frame: length prefix + body + CRC.
+fn frame(body: Vec<u8>) -> Vec<u8> {
+    let crc = crc32(&body);
+    let mut out = Vec::with_capacity(4 + body.len() + 4);
+    out.extend_from_slice(&((body.len() + 4) as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Re-add the length prefix to a raw `body + crc` blob popped by
+/// [`take_frame`] (routers relay frames verbatim without re-encoding).
+pub fn reframe(raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + raw.len());
+    out.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+    out.extend_from_slice(raw);
+    out
+}
+
+/// Pop one complete raw frame (`body + crc`, length prefix stripped and
+/// validated) off the front of `buf`.
+///
+/// * `Ok(None)` — the buffer does not yet hold a complete frame.
+/// * `Ok(Some(raw))` — one frame, not yet CRC-checked (see
+///   [`check_frame`]; wire corruption is injected between the two).
+/// * `Err(msg)` — the length prefix itself is invalid (too small or
+///   over [`MAX_FRAME`]); the stream cannot be resynchronised and the
+///   connection must close.
+pub fn take_frame(buf: &mut Vec<u8>) -> Result<Option<Vec<u8>>, String> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len < 5 {
+        return Err(format!("frame length {len} below minimum of 5"));
+    }
+    if len > MAX_FRAME {
+        return Err(format!("frame length {len} exceeds cap {MAX_FRAME}"));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let raw: Vec<u8> = buf.drain(..4 + len).skip(4).collect();
+    Ok(Some(raw))
+}
+
+/// Verify a raw frame's trailing CRC and return the body slice.
+pub fn check_frame(raw: &[u8]) -> Result<&[u8], String> {
+    if raw.len() < 5 {
+        return Err("frame too short for checksum".into());
+    }
+    let split = raw.len() - 4;
+    let (body, crc_bytes) = raw.split_at(split);
+    let want = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    if crc32(body) != want {
+        return Err("frame checksum mismatch".into());
+    }
+    Ok(body)
+}
+
+/// Encode one request into a full frame.
+pub fn encode_request(req: &Request2) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match req {
+        Request2::Predict { id, model, series } => {
+            w.u8(REQ_PREDICT);
+            w.u64(*id);
+            w.string(model);
+            w.u32(series.n_dims() as u32);
+            w.u32(series.len() as u32);
+            for &v in series.as_flat() {
+                w.f64(v);
+            }
+        }
+        Request2::Stats { id } => {
+            w.u8(REQ_STATS);
+            w.u64(*id);
+        }
+        Request2::List { id } => {
+            w.u8(REQ_LIST);
+            w.u64(*id);
+        }
+        Request2::Ping { id } => {
+            w.u8(REQ_PING);
+            w.u64(*id);
+        }
+    }
+    frame(w.into_bytes())
+}
+
+/// Decode one request body (CRC already checked). The error carries the
+/// request id when it was readable (0 otherwise) so refusals stay
+/// correlatable, mirroring `parse_request`.
+pub fn decode_request(body: &[u8]) -> Result<Request2, (u64, String)> {
+    let mut r = ByteReader::new(body);
+    let kind = r.u8().map_err(|e| (0, format!("bad frame: {e}")))?;
+    let id = r.u64().map_err(|e| (0, format!("bad frame: {e}")))?;
+    let fail = |e: tsda_core::TsdaError| (id, format!("bad frame: {e}"));
+    let req = match kind {
+        REQ_PREDICT => {
+            let model = r.string().map_err(fail)?;
+            let n_dims = r.u32().map_err(fail)? as usize;
+            let len = r.u32().map_err(fail)? as usize;
+            if n_dims == 0 || len == 0 {
+                return Err((id, format!("empty series shape {n_dims}x{len}")));
+            }
+            let total = n_dims
+                .checked_mul(len)
+                .filter(|&t| t.checked_mul(8).is_some_and(|b| b <= r.remaining()))
+                .ok_or((id, format!("series shape {n_dims}x{len} exceeds frame")))?;
+            let mut data = Vec::with_capacity(total);
+            for _ in 0..total {
+                data.push(r.f64().map_err(fail)?);
+            }
+            Request2::Predict { id, model, series: Mts::from_flat(n_dims, len, data) }
+        }
+        REQ_STATS => Request2::Stats { id },
+        REQ_LIST => Request2::List { id },
+        REQ_PING => Request2::Ping { id },
+        other => return Err((id, format!("unknown request kind 0x{other:02x}"))),
+    };
+    r.finish().map_err(|e| (id, format!("bad frame: {e}")))?;
+    Ok(req)
+}
+
+/// What a router needs from a request to place it: the op + model for
+/// shard lookup and a content hash for rendezvous routing. Decoding
+/// stops at the header — series payload bytes are hashed, never parsed,
+/// so routing a v2 predict does no float work at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Routing {
+    /// A predict for `model`; `key` hashes the series payload bytes.
+    Predict {
+        /// Correlation id (for error replies the router originates).
+        id: u64,
+        /// Target model name.
+        model: String,
+        /// FNV-1a of the payload bytes after the model name.
+        key: u64,
+    },
+    /// Stats — answered by the router itself.
+    Stats {
+        /// Correlation id.
+        id: u64,
+    },
+    /// List — forwarded to any healthy replica.
+    List {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Ping — answered by the router itself.
+    Ping {
+        /// Correlation id.
+        id: u64,
+    },
+}
+
+/// FNV-1a over a byte slice: a deterministic, dependency-free content
+/// hash for rendezvous routing (not cryptographic; it only needs to
+/// spread keys evenly and stay stable across processes).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Decode just the routing header of a request body (CRC already
+/// checked).
+pub fn decode_routing(body: &[u8]) -> Result<Routing, (u64, String)> {
+    let mut r = ByteReader::new(body);
+    let kind = r.u8().map_err(|e| (0, format!("bad frame: {e}")))?;
+    let id = r.u64().map_err(|e| (0, format!("bad frame: {e}")))?;
+    match kind {
+        REQ_PREDICT => {
+            let model = r.string().map_err(|e| (id, format!("bad frame: {e}")))?;
+            let rest = r.bytes(r.remaining()).unwrap_or(&[]);
+            Ok(Routing::Predict { id, model, key: fnv1a(rest) })
+        }
+        REQ_STATS => Ok(Routing::Stats { id }),
+        REQ_LIST => Ok(Routing::List { id }),
+        REQ_PING => Ok(Routing::Ping { id }),
+        other => Err((id, format!("unknown request kind 0x{other:02x}"))),
+    }
+}
+
+/// Encode a successful predict reply.
+pub fn encode_reply_predict(id: u64, label: u64, batch: u32, micros: u64) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u8(REPLY_PREDICT);
+    w.u64(id);
+    w.u64(label);
+    w.u32(batch);
+    w.u64(micros);
+    frame(w.into_bytes())
+}
+
+/// Encode an error reply. `retry_ms` is meaningful for
+/// [`ErrCode::Overloaded`] / [`ErrCode::Throttled`] (0 otherwise).
+pub fn encode_reply_error(id: u64, code: ErrCode, message: &str, retry_ms: u64) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u8(REPLY_ERROR);
+    w.u64(id);
+    w.u8(code.to_u8());
+    w.u64(retry_ms);
+    w.string(message);
+    frame(w.into_bytes())
+}
+
+/// Encode a result reply (stats / list). The payload reuses the JSON
+/// value tree — these ops are observability, not the hot path.
+pub fn encode_reply_result(id: u64, value: &Value) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u8(REPLY_RESULT);
+    w.u64(id);
+    // Value trees always serialise; an empty object is the safe
+    // fallback if that invariant ever breaks.
+    w.string(&serde_json::to_string(value).unwrap_or_else(|_| "{}".to_string()));
+    frame(w.into_bytes())
+}
+
+/// Decode one reply body (CRC already checked) into the shared
+/// [`Response`] the NDJSON client path also produces, so retry logic
+/// upstream is protocol-agnostic.
+pub fn decode_reply(body: &[u8]) -> Result<Response, String> {
+    let mut r = ByteReader::new(body);
+    let fail = |e: tsda_core::TsdaError| format!("bad reply frame: {e}");
+    let kind = r.u8().map_err(fail)?;
+    let id = r.u64().map_err(fail)?;
+    let resp = match kind {
+        REPLY_PREDICT => {
+            let label = r.u64().map_err(fail)?;
+            let batch = r.u32().map_err(fail)?;
+            let micros = r.u64().map_err(fail)?;
+            Response {
+                id,
+                ok: true,
+                label: Some(label as usize),
+                batch: Some(batch as usize),
+                micros: Some(micros),
+                error: None,
+                retry_ms: None,
+                result: None,
+            }
+        }
+        REPLY_ERROR => {
+            let code = ErrCode::from_u8(r.u8().map_err(fail)?)?;
+            let retry_ms = r.u64().map_err(fail)?;
+            let message = r.string().map_err(fail)?;
+            // Shed / throttled refusals use the canonical marker strings
+            // so `Response::is_overloaded` / `is_throttled` work
+            // identically across protocols.
+            let error = match code {
+                ErrCode::Error => message,
+                ErrCode::Overloaded => OVERLOADED.to_string(),
+                ErrCode::Throttled => THROTTLED.to_string(),
+            };
+            Response {
+                id,
+                ok: false,
+                label: None,
+                batch: None,
+                micros: None,
+                error: Some(error),
+                retry_ms: (code != ErrCode::Error).then_some(retry_ms),
+                result: None,
+            }
+        }
+        REPLY_RESULT => {
+            let text = r.string().map_err(fail)?;
+            let value = serde_json::parse_value(&text)
+                .map_err(|e| format!("bad reply payload json: {e}"))?;
+            Response {
+                id,
+                ok: true,
+                label: None,
+                batch: None,
+                micros: None,
+                error: None,
+                retry_ms: None,
+                result: Some(value),
+            }
+        }
+        other => return Err(format!("unknown reply kind 0x{other:02x}")),
+    };
+    r.finish().map_err(fail)?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Mts {
+        Mts::from_flat(2, 3, vec![1.0, -2.5, f64::MIN_POSITIVE, 0.0, 1e300, -0.0])
+    }
+
+    #[test]
+    fn predict_request_round_trips_bit_exactly() {
+        let req = Request2::Predict { id: 42, model: "rocket".into(), series: series() };
+        let framed = encode_request(&req);
+        let mut buf = framed.clone();
+        let raw = take_frame(&mut buf).unwrap().expect("complete frame");
+        assert!(buf.is_empty());
+        let body = check_frame(&raw).unwrap();
+        let back = decode_request(body).unwrap();
+        assert_eq!(back, req);
+        if let Request2::Predict { series: s, .. } = back {
+            for (a, b) in s.as_flat().iter().zip(series().as_flat()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn control_requests_round_trip() {
+        for req in [Request2::Stats { id: 1 }, Request2::List { id: 2 }, Request2::Ping { id: 3 }] {
+            let mut buf = encode_request(&req);
+            let raw = take_frame(&mut buf).unwrap().unwrap();
+            assert_eq!(decode_request(check_frame(&raw).unwrap()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip_with_canonical_shed_markers() {
+        let mut buf = encode_reply_predict(7, 3, 16, 812);
+        let raw = take_frame(&mut buf).unwrap().unwrap();
+        let r = decode_reply(check_frame(&raw).unwrap()).unwrap();
+        assert!(r.ok);
+        assert_eq!((r.id, r.label, r.batch, r.micros), (7, Some(3), Some(16), Some(812)));
+
+        let mut buf = encode_reply_error(9, ErrCode::Overloaded, "queue full", 25);
+        let raw = take_frame(&mut buf).unwrap().unwrap();
+        let r = decode_reply(check_frame(&raw).unwrap()).unwrap();
+        assert!(r.is_overloaded());
+        assert_eq!(r.retry_ms, Some(25));
+
+        let mut buf = encode_reply_error(9, ErrCode::Throttled, "quota", 40);
+        let raw = take_frame(&mut buf).unwrap().unwrap();
+        let r = decode_reply(check_frame(&raw).unwrap()).unwrap();
+        assert!(r.is_throttled() && !r.is_overloaded());
+        assert_eq!(r.retry_ms, Some(40));
+
+        let mut buf = encode_reply_error(9, ErrCode::Error, "bad series", 0);
+        let raw = take_frame(&mut buf).unwrap().unwrap();
+        let r = decode_reply(check_frame(&raw).unwrap()).unwrap();
+        assert!(!r.ok && r.retry_ms.is_none());
+        assert_eq!(r.error.as_deref(), Some("bad series"));
+    }
+
+    #[test]
+    fn partial_frames_wait_and_bad_lengths_reject() {
+        let full = encode_request(&Request2::Ping { id: 1 });
+        for cut in 0..full.len() {
+            let mut buf = full[..cut].to_vec();
+            assert_eq!(take_frame(&mut buf).unwrap(), None, "cut at {cut}");
+            assert_eq!(buf.len(), cut, "partial frame must not be consumed");
+        }
+        // Oversized length prefix.
+        let mut buf = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(take_frame(&mut buf).is_err());
+        // Undersized length prefix.
+        let mut buf = 2u32.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(take_frame(&mut buf).is_err());
+    }
+
+    #[test]
+    fn corruption_fails_the_checksum() {
+        let full = encode_request(&Request2::Predict {
+            id: 5,
+            model: "m".into(),
+            series: series(),
+        });
+        for pos in 4..full.len() {
+            let mut copy = full.clone();
+            copy[pos] ^= 0x40;
+            let mut buf = copy;
+            let raw = take_frame(&mut buf).unwrap().expect("boundary intact");
+            assert!(check_frame(&raw).is_err(), "corruption at {pos} not caught");
+        }
+    }
+
+    #[test]
+    fn routing_header_matches_full_decode_and_hash_is_content_sensitive() {
+        let req = Request2::Predict { id: 11, model: "rocket".into(), series: series() };
+        let mut buf = encode_request(&req);
+        let raw = take_frame(&mut buf).unwrap().unwrap();
+        let body = check_frame(&raw).unwrap();
+        let Ok(Routing::Predict { id, model, key }) = decode_routing(body) else {
+            panic!("routing decode failed");
+        };
+        assert_eq!((id, model.as_str()), (11, "rocket"));
+
+        let mut other = series();
+        other.set(0, 0, 2.0);
+        let req2 = Request2::Predict { id: 11, model: "rocket".into(), series: other };
+        let mut buf = encode_request(&req2);
+        let raw = take_frame(&mut buf).unwrap().unwrap();
+        let Ok(Routing::Predict { key: key2, .. }) = decode_routing(check_frame(&raw).unwrap())
+        else {
+            panic!("routing decode failed");
+        };
+        assert_ne!(key, key2, "content hash must depend on series values");
+    }
+
+    #[test]
+    fn reframe_reconstructs_the_original_frame() {
+        let full = encode_request(&Request2::Stats { id: 3 });
+        let mut buf = full.clone();
+        let raw = take_frame(&mut buf).unwrap().unwrap();
+        assert_eq!(reframe(&raw), full);
+    }
+
+    #[test]
+    fn trailing_bytes_after_a_request_are_rejected() {
+        let mut w = ByteWriter::new();
+        w.u8(REQ_PING);
+        w.u64(1);
+        w.u8(0xEE); // smuggled trailing byte
+        let mut buf = frame(w.into_bytes());
+        let raw = take_frame(&mut buf).unwrap().unwrap();
+        let err = decode_request(check_frame(&raw).unwrap()).unwrap_err();
+        assert_eq!(err.0, 1);
+        assert!(err.1.contains("unread"), "{}", err.1);
+    }
+}

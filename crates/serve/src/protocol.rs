@@ -150,6 +150,20 @@ pub fn overloaded_response(id: u64, retry_ms: u64) -> String {
     ])
 }
 
+/// The marker error string in admission-control refusals.
+pub const THROTTLED: &str = "throttled";
+
+/// Admission-control refusal: the client's token bucket is empty; one
+/// token refills in roughly `retry_ms`.
+pub fn throttled_response(id: u64, retry_ms: u64) -> String {
+    object_line(vec![
+        ("id".into(), Value::Num(id as f64)),
+        ("ok".into(), Value::Bool(false)),
+        ("error".into(), Value::Str(THROTTLED.to_string())),
+        ("retry_ms".into(), Value::Num(retry_ms as f64)),
+    ])
+}
+
 /// Generic success response wrapping a payload under `"result"`.
 pub fn result_response(id: u64, result: Value) -> String {
     object_line(vec![
@@ -184,6 +198,19 @@ impl Response {
     /// True for a load-shedding reply (`{"ok":false,"error":"overloaded",…}`).
     pub fn is_overloaded(&self) -> bool {
         !self.ok && self.error.as_deref() == Some(OVERLOADED)
+    }
+
+    /// True for an admission-control refusal
+    /// (`{"ok":false,"error":"throttled",…}`).
+    pub fn is_throttled(&self) -> bool {
+        !self.ok && self.error.as_deref() == Some(THROTTLED)
+    }
+
+    /// True for any backpressure refusal — batcher shed, fault-plan
+    /// shed, or admission throttle, from a replica or the router. All
+    /// carry `retry_ms` hints that floor the client's next backoff.
+    pub fn is_shed(&self) -> bool {
+        self.is_overloaded() || self.is_throttled()
     }
 }
 
@@ -255,6 +282,17 @@ mod tests {
         let e = parse_response(&error_response(3, "bad series")).unwrap();
         assert!(!e.is_overloaded());
         assert_eq!(e.retry_ms, None);
+    }
+
+    #[test]
+    fn throttled_response_round_trips_and_is_shed() {
+        let r = parse_response(&throttled_response(4, 120)).unwrap();
+        assert!(r.is_throttled() && r.is_shed() && !r.is_overloaded());
+        assert_eq!((r.id, r.retry_ms), (4, Some(120)));
+        let o = parse_response(&overloaded_response(5, 20)).unwrap();
+        assert!(o.is_shed() && !o.is_throttled());
+        let e = parse_response(&error_response(6, "nope")).unwrap();
+        assert!(!e.is_shed());
     }
 
     #[test]

@@ -4,27 +4,36 @@
 //! returns a [`ServerHandle`] immediately — callers (the `tsda_serve`
 //! bin, the smoke test) decide when to stop by flipping the handle's
 //! shutdown flag. The accept socket runs non-blocking so the loop can
-//! poll that flag; each connection gets its own thread reading
-//! newline-delimited requests and writing one response line per
-//! request, in order, so clients may pipeline freely.
+//! poll that flag; each connection gets its own thread answering one
+//! response per request, in order, so clients may pipeline freely.
+//!
+//! Connections negotiate their protocol from the first bytes: a
+//! [`proto2::PREAMBLE`] switches the connection to length-prefixed
+//! binary frames (protocol v2); anything else is newline-delimited
+//! JSON. The mode is fixed for the connection's lifetime — see
+//! [`crate::proto2`] for the framing rules.
 //!
 //! Shutdown drains: when the flag flips, each connection handler does a
-//! final non-blocking read pass and answers every complete request line
-//! it has already received before closing, and the batch workers run
-//! until every queue is empty — a request the server *accepted* is a
-//! request it answers, even under shutdown.
+//! final non-blocking read pass and answers every complete request
+//! (line or frame) it has already received before closing, and the
+//! batch workers run until every queue is empty — a request the server
+//! *accepted* is a request it answers, even under shutdown.
 //!
 //! When [`ServerConfig::faults`] carries a
 //! [`FaultPlan`](crate::faults::FaultPlan), the handlers corrupt
 //! request bytes, delay/tear/drop response writes, stall workers, and
 //! shed submits on the plan's deterministic schedule (see
-//! [`crate::faults`]).
+//! [`crate::faults`]). When [`ServerConfig::admission`] is set, predict
+//! requests pass a per-client token bucket first and may be refused
+//! with `throttled` replies (see [`crate::admission`]).
 
+use crate::admission::{Admission, AdmissionConfig};
 use crate::batcher::{BatchConfig, Batcher, SubmitError};
 use crate::faults::{self, FaultPlan};
+use crate::proto2;
 use crate::protocol::{
     decode_series, error_response, overloaded_response, parse_request, predict_response,
-    result_response, Request,
+    result_response, throttled_response, Request,
 };
 use crate::registry::ModelRegistry;
 use crate::stats::ServerStats;
@@ -34,7 +43,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use tsda_core::TsdaError;
+use tsda_core::{Mts, TsdaError};
 
 /// Server knobs.
 #[derive(Debug, Clone, Default)]
@@ -45,6 +54,8 @@ pub struct ServerConfig {
     pub batch: BatchConfig,
     /// Optional deterministic fault-injection plan (None = fault-free).
     pub faults: Option<Arc<FaultPlan>>,
+    /// Optional per-client admission quota (None = admit everything).
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl ServerConfig {
@@ -111,6 +122,7 @@ pub fn serve(registry: ModelRegistry, config: ServerConfig) -> Result<ServerHand
     let stats = Arc::new(ServerStats::new());
     let shutdown = Arc::new(AtomicBool::new(false));
     let faults = config.faults.clone();
+    let admission = config.admission.map(|c| Arc::new(Admission::new(c)));
     let batcher = Arc::new(Batcher::start(
         Arc::clone(&registry),
         Arc::clone(&stats),
@@ -125,7 +137,15 @@ pub fn serve(registry: ModelRegistry, config: ServerConfig) -> Result<ServerHand
         std::thread::Builder::new()
             .name("tsda-accept".into())
             .spawn(move || {
-                accept_loop(&listener, &registry, &stats, &batcher, &shutdown, faults.as_ref());
+                accept_loop(
+                    &listener,
+                    &registry,
+                    &stats,
+                    &batcher,
+                    &shutdown,
+                    faults.as_ref(),
+                    admission.as_ref(),
+                );
                 // Sole owner now that the loop exited and every
                 // connection thread is joined: drop the queues so the
                 // workers drain and exit, then join them.
@@ -139,6 +159,7 @@ pub fn serve(registry: ModelRegistry, config: ServerConfig) -> Result<ServerHand
     Ok(ServerHandle { addr, shutdown, stats, accept_thread: Some(accept_thread) })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: &TcpListener,
     registry: &Arc<ModelRegistry>,
@@ -146,6 +167,7 @@ fn accept_loop(
     batcher: &Arc<Batcher>,
     shutdown: &Arc<AtomicBool>,
     faults: Option<&Arc<FaultPlan>>,
+    admission: Option<&Arc<Admission>>,
 ) {
     let mut conn_threads = Vec::new();
     while !shutdown.load(Ordering::Relaxed) {
@@ -159,6 +181,7 @@ fn accept_loop(
                 let batcher = Arc::clone(batcher);
                 let shutdown = Arc::clone(shutdown);
                 let faults = faults.cloned();
+                let admission = admission.cloned();
                 if let Ok(t) = std::thread::Builder::new().name("tsda-conn".into()).spawn(
                     move || {
                         handle_connection(
@@ -168,6 +191,7 @@ fn accept_loop(
                             &batcher,
                             &shutdown,
                             faults.as_deref(),
+                            admission.as_deref(),
                         )
                     },
                 ) {
@@ -188,21 +212,85 @@ fn accept_loop(
     }
 }
 
+/// Everything a connection handler needs to answer requests, bundled so
+/// the per-protocol paths share one signature.
+struct ConnCtx<'a> {
+    registry: &'a ModelRegistry,
+    stats: &'a ServerStats,
+    batcher: &'a Batcher,
+    faults: Option<&'a FaultPlan>,
+    admission: Option<&'a Admission>,
+    /// Admission key: the peer IP (reconnecting keeps the same bucket).
+    peer: String,
+}
+
+/// The wire protocol a connection settled on.
+enum Mode {
+    /// No request bytes seen yet.
+    Undecided,
+    /// Newline-delimited JSON (protocol v1).
+    Ndjson,
+    /// Length-prefixed binary frames (protocol v2).
+    V2,
+}
+
+/// Outcome of a negotiation attempt over the current buffer.
+enum Negotiated {
+    /// Mode decided (or already was); proceed to answer.
+    Proceed,
+    /// First byte matches the preamble but the rest hasn't arrived.
+    NeedMore,
+    /// Preamble started but mismatched: refuse and close.
+    Refuse,
+}
+
+/// Decide the connection mode from the first buffered bytes. The
+/// preamble's first byte (0xB2) can never start a JSON line, so one
+/// byte settles NDJSON; a full preamble match settles v2 and consumes
+/// the preamble bytes.
+fn negotiate(buf: &mut Vec<u8>, mode: &mut Mode) -> Negotiated {
+    if !matches!(mode, Mode::Undecided) || buf.is_empty() {
+        return Negotiated::Proceed;
+    }
+    if buf[0] != proto2::PREAMBLE[0] {
+        *mode = Mode::Ndjson;
+        return Negotiated::Proceed;
+    }
+    if buf.len() < proto2::PREAMBLE.len() {
+        return Negotiated::NeedMore;
+    }
+    if buf[..proto2::PREAMBLE.len()] == proto2::PREAMBLE {
+        buf.drain(..proto2::PREAMBLE.len());
+        *mode = Mode::V2;
+        Negotiated::Proceed
+    } else {
+        Negotiated::Refuse
+    }
+}
+
+/// Answer everything complete in `buf` for the negotiated mode.
+/// Returns false when the connection must close.
+fn answer_buffered(
+    mode: &Mode,
+    buf: &mut Vec<u8>,
+    writer: &mut TcpStream,
+    ctx: &ConnCtx<'_>,
+) -> bool {
+    match mode {
+        Mode::Undecided => true,
+        Mode::Ndjson => answer_buffered_lines(buf, writer, ctx),
+        Mode::V2 => answer_buffered_frames(buf, writer, ctx),
+    }
+}
+
 /// Pop complete lines off `buf` and answer each in order. Returns false
 /// when a write failed (peer gone or fault-injected drop) and the
 /// connection should close.
-fn answer_buffered_lines(
-    buf: &mut Vec<u8>,
-    writer: &mut TcpStream,
-    registry: &ModelRegistry,
-    stats: &ServerStats,
-    batcher: &Batcher,
-    faults: Option<&FaultPlan>,
-) -> bool {
+fn answer_buffered_lines(buf: &mut Vec<u8>, writer: &mut TcpStream, ctx: &ConnCtx<'_>) -> bool {
     while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
         let mut line: Vec<u8> = buf.drain(..=pos).collect();
         line.pop(); // the '\n'
-        if let Some(plan) = faults {
+        if let Some(plan) = ctx.faults {
             // Wire corruption happens between the peer's write and our
             // parse; the parser must turn it into an error reply.
             plan.corrupt_line(&mut line);
@@ -212,20 +300,54 @@ fn answer_buffered_lines(
         if line.is_empty() {
             continue;
         }
-        let mut response = handle_line(line, registry, stats, batcher);
+        let mut response = handle_line(line, ctx);
         response.push('\n');
-        if faults::write_response(writer, response.as_bytes(), faults).is_err() {
+        if faults::write_response(writer, response.as_bytes(), ctx.faults).is_err() {
             return false;
         }
     }
     true
 }
 
-/// Read newline-delimited requests, answer each in order. Uses a short
-/// read timeout so the handler notices shutdown within ~100ms even on
-/// an idle keep-alive connection. On shutdown the handler drains: one
-/// final read pass picks up anything the peer already sent, and every
-/// complete line gets its response before the socket closes.
+/// Pop complete v2 frames off `buf` and answer each in order. Returns
+/// false when the connection must close: a failed write, or a corrupted
+/// *length prefix* — unlike body corruption (caught by the checksum and
+/// answered with an error reply on an intact stream), a bad prefix
+/// desynchronises framing beyond recovery.
+fn answer_buffered_frames(buf: &mut Vec<u8>, writer: &mut TcpStream, ctx: &ConnCtx<'_>) -> bool {
+    loop {
+        let mut raw = match proto2::take_frame(buf) {
+            Ok(Some(raw)) => raw,
+            Ok(None) => return true,
+            Err(msg) => {
+                let reply = proto2::encode_reply_error(0, proto2::ErrCode::Error, &msg, 0);
+                ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+                // Best-effort reply: the connection closes whether or
+                // not the write lands, because framing cannot be
+                // resynchronised after a bad length prefix.
+                let _delivered = faults::write_response(writer, &reply, ctx.faults).is_ok();
+                return false;
+            }
+        };
+        if let Some(plan) = ctx.faults {
+            // Corrupt after the boundary is known: frame extraction used
+            // the (uncorrupted) length prefix, so the stream stays in
+            // sync and the checksum turns the mangled payload into an
+            // error reply instead of a different request.
+            plan.corrupt_line(&mut raw);
+        }
+        let reply = handle_frame(&raw, ctx);
+        if faults::write_response(writer, &reply, ctx.faults).is_err() {
+            return false;
+        }
+    }
+}
+
+/// Read requests, answer each in order. Uses a short read timeout so
+/// the handler notices shutdown within ~100ms even on an idle
+/// keep-alive connection. On shutdown the handler drains: one final
+/// read pass picks up anything the peer already sent, and every
+/// complete request gets its response before the socket closes.
 fn handle_connection(
     stream: TcpStream,
     registry: &ModelRegistry,
@@ -233,7 +355,13 @@ fn handle_connection(
     batcher: &Batcher,
     shutdown: &AtomicBool,
     faults: Option<&FaultPlan>,
+    admission: Option<&Admission>,
 ) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.ip().to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
+    let ctx = ConnCtx { registry, stats, batcher, faults, admission, peer };
     let mut reader = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -244,9 +372,26 @@ fn handle_connection(
     let mut writer = stream;
     let mut buf = Vec::with_capacity(4096);
     let mut chunk = [0u8; 4096];
+    let mut mode = Mode::Undecided;
     loop {
-        if !answer_buffered_lines(&mut buf, &mut writer, registry, stats, batcher, faults) {
-            return;
+        match negotiate(&mut buf, &mut mode) {
+            Negotiated::Proceed => {
+                if !answer_buffered(&mode, &mut buf, &mut writer, &ctx) {
+                    return;
+                }
+            }
+            Negotiated::NeedMore => {}
+            Negotiated::Refuse => {
+                // A broken preamble is not attributable to either
+                // protocol; answer once in NDJSON (any client can read
+                // it) and close.
+                let mut resp = error_response(0, "bad protocol preamble").into_bytes();
+                resp.push(b'\n');
+                ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+                // Best-effort refusal; the connection closes either way.
+                let _delivered = faults::write_response(&mut writer, &resp, ctx.faults).is_ok();
+                return;
+            }
         }
         if shutdown.load(Ordering::Relaxed) {
             // Final drain: requests the peer pipelined before shutdown
@@ -260,7 +405,9 @@ fn handle_connection(
                     Err(_) => break, // WouldBlock/TimedOut: socket quiet
                 }
             }
-            answer_buffered_lines(&mut buf, &mut writer, registry, stats, batcher, faults);
+            if matches!(negotiate(&mut buf, &mut mode), Negotiated::Proceed) {
+                answer_buffered(&mode, &mut buf, &mut writer, &ctx);
+            }
             return;
         }
         match reader.read(&mut chunk) {
@@ -273,70 +420,167 @@ fn handle_connection(
     }
 }
 
-fn handle_line(
-    line: &str,
-    registry: &ModelRegistry,
-    stats: &ServerStats,
-    batcher: &Batcher,
-) -> String {
+/// How one predict request resolved, protocol-independent. The two
+/// wire paths render this into their reply encoding.
+enum PredictOutcome {
+    /// A label came back.
+    Label {
+        /// Predicted class label.
+        label: usize,
+        /// Batch size the prediction rode in.
+        batch: usize,
+        /// Server-side latency, microseconds.
+        micros: u64,
+    },
+    /// Bounded-queue (or fault-plan) load shed.
+    Shed {
+        /// Backoff hint, milliseconds.
+        retry_ms: u64,
+    },
+    /// Admission-control refusal.
+    Throttled {
+        /// Backoff hint, milliseconds.
+        retry_ms: u64,
+    },
+    /// Any other refusal, with its message.
+    Failed(String),
+}
+
+/// The shared predict core: admission, registry lookup, shape
+/// validation, batched prediction. Counts every outcome in `stats`.
+fn run_predict(model: &str, series: Mts, ctx: &ConnCtx<'_>) -> PredictOutcome {
+    let stats = ctx.stats;
+    stats.requests.fetch_add(1, Ordering::Relaxed);
+    if let Some(adm) = ctx.admission {
+        if let Err(retry_ms) = adm.admit(&ctx.peer) {
+            stats.throttled.fetch_add(1, Ordering::Relaxed);
+            return PredictOutcome::Throttled { retry_ms };
+        }
+    }
+    let entry = match ctx.registry.get(model) {
+        Some(e) => e,
+        None => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            return PredictOutcome::Failed(format!("unknown model {model:?}"));
+        }
+    };
+    if let Err(msg) = entry.validate(&series) {
+        stats.errors.fetch_add(1, Ordering::Relaxed);
+        return PredictOutcome::Failed(msg);
+    }
+    let rx = match ctx.batcher.submit(model, series) {
+        Ok(rx) => rx,
+        Err(SubmitError::Overloaded { retry_ms }) => {
+            stats.shed.fetch_add(1, Ordering::Relaxed);
+            return PredictOutcome::Shed { retry_ms };
+        }
+        Err(SubmitError::UnknownModel) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            return PredictOutcome::Failed(format!("unknown model {model:?}"));
+        }
+        Err(SubmitError::Closed) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            return PredictOutcome::Failed("server shutting down".to_string());
+        }
+    };
+    match rx.recv() {
+        Ok(reply) => match reply.result {
+            Ok(label) => {
+                PredictOutcome::Label { label, batch: reply.batch_size, micros: reply.micros }
+            }
+            Err(msg) => PredictOutcome::Failed(msg),
+        },
+        Err(_) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            PredictOutcome::Failed("server shutting down".to_string())
+        }
+    }
+}
+
+/// Answer one NDJSON request line with one response line.
+fn handle_line(line: &str, ctx: &ConnCtx<'_>) -> String {
     let request = match parse_request(line) {
         Ok(r) => r,
         Err((id, msg)) => {
-            stats.errors.fetch_add(1, Ordering::Relaxed);
+            ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
             return error_response(id, &msg);
         }
     };
     match request {
         Request::Predict { id, model, series } => {
-            stats.requests.fetch_add(1, Ordering::Relaxed);
-            let entry = match registry.get(&model) {
-                Some(e) => e,
-                None => {
-                    stats.errors.fetch_add(1, Ordering::Relaxed);
-                    return error_response(id, &format!("unknown model {model:?}"));
-                }
-            };
             let mts = match decode_series(&series) {
                 Ok(s) => s,
                 Err(e) => {
-                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
                     return error_response(id, &format!("bad series: {e}"));
                 }
             };
-            if let Err(msg) = entry.validate(&mts) {
-                stats.errors.fetch_add(1, Ordering::Relaxed);
-                return error_response(id, &msg);
+            match run_predict(&model, mts, ctx) {
+                PredictOutcome::Label { label, batch, micros } => {
+                    predict_response(id, &model, label, batch, micros)
+                }
+                PredictOutcome::Shed { retry_ms } => overloaded_response(id, retry_ms),
+                PredictOutcome::Throttled { retry_ms } => throttled_response(id, retry_ms),
+                PredictOutcome::Failed(msg) => error_response(id, &msg),
             }
-            let rx = match batcher.submit(&model, mts) {
-                Ok(rx) => rx,
-                Err(SubmitError::Overloaded { retry_ms }) => {
-                    stats.shed.fetch_add(1, Ordering::Relaxed);
-                    return overloaded_response(id, retry_ms);
+        }
+        Request::Stats { id } => result_response(id, ctx.stats.snapshot().to_value()),
+        Request::List { id } => result_response(id, ctx.registry.describe()),
+        Request::Ping { id } => result_response(id, serde::Value::Str("pong".into())),
+    }
+}
+
+/// Answer one raw v2 frame (`body + crc`) with one reply frame.
+fn handle_frame(raw: &[u8], ctx: &ConnCtx<'_>) -> Vec<u8> {
+    let body = match proto2::check_frame(raw) {
+        Ok(b) => b,
+        Err(msg) => {
+            // Body corruption: the checksum caught it, the stream is
+            // still framed, so answer and keep serving. Id 0 — the real
+            // id is untrustworthy inside a corrupted frame.
+            ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return proto2::encode_reply_error(0, proto2::ErrCode::Error, &msg, 0);
+        }
+    };
+    let request = match proto2::decode_request(body) {
+        Ok(r) => r,
+        Err((id, msg)) => {
+            ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return proto2::encode_reply_error(id, proto2::ErrCode::Error, &msg, 0);
+        }
+    };
+    match request {
+        proto2::Request2::Predict { id, model, series } => {
+            match run_predict(&model, series, ctx) {
+                PredictOutcome::Label { label, batch, micros } => {
+                    proto2::encode_reply_predict(id, label as u64, batch as u32, micros)
                 }
-                Err(SubmitError::UnknownModel) => {
-                    stats.errors.fetch_add(1, Ordering::Relaxed);
-                    return error_response(id, &format!("unknown model {model:?}"));
-                }
-                Err(SubmitError::Closed) => {
-                    stats.errors.fetch_add(1, Ordering::Relaxed);
-                    return error_response(id, "server shutting down");
-                }
-            };
-            match rx.recv() {
-                Ok(reply) => match reply.result {
-                    Ok(label) => {
-                        predict_response(id, &model, label, reply.batch_size, reply.micros)
-                    }
-                    Err(msg) => error_response(id, &msg),
-                },
-                Err(_) => {
-                    stats.errors.fetch_add(1, Ordering::Relaxed);
-                    error_response(id, "server shutting down")
+                PredictOutcome::Shed { retry_ms } => proto2::encode_reply_error(
+                    id,
+                    proto2::ErrCode::Overloaded,
+                    "overloaded",
+                    retry_ms,
+                ),
+                PredictOutcome::Throttled { retry_ms } => proto2::encode_reply_error(
+                    id,
+                    proto2::ErrCode::Throttled,
+                    "throttled",
+                    retry_ms,
+                ),
+                PredictOutcome::Failed(msg) => {
+                    proto2::encode_reply_error(id, proto2::ErrCode::Error, &msg, 0)
                 }
             }
         }
-        Request::Stats { id } => result_response(id, stats.snapshot().to_value()),
-        Request::List { id } => result_response(id, registry.describe()),
-        Request::Ping { id } => result_response(id, serde::Value::Str("pong".into())),
+        proto2::Request2::Stats { id } => {
+            proto2::encode_reply_result(id, &ctx.stats.snapshot().to_value())
+        }
+        proto2::Request2::List { id } => {
+            proto2::encode_reply_result(id, &ctx.registry.describe())
+        }
+        proto2::Request2::Ping { id } => {
+            proto2::encode_reply_result(id, &serde::Value::Str("pong".into()))
+        }
     }
 }

@@ -82,6 +82,7 @@ fn chaos_server(plan: Arc<FaultPlan>) -> (ServerHandle, Vec<Label>, Dataset) {
                 ..BatchConfig::default()
             },
             faults: Some(plan),
+            admission: None,
         },
     )
     .expect("server starts");

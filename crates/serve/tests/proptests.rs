@@ -5,8 +5,12 @@
 //! `parse_request` and `decode_series` verbatim.
 
 use proptest::prelude::*;
+use tsda_core::Mts;
 use tsda_datasets::ts_format::{format_series_line, parse_series_line};
 use tsda_serve::client::predict_line;
+use tsda_serve::proto2::{
+    self, check_frame, decode_request, decode_routing, encode_request, take_frame, Request2,
+};
 use tsda_serve::protocol::{decode_series, parse_request, parse_response, Request};
 
 /// The control byte the fault plan writes over corrupted request
@@ -27,6 +31,25 @@ fn series_soup() -> impl Strategy<Value = String> {
         "0123456789.,:?-+eE infNa\t".chars().collect();
     proptest::collection::vec(0usize..alphabet.len(), 0..64)
         .prop_map(move |idx| idx.into_iter().map(|i| alphabet[i]).collect())
+}
+
+/// A well-formed v2 predict request with an arbitrary small series.
+fn valid_predict_v2() -> impl Strategy<Value = Request2> {
+    let name: Vec<char> = "abcdefghijklmnopqrstuvwxyz_0123456789".chars().collect();
+    let model = proptest::collection::vec(0usize..name.len(), 1..12)
+        .prop_map(move |idx| idx.into_iter().map(|i| name[i]).collect::<String>());
+    // Values come from raw u64 bit patterns so NaNs, infinities, and
+    // denormals all flow through the binary framing.
+    let series = (1usize..4, proptest::collection::vec(0u64..u64::MAX, 1..12)).prop_map(
+        |(n_dims, bits)| {
+            let mut vals: Vec<f64> = bits.into_iter().map(f64::from_bits).collect();
+            let len = (vals.len() / n_dims).max(1);
+            vals.resize(n_dims * len, 0.0);
+            Mts::from_flat(n_dims, len, vals)
+        },
+    );
+    (0u64..u64::MAX, model, series)
+        .prop_map(|(id, model, series)| Request2::Predict { id, model, series })
 }
 
 /// A syntactically valid predict request with printable payloads.
@@ -121,6 +144,111 @@ proptest! {
                 pos, cs
             );
         }
+    }
+
+    #[test]
+    fn v2_requests_round_trip_bit_exactly(req in valid_predict_v2()) {
+        let mut buf = encode_request(&req);
+        let raw = take_frame(&mut buf).unwrap().expect("complete frame");
+        prop_assert!(buf.is_empty(), "one request is exactly one frame");
+        let body = check_frame(&raw).expect("fresh frame passes its own checksum");
+        let back = decode_request(body).expect("fresh frame decodes");
+        // PartialEq on f64 misses NaN payloads and -0.0; compare bits.
+        if let (
+            Request2::Predict { id: ia, model: ma, series: sa },
+            Request2::Predict { id: ib, model: mb, series: sb },
+        ) = (&req, &back)
+        {
+            prop_assert_eq!(ia, ib);
+            prop_assert_eq!(ma, mb);
+            prop_assert_eq!(sa.n_dims(), sb.n_dims());
+            prop_assert_eq!(sa.len(), sb.len());
+            for (a, b) in sa.as_flat().iter().zip(sb.as_flat()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        } else {
+            prop_assert!(false, "decoded to a non-predict request");
+        }
+        // The routing header agrees with the full decode.
+        let routing = decode_routing(body).expect("routing header decodes");
+        if let (Request2::Predict { id, model, .. }, proto2::Routing::Predict { id: rid, model: rm, .. }) =
+            (&req, &routing)
+        {
+            prop_assert_eq!(id, rid);
+            prop_assert_eq!(model, rm);
+        }
+    }
+
+    #[test]
+    fn v2_truncation_is_never_a_panic_or_a_decode(
+        req in valid_predict_v2(),
+        cut_word in 0u64..u64::MAX,
+    ) {
+        // Any strict prefix of a frame either waits for more bytes
+        // (boundary intact) — it must never pop a frame.
+        let full = encode_request(&req);
+        let cut = (cut_word as usize) % full.len();
+        let mut buf = full[..cut].to_vec();
+        match take_frame(&mut buf) {
+            Ok(None) => prop_assert_eq!(buf.len(), cut, "partial frame must not be consumed"),
+            Ok(Some(_)) => prop_assert!(false, "truncated frame at {} popped as complete", cut),
+            // A cut inside the length prefix can read as an invalid
+            // length; that is a clean connection-close error.
+            Err(msg) => prop_assert!(!msg.is_empty()),
+        }
+    }
+
+    #[test]
+    fn v2_single_byte_corruption_is_never_a_silent_different_request(
+        req in valid_predict_v2(),
+        pos_word in 0u64..u64::MAX,
+        xor in 1u8..=255,
+    ) {
+        // Flip one byte anywhere in the full frame (length prefix
+        // included). Every outcome is acceptable except one: decoding
+        // successfully to a request other than the original.
+        let full = encode_request(&req);
+        let pos = (pos_word as usize) % full.len();
+        let mut corrupted = full.clone();
+        corrupted[pos] ^= xor;
+        let mut buf = corrupted;
+        match take_frame(&mut buf) {
+            Err(_) | Ok(None) => {} // bad or now-incomplete length prefix
+            Ok(Some(raw)) => {
+                if let Ok(body) = check_frame(&raw) {
+                    // CRC-32 catches any single corrupted byte inside
+                    // the frame, so a passing checksum means the length
+                    // prefix was corrupted yet still framed a valid
+                    // checksummed span — only possible if it re-framed
+                    // the identical bytes.
+                    let back = decode_request(body);
+                    prop_assert!(
+                        back.as_ref().ok() == Some(&req) || back.is_err(),
+                        "corruption at {} decoded as a different request: {:?}",
+                        pos, back
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v2_decoders_never_panic_on_byte_soup(bytes in byte_soup()) {
+        // Byte soup straight into every v2 entry point: the negotiation
+        // path guarantees arbitrary client bytes can reach each of
+        // these, and none may panic.
+        let mut buf = bytes.clone();
+        if let Ok(Some(raw)) = take_frame(&mut buf) {
+            if let Ok(body) = check_frame(&raw) {
+                let _ = decode_request(body);
+                let _ = decode_routing(body);
+                let _ = proto2::decode_reply(body);
+            }
+        }
+        let _ = check_frame(&bytes);
+        let _ = decode_request(&bytes);
+        let _ = decode_routing(&bytes);
+        let _ = proto2::decode_reply(&bytes);
     }
 
     #[test]

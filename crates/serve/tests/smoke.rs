@@ -4,7 +4,7 @@
 //! `Classifier::predict` on the same saved model.
 
 use serde::Value;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 use tsda_classify::persist::{load_model_bytes, SavedModel};
@@ -13,6 +13,7 @@ use tsda_core::rng::seeded;
 use tsda_core::{Dataset, Label, Mts};
 use tsda_datasets::ts_format::format_series_line;
 use tsda_serve::batcher::BatchConfig;
+use tsda_serve::proto2::{self, Request2};
 use tsda_serve::protocol::{parse_response, Response};
 use tsda_serve::registry::{ModelEntry, ModelRegistry};
 use tsda_serve::server::{serve, ServerConfig};
@@ -73,6 +74,32 @@ fn pipeline(addr: &str, lines: &[String]) -> Vec<Response> {
         let mut reply = String::new();
         assert!(reader.read_line(&mut reply).unwrap() > 0, "server closed early");
         responses.push(parse_response(reply.trim_end()).expect("parse response"));
+    }
+    responses
+}
+
+/// Pipeline over protocol v2: send the preamble, then every frame,
+/// then read one reply frame per request.
+fn pipeline_v2(addr: &str, requests: &[Request2]) -> Vec<Response> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writer.write_all(&proto2::PREAMBLE).unwrap();
+    for req in requests {
+        writer.write_all(&proto2::encode_request(req)).unwrap();
+    }
+    writer.flush().unwrap();
+    let mut responses = Vec::with_capacity(requests.len());
+    for _ in 0..requests.len() {
+        let mut len_bytes = [0u8; 4];
+        reader.read_exact(&mut len_bytes).expect("reply length");
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        assert!((5..=proto2::MAX_FRAME).contains(&len), "reply frame length {len}");
+        let mut raw = vec![0u8; len];
+        reader.read_exact(&mut raw).expect("reply frame");
+        let body = proto2::check_frame(&raw).expect("reply frame intact");
+        responses.push(proto2::decode_reply(body).expect("decode reply"));
     }
     responses
 }
@@ -172,6 +199,114 @@ fn served_predictions_match_offline_bit_for_bit() {
     assert!(mean_batch > 1.0, "mean batch {mean_batch}");
     let requests = stats.get("requests").and_then(Value::as_f64).unwrap() as usize;
     assert_eq!(requests, 6 * test.series().len());
+
+    handle.shutdown();
+}
+
+#[test]
+fn v2_served_predictions_match_offline_and_quantiles_resolve() {
+    let (train, _) = toy_problem(21);
+    let (registry, rocket_offline, ridge_offline, test) = build_registry(&train);
+
+    let handle = serve(
+        registry,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            // max_batch matches the 3 concurrent workers per model
+            // (each connection is served request-by-request), so full
+            // batches flush the moment all three requests are pending,
+            // while a lone request must wait out the long timer — a
+            // controlled bimodal latency distribution for the quantile
+            // check below.
+            batch: BatchConfig {
+                max_batch: 3,
+                max_wait: Duration::from_millis(150),
+                ..BatchConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    // Three pipelining v2 clients per model, same contract as the
+    // NDJSON smoke: served labels must equal offline predict bit for
+    // bit, with batching observed.
+    let mut workers = Vec::new();
+    for (model, expected) in
+        [("rocket", rocket_offline.clone()), ("ridge", ridge_offline.clone())]
+    {
+        for worker in 0..3usize {
+            let addr = addr.clone();
+            let test = test.clone();
+            let expected = expected.clone();
+            let model = model.to_string();
+            workers.push(std::thread::spawn(move || -> usize {
+                let requests: Vec<Request2> = test
+                    .series()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| Request2::Predict {
+                        id: (worker * 1000 + i) as u64,
+                        model: model.clone(),
+                        series: s.clone(),
+                    })
+                    .collect();
+                let responses = pipeline_v2(&addr, &requests);
+                let mut max_batch = 0;
+                for (i, r) in responses.iter().enumerate() {
+                    assert!(r.ok, "{model} v2 request {i} failed: {:?}", r.error);
+                    assert_eq!(r.id, (worker * 1000 + i) as u64, "responses out of order");
+                    assert_eq!(
+                        r.label.unwrap(),
+                        expected[i],
+                        "{model} series {i}: v2 served label diverged from offline predict"
+                    );
+                    max_batch = max_batch.max(r.batch.unwrap_or(1));
+                }
+                max_batch
+            }));
+        }
+    }
+    let max_batch = workers.into_iter().map(|w| w.join().unwrap()).max().unwrap();
+    assert!(max_batch > 1, "no coalescing observed over v2 (max batch {max_batch})");
+
+    // Stats over v2, and both protocols on one port: an NDJSON probe
+    // still works against the same server.
+    let responses = pipeline_v2(&addr, &[Request2::Stats { id: 9 }]);
+    let stats = responses[0].result.as_ref().expect("stats result");
+    let requests = stats.get("requests").and_then(Value::as_f64).unwrap() as usize;
+    assert_eq!(requests, 6 * test.series().len());
+
+    // Four lone requests, each on a fresh connection: a batch of one
+    // can only flush on the 150ms timer, so these are pinned to the
+    // slow mode of the distribution while the pipelined bursts above
+    // flushed when full (fast mode).
+    for rep in 0..4u64 {
+        let responses = pipeline_v2(
+            &addr,
+            &[Request2::Predict {
+                id: 500 + rep,
+                model: "rocket".into(),
+                series: test.series()[0].clone(),
+            }],
+        );
+        assert!(responses[0].ok);
+    }
+    let responses = pipeline_v2(&addr, &[Request2::Stats { id: 10 }]);
+    let stats = responses[0].result.as_ref().expect("stats result");
+    let p50 = stats.get("request_p50_us").and_then(Value::as_f64).unwrap();
+    let p99 = stats.get("request_p99_us").and_then(Value::as_f64).unwrap();
+    // The old power-of-two histogram quantized every latency in
+    // 4.1–8.2ms to the same 8192us bucket, shipping p50 == p99; the
+    // log-linear layout must resolve the fast flushes from the 150ms
+    // timer waits.
+    assert!(
+        p50 < p99,
+        "latency histogram failed to resolve quantiles: p50 {p50}us == p99 {p99}us"
+    );
+    let ndjson = pipeline(&addr, &[request_line(1, "ping", &[])]);
+    assert!(ndjson[0].ok, "NDJSON ping after v2 traffic");
 
     handle.shutdown();
 }
