@@ -19,6 +19,11 @@
 //! * `.method(..)` — every workspace function named `method` that has
 //!   an owner *and* a `self` receiver (method-call syntax can invoke
 //!   neither a free fn nor a receiver-less associated fn).
+//! * container-local receivers — a method call whose receiver is a
+//!   local provably bound to a std container in every binding
+//!   (`let mut dims = Vec::new(); ... dims.push(x)`), or a literal,
+//!   cannot invoke a workspace method; such calls produce no edges
+//!   (see [`crate::dataflow::container_locals`]).
 //! * `free(..)` — every workspace function named `free`; same-crate
 //!   definitions are preferred when any exist, since cross-crate calls
 //!   in this workspace are written with an explicit path.
@@ -28,6 +33,7 @@
 //! *panic* properties of well-known std names are judged at the call
 //! site by the rules themselves.
 
+use crate::lexer::TokKind;
 use crate::parser::{parse_fns, FnDef};
 use crate::workspace::SourceFile;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -79,14 +85,38 @@ impl CallGraph {
         }
         let owner_names: std::collections::BTreeSet<&str> =
             fns.iter().filter_map(|f| f.owner.as_deref()).collect();
+        let file_by_path: BTreeMap<&str, &SourceFile> =
+            files.iter().map(|s| (s.rel_path.as_str(), s)).collect();
+        let container_locals: Vec<BTreeSet<String>> = fns
+            .iter()
+            .map(|f| match file_by_path.get(f.rel_path.as_str()) {
+                Some(file) => crate::dataflow::container_locals(&file.toks, f.body.clone()),
+                None => BTreeSet::new(),
+            })
+            .collect();
 
         let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); fns.len()];
         for (id, f) in fns.iter().enumerate() {
             let reachable_crates = deps.get(f.crate_name.as_str());
+            let file = file_by_path.get(f.rel_path.as_str());
             for (call_idx, call) in f.calls.iter().enumerate() {
                 let Some(candidates) = by_name.get(call.name.as_str()) else {
                     continue;
                 };
+                // A `.method(..)` on a receiver pinned to a std
+                // container (or a literal) cannot hit workspace code.
+                if call.is_method && call.tok >= 2 {
+                    let recv = file
+                        .filter(|s| s.toks[call.tok - 1].is_punct('.'))
+                        .map(|s| &s.toks[call.tok - 2]);
+                    if let Some(recv) = recv {
+                        let container = recv.kind == TokKind::Ident
+                            && container_locals[id].contains(&recv.text);
+                        if container || matches!(recv.kind, TokKind::Str | TokKind::Num) {
+                            continue;
+                        }
+                    }
+                }
                 // Hard filters first — each one rules candidates *out*
                 // on grounds the language guarantees, never on type
                 // inference the parser cannot do:

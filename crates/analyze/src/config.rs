@@ -35,6 +35,16 @@
 //! [rules.R4]
 //! crates = ["core", ...]     # crates checked for unpinned reductions
 //!
+//! [rules.L1]
+//! crates = ["serve", ...]    # crates whose guards feed the lock-order graph
+//!
+//! [rules.L2]
+//! crates = ["serve", ...]    # crates checked for guards held across blocking
+//!
+//! [rules.T1]
+//! paths = ["crates/serve/src/proto2.rs", ...]  # wire-decode files whose
+//!                            # reader outputs are tainted (C1 shares this)
+//!
 //! [[allow]]                  # one entry per tolerated finding site
 //! rule = "P1"                # which rule the entry silences
 //! path = "crates/core/src/parallel.rs"   # file path prefix
@@ -93,6 +103,15 @@ pub struct Config {
     /// Crates whose library code R4 checks for unpinned float
     /// reductions (the result-producing crates).
     pub r4_crates: Vec<String>,
+    /// Crates whose lock acquisitions feed the L1 lock-order graph
+    /// (the concurrent crates — summaries still cover the whole graph).
+    pub l1_crates: Vec<String>,
+    /// Crates whose library code L2 checks for guards held across
+    /// blocking calls.
+    pub l2_crates: Vec<String>,
+    /// Wire-decode files (exact workspace-relative paths) whose reader
+    /// outputs T1 treats as tainted lengths; C1 shares this scope.
+    pub t1_paths: Vec<String>,
     /// Allowlist entries in file order.
     pub allow: Vec<AllowEntry>,
 }
@@ -191,6 +210,9 @@ impl Config {
                 ("rules.R1.roots", TomlValue::Array(v)) => cfg.r1_roots = v,
                 ("rules.R2.crates", TomlValue::Array(v)) => cfg.r2_crates = v,
                 ("rules.R4.crates", TomlValue::Array(v)) => cfg.r4_crates = v,
+                ("rules.L1.crates", TomlValue::Array(v)) => cfg.l1_crates = v,
+                ("rules.L2.crates", TomlValue::Array(v)) => cfg.l2_crates = v,
+                ("rules.T1.paths", TomlValue::Array(v)) => cfg.t1_paths = v,
                 (other, _) => {
                     return Err(format!("line {line_no}: unknown or mistyped key {other:?}"));
                 }
@@ -338,6 +360,15 @@ mod tests {
             crates = ["core"]
             blessed = ["crates/core/src/parallel.rs"]
 
+            [rules.L1]
+            crates = ["serve"]
+
+            [rules.L2]
+            crates = ["serve"]
+
+            [rules.T1]
+            paths = ["crates/serve/src/proto2.rs"]
+
             [[allow]]
             rule = "P1"
             path = "crates/core/src/parallel.rs"
@@ -353,6 +384,9 @@ mod tests {
         .expect("config parses");
         assert_eq!(cfg.scan, vec!["crates"]);
         assert_eq!(cfg.d1_time, vec!["core", "linalg"]);
+        assert_eq!(cfg.l1_crates, vec!["serve"]);
+        assert_eq!(cfg.l2_crates, vec!["serve"]);
+        assert_eq!(cfg.t1_paths, vec!["crates/serve/src/proto2.rs"]);
         assert_eq!(cfg.allow.len(), 2);
         assert!(cfg.allow[0].matches("P1", "crates/core/src/parallel.rs", "x every slot y"));
         assert!(!cfg.allow[0].matches("P1", "crates/core/src/parallel.rs", "other line"));

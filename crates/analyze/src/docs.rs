@@ -67,6 +67,30 @@ pub const RULE_DOCS: &[RuleDoc] = &[
         rationale: "`.sum()` / `+=` loops pin accumulation order only until the next refactor reorders them; sum_stable fixes one compensated left-to-right order workspace-wide, so accuracy tables cannot drift a ulp at a time",
         allow_guidance: "explain what already pins the order and magnitude (e.g. a kernel whose loop structure is the documented contract, covered by goldens)",
     },
+    RuleDoc {
+        id: "L1",
+        summary: "lock-order cycles: interprocedural lock-acquisition summaries must form an acyclic lock-order graph; any cycle is reported with both full call chains",
+        rationale: "the router holds per-replica and registry locks across helper calls; two paths taking the same pair of locks in opposite orders deadlock only under contention — exactly the failure load tests hit and unit tests miss",
+        allow_guidance: "name the invariant that makes the two chains unable to run concurrently (e.g. both only ever execute on the monitor thread); a cycle two threads can actually race is a bug, not an allowlist entry",
+    },
+    RuleDoc {
+        id: "L2",
+        summary: "guard held across blocking: a live MutexGuard/RwLock guard may not span a call that (transitively) reaches read/write/accept/recv/join/sleep/wait",
+        rationale: "a guard held over IO turns one slow peer into a stall for every thread that touches the lock — the health-loop-vs-failover shape; take what you need from the guard and drop it before blocking",
+        allow_guidance: "explain why the blocking call cannot actually block (e.g. the fd is nonblocking, the channel is pre-filled) or why no other thread contends the lock during it",
+    },
+    RuleDoc {
+        id: "T1",
+        summary: "untrusted-length taint: lengths decoded from the wire are tainted until compared against a named MAX_* bound const (or routed through checked_len); tainted values reaching with_capacity/vec!/resize/indexing are findings",
+        rationale: "protocol v2 reads length-prefixed frames straight off the network; one unchecked u32 length in an allocation is a one-packet memory-DoS, and in an index a remote panic",
+        allow_guidance: "point at the dominating bound check the dataflow pass cannot see (e.g. enforced by the caller on the same value) — prefer routing through checked_len over allowlisting",
+    },
+    RuleDoc {
+        id: "C1",
+        summary: "lossy wire casts: `as` truncation on wire-derived integers; use try_into or an explicit bound check so truncation is an error, not a silent wrap",
+        rationale: "a u64 table length cast with `as usize` wraps on 32-bit or lets 2^32+5 masquerade as 5 — decode then disagrees with the CRC'd frame, the worst kind of silent corruption",
+        allow_guidance: "show the value's range is already pinned below the target width at this site (e.g. masked immediately before); otherwise convert with try_into",
+    },
 ];
 
 /// Look up one rule's doc by id.
@@ -101,7 +125,10 @@ mod tests {
     #[test]
     fn every_rule_id_documented_exactly_once() {
         let ids: Vec<&str> = RULE_DOCS.iter().map(|d| d.id).collect();
-        assert_eq!(ids, vec!["D1", "P1", "U1", "F1", "R1", "R2", "R3", "R4"]);
+        assert_eq!(
+            ids,
+            vec!["D1", "P1", "U1", "F1", "R1", "R2", "R3", "R4", "L1", "L2", "T1", "C1"]
+        );
     }
 
     #[test]

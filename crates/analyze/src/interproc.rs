@@ -85,11 +85,11 @@ pub fn run_interproc_timed(
     timings.push(("R4".to_string(), crate::rules::ms_since(t0)));
 }
 
-fn file_of<'a>(files: &'a [SourceFile], f: &FnDef) -> Option<&'a SourceFile> {
+pub(crate) fn file_of<'a>(files: &'a [SourceFile], f: &FnDef) -> Option<&'a SourceFile> {
     files.iter().find(|s| s.rel_path == f.rel_path)
 }
 
-fn push_at(
+pub(crate) fn push_at(
     findings: &mut Vec<Finding>,
     files: &[SourceFile],
     rule: &'static str,
@@ -105,7 +105,11 @@ fn push_at(
 }
 
 /// Render a parent chain as `root (site) -> ... -> target`.
-fn chain_text(graph: &CallGraph, parents: &BTreeMap<FnId, Option<(FnId, usize)>>, id: FnId) -> String {
+pub(crate) fn chain_text(
+    graph: &CallGraph,
+    parents: &BTreeMap<FnId, Option<(FnId, usize)>>,
+    id: FnId,
+) -> String {
     graph.chain_to(parents, id).join(" -> ")
 }
 

@@ -36,6 +36,7 @@
 pub mod baseline;
 pub mod callgraph;
 pub mod config;
+pub mod dataflow;
 pub mod docs;
 pub mod interproc;
 pub mod lexer;
@@ -51,8 +52,9 @@ use std::path::Path;
 
 /// Analyze the workspace at `root` with `cfg`: walk, lex, run the
 /// token-stream rules, build the call graph, run the interprocedural
-/// rules, apply the allowlist. Per-rule wall times land in
-/// [`Report::timings`].
+/// rules and the [dataflow](dataflow) rules (lock order, guard
+/// liveness, wire-input taint), apply the allowlist. Per-rule wall
+/// times land in [`Report::timings`].
 pub fn analyze(root: &Path, cfg: &Config) -> Result<Report, String> {
     let files = workspace::load_workspace(root, &cfg.scan, &cfg.skip)?;
     let (mut raw, mut timings) = rules::run_rules_timed(&files, cfg);
@@ -61,6 +63,7 @@ pub fn analyze(root: &Path, cfg: &Config) -> Result<Report, String> {
     let graph = callgraph::CallGraph::build_with_deps(&files, &deps);
     timings.push(("graph".to_string(), rules::ms_since(t0)));
     interproc::run_interproc_timed(&files, &graph, cfg, &mut raw, &mut timings);
+    dataflow::run_dataflow_timed(&files, &graph, cfg, &mut raw, &mut timings);
     rules::sort_dedup(&mut raw);
     let mut report = Report::from_findings(raw, cfg);
     report.timings = timings;

@@ -1,0 +1,50 @@
+#![forbid(unsafe_code)]
+//! L1/L2 fixture: a deliberate two-lock ordering cycle (one arm through
+//! an interprocedural summary, one direct) plus a guard held across a
+//! blocking call, with one allowlisted occurrence.
+
+use std::process::Child;
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+impl Pair {
+    /// Takes `a`, then reaches `b` through a helper: the a -> b edge
+    /// the summary fixpoint must see through.
+    pub fn ab(&self) -> u32 {
+        let guard = self.a.lock().unwrap();
+        let other = self.grab_b();
+        *guard + other
+    }
+
+    /// The indirection behind the a -> b edge.
+    pub fn grab_b(&self) -> u32 {
+        let guard = self.b.lock().unwrap();
+        *guard
+    }
+
+    /// Takes `b`, then `a` directly in the same scope: the b -> a edge
+    /// that closes the cycle.
+    pub fn ba(&self) -> u32 {
+        let guard = self.b.lock().unwrap();
+        let inner = self.a.lock().unwrap();
+        *guard + *inner
+    }
+
+    /// Holds the `a` guard across a blocking wait: the L2 shape.
+    pub fn hold_and_block(&self, child: &mut Child) -> u32 {
+        let guard = self.a.lock().unwrap();
+        let _status = child.wait();
+        *guard
+    }
+
+    /// Same shape, silenced by the fixture allowlist entry.
+    pub fn hold_allowed(&self) -> u32 {
+        let guard = self.a.lock().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(1)); // allowlisted: fixture
+        *guard
+    }
+}

@@ -1,0 +1,52 @@
+#![forbid(unsafe_code)]
+//! T1/C1 fixture: wire-read lengths reaching allocation sites with and
+//! without a named bound check, plus allowlisted occurrences.
+
+/// Fixture cap the bounded decoder compares against.
+pub const MAX_ITEMS: usize = 1024;
+
+/// Minimal reader shaped like the real codec's `ByteReader`.
+pub struct Wire {
+    buf: Vec<u8>,
+    at: usize,
+}
+
+impl Wire {
+    pub fn new(buf: Vec<u8>) -> Self {
+        Self { buf, at: 0 }
+    }
+
+    /// Wire source: every zero-arg `.u32()` read is tainted in T1 scope.
+    pub fn u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.buf[self.at..self.at + 4]);
+        self.at += 4;
+        u32::from_le_bytes(raw)
+    }
+
+    /// Unbounded: the cast is a C1 finding, the two sized allocations
+    /// it feeds are T1 findings.
+    pub fn decode_unbounded(&mut self) -> Vec<u64> {
+        let n = self.u32() as usize;
+        let mut out = Vec::with_capacity(n);
+        out.resize(n, 0);
+        out
+    }
+
+    /// Bounded: comparing against the named cap clears the taint, so
+    /// neither the cast nor the allocation fires.
+    pub fn decode_bounded(&mut self) -> Vec<u64> {
+        let n = self.u32();
+        if n as usize > MAX_ITEMS {
+            return Vec::new();
+        }
+        let n = n as usize;
+        vec![0; n]
+    }
+
+    /// Unbounded but justified: silenced by the fixture allowlist.
+    pub fn decode_allowlisted(&mut self) -> Vec<u64> {
+        let n = self.u32() as usize; // allowlisted: fixture
+        vec![0; n] // allowlisted: fixture
+    }
+}

@@ -44,6 +44,11 @@ pub const MAGIC: [u8; 4] = *b"TSDA";
 /// Current container format version.
 pub const VERSION: u32 = 1;
 
+/// Upper bound on the section count a container header may declare. A
+/// corrupt or hostile header must not size an allocation; real models
+/// use single-digit section counts.
+pub const MAX_SECTIONS: usize = 1 << 20;
+
 /// IEEE CRC-32 lookup table, built at compile time.
 const CRC_TABLE: [u32; 256] = {
     let mut table = [0u32; 256];
@@ -160,14 +165,15 @@ impl CodecReader {
             )));
         }
         let kind = r.string()?;
-        let n_sections = r.u32()? as usize;
-        if n_sections > 1 << 20 {
+        let n_sections = usize::try_from(r.u32()?)
+            .map_err(|_| codec_err("section count overflows usize"))?;
+        if n_sections > MAX_SECTIONS {
             return Err(codec_err(format!("implausible section count {n_sections}")));
         }
         let mut table = Vec::with_capacity(n_sections);
         for _ in 0..n_sections {
             let name = r.string()?;
-            let len = r.u64()? as usize;
+            let len = r.usize()?;
             table.push((name, len));
         }
         let mut sections = Vec::with_capacity(n_sections);
@@ -374,7 +380,8 @@ impl<'a> ByteReader<'a> {
 
     /// Read a length-prefixed UTF-8 string.
     pub fn string(&mut self) -> Result<String, TsdaError> {
-        let len = self.u32()? as usize;
+        let len = usize::try_from(self.u32()?)
+            .map_err(|_| codec_err("string length overflows usize"))?;
         let raw = self.bytes(len)?;
         String::from_utf8(raw.to_vec()).map_err(|_| codec_err("invalid UTF-8 in string"))
     }

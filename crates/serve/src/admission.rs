@@ -102,6 +102,9 @@ impl Admission {
     /// without sleeping: `now_us` is microseconds on a monotonic clock
     /// shared by all calls.
     pub fn admit_at(&self, key: &str, now_us: u64) -> Result<(), u64> {
+        // lock-order: buckets is a leaf lock — nothing else is acquired
+        // and nothing blocks while it is held; the guard covers only
+        // the bucket read-modify-write below.
         let mut table = match self.buckets.lock() {
             Ok(t) => t,
             // Fail open: a poisoned table must not take down admission
@@ -122,16 +125,25 @@ impl Admission {
         let elapsed_s = now_us.saturating_sub(bucket.updated_us) as f64 / 1e6;
         bucket.tokens = (bucket.tokens + elapsed_s * self.config.rate_per_s).min(self.config.burst);
         bucket.updated_us = now_us;
-        if bucket.tokens >= 1.0 {
+        let deficit = if bucket.tokens >= 1.0 {
             bucket.tokens -= 1.0;
-            Ok(())
+            None
         } else {
-            self.throttled.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            // Milliseconds until one whole token is available, rounded
-            // up and floored at 1 so the hint is always actionable.
-            let deficit = 1.0 - bucket.tokens;
-            let ms = (deficit / self.config.rate_per_s * 1e3).ceil();
-            Err((ms as u64).max(1))
+            Some(1.0 - bucket.tokens)
+        };
+        drop(table);
+        // Refusal accounting and the hint math run with the table
+        // released so a throttled client never extends the critical
+        // section for admitted ones.
+        match deficit {
+            None => Ok(()),
+            Some(deficit) => {
+                self.throttled.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                // Milliseconds until one whole token is available, rounded
+                // up and floored at 1 so the hint is always actionable.
+                let ms = (deficit / self.config.rate_per_s * 1e3).ceil();
+                Err((ms as u64).max(1))
+            }
         }
     }
 }

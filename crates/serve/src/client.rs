@@ -170,8 +170,9 @@ impl Conn {
         self.writer.write_all(frame).map_err(|e| format!("send: {e}"))?;
         let mut len_bytes = [0u8; 4];
         self.reader.read_exact(&mut len_bytes).map_err(|e| format!("recv: {e}"))?;
-        let len = u32::from_le_bytes(len_bytes) as usize;
-        if !(5..=proto2::MAX_FRAME).contains(&len) {
+        let len =
+            proto2::checked_len(u32::from_le_bytes(len_bytes), proto2::MAX_FRAME, "reply frame")?;
+        if len < 5 {
             return Err(format!("bad reply frame length {len}"));
         }
         let mut raw = vec![0u8; len];

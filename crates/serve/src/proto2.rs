@@ -57,6 +57,23 @@ pub const PREAMBLE: [u8; 4] = [0xB2, b'T', b'S', b'2'];
 /// cannot request a multi-gigabyte allocation.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
+/// Bound on decoded series dimensions/length: every value costs 8 wire
+/// bytes, so no dimension count or series length above `MAX_FRAME / 8`
+/// can ever arrive in a valid frame.
+pub const MAX_SERIES_VALUES: usize = MAX_FRAME / 8;
+
+/// Convert a raw wire length to `usize` and enforce `len <= max` in one
+/// place. Every length decoded off a socket funnels through here: the
+/// conversion cannot truncate (no `as`), and the bound is named at the
+/// call site, which is exactly what the T1/C1 lints check for.
+pub fn checked_len(raw: u32, max: usize, what: &str) -> Result<usize, String> {
+    let len = usize::try_from(raw).map_err(|_| format!("{what} {raw} overflows usize"))?;
+    if len > max {
+        return Err(format!("{what} {len} exceeds cap {max}"));
+    }
+    Ok(len)
+}
+
 const REQ_PREDICT: u8 = 0x01;
 const REQ_STATS: u8 = 0x02;
 const REQ_LIST: u8 = 0x03;
@@ -171,12 +188,13 @@ pub fn take_frame(buf: &mut Vec<u8>) -> Result<Option<Vec<u8>>, String> {
     if buf.len() < 4 {
         return Ok(None);
     }
-    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    let len = checked_len(
+        u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]),
+        MAX_FRAME,
+        "frame length",
+    )?;
     if len < 5 {
         return Err(format!("frame length {len} below minimum of 5"));
-    }
-    if len > MAX_FRAME {
-        return Err(format!("frame length {len} exceeds cap {MAX_FRAME}"));
     }
     if buf.len() < 4 + len {
         return Ok(None);
@@ -240,8 +258,10 @@ pub fn decode_request(body: &[u8]) -> Result<Request2, (u64, String)> {
     let req = match kind {
         REQ_PREDICT => {
             let model = r.string().map_err(fail)?;
-            let n_dims = r.u32().map_err(fail)? as usize;
-            let len = r.u32().map_err(fail)? as usize;
+            let n_dims = checked_len(r.u32().map_err(fail)?, MAX_SERIES_VALUES, "series dims")
+                .map_err(|m| (id, m))?;
+            let len = checked_len(r.u32().map_err(fail)?, MAX_SERIES_VALUES, "series length")
+                .map_err(|m| (id, m))?;
             if n_dims == 0 || len == 0 {
                 return Err((id, format!("empty series shape {n_dims}x{len}")));
             }
@@ -375,11 +395,15 @@ pub fn decode_reply(body: &[u8]) -> Result<Response, String> {
             let label = r.u64().map_err(fail)?;
             let batch = r.u32().map_err(fail)?;
             let micros = r.u64().map_err(fail)?;
+            // Wire-derived counters: convert losslessly — a label that
+            // overflows usize is a corrupt reply, not label 0.
+            let label = usize::try_from(label).map_err(|_| "reply label overflows usize")?;
+            let batch = usize::try_from(batch).map_err(|_| "reply batch overflows usize")?;
             Response {
                 id,
                 ok: true,
-                label: Some(label as usize),
-                batch: Some(batch as usize),
+                label: Some(label),
+                batch: Some(batch),
                 micros: Some(micros),
                 error: None,
                 retry_ms: None,

@@ -127,6 +127,11 @@ impl ModelEntry {
             }
             ModelInner::Inception(m) => {
                 let ds = self.to_dataset(series);
+                // lock-order: the model mutex is a leaf lock. predict
+                // needs `&mut` (buffer reuse inside the network), so the
+                // guard spans the forward pass — pure compute on the
+                // deterministic pool, no IO and no other lock (L2-clean
+                // by the blocking-reachability check).
                 let mut guard = m.lock().map_err(|_| {
                     TsdaError::Numerical("inception model poisoned by a panicked batch".into())
                 })?;

@@ -152,6 +152,12 @@ impl Default for RouterConfig {
 }
 
 /// Runtime state for one replica.
+///
+/// lock-order: `child` and `addr` are leaf locks — a thread holds at
+/// most one of them at a time (always in sequential, non-nested
+/// scopes), never across IO or process reaping, and never while holding
+/// any other lock. The L1/L2 lints enforce this; widen a scope and the
+/// analyzer fails the build with the offending chain.
 struct Replica {
     index: usize,
     spec: ReplicaSpec,
@@ -325,8 +331,9 @@ impl Backend {
         self.writer.write_all(frame).map_err(|e| format!("send: {e}"))?;
         let mut len_bytes = [0u8; 4];
         self.reader.read_exact(&mut len_bytes).map_err(|e| format!("recv: {e}"))?;
-        let len = u32::from_le_bytes(len_bytes) as usize;
-        if !(5..=proto2::MAX_FRAME).contains(&len) {
+        let len =
+            proto2::checked_len(u32::from_le_bytes(len_bytes), proto2::MAX_FRAME, "reply frame")?;
+        if len < 5 {
             return Err(format!("bad reply frame length {len}"));
         }
         let mut full = Vec::with_capacity(4 + len);
@@ -416,12 +423,17 @@ impl RouterHandle {
         let Some(replica) = self.ctx.replicas.get(index) else {
             return false;
         };
-        let mut guard = match replica.child.lock() {
-            Ok(g) => g,
+        // Take the child out of the slot and drop the lock before the
+        // kill/reap syscalls: `wait` can stall, and the health monitor
+        // must stay able to lock `child` meanwhile. The empty slot
+        // reads as "exited" on the monitor's next tick, which respawns
+        // spawned replicas exactly as the reaped-exit path does.
+        let taken = match replica.child.lock() {
+            Ok(mut guard) => guard.take(),
             Err(_) => return false,
         };
-        match guard.as_mut() {
-            Some(child) => {
+        match taken {
+            Some(mut child) => {
                 let killed = child.kill().is_ok();
                 // Reap immediately so the monitor sees the exit on its
                 // next tick rather than a zombie.
@@ -442,12 +454,16 @@ impl RouterHandle {
         if let Some(t) = self.health_thread.take() {
             let _ = t.join();
         }
+        // The monitor is already joined, so nothing respawns: take each
+        // child out of its slot and reap with no lock held.
         for replica in self.ctx.replicas.iter() {
-            if let Ok(mut guard) = replica.child.lock() {
-                if let Some(child) = guard.as_mut() {
-                    let _killed = child.kill().is_ok();
-                    let _status = child.wait();
-                }
+            let taken = match replica.child.lock() {
+                Ok(mut guard) => guard.take(),
+                Err(_) => None,
+            };
+            if let Some(mut child) = taken {
+                let _killed = child.kill().is_ok();
+                let _status = child.wait();
             }
         }
     }
@@ -630,16 +646,21 @@ fn check_replica(replica: &Replica, shutdown: &AtomicBool, ready_secs: u64) {
         }
         if let ReplicaSpec::Spawn { bin, args, .. } = &replica.spec {
             if let Ok((child, addr)) = spawn_replica(bin, args) {
-                if let (Ok(mut child_guard), Ok(mut addr_guard)) =
-                    (replica.child.lock(), replica.addr.lock())
-                {
+                // lock-order: child and addr are taken in sequential
+                // scopes, never nested. Pair atomicity is not needed —
+                // only this monitor thread writes either slot, and the
+                // replica stays out of rotation until wait_ready below
+                // re-admits it.
+                if let Ok(mut child_guard) = replica.child.lock() {
                     *child_guard = Some(child);
-                    *addr_guard = addr;
-                    // New process: invalidate pooled connections first,
-                    // then let readiness probing re-admit the replica.
-                    replica.generation.fetch_add(1, Ordering::Relaxed);
-                    replica.restarts.fetch_add(1, Ordering::Relaxed);
                 }
+                if let Ok(mut addr_guard) = replica.addr.lock() {
+                    *addr_guard = addr;
+                }
+                // New process: invalidate pooled connections first,
+                // then let readiness probing re-admit the replica.
+                replica.generation.fetch_add(1, Ordering::Relaxed);
+                replica.restarts.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
