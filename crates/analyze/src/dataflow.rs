@@ -174,6 +174,7 @@ fn match_close(toks: &[Tok], open: usize, end: usize, o: char, c: char) -> usize
 }
 
 /// First `;` at brace/paren/bracket depth 0 in `from..end`, or `end`.
+#[allow(clippy::needless_range_loop)] // index is the scan result
 fn statement_end(toks: &[Tok], from: usize, end: usize) -> usize {
     let mut depth = 0i32;
     for i in from..end {
@@ -301,6 +302,7 @@ fn has_identity_ok_arm(toks: &[Tok], span: Range<usize>) -> bool {
 }
 
 /// Guard-liveness regions for every acquisition in `body`.
+#[allow(clippy::needless_range_loop)] // index is the scan result
 fn guard_regions(toks: &[Tok], body: Range<usize>, acquires: &[Acquire]) -> Vec<GuardRegion> {
     let mut out: Vec<GuardRegion> = Vec::new();
     let acq_in = |span: &Range<usize>| -> Vec<&Acquire> {
@@ -471,6 +473,7 @@ fn guard_regions(toks: &[Tok], body: Range<usize>, acquires: &[Acquire]) -> Vec<
 
 /// End of a match arm starting right after `=>`: the matching brace
 /// for a block arm, else the depth-0 `,` (or the match's `}`).
+#[allow(clippy::needless_range_loop)] // index is the scan result
 fn arm_body_end(toks: &[Tok], start: usize, close: usize) -> usize {
     if toks.get(start).is_some_and(|t| t.is_punct('{')) {
         return match_close(toks, start, close, '{', '}');

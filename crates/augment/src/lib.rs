@@ -41,6 +41,7 @@
 pub mod averaging;
 pub mod balance;
 pub mod basic;
+pub mod declarative;
 pub mod decompose_aug;
 pub mod generative;
 pub mod oversample;

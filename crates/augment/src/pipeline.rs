@@ -23,11 +23,15 @@ pub struct Chain {
 impl Chain {
     /// Compose the given stages (applied front to back).
     ///
-    /// # Panics
-    /// Panics when `stages` is empty.
-    pub fn new(stages: Vec<Box<dyn SeriesTransform>>) -> Self {
-        assert!(!stages.is_empty(), "empty augmentation chain");
-        Self { stages }
+    /// Errors when `stages` is empty — a chain with no stages would
+    /// silently return its input unchanged.
+    pub fn new(stages: Vec<Box<dyn SeriesTransform>>) -> Result<Self, TsdaError> {
+        if stages.is_empty() {
+            return Err(TsdaError::InvalidParameter(
+                "empty augmentation chain".into(),
+            ));
+        }
+        Ok(Self { stages })
     }
 
     /// Number of stages.
@@ -35,7 +39,7 @@ impl Chain {
         self.stages.len()
     }
 
-    /// True when the chain has no stages (cannot happen post-`new`).
+    /// True when the chain has no stages.
     pub fn is_empty(&self) -> bool {
         self.stages.is_empty()
     }
@@ -156,7 +160,8 @@ mod tests {
             Box::new(TimeWarp::default()),
             Box::new(NoiseInjection::level(1.0)),
             Box::new(Scaling::default()),
-        ]);
+        ])
+        .unwrap();
         assert_eq!(chain.len(), 3);
         let ds = toy();
         let s = &ds.series()[0];
@@ -170,7 +175,8 @@ mod tests {
         let chain = Chain::new(vec![
             Box::new(NoiseInjection::level(1.0)),
             Box::new(Scaling::default()),
-        ]);
+        ])
+        .unwrap();
         let ds = toy();
         let out = crate::balance::augment_to_balance(&ds, &chain, &mut seeded(2)).unwrap();
         assert_eq!(out.class_counts(), vec![6, 6]);
@@ -211,8 +217,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty augmentation chain")]
     fn empty_chain_is_rejected() {
-        let _ = Chain::new(vec![]);
+        let chain = Chain::new(vec![]);
+        assert!(matches!(chain, Err(TsdaError::InvalidParameter(_))));
     }
 }

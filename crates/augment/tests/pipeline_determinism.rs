@@ -1,0 +1,184 @@
+//! Determinism battery for declarative pipelines: every pipeline in the
+//! repo's `pipelines.toml` must be a pure function of (seed, sample
+//! index) — bit-identical at 1 and 4 pool workers, invariant to how a
+//! batch is split across `run_each` calls, and byte-stable across
+//! commits via a golden file (the same regen contract as the table
+//! goldens: `TSDA_REGEN_GOLDENS=1 cargo test -p tsda-augment --test
+//! pipeline_determinism` rewrites it so drift always shows in review).
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use tsda_augment::declarative::{AugPipeline, PipelineConfig};
+use tsda_core::parallel::ThreadLimit;
+use tsda_core::Mts;
+use tsda_datasets::ts_format::format_series_line;
+
+const SEED: u64 = 7;
+const N_SERIES: usize = 12;
+
+/// `ThreadLimit` is process-global; serialize the tests that toggle it.
+static LIMIT_LOCK: Mutex<()> = Mutex::new(());
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// The committed fleet config: the exact pipelines CI serves.
+fn pipelines() -> Vec<AugPipeline> {
+    let path = repo_root().join("pipelines.toml");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let cfg = PipelineConfig::parse(&text)
+        .unwrap_or_else(|e| panic!("parsing {}: {e:?}", path.display()));
+    AugPipeline::from_config(&cfg).expect("committed config builds")
+}
+
+/// Deterministic synthetic inputs (no RNG: values are closed-form, so
+/// the only randomness under test is the pipelines' own streams).
+/// Mixed dims and lengths exercise shape-dependent techniques.
+fn fixture_series() -> Vec<Mts> {
+    (0..N_SERIES)
+        .map(|i| {
+            let n_dims = 1 + i % 3;
+            let len = 24 + 8 * (i % 2);
+            let dims: Vec<Vec<f64>> = (0..n_dims)
+                .map(|d| {
+                    (0..len)
+                        .map(|t| {
+                            let x = t as f64 * 0.37 + d as f64;
+                            (x + i as f64 * 0.11).sin() * (2.0 + d as f64) + x * 0.05
+                        })
+                        .collect()
+                })
+                .collect();
+            Mts::from_dims(dims)
+        })
+        .collect()
+}
+
+/// Render every (pipeline, sample) output as `.ts` text. Rust's `{}`
+/// float formatting is shortest-round-trip, so equal text ⇔ equal bits.
+fn render_all() -> String {
+    let series = fixture_series();
+    let mut out = String::new();
+    for pipe in pipelines() {
+        out.push_str(&format!("# pipeline {} ({} stages)\n", pipe.name(), pipe.n_stages()));
+        for (i, s) in pipe.run(&series, SEED).iter().enumerate() {
+            out.push_str(&format!("{} {}\n", i, format_series_line(s)));
+        }
+    }
+    out
+}
+
+/// First differing line of two renderings, for a readable failure.
+fn first_diff(got: &str, want: &str) -> String {
+    for (n, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+        if g != w {
+            return format!("first diff at line {}:\n  got:  {g}\n  want: {w}", n + 1);
+        }
+    }
+    format!(
+        "line counts differ: got {} lines, want {} lines",
+        got.lines().count(),
+        want.lines().count()
+    )
+}
+
+/// Bit-identical at 1 and 4 workers, then stable against the golden.
+#[test]
+fn pipelines_toml_matches_golden_at_1_and_4_threads() {
+    let _guard = LIMIT_LOCK.lock().unwrap();
+    ThreadLimit::set(1);
+    let single = render_all();
+    ThreadLimit::set(4);
+    let multi = render_all();
+    ThreadLimit::clear();
+    assert_eq!(
+        single, multi,
+        "pipeline output depends on thread count — {}",
+        first_diff(&multi, &single)
+    );
+
+    let path = repo_root().join("tests/goldens/pipelines_seed7.txt");
+    if std::env::var("TSDA_REGEN_GOLDENS").is_ok() {
+        std::fs::write(&path, &single)
+            .unwrap_or_else(|e| panic!("writing golden {}: {e}", path.display()));
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {} ({e}); regenerate with TSDA_REGEN_GOLDENS=1", path.display())
+    });
+    assert_eq!(
+        single,
+        want,
+        "pipelines_seed7 drifted from the committed golden ({}). If the change is \
+         intentional, regenerate with TSDA_REGEN_GOLDENS=1 and commit the diff.",
+        first_diff(&single, &want)
+    );
+}
+
+/// Batch-split invariance: running the fixture as one batch, as
+/// per-sample calls, and as arbitrarily split `run_each` batches (with
+/// preserved global indices) must all agree bit-for-bit — this is what
+/// lets the serving batcher coalesce requests without changing results.
+#[test]
+fn batch_split_boundaries_never_change_results() {
+    let _guard = LIMIT_LOCK.lock().unwrap();
+    ThreadLimit::clear();
+    let series = fixture_series();
+    for pipe in pipelines() {
+        let whole = pipe.run(&series, SEED);
+        // Per-sample.
+        for (i, s) in series.iter().enumerate() {
+            assert_eq!(
+                pipe.apply_one(s, SEED, i as u64),
+                whole[i],
+                "{}: apply_one({i}) != run()[{i}]",
+                pipe.name()
+            );
+        }
+        // Every contiguous split point, via the batcher's entry point.
+        for split in 1..series.len() {
+            let items: Vec<(Mts, u64, u64)> =
+                series.iter().enumerate().map(|(i, s)| (s.clone(), SEED, i as u64)).collect();
+            let mut rejoined = pipe.run_each(&items[..split]);
+            rejoined.extend(pipe.run_each(&items[split..]));
+            assert_eq!(
+                rejoined,
+                whole,
+                "{}: splitting the batch at {split} changed results",
+                pipe.name()
+            );
+        }
+    }
+}
+
+/// Interleaved batches (the shape a concurrent batcher actually
+/// produces: samples from different logical requests mixed in one
+/// flush) are also invariant, because each item carries its own
+/// (seed, index).
+#[test]
+fn interleaved_batches_match_per_sample_execution() {
+    let _guard = LIMIT_LOCK.lock().unwrap();
+    ThreadLimit::clear();
+    let series = fixture_series();
+    for pipe in pipelines() {
+        // Reverse order + duplicated samples under different indices.
+        let items: Vec<(Mts, u64, u64)> = series
+            .iter()
+            .enumerate()
+            .rev()
+            .flat_map(|(i, s)| [(s.clone(), SEED, i as u64), (s.clone(), SEED ^ 1, i as u64)])
+            .collect();
+        let got = pipe.run_each(&items);
+        for (k, (s, seed, index)) in items.iter().enumerate() {
+            assert_eq!(
+                got[k],
+                pipe.apply_one(s, *seed, *index),
+                "{}: batch position {k} changed the result",
+                pipe.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests of the declarative pipeline TOML parser:
+//! arbitrary input never panics, valid configs round-trip through
+//! `Display`, and malformed configs come back as typed `Parse` errors
+//! (with 1-based line numbers), never panics. The parser sits on the
+//! served `augment` path — a panic there is a remote crash.
+
+use proptest::prelude::*;
+use tsda_augment::declarative::{AugPipeline, PipelineConfig, KNOWN_STAGES};
+use tsda_core::TsdaError;
+
+/// Bytes over the full range: NULs, control bytes, invalid UTF-8.
+fn byte_soup() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..=255, 0..512)
+}
+
+/// Printable near-miss TOML: the charset of real configs plus the
+/// punctuation the state machine branches on, newline included.
+fn toml_soup() -> impl Strategy<Value = String> {
+    let alphabet: Vec<char> =
+        "abcdefghijklmnop_-0123456789[]\"=.,# \n\tchoseprbnam".chars().collect();
+    proptest::collection::vec(0usize..alphabet.len(), 0..256)
+        .prop_map(move |idx| idx.into_iter().map(|i| alphabet[i]).collect())
+}
+
+/// A valid pipeline name: lowercase identifier, 1–12 chars.
+fn ident() -> impl Strategy<Value = String> {
+    let alphabet: Vec<char> = "abcdefghijklmnopqrstuvwxyz0123456789_-".chars().collect();
+    (0usize..26, proptest::collection::vec(0usize..alphabet.len(), 0..11)).prop_map(
+        move |(first, rest)| {
+            let mut name = String::new();
+            name.push(alphabet[first]);
+            name.extend(rest.into_iter().map(|i| alphabet[i]));
+            name
+        },
+    )
+}
+
+/// One valid stage body: a nonempty subset of known stage names plus a
+/// finite probability in [0, 1].
+fn stage() -> impl Strategy<Value = (Vec<String>, f64)> {
+    (proptest::collection::vec(0usize..KNOWN_STAGES.len(), 1..4), 0.0f64..=1.0).prop_map(
+        |(idx, prob)| {
+            let mut choose: Vec<String> =
+                idx.into_iter().map(|i| KNOWN_STAGES[i].to_string()).collect();
+            choose.sort();
+            choose.dedup();
+            (choose, prob)
+        },
+    )
+}
+
+/// Generated shape of one pipeline: (name, [(choose, prob)]).
+type PipelineParts = (String, Vec<(Vec<String>, f64)>);
+
+/// A whole valid config: 1–3 uniquely-named pipelines of 1–3 stages.
+fn config_parts() -> impl Strategy<Value = Vec<PipelineParts>> {
+    proptest::collection::vec((ident(), proptest::collection::vec(stage(), 1..4)), 1..4).prop_map(
+        |parts| {
+            let mut seen = std::collections::BTreeSet::new();
+            parts.into_iter().filter(|(n, _)| seen.insert(n.clone())).collect()
+        },
+    )
+}
+
+/// A probability the parser must reject: out of [0, 1] or non-finite.
+fn bad_prob() -> impl Strategy<Value = f64> {
+    (0usize..4, 0.0f64..1e6).prop_map(|(kind, mag)| match kind {
+        0 => 1.0 + (1.0 + mag),
+        1 => -(1e-3 + mag),
+        2 => f64::NAN,
+        _ => f64::INFINITY,
+    })
+}
+
+/// Render a config from generated parts, in the same shape `Display`
+/// emits so the round trip is comparable.
+fn render(pipelines: &[PipelineParts]) -> String {
+    let mut out = String::new();
+    for (name, stages) in pipelines {
+        out.push_str(&format!("[pipeline]\nname = \"{name}\"\n\n"));
+        for (choose, prob) in stages {
+            let quoted: Vec<String> = choose.iter().map(|c| format!("{c:?}")).collect();
+            out.push_str(&format!(
+                "[[stage]]\nchoose = [{}]\nprob = {prob}\n\n",
+                quoted.join(", ")
+            ));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    // Byte soup through the parser: any outcome but a panic is fine.
+    fn arbitrary_bytes_never_panic(bytes in byte_soup()) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = PipelineConfig::parse(&text);
+    }
+
+    #[test]
+    // Structured-looking noise exercises the state machine deeper than
+    // raw bytes: section headers, quotes, and arrays that almost parse.
+    fn arbitrary_text_never_panics(text in toml_soup()) {
+        let _ = PipelineConfig::parse(&text);
+    }
+
+    #[test]
+    // Valid config → Display → parse is the identity, and every parsed
+    // pipeline builds into an executable AugPipeline.
+    fn valid_configs_round_trip_through_display(parts in config_parts()) {
+        let text = render(&parts);
+        let cfg = match PipelineConfig::parse(&text) {
+            Ok(c) => c,
+            Err(e) => return Err(TestCaseError::fail(format!("generated config rejected: {e:?}"))),
+        };
+        prop_assert_eq!(cfg.pipelines.len(), parts.len());
+        let redisplayed = cfg.to_string();
+        let reparsed = match PipelineConfig::parse(&redisplayed) {
+            Ok(c) => c,
+            Err(e) => return Err(TestCaseError::fail(format!("Display output rejected: {e:?}"))),
+        };
+        prop_assert_eq!(&cfg, &reparsed, "Display round trip changed the config");
+        let built = match AugPipeline::from_config(&cfg) {
+            Ok(b) => b,
+            Err(e) => return Err(TestCaseError::fail(format!("valid config failed to build: {e:?}"))),
+        };
+        prop_assert_eq!(built.len(), cfg.pipelines.len());
+    }
+
+    #[test]
+    // Unknown stage names are a typed Parse error naming the line.
+    fn unknown_stage_names_are_typed_errors(name in ident()) {
+        // Make the generated name unknown without discarding the case.
+        let mut name = name;
+        while KNOWN_STAGES.contains(&name.as_str()) {
+            name.push('q');
+        }
+        let text = format!("[pipeline]\nname = \"p\"\n[[stage]]\nchoose = [\"{name}\"]\n");
+        match PipelineConfig::parse(&text) {
+            Err(TsdaError::Parse { line, message }) => {
+                prop_assert_eq!(line, 4, "error should blame the choose line");
+                prop_assert!(message.contains(&name), "{}", message);
+            }
+            other => prop_assert!(false, "expected Parse error, got {:?}", other),
+        }
+    }
+
+    #[test]
+    // Probabilities outside [0, 1] (and non-finite ones) are typed
+    // Parse errors, never panics and never silently clamped.
+    fn out_of_range_probs_are_typed_errors(prob in bad_prob()) {
+        let text =
+            format!("[pipeline]\nname = \"p\"\n[[stage]]\nchoose = [\"jitter\"]\nprob = {prob}\n");
+        match PipelineConfig::parse(&text) {
+            Err(TsdaError::Parse { line, .. }) => prop_assert_eq!(line, 5),
+            other => prop_assert!(false, "expected Parse error, got {:?}", other),
+        }
+    }
+}

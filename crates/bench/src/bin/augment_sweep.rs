@@ -1,0 +1,177 @@
+//! Sweep the committed `pipelines.toml` policies over the Table III
+//! synthetic generators: for every (dataset, pipeline) cell a fast
+//! ROCKET is trained on the original training set and on the training
+//! set doubled with pipeline-augmented copies, and the policy's
+//! relative gain G_r (Eq. 3, ×100) over the baseline is reported.
+//!
+//! This is the serving-side counterpart of Table IV: the same declarative
+//! pipelines the `augment` endpoint executes, scored offline so a policy
+//! choice can be grounded in measured gains rather than folklore.
+//!
+//! Usage:
+//!   `augment_sweep [--paper-scale] [--seed N] [--runs N] [--datasets A,B]
+//!                  [--pipelines FILE] [--out FILE]`
+
+use serde::Value;
+use tsda_augment::declarative::{AugPipeline, PipelineConfig};
+use tsda_bench::harness::parse_datasets;
+use tsda_bench::scale::{parse_seed_runs, ScaleProfile};
+use tsda_classify::rocket::Rocket;
+use tsda_classify::traits::Classifier;
+use tsda_core::metrics::relative_gain;
+use tsda_core::rng::{derive_seed, seeded};
+use tsda_core::Dataset;
+use tsda_datasets::registry::ALL_DATASETS;
+use tsda_datasets::synth::generate;
+
+/// One dataset row of the sweep.
+struct SweepRow {
+    dataset: String,
+    /// Baseline accuracy (%) averaged over runs.
+    baseline: f64,
+    /// Per-policy (accuracy %, G_r %) in pipeline order.
+    policies: Vec<(f64, f64)>,
+}
+
+/// Original training set plus one augmented copy of every sample —
+/// labels ride along, so class balance is preserved exactly.
+fn doubled(train: &Dataset, pipe: &AugPipeline, seed: u64) -> Dataset {
+    let mut out = train.clone();
+    for (s, &label) in pipe.run(train.series(), seed).into_iter().zip(train.labels()) {
+        out.push(s, label);
+    }
+    out
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = ScaleProfile::from_args(&args);
+    let (seed, runs) = parse_seed_runs(&args, if profile == ScaleProfile::Paper { 5 } else { 2 });
+    let datasets = parse_datasets(&args);
+    let toml_path =
+        flag_value(&args, "--pipelines").unwrap_or_else(|| "pipelines.toml".to_string());
+    let out_path =
+        flag_value(&args, "--out").unwrap_or_else(|| "results/augment_sweep.json".to_string());
+
+    let text = std::fs::read_to_string(&toml_path)
+        .unwrap_or_else(|e| panic!("reading {toml_path}: {e}"));
+    let cfg = PipelineConfig::parse(&text).unwrap_or_else(|e| panic!("parsing {toml_path}: {e:?}"));
+    let pipes = AugPipeline::from_config(&cfg).expect("pipeline config builds");
+    let names: Vec<String> = pipes.iter().map(|p| p.name().to_string()).collect();
+    eprintln!(
+        "augment sweep: scale={}, seed={seed}, runs={runs}, policies=[{}]",
+        profile.label(),
+        names.join(", ")
+    );
+
+    let n_variants = pipes.len() + 1;
+    let mut rows = Vec::new();
+    for meta in ALL_DATASETS.iter().filter(|m| datasets.is_empty() || datasets.contains(&m.name.to_string()))
+    {
+        let data = generate(meta, &profile.gen_options(seed));
+        // One cell per (run, variant); variant 0 is the baseline. Cells
+        // are independent — every cell derives its own RNG from the
+        // master seed — so they fan out on the shared pool and the
+        // accuracies are identical at any thread count.
+        let cells = tsda_core::parallel::Pool::global().par_map_indexed(
+            runs * n_variants,
+            |idx| -> f64 {
+                let run = idx / n_variants;
+                let variant = idx % n_variants;
+                let run_seed = derive_seed(seed, &format!("{}/augsweep/run{run}", meta.name));
+                let mut model = Rocket::new(profile.rocket());
+                let train = if variant == 0 {
+                    data.train.clone()
+                } else {
+                    let pipe = &pipes[variant - 1];
+                    doubled(&data.train, pipe, derive_seed(run_seed, pipe.name()))
+                };
+                let mut rng = seeded(derive_seed(run_seed, &format!("fit/{variant}")));
+                model.fit_score(&train, None, &data.test, &mut rng) * 100.0
+            },
+        );
+        let mean_of = |variant: usize| -> f64 {
+            let accs: Vec<f64> =
+                (0..runs).map(|run| cells[run * n_variants + variant]).collect();
+            tsda_core::math::sum_stable(accs.iter().copied()) / accs.len().max(1) as f64
+        };
+        let baseline = mean_of(0);
+        let policies: Vec<(f64, f64)> = (1..n_variants)
+            .map(|v| {
+                let acc = mean_of(v);
+                (acc, relative_gain(baseline, acc) * 100.0)
+            })
+            .collect();
+        eprintln!("  {}: baseline {baseline:.2}%", meta.name);
+        rows.push(SweepRow { dataset: meta.name.to_string(), baseline, policies });
+    }
+
+    // Text table: dataset × (baseline, per-policy G_r).
+    let mut table = String::new();
+    table.push_str("Policy sweep: relative gain G_r (%) of each served pipeline over baseline ROCKET\n");
+    table.push_str(&format!("{:<22} {:>10}", "Dataset", "Baseline%"));
+    for n in &names {
+        table.push_str(&format!(" {:>10}", format!("G_r {n}")));
+    }
+    table.push('\n');
+    for row in &rows {
+        table.push_str(&format!("{:<22} {:>10.2}", row.dataset, row.baseline));
+        for (_, gain) in &row.policies {
+            table.push_str(&format!(" {:>10.2}", gain));
+        }
+        table.push('\n');
+    }
+    // Per-policy mean G_r across datasets — the one-line policy ranking.
+    table.push_str(&format!("{:<22} {:>10}", "mean", ""));
+    for p in 0..names.len() {
+        let mean = tsda_core::math::sum_stable(rows.iter().map(|r| r.policies[p].1))
+            / rows.len().max(1) as f64;
+        table.push_str(&format!(" {:>10.2}", mean));
+    }
+    table.push('\n');
+    print!("{table}");
+
+    // JSON report next to the other bench artifacts.
+    let json_rows: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            let policies: Vec<(String, Value)> = names
+                .iter()
+                .zip(&r.policies)
+                .map(|(n, (acc, gain))| {
+                    (
+                        n.clone(),
+                        Value::Object(vec![
+                            ("accuracy".to_string(), Value::Num(*acc)),
+                            ("gain_pct".to_string(), Value::Num(*gain)),
+                        ]),
+                    )
+                })
+                .collect();
+            Value::Object(vec![
+                ("dataset".to_string(), Value::Str(r.dataset.clone())),
+                ("baseline".to_string(), Value::Num(r.baseline)),
+                ("policies".to_string(), Value::Object(policies)),
+            ])
+        })
+        .collect();
+    let report = Value::Object(vec![
+        ("scale".to_string(), Value::Str(profile.label().to_string())),
+        ("seed".to_string(), Value::Num(seed as f64)),
+        ("runs".to_string(), Value::Num(runs as f64)),
+        ("pipelines".to_string(), Value::Array(names.iter().cloned().map(Value::Str).collect())),
+        ("rows".to_string(), Value::Array(json_rows)),
+    ]);
+    let rendered = serde_json::to_string_pretty(&report).expect("render report");
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create results dir");
+        }
+    }
+    std::fs::write(&out_path, rendered).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("results saved to {out_path}");
+}

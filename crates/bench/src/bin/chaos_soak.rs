@@ -97,6 +97,7 @@ fn main() {
             },
             faults: Some(Arc::clone(&plan)),
             admission: None,
+            ..ServerConfig::default()
         },
     )
     .expect("server starts");

@@ -22,6 +22,7 @@
 //! accepted into a queue before the listener stopped.
 
 use crate::faults::FaultPlan;
+use crate::pipelines::PipelineRegistry;
 use crate::registry::ModelRegistry;
 use crate::stats::ServerStats;
 use std::collections::BTreeMap;
@@ -61,11 +62,24 @@ pub struct BatchReply {
     pub micros: u64,
 }
 
+/// The answer a connection handler gets back for one queued augment.
+#[derive(Debug, Clone)]
+pub struct AugReply {
+    /// Transformed series, or a client-facing error message.
+    pub result: Result<Mts, String>,
+    /// How many augments shared the batch.
+    pub batch_size: usize,
+    /// Queue wait + execute time for this job, microseconds.
+    pub micros: u64,
+}
+
 /// Why a submit was refused.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
     /// No worker serves this model name.
     UnknownModel,
+    /// No worker serves this pipeline name.
+    UnknownPipeline,
     /// The model's queue is full (or the fault plan shed the submit);
     /// retry after roughly `retry_ms` milliseconds.
     Overloaded {
@@ -82,14 +96,28 @@ struct Job {
     reply: SyncSender<BatchReply>,
 }
 
+struct AugJob {
+    series: Mts,
+    seed: u64,
+    index: u64,
+    enqueued: Instant,
+    reply: SyncSender<AugReply>,
+}
+
 struct ModelQueue {
     tx: Sender<Job>,
+    depth: Arc<AtomicUsize>,
+}
+
+struct AugQueue {
+    tx: Sender<AugJob>,
     depth: Arc<AtomicUsize>,
 }
 
 /// Handle for submitting jobs to the per-model batch workers.
 pub struct Batcher {
     queues: BTreeMap<String, ModelQueue>,
+    aug_queues: BTreeMap<String, AugQueue>,
     workers: Vec<JoinHandle<()>>,
     queue_cap: usize,
     /// Backoff hint for queue-full sheds: a few flush windows.
@@ -103,11 +131,13 @@ impl Batcher {
     /// cleanly before the error is returned.
     pub fn start(
         registry: Arc<ModelRegistry>,
+        pipelines: Arc<PipelineRegistry>,
         stats: Arc<ServerStats>,
         config: BatchConfig,
         faults: Option<Arc<FaultPlan>>,
     ) -> Result<Self, TsdaError> {
         let mut queues = BTreeMap::new();
+        let mut aug_queues = BTreeMap::new();
         let mut workers = Vec::new();
         let queue_cap = config.queue_cap.max(1);
         let shed_retry_ms = (config.max_wait.as_millis() as u64).max(1) * 4;
@@ -138,12 +168,46 @@ impl Batcher {
                     workers.push(handle);
                 }
                 Err(e) => {
-                    Self { queues, workers, queue_cap, shed_retry_ms, faults }.shutdown();
+                    Self { queues, aug_queues, workers, queue_cap, shed_retry_ms, faults }
+                        .shutdown();
                     return Err(TsdaError::Io(format!("spawn batch worker for {name:?}: {e}")));
                 }
             }
         }
-        Ok(Self { queues, workers, queue_cap, shed_retry_ms, faults })
+        for name in pipelines.names() {
+            let (tx, rx) = std::sync::mpsc::channel::<AugJob>();
+            let depth = Arc::new(AtomicUsize::new(0));
+            let pipelines = Arc::clone(&pipelines);
+            let stats = Arc::clone(&stats);
+            let pipeline = name.clone();
+            let worker_depth = Arc::clone(&depth);
+            let worker_faults = faults.clone();
+            let spawned = std::thread::Builder::new().name(format!("aug-{name}")).spawn(
+                move || {
+                    aug_worker_loop(
+                        &pipelines,
+                        &pipeline,
+                        &stats,
+                        config,
+                        &rx,
+                        &worker_depth,
+                        worker_faults.as_deref(),
+                    )
+                },
+            );
+            match spawned {
+                Ok(handle) => {
+                    aug_queues.insert(name, AugQueue { tx, depth });
+                    workers.push(handle);
+                }
+                Err(e) => {
+                    Self { queues, aug_queues, workers, queue_cap, shed_retry_ms, faults }
+                        .shutdown();
+                    return Err(TsdaError::Io(format!("spawn aug worker for {name:?}: {e}")));
+                }
+            }
+        }
+        Ok(Self { queues, aug_queues, workers, queue_cap, shed_retry_ms, faults })
     }
 
     /// Queue one validated series for the named model. Returns a
@@ -178,6 +242,41 @@ impl Batcher {
         Ok(reply_rx)
     }
 
+    /// Queue one series for the named augmentation pipeline. Same
+    /// bounded-queue discipline as [`Self::submit`]: full queues shed
+    /// with a retry hint instead of buffering without limit.
+    ///
+    /// Hot path: runs once per augment request on the connection
+    /// thread, so `tsda_analyze` R3 keeps allocations out of it and
+    /// its callees.
+    #[doc(alias = "tsda::hot")]
+    pub fn submit_augment(
+        &self,
+        pipeline: &str,
+        series: Mts,
+        seed: u64,
+        index: u64,
+    ) -> Result<Receiver<AugReply>, SubmitError> {
+        let queue = self.aug_queues.get(pipeline).ok_or(SubmitError::UnknownPipeline)?;
+        if let Some(plan) = self.faults.as_deref() {
+            if let Some(retry_ms) = plan.shed() {
+                return Err(SubmitError::Overloaded { retry_ms });
+            }
+        }
+        // Same race-free reserve-then-rollback as `submit`.
+        if queue.depth.fetch_add(1, Ordering::AcqRel) >= self.queue_cap {
+            queue.depth.fetch_sub(1, Ordering::AcqRel);
+            return Err(SubmitError::Overloaded { retry_ms: self.shed_retry_ms });
+        }
+        let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
+        let job = AugJob { series, seed, index, enqueued: Instant::now(), reply: reply_tx };
+        if queue.tx.send(job).is_err() {
+            queue.depth.fetch_sub(1, Ordering::AcqRel);
+            return Err(SubmitError::Closed);
+        }
+        Ok(reply_rx)
+    }
+
     /// Current queue depth for a model (observability / tests).
     pub fn depth(&self, model: &str) -> Option<usize> {
         self.queues.get(model).map(|q| q.depth.load(Ordering::Acquire))
@@ -187,6 +286,7 @@ impl Batcher {
     /// join every worker.
     pub fn shutdown(self) {
         drop(self.queues);
+        drop(self.aug_queues);
         for w in self.workers {
             let _ = w.join();
         }
@@ -284,6 +384,79 @@ fn worker_loop(
     }
 }
 
+fn aug_worker_loop(
+    pipelines: &PipelineRegistry,
+    name: &str,
+    stats: &ServerStats,
+    config: BatchConfig,
+    rx: &Receiver<AugJob>,
+    depth: &AtomicUsize,
+    faults: Option<&FaultPlan>,
+) {
+    let Some(pipeline) = pipelines.get(name) else {
+        // Workers are only spawned for registered pipelines; if the
+        // registry ever disagrees, fail each job cleanly instead of
+        // panicking the worker thread.
+        for job in rx.iter() {
+            depth.fetch_sub(1, Ordering::AcqRel);
+            let _ = job.reply.send(AugReply {
+                result: Err(format!("pipeline {name:?} is not registered")),
+                batch_size: 0,
+                micros: 0,
+            });
+        }
+        return;
+    };
+    let max_batch = config.max_batch.max(1);
+    loop {
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        depth.fetch_sub(1, Ordering::AcqRel);
+        let deadline = Instant::now() + config.max_wait;
+        let mut jobs = vec![first];
+        while jobs.len() < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => {
+                    depth.fetch_sub(1, Ordering::AcqRel);
+                    jobs.push(job);
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        if let Some(pause) = faults.and_then(FaultPlan::stall) {
+            std::thread::sleep(pause);
+        }
+
+        // One batched pool execution; each element is a pure function
+        // of its own (seed, index), so results are independent of how
+        // requests happened to coalesce into this batch.
+        let items: Vec<(Mts, u64, u64)> =
+            jobs.iter().map(|j| (j.series.clone(), j.seed, j.index)).collect();
+        let batch_start = Instant::now();
+        let results = pipeline.run_each(&items);
+        let batch_micros = batch_start.elapsed().as_micros() as u64;
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        stats.batched_items.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        stats.batch_latency.record(batch_micros);
+
+        let batch_size = jobs.len();
+        debug_assert_eq!(results.len(), batch_size);
+        for (job, out) in jobs.into_iter().zip(results) {
+            let micros = job.enqueued.elapsed().as_micros() as u64;
+            stats.request_latency.record(micros);
+            let _ = job.reply.send(AugReply { result: Ok(out), batch_size, micros });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,8 +502,15 @@ mod tests {
         registry
             .insert(ModelEntry::from_saved("rocket", SavedModel::Rocket(rocket), None).unwrap());
         let stats = Arc::new(ServerStats::new());
-        let batcher = Batcher::start(Arc::new(registry), Arc::clone(&stats), config, faults)
-            .expect("batch workers start");
+        let pipelines = Arc::new(
+            PipelineRegistry::from_toml(
+                "[pipeline]\nname = \"light\"\n[[stage]]\nchoose = [\"jitter\", \"scaling\"]\nprob = 0.8\n",
+            )
+            .unwrap(),
+        );
+        let batcher =
+            Batcher::start(Arc::new(registry), pipelines, Arc::clone(&stats), config, faults)
+                .expect("batch workers start");
         (batcher, stats, ds, offline)
     }
 
@@ -356,6 +536,42 @@ mod tests {
         let snap = stats.snapshot();
         assert_eq!(snap.batched_items, ds.series().len() as u64);
         assert!(snap.mean_batch > 1.0, "mean batch {}", snap.mean_batch);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn augment_submissions_coalesce_and_match_offline() {
+        use tsda_augment::declarative::{AugPipeline, PipelineConfig};
+        let (batcher, _, ds, _) = start_batcher(BatchConfig {
+            max_batch: 16,
+            max_wait: Duration::from_millis(40),
+            ..BatchConfig::default()
+        });
+        let cfg = PipelineConfig::parse(
+            "[pipeline]\nname = \"light\"\n[[stage]]\nchoose = [\"jitter\", \"scaling\"]\nprob = 0.8\n",
+        )
+        .unwrap();
+        let offline = &AugPipeline::from_config(&cfg).unwrap()[0];
+        let receivers: Vec<_> = ds
+            .series()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                batcher.submit_augment("light", s.clone(), 7, i as u64).expect("queue open")
+            })
+            .collect();
+        let mut max_batch_seen = 0;
+        for (i, (rx, s)) in receivers.into_iter().zip(ds.series()).enumerate() {
+            let reply = rx.recv().expect("worker replies");
+            let got = reply.result.expect("augment succeeds");
+            assert_eq!(got, offline.apply_one(s, 7, i as u64), "index {i}");
+            max_batch_seen = max_batch_seen.max(reply.batch_size);
+        }
+        assert!(max_batch_seen > 1, "expected coalescing, max batch {max_batch_seen}");
+        assert_eq!(
+            batcher.submit_augment("nope", ds.series()[0].clone(), 1, 0).err(),
+            Some(SubmitError::UnknownPipeline)
+        );
         batcher.shutdown();
     }
 

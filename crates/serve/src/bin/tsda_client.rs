@@ -8,6 +8,8 @@
 //! tsda_client --load --models rocket,inception --requests 400 \
 //!             --concurrency 8 --dataset RacketSports --seed 7 \
 //!             --retries 8 --timeout-ms 5000 --out BENCH_serve.json
+//! tsda_client --load augment --pipelines light,heavy --requests 400 \
+//!             --concurrency 8 --dataset RacketSports --seed 7
 //! ```
 //!
 //! The load generator runs `--concurrency` closed-loop connections per
@@ -19,6 +21,12 @@
 //! `overloaded` sheds are retried with capped, jittered backoff — the
 //! report includes how often that machinery fired (`retries`,
 //! `reconnects`, `shed_backoffs`).
+//!
+//! `--load augment` swaps the op: each request runs one series through
+//! a named server-side pipeline (`--pipelines p1,p2`), every reply's
+//! series is checked bit-identical against the offline
+//! `AugPipeline::apply_one` for the same `(seed, index)`, and the
+//! report goes to `BENCH_augment.json` by default.
 
 use serde::Value;
 use std::time::{Duration, Instant};
@@ -36,7 +44,10 @@ struct Args {
     series: Option<String>,
     stats: bool,
     load: bool,
+    load_augment: bool,
     models: Vec<String>,
+    pipelines: Vec<String>,
+    pipelines_file: Option<String>,
     requests: usize,
     concurrency: usize,
     dataset: String,
@@ -57,14 +68,17 @@ impl Default for Args {
             series: None,
             stats: false,
             load: false,
+            load_augment: false,
             models: vec!["rocket".into()],
+            pipelines: vec!["light".into()],
+            pipelines_file: None,
             requests: 200,
             concurrency: 8,
             dataset: "RacketSports".into(),
             seed: 7,
             retries: 8,
             timeout_ms: 5000,
-            out: "BENCH_serve.json".into(),
+            out: String::new(),
             proto: Proto::Ndjson,
             replicas: 1,
         }
@@ -73,7 +87,7 @@ impl Default for Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
@@ -86,7 +100,17 @@ fn parse_args() -> Result<Args, String> {
             "--model" => args.model = Some(value("--model")?),
             "--series" => args.series = Some(value("--series")?),
             "--stats" => args.stats = true,
-            "--load" => args.load = true,
+            "--load" => {
+                args.load = true;
+                // Optional mode value: `--load augment` (plain `--load`
+                // stays the predict load generator).
+                if it.peek().is_some_and(|v| v == "augment") {
+                    let _mode = it.next();
+                    args.load_augment = true;
+                } else if it.peek().is_some_and(|v| v == "predict") {
+                    let _mode = it.next();
+                }
+            }
             "--models" => {
                 args.models = value("--models")?
                     .split(',')
@@ -94,6 +118,14 @@ fn parse_args() -> Result<Args, String> {
                     .filter(|s| !s.is_empty())
                     .collect();
             }
+            "--pipelines" => {
+                args.pipelines = value("--pipelines")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--pipelines-file" => args.pipelines_file = Some(value("--pipelines-file")?),
             "--requests" => {
                 args.requests =
                     value("--requests")?.parse().map_err(|e| format!("--requests: {e}"))?;
@@ -132,6 +164,10 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
+    if args.out.is_empty() {
+        args.out =
+            if args.load_augment { "BENCH_augment.json".into() } else { "BENCH_serve.json".into() };
+    }
     Ok(args)
 }
 
@@ -154,6 +190,8 @@ fn percentile_us(sorted: &[u64], q: f64) -> u64 {
 }
 
 struct LoadResult {
+    /// JSON key for the thing under load ("model" or "pipeline").
+    unit: &'static str,
     model: String,
     protocol: Proto,
     replicas: usize,
@@ -176,7 +214,7 @@ impl LoadResult {
             sorted.iter().sum::<u64>() as f64 / sorted.len() as f64
         };
         Value::Object(vec![
-            ("model".into(), Value::Str(self.model.clone())),
+            (self.unit.into(), Value::Str(self.model.clone())),
             ("protocol".into(), Value::Str(self.protocol.name().to_string())),
             ("replicas".into(), Value::Num(self.replicas as f64)),
             ("requests".into(), Value::Num(self.requests as f64)),
@@ -251,7 +289,98 @@ fn run_load(
         shed_backoffs += c.shed_backoffs;
     }
     Ok(LoadResult {
+        unit: "model",
         model: model.to_string(),
+        protocol: proto,
+        replicas: args.replicas,
+        requests,
+        errors,
+        retries,
+        reconnects,
+        shed_backoffs,
+        elapsed_s: started.elapsed().as_secs_f64(),
+        latencies_us,
+    })
+}
+
+/// Closed-loop augment load against one named pipeline. Every reply's
+/// series is compared bit-for-bit against the offline pipeline when a
+/// `--pipelines-file` was given; any divergence is a hard error.
+fn run_augment_load(
+    args: &Args,
+    pipeline: &str,
+    series: &[Mts],
+    offline: Option<&tsda_serve::pipelines::PipelineRegistry>,
+    policy: RetryPolicy,
+) -> Result<LoadResult, String> {
+    let requests = args.requests;
+    let concurrency = args.concurrency.max(1);
+    let proto = args.proto;
+    let seed = args.seed;
+    let offline_pipe = match offline {
+        Some(reg) => Some(
+            reg.get(pipeline)
+                .ok_or_else(|| format!("pipeline {pipeline:?} not in --pipelines-file"))?
+                .clone(),
+        ),
+        None => None,
+    };
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for worker in 0..concurrency {
+        let n = requests / concurrency + usize::from(worker < requests % concurrency);
+        let addr = args.addr.to_string();
+        let pipeline = pipeline.to_string();
+        let series = series.to_vec();
+        let offline_pipe = offline_pipe.clone();
+        handles.push(std::thread::spawn(
+            move || -> Result<(Vec<u64>, usize, RetryingClient), String> {
+                let mut client =
+                    RetryingClient::new_proto(addr, policy, &format!("aug-{worker}"), proto);
+                let mut latencies = Vec::with_capacity(n);
+                let mut errors = 0usize;
+                for i in 0..n {
+                    let g = worker + i * concurrency;
+                    let s = &series[g % series.len()];
+                    let index = g as u64;
+                    let t0 = Instant::now();
+                    let reply = client.augment_mts(i as u64 + 1, &pipeline, seed, index, s)?;
+                    latencies.push(t0.elapsed().as_micros() as u64);
+                    if !reply.ok {
+                        errors += 1;
+                        continue;
+                    }
+                    let Some(got) = reply.series else {
+                        return Err(format!("{pipeline}: ok reply without a series"));
+                    };
+                    if let Some(pipe) = &offline_pipe {
+                        let want = pipe.apply_one(s, seed, index);
+                        if got != want {
+                            return Err(format!(
+                                "{pipeline}: served series diverged from offline at index {index}"
+                            ));
+                        }
+                    }
+                }
+                Ok((latencies, errors, client))
+            },
+        ));
+    }
+    let mut latencies_us = Vec::with_capacity(requests);
+    let mut errors = 0;
+    let (mut retries, mut reconnects, mut shed_backoffs) = (0u64, 0u64, 0u64);
+    for h in handles {
+        let (lat, err, client) = h.join().map_err(|_| "load worker panicked".to_string())??;
+        latencies_us.extend(lat);
+        errors += err;
+        let c = client.counters();
+        retries += c.retries;
+        reconnects += c.reconnects;
+        shed_backoffs += c.shed_backoffs;
+    }
+    Ok(LoadResult {
+        unit: "pipeline",
+        model: pipeline.to_string(),
         protocol: proto,
         replicas: args.replicas,
         requests,
@@ -307,6 +436,62 @@ fn run() -> Result<(), String> {
             return Ok(());
         }
         return Err(reply.error.unwrap_or_else(|| "predict failed".into()));
+    }
+
+    if args.load && args.load_augment {
+        let meta = ALL_DATASETS
+            .iter()
+            .find(|m| m.name.eq_ignore_ascii_case(&args.dataset))
+            .ok_or_else(|| format!("unknown dataset {:?}", args.dataset))?;
+        let tt = generate(meta, &GenOptions::ci(args.seed));
+        let series: Vec<Mts> = tt.test.series().to_vec();
+        if series.is_empty() {
+            return Err("dataset generated no test series".into());
+        }
+        let offline = match &args.pipelines_file {
+            Some(path) => Some(
+                tsda_serve::pipelines::PipelineRegistry::from_file(std::path::Path::new(path))
+                    .map_err(|e| format!("load {path}: {e}"))?,
+            ),
+            None => None,
+        };
+        let mut entries = Vec::new();
+        for pipeline in &args.pipelines {
+            eprintln!(
+                "augment load: pipeline {pipeline}, {} requests, concurrency {}, proto {}{}",
+                args.requests,
+                args.concurrency,
+                args.proto.name(),
+                if offline.is_some() { ", verifying against offline" } else { "" }
+            );
+            let result = run_augment_load(&args, pipeline, &series, offline.as_ref(), policy)?;
+            eprintln!(
+                "augment load: {pipeline}: {:.0} req/s, {} errors, {} retries, {} reconnects",
+                result.requests as f64 / result.elapsed_s.max(1e-9),
+                result.errors,
+                result.retries,
+                result.reconnects
+            );
+            entries.push(result.to_value());
+        }
+        let server_stats = fetch_stats(&args.addr, args.proto, policy).unwrap_or(Value::Null);
+        let report = Value::Object(vec![
+            ("dataset".into(), Value::Str(meta.name.to_string())),
+            ("seed".into(), Value::Num(args.seed as f64)),
+            ("concurrency".into(), Value::Num(args.concurrency as f64)),
+            ("protocol".into(), Value::Str(args.proto.name().to_string())),
+            ("replicas".into(), Value::Num(args.replicas as f64)),
+            (
+                "verified_offline".into(),
+                Value::Bool(offline.is_some()),
+            ),
+            ("pipelines".into(), Value::Array(entries)),
+            ("server_stats".into(), server_stats),
+        ]);
+        let text = serde_json::to_string_pretty(&report).expect("value trees always serialise");
+        std::fs::write(&args.out, text + "\n").map_err(|e| format!("write {}: {e}", args.out))?;
+        println!("wrote {}", args.out);
+        return Ok(());
     }
 
     if args.load {

@@ -40,6 +40,7 @@ struct Args {
     queue_cap: Option<usize>,
     serve_bin: Option<String>,
     max_seconds: Option<u64>,
+    pipelines: Option<String>,
 }
 
 impl Default for Args {
@@ -61,6 +62,7 @@ impl Default for Args {
             queue_cap: None,
             serve_bin: None,
             max_seconds: None,
+            pipelines: None,
         }
     }
 }
@@ -110,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
                     Some(value("--queue-cap")?.parse().map_err(|e| format!("--queue-cap: {e}"))?);
             }
             "--serve-bin" => args.serve_bin = Some(value("--serve-bin")?),
+            "--pipelines" => args.pipelines = Some(value("--pipelines")?),
             "--max-seconds" => {
                 args.max_seconds = Some(
                     value("--max-seconds")?.parse().map_err(|e| format!("--max-seconds: {e}"))?,
@@ -208,6 +211,12 @@ fn replica_args(args: &Args, models: &[String]) -> Vec<String> {
     }
     if args.fast {
         out.push("--fast".into());
+    }
+    // Pipelines are replicated, never sharded: every replica loads the
+    // same TOML so the router can send an augment anywhere.
+    if let Some(pipelines) = &args.pipelines {
+        out.push("--pipelines".into());
+        out.push(pipelines.clone());
     }
     out
 }

@@ -32,6 +32,7 @@ use tsda_neuro::train::TrainConfig;
 use tsda_serve::admission::AdmissionConfig;
 use tsda_serve::batcher::BatchConfig;
 use tsda_serve::faults::FaultPlan;
+use tsda_serve::pipelines::PipelineRegistry;
 use tsda_serve::registry::{ModelEntry, ModelRegistry};
 use tsda_serve::server::{serve, ServerConfig};
 use tsda_serve::signal;
@@ -50,6 +51,7 @@ struct Args {
     fault_seed: Option<u64>,
     quota_rps: Option<f64>,
     quota_burst: f64,
+    pipelines: Option<String>,
 }
 
 impl Default for Args {
@@ -68,6 +70,7 @@ impl Default for Args {
             fault_seed: None,
             quota_rps: None,
             quota_burst: 32.0,
+            pipelines: None,
         }
     }
 }
@@ -125,12 +128,14 @@ fn parse_args() -> Result<Args, String> {
                 args.quota_burst =
                     value("--quota-burst")?.parse().map_err(|e| format!("--quota-burst: {e}"))?;
             }
+            "--pipelines" => args.pipelines = Some(value("--pipelines")?),
             "--help" | "-h" => {
                 println!(
                     "usage: tsda_serve [--addr A] [--models m1,m2] [--dataset D] [--seed S]\n\
                      \x20                 [--dir MODELDIR] [--max-batch N] [--max-wait-ms MS]\n\
                      \x20                 [--queue-cap N] [--fast] [--max-seconds S]\n\
                      \x20                 [--fault-seed N] [--quota-rps R] [--quota-burst B]\n\
+                     \x20                 [--pipelines PIPELINES.toml]\n\
                      models: rocket minirocket ridge inception"
                 );
                 std::process::exit(0);
@@ -273,6 +278,15 @@ fn run() -> Result<(), String> {
     if let Some(plan) = &faults {
         eprintln!("fault injection armed (seed {})", plan.seed());
     }
+    let pipelines = match &args.pipelines {
+        Some(path) => {
+            let reg = PipelineRegistry::from_file(std::path::Path::new(path))
+                .map_err(|e| format!("load pipelines {path}: {e}"))?;
+            eprintln!("loaded {} augmentation pipelines [{}]", reg.len(), reg.names().join(", "));
+            Some(std::sync::Arc::new(reg))
+        }
+        None => None,
+    };
     let config = ServerConfig {
         addr: args.addr.clone(),
         batch: BatchConfig {
@@ -282,6 +296,7 @@ fn run() -> Result<(), String> {
         },
         faults: faults.clone(),
         admission: args.quota_rps.map(|rps| AdmissionConfig::new(rps, args.quota_burst)),
+        pipelines,
     };
     if let Some(adm) = &config.admission {
         eprintln!(

@@ -96,6 +96,20 @@ pub fn predict_line(id: u64, model: &str, series: &str) -> String {
     )
 }
 
+/// Build an augment request line.
+pub fn augment_line(id: u64, pipeline: &str, seed: u64, index: u64, series: &str) -> String {
+    request_line(
+        id,
+        "augment",
+        vec![
+            ("pipeline".into(), Value::Str(pipeline.to_string())),
+            ("seed".into(), Value::Num(seed as f64)),
+            ("index".into(), Value::Num(index as f64)),
+            ("series".into(), Value::Str(series.to_string())),
+        ],
+    )
+}
+
 /// One connection that sends a line and reads the matching response.
 /// The server answers in order, so with one request in flight the next
 /// line read is always the reply to the line just sent.
@@ -213,6 +227,35 @@ impl WireRequest {
             Proto::V2 => Self::Frame(proto2::encode_request(&proto2::Request2::Predict {
                 id,
                 model: model.to_string(),
+                series: series.clone(),
+            })),
+        }
+    }
+
+    /// Encode an augment for `proto`. The reply's `series` field is the
+    /// transformed sample, bit-identical to offline
+    /// `AugPipeline::apply_one(series, seed, index)`.
+    pub fn augment(
+        proto: Proto,
+        id: u64,
+        pipeline: &str,
+        seed: u64,
+        index: u64,
+        series: &Mts,
+    ) -> Self {
+        match proto {
+            Proto::Ndjson => Self::Line(augment_line(
+                id,
+                pipeline,
+                seed,
+                index,
+                &tsda_datasets::ts_format::format_series_line(series),
+            )),
+            Proto::V2 => Self::Frame(proto2::encode_request(&proto2::Request2::Augment {
+                id,
+                pipeline: pipeline.to_string(),
+                seed,
+                index,
                 series: series.clone(),
             })),
         }
@@ -362,6 +405,21 @@ impl RetryingClient {
     /// through faults.
     pub fn predict_mts(&mut self, id: u64, model: &str, series: &Mts) -> Result<Response, String> {
         let req = WireRequest::predict(self.proto, id, model, series);
+        self.round_trip_request(&req)
+    }
+
+    /// Augment one series through the named pipeline in this client's
+    /// protocol, retrying through faults. Safe to replay: the result is
+    /// a pure function of `(pipeline, seed, index, series)`.
+    pub fn augment_mts(
+        &mut self,
+        id: u64,
+        pipeline: &str,
+        seed: u64,
+        index: u64,
+        series: &Mts,
+    ) -> Result<Response, String> {
+        let req = WireRequest::augment(self.proto, id, pipeline, seed, index, series);
         self.round_trip_request(&req)
     }
 

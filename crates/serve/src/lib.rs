@@ -14,6 +14,11 @@
 //!   served through their `&self` prediction paths (no locks);
 //!   InceptionTime sits behind a mutex because its forward pass caches
 //!   activations.
+//! * [`pipelines`] — named augmentation pipelines
+//!   ([`tsda_augment::declarative::AugPipeline`]) loaded at startup
+//!   from a TOML file and served through the `augment` op on both
+//!   protocols; results are bit-identical to offline execution because
+//!   every pipeline is a pure function of `(seed, sample index)`.
 //! * [`batcher`] — one worker thread per model running an adaptive
 //!   micro-batch loop: flush when `max_batch` requests are pending or
 //!   `max_wait` has elapsed since the first, then run a single batched
@@ -54,6 +59,7 @@ pub mod admission;
 pub mod batcher;
 pub mod client;
 pub mod faults;
+pub mod pipelines;
 pub mod proto2;
 pub mod protocol;
 pub mod registry;
@@ -66,6 +72,7 @@ pub use admission::{Admission, AdmissionConfig};
 pub use batcher::{BatchConfig, SubmitError};
 pub use client::{ClientCounters, Proto, RetryPolicy, RetryingClient, WireRequest};
 pub use faults::{FaultKind, FaultPlan, FaultRates};
+pub use pipelines::PipelineRegistry;
 pub use registry::{ModelEntry, ModelRegistry};
 pub use router::{ReplicaSpec, RoutePolicy, Router, RouterConfig, RouterHandle};
 pub use server::{serve, ServerConfig, ServerHandle};

@@ -78,10 +78,12 @@ const REQ_PREDICT: u8 = 0x01;
 const REQ_STATS: u8 = 0x02;
 const REQ_LIST: u8 = 0x03;
 const REQ_PING: u8 = 0x04;
+const REQ_AUGMENT: u8 = 0x05;
 
 const REPLY_PREDICT: u8 = 0x81;
 const REPLY_ERROR: u8 = 0x82;
 const REPLY_RESULT: u8 = 0x83;
+const REPLY_AUGMENT: u8 = 0x84;
 
 /// Error codes carried by v2 error replies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,15 +145,32 @@ pub enum Request2 {
         /// Correlation id.
         id: u64,
     },
+    /// Run one series through a named augmentation pipeline. The reply
+    /// carries the transformed series as raw f64 bit patterns, so the
+    /// round trip is bit-exact by construction.
+    Augment {
+        /// Correlation id.
+        id: u64,
+        /// Registry name of the target pipeline.
+        pipeline: String,
+        /// Master seed for the derived per-sample streams.
+        seed: u64,
+        /// Sample index within the seeded corpus.
+        index: u64,
+        /// The input series, decoded from raw f64 bit patterns.
+        series: Mts,
+    },
 }
 
 impl Request2 {
     /// The correlation id of any request.
     pub fn id(&self) -> u64 {
         match self {
-            Self::Predict { id, .. } | Self::Stats { id } | Self::List { id } | Self::Ping { id } => {
-                *id
-            }
+            Self::Predict { id, .. }
+            | Self::Stats { id }
+            | Self::List { id }
+            | Self::Ping { id }
+            | Self::Augment { id, .. } => *id,
         }
     }
 }
@@ -243,8 +262,44 @@ pub fn encode_request(req: &Request2) -> Vec<u8> {
             w.u8(REQ_PING);
             w.u64(*id);
         }
+        Request2::Augment { id, pipeline, seed, index, series } => {
+            w.u8(REQ_AUGMENT);
+            w.u64(*id);
+            w.string(pipeline);
+            w.u64(*seed);
+            w.u64(*index);
+            w.u32(series.n_dims() as u32);
+            w.u32(series.len() as u32);
+            for &v in series.as_flat() {
+                w.f64(v);
+            }
+        }
     }
     frame(w.into_bytes())
+}
+
+/// Read a `u32 n_dims | u32 len | f64 × (n_dims·len)` series block —
+/// shared tail of predict and augment requests. Both lengths funnel
+/// through [`checked_len`] and the shape is proven to fit the remaining
+/// frame bytes before any allocation.
+fn read_series(r: &mut ByteReader<'_>, id: u64) -> Result<Mts, (u64, String)> {
+    let fail = |e: tsda_core::TsdaError| (id, format!("bad frame: {e}"));
+    let n_dims = checked_len(r.u32().map_err(fail)?, MAX_SERIES_VALUES, "series dims")
+        .map_err(|m| (id, m))?;
+    let len = checked_len(r.u32().map_err(fail)?, MAX_SERIES_VALUES, "series length")
+        .map_err(|m| (id, m))?;
+    if n_dims == 0 || len == 0 {
+        return Err((id, format!("empty series shape {n_dims}x{len}")));
+    }
+    let total = n_dims
+        .checked_mul(len)
+        .filter(|&t| t.checked_mul(8).is_some_and(|b| b <= r.remaining()))
+        .ok_or((id, format!("series shape {n_dims}x{len} exceeds frame")))?;
+    let mut data = Vec::with_capacity(total);
+    for _ in 0..total {
+        data.push(r.f64().map_err(fail)?);
+    }
+    Ok(Mts::from_flat(n_dims, len, data))
 }
 
 /// Decode one request body (CRC already checked). The error carries the
@@ -258,26 +313,19 @@ pub fn decode_request(body: &[u8]) -> Result<Request2, (u64, String)> {
     let req = match kind {
         REQ_PREDICT => {
             let model = r.string().map_err(fail)?;
-            let n_dims = checked_len(r.u32().map_err(fail)?, MAX_SERIES_VALUES, "series dims")
-                .map_err(|m| (id, m))?;
-            let len = checked_len(r.u32().map_err(fail)?, MAX_SERIES_VALUES, "series length")
-                .map_err(|m| (id, m))?;
-            if n_dims == 0 || len == 0 {
-                return Err((id, format!("empty series shape {n_dims}x{len}")));
-            }
-            let total = n_dims
-                .checked_mul(len)
-                .filter(|&t| t.checked_mul(8).is_some_and(|b| b <= r.remaining()))
-                .ok_or((id, format!("series shape {n_dims}x{len} exceeds frame")))?;
-            let mut data = Vec::with_capacity(total);
-            for _ in 0..total {
-                data.push(r.f64().map_err(fail)?);
-            }
-            Request2::Predict { id, model, series: Mts::from_flat(n_dims, len, data) }
+            let series = read_series(&mut r, id)?;
+            Request2::Predict { id, model, series }
         }
         REQ_STATS => Request2::Stats { id },
         REQ_LIST => Request2::List { id },
         REQ_PING => Request2::Ping { id },
+        REQ_AUGMENT => {
+            let pipeline = r.string().map_err(fail)?;
+            let seed = r.u64().map_err(fail)?;
+            let index = r.u64().map_err(fail)?;
+            let series = read_series(&mut r, id)?;
+            Request2::Augment { id, pipeline, seed, index, series }
+        }
         other => return Err((id, format!("unknown request kind 0x{other:02x}"))),
     };
     r.finish().map_err(|e| (id, format!("bad frame: {e}")))?;
@@ -314,6 +362,17 @@ pub enum Routing {
         /// Correlation id.
         id: u64,
     },
+    /// An augment for `pipeline`; every replica loads the same pipeline
+    /// file, so any healthy replica can serve it — `key` keeps
+    /// rendezvous placement stable for caching-friendly policies.
+    Augment {
+        /// Correlation id.
+        id: u64,
+        /// Target pipeline name.
+        pipeline: String,
+        /// FNV-1a of the payload bytes after the pipeline name.
+        key: u64,
+    },
 }
 
 /// FNV-1a over a byte slice: a deterministic, dependency-free content
@@ -343,6 +402,11 @@ pub fn decode_routing(body: &[u8]) -> Result<Routing, (u64, String)> {
         REQ_STATS => Ok(Routing::Stats { id }),
         REQ_LIST => Ok(Routing::List { id }),
         REQ_PING => Ok(Routing::Ping { id }),
+        REQ_AUGMENT => {
+            let pipeline = r.string().map_err(|e| (id, format!("bad frame: {e}")))?;
+            let rest = r.bytes(r.remaining()).unwrap_or(&[]);
+            Ok(Routing::Augment { id, pipeline, key: fnv1a(rest) })
+        }
         other => Err((id, format!("unknown request kind 0x{other:02x}"))),
     }
 }
@@ -355,6 +419,22 @@ pub fn encode_reply_predict(id: u64, label: u64, batch: u32, micros: u64) -> Vec
     w.u64(label);
     w.u32(batch);
     w.u64(micros);
+    frame(w.into_bytes())
+}
+
+/// Encode a successful augment reply: the transformed series as raw
+/// f64 bit patterns (no text hop, bit-exact by construction).
+pub fn encode_reply_augment(id: u64, series: &Mts, batch: u32, micros: u64) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u8(REPLY_AUGMENT);
+    w.u64(id);
+    w.u32(batch);
+    w.u64(micros);
+    w.u32(series.n_dims() as u32);
+    w.u32(series.len() as u32);
+    for &v in series.as_flat() {
+        w.f64(v);
+    }
     frame(w.into_bytes())
 }
 
@@ -408,6 +488,24 @@ pub fn decode_reply(body: &[u8]) -> Result<Response, String> {
                 error: None,
                 retry_ms: None,
                 result: None,
+                series: None,
+            }
+        }
+        REPLY_AUGMENT => {
+            let batch = r.u32().map_err(fail)?;
+            let micros = r.u64().map_err(fail)?;
+            let series = read_series(&mut r, id).map_err(|(_, m)| m)?;
+            let batch = usize::try_from(batch).map_err(|_| "reply batch overflows usize")?;
+            Response {
+                id,
+                ok: true,
+                label: None,
+                batch: Some(batch),
+                micros: Some(micros),
+                error: None,
+                retry_ms: None,
+                result: None,
+                series: Some(series),
             }
         }
         REPLY_ERROR => {
@@ -431,6 +529,7 @@ pub fn decode_reply(body: &[u8]) -> Result<Response, String> {
                 error: Some(error),
                 retry_ms: (code != ErrCode::Error).then_some(retry_ms),
                 result: None,
+                series: None,
             }
         }
         REPLY_RESULT => {
@@ -446,6 +545,7 @@ pub fn decode_reply(body: &[u8]) -> Result<Response, String> {
                 error: None,
                 retry_ms: None,
                 result: Some(value),
+                series: None,
             }
         }
         other => return Err(format!("unknown reply kind 0x{other:02x}")),
@@ -570,6 +670,70 @@ mod tests {
             panic!("routing decode failed");
         };
         assert_ne!(key, key2, "content hash must depend on series values");
+    }
+
+    #[test]
+    fn augment_request_and_reply_round_trip_bit_exactly() {
+        let req = Request2::Augment {
+            id: 21,
+            pipeline: "light".into(),
+            seed: 7,
+            index: 3,
+            series: series(),
+        };
+        let mut buf = encode_request(&req);
+        let raw = take_frame(&mut buf).unwrap().unwrap();
+        let body = check_frame(&raw).unwrap();
+        assert_eq!(decode_request(body).unwrap(), req);
+
+        let Ok(Routing::Augment { id, pipeline, key }) = decode_routing(body) else {
+            panic!("routing decode failed");
+        };
+        assert_eq!((id, pipeline.as_str()), (21, "light"));
+        // The routing key covers seed/index/series, so two requests
+        // differing only in index land on different rendezvous keys.
+        let req2 = Request2::Augment {
+            id: 21,
+            pipeline: "light".into(),
+            seed: 7,
+            index: 4,
+            series: series(),
+        };
+        let mut buf = encode_request(&req2);
+        let raw = take_frame(&mut buf).unwrap().unwrap();
+        let Ok(Routing::Augment { key: key2, .. }) = decode_routing(check_frame(&raw).unwrap())
+        else {
+            panic!("routing decode failed");
+        };
+        assert_ne!(key, key2);
+
+        let mut buf = encode_reply_augment(21, &series(), 4, 55);
+        let raw = take_frame(&mut buf).unwrap().unwrap();
+        let r = decode_reply(check_frame(&raw).unwrap()).unwrap();
+        assert!(r.ok);
+        assert_eq!((r.id, r.batch, r.micros), (21, Some(4), Some(55)));
+        let got = r.series.expect("augment reply carries a series");
+        for (a, b) in got.as_flat().iter().zip(series().as_flat()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn corrupted_augment_frames_never_pass_the_checksum() {
+        let full = encode_request(&Request2::Augment {
+            id: 5,
+            pipeline: "p".into(),
+            seed: 1,
+            index: 2,
+            series: series(),
+        });
+        for pos in 4..full.len() {
+            let mut copy = full.clone();
+            copy[pos] ^= 0x40;
+            let mut buf = copy;
+            let raw = take_frame(&mut buf).unwrap().expect("boundary intact");
+            assert!(check_frame(&raw).is_err(), "corruption at {pos} not caught");
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! {"id":2,"op":"stats"}
 //! {"id":3,"op":"list"}
 //! {"id":4,"op":"ping"}
+//! {"id":5,"op":"augment","pipeline":"light","seed":7,"index":3,"series":"1.0,2.0"}
 //! ```
 //!
 //! `series` is the `.ts` data-line layout (dimensions split by `:`,
@@ -54,15 +55,35 @@ pub enum Request {
         /// Correlation id.
         id: u64,
     },
+    /// Run one series through a named augmentation pipeline.
+    ///
+    /// The reply series is bit-identical to offline
+    /// `AugPipeline::apply_one(series, seed, index)` — `(seed, index)`
+    /// fully determine every stochastic choice, so any replica returns
+    /// the same bytes.
+    Augment {
+        /// Correlation id.
+        id: u64,
+        /// Registry name of the target pipeline.
+        pipeline: String,
+        /// Master seed for the derived per-sample streams.
+        seed: u64,
+        /// Sample index within the seeded corpus.
+        index: u64,
+        /// The input series, `.ts` data-line encoded.
+        series: String,
+    },
 }
 
 impl Request {
     /// The correlation id of any request.
     pub fn id(&self) -> u64 {
         match self {
-            Self::Predict { id, .. } | Self::Stats { id } | Self::List { id } | Self::Ping { id } => {
-                *id
-            }
+            Self::Predict { id, .. }
+            | Self::Stats { id }
+            | Self::List { id }
+            | Self::Ping { id }
+            | Self::Augment { id, .. } => *id,
         }
     }
 }
@@ -93,6 +114,17 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, String)> {
         "stats" => Ok(Request::Stats { id }),
         "list" => Ok(Request::List { id }),
         "ping" => Ok(Request::Ping { id }),
+        "augment" => {
+            let pipeline = field_str(&v, "pipeline")
+                .ok_or((id, "augment needs a \"pipeline\" field".to_string()))?;
+            let series = field_str(&v, "series")
+                .ok_or((id, "augment needs a \"series\" field".to_string()))?;
+            let seed =
+                field_u64(&v, "seed").ok_or((id, "augment needs a \"seed\" field".to_string()))?;
+            let index =
+                field_u64(&v, "index").ok_or((id, "augment needs an \"index\" field".to_string()))?;
+            Ok(Request::Augment { id, pipeline, seed, index, series })
+        }
         other => Err((id, format!("unknown op {other:?}"))),
     }
 }
@@ -122,6 +154,20 @@ pub fn predict_response(id: u64, model: &str, label: usize, batch: usize, micros
         ("ok".into(), Value::Bool(true)),
         ("model".into(), Value::Str(model.to_string())),
         ("label".into(), Value::Num(label as f64)),
+        ("batch".into(), Value::Num(batch as f64)),
+        ("micros".into(), Value::Num(micros as f64)),
+    ])
+}
+
+/// Successful augment response. The series is `.ts` data-line encoded;
+/// Rust's `{}` float formatting prints the shortest round-trip
+/// representation, so finite values survive the text hop bit-exactly.
+pub fn augment_response(id: u64, pipeline: &str, series: &Mts, batch: usize, micros: u64) -> String {
+    object_line(vec![
+        ("id".into(), Value::Num(id as f64)),
+        ("ok".into(), Value::Bool(true)),
+        ("pipeline".into(), Value::Str(pipeline.to_string())),
+        ("series".into(), Value::Str(tsda_datasets::ts_format::format_series_line(series))),
         ("batch".into(), Value::Num(batch as f64)),
         ("micros".into(), Value::Num(micros as f64)),
     ])
@@ -192,6 +238,8 @@ pub struct Response {
     pub retry_ms: Option<u64>,
     /// Result payload for stats/list responses.
     pub result: Option<Value>,
+    /// Augmented series (augment responses only).
+    pub series: Option<Mts>,
 }
 
 impl Response {
@@ -221,6 +269,10 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
         Some(Value::Bool(b)) => *b,
         _ => return Err("missing \"ok\" field".into()),
     };
+    let series = match field_str(&v, "series") {
+        Some(text) => Some(parse_series_line(&text).map_err(|e| format!("bad series: {e}"))?),
+        None => None,
+    };
     Ok(Response {
         id: field_u64(&v, "id").unwrap_or(0),
         ok,
@@ -230,6 +282,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
         error: field_str(&v, "error"),
         retry_ms: field_u64(&v, "retry_ms"),
         result: v.get("result").cloned(),
+        series,
     })
 }
 
@@ -293,6 +346,33 @@ mod tests {
         assert!(o.is_shed() && !o.is_throttled());
         let e = parse_response(&error_response(6, "nope")).unwrap();
         assert!(!e.is_shed());
+    }
+
+    #[test]
+    fn augment_request_and_response_round_trip() {
+        let r = parse_request(
+            r#"{"id":8,"op":"augment","pipeline":"light","seed":7,"index":3,"series":"1,2,3"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            Request::Augment {
+                id: 8,
+                pipeline: "light".into(),
+                seed: 7,
+                index: 3,
+                series: "1,2,3".into()
+            }
+        );
+        let s = Mts::from_dims(vec![vec![0.25, -1.5, 3.0e-7], vec![0.1 + 0.2, 1.0, -0.0]]);
+        let resp = parse_response(&augment_response(8, "light", &s, 4, 99)).unwrap();
+        assert!(resp.ok);
+        assert_eq!(resp.series.as_ref(), Some(&s), "text hop must be bit-exact");
+        assert_eq!((resp.batch, resp.micros), (Some(4), Some(99)));
+        let (id, msg) =
+            parse_request(r#"{"id":9,"op":"augment","pipeline":"p","series":"1"}"#).unwrap_err();
+        assert_eq!(id, 9);
+        assert!(msg.contains("seed"), "{msg}");
     }
 
     #[test]

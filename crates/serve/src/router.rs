@@ -258,12 +258,13 @@ impl RouterCtx {
         ])
     }
 
-    /// Pick the best healthy replica for `model` that is not in
-    /// `tried`, under the routing policy. `key` drives rendezvous
-    /// hashing.
-    fn pick(&self, model: &str, key: u64, tried: &[usize]) -> Option<&Replica> {
+    /// Pick the best healthy replica that is not in `tried`, under the
+    /// routing policy. `model` narrows to the replicas sharded for it;
+    /// `None` considers the whole fleet (augment pipelines are loaded
+    /// on every replica, not sharded). `key` drives rendezvous hashing.
+    fn pick(&self, model: Option<&str>, key: u64, tried: &[usize]) -> Option<&Replica> {
         let candidates = self.replicas.iter().filter(|r| {
-            r.serves(model)
+            model.is_none_or(|m| r.serves(m))
                 && r.healthy.load(Ordering::Relaxed)
                 && !tried.contains(&r.index)
         });
@@ -477,12 +478,10 @@ impl Router {
             return Err(TsdaError::InvalidParameter("router needs at least one replica".into()));
         }
         let mut replicas = Vec::with_capacity(config.replicas.len());
+        // An empty model list is legal: a replica may serve only
+        // augmentation pipelines, which are unsharded (any replica
+        // answers any pipeline), so the router needs no map for them.
         for (index, spec) in config.replicas.iter().enumerate() {
-            if spec.models().is_empty() {
-                return Err(TsdaError::InvalidParameter(format!(
-                    "replica {index} serves no models"
-                )));
-            }
             let (child, addr) = match spec {
                 ReplicaSpec::Spawn { bin, args, .. } => {
                     let (child, addr) = spawn_replica(bin, args)
@@ -834,13 +833,31 @@ fn handle_router_line(
                 }
             }
             let key = proto2::fnv1a(series.as_bytes());
-            forward_with_failover(ctx, pool, &model, key, |backend| {
+            forward_with_failover(ctx, pool, Some(&model), key, |backend| {
                 backend.forward_line(line)
             })
             .unwrap_or_else(|msg| {
                 ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
                 error_response(id, &msg)
             })
+        }
+        Request::Augment { id, series, .. } => {
+            ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
+            if let Some(adm) = &ctx.admission {
+                if let Err(retry_ms) = adm.admit(peer) {
+                    ctx.stats.throttled.fetch_add(1, Ordering::Relaxed);
+                    return throttled_response(id, retry_ms);
+                }
+            }
+            // Pipelines are not sharded: every replica loads the same
+            // TOML, so any healthy replica can answer. Key on the
+            // series content so hash routing stays sticky per sample.
+            let key = proto2::fnv1a(series.as_bytes());
+            forward_with_failover(ctx, pool, None, key, |backend| backend.forward_line(line))
+                .unwrap_or_else(|msg| {
+                    ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    error_response(id, &msg)
+                })
         }
         Request::Stats { id } => result_response(id, ctx.snapshot()),
         Request::Ping { id } => result_response(id, Value::Str("pong".to_string())),
@@ -918,13 +935,35 @@ fn handle_router_frame(
                 }
             }
             let frame = proto2::reframe(raw);
-            forward_with_failover(ctx, pool, &model, key, |backend| {
+            forward_with_failover(ctx, pool, Some(&model), key, |backend| {
                 backend.forward_frame(&frame)
             })
             .unwrap_or_else(|msg| {
                 ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
                 proto2::encode_reply_error(id, proto2::ErrCode::Error, &msg, 0)
             })
+        }
+        proto2::Routing::Augment { id, key, .. } => {
+            ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
+            if let Some(adm) = &ctx.admission {
+                if let Err(retry_ms) = adm.admit(peer) {
+                    ctx.stats.throttled.fetch_add(1, Ordering::Relaxed);
+                    return proto2::encode_reply_error(
+                        id,
+                        proto2::ErrCode::Throttled,
+                        "throttled",
+                        retry_ms,
+                    );
+                }
+            }
+            // Any healthy replica serves every pipeline; relay the
+            // frame verbatim under the payload content key.
+            let frame = proto2::reframe(raw);
+            forward_with_failover(ctx, pool, None, key, |backend| backend.forward_frame(&frame))
+                .unwrap_or_else(|msg| {
+                    ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    proto2::encode_reply_error(id, proto2::ErrCode::Error, &msg, 0)
+                })
         }
         proto2::Routing::Stats { id } => proto2::encode_reply_result(id, &ctx.snapshot()),
         proto2::Routing::Ping { id } => {
@@ -949,12 +988,15 @@ fn handle_router_frame(
 fn forward_with_failover<T>(
     ctx: &RouterCtx,
     pool: &mut BackendPool,
-    model: &str,
+    model: Option<&str>,
     key: u64,
     mut send: impl FnMut(&mut Backend) -> Result<T, String>,
 ) -> Result<T, String> {
     let mut tried = Vec::new();
-    let mut last_err = format!("no healthy replica serves model {model:?}");
+    let mut last_err = match model {
+        Some(m) => format!("no healthy replica serves model {m:?}"),
+        None => "no healthy replica".to_string(),
+    };
     while let Some(replica) = ctx.pick(model, key, &tried) {
         tried.push(replica.index);
         replica.in_flight.fetch_add(1, Ordering::Relaxed);
@@ -1054,20 +1096,20 @@ mod tests {
         ctx.replicas[0].in_flight.store(5, Ordering::Relaxed);
         ctx.replicas[1].in_flight.store(1, Ordering::Relaxed);
         ctx.replicas[2].in_flight.store(9, Ordering::Relaxed);
-        assert_eq!(ctx.pick("rocket", 0, &[]).map(|r| r.index), Some(1));
+        assert_eq!(ctx.pick(Some("rocket"), 0, &[]).map(|r| r.index), Some(1));
         // Skipping the best candidate falls back to the next-least.
-        assert_eq!(ctx.pick("rocket", 0, &[1]).map(|r| r.index), Some(0));
+        assert_eq!(ctx.pick(Some("rocket"), 0, &[1]).map(|r| r.index), Some(0));
         // Unknown model: nothing serves it.
-        assert_eq!(ctx.pick("nope", 0, &[]).map(|r| r.index), None);
+        assert_eq!(ctx.pick(Some("nope"), 0, &[]).map(|r| r.index), None);
     }
 
     #[test]
     fn unhealthy_replicas_are_never_picked() {
         let ctx = test_ctx(RoutePolicy::LeastLoaded, 2, &["rocket"]);
         ctx.replicas[0].healthy.store(false, Ordering::Relaxed);
-        assert_eq!(ctx.pick("rocket", 0, &[]).map(|r| r.index), Some(1));
+        assert_eq!(ctx.pick(Some("rocket"), 0, &[]).map(|r| r.index), Some(1));
         ctx.replicas[1].healthy.store(false, Ordering::Relaxed);
-        assert!(ctx.pick("rocket", 0, &[]).is_none());
+        assert!(ctx.pick(Some("rocket"), 0, &[]).is_none());
     }
 
     #[test]
@@ -1075,22 +1117,22 @@ mod tests {
         let ctx = test_ctx(RoutePolicy::Hash, 4, &["rocket"]);
         let mut seen = std::collections::BTreeSet::new();
         for key in 0..256u64 {
-            let a = ctx.pick("rocket", key, &[]).map(|r| r.index);
-            let b = ctx.pick("rocket", key, &[]).map(|r| r.index);
+            let a = ctx.pick(Some("rocket"), key, &[]).map(|r| r.index);
+            let b = ctx.pick(Some("rocket"), key, &[]).map(|r| r.index);
             assert_eq!(a, b, "same key must route identically");
             seen.insert(a);
         }
         assert!(seen.len() >= 3, "256 keys should spread over ≥3 of 4 replicas, got {seen:?}");
         // Losing a replica only remaps its own share.
         let key = 42;
-        let before = ctx.pick("rocket", key, &[]).map(|r| r.index).unwrap();
+        let before = ctx.pick(Some("rocket"), key, &[]).map(|r| r.index).unwrap();
         let other_key = (0..256u64)
-            .find(|k| ctx.pick("rocket", *k, &[]).map(|r| r.index) != Some(before))
+            .find(|k| ctx.pick(Some("rocket"), *k, &[]).map(|r| r.index) != Some(before))
             .unwrap();
-        let other_before = ctx.pick("rocket", other_key, &[]).map(|r| r.index);
+        let other_before = ctx.pick(Some("rocket"), other_key, &[]).map(|r| r.index);
         ctx.replicas[before].healthy.store(false, Ordering::Relaxed);
-        assert_ne!(ctx.pick("rocket", key, &[]).map(|r| r.index), Some(before));
-        assert_eq!(ctx.pick("rocket", other_key, &[]).map(|r| r.index), other_before);
+        assert_ne!(ctx.pick(Some("rocket"), key, &[]).map(|r| r.index), Some(before));
+        assert_eq!(ctx.pick(Some("rocket"), other_key, &[]).map(|r| r.index), other_before);
     }
 
     #[test]

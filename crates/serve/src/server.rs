@@ -30,10 +30,11 @@
 use crate::admission::{Admission, AdmissionConfig};
 use crate::batcher::{BatchConfig, Batcher, SubmitError};
 use crate::faults::{self, FaultPlan};
+use crate::pipelines::PipelineRegistry;
 use crate::proto2;
 use crate::protocol::{
-    decode_series, error_response, overloaded_response, parse_request, predict_response,
-    result_response, throttled_response, Request,
+    augment_response, decode_series, error_response, overloaded_response, parse_request,
+    predict_response, result_response, throttled_response, Request,
 };
 use crate::registry::ModelRegistry;
 use crate::stats::ServerStats;
@@ -56,6 +57,9 @@ pub struct ServerConfig {
     pub faults: Option<Arc<FaultPlan>>,
     /// Optional per-client admission quota (None = admit everything).
     pub admission: Option<AdmissionConfig>,
+    /// Named augmentation pipelines served through the `augment` op
+    /// (None = the op answers "unknown pipeline" for every name).
+    pub pipelines: Option<Arc<PipelineRegistry>>,
 }
 
 impl ServerConfig {
@@ -105,8 +109,10 @@ impl ServerHandle {
 /// accept loop, connection handlers, and batch workers all run on
 /// background threads until [`ServerHandle::shutdown`].
 pub fn serve(registry: ModelRegistry, config: ServerConfig) -> Result<ServerHandle, TsdaError> {
-    if registry.is_empty() {
-        return Err(TsdaError::InvalidParameter("serve needs at least one model".into()));
+    if registry.is_empty() && config.pipelines.as_ref().is_none_or(|p| p.is_empty()) {
+        return Err(TsdaError::InvalidParameter(
+            "serve needs at least one model or augmentation pipeline".into(),
+        ));
     }
     let addr_spec = if config.addr.is_empty() { "127.0.0.1:7878" } else { config.addr.as_str() };
     let listener = TcpListener::bind(addr_spec)
@@ -119,12 +125,14 @@ pub fn serve(registry: ModelRegistry, config: ServerConfig) -> Result<ServerHand
         .map_err(|e| TsdaError::InvalidParameter(format!("set_nonblocking: {e}")))?;
 
     let registry = Arc::new(registry);
+    let pipelines = config.pipelines.unwrap_or_else(|| Arc::new(PipelineRegistry::new()));
     let stats = Arc::new(ServerStats::new());
     let shutdown = Arc::new(AtomicBool::new(false));
     let faults = config.faults.clone();
     let admission = config.admission.map(|c| Arc::new(Admission::new(c)));
     let batcher = Arc::new(Batcher::start(
         Arc::clone(&registry),
+        Arc::clone(&pipelines),
         Arc::clone(&stats),
         config.batch,
         faults.clone(),
@@ -140,6 +148,7 @@ pub fn serve(registry: ModelRegistry, config: ServerConfig) -> Result<ServerHand
                 accept_loop(
                     &listener,
                     &registry,
+                    &pipelines,
                     &stats,
                     &batcher,
                     &shutdown,
@@ -163,6 +172,7 @@ pub fn serve(registry: ModelRegistry, config: ServerConfig) -> Result<ServerHand
 fn accept_loop(
     listener: &TcpListener,
     registry: &Arc<ModelRegistry>,
+    pipelines: &Arc<PipelineRegistry>,
     stats: &Arc<ServerStats>,
     batcher: &Arc<Batcher>,
     shutdown: &Arc<AtomicBool>,
@@ -177,6 +187,7 @@ fn accept_loop(
                 // holds them for the peer's delayed ACK (~40ms).
                 stream.set_nodelay(true).ok();
                 let registry = Arc::clone(registry);
+                let pipelines = Arc::clone(pipelines);
                 let stats = Arc::clone(stats);
                 let batcher = Arc::clone(batcher);
                 let shutdown = Arc::clone(shutdown);
@@ -187,6 +198,7 @@ fn accept_loop(
                         handle_connection(
                             stream,
                             &registry,
+                            &pipelines,
                             &stats,
                             &batcher,
                             &shutdown,
@@ -216,6 +228,7 @@ fn accept_loop(
 /// the per-protocol paths share one signature.
 struct ConnCtx<'a> {
     registry: &'a ModelRegistry,
+    pipelines: &'a PipelineRegistry,
     stats: &'a ServerStats,
     batcher: &'a Batcher,
     faults: Option<&'a FaultPlan>,
@@ -348,9 +361,11 @@ fn answer_buffered_frames(buf: &mut Vec<u8>, writer: &mut TcpStream, ctx: &ConnC
 /// keep-alive connection. On shutdown the handler drains: one final
 /// read pass picks up anything the peer already sent, and every
 /// complete request gets its response before the socket closes.
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     stream: TcpStream,
     registry: &ModelRegistry,
+    pipelines: &PipelineRegistry,
     stats: &ServerStats,
     batcher: &Batcher,
     shutdown: &AtomicBool,
@@ -361,7 +376,7 @@ fn handle_connection(
         .peer_addr()
         .map(|a| a.ip().to_string())
         .unwrap_or_else(|_| "unknown".to_string());
-    let ctx = ConnCtx { registry, stats, batcher, faults, admission, peer };
+    let ctx = ConnCtx { registry, pipelines, stats, batcher, faults, admission, peer };
     let mut reader = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -474,7 +489,7 @@ fn run_predict(model: &str, series: Mts, ctx: &ConnCtx<'_>) -> PredictOutcome {
             stats.shed.fetch_add(1, Ordering::Relaxed);
             return PredictOutcome::Shed { retry_ms };
         }
-        Err(SubmitError::UnknownModel) => {
+        Err(SubmitError::UnknownModel | SubmitError::UnknownPipeline) => {
             stats.errors.fetch_add(1, Ordering::Relaxed);
             return PredictOutcome::Failed(format!("unknown model {model:?}"));
         }
@@ -493,6 +508,82 @@ fn run_predict(model: &str, series: Mts, ctx: &ConnCtx<'_>) -> PredictOutcome {
         Err(_) => {
             stats.errors.fetch_add(1, Ordering::Relaxed);
             PredictOutcome::Failed("server shutting down".to_string())
+        }
+    }
+}
+
+/// How one augment request resolved, protocol-independent. Mirrors
+/// [`PredictOutcome`] but carries the transformed series.
+enum AugmentOutcome {
+    /// The transformed series came back.
+    Series {
+        /// Augmented series, bit-identical to offline execution.
+        series: Mts,
+        /// Batch size the job rode in.
+        batch: usize,
+        /// Server-side latency, microseconds.
+        micros: u64,
+    },
+    /// Bounded-queue (or fault-plan) load shed.
+    Shed {
+        /// Backoff hint, milliseconds.
+        retry_ms: u64,
+    },
+    /// Admission-control refusal.
+    Throttled {
+        /// Backoff hint, milliseconds.
+        retry_ms: u64,
+    },
+    /// Any other refusal, with its message.
+    Failed(String),
+}
+
+/// The shared augment core: admission, pipeline lookup, batched
+/// execution on the pipeline's worker. Counts every outcome in `stats`.
+fn run_augment(
+    pipeline: &str,
+    series: Mts,
+    seed: u64,
+    index: u64,
+    ctx: &ConnCtx<'_>,
+) -> AugmentOutcome {
+    let stats = ctx.stats;
+    stats.requests.fetch_add(1, Ordering::Relaxed);
+    if let Some(adm) = ctx.admission {
+        if let Err(retry_ms) = adm.admit(&ctx.peer) {
+            stats.throttled.fetch_add(1, Ordering::Relaxed);
+            return AugmentOutcome::Throttled { retry_ms };
+        }
+    }
+    if ctx.pipelines.get(pipeline).is_none() {
+        stats.errors.fetch_add(1, Ordering::Relaxed);
+        return AugmentOutcome::Failed(format!("unknown pipeline {pipeline:?}"));
+    }
+    let rx = match ctx.batcher.submit_augment(pipeline, series, seed, index) {
+        Ok(rx) => rx,
+        Err(SubmitError::Overloaded { retry_ms }) => {
+            stats.shed.fetch_add(1, Ordering::Relaxed);
+            return AugmentOutcome::Shed { retry_ms };
+        }
+        Err(SubmitError::UnknownModel | SubmitError::UnknownPipeline) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            return AugmentOutcome::Failed(format!("unknown pipeline {pipeline:?}"));
+        }
+        Err(SubmitError::Closed) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            return AugmentOutcome::Failed("server shutting down".to_string());
+        }
+    };
+    match rx.recv() {
+        Ok(reply) => match reply.result {
+            Ok(series) => {
+                AugmentOutcome::Series { series, batch: reply.batch_size, micros: reply.micros }
+            }
+            Err(msg) => AugmentOutcome::Failed(msg),
+        },
+        Err(_) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            AugmentOutcome::Failed("server shutting down".to_string())
         }
     }
 }
@@ -523,6 +614,24 @@ fn handle_line(line: &str, ctx: &ConnCtx<'_>) -> String {
                 PredictOutcome::Shed { retry_ms } => overloaded_response(id, retry_ms),
                 PredictOutcome::Throttled { retry_ms } => throttled_response(id, retry_ms),
                 PredictOutcome::Failed(msg) => error_response(id, &msg),
+            }
+        }
+        Request::Augment { id, pipeline, seed, index, series } => {
+            let mts = match decode_series(&series) {
+                Ok(s) => s,
+                Err(e) => {
+                    ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    return error_response(id, &format!("bad series: {e}"));
+                }
+            };
+            match run_augment(&pipeline, mts, seed, index, ctx) {
+                AugmentOutcome::Series { series, batch, micros } => {
+                    augment_response(id, &pipeline, &series, batch, micros)
+                }
+                AugmentOutcome::Shed { retry_ms } => overloaded_response(id, retry_ms),
+                AugmentOutcome::Throttled { retry_ms } => throttled_response(id, retry_ms),
+                AugmentOutcome::Failed(msg) => error_response(id, &msg),
             }
         }
         Request::Stats { id } => result_response(id, ctx.stats.snapshot().to_value()),
@@ -569,6 +678,28 @@ fn handle_frame(raw: &[u8], ctx: &ConnCtx<'_>) -> Vec<u8> {
                     retry_ms,
                 ),
                 PredictOutcome::Failed(msg) => {
+                    proto2::encode_reply_error(id, proto2::ErrCode::Error, &msg, 0)
+                }
+            }
+        }
+        proto2::Request2::Augment { id, pipeline, seed, index, series } => {
+            match run_augment(&pipeline, series, seed, index, ctx) {
+                AugmentOutcome::Series { series, batch, micros } => {
+                    proto2::encode_reply_augment(id, &series, batch as u32, micros)
+                }
+                AugmentOutcome::Shed { retry_ms } => proto2::encode_reply_error(
+                    id,
+                    proto2::ErrCode::Overloaded,
+                    "overloaded",
+                    retry_ms,
+                ),
+                AugmentOutcome::Throttled { retry_ms } => proto2::encode_reply_error(
+                    id,
+                    proto2::ErrCode::Throttled,
+                    "throttled",
+                    retry_ms,
+                ),
+                AugmentOutcome::Failed(msg) => {
                     proto2::encode_reply_error(id, proto2::ErrCode::Error, &msg, 0)
                 }
             }

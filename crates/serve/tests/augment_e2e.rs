@@ -1,0 +1,456 @@
+//! End-to-end battery for the served `augment` endpoint: served samples
+//! must be bit-identical to offline [`AugPipeline`] execution over both
+//! protocols, corrupted v2 frames must never come back as silently
+//! different samples (the CRC catches them), faults must not change a
+//! single byte, and killing a replica mid-load through the router must
+//! lose zero augment requests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tsda_augment::declarative::{AugPipeline, PipelineConfig};
+use tsda_core::Mts;
+use tsda_datasets::ts_format::format_series_line;
+use tsda_serve::batcher::BatchConfig;
+use tsda_serve::client::{augment_line, Proto, RetryPolicy, RetryingClient};
+use tsda_serve::faults::FaultPlan;
+use tsda_serve::pipelines::PipelineRegistry;
+use tsda_serve::proto2::{self, Request2};
+use tsda_serve::protocol::{parse_response, Response};
+use tsda_serve::registry::ModelRegistry;
+use tsda_serve::router::{ReplicaSpec, RoutePolicy, Router, RouterConfig};
+use tsda_serve::server::{serve, ServerConfig, ServerHandle};
+
+const SEED: u64 = 42;
+
+/// Nonzero chaos seed: `TSDA_FAULT_SEED` when set, 7 otherwise.
+fn fault_seed() -> u64 {
+    std::env::var("TSDA_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&s| s != 0)
+        .unwrap_or(7)
+}
+
+/// The committed fleet config — the exact TOML CI serves.
+fn pipelines_toml() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../pipelines.toml");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// Offline ground truth: the same TOML built into executable pipelines.
+fn offline_pipelines() -> Vec<AugPipeline> {
+    let cfg = PipelineConfig::parse(&pipelines_toml()).expect("committed config parses");
+    AugPipeline::from_config(&cfg).expect("committed config builds")
+}
+
+/// Deterministic synthetic inputs (closed-form, no RNG) with mixed
+/// dims/lengths so shape-dependent techniques are exercised.
+fn fixture_series(n: usize) -> Vec<Mts> {
+    (0..n)
+        .map(|i| {
+            let n_dims = 1 + i % 3;
+            let len = 24 + 8 * (i % 2);
+            let dims: Vec<Vec<f64>> = (0..n_dims)
+                .map(|d| {
+                    (0..len)
+                        .map(|t| {
+                            let x = t as f64 * 0.31 + d as f64;
+                            (x + i as f64 * 0.17).sin() * (1.5 + d as f64) + x * 0.04
+                        })
+                        .collect()
+                })
+                .collect();
+            Mts::from_dims(dims)
+        })
+        .collect()
+}
+
+/// A server with no models but the committed pipelines loaded — the
+/// augment endpoint needs nothing else.
+fn augment_server(faults: Option<Arc<FaultPlan>>) -> ServerHandle {
+    let registry = PipelineRegistry::from_toml(&pipelines_toml()).expect("registry builds");
+    serve(
+        ModelRegistry::new(),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            batch: BatchConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(10),
+                ..BatchConfig::default()
+            },
+            faults,
+            pipelines: Some(Arc::new(registry)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts")
+}
+
+/// Send every NDJSON line, then read every response (pipelining).
+fn pipeline(addr: &str, lines: &[String]) -> Vec<Response> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    for line in lines {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+    }
+    writer.flush().unwrap();
+    let mut responses = Vec::with_capacity(lines.len());
+    for _ in 0..lines.len() {
+        let mut reply = String::new();
+        assert!(reader.read_line(&mut reply).unwrap() > 0, "server closed early");
+        responses.push(parse_response(reply.trim_end()).expect("parse response"));
+    }
+    responses
+}
+
+/// Pipeline over protocol v2: preamble, every frame, then the replies.
+fn pipeline_v2(addr: &str, requests: &[Request2]) -> Vec<Response> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writer.write_all(&proto2::PREAMBLE).unwrap();
+    for req in requests {
+        writer.write_all(&proto2::encode_request(req)).unwrap();
+    }
+    writer.flush().unwrap();
+    read_replies(&mut reader, requests.len())
+}
+
+fn read_replies(reader: &mut impl Read, n: usize) -> Vec<Response> {
+    let mut responses = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut len_bytes = [0u8; 4];
+        reader.read_exact(&mut len_bytes).expect("reply length");
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        assert!((5..=proto2::MAX_FRAME).contains(&len), "reply frame length {len}");
+        let mut raw = vec![0u8; len];
+        reader.read_exact(&mut raw).expect("reply frame");
+        let body = proto2::check_frame(&raw).expect("reply frame intact");
+        responses.push(proto2::decode_reply(body).expect("decode reply"));
+    }
+    responses
+}
+
+/// Served augment == offline `AugPipeline`, bit for bit, over both
+/// protocols, for every committed pipeline — and the aug lane batches.
+#[test]
+fn served_augment_matches_offline_on_both_protocols() {
+    let handle = augment_server(None);
+    let addr = handle.addr().to_string();
+    let series = fixture_series(10);
+
+    for pipe in offline_pipelines() {
+        let name = pipe.name().to_string();
+        let expected: Vec<Mts> = series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| pipe.apply_one(s, SEED, i as u64))
+            .collect();
+
+        // NDJSON: one pipelined burst per pipeline.
+        let lines: Vec<String> = series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                augment_line(i as u64, &name, SEED, i as u64, &format_series_line(s))
+            })
+            .collect();
+        for (i, r) in pipeline(&addr, &lines).iter().enumerate() {
+            assert!(r.ok, "{name} ndjson request {i} failed: {:?}", r.error);
+            assert_eq!(r.id, i as u64, "responses out of order");
+            assert_eq!(
+                r.series.as_ref(),
+                Some(&expected[i]),
+                "{name} sample {i}: ndjson served series diverged from offline"
+            );
+        }
+
+        // Protocol v2: same contract, binary framing.
+        let requests: Vec<Request2> = series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Request2::Augment {
+                id: 100 + i as u64,
+                pipeline: name.clone(),
+                seed: SEED,
+                index: i as u64,
+                series: s.clone(),
+            })
+            .collect();
+        for (i, r) in pipeline_v2(&addr, &requests).iter().enumerate() {
+            assert!(r.ok, "{name} v2 request {i} failed: {:?}", r.error);
+            assert_eq!(r.id, 100 + i as u64, "responses out of order");
+            assert_eq!(
+                r.series.as_ref(),
+                Some(&expected[i]),
+                "{name} sample {i}: v2 served series diverged from offline"
+            );
+        }
+    }
+
+    // The aug lane coalesces: requests within one connection are served
+    // in order, so batching is only observable across concurrent
+    // connections — three clients bursting the same pipeline must see a
+    // batch bigger than one, and stay bit-identical to offline.
+    let pipe = Arc::new(offline_pipelines().remove(0));
+    let series = Arc::new(series);
+    let mut workers = Vec::new();
+    for worker in 0..3usize {
+        let addr = addr.clone();
+        let pipe = Arc::clone(&pipe);
+        let series = Arc::clone(&series);
+        workers.push(std::thread::spawn(move || -> usize {
+            let lines: Vec<String> = series
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    augment_line(
+                        (worker * 1000 + i) as u64,
+                        pipe.name(),
+                        SEED,
+                        i as u64,
+                        &format_series_line(s),
+                    )
+                })
+                .collect();
+            let mut max_batch = 0;
+            for (i, r) in pipeline(&addr, &lines).iter().enumerate() {
+                assert!(r.ok, "worker {worker} request {i} failed: {:?}", r.error);
+                assert_eq!(
+                    r.series.as_ref(),
+                    Some(&pipe.apply_one(&series[i], SEED, i as u64)),
+                    "worker {worker} sample {i}: concurrent augment diverged from offline"
+                );
+                max_batch = max_batch.max(r.batch.unwrap_or(1));
+            }
+            max_batch
+        }));
+    }
+    let max_batch = workers.into_iter().map(|w| w.join().unwrap()).max().unwrap();
+    assert!(max_batch > 1, "aug lane never coalesced (max batch {max_batch})");
+
+    // Unknown pipelines are typed refusals on both protocols.
+    let bad = pipeline(
+        &addr,
+        &[augment_line(7, "nope", SEED, 0, &format_series_line(&series[0]))],
+    );
+    assert!(!bad[0].ok && bad[0].error.as_ref().unwrap().contains("unknown pipeline"));
+    let bad = pipeline_v2(
+        &addr,
+        &[Request2::Augment {
+            id: 8,
+            pipeline: "nope".into(),
+            seed: SEED,
+            index: 0,
+            series: series[0].clone(),
+        }],
+    );
+    assert!(!bad[0].ok && bad[0].error.as_ref().unwrap().contains("unknown pipeline"));
+
+    handle.shutdown();
+}
+
+/// CRC contract: flipping any single byte of an augment frame's
+/// CRC-covered region (body + checksum — everything after the length
+/// prefix) is always answered with an error, never a silently different
+/// sample, and the stream stays usable afterwards.
+#[test]
+fn corrupted_augment_frames_are_rejected_never_rewritten() {
+    let handle = augment_server(None);
+    let addr = handle.addr().to_string();
+    let series = fixture_series(1).remove(0);
+    let pipe = offline_pipelines().remove(0);
+    let expected = pipe.apply_one(&series, SEED, 3);
+
+    let good = proto2::encode_request(&Request2::Augment {
+        id: 1,
+        pipeline: pipe.name().to_string(),
+        seed: SEED,
+        index: 3,
+        series: series.clone(),
+    });
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writer.write_all(&proto2::PREAMBLE).unwrap();
+
+    // Every byte position after the length prefix, every one a fresh
+    // single-byte corruption on the same live connection.
+    let positions: Vec<usize> = (4..good.len()).collect();
+    for &pos in &positions {
+        let mut bad = good.clone();
+        bad[pos] ^= 0x41;
+        writer.write_all(&bad).unwrap();
+    }
+    // Then one intact frame: the stream must still be in sync.
+    writer.write_all(&good).unwrap();
+    writer.flush().unwrap();
+
+    let replies = read_replies(&mut reader, positions.len() + 1);
+    for (k, r) in replies[..positions.len()].iter().enumerate() {
+        assert!(
+            !r.ok,
+            "corrupting byte {} was served as ok — CRC failed to catch it",
+            positions[k]
+        );
+        assert!(r.series.is_none(), "corrupted frame returned a series");
+    }
+    let last = &replies[positions.len()];
+    assert!(last.ok, "intact frame after corruption storm failed: {:?}", last.error);
+    assert_eq!(
+        last.series.as_ref(),
+        Some(&expected),
+        "series after corruption storm diverged from offline"
+    );
+
+    handle.shutdown();
+}
+
+/// Chaos: under a nonzero fault seed (drops, torn writes, corruption,
+/// stalls, sheds), retrying clients on both protocols lose zero augment
+/// requests and every served sample stays bit-identical to offline.
+#[test]
+fn augment_under_faults_stays_bit_identical_with_zero_lost_requests() {
+    let seed = fault_seed();
+    let plan = Arc::new(FaultPlan::seeded(seed));
+    let handle = augment_server(Some(Arc::clone(&plan)));
+    let addr = handle.addr().to_string();
+    let series = Arc::new(fixture_series(8));
+    let pipes = Arc::new(offline_pipelines());
+    let names: Vec<String> = pipes.iter().map(|p| p.name().to_string()).collect();
+
+    const CLIENTS: usize = 4;
+    const REQUESTS: usize = 40;
+    let policy = RetryPolicy { max_attempts: 16, jitter_seed: seed, ..RetryPolicy::default() };
+    let mut workers = Vec::new();
+    for worker in 0..CLIENTS {
+        let addr = addr.clone();
+        let series = Arc::clone(&series);
+        let pipes = Arc::clone(&pipes);
+        let names = names.clone();
+        let proto = if worker % 2 == 0 { Proto::V2 } else { Proto::Ndjson };
+        workers.push(std::thread::spawn(move || -> u64 {
+            let mut client =
+                RetryingClient::new_proto(addr, policy, &format!("aug-chaos-{worker}"), proto);
+            for i in 0..REQUESTS {
+                let g = worker * REQUESTS + i;
+                let p = g % pipes.len();
+                let s = &series[g % series.len()];
+                let index = g as u64;
+                let reply = client
+                    .augment_mts(g as u64, &names[p], SEED, index, s)
+                    .unwrap_or_else(|e| panic!("augment request {g} lost: {e}"));
+                assert!(reply.ok, "request {g} refused after retries: {:?}", reply.error);
+                assert_eq!(
+                    reply.series.as_ref(),
+                    Some(&pipes[p].apply_one(s, SEED, index)),
+                    "request {g} ({}, index {index}): faults changed the served sample",
+                    names[p]
+                );
+            }
+            client.counters().retries
+        }));
+    }
+    let retries: u64 = workers.into_iter().map(|w| w.join().expect("chaos client")).sum();
+
+    assert!(plan.injected_total() > 0, "no faults injected: {}", plan.summary());
+    // With drops and corruption in the schedule something must have
+    // needed a second attempt; zero retries means the plan was a no-op.
+    assert!(retries > 0, "faults fired but no augment client ever retried");
+    handle.shutdown();
+}
+
+/// Router chaos: two replicas serving the same pipelines.toml, a kill
+/// mid-load, and zero lost or rewritten augment requests — relayed
+/// frames are forwarded verbatim, so bit-identity survives failover.
+#[test]
+fn router_kill_replica_mid_augment_load_loses_nothing() {
+    let replica_a = augment_server(None);
+    let replica_b = augment_server(None);
+    let external = |addr: String| ReplicaSpec::External { addr, models: Vec::new() };
+    let handle = Router::start(RouterConfig {
+        replicas: vec![
+            external(replica_a.addr().to_string()),
+            external(replica_b.addr().to_string()),
+        ],
+        policy: RoutePolicy::Hash,
+        ..RouterConfig::default()
+    })
+    .expect("router starts");
+    let addr = handle.addr().to_string();
+
+    let series = Arc::new(fixture_series(8));
+    let pipes = Arc::new(offline_pipelines());
+    let names: Vec<String> = pipes.iter().map(|p| p.name().to_string()).collect();
+
+    const WORKERS: usize = 3;
+    const REQUESTS: usize = 40;
+    let completed = Arc::new(AtomicUsize::new(0));
+    let mut workers = Vec::new();
+    for worker in 0..WORKERS {
+        let addr = addr.clone();
+        let series = Arc::clone(&series);
+        let pipes = Arc::clone(&pipes);
+        let names = names.clone();
+        let completed = Arc::clone(&completed);
+        let proto = if worker % 2 == 0 { Proto::V2 } else { Proto::Ndjson };
+        workers.push(std::thread::spawn(move || {
+            let mut client = RetryingClient::new_proto(
+                addr,
+                RetryPolicy {
+                    max_attempts: 16,
+                    timeout: Duration::from_secs(10),
+                    jitter_seed: worker as u64,
+                    ..RetryPolicy::default()
+                },
+                &format!("aug-kill-{worker}"),
+                proto,
+            );
+            for i in 0..REQUESTS {
+                let g = worker * REQUESTS + i;
+                let p = g % pipes.len();
+                let s = &series[g % series.len()];
+                let index = g as u64;
+                let reply = client
+                    .augment_mts(g as u64, &names[p], SEED, index, s)
+                    .expect("augment request must survive the replica kill");
+                assert!(reply.ok, "worker {worker} request {i} failed: {:?}", reply.error);
+                assert_eq!(
+                    reply.series.as_ref(),
+                    Some(&pipes[p].apply_one(s, SEED, index)),
+                    "worker {worker} request {i}: failover changed the served sample"
+                );
+                completed.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }));
+    }
+
+    // Kill replica A once the load is demonstrably in flight.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while completed.load(Ordering::Relaxed) < 10 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(completed.load(Ordering::Relaxed) >= 10, "load never got going");
+    replica_a.shutdown();
+
+    for w in workers {
+        w.join().expect("no worker may lose an augment request");
+    }
+    assert_eq!(completed.load(Ordering::Relaxed), WORKERS * REQUESTS);
+
+    handle.shutdown();
+    replica_b.shutdown();
+}

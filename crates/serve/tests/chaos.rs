@@ -83,6 +83,7 @@ fn chaos_server(plan: Arc<FaultPlan>) -> (ServerHandle, Vec<Label>, Dataset) {
             },
             faults: Some(plan),
             admission: None,
+            ..ServerConfig::default()
         },
     )
     .expect("server starts");
