@@ -3,8 +3,12 @@
 //! ```text
 //! tsda_analyze [--root DIR] [--config FILE] [--format text|json|sarif]
 //!              [--baseline FILE] [--write-baseline FILE]
-//!              [--explain RULE] [--verbose]
+//!              [--explain RULE] [--fix-stale] [--verbose]
 //! ```
+//!
+//! `--fix-stale` rewrites the config file in place, deleting every
+//! `[[allow]]` block the run reported as unused (stale) while leaving
+//! all other lines — comments included — byte-for-byte intact.
 //!
 //! Exit codes (stable, for CI):
 //!
@@ -30,6 +34,7 @@ struct Args {
     format: Format,
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
+    fix_stale: bool,
     verbose: bool,
 }
 
@@ -40,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
         format: Format::Text,
         baseline: None,
         write_baseline: None,
+        fix_stale: false,
         verbose: false,
     };
     let mut it = std::env::args().skip(1);
@@ -75,13 +81,14 @@ fn parse_args() -> Result<Args, String> {
                     )),
                 };
             }
+            "--fix-stale" => args.fix_stale = true,
             "--verbose" | "-v" => args.verbose = true,
             "--help" | "-h" => {
                 println!(
                     "usage: tsda_analyze [--root DIR] [--config FILE] \
                      [--format text|json|sarif]\n\
                      \x20                   [--baseline FILE] [--write-baseline FILE] \
-                     [--explain RULE] [--verbose]\n\
+                     [--explain RULE] [--fix-stale] [--verbose]\n\
                      exit codes: 0 clean, 1 findings, 2 usage/config error\n\
                      rules: {}",
                     docs::RULE_DOCS.iter().map(|d| d.id).collect::<Vec<_>>().join(", ")
@@ -118,6 +125,22 @@ fn run() -> Result<bool, String> {
         .map_err(|e| format!("read config {}: {e}", cfg_path.display()))?;
     let cfg = Config::parse(&text).map_err(|e| format!("{}: {e}", cfg_path.display()))?;
     let mut report = tsda_analyze::analyze(&args.root, &cfg)?;
+
+    if args.fix_stale {
+        if report.unused_allow.is_empty() {
+            println!("no stale allowlist entries in {}", cfg_path.display());
+        } else {
+            let pruned = tsda_analyze::config::prune_stale(&text, &report.unused_allow);
+            std::fs::write(&cfg_path, &pruned)
+                .map_err(|e| format!("write config {}: {e}", cfg_path.display()))?;
+            println!(
+                "pruned {} stale allowlist entrie(s) from {}",
+                report.unused_allow.len(),
+                cfg_path.display()
+            );
+            report.unused_allow.clear();
+        }
+    }
 
     if let Some(path) = &args.write_baseline {
         let body = baseline::write(&report.findings);

@@ -14,11 +14,21 @@
 //!   such a call, so dropping it loses nothing.
 //! * turbofish calls (`f::<T>(..)`) — only generic functions.
 //! * `Type::method(..)` — only functions whose `impl`/`trait` owner is
-//!   `Type` (falls back to all `method` definitions when `Type` is not
-//!   a workspace owner, e.g. `f64::from_bits`).
+//!   `Type`; `Self::method(..)` — only the calling fn's own owner.
+//!   A qualifier naming a well-known std container/primitive
+//!   (`Vec::new`, `Box::new`, `String::from`, ...) resolves to no
+//!   workspace function at all — without this, every `Vec::new()`
+//!   in the tree would edge into every workspace fn named `new`.
+//!   Other non-owner qualifiers (module paths, generic params) fall
+//!   back to all `method` definitions, e.g. `f64::from_bits`.
 //! * `.method(..)` — every workspace function named `method` that has
 //!   an owner *and* a `self` receiver (method-call syntax can invoke
 //!   neither a free fn nor a receiver-less associated fn).
+//! * trait-object receivers — a method call whose receiver is an
+//!   unambiguous `dyn Trait`-typed slot (struct field, `let`
+//!   ascription, or fn param) resolves only to implementors of that
+//!   trait admitted by the workspace coercion census, plus the trait's
+//!   own default methods (see [`crate::traitobj`]).
 //! * container-local receivers — a method call whose receiver is a
 //!   local provably bound to a std container in every binding
 //!   (`let mut dims = Vec::new(); ... dims.push(x)`), or a literal,
@@ -40,6 +50,18 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Stable function id: index into [`CallGraph::fns`].
 pub type FnId = usize;
+
+/// Std types whose associated-fn calls (`Vec::new`, `Box::new`, ...)
+/// never land in workspace code. Only consulted when the qualifier is
+/// not a workspace owner, so a workspace type shadowing one of these
+/// names still resolves normally.
+const STD_QUALIFIERS: &[&str] = &[
+    "Arc", "AtomicBool", "AtomicU32", "AtomicU64", "AtomicUsize", "BTreeMap", "BTreeSet",
+    "BinaryHeap", "Box", "Cell", "Condvar", "Cow", "Duration", "HashMap", "HashSet", "Instant",
+    "LazyLock", "Mutex", "OnceCell", "OnceLock", "Option", "OsString", "Path", "PathBuf", "Rc",
+    "RefCell", "Result", "RwLock", "String", "SystemTime", "TcpListener", "TcpStream", "Vec",
+    "VecDeque",
+];
 
 /// One resolved call edge.
 #[derive(Debug, Clone, Copy)]
@@ -94,6 +116,7 @@ impl CallGraph {
                 None => BTreeSet::new(),
             })
             .collect();
+        let tobj = crate::traitobj::TraitObjects::collect(files, &fns);
 
         let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); fns.len()];
         for (id, f) in fns.iter().enumerate() {
@@ -138,19 +161,47 @@ impl CallGraph {
                     .filter(|&c| !call.is_method || fns[c].has_self)
                     .collect();
                 let narrowed: Vec<FnId> = if let Some(q) = &call.qualifier {
-                    if owner_names.contains(q.as_str()) {
+                    if q == "Self" {
+                        candidates
+                            .iter()
+                            .copied()
+                            .filter(|&c| fns[c].owner.is_some() && fns[c].owner == f.owner)
+                            .collect()
+                    } else if owner_names.contains(q.as_str()) {
                         candidates
                             .iter()
                             .copied()
                             .filter(|&c| fns[c].owner.as_deref() == Some(q.as_str()))
                             .collect()
+                    } else if STD_QUALIFIERS.contains(&q.as_str()) {
+                        // `Vec::new(..)` etc. can only be the std type:
+                        // the workspace defines no owner by that name.
+                        Vec::new()
                     } else {
                         // `f64::from_bits`-style std qualifier, or a
                         // module path: keep every candidate.
                         candidates
                     }
                 } else if call.is_method {
-                    candidates.iter().copied().filter(|&c| fns[c].owner.is_some()).collect()
+                    match file.and_then(|s| tobj.narrow(&s.toks, call)) {
+                        // `dyn Trait` slot receiver: only admitted
+                        // implementors and the trait's default methods.
+                        Some((tr, admitted)) => candidates
+                            .iter()
+                            .copied()
+                            .filter(|&c| {
+                                let owner = fns[c].owner.as_deref();
+                                (fns[c].impl_trait.as_deref() == Some(tr)
+                                    && owner.is_some_and(|o| admitted.contains(o)))
+                                    || (fns[c].owner_is_trait && owner == Some(tr))
+                            })
+                            .collect(),
+                        None => candidates
+                            .iter()
+                            .copied()
+                            .filter(|&c| fns[c].owner.is_some())
+                            .collect(),
+                    }
                 } else {
                     let same_crate: Vec<FnId> = candidates
                         .iter()
@@ -314,6 +365,39 @@ mod tests {
     }
 
     #[test]
+    fn std_qualifiers_resolve_to_nothing() {
+        // `Vec::new()` can only be the std type; it must not edge into
+        // a workspace `new` on some unrelated owner.
+        let files = vec![file(
+            "a",
+            "pub struct Eig;\n\
+             impl Eig { pub fn new() { boom() } }\n\
+             fn boom() {}\n\
+             pub fn go() { let _v: Vec<u8> = Vec::new(); }\n",
+        )];
+        let g = CallGraph::build(&files);
+        let parents = g.reach_with_parents(&[id(&g, "a::go")]);
+        assert!(!parents.contains_key(&id(&g, "a::Eig::new")));
+        assert!(!parents.contains_key(&id(&g, "a::boom")));
+    }
+
+    #[test]
+    fn self_qualified_calls_resolve_to_the_calling_fns_owner() {
+        let files = vec![file(
+            "a",
+            "pub struct X; pub struct Y;\n\
+             impl X { pub fn make() {} pub fn go() { Self::make(); } }\n\
+             impl Y { pub fn make() { boom() } }\n\
+             fn boom() {}\n",
+        )];
+        let g = CallGraph::build(&files);
+        let parents = g.reach_with_parents(&[id(&g, "a::X::go")]);
+        assert!(parents.contains_key(&id(&g, "a::X::make")));
+        assert!(!parents.contains_key(&id(&g, "a::Y::make")));
+        assert!(!parents.contains_key(&id(&g, "a::boom")));
+    }
+
+    #[test]
     fn dependency_closure_prunes_unlinkable_crates() {
         // `a` depends on `b` only; an unqualified method call in `a`
         // must not resolve into `c`, which `a` could never link.
@@ -378,6 +462,45 @@ mod tests {
         assert!(parents.contains_key(&id(&g, "a::lex")), "generic fns stay turbofish-callable");
         let parents = g.reach_with_parents(&[id(&g, "a::go_plain")]);
         assert!(parents.contains_key(&id(&g, "a::Reader::parse")));
+    }
+
+    #[test]
+    fn dyn_slot_calls_narrow_to_coerced_implementors() {
+        let files = vec![file(
+            "a",
+            "pub trait Step { fn apply(&self, x: u8) -> u8; }\n\
+             pub struct Fast; pub struct Cold;\n\
+             impl Step for Fast { fn apply(&self, x: u8) -> u8 { x } }\n\
+             impl Step for Cold { fn apply(&self, x: u8) -> u8 { cold_helper(); x } }\n\
+             fn cold_helper() {}\n\
+             pub struct Stage { pub choose: Vec<Box<dyn Step>> }\n\
+             pub fn build() -> Stage { Stage { choose: vec![Box::new(Fast)] } }\n\
+             pub fn go(s: &Stage) -> u8 { s.choose[0].apply(1) }\n",
+        )];
+        let g = CallGraph::build(&files);
+        let parents = g.reach_with_parents(&[id(&g, "a::go")]);
+        // Only `Fast` is coerced into `dyn Step` anywhere in the
+        // workspace, so `Cold::apply` (and its helper) drop out.
+        assert!(parents.contains_key(&id(&g, "a::Fast::apply")));
+        assert!(!parents.contains_key(&id(&g, "a::Cold::apply")));
+        assert!(!parents.contains_key(&id(&g, "a::cold_helper")));
+    }
+
+    #[test]
+    fn dyn_narrowing_keeps_trait_default_methods() {
+        let files = vec![file(
+            "a",
+            "pub trait Step { fn apply(&self) { default_helper() } fn id(&self) -> u8; }\n\
+             fn default_helper() {}\n\
+             pub struct Fast;\n\
+             impl Step for Fast { fn id(&self) -> u8 { 1 } }\n\
+             pub fn build() -> Box<dyn Step> { Box::new(Fast) }\n\
+             pub fn go(s: &Box<dyn Step>) { s.apply() }\n",
+        )];
+        let g = CallGraph::build(&files);
+        let parents = g.reach_with_parents(&[id(&g, "a::go")]);
+        assert!(parents.contains_key(&id(&g, "a::Step::apply")));
+        assert!(parents.contains_key(&id(&g, "a::default_helper")));
     }
 
     #[test]

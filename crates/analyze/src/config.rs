@@ -35,6 +35,11 @@
 //! [rules.R4]
 //! crates = ["core", ...]     # crates checked for unpinned reductions
 //!
+//! [rules.A1]
+//! crates = ["serve", ...]    # scratch-disciplined crates: hot-reachable
+//!                            # fns may only allocate through Scratch
+//!                            # receivers
+//!
 //! [rules.L1]
 //! crates = ["serve", ...]    # crates whose guards feed the lock-order graph
 //!
@@ -103,6 +108,11 @@ pub struct Config {
     /// Crates whose library code R4 checks for unpinned float
     /// reductions (the result-producing crates).
     pub r4_crates: Vec<String>,
+    /// Scratch-disciplined crates: A1 bans `Vec::new`/`with_capacity`/
+    /// `.to_vec()`/`.clone()`/`format!`/`Box::new` in hot-reachable fns
+    /// of these crates unless the site goes through a `Scratch`-typed
+    /// receiver.
+    pub a1_crates: Vec<String>,
     /// Crates whose lock acquisitions feed the L1 lock-order graph
     /// (the concurrent crates — summaries still cover the whole graph).
     pub l1_crates: Vec<String>,
@@ -210,6 +220,7 @@ impl Config {
                 ("rules.R1.roots", TomlValue::Array(v)) => cfg.r1_roots = v,
                 ("rules.R2.crates", TomlValue::Array(v)) => cfg.r2_crates = v,
                 ("rules.R4.crates", TomlValue::Array(v)) => cfg.r4_crates = v,
+                ("rules.A1.crates", TomlValue::Array(v)) => cfg.a1_crates = v,
                 ("rules.L1.crates", TomlValue::Array(v)) => cfg.l1_crates = v,
                 ("rules.L2.crates", TomlValue::Array(v)) => cfg.l2_crates = v,
                 ("rules.T1.paths", TomlValue::Array(v)) => cfg.t1_paths = v,
@@ -226,6 +237,62 @@ impl Config {
         }
         Ok(cfg)
     }
+}
+
+/// Rewrite config text with the given stale `[[allow]]` entries
+/// removed (the `--fix-stale` flag). A block runs from its `[[allow]]`
+/// header line to the line before the next `[`-header or EOF; a block
+/// is dropped when its rule/path/contains triple equals a stale
+/// entry's. Every other line — comments, ordering, formatting — is
+/// preserved verbatim.
+pub fn prune_stale(text: &str, stale: &[AllowEntry]) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    let is_header = |l: &str| strip_comment(l).trim().starts_with('[');
+    let mut out = String::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let stripped = strip_comment(lines[i]).trim().to_string();
+        if stripped != "[[allow]]" {
+            out.push_str(lines[i]);
+            out.push('\n');
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < lines.len() && !is_header(lines[j]) {
+            j += 1;
+        }
+        // Identity of this block: its rule/path/contains values.
+        let mut rule = String::new();
+        let mut path = String::new();
+        let mut contains = String::new();
+        for l in &lines[i + 1..j] {
+            let l = strip_comment(l).trim().to_string();
+            if let Some((key, TomlValue::Str(v))) =
+                l.split_once('=').and_then(|(k, rest)| {
+                    parse_value(rest.trim(), 0).ok().map(|v| (k.trim().to_string(), v))
+                })
+            {
+                match key.as_str() {
+                    "rule" => rule = v,
+                    "path" => path = v,
+                    "contains" => contains = v,
+                    _ => {}
+                }
+            }
+        }
+        let drop = stale
+            .iter()
+            .any(|s| s.rule == rule && s.path == path && s.contains == contains);
+        if !drop {
+            for l in &lines[i..j] {
+                out.push_str(l);
+                out.push('\n');
+            }
+        }
+        i = j;
+    }
+    out
 }
 
 /// Strip a trailing `#` comment, respecting `"..."` strings.
@@ -426,5 +493,45 @@ mod tests {
     #[test]
     fn default_scan_root() {
         assert_eq!(Config::parse("").expect("empty ok").scan, vec!["crates"]);
+    }
+
+    #[test]
+    fn prune_stale_drops_only_matching_blocks() {
+        let text = "\
+# keep this comment\n\
+[rules.P1]\n\
+crates = [\"core\"]\n\
+\n\
+[[allow]]\n\
+rule = \"P1\"  # justified\n\
+path = \"crates/core/src/parallel.rs\"\n\
+contains = \"every slot\"\n\
+reason = \"infallible by construction\"\n\
+\n\
+[[allow]]\n\
+rule = \"R3\"\n\
+path = \"crates/signal/src\"\n\
+reason = \"gone stale\"\n\
+\n\
+[[allow]]\n\
+rule = \"D1\"\n\
+path = \"crates/serve/src\"\n\
+reason = \"batching timers\"\n";
+        let stale = vec![AllowEntry {
+            rule: "R3".into(),
+            path: "crates/signal/src".into(),
+            contains: String::new(),
+            reason: "gone stale".into(),
+        }];
+        let pruned = prune_stale(text, &stale);
+        assert!(pruned.contains("# keep this comment"));
+        assert!(pruned.contains("every slot"), "{pruned}");
+        assert!(!pruned.contains("signal"), "{pruned}");
+        let cfg = Config::parse(&pruned).expect("pruned config still parses");
+        assert_eq!(cfg.allow.len(), 2);
+        assert_eq!(cfg.allow[0].rule, "P1");
+        assert_eq!(cfg.allow[1].rule, "D1");
+        // No stale entries: text unchanged.
+        assert_eq!(prune_stale(text, &[]), text);
     }
 }

@@ -44,6 +44,7 @@ pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod sarif;
+pub mod traitobj;
 pub mod workspace;
 
 use config::Config;

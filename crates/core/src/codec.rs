@@ -235,6 +235,23 @@ impl ByteWriter {
         Self::default()
     }
 
+    /// Resume writing at the end of an existing buffer, so encoders can
+    /// reuse one allocation across messages (pair with
+    /// [`Self::into_bytes`] to hand the buffer back).
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Self(buf)
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
     /// Consume into the accumulated bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.0

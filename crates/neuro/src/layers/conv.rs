@@ -22,8 +22,17 @@ use super::Layer;
 use crate::init::he_uniform;
 use crate::tensor::Tensor;
 use rand::Rng;
+use std::cell::RefCell;
 use tsda_core::parallel::Pool;
 use tsda_linalg::gemm::{gemm_acc_f32, gemm_nt_acc_f32, gemm_tn_f32};
+
+thread_local! {
+    // Per-worker im2col column scratch, reused across batches and
+    // requests: pool threads are long-lived, so after each worker's
+    // first pass at a given size the forward hot path performs no
+    // im2col allocation at all.
+    static COL_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// 1-D convolution, stride 1, odd kernel, zero "same" padding.
 /// Input `[batch, in_ch, T]` → output `[batch, out_ch, T]`.
@@ -144,10 +153,12 @@ impl Conv1d {
 }
 
 impl Layer for Conv1d {
-    // Hot path (`tsda_analyze` R3): the per-batch im2col scratch and
-    // output tensor are the only tolerated (allowlisted) allocations.
+    // Hot path (`tsda_analyze` R3 + A1): the only steady-state
+    // allocation is the escaping output tensor — im2col columns come
+    // from the per-worker scratch, and the backward cache is only
+    // refreshed (in place) when training.
     #[doc(alias = "tsda::hot")]
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         assert_eq!(x.shape().len(), 3, "Conv1d expects [batch, ch, time]");
         assert_eq!(x.shape()[1], self.in_ch, "Conv1d channel mismatch");
         let n = x.shape()[0];
@@ -160,16 +171,24 @@ impl Layer for Conv1d {
         // `[out_ch, T]` output slices, so any thread count produces the
         // same bits. Nested pool calls inside the GEMM go serial.
         Pool::global().par_chunks_mut(out.data_mut(), this.out_ch * t_len, |b, out_b| {
-            let mut col = vec![0.0f32; ick * t_len];
-            this.im2col(&x_data[b * this.in_ch * t_len..(b + 1) * this.in_ch * t_len], t_len, &mut col);
-            if this.use_bias {
-                for (oc, row) in out_b.chunks_mut(t_len).enumerate() {
-                    row.fill(this.b[oc]);
+            COL_SCRATCH.with(|cell| {
+                let mut col = cell.borrow_mut();
+                col.resize(ick * t_len, 0.0);
+                this.im2col(&x_data[b * this.in_ch * t_len..(b + 1) * this.in_ch * t_len], t_len, &mut col);
+                if this.use_bias {
+                    for (oc, row) in out_b.chunks_mut(t_len).enumerate() {
+                        row.fill(this.b[oc]);
+                    }
                 }
-            }
-            gemm_acc_f32(this.out_ch, ick, t_len, &this.w, &col, out_b);
+                gemm_acc_f32(this.out_ch, ick, t_len, &this.w, &col, out_b);
+            });
         });
-        self.cached_x = Some(x.clone());
+        if train {
+            // Reuse the cache tensor's buffers; inference never copies.
+            self.cached_x.get_or_insert_with(Tensor::default).copy_from(x);
+        } else {
+            self.cached_x = None;
+        }
         out
     }
 

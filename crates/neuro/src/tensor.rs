@@ -4,7 +4,7 @@
 //! (`[batch, features]`) and rank 3 (`[batch, channels, time]`).
 
 /// Dense row-major `f32` tensor.
-#[derive(Clone, PartialEq)]
+#[derive(Clone, Default, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,
@@ -14,7 +14,7 @@ impl Tensor {
     /// All-zeros tensor of the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let n = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![0.0; n] }
+        Self { shape: Vec::from(shape), data: vec![0.0; n] }
     }
 
     /// Build from a flat buffer.
@@ -81,6 +81,16 @@ impl Tensor {
     pub fn at3_mut(&mut self, b: usize, c: usize, t: usize) -> &mut f32 {
         debug_assert_eq!(self.shape.len(), 3);
         &mut self.data[(b * self.shape[1] + c) * self.shape[2] + t]
+    }
+
+    /// Overwrite this tensor with `src`'s shape and data, reusing the
+    /// existing buffers — after the first call at a given size this
+    /// performs no allocation, unlike `clone()`.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.shape.clear();
+        self.shape.extend_from_slice(&src.shape);
+        self.data.resize(src.data.len(), 0.0);
+        self.data.copy_from_slice(&src.data);
     }
 
     /// Reinterpret with a new shape of identical element count.
@@ -193,6 +203,16 @@ mod tests {
     #[should_panic(expected = "reshape element count mismatch")]
     fn reshape_rejects_bad_count() {
         let _ = Tensor::zeros(&[2, 2]).reshape(&[5]);
+    }
+
+    #[test]
+    fn copy_from_reuses_capacity() {
+        let src = Tensor::from_flat(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let mut dst = Tensor::zeros(&[3, 3]);
+        let cap = dst.data.capacity();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.data.capacity(), cap, "shrinking copy must not reallocate");
     }
 
     #[test]

@@ -17,21 +17,44 @@
 //! latency collapse. A [`FaultPlan`](crate::faults::FaultPlan) can
 //! additionally shed submits and stall workers to prove the path works.
 //!
-//! Shutdown: workers drain until every queue sender is dropped, so a
-//! server shutting down under load still answers every job that was
-//! accepted into a queue before the listener stopped.
+//! # Zero-allocation steady state
+//!
+//! `submit` is a hot path (`tsda_analyze` R3/A1), so nothing on it may
+//! allocate once the server is warm:
+//!
+//! * each queue is a [`JobRing`] — a `VecDeque` preallocated to
+//!   `queue_cap` behind one mutex, so enqueue/dequeue never grow it;
+//! * each reply travels through a recycled [`ReplyTicket`] from a warm
+//!   [`TicketPool`] (also preallocated to `queue_cap`), replacing the
+//!   per-request `mpsc::sync_channel` pair the first version allocated;
+//! * the workers keep per-thread scratch (`series` / `pending` vectors
+//!   sized to `max_batch`) and **move** each job's series into the
+//!   batch instead of cloning it.
+//!
+//! The only remaining per-request allocation is the decoded request
+//! series itself, which the client owns. The `stats` endpoint exposes
+//! per-queue `ticket_allocs` counters: they stay at zero while the warm
+//! pool covers the in-flight high-water mark, which is what the
+//! allocation-count harness (`tests/alloc_count.rs`) pins.
+//!
+//! Shutdown: workers drain until every ring is closed **and** empty, so
+//! a server shutting down under load still answers every job that was
+//! accepted into a queue before the listener stopped. A worker that
+//! drops a job without answering (e.g. a panic mid-batch) still wakes
+//! the waiting connection: dropping a [`ReplySlot`] posts a shutdown
+//! error into its ticket.
 
 use crate::faults::FaultPlan;
 use crate::pipelines::PipelineRegistry;
 use crate::registry::ModelRegistry;
 use crate::stats::ServerStats;
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
-use std::sync::Arc;
+use serde::Value;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use tsda_core::{Mts, TsdaError};
+use tsda_core::{Label, Mts, TsdaError};
 
 /// Micro-batcher knobs.
 #[derive(Debug, Clone, Copy)]
@@ -90,10 +113,146 @@ pub enum SubmitError {
     Closed,
 }
 
+/// The reply a [`ReplySlot`] posts when dropped without an explicit
+/// answer, so an abandoned job can never deadlock its waiting
+/// connection.
+trait AbandonedReply: Sized {
+    fn abandoned() -> Self;
+}
+
+impl AbandonedReply for BatchReply {
+    fn abandoned() -> Self {
+        Self { result: Err("server shutting down".to_string()), batch_size: 0, micros: 0 }
+    }
+}
+
+impl AbandonedReply for AugReply {
+    fn abandoned() -> Self {
+        Self { result: Err("server shutting down".to_string()), batch_size: 0, micros: 0 }
+    }
+}
+
+/// A reusable one-shot reply rendezvous: the worker posts into `slot`,
+/// the connection thread blocks on `ready`. Tickets live in a
+/// [`TicketPool`] and are recycled after each reply, so the steady
+/// state submits without allocating.
+struct ReplyTicket<T> {
+    slot: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+impl<T> ReplyTicket<T> {
+    fn new() -> Self {
+        Self { slot: Mutex::new(None), ready: Condvar::new() }
+    }
+
+    /// Lock the slot, shrugging off poison: a reply value is plain
+    /// data, never left half-written by a panicking poster.
+    fn lock(&self) -> MutexGuard<'_, Option<T>> {
+        self.slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Warm free-list of tickets, preallocated to the queue capacity.
+/// `recycle` never grows the list past its initial capacity, so both
+/// directions are allocation-free once warm.
+struct TicketPool<T> {
+    free: Mutex<VecDeque<Arc<ReplyTicket<T>>>>,
+}
+
+impl<T> TicketPool<T> {
+    fn warm(n: usize) -> Arc<Self> {
+        let mut free = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            free.push_back(Arc::new(ReplyTicket::new()));
+        }
+        Arc::new(Self { free: Mutex::new(free) })
+    }
+
+    fn take(&self) -> Option<Arc<ReplyTicket<T>>> {
+        self.free.lock().unwrap_or_else(std::sync::PoisonError::into_inner).pop_front()
+    }
+
+    /// Return a drained ticket. Bounded at the warm capacity so a
+    /// burst of extra tickets (pool exhaustion fallbacks) cannot grow
+    /// the free list — `push_back` below capacity never reallocates.
+    fn recycle(&self, ticket: &Arc<ReplyTicket<T>>) {
+        let mut free = self.free.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if free.len() < free.capacity() {
+            free.push_back(Arc::clone(ticket));
+        }
+    }
+}
+
+/// Worker-side half of a ticket. Dropping it without [`Self::send`]
+/// posts [`AbandonedReply::abandoned`] so the waiter always wakes.
+struct ReplySlot<T: AbandonedReply> {
+    ticket: Arc<ReplyTicket<T>>,
+    sent: bool,
+}
+
+impl<T: AbandonedReply> ReplySlot<T> {
+    fn send(mut self, value: T) {
+        *self.ticket.lock() = Some(value);
+        self.ticket.ready.notify_one();
+        self.sent = true;
+    }
+
+    /// Disarm without posting anything — for jobs refused before they
+    /// ever reached a worker, whose clean ticket goes back to the pool.
+    fn cancel(mut self) {
+        self.sent = true;
+    }
+}
+
+impl<T: AbandonedReply> Drop for ReplySlot<T> {
+    fn drop(&mut self) {
+        if !self.sent {
+            {
+                let mut slot = self.ticket.lock();
+                if slot.is_none() {
+                    *slot = Some(T::abandoned());
+                }
+            }
+            self.ticket.ready.notify_one();
+        }
+    }
+}
+
+/// Connection-side half of a ticket, returned by [`Batcher::submit`].
+pub struct PendingReply<T> {
+    ticket: Arc<ReplyTicket<T>>,
+    pool: Arc<TicketPool<T>>,
+}
+
+impl<T> PendingReply<T> {
+    /// Block until the worker answers (or abandons) this job, then
+    /// recycle the ticket into the warm pool.
+    pub fn recv(self) -> T {
+        let value = {
+            let mut slot = self.ticket.lock();
+            loop {
+                if let Some(value) = slot.take() {
+                    break value;
+                }
+                slot = self
+                    .ticket
+                    .ready
+                    .wait(slot)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        // Safe to recycle immediately (slot lock released above): after
+        // posting, the worker side never touches the ticket again.
+        self.pool.recycle(&self.ticket);
+        value
+    }
+}
+
 struct Job {
     series: Mts,
     enqueued: Instant,
-    reply: SyncSender<BatchReply>,
+    reply: ReplySlot<BatchReply>,
 }
 
 struct AugJob {
@@ -101,17 +260,139 @@ struct AugJob {
     seed: u64,
     index: u64,
     enqueued: Instant,
-    reply: SyncSender<AugReply>,
+    reply: ReplySlot<AugReply>,
+}
+
+/// A job refused by [`JobRing::offer`], handed back so its ticket can
+/// be recycled cleanly.
+enum Refusal<J> {
+    Full(J),
+    Closed(J),
+}
+
+/// Bounded MPSC job queue: a `VecDeque` preallocated to `cap` behind
+/// one mutex plus a condvar. Replaces the unbounded `mpsc::channel` +
+/// atomic-depth rollback dance: fullness, closedness, and depth are
+/// all one lock away, and nothing on the enqueue path allocates.
+struct JobRing<J> {
+    state: Mutex<RingState<J>>,
+    nonempty: Condvar,
+    cap: usize,
+}
+
+struct RingState<J> {
+    jobs: VecDeque<J>,
+    closed: bool,
+}
+
+impl<J> JobRing<J> {
+    fn with_capacity(cap: usize) -> Self {
+        Self {
+            state: Mutex::new(RingState { jobs: VecDeque::with_capacity(cap), closed: false }),
+            nonempty: Condvar::new(),
+            cap,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, RingState<J>> {
+        // A poisoning panic can only come from a caller's enqueue /
+        // dequeue frame; the deque itself is never left inconsistent.
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Enqueue, or hand the job back when the ring is full or closed.
+    fn offer(&self, job: J) -> Result<(), Refusal<J>> {
+        {
+            let mut st = self.lock();
+            if st.closed {
+                return Err(Refusal::Closed(job));
+            }
+            if st.jobs.len() >= self.cap {
+                return Err(Refusal::Full(job));
+            }
+            st.jobs.push_back(job);
+        }
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Block until a job arrives; `None` once the ring is closed and
+    /// drained (the worker-exit signal).
+    fn pop_blocking(&self) -> Option<J> {
+        let mut st = self.lock();
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.nonempty.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Pop with a deadline; `None` on timeout or closed-and-drained.
+    fn pop_until(&self, deadline: Instant) -> Option<J> {
+        let mut st = self.lock();
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, timeout) = self
+                .nonempty
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = guard;
+            if timeout.timed_out() {
+                return st.jobs.pop_front();
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.lock().closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Jobs currently queued (named to avoid shadowing container
+    /// `len()` calls in the name-based call graph).
+    fn queued(&self) -> usize {
+        self.lock().jobs.len()
+    }
+}
+
+/// Per-queue counters surfaced on the `stats` endpoint.
+#[derive(Default)]
+struct QueueCounters {
+    /// Jobs accepted into the ring.
+    submitted: AtomicU64,
+    /// Submits refused with an `overloaded` reply (ring full or
+    /// fault-plan shed).
+    shed: AtomicU64,
+    /// Hot-path ticket allocations — the warm pool ran dry because
+    /// more requests were in flight than `queue_cap`. Zero at steady
+    /// state; a nonzero value is the allocation-discipline regression
+    /// signal, observable without a profiler.
+    ticket_allocs: AtomicU64,
 }
 
 struct ModelQueue {
-    tx: Sender<Job>,
-    depth: Arc<AtomicUsize>,
+    ring: Arc<JobRing<Job>>,
+    tickets: Arc<TicketPool<BatchReply>>,
+    counters: Arc<QueueCounters>,
 }
 
 struct AugQueue {
-    tx: Sender<AugJob>,
-    depth: Arc<AtomicUsize>,
+    ring: Arc<JobRing<AugJob>>,
+    tickets: Arc<TicketPool<AugReply>>,
+    counters: Arc<QueueCounters>,
 }
 
 /// Handle for submitting jobs to the per-model batch workers.
@@ -119,7 +400,6 @@ pub struct Batcher {
     queues: BTreeMap<String, ModelQueue>,
     aug_queues: BTreeMap<String, AugQueue>,
     workers: Vec<JoinHandle<()>>,
-    queue_cap: usize,
     /// Backoff hint for queue-full sheds: a few flush windows.
     shed_retry_ms: u64,
     faults: Option<Arc<FaultPlan>>,
@@ -142,45 +422,41 @@ impl Batcher {
         let queue_cap = config.queue_cap.max(1);
         let shed_retry_ms = (config.max_wait.as_millis() as u64).max(1) * 4;
         for name in registry.names() {
-            let (tx, rx) = std::sync::mpsc::channel::<Job>();
-            let depth = Arc::new(AtomicUsize::new(0));
+            let ring = Arc::new(JobRing::with_capacity(queue_cap));
             let registry = Arc::clone(&registry);
             let stats = Arc::clone(&stats);
             let model = name.clone();
-            let worker_depth = Arc::clone(&depth);
+            let worker_ring = Arc::clone(&ring);
             let worker_faults = faults.clone();
             let spawned = std::thread::Builder::new().name(format!("batch-{name}")).spawn(
                 move || {
-                    worker_loop(
-                        &registry,
-                        &model,
-                        &stats,
-                        config,
-                        &rx,
-                        &worker_depth,
-                        worker_faults.as_deref(),
-                    )
+                    worker_loop(&registry, &model, &stats, config, &worker_ring, worker_faults.as_deref())
                 },
             );
             match spawned {
                 Ok(handle) => {
-                    queues.insert(name, ModelQueue { tx, depth });
+                    queues.insert(
+                        name,
+                        ModelQueue {
+                            ring,
+                            tickets: TicketPool::warm(queue_cap),
+                            counters: Arc::new(QueueCounters::default()),
+                        },
+                    );
                     workers.push(handle);
                 }
                 Err(e) => {
-                    Self { queues, aug_queues, workers, queue_cap, shed_retry_ms, faults }
-                        .shutdown();
+                    Self { queues, aug_queues, workers, shed_retry_ms, faults }.shutdown();
                     return Err(TsdaError::Io(format!("spawn batch worker for {name:?}: {e}")));
                 }
             }
         }
         for name in pipelines.names() {
-            let (tx, rx) = std::sync::mpsc::channel::<AugJob>();
-            let depth = Arc::new(AtomicUsize::new(0));
+            let ring = Arc::new(JobRing::with_capacity(queue_cap));
             let pipelines = Arc::clone(&pipelines);
             let stats = Arc::clone(&stats);
             let pipeline = name.clone();
-            let worker_depth = Arc::clone(&depth);
+            let worker_ring = Arc::clone(&ring);
             let worker_faults = faults.clone();
             let spawned = std::thread::Builder::new().name(format!("aug-{name}")).spawn(
                 move || {
@@ -189,57 +465,71 @@ impl Batcher {
                         &pipeline,
                         &stats,
                         config,
-                        &rx,
-                        &worker_depth,
+                        &worker_ring,
                         worker_faults.as_deref(),
                     )
                 },
             );
             match spawned {
                 Ok(handle) => {
-                    aug_queues.insert(name, AugQueue { tx, depth });
+                    aug_queues.insert(
+                        name,
+                        AugQueue {
+                            ring,
+                            tickets: TicketPool::warm(queue_cap),
+                            counters: Arc::new(QueueCounters::default()),
+                        },
+                    );
                     workers.push(handle);
                 }
                 Err(e) => {
-                    Self { queues, aug_queues, workers, queue_cap, shed_retry_ms, faults }
-                        .shutdown();
+                    Self { queues, aug_queues, workers, shed_retry_ms, faults }.shutdown();
                     return Err(TsdaError::Io(format!("spawn aug worker for {name:?}: {e}")));
                 }
             }
         }
-        Ok(Self { queues, aug_queues, workers, queue_cap, shed_retry_ms, faults })
+        Ok(Self { queues, aug_queues, workers, shed_retry_ms, faults })
     }
 
     /// Queue one validated series for the named model. Returns a
-    /// receiver the caller blocks on for the reply, or a [`SubmitError`]
-    /// explaining the refusal (unknown model, full queue, shutdown).
+    /// [`PendingReply`] the caller blocks on for the reply, or a
+    /// [`SubmitError`] explaining the refusal (unknown model, full
+    /// queue, shutdown).
     ///
     /// Hot path: runs once per request on the connection thread, so
-    /// `tsda_analyze` R3 keeps allocations out of it and its callees.
+    /// `tsda_analyze` R3/A1 keep allocations out of it and its callees
+    /// — the ring and the ticket pool are both preallocated.
     #[doc(alias = "tsda::hot")]
-    pub fn submit(&self, model: &str, series: Mts) -> Result<Receiver<BatchReply>, SubmitError> {
+    pub fn submit(&self, model: &str, series: Mts) -> Result<PendingReply<BatchReply>, SubmitError> {
         let queue = self.queues.get(model).ok_or(SubmitError::UnknownModel)?;
         if let Some(plan) = self.faults.as_deref() {
             if let Some(retry_ms) = plan.shed() {
+                queue.counters.shed.fetch_add(1, Ordering::Relaxed);
                 return Err(SubmitError::Overloaded { retry_ms });
             }
         }
-        // Reserve a slot; the worker releases it when it pops the job.
-        // fetch_add + rollback keeps the check-and-reserve race-free
-        // without a lock: oversubscription by a racing submit is caught
-        // here and rolled back before the job is queued.
-        if queue.depth.fetch_add(1, Ordering::AcqRel) >= self.queue_cap {
-            queue.depth.fetch_sub(1, Ordering::AcqRel);
-            return Err(SubmitError::Overloaded { retry_ms: self.shed_retry_ms });
+        let ticket = take_ticket(&queue.tickets, &queue.counters);
+        let job = Job {
+            series,
+            enqueued: Instant::now(),
+            reply: ReplySlot { ticket: Arc::clone(&ticket), sent: false },
+        };
+        match queue.ring.offer(job) {
+            Ok(()) => {
+                queue.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(PendingReply { ticket, pool: Arc::clone(&queue.tickets) })
+            }
+            Err(Refusal::Full(job)) => {
+                job.reply.cancel();
+                queue.tickets.recycle(&ticket);
+                queue.counters.shed.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Overloaded { retry_ms: self.shed_retry_ms })
+            }
+            Err(Refusal::Closed(job)) => {
+                job.reply.cancel();
+                Err(SubmitError::Closed)
+            }
         }
-        // Rendezvous capacity 1: the worker never blocks sending the
-        // reply even if the requesting connection died mid-flight.
-        let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
-        if queue.tx.send(Job { series, enqueued: Instant::now(), reply: reply_tx }).is_err() {
-            queue.depth.fetch_sub(1, Ordering::AcqRel);
-            return Err(SubmitError::Closed);
-        }
-        Ok(reply_rx)
     }
 
     /// Queue one series for the named augmentation pipeline. Same
@@ -247,7 +537,7 @@ impl Batcher {
     /// with a retry hint instead of buffering without limit.
     ///
     /// Hot path: runs once per augment request on the connection
-    /// thread, so `tsda_analyze` R3 keeps allocations out of it and
+    /// thread, so `tsda_analyze` R3/A1 keep allocations out of it and
     /// its callees.
     #[doc(alias = "tsda::hot")]
     pub fn submit_augment(
@@ -256,41 +546,109 @@ impl Batcher {
         series: Mts,
         seed: u64,
         index: u64,
-    ) -> Result<Receiver<AugReply>, SubmitError> {
+    ) -> Result<PendingReply<AugReply>, SubmitError> {
         let queue = self.aug_queues.get(pipeline).ok_or(SubmitError::UnknownPipeline)?;
         if let Some(plan) = self.faults.as_deref() {
             if let Some(retry_ms) = plan.shed() {
+                queue.counters.shed.fetch_add(1, Ordering::Relaxed);
                 return Err(SubmitError::Overloaded { retry_ms });
             }
         }
-        // Same race-free reserve-then-rollback as `submit`.
-        if queue.depth.fetch_add(1, Ordering::AcqRel) >= self.queue_cap {
-            queue.depth.fetch_sub(1, Ordering::AcqRel);
-            return Err(SubmitError::Overloaded { retry_ms: self.shed_retry_ms });
+        let ticket = take_ticket(&queue.tickets, &queue.counters);
+        let job = AugJob {
+            series,
+            seed,
+            index,
+            enqueued: Instant::now(),
+            reply: ReplySlot { ticket: Arc::clone(&ticket), sent: false },
+        };
+        match queue.ring.offer(job) {
+            Ok(()) => {
+                queue.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(PendingReply { ticket, pool: Arc::clone(&queue.tickets) })
+            }
+            Err(Refusal::Full(job)) => {
+                job.reply.cancel();
+                queue.tickets.recycle(&ticket);
+                queue.counters.shed.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Overloaded { retry_ms: self.shed_retry_ms })
+            }
+            Err(Refusal::Closed(job)) => {
+                job.reply.cancel();
+                Err(SubmitError::Closed)
+            }
         }
-        let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
-        let job = AugJob { series, seed, index, enqueued: Instant::now(), reply: reply_tx };
-        if queue.tx.send(job).is_err() {
-            queue.depth.fetch_sub(1, Ordering::AcqRel);
-            return Err(SubmitError::Closed);
-        }
-        Ok(reply_rx)
     }
 
     /// Current queue depth for a model (observability / tests).
     pub fn depth(&self, model: &str) -> Option<usize> {
-        self.queues.get(model).map(|q| q.depth.load(Ordering::Acquire))
+        self.queues.get(model).map(|q| q.ring.queued())
     }
 
-    /// Drop the queues (workers drain every queued job, then exit) and
-    /// join every worker.
-    pub fn shutdown(self) {
-        drop(self.queues);
-        drop(self.aug_queues);
-        for w in self.workers {
+    /// Per-queue counters for the `stats` endpoint: live depth,
+    /// accepted / shed submits, and hot-path ticket allocations (zero
+    /// while the warm pool covers the in-flight high-water mark).
+    pub fn queue_stats(&self) -> Value {
+        let mut rows = Vec::new();
+        for (name, q) in &self.queues {
+            rows.push(queue_row(name, "predict", q.ring.queued(), &q.counters));
+        }
+        for (name, q) in &self.aug_queues {
+            rows.push(queue_row(name, "augment", q.ring.queued(), &q.counters));
+        }
+        Value::Array(rows)
+    }
+
+    /// Close every ring (workers drain every queued job, then exit)
+    /// and join every worker.
+    pub fn shutdown(mut self) {
+        self.close_rings();
+        for w in std::mem::take(&mut self.workers) {
             let _ = w.join();
         }
     }
+
+    fn close_rings(&self) {
+        for q in self.queues.values() {
+            q.ring.close();
+        }
+        for q in self.aug_queues.values() {
+            q.ring.close();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    /// Safety net for handles dropped without [`Self::shutdown`]: close
+    /// the rings so workers exit instead of blocking forever. (Joining
+    /// is still `shutdown`'s job; `Drop` must not block.)
+    fn drop(&mut self) {
+        self.close_rings();
+    }
+}
+
+/// Pop a warm ticket, falling back to a fresh allocation (counted —
+/// this is the one hot-path allocation that can still happen, and only
+/// when more jobs are in flight than the pool was warmed for).
+fn take_ticket<T>(pool: &Arc<TicketPool<T>>, counters: &QueueCounters) -> Arc<ReplyTicket<T>> {
+    match pool.take() {
+        Some(t) => t,
+        None => {
+            counters.ticket_allocs.fetch_add(1, Ordering::Relaxed);
+            Arc::new(ReplyTicket::new())
+        }
+    }
+}
+
+fn queue_row(name: &str, lane: &str, depth: usize, c: &QueueCounters) -> Value {
+    Value::Object(vec![
+        ("name".into(), Value::Str(name.to_string())),
+        ("lane".into(), Value::Str(lane.to_string())),
+        ("depth".into(), Value::Num(depth as f64)),
+        ("submitted".into(), Value::Num(c.submitted.load(Ordering::Relaxed) as f64)),
+        ("shed".into(), Value::Num(c.shed.load(Ordering::Relaxed) as f64)),
+        ("ticket_allocs".into(), Value::Num(c.ticket_allocs.load(Ordering::Relaxed) as f64)),
+    ])
 }
 
 fn worker_loop(
@@ -298,17 +656,15 @@ fn worker_loop(
     model: &str,
     stats: &ServerStats,
     config: BatchConfig,
-    rx: &Receiver<Job>,
-    depth: &AtomicUsize,
+    ring: &JobRing<Job>,
     faults: Option<&FaultPlan>,
 ) {
     let Some(entry) = registry.get(model) else {
         // The batcher only spawns workers for registered models; if the
         // registry ever disagrees, fail each job cleanly instead of
         // panicking the worker thread.
-        for job in rx.iter() {
-            depth.fetch_sub(1, Ordering::AcqRel);
-            let _ = job.reply.send(BatchReply {
+        while let Some(job) = ring.pop_blocking() {
+            job.reply.send(BatchReply {
                 result: Err(format!("model {model:?} is not registered")),
                 batch_size: 0,
                 micros: 0,
@@ -317,29 +673,30 @@ fn worker_loop(
         return;
     };
     let max_batch = config.max_batch.max(1);
+    // Worker scratch, reused across batches: the series buffer handed
+    // to `predict_batch_into`, the reply slots awaiting labels, and
+    // the label output. After the first full batch none of these grow.
+    let mut series: Vec<Mts> = Vec::with_capacity(max_batch);
+    let mut pending: Vec<(Instant, ReplySlot<BatchReply>)> = Vec::with_capacity(max_batch);
+    let mut labels: Vec<Label> = Vec::with_capacity(max_batch);
     loop {
-        // Block for the first job; `Disconnected` (all senders dropped)
-        // is the drain-complete shutdown signal, so a shutting-down
-        // server still answers everything already queued.
-        let first = match rx.recv() {
-            Ok(job) => job,
-            Err(_) => return,
+        // Block for the first job; a closed-and-drained ring is the
+        // shutdown signal, so a shutting-down server still answers
+        // everything already queued.
+        let first = match ring.pop_blocking() {
+            Some(job) => job,
+            None => return,
         };
-        depth.fetch_sub(1, Ordering::AcqRel);
         let deadline = Instant::now() + config.max_wait;
-        let mut jobs = vec![first];
-        while jobs.len() < max_batch {
-            let now = Instant::now();
-            if now >= deadline {
-                break;
-            }
-            match rx.recv_timeout(deadline - now) {
-                Ok(job) => {
-                    depth.fetch_sub(1, Ordering::AcqRel);
-                    jobs.push(job);
+        series.push(first.series);
+        pending.push((first.enqueued, first.reply));
+        while pending.len() < max_batch {
+            match ring.pop_until(deadline) {
+                Some(job) => {
+                    series.push(job.series);
+                    pending.push((job.enqueued, job.reply));
                 }
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => break,
+                None => break,
             }
         }
 
@@ -349,38 +706,34 @@ fn worker_loop(
             std::thread::sleep(pause);
         }
 
-        let series: Vec<Mts> = jobs.iter().map(|j| j.series.clone()).collect();
         let batch_start = Instant::now();
-        let outcome = entry.predict_batch(&series);
+        let outcome = entry.predict_batch_into(&series, &mut labels);
         let batch_micros = batch_start.elapsed().as_micros() as u64;
         stats.batches.fetch_add(1, Ordering::Relaxed);
-        stats.batched_items.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        stats.batched_items.fetch_add(pending.len() as u64, Ordering::Relaxed);
         stats.batch_latency.record(batch_micros);
 
-        let batch_size = jobs.len();
+        let batch_size = pending.len();
         match outcome {
-            Ok(labels) => {
+            Ok(()) => {
                 debug_assert_eq!(labels.len(), batch_size);
-                for (job, label) in jobs.into_iter().zip(labels) {
-                    let micros = job.enqueued.elapsed().as_micros() as u64;
+                for ((enqueued, reply), label) in pending.drain(..).zip(labels.drain(..)) {
+                    let micros = enqueued.elapsed().as_micros() as u64;
                     stats.request_latency.record(micros);
-                    let _ = job
-                        .reply
-                        .send(BatchReply { result: Ok(label), batch_size, micros });
+                    reply.send(BatchReply { result: Ok(label), batch_size, micros });
                 }
             }
             Err(e) => {
                 let msg = format!("prediction failed: {e}");
-                for job in jobs {
-                    let micros = job.enqueued.elapsed().as_micros() as u64;
+                for (enqueued, reply) in pending.drain(..) {
+                    let micros = enqueued.elapsed().as_micros() as u64;
                     stats.errors.fetch_add(1, Ordering::Relaxed);
                     stats.request_latency.record(micros);
-                    let _ = job
-                        .reply
-                        .send(BatchReply { result: Err(msg.clone()), batch_size, micros });
+                    reply.send(BatchReply { result: Err(msg.clone()), batch_size, micros });
                 }
             }
         }
+        series.clear();
     }
 }
 
@@ -389,17 +742,15 @@ fn aug_worker_loop(
     name: &str,
     stats: &ServerStats,
     config: BatchConfig,
-    rx: &Receiver<AugJob>,
-    depth: &AtomicUsize,
+    ring: &JobRing<AugJob>,
     faults: Option<&FaultPlan>,
 ) {
     let Some(pipeline) = pipelines.get(name) else {
         // Workers are only spawned for registered pipelines; if the
         // registry ever disagrees, fail each job cleanly instead of
         // panicking the worker thread.
-        for job in rx.iter() {
-            depth.fetch_sub(1, Ordering::AcqRel);
-            let _ = job.reply.send(AugReply {
+        while let Some(job) = ring.pop_blocking() {
+            job.reply.send(AugReply {
                 result: Err(format!("pipeline {name:?} is not registered")),
                 batch_size: 0,
                 micros: 0,
@@ -408,26 +759,27 @@ fn aug_worker_loop(
         return;
     };
     let max_batch = config.max_batch.max(1);
+    // Worker scratch, reused across batches. Each job's series MOVES
+    // into the items buffer — no per-job clone. (The transformed
+    // output series are fresh allocations by nature: they are handed
+    // to the clients.)
+    let mut items: Vec<(Mts, u64, u64)> = Vec::with_capacity(max_batch);
+    let mut pending: Vec<(Instant, ReplySlot<AugReply>)> = Vec::with_capacity(max_batch);
     loop {
-        let first = match rx.recv() {
-            Ok(job) => job,
-            Err(_) => return,
+        let first = match ring.pop_blocking() {
+            Some(job) => job,
+            None => return,
         };
-        depth.fetch_sub(1, Ordering::AcqRel);
         let deadline = Instant::now() + config.max_wait;
-        let mut jobs = vec![first];
-        while jobs.len() < max_batch {
-            let now = Instant::now();
-            if now >= deadline {
-                break;
-            }
-            match rx.recv_timeout(deadline - now) {
-                Ok(job) => {
-                    depth.fetch_sub(1, Ordering::AcqRel);
-                    jobs.push(job);
+        items.push((first.series, first.seed, first.index));
+        pending.push((first.enqueued, first.reply));
+        while pending.len() < max_batch {
+            match ring.pop_until(deadline) {
+                Some(job) => {
+                    items.push((job.series, job.seed, job.index));
+                    pending.push((job.enqueued, job.reply));
                 }
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => break,
+                None => break,
             }
         }
 
@@ -438,22 +790,21 @@ fn aug_worker_loop(
         // One batched pool execution; each element is a pure function
         // of its own (seed, index), so results are independent of how
         // requests happened to coalesce into this batch.
-        let items: Vec<(Mts, u64, u64)> =
-            jobs.iter().map(|j| (j.series.clone(), j.seed, j.index)).collect();
         let batch_start = Instant::now();
         let results = pipeline.run_each(&items);
         let batch_micros = batch_start.elapsed().as_micros() as u64;
         stats.batches.fetch_add(1, Ordering::Relaxed);
-        stats.batched_items.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        stats.batched_items.fetch_add(pending.len() as u64, Ordering::Relaxed);
         stats.batch_latency.record(batch_micros);
 
-        let batch_size = jobs.len();
+        let batch_size = pending.len();
         debug_assert_eq!(results.len(), batch_size);
-        for (job, out) in jobs.into_iter().zip(results) {
-            let micros = job.enqueued.elapsed().as_micros() as u64;
+        for ((enqueued, reply), out) in pending.drain(..).zip(results) {
+            let micros = enqueued.elapsed().as_micros() as u64;
             stats.request_latency.record(micros);
-            let _ = job.reply.send(AugReply { result: Ok(out), batch_size, micros });
+            reply.send(AugReply { result: Ok(out), batch_size, micros });
         }
+        items.clear();
     }
 }
 
@@ -528,7 +879,7 @@ mod tests {
             .collect();
         let mut max_batch_seen = 0;
         for (rx, want) in receivers.into_iter().zip(&offline) {
-            let reply = rx.recv().expect("worker replies");
+            let reply = rx.recv();
             assert_eq!(reply.result.as_ref().unwrap(), want);
             max_batch_seen = max_batch_seen.max(reply.batch_size);
         }
@@ -562,7 +913,7 @@ mod tests {
             .collect();
         let mut max_batch_seen = 0;
         for (i, (rx, s)) in receivers.into_iter().zip(ds.series()).enumerate() {
-            let reply = rx.recv().expect("worker replies");
+            let reply = rx.recv();
             let got = reply.result.expect("augment succeeds");
             assert_eq!(got, offline.apply_one(s, 7, i as u64), "index {i}");
             max_batch_seen = max_batch_seen.max(reply.batch_size);
@@ -635,7 +986,7 @@ mod tests {
         assert!(shed > 0, "expected sheds with a wedged worker");
         // Every accepted job still completes (drain guarantee).
         for rx in kept {
-            assert!(rx.recv().expect("accepted jobs are answered").result.is_ok());
+            assert!(rx.recv().result.is_ok(), "accepted jobs are answered");
         }
         batcher.shutdown();
     }
@@ -661,5 +1012,62 @@ mod tests {
         }
         assert!(plan.injected_total() >= 5);
         batcher.shutdown();
+    }
+
+    #[test]
+    fn queue_stats_report_submits_and_sheds_per_queue() {
+        let (batcher, _, ds, _) = start_batcher(BatchConfig {
+            max_batch: 16,
+            max_wait: Duration::from_millis(5),
+            ..BatchConfig::default()
+        });
+        let pending: Vec<_> = (0..4)
+            .map(|_| batcher.submit("rocket", ds.series()[0].clone()).expect("queue open"))
+            .collect();
+        for p in pending {
+            assert!(p.recv().result.is_ok());
+        }
+        let Value::Array(rows) = batcher.queue_stats() else { panic!("array of queue rows") };
+        let rocket = rows
+            .iter()
+            .find(|r| r.get("name").and_then(Value::as_str) == Some("rocket"))
+            .expect("rocket row");
+        assert_eq!(rocket.get("lane").and_then(Value::as_str), Some("predict"));
+        assert_eq!(rocket.get("submitted").and_then(Value::as_f64), Some(4.0));
+        assert_eq!(rocket.get("shed").and_then(Value::as_f64), Some(0.0));
+        // Sequential submits never outrun the warm ticket pool.
+        assert_eq!(rocket.get("ticket_allocs").and_then(Value::as_f64), Some(0.0));
+        let light = rows
+            .iter()
+            .find(|r| r.get("name").and_then(Value::as_str) == Some("light"))
+            .expect("aug pipeline row");
+        assert_eq!(light.get("lane").and_then(Value::as_str), Some("augment"));
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn abandoned_jobs_still_answer_the_waiting_connection() {
+        // A ReplySlot dropped without send (worker died mid-batch)
+        // must post a shutdown error instead of deadlocking the waiter.
+        let pool = TicketPool::<BatchReply>::warm(1);
+        let ticket = pool.take().expect("warm ticket");
+        let slot = ReplySlot { ticket: Arc::clone(&ticket), sent: false };
+        let pending = PendingReply { ticket, pool };
+        drop(slot);
+        let reply = pending.recv();
+        assert_eq!(reply.result.unwrap_err(), "server shutting down");
+    }
+
+    #[test]
+    fn tickets_recycle_through_the_pool_without_stale_replies() {
+        let pool = TicketPool::<BatchReply>::warm(1);
+        for round in 0..3 {
+            let ticket = pool.take().expect("pool stays warm across rounds");
+            let slot = ReplySlot { ticket: Arc::clone(&ticket), sent: false };
+            let pending = PendingReply { ticket, pool: Arc::clone(&pool) };
+            slot.send(BatchReply { result: Ok(round), batch_size: 1, micros: round as u64 });
+            let reply = pending.recv();
+            assert_eq!(reply.result.unwrap(), round, "fresh value each round, never stale");
+        }
     }
 }

@@ -411,55 +411,109 @@ pub fn decode_routing(body: &[u8]) -> Result<Routing, (u64, String)> {
     }
 }
 
+/// Append one full frame to `out`: length prefix + the body written by
+/// `fill` + CRC, laid out exactly as [`frame`] produces. The caller's
+/// buffer is reused across replies, so a warm connection encodes
+/// without allocating.
+fn frame_into(out: &mut Vec<u8>, fill: impl FnOnce(&mut ByteWriter)) {
+    let mut w = ByteWriter::from_vec(std::mem::take(out));
+    let start = w.len();
+    w.u32(0); // length prefix, patched once the body size is known
+    fill(&mut w);
+    let mut bytes = w.into_bytes();
+    let body_start = start + 4;
+    let crc = crc32(&bytes[body_start..]);
+    let len = (bytes.len() - body_start + 4) as u32;
+    bytes[start..body_start].copy_from_slice(&len.to_le_bytes());
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    *out = bytes;
+}
+
+/// Encode a successful predict reply into a reused buffer.
+pub fn encode_reply_predict_into(out: &mut Vec<u8>, id: u64, label: u64, batch: u32, micros: u64) {
+    frame_into(out, |w| {
+        w.u8(REPLY_PREDICT);
+        w.u64(id);
+        w.u64(label);
+        w.u32(batch);
+        w.u64(micros);
+    });
+}
+
 /// Encode a successful predict reply.
 pub fn encode_reply_predict(id: u64, label: u64, batch: u32, micros: u64) -> Vec<u8> {
-    let mut w = ByteWriter::new();
-    w.u8(REPLY_PREDICT);
-    w.u64(id);
-    w.u64(label);
-    w.u32(batch);
-    w.u64(micros);
-    frame(w.into_bytes())
+    let mut out = Vec::new();
+    encode_reply_predict_into(&mut out, id, label, batch, micros);
+    out
 }
 
-/// Encode a successful augment reply: the transformed series as raw
-/// f64 bit patterns (no text hop, bit-exact by construction).
+/// Encode a successful augment reply into a reused buffer: the
+/// transformed series as raw f64 bit patterns (no text hop, bit-exact
+/// by construction).
+pub fn encode_reply_augment_into(out: &mut Vec<u8>, id: u64, series: &Mts, batch: u32, micros: u64) {
+    frame_into(out, |w| {
+        w.u8(REPLY_AUGMENT);
+        w.u64(id);
+        w.u32(batch);
+        w.u64(micros);
+        w.u32(series.n_dims() as u32);
+        w.u32(series.len() as u32);
+        for &v in series.as_flat() {
+            w.f64(v);
+        }
+    });
+}
+
+/// Encode a successful augment reply.
 pub fn encode_reply_augment(id: u64, series: &Mts, batch: u32, micros: u64) -> Vec<u8> {
-    let mut w = ByteWriter::new();
-    w.u8(REPLY_AUGMENT);
-    w.u64(id);
-    w.u32(batch);
-    w.u64(micros);
-    w.u32(series.n_dims() as u32);
-    w.u32(series.len() as u32);
-    for &v in series.as_flat() {
-        w.f64(v);
-    }
-    frame(w.into_bytes())
+    let mut out = Vec::new();
+    encode_reply_augment_into(&mut out, id, series, batch, micros);
+    out
 }
 
-/// Encode an error reply. `retry_ms` is meaningful for
-/// [`ErrCode::Overloaded`] / [`ErrCode::Throttled`] (0 otherwise).
+/// Encode an error reply into a reused buffer. `retry_ms` is meaningful
+/// for [`ErrCode::Overloaded`] / [`ErrCode::Throttled`] (0 otherwise).
+pub fn encode_reply_error_into(
+    out: &mut Vec<u8>,
+    id: u64,
+    code: ErrCode,
+    message: &str,
+    retry_ms: u64,
+) {
+    frame_into(out, |w| {
+        w.u8(REPLY_ERROR);
+        w.u64(id);
+        w.u8(code.to_u8());
+        w.u64(retry_ms);
+        w.string(message);
+    });
+}
+
+/// Encode an error reply.
 pub fn encode_reply_error(id: u64, code: ErrCode, message: &str, retry_ms: u64) -> Vec<u8> {
-    let mut w = ByteWriter::new();
-    w.u8(REPLY_ERROR);
-    w.u64(id);
-    w.u8(code.to_u8());
-    w.u64(retry_ms);
-    w.string(message);
-    frame(w.into_bytes())
+    let mut out = Vec::new();
+    encode_reply_error_into(&mut out, id, code, message, retry_ms);
+    out
 }
 
-/// Encode a result reply (stats / list). The payload reuses the JSON
-/// value tree — these ops are observability, not the hot path.
+/// Encode a result reply (stats / list) into a reused buffer. The
+/// payload reuses the JSON value tree — these ops are observability,
+/// not the hot path.
+pub fn encode_reply_result_into(out: &mut Vec<u8>, id: u64, value: &Value) {
+    frame_into(out, |w| {
+        w.u8(REPLY_RESULT);
+        w.u64(id);
+        // Value trees always serialise; an empty object is the safe
+        // fallback if that invariant ever breaks.
+        w.string(&serde_json::to_string(value).unwrap_or_else(|_| "{}".to_string()));
+    });
+}
+
+/// Encode a result reply (stats / list).
 pub fn encode_reply_result(id: u64, value: &Value) -> Vec<u8> {
-    let mut w = ByteWriter::new();
-    w.u8(REPLY_RESULT);
-    w.u64(id);
-    // Value trees always serialise; an empty object is the safe
-    // fallback if that invariant ever breaks.
-    w.string(&serde_json::to_string(value).unwrap_or_else(|_| "{}".to_string()));
-    frame(w.into_bytes())
+    let mut out = Vec::new();
+    encode_reply_result_into(&mut out, id, value);
+    out
 }
 
 /// Decode one reply body (CRC already checked) into the shared
@@ -755,5 +809,29 @@ mod tests {
         let err = decode_request(check_frame(&raw).unwrap()).unwrap_err();
         assert_eq!(err.0, 1);
         assert!(err.1.contains("unread"), "{}", err.1);
+    }
+
+    #[test]
+    fn frame_into_matches_the_owned_frame_layout_and_survives_reuse() {
+        let mut w = ByteWriter::new();
+        w.u8(REPLY_PREDICT);
+        w.u64(7);
+        w.u64(3);
+        w.u32(2);
+        w.u64(88);
+        let owned = frame(w.into_bytes());
+        let mut reused = Vec::new();
+        encode_reply_predict_into(&mut reused, 7, 3, 2, 88);
+        assert_eq!(reused, owned, "in-place encoder must mirror frame() byte-for-byte");
+        // Clearing and re-encoding into the same (now warm) buffer
+        // must produce the identical frame — length prefix and CRC are
+        // computed relative to the append position, not the buffer.
+        reused.clear();
+        encode_reply_error_into(&mut reused, 9, ErrCode::Overloaded, "overloaded", 20);
+        let raw = check_frame(&take_frame(&mut reused.clone()).unwrap().unwrap()).is_ok();
+        assert!(raw, "reused buffer still frames and checksums cleanly");
+        reused.clear();
+        encode_reply_predict_into(&mut reused, 7, 3, 2, 88);
+        assert_eq!(reused, owned);
     }
 }

@@ -138,85 +138,154 @@ pub fn decode_series(series: &str) -> Result<Mts, TsdaError> {
     parse_series_line(series)
 }
 
-/// Build a compact single-line JSON object from key/value pairs.
-fn object_line(pairs: Vec<(String, Value)>) -> String {
-    // Value trees always serialise; if that invariant ever breaks, a
-    // well-formed error line beats panicking a connection thread.
-    serde_json::to_string(&Value::Object(pairs)).unwrap_or_else(|_| {
-        r#"{"id":0,"ok":false,"error":"internal: response serialisation failed"}"#.to_string()
-    })
+/// Append `s` as a JSON string literal. The escape set matches the
+/// vendored serialiser byte-for-byte (`"`, `\`, `\n`, `\r`, `\t`,
+/// `\uXXXX` for remaining control characters), so the `_into` builders
+/// below produce exactly the bytes `serde_json::to_string` would.
+fn push_json_str(out: &mut String, s: &str) {
+    use std::fmt::Write;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// The response builders come in pairs: an `_into` form appending to a
+// caller-owned buffer — the connection loop reuses one String per
+// connection, so a warm connection answers without allocating for the
+// envelope — and an owned form delegating to it. The JSON is written
+// directly (same key order, same escaping, integer-printed counters)
+// and is byte-identical to what the old Value-tree path produced.
+
+/// Successful predict response, appended to `out`.
+pub fn predict_response_into(
+    out: &mut String,
+    id: u64,
+    model: &str,
+    label: usize,
+    batch: usize,
+    micros: u64,
+) {
+    use std::fmt::Write;
+    let _ = write!(out, "{{\"id\":{id},\"ok\":true,\"model\":");
+    push_json_str(out, model);
+    let _ = write!(out, ",\"label\":{label},\"batch\":{batch},\"micros\":{micros}}}");
 }
 
 /// Successful predict response.
 pub fn predict_response(id: u64, model: &str, label: usize, batch: usize, micros: u64) -> String {
-    object_line(vec![
-        ("id".into(), Value::Num(id as f64)),
-        ("ok".into(), Value::Bool(true)),
-        ("model".into(), Value::Str(model.to_string())),
-        ("label".into(), Value::Num(label as f64)),
-        ("batch".into(), Value::Num(batch as f64)),
-        ("micros".into(), Value::Num(micros as f64)),
-    ])
+    let mut out = String::new();
+    predict_response_into(&mut out, id, model, label, batch, micros);
+    out
 }
 
-/// Successful augment response. The series is `.ts` data-line encoded;
-/// Rust's `{}` float formatting prints the shortest round-trip
-/// representation, so finite values survive the text hop bit-exactly.
+/// Successful augment response, appended to `out`. The series is `.ts`
+/// data-line encoded; Rust's `{}` float formatting prints the shortest
+/// round-trip representation, so finite values survive the text hop
+/// bit-exactly.
+pub fn augment_response_into(
+    out: &mut String,
+    id: u64,
+    pipeline: &str,
+    series: &Mts,
+    batch: usize,
+    micros: u64,
+) {
+    use std::fmt::Write;
+    let _ = write!(out, "{{\"id\":{id},\"ok\":true,\"pipeline\":");
+    push_json_str(out, pipeline);
+    out.push_str(",\"series\":");
+    push_json_str(out, &tsda_datasets::ts_format::format_series_line(series));
+    let _ = write!(out, ",\"batch\":{batch},\"micros\":{micros}}}");
+}
+
+/// Successful augment response.
 pub fn augment_response(id: u64, pipeline: &str, series: &Mts, batch: usize, micros: u64) -> String {
-    object_line(vec![
-        ("id".into(), Value::Num(id as f64)),
-        ("ok".into(), Value::Bool(true)),
-        ("pipeline".into(), Value::Str(pipeline.to_string())),
-        ("series".into(), Value::Str(tsda_datasets::ts_format::format_series_line(series))),
-        ("batch".into(), Value::Num(batch as f64)),
-        ("micros".into(), Value::Num(micros as f64)),
-    ])
+    let mut out = String::new();
+    augment_response_into(&mut out, id, pipeline, series, batch, micros);
+    out
+}
+
+/// Error response for any request, appended to `out`.
+pub fn error_response_into(out: &mut String, id: u64, message: &str) {
+    use std::fmt::Write;
+    let _ = write!(out, "{{\"id\":{id},\"ok\":false,\"error\":");
+    push_json_str(out, message);
+    out.push('}');
 }
 
 /// Error response for any request.
 pub fn error_response(id: u64, message: &str) -> String {
-    object_line(vec![
-        ("id".into(), Value::Num(id as f64)),
-        ("ok".into(), Value::Bool(false)),
-        ("error".into(), Value::Str(message.to_string())),
-    ])
+    let mut out = String::new();
+    error_response_into(&mut out, id, message);
+    out
 }
 
 /// The marker error string in load-shedding replies.
 pub const OVERLOADED: &str = "overloaded";
 
+/// Load-shedding reply, appended to `out`.
+pub fn overloaded_response_into(out: &mut String, id: u64, retry_ms: u64) {
+    use std::fmt::Write;
+    let _ = write!(
+        out,
+        "{{\"id\":{id},\"ok\":false,\"error\":\"{OVERLOADED}\",\"retry_ms\":{retry_ms}}}"
+    );
+}
+
 /// Load-shedding reply: the queue is full (or the fault plan sheds);
 /// the client should back off roughly `retry_ms` and retry.
 pub fn overloaded_response(id: u64, retry_ms: u64) -> String {
-    object_line(vec![
-        ("id".into(), Value::Num(id as f64)),
-        ("ok".into(), Value::Bool(false)),
-        ("error".into(), Value::Str(OVERLOADED.to_string())),
-        ("retry_ms".into(), Value::Num(retry_ms as f64)),
-    ])
+    let mut out = String::new();
+    overloaded_response_into(&mut out, id, retry_ms);
+    out
 }
 
 /// The marker error string in admission-control refusals.
 pub const THROTTLED: &str = "throttled";
 
+/// Admission-control refusal, appended to `out`.
+pub fn throttled_response_into(out: &mut String, id: u64, retry_ms: u64) {
+    use std::fmt::Write;
+    let _ = write!(
+        out,
+        "{{\"id\":{id},\"ok\":false,\"error\":\"{THROTTLED}\",\"retry_ms\":{retry_ms}}}"
+    );
+}
+
 /// Admission-control refusal: the client's token bucket is empty; one
 /// token refills in roughly `retry_ms`.
 pub fn throttled_response(id: u64, retry_ms: u64) -> String {
-    object_line(vec![
-        ("id".into(), Value::Num(id as f64)),
-        ("ok".into(), Value::Bool(false)),
-        ("error".into(), Value::Str(THROTTLED.to_string())),
-        ("retry_ms".into(), Value::Num(retry_ms as f64)),
-    ])
+    let mut out = String::new();
+    throttled_response_into(&mut out, id, retry_ms);
+    out
+}
+
+/// Generic success response wrapping a payload under `"result"`,
+/// appended to `out`.
+pub fn result_response_into(out: &mut String, id: u64, result: &Value) {
+    use std::fmt::Write;
+    let _ = write!(out, "{{\"id\":{id},\"ok\":true,\"result\":");
+    serde_json::append_to_string(result, out);
+    out.push('}');
 }
 
 /// Generic success response wrapping a payload under `"result"`.
 pub fn result_response(id: u64, result: Value) -> String {
-    object_line(vec![
-        ("id".into(), Value::Num(id as f64)),
-        ("ok".into(), Value::Bool(true)),
-        ("result".into(), result),
-    ])
+    let mut out = String::new();
+    result_response_into(&mut out, id, &result);
+    out
 }
 
 /// A parsed server response, as seen by clients.
@@ -379,5 +448,76 @@ mod tests {
     fn series_decode_rejects_garbage() {
         assert!(decode_series("1,zzz").is_err());
         assert!(decode_series("").is_err());
+    }
+
+    #[test]
+    fn into_builders_match_the_value_tree_serialiser_byte_for_byte() {
+        // The hand-written builders replaced a Value-tree path; pin
+        // them against it (including escaping and integer printing) so
+        // wire output provably never changed.
+        let tricky = "ro\"ck\\et\n\u{1}";
+        let want = serde_json::to_string(&Value::Object(vec![
+            ("id".into(), Value::Num(5.0)),
+            ("ok".into(), Value::Bool(true)),
+            ("model".into(), Value::Str(tricky.into())),
+            ("label".into(), Value::Num(2.0)),
+            ("batch".into(), Value::Num(8.0)),
+            ("micros".into(), Value::Num(1234.0)),
+        ]))
+        .unwrap();
+        assert_eq!(predict_response(5, tricky, 2, 8, 1234), want);
+
+        let want = serde_json::to_string(&Value::Object(vec![
+            ("id".into(), Value::Num(0.0)),
+            ("ok".into(), Value::Bool(false)),
+            ("error".into(), Value::Str(tricky.into())),
+        ]))
+        .unwrap();
+        assert_eq!(error_response(0, tricky), want);
+
+        let payload = Value::Object(vec![
+            ("names".into(), Value::Array(vec![Value::Str("a\tb".into()), Value::Null])),
+            ("n".into(), Value::Num(3.5)),
+        ]);
+        let want = serde_json::to_string(&Value::Object(vec![
+            ("id".into(), Value::Num(9.0)),
+            ("ok".into(), Value::Bool(true)),
+            ("result".into(), payload.clone()),
+        ]))
+        .unwrap();
+        assert_eq!(result_response(9, payload), want);
+
+        let want = serde_json::to_string(&Value::Object(vec![
+            ("id".into(), Value::Num(12.0)),
+            ("ok".into(), Value::Bool(false)),
+            ("error".into(), Value::Str(OVERLOADED.into())),
+            ("retry_ms".into(), Value::Num(25.0)),
+        ]))
+        .unwrap();
+        assert_eq!(overloaded_response(12, 25), want);
+
+        let s = Mts::from_dims(vec![vec![0.25, -1.5], vec![3.0e-7, 1.0]]);
+        let want = serde_json::to_string(&Value::Object(vec![
+            ("id".into(), Value::Num(8.0)),
+            ("ok".into(), Value::Bool(true)),
+            ("pipeline".into(), Value::Str("light".into())),
+            (
+                "series".into(),
+                Value::Str(tsda_datasets::ts_format::format_series_line(&s)),
+            ),
+            ("batch".into(), Value::Num(4.0)),
+            ("micros".into(), Value::Num(99.0)),
+        ]))
+        .unwrap();
+        assert_eq!(augment_response(8, "light", &s, 4, 99), want);
+
+        let want = serde_json::to_string(&Value::Object(vec![
+            ("id".into(), Value::Num(4.0)),
+            ("ok".into(), Value::Bool(false)),
+            ("error".into(), Value::Str(THROTTLED.into())),
+            ("retry_ms".into(), Value::Num(120.0)),
+        ]))
+        .unwrap();
+        assert_eq!(throttled_response(4, 120), want);
     }
 }

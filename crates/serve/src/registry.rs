@@ -21,6 +21,10 @@ enum ModelInner {
     /// linear baseline: `n_features = n_dims × series_len`.
     Ridge(RidgeClassifier),
     Inception(Mutex<InceptionTime>),
+    /// Constant-label model with a trivially allocation-free predict
+    /// path; exists so the allocation-count harness can measure the
+    /// batcher itself rather than a real model's transform.
+    Stub(Label),
 }
 
 /// One served model plus the input contract requests must meet.
@@ -73,6 +77,22 @@ impl ModelEntry {
         Ok(Self { name: name.to_string(), kind, n_dims, series_len, n_classes, inner })
     }
 
+    /// Constant-label entry for tests that need a model whose predict
+    /// path performs no work and no allocation (see the allocation
+    /// harness in `tests/alloc_count.rs`). Not reachable from model
+    /// loading — only test code constructs it.
+    #[doc(hidden)]
+    pub fn stub(name: &str, label: Label, n_dims: usize, series_len: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            kind: "stub",
+            n_dims,
+            series_len,
+            n_classes: label + 1,
+            inner: ModelInner::Stub(label),
+        }
+    }
+
     /// Registry name.
     pub fn name(&self) -> &str {
         &self.name
@@ -114,16 +134,31 @@ impl ModelEntry {
     /// the batch composition, so each label is bit-identical to what
     /// offline `Classifier::predict` returns for that series alone.
     pub fn predict_batch(&self, series: &[Mts]) -> Result<Vec<Label>, TsdaError> {
+        let mut out = Vec::new();
+        self.predict_batch_into(series, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::predict_batch`] writing into a caller-owned label
+    /// buffer, so a batch worker's steady state reuses one allocation
+    /// across batches. `out` is cleared first and holds exactly
+    /// `series.len()` labels on success.
+    pub fn predict_batch_into(
+        &self,
+        series: &[Mts],
+        out: &mut Vec<Label>,
+    ) -> Result<(), TsdaError> {
+        out.clear();
         if series.is_empty() {
-            return Ok(Vec::new());
+            return Ok(());
         }
-        match &self.inner {
-            ModelInner::Rocket(m) => m.predict_fitted(&self.to_dataset(series)),
-            ModelInner::MiniRocket(m) => m.predict_fitted(&self.to_dataset(series)),
+        let labels = match &self.inner {
+            ModelInner::Rocket(m) => m.predict_fitted(&self.to_dataset(series))?,
+            ModelInner::MiniRocket(m) => m.predict_fitted(&self.to_dataset(series))?,
             ModelInner::Ridge(m) => {
                 let rows: Vec<Vec<f64>> =
                     series.iter().map(|s| s.as_flat().to_vec()).collect();
-                m.try_predict_features(&rows)
+                m.try_predict_features(&rows)?
             }
             ModelInner::Inception(m) => {
                 let ds = self.to_dataset(series);
@@ -135,9 +170,15 @@ impl ModelEntry {
                 let mut guard = m.lock().map_err(|_| {
                     TsdaError::Numerical("inception model poisoned by a panicked batch".into())
                 })?;
-                Ok(tsda_classify::Classifier::predict(&mut *guard, &ds))
+                tsda_classify::Classifier::predict(&mut *guard, &ds)
             }
-        }
+            ModelInner::Stub(label) => {
+                out.resize(series.len(), *label);
+                return Ok(());
+            }
+        };
+        out.extend_from_slice(&labels);
+        Ok(())
     }
 
     fn to_dataset(&self, series: &[Mts]) -> Dataset {

@@ -33,8 +33,9 @@ use crate::faults::{self, FaultPlan};
 use crate::pipelines::PipelineRegistry;
 use crate::proto2;
 use crate::protocol::{
-    augment_response, decode_series, error_response, overloaded_response, parse_request,
-    predict_response, result_response, throttled_response, Request,
+    augment_response_into, decode_series, error_response, error_response_into,
+    overloaded_response_into, parse_request, predict_response_into, result_response_into,
+    throttled_response_into, Request,
 };
 use crate::registry::ModelRegistry;
 use crate::stats::ServerStats;
@@ -281,6 +282,20 @@ fn negotiate(buf: &mut Vec<u8>, mode: &mut Mode) -> Negotiated {
     }
 }
 
+/// Per-connection reusable buffers. At steady state a connection
+/// answers requests without allocating for line extraction or response
+/// encoding — everything request-sized lives here and is cleared (not
+/// freed) between requests.
+#[derive(Default)]
+struct ConnScratch {
+    /// One request line, drained out of the read buffer.
+    line: Vec<u8>,
+    /// One NDJSON response line.
+    response: String,
+    /// One v2 reply frame.
+    frame: Vec<u8>,
+}
+
 /// Answer everything complete in `buf` for the negotiated mode.
 /// Returns false when the connection must close.
 fn answer_buffered(
@@ -288,32 +303,43 @@ fn answer_buffered(
     buf: &mut Vec<u8>,
     writer: &mut TcpStream,
     ctx: &ConnCtx<'_>,
+    scratch: &mut ConnScratch,
 ) -> bool {
     match mode {
         Mode::Undecided => true,
-        Mode::Ndjson => answer_buffered_lines(buf, writer, ctx),
-        Mode::V2 => answer_buffered_frames(buf, writer, ctx),
+        Mode::Ndjson => answer_buffered_lines(buf, writer, ctx, scratch),
+        Mode::V2 => answer_buffered_frames(buf, writer, ctx, scratch),
     }
 }
 
 /// Pop complete lines off `buf` and answer each in order. Returns false
 /// when a write failed (peer gone or fault-injected drop) and the
 /// connection should close.
-fn answer_buffered_lines(buf: &mut Vec<u8>, writer: &mut TcpStream, ctx: &ConnCtx<'_>) -> bool {
+fn answer_buffered_lines(
+    buf: &mut Vec<u8>,
+    writer: &mut TcpStream,
+    ctx: &ConnCtx<'_>,
+    scratch: &mut ConnScratch,
+) -> bool {
+    let ConnScratch { line, response, .. } = scratch;
     while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-        let mut line: Vec<u8> = buf.drain(..=pos).collect();
+        line.clear();
+        line.extend(buf.drain(..=pos));
         line.pop(); // the '\n'
         if let Some(plan) = ctx.faults {
             // Wire corruption happens between the peer's write and our
             // parse; the parser must turn it into an error reply.
-            plan.corrupt_line(&mut line);
+            plan.corrupt_line(line);
         }
-        let line = String::from_utf8_lossy(&line).into_owned();
-        let line = line.trim();
-        if line.is_empty() {
+        // Borrowed in the common (valid UTF-8) case; invalid bytes are
+        // already a parse-error path.
+        let text = String::from_utf8_lossy(line);
+        let text = text.trim();
+        if text.is_empty() {
             continue;
         }
-        let mut response = handle_line(line, ctx);
+        response.clear();
+        handle_line(text, ctx, response);
         response.push('\n');
         if faults::write_response(writer, response.as_bytes(), ctx.faults).is_err() {
             return false;
@@ -327,7 +353,12 @@ fn answer_buffered_lines(buf: &mut Vec<u8>, writer: &mut TcpStream, ctx: &ConnCt
 /// *length prefix* — unlike body corruption (caught by the checksum and
 /// answered with an error reply on an intact stream), a bad prefix
 /// desynchronises framing beyond recovery.
-fn answer_buffered_frames(buf: &mut Vec<u8>, writer: &mut TcpStream, ctx: &ConnCtx<'_>) -> bool {
+fn answer_buffered_frames(
+    buf: &mut Vec<u8>,
+    writer: &mut TcpStream,
+    ctx: &ConnCtx<'_>,
+    scratch: &mut ConnScratch,
+) -> bool {
     loop {
         let mut raw = match proto2::take_frame(buf) {
             Ok(Some(raw)) => raw,
@@ -349,8 +380,9 @@ fn answer_buffered_frames(buf: &mut Vec<u8>, writer: &mut TcpStream, ctx: &ConnC
             // error reply instead of a different request.
             plan.corrupt_line(&mut raw);
         }
-        let reply = handle_frame(&raw, ctx);
-        if faults::write_response(writer, &reply, ctx.faults).is_err() {
+        scratch.frame.clear();
+        handle_frame(&raw, ctx, &mut scratch.frame);
+        if faults::write_response(writer, &scratch.frame, ctx.faults).is_err() {
             return false;
         }
     }
@@ -388,10 +420,11 @@ fn handle_connection(
     let mut buf = Vec::with_capacity(4096);
     let mut chunk = [0u8; 4096];
     let mut mode = Mode::Undecided;
+    let mut scratch = ConnScratch::default();
     loop {
         match negotiate(&mut buf, &mut mode) {
             Negotiated::Proceed => {
-                if !answer_buffered(&mode, &mut buf, &mut writer, &ctx) {
+                if !answer_buffered(&mode, &mut buf, &mut writer, &ctx, &mut scratch) {
                     return;
                 }
             }
@@ -421,7 +454,7 @@ fn handle_connection(
                 }
             }
             if matches!(negotiate(&mut buf, &mut mode), Negotiated::Proceed) {
-                answer_buffered(&mode, &mut buf, &mut writer, &ctx);
+                answer_buffered(&mode, &mut buf, &mut writer, &ctx, &mut scratch);
             }
             return;
         }
@@ -483,8 +516,8 @@ fn run_predict(model: &str, series: Mts, ctx: &ConnCtx<'_>) -> PredictOutcome {
         stats.errors.fetch_add(1, Ordering::Relaxed);
         return PredictOutcome::Failed(msg);
     }
-    let rx = match ctx.batcher.submit(model, series) {
-        Ok(rx) => rx,
+    let pending = match ctx.batcher.submit(model, series) {
+        Ok(pending) => pending,
         Err(SubmitError::Overloaded { retry_ms }) => {
             stats.shed.fetch_add(1, Ordering::Relaxed);
             return PredictOutcome::Shed { retry_ms };
@@ -498,17 +531,12 @@ fn run_predict(model: &str, series: Mts, ctx: &ConnCtx<'_>) -> PredictOutcome {
             return PredictOutcome::Failed("server shutting down".to_string());
         }
     };
-    match rx.recv() {
-        Ok(reply) => match reply.result {
-            Ok(label) => {
-                PredictOutcome::Label { label, batch: reply.batch_size, micros: reply.micros }
-            }
-            Err(msg) => PredictOutcome::Failed(msg),
-        },
-        Err(_) => {
-            stats.errors.fetch_add(1, Ordering::Relaxed);
-            PredictOutcome::Failed("server shutting down".to_string())
-        }
+    // recv() always answers: an accepted job either gets its batch
+    // result or (if its worker abandoned it) a shutdown error.
+    let reply = pending.recv();
+    match reply.result {
+        Ok(label) => PredictOutcome::Label { label, batch: reply.batch_size, micros: reply.micros },
+        Err(msg) => PredictOutcome::Failed(msg),
     }
 }
 
@@ -559,8 +587,8 @@ fn run_augment(
         stats.errors.fetch_add(1, Ordering::Relaxed);
         return AugmentOutcome::Failed(format!("unknown pipeline {pipeline:?}"));
     }
-    let rx = match ctx.batcher.submit_augment(pipeline, series, seed, index) {
-        Ok(rx) => rx,
+    let pending = match ctx.batcher.submit_augment(pipeline, series, seed, index) {
+        Ok(pending) => pending,
         Err(SubmitError::Overloaded { retry_ms }) => {
             stats.shed.fetch_add(1, Ordering::Relaxed);
             return AugmentOutcome::Shed { retry_ms };
@@ -574,27 +602,36 @@ fn run_augment(
             return AugmentOutcome::Failed("server shutting down".to_string());
         }
     };
-    match rx.recv() {
-        Ok(reply) => match reply.result {
-            Ok(series) => {
-                AugmentOutcome::Series { series, batch: reply.batch_size, micros: reply.micros }
-            }
-            Err(msg) => AugmentOutcome::Failed(msg),
-        },
-        Err(_) => {
-            stats.errors.fetch_add(1, Ordering::Relaxed);
-            AugmentOutcome::Failed("server shutting down".to_string())
+    // recv() always answers: an accepted job either gets its batch
+    // result or (if its worker abandoned it) a shutdown error.
+    let reply = pending.recv();
+    match reply.result {
+        Ok(series) => {
+            AugmentOutcome::Series { series, batch: reply.batch_size, micros: reply.micros }
         }
+        Err(msg) => AugmentOutcome::Failed(msg),
     }
 }
 
-/// Answer one NDJSON request line with one response line.
-fn handle_line(line: &str, ctx: &ConnCtx<'_>) -> String {
+/// `stats` endpoint payload: the server-wide counter snapshot plus the
+/// per-queue rows (depth, submitted, shed, ticket_allocs) from the
+/// batcher — the live evidence that the warm pools cover the load.
+fn stats_value(ctx: &ConnCtx<'_>) -> serde::Value {
+    let mut v = ctx.stats.snapshot().to_value();
+    if let serde::Value::Object(pairs) = &mut v {
+        pairs.push(("queues".into(), ctx.batcher.queue_stats()));
+    }
+    v
+}
+
+/// Answer one NDJSON request line, appending the response line to `out`
+/// (no trailing newline — the connection loop adds it).
+fn handle_line(line: &str, ctx: &ConnCtx<'_>, out: &mut String) {
     let request = match parse_request(line) {
         Ok(r) => r,
         Err((id, msg)) => {
             ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
-            return error_response(id, &msg);
+            return error_response_into(out, id, &msg);
         }
     };
     match request {
@@ -604,16 +641,18 @@ fn handle_line(line: &str, ctx: &ConnCtx<'_>) -> String {
                 Err(e) => {
                     ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
                     ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
-                    return error_response(id, &format!("bad series: {e}"));
+                    return error_response_into(out, id, &format!("bad series: {e}"));
                 }
             };
             match run_predict(&model, mts, ctx) {
                 PredictOutcome::Label { label, batch, micros } => {
-                    predict_response(id, &model, label, batch, micros)
+                    predict_response_into(out, id, &model, label, batch, micros)
                 }
-                PredictOutcome::Shed { retry_ms } => overloaded_response(id, retry_ms),
-                PredictOutcome::Throttled { retry_ms } => throttled_response(id, retry_ms),
-                PredictOutcome::Failed(msg) => error_response(id, &msg),
+                PredictOutcome::Shed { retry_ms } => overloaded_response_into(out, id, retry_ms),
+                PredictOutcome::Throttled { retry_ms } => {
+                    throttled_response_into(out, id, retry_ms)
+                }
+                PredictOutcome::Failed(msg) => error_response_into(out, id, &msg),
             }
         }
         Request::Augment { id, pipeline, seed, index, series } => {
@@ -622,26 +661,29 @@ fn handle_line(line: &str, ctx: &ConnCtx<'_>) -> String {
                 Err(e) => {
                     ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
                     ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
-                    return error_response(id, &format!("bad series: {e}"));
+                    return error_response_into(out, id, &format!("bad series: {e}"));
                 }
             };
             match run_augment(&pipeline, mts, seed, index, ctx) {
                 AugmentOutcome::Series { series, batch, micros } => {
-                    augment_response(id, &pipeline, &series, batch, micros)
+                    augment_response_into(out, id, &pipeline, &series, batch, micros)
                 }
-                AugmentOutcome::Shed { retry_ms } => overloaded_response(id, retry_ms),
-                AugmentOutcome::Throttled { retry_ms } => throttled_response(id, retry_ms),
-                AugmentOutcome::Failed(msg) => error_response(id, &msg),
+                AugmentOutcome::Shed { retry_ms } => overloaded_response_into(out, id, retry_ms),
+                AugmentOutcome::Throttled { retry_ms } => {
+                    throttled_response_into(out, id, retry_ms)
+                }
+                AugmentOutcome::Failed(msg) => error_response_into(out, id, &msg),
             }
         }
-        Request::Stats { id } => result_response(id, ctx.stats.snapshot().to_value()),
-        Request::List { id } => result_response(id, ctx.registry.describe()),
-        Request::Ping { id } => result_response(id, serde::Value::Str("pong".into())),
+        Request::Stats { id } => result_response_into(out, id, &stats_value(ctx)),
+        Request::List { id } => result_response_into(out, id, &ctx.registry.describe()),
+        Request::Ping { id } => result_response_into(out, id, &serde::Value::Str("pong".into())),
     }
 }
 
-/// Answer one raw v2 frame (`body + crc`) with one reply frame.
-fn handle_frame(raw: &[u8], ctx: &ConnCtx<'_>) -> Vec<u8> {
+/// Answer one raw v2 frame (`body + crc`), appending one reply frame
+/// to `out`.
+fn handle_frame(raw: &[u8], ctx: &ConnCtx<'_>, out: &mut Vec<u8>) {
     let body = match proto2::check_frame(raw) {
         Ok(b) => b,
         Err(msg) => {
@@ -649,69 +691,73 @@ fn handle_frame(raw: &[u8], ctx: &ConnCtx<'_>) -> Vec<u8> {
             // still framed, so answer and keep serving. Id 0 — the real
             // id is untrustworthy inside a corrupted frame.
             ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
-            return proto2::encode_reply_error(0, proto2::ErrCode::Error, &msg, 0);
+            return proto2::encode_reply_error_into(out, 0, proto2::ErrCode::Error, &msg, 0);
         }
     };
     let request = match proto2::decode_request(body) {
         Ok(r) => r,
         Err((id, msg)) => {
             ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
-            return proto2::encode_reply_error(id, proto2::ErrCode::Error, &msg, 0);
+            return proto2::encode_reply_error_into(out, id, proto2::ErrCode::Error, &msg, 0);
         }
     };
     match request {
         proto2::Request2::Predict { id, model, series } => {
             match run_predict(&model, series, ctx) {
                 PredictOutcome::Label { label, batch, micros } => {
-                    proto2::encode_reply_predict(id, label as u64, batch as u32, micros)
+                    proto2::encode_reply_predict_into(out, id, label as u64, batch as u32, micros)
                 }
-                PredictOutcome::Shed { retry_ms } => proto2::encode_reply_error(
+                PredictOutcome::Shed { retry_ms } => proto2::encode_reply_error_into(
+                    out,
                     id,
                     proto2::ErrCode::Overloaded,
                     "overloaded",
                     retry_ms,
                 ),
-                PredictOutcome::Throttled { retry_ms } => proto2::encode_reply_error(
+                PredictOutcome::Throttled { retry_ms } => proto2::encode_reply_error_into(
+                    out,
                     id,
                     proto2::ErrCode::Throttled,
                     "throttled",
                     retry_ms,
                 ),
                 PredictOutcome::Failed(msg) => {
-                    proto2::encode_reply_error(id, proto2::ErrCode::Error, &msg, 0)
+                    proto2::encode_reply_error_into(out, id, proto2::ErrCode::Error, &msg, 0)
                 }
             }
         }
         proto2::Request2::Augment { id, pipeline, seed, index, series } => {
             match run_augment(&pipeline, series, seed, index, ctx) {
                 AugmentOutcome::Series { series, batch, micros } => {
-                    proto2::encode_reply_augment(id, &series, batch as u32, micros)
+                    proto2::encode_reply_augment_into(out, id, &series, batch as u32, micros)
                 }
-                AugmentOutcome::Shed { retry_ms } => proto2::encode_reply_error(
+                AugmentOutcome::Shed { retry_ms } => proto2::encode_reply_error_into(
+                    out,
                     id,
                     proto2::ErrCode::Overloaded,
                     "overloaded",
                     retry_ms,
                 ),
-                AugmentOutcome::Throttled { retry_ms } => proto2::encode_reply_error(
+                AugmentOutcome::Throttled { retry_ms } => proto2::encode_reply_error_into(
+                    out,
                     id,
                     proto2::ErrCode::Throttled,
                     "throttled",
                     retry_ms,
                 ),
                 AugmentOutcome::Failed(msg) => {
-                    proto2::encode_reply_error(id, proto2::ErrCode::Error, &msg, 0)
+                    proto2::encode_reply_error_into(out, id, proto2::ErrCode::Error, &msg, 0)
                 }
             }
         }
         proto2::Request2::Stats { id } => {
-            proto2::encode_reply_result(id, &ctx.stats.snapshot().to_value())
+            proto2::encode_reply_result_into(out, id, &stats_value(ctx))
         }
         proto2::Request2::List { id } => {
-            proto2::encode_reply_result(id, &ctx.registry.describe())
+            proto2::encode_reply_result_into(out, id, &ctx.registry.describe())
         }
         proto2::Request2::Ping { id } => {
-            proto2::encode_reply_result(id, &serde::Value::Str("pong".into()))
+            proto2::encode_reply_result_into(out, id, &serde::Value::Str("pong".into()))
         }
     }
 }

@@ -1,0 +1,107 @@
+//! Allocation-count harness for the batcher's zero-allocation steady
+//! state — the runtime check behind the `tsda_analyze` R3v2/A1 static
+//! rules. A counting `#[global_allocator]` wraps the system allocator;
+//! after a warm-up pass, a full submit → coalesce → predict → reply →
+//! wait round-trip must perform **zero** heap allocations anywhere in
+//! the process (connection side, ring, ticket pool, worker scratch,
+//! stub predict).
+//!
+//! Everything lives in one `#[test]` on purpose: the counter is
+//! process-global, and sibling tests in the same binary would run on
+//! parallel threads and pollute the measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tsda_core::Mts;
+use tsda_serve::batcher::{BatchConfig, Batcher};
+use tsda_serve::{ModelEntry, ModelRegistry, PipelineRegistry, ServerStats};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to the System allocator; the only added
+// behaviour is a relaxed counter bump, which cannot violate any
+// GlobalAlloc contract.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: delegates to System.alloc with the caller's layout.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    // SAFETY: delegates to System.realloc with the caller's pointer,
+    // layout, and size, all forwarded untouched.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow-in-place is still an allocator round-trip the hot
+        // path promised not to make.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    // SAFETY: delegates to System.dealloc with the caller's pointer
+    // and layout.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // Frees are not counted: dropping request-owned data is fine;
+        // the discipline is about acquiring memory per request.
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_batcher_answers_requests_without_allocating() {
+    let mut registry = ModelRegistry::new();
+    registry.insert(ModelEntry::stub("stub", 1, 1, 8));
+    let stats = Arc::new(ServerStats::new());
+    let batcher = Batcher::start(
+        Arc::new(registry),
+        Arc::new(PipelineRegistry::new()),
+        Arc::clone(&stats),
+        BatchConfig { max_batch: 4, max_wait: Duration::from_millis(1), queue_cap: 64 },
+        None,
+    )
+    .expect("batch worker starts");
+
+    let template = Mts::from_dims(vec![(0..8).map(|t| t as f64).collect()]);
+
+    // Warm-up: fault in every lazy one-time allocation — worker
+    // scratch growth, thread-local init, lazy locale/libc state behind
+    // the first condvar timeouts.
+    for _ in 0..32 {
+        let reply = batcher.submit("stub", template.clone()).expect("queue open").recv();
+        assert_eq!(reply.result, Ok(1));
+    }
+
+    // The measured requests' series are built (and counted) out here:
+    // the request payload is the client's allocation, not the
+    // server's.
+    let payloads: Vec<Mts> = (0..64).map(|_| template.clone()).collect();
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for series in payloads {
+        let reply = batcher.submit("stub", series).expect("queue open").recv();
+        assert_eq!(reply.result, Ok(1));
+    }
+    let during = ALLOCS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        during, 0,
+        "steady-state submit→wait round-trips must not allocate ({during} allocations leaked \
+         into the measurement window)"
+    );
+
+    // The batcher's own evidence agrees: the warm ticket pool covered
+    // every in-flight reply.
+    let rows = batcher.queue_stats();
+    let row = match &rows {
+        serde::Value::Array(rows) => rows[0].clone(),
+        other => panic!("queue_stats should be an array, got {other:?}"),
+    };
+    assert_eq!(row.get("ticket_allocs").and_then(serde::Value::as_f64), Some(0.0));
+    assert_eq!(row.get("shed").and_then(serde::Value::as_f64), Some(0.0));
+    batcher.shutdown();
+}

@@ -23,6 +23,13 @@ pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(out)
 }
 
+/// Compact JSON text appended to a caller-owned buffer — same bytes as
+/// [`to_string`], but the caller controls (and can reuse) the
+/// allocation.
+pub fn append_to_string<T: serde::Serialize + ?Sized>(value: &T, out: &mut String) {
+    write_value(&value.to_value(), None, 0, out);
+}
+
 /// Pretty-printed (2-space indented) JSON text.
 pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
